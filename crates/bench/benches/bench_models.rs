@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks of the model families: training throughput
+//! and prediction latency on a fixed synthetic corpus.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hlm_bpmf::{BpmfConfig, Rating};
+use hlm_chh::ExactChh;
+use hlm_datagen::GeneratorConfig;
+use hlm_lda::{GibbsTrainer, LdaConfig};
+use hlm_lstm::{LstmConfig, LstmLm};
+use hlm_ngram::{NgramConfig, NgramLm};
+use std::hint::black_box;
+
+fn fixture() -> (hlm_corpus::Corpus, Vec<Vec<usize>>, Vec<Vec<(usize, f64)>>) {
+    let corpus = hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(500, 7));
+    let ids: Vec<_> = corpus.ids().collect();
+    let seqs: Vec<Vec<usize>> = ids
+        .iter()
+        .map(|&id| {
+            corpus.company(id).product_sequence().into_iter().map(|p| p.index()).collect()
+        })
+        .collect();
+    let docs = hlm_core::representations::binary_docs(&corpus, &ids);
+    (corpus, seqs, docs)
+}
+
+fn bench_lda(c: &mut Criterion) {
+    let (_, _, docs) = fixture();
+    let cfg = LdaConfig {
+        n_topics: 3,
+        vocab_size: 38,
+        n_iters: 20,
+        burn_in: 10,
+        sample_lag: 2,
+        seed: 1,
+        alpha: None,
+        beta: 0.1,
+            ..Default::default()
+        };
+    c.bench_function("lda_gibbs_20_sweeps_500_docs", |b| {
+        b.iter(|| GibbsTrainer::new(cfg.clone()).fit(black_box(&docs)))
+    });
+    let model = GibbsTrainer::new(cfg).fit(&docs);
+    c.bench_function("lda_fold_in_theta", |b| {
+        b.iter(|| model.infer_theta(black_box(&docs[0])))
+    });
+    c.bench_function("lda_predict_products", |b| {
+        b.iter(|| model.predict_products(black_box(&docs[0])))
+    });
+}
+
+fn bench_lstm(c: &mut Criterion) {
+    let (_, seqs, _) = fixture();
+    let seq = seqs.iter().find(|s| s.len() >= 8).expect("long sequence").clone();
+    for &h in &[50usize, 200] {
+        let model = LstmLm::new(
+            LstmConfig { vocab_size: 38, hidden_size: h, n_layers: 1, dropout: 0.2, ..Default::default() },
+            3,
+        );
+        c.bench_function(&format!("lstm_train_sequence_h{h}"), |b| {
+            b.iter_batched(
+                || model.clone(),
+                |mut m| {
+                    let out = m.train_sequence(black_box(&seq));
+                    black_box(out)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        c.bench_function(&format!("lstm_predict_next_h{h}"), |b| {
+            b.iter(|| model.predict_next(black_box(&seq)))
+        });
+    }
+}
+
+fn bench_ngram_chh(c: &mut Criterion) {
+    let (_, seqs, _) = fixture();
+    c.bench_function("ngram_fit_trigram_500_seqs", |b| {
+        b.iter(|| NgramLm::fit(NgramConfig::trigram(38), black_box(&seqs)))
+    });
+    let lm = NgramLm::fit(NgramConfig::trigram(38), &seqs);
+    c.bench_function("ngram_predict_next", |b| {
+        b.iter(|| lm.predict_next(black_box(&seqs[0][..3.min(seqs[0].len())])))
+    });
+    c.bench_function("chh_fit_depth2_500_seqs", |b| {
+        b.iter(|| ExactChh::fit(2, 38, black_box(&seqs)))
+    });
+    let chh = ExactChh::fit(2, 38, &seqs);
+    c.bench_function("chh_predict_next", |b| {
+        b.iter(|| chh.predict_next(black_box(&seqs[0])))
+    });
+}
+
+fn bench_bpmf(c: &mut Criterion) {
+    let (corpus, _, _) = fixture();
+    let ids: Vec<_> = corpus.ids().take(150).collect();
+    let mut ratings = Vec::new();
+    for (row, &id) in ids.iter().enumerate() {
+        for p in corpus.company(id).product_set() {
+            ratings.push(Rating { row, col: p.index(), value: 1.0 });
+        }
+    }
+    let cfg = BpmfConfig { n_iters: 10, burn_in: 4, n_factors: 8, ..Default::default() };
+    let mut group = c.benchmark_group("bpmf");
+    group.sample_size(10);
+    group.bench_function("bpmf_gibbs_10_sweeps_150x38", |b| {
+        b.iter(|| hlm_bpmf::fit(150, 38, black_box(&ratings), &cfg, Some((0.0, 1.0))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lda, bench_lstm, bench_ngram_chh, bench_bpmf);
+criterion_main!(benches);

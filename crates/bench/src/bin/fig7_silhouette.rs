@@ -1,0 +1,10 @@
+//! Regenerates the corresponding paper artefact; see DESIGN.md §4.
+//! Scale via `HLM_SCALE=smoke|small|medium|paper` (default: small).
+
+fn main() {
+    let scale = hlm_bench::ExpScale::from_env();
+    eprintln!("[fig7_silhouette] scale: {} ({} companies)", scale.name, scale.n_companies);
+    for table in hlm_bench::experiments::fig7_silhouette::run(&scale) {
+        hlm_bench::emit(&table);
+    }
+}

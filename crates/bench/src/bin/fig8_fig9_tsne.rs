@@ -1,0 +1,10 @@
+//! Regenerates the corresponding paper artefact; see DESIGN.md §4.
+//! Scale via `HLM_SCALE=smoke|small|medium|paper` (default: small).
+
+fn main() {
+    let scale = hlm_bench::ExpScale::from_env();
+    eprintln!("[fig8_fig9_tsne] scale: {} ({} companies)", scale.name, scale.n_companies);
+    for table in hlm_bench::experiments::fig8_fig9_tsne::run(&scale) {
+        hlm_bench::emit(&table);
+    }
+}

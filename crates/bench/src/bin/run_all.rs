@@ -1,0 +1,29 @@
+//! Regenerates every reproduced table and figure in one run (the source of
+//! EXPERIMENTS.md). Scale via `HLM_SCALE` (default: small).
+
+fn main() {
+    let scale = hlm_bench::ExpScale::from_env();
+    eprintln!("[run_all] scale: {} ({} companies)", scale.name, scale.n_companies);
+    use hlm_bench::experiments as e;
+    let start = std::time::Instant::now();
+    let phases: Vec<(&str, fn(&hlm_bench::ExpScale) -> Vec<hlm_eval::report::Table>)> = vec![
+        ("sequentiality + n-gram baselines", e::sequentiality::run),
+        ("Figure 2 (LDA perplexity)", e::fig2_lda::run),
+        ("Figure 1 (LSTM perplexity)", e::fig1_lstm::run),
+        ("Table 1 (minimum perplexities)", e::table1::run),
+        ("Figures 3-4 (recommendation accuracy)", e::fig3_fig4_recommendation::run),
+        ("Figures 5-6 (BPMF)", e::fig5_fig6_bpmf::run),
+        ("Figure 7 (silhouette curves)", e::fig7_silhouette::run),
+        ("Figures 8-9 (t-SNE product maps)", e::fig8_fig9_tsne::run),
+        ("Ablations", e::ablations::run),
+    ];
+    for (name, f) in phases {
+        eprintln!("[run_all] === {name} ===");
+        let t0 = std::time::Instant::now();
+        for table in f(&scale) {
+            hlm_bench::emit(&table);
+        }
+        eprintln!("[run_all] {name} took {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    eprintln!("[run_all] total {:.1}s", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,11 @@
+//! One module per reproduced table/figure (see DESIGN.md §4).
+
+pub mod ablations;
+pub mod fig1_lstm;
+pub mod fig2_lda;
+pub mod fig3_fig4_recommendation;
+pub mod fig5_fig6_bpmf;
+pub mod fig7_silhouette;
+pub mod fig8_fig9_tsne;
+pub mod sequentiality;
+pub mod table1;

@@ -1,0 +1,97 @@
+//! Section-5 baseline statistics: the sequentiality check quoted from [19]
+//! (69% of bigrams / 43% of trigrams significantly non-i.i.d. on the HG
+//! corpus) and the n-gram perplexity baselines (unigram 19.5, n-gram
+//! ≥ 15.5).
+
+use crate::experiments::fig1_lstm::sequences;
+use crate::ExpScale;
+use hlm_eval::report::{fmt_f, Table};
+use hlm_eval::sequentiality_report;
+use hlm_ngram::{NgramConfig, NgramLm};
+
+/// Runs the sequentiality test and the baseline perplexities.
+pub fn run(scale: &ExpScale) -> Vec<Table> {
+    let corpus = scale.corpus();
+    let split = scale.split(&corpus);
+    let ids: Vec<_> = corpus.ids().collect();
+    let product_seqs = corpus.sequences_for(&ids);
+
+    let mut seq_table = Table::new(
+        format!("Sequentiality of product time series (scale: {})", scale.name),
+        &["order", "distinct n-grams", "significant (p < 0.05)", "fraction"],
+    );
+    for order in [2usize, 3] {
+        let rep = sequentiality_report(&product_seqs, order, 0.05);
+        seq_table.add_row(vec![
+            order.to_string(),
+            rep.distinct_ngrams.to_string(),
+            rep.significant.to_string(),
+            fmt_f(rep.significant_fraction, 3),
+        ]);
+    }
+
+    let train = sequences(&corpus, &split.train);
+    let test = sequences(&corpus, &split.test);
+    let m = corpus.vocab().len();
+    let mut ppl_table = Table::new(
+        format!("Baseline n-gram perplexities on test data (scale: {})", scale.name),
+        &["model", "test perplexity"],
+    );
+    for (name, cfg) in [
+        ("unigram 'bag of words'", NgramConfig::unigram(m)),
+        ("bigram", NgramConfig::bigram(m)),
+        ("trigram", NgramConfig::trigram(m)),
+    ] {
+        let ppl = NgramLm::fit(cfg, &train).perplexity(&test);
+        ppl_table.add_row(vec![name.to_string(), fmt_f(ppl, 2)]);
+    }
+    vec![seq_table, ppl_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_corpus_is_significantly_sequential() {
+        let mut scale = ExpScale::smoke();
+        scale.n_companies = 500;
+        let corpus = scale.corpus();
+        let ids: Vec<_> = corpus.ids().collect();
+        let seqs = corpus.sequences_for(&ids);
+
+        let bi = sequentiality_report(&seqs, 2, 0.05);
+        let tri = sequentiality_report(&seqs, 3, 0.05);
+        // The paper's corpus: 69% / 43% at 860k companies. The
+        // scale-independent claim is that both fractions sit far above the
+        // 5% false-positive rate an i.i.d. stream would produce (the exact
+        // bigram/trigram ordering depends on corpus size — see
+        // EXPERIMENTS.md).
+        assert!(
+            bi.significant_fraction > 0.15,
+            "bigram fraction {}",
+            bi.significant_fraction
+        );
+        assert!(
+            tri.significant_fraction > 0.15,
+            "trigram fraction {}",
+            tri.significant_fraction
+        );
+    }
+
+    #[test]
+    fn ngram_perplexities_are_ordered_like_table_1() {
+        let mut scale = ExpScale::smoke();
+        scale.n_companies = 500;
+        let corpus = scale.corpus();
+        let split = scale.split(&corpus);
+        let train = sequences(&corpus, &split.train);
+        let test = sequences(&corpus, &split.test);
+        let m = corpus.vocab().len();
+        let uni = NgramLm::fit(NgramConfig::unigram(m), &train).perplexity(&test);
+        let bi = NgramLm::fit(NgramConfig::bigram(m), &train).perplexity(&test);
+        assert!(bi < uni, "bigram {bi} must beat unigram {uni}");
+        // Popularity skew keeps the unigram well under the uniform 38.
+        assert!(uni < 38.0 && uni > 5.0, "unigram perplexity {uni}");
+    }
+}

@@ -1,0 +1,21 @@
+//! Experiment harness: one module per paper table/figure, plus shared
+//! scaling configuration.
+//!
+//! Every experiment is a library function returning rendered
+//! [`hlm_eval::report::Table`]s, so the per-figure binaries and `run_all`
+//! share one implementation. Scale is controlled by the `HLM_SCALE`
+//! environment variable (`smoke`, `small`, `medium`, `paper`) — absolute
+//! corpus sizes differ from the paper's 860k companies, but every
+//! qualitative comparison is stable from `small` upward (see
+//! EXPERIMENTS.md).
+
+pub mod experiments;
+pub mod scale;
+
+pub use scale::ExpScale;
+
+/// Prints a rendered table to stdout with surrounding blank lines.
+pub fn emit(table: &hlm_eval::report::Table) {
+    println!();
+    println!("{}", table.render());
+}

@@ -1,0 +1,288 @@
+//! Exact conditional heavy hitters.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A `(context, item)` pair with its empirical conditional probability and
+/// support.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConditionalHeavyHitter {
+    /// The conditioning context (most recent product last).
+    pub context: Vec<usize>,
+    /// The predicted next product.
+    pub item: usize,
+    /// `P(item | context)` estimated from counts.
+    pub probability: f64,
+    /// Number of observations of the context.
+    pub support: u64,
+}
+
+/// Serde representation for the context tables: JSON object keys must be
+/// strings, so `Vec<usize>`-keyed maps are (de)serialized as sorted pair
+/// lists.
+mod tables_serde {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::collections::HashMap;
+
+    type Tables = Vec<HashMap<Vec<usize>, HashMap<usize, u64>>>;
+
+    pub fn serialize<S: Serializer>(tables: &Tables, s: S) -> Result<S::Ok, S::Error> {
+        let as_pairs: Vec<Vec<(&Vec<usize>, &HashMap<usize, u64>)>> = tables
+            .iter()
+            .map(|t| {
+                let mut entries: Vec<_> = t.iter().collect();
+                entries.sort_by(|a, b| a.0.cmp(b.0));
+                entries
+            })
+            .collect();
+        as_pairs.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Tables, D::Error> {
+        let as_pairs: Vec<Vec<(Vec<usize>, HashMap<usize, u64>)>> = Vec::deserialize(d)?;
+        Ok(as_pairs.into_iter().map(|t| t.into_iter().collect()).collect())
+    }
+}
+
+/// Exact conditional count tables up to a fixed context depth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExactChh {
+    depth: usize,
+    vocab_size: usize,
+    /// `tables[d]` maps a length-`d` context to its next-product counts.
+    #[serde(with = "tables_serde")]
+    tables: Vec<HashMap<Vec<usize>, HashMap<usize, u64>>>,
+}
+
+impl ExactChh {
+    /// Fits exact conditional counts on product sequences for all context
+    /// depths `0 ..= depth`. The paper's setting is `depth = 2`.
+    ///
+    /// # Panics
+    /// Panics if `depth == 0` is fine but `vocab_size == 0`, or a product is
+    /// out of range.
+    pub fn fit(depth: usize, vocab_size: usize, sequences: &[Vec<usize>]) -> Self {
+        assert!(vocab_size >= 1, "empty vocabulary");
+        let mut tables: Vec<HashMap<Vec<usize>, HashMap<usize, u64>>> =
+            vec![HashMap::new(); depth + 1];
+        for seq in sequences {
+            for &w in seq {
+                assert!(w < vocab_size, "product {w} outside vocabulary of {vocab_size}");
+            }
+            for (pos, &w) in seq.iter().enumerate() {
+                for d in 0..=depth.min(pos) {
+                    let ctx = seq[pos - d..pos].to_vec();
+                    *tables[d].entry(ctx).or_default().entry(w).or_insert(0) += 1;
+                }
+            }
+        }
+        ExactChh { depth, vocab_size, tables }
+    }
+
+    /// Maximum context depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Product vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Number of observations of a context (its support).
+    pub fn context_support(&self, context: &[usize]) -> u64 {
+        if context.len() > self.depth {
+            return 0;
+        }
+        self.tables[context.len()]
+            .get(context)
+            .map(|nexts| nexts.values().sum())
+            .unwrap_or(0)
+    }
+
+    /// Exact `P(item | context)` from counts; 0 when the context was never
+    /// observed.
+    pub fn conditional_probability(&self, context: &[usize], item: usize) -> f64 {
+        if context.len() > self.depth {
+            return 0.0;
+        }
+        match self.tables[context.len()].get(context) {
+            Some(nexts) => {
+                let total: u64 = nexts.values().sum();
+                if total == 0 {
+                    0.0
+                } else {
+                    nexts.get(&item).copied().unwrap_or(0) as f64 / total as f64
+                }
+            }
+            None => 0.0,
+        }
+    }
+
+    /// Next-product scores for a history, using the longest observed suffix
+    /// of the history (up to `depth`) as context — the CHH recommender. The
+    /// scores are the exact conditional probabilities of that context (they
+    /// sum to 1 when the context was observed, to 0 for a cold start with an
+    /// empty training table).
+    pub fn predict_next(&self, history: &[usize]) -> Vec<f64> {
+        let mut out = vec![0.0; self.vocab_size];
+        for d in (0..=self.depth.min(history.len())).rev() {
+            let ctx = &history[history.len() - d..];
+            if let Some(nexts) = self.tables[d].get(ctx) {
+                let total: u64 = nexts.values().sum();
+                if total > 0 {
+                    for (&item, &c) in nexts {
+                        out[item] = c as f64 / total as f64;
+                    }
+                    return out;
+                }
+            }
+        }
+        out
+    }
+
+    /// Enumerates every conditional heavy hitter at exactly depth `d`:
+    /// pairs with `P(item | context) ≥ min_probability` and context support
+    /// `≥ min_support`, sorted by probability descending (ties: larger
+    /// support first, then lexicographic context for determinism).
+    ///
+    /// # Panics
+    /// Panics if `d > depth`.
+    pub fn heavy_hitters(
+        &self,
+        d: usize,
+        min_probability: f64,
+        min_support: u64,
+    ) -> Vec<ConditionalHeavyHitter> {
+        assert!(d <= self.depth, "depth {d} exceeds fitted depth {}", self.depth);
+        let mut out = Vec::new();
+        for (ctx, nexts) in &self.tables[d] {
+            let total: u64 = nexts.values().sum();
+            if total < min_support || total == 0 {
+                continue;
+            }
+            for (&item, &c) in nexts {
+                let p = c as f64 / total as f64;
+                if p >= min_probability {
+                    out.push(ConditionalHeavyHitter {
+                        context: ctx.clone(),
+                        item,
+                        probability: p,
+                        support: total,
+                    });
+                }
+            }
+        }
+        out.sort_by(|a, b| {
+            b.probability
+                .partial_cmp(&a.probability)
+                .expect("finite probabilities")
+                .then(b.support.cmp(&a.support))
+                .then(a.context.cmp(&b.context))
+                .then(a.item.cmp(&b.item))
+        });
+        out
+    }
+
+    /// Total number of distinct contexts stored across all depths
+    /// (memory diagnostic, compared against [`StreamingChh`]).
+    pub fn context_count(&self) -> usize {
+        self.tables.iter().map(|t| t.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 → 1 always; 1 → 2 (75%) or 3 (25%).
+    fn sequences() -> Vec<Vec<usize>> {
+        let mut seqs = vec![vec![0, 1, 2]; 3];
+        seqs.push(vec![0, 1, 3]);
+        seqs
+    }
+
+    #[test]
+    fn conditional_probabilities_are_exact() {
+        let chh = ExactChh::fit(2, 4, &sequences());
+        assert_eq!(chh.conditional_probability(&[0], 1), 1.0);
+        assert_eq!(chh.conditional_probability(&[1], 2), 0.75);
+        assert_eq!(chh.conditional_probability(&[1], 3), 0.25);
+        assert_eq!(chh.conditional_probability(&[0, 1], 2), 0.75);
+        assert_eq!(chh.conditional_probability(&[3], 0), 0.0);
+        assert_eq!(chh.context_support(&[1]), 4);
+    }
+
+    #[test]
+    fn depth_zero_is_the_marginal() {
+        let chh = ExactChh::fit(2, 4, &sequences());
+        // 12 tokens: four 0s, four 1s, three 2s, one 3.
+        assert_eq!(chh.conditional_probability(&[], 0), 4.0 / 12.0);
+        assert_eq!(chh.conditional_probability(&[], 3), 1.0 / 12.0);
+    }
+
+    #[test]
+    fn predict_uses_longest_observed_context() {
+        let chh = ExactChh::fit(2, 4, &sequences());
+        let d = chh.predict_next(&[0, 1]);
+        assert_eq!(d[2], 0.75);
+        assert_eq!(d[3], 0.25);
+        // Unseen context [3, 3] backs off to [3] (also unseen as context
+        // except terminal) then to the marginal.
+        let d2 = chh.predict_next(&[3, 3]);
+        assert!((d2.iter().sum::<f64>() - 1.0).abs() < 1e-9, "marginal backoff: {d2:?}");
+    }
+
+    #[test]
+    fn predict_with_empty_model_is_zero() {
+        let chh = ExactChh::fit(2, 4, &[]);
+        assert_eq!(chh.predict_next(&[0]), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn heavy_hitters_threshold_and_sort() {
+        let chh = ExactChh::fit(2, 4, &sequences());
+        let hh = chh.heavy_hitters(1, 0.5, 2);
+        // Expect (ctx [0] -> 1, p=1.0, support 4) and (ctx [1] -> 2, p=0.75).
+        assert_eq!(hh.len(), 2);
+        assert_eq!(hh[0].context, vec![0]);
+        assert_eq!(hh[0].item, 1);
+        assert_eq!(hh[0].probability, 1.0);
+        assert_eq!(hh[1].item, 2);
+        // Raising the bar filters everything but the deterministic rule.
+        let strict = chh.heavy_hitters(1, 0.9, 1);
+        assert_eq!(strict.len(), 1);
+        // Support filter: depth-2 contexts have support ≤ 4.
+        let none = chh.heavy_hitters(2, 0.0, 100);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds fitted depth")]
+    fn heavy_hitters_rejects_too_deep() {
+        ExactChh::fit(1, 4, &sequences()).heavy_hitters(2, 0.1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocabulary")]
+    fn fit_rejects_out_of_vocab() {
+        ExactChh::fit(1, 2, &[vec![7]]);
+    }
+
+    #[test]
+    fn context_count_grows_with_depth() {
+        let seqs = sequences();
+        let d1 = ExactChh::fit(1, 4, &seqs).context_count();
+        let d2 = ExactChh::fit(2, 4, &seqs).context_count();
+        assert!(d2 > d1);
+    }
+
+    #[test]
+    fn probabilities_per_context_sum_to_one() {
+        let chh = ExactChh::fit(2, 4, &sequences());
+        for ctx in [vec![], vec![0], vec![1], vec![0, 1]] {
+            let total: f64 = (0..4).map(|i| chh.conditional_probability(&ctx, i)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "context {ctx:?} sums to {total}");
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Dependency-free argument parsing for the `hlm` tool.
+
+use hlm_corpus::Month;
+
+/// A parsed subcommand with its options.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print usage.
+    Help,
+    /// Generate a synthetic corpus and write CSVs into `out`.
+    Generate {
+        /// Number of companies.
+        companies: usize,
+        /// Generator seed.
+        seed: u64,
+        /// Output directory.
+        out: String,
+    },
+    /// Print a corpus summary.
+    Stats {
+        /// Directory holding `companies.csv` and `events.csv`.
+        data: String,
+    },
+    /// Train LDA and print topics.
+    Topics {
+        /// Data directory.
+        data: String,
+        /// Number of latent topics.
+        topics: usize,
+        /// Gibbs sweeps.
+        iters: usize,
+    },
+    /// Similar companies + whitespace for one company.
+    Similar {
+        /// Data directory.
+        data: String,
+        /// D-U-N-S-like id of the query company.
+        company: u64,
+        /// Number of neighbours.
+        k: usize,
+        /// Number of whitespace products to print.
+        whitespace: usize,
+    },
+    /// Concept-drift check between two periods.
+    Drift {
+        /// Data directory.
+        data: String,
+        /// Start of the reference period.
+        reference: Month,
+        /// Start of the recent period.
+        recent: Month,
+        /// Length of each period in months.
+        months: u32,
+    },
+}
+
+/// Result of parsing: the command or a usage error.
+pub type ParsedArgs = Result<Command, String>;
+
+fn get_opt<'a>(pairs: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+fn parse_num<T: std::str::FromStr>(pairs: &[(String, String)], key: &str, default: T) -> Result<T, String> {
+    match get_opt(pairs, key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value {v:?} for --{key}")),
+    }
+}
+
+fn require<'a>(pairs: &'a [(String, String)], key: &str) -> Result<&'a str, String> {
+    get_opt(pairs, key).ok_or_else(|| format!("missing required option --{key}"))
+}
+
+fn parse_month_opt(pairs: &[(String, String)], key: &str) -> Result<Month, String> {
+    let v = require(pairs, key)?;
+    let (y, m) = v
+        .split_once('-')
+        .ok_or_else(|| format!("--{key} must be YYYY-MM, got {v:?}"))?;
+    let year: i32 = y.parse().map_err(|_| format!("bad year in --{key} {v:?}"))?;
+    let month: u32 = m.parse().map_err(|_| format!("bad month in --{key} {v:?}"))?;
+    if !(1..=12).contains(&month) {
+        return Err(format!("month out of range in --{key} {v:?}"));
+    }
+    Ok(Month::from_ym(year, month))
+}
+
+/// Parses command-line arguments (excluding the program name).
+///
+/// Options are `--key value` pairs following the subcommand; unknown keys
+/// are rejected so typos surface immediately.
+pub fn parse_args(argv: &[String]) -> ParsedArgs {
+    let Some(sub) = argv.first() else {
+        return Ok(Command::Help);
+    };
+    // Collect --key value pairs.
+    let rest = &argv[1..];
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let k = &rest[i];
+        let Some(key) = k.strip_prefix("--") else {
+            return Err(format!("expected an option starting with --, got {k:?}"));
+        };
+        let Some(v) = rest.get(i + 1) else {
+            return Err(format!("option --{key} is missing a value"));
+        };
+        pairs.push((key.to_string(), v.clone()));
+        i += 2;
+    }
+    let allow = |allowed: &[&str]| -> Result<(), String> {
+        for (k, _) in &pairs {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!("unknown option --{k} for `{sub}`"));
+            }
+        }
+        Ok(())
+    };
+
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => {
+            allow(&["companies", "seed", "out"])?;
+            Ok(Command::Generate {
+                companies: parse_num(&pairs, "companies", 2_000usize)?,
+                seed: parse_num(&pairs, "seed", 42u64)?,
+                out: require(&pairs, "out")?.to_string(),
+            })
+        }
+        "stats" => {
+            allow(&["data"])?;
+            Ok(Command::Stats { data: require(&pairs, "data")?.to_string() })
+        }
+        "topics" => {
+            allow(&["data", "topics", "iters"])?;
+            Ok(Command::Topics {
+                data: require(&pairs, "data")?.to_string(),
+                topics: parse_num(&pairs, "topics", 3usize)?,
+                iters: parse_num(&pairs, "iters", 150usize)?,
+            })
+        }
+        "similar" => {
+            allow(&["data", "company", "k", "whitespace"])?;
+            Ok(Command::Similar {
+                data: require(&pairs, "data")?.to_string(),
+                company: require(&pairs, "company")?
+                    .parse()
+                    .map_err(|_| "invalid value for --company".to_string())?,
+                k: parse_num(&pairs, "k", 10usize)?,
+                whitespace: parse_num(&pairs, "whitespace", 5usize)?,
+            })
+        }
+        "drift" => {
+            allow(&["data", "reference", "recent", "months"])?;
+            Ok(Command::Drift {
+                data: require(&pairs, "data")?.to_string(),
+                reference: parse_month_opt(&pairs, "reference")?,
+                recent: parse_month_opt(&pairs, "recent")?,
+                months: parse_num(&pairs, "months", 24u32)?,
+            })
+        }
+        other => Err(format!("unknown subcommand {other:?}; run `hlm help`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn generate_with_defaults_and_overrides() {
+        let cmd = parse_args(&argv(&["generate", "--out", "/tmp/x"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate { companies: 2_000, seed: 42, out: "/tmp/x".into() }
+        );
+        let cmd = parse_args(&argv(&[
+            "generate", "--companies", "500", "--seed", "7", "--out", "d",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, Command::Generate { companies: 500, seed: 7, out: "d".into() });
+    }
+
+    #[test]
+    fn missing_required_option_is_an_error() {
+        let e = parse_args(&argv(&["generate"])).unwrap_err();
+        assert!(e.contains("--out"), "{e}");
+        let e = parse_args(&argv(&["stats"])).unwrap_err();
+        assert!(e.contains("--data"));
+    }
+
+    #[test]
+    fn unknown_options_and_subcommands_rejected() {
+        let e = parse_args(&argv(&["stats", "--data", "d", "--bogus", "1"])).unwrap_err();
+        assert!(e.contains("--bogus"));
+        let e = parse_args(&argv(&["frobnicate"])).unwrap_err();
+        assert!(e.contains("unknown subcommand"));
+        let e = parse_args(&argv(&["stats", "data"])).unwrap_err();
+        assert!(e.contains("starting with --"));
+        let e = parse_args(&argv(&["stats", "--data"])).unwrap_err();
+        assert!(e.contains("missing a value"));
+    }
+
+    #[test]
+    fn drift_parses_months() {
+        let cmd = parse_args(&argv(&[
+            "drift",
+            "--data",
+            "d",
+            "--reference",
+            "2010-03",
+            "--recent",
+            "2014-01",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Drift { reference, recent, months, .. } => {
+                assert_eq!(reference, Month::from_ym(2010, 3));
+                assert_eq!(recent, Month::from_ym(2014, 1));
+                assert_eq!(months, 24);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let e = parse_args(&argv(&["drift", "--data", "d", "--reference", "201003", "--recent", "2014-01"]))
+            .unwrap_err();
+        assert!(e.contains("YYYY-MM"));
+    }
+
+    #[test]
+    fn similar_requires_company() {
+        let cmd = parse_args(&argv(&["similar", "--data", "d", "--company", "10042"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Similar { data: "d".into(), company: 10042, k: 10, whitespace: 5 }
+        );
+        assert!(parse_args(&argv(&["similar", "--data", "d"])).is_err());
+    }
+}

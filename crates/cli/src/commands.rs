@@ -1,0 +1,280 @@
+//! The `hlm` subcommand implementations. Each returns its output as a
+//! `String` so everything is testable without process spawning.
+
+use hlm_core::representations::{binary_docs, lda_representations};
+use hlm_core::{CompanyFilter, DistanceMetric, SalesApplication};
+use hlm_corpus::io::{from_csv, to_csv};
+use hlm_corpus::{Corpus, Month, TimeWindow, Vocabulary};
+use hlm_datagen::GeneratorConfig;
+use hlm_lda::{GibbsTrainer, LdaConfig, LdaModel};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Usage text.
+pub fn help_text() -> String {
+    "\
+hlm — hidden-layer models for company install bases
+
+USAGE:
+  hlm generate --out DIR [--companies N] [--seed S]
+      Generate a synthetic install-base corpus and write
+      DIR/companies.csv + DIR/events.csv.
+  hlm stats --data DIR
+      Corpus summary: sizes, industries, most/least common products.
+  hlm topics --data DIR [--topics K] [--iters N]
+      Train LDA and print the learned topics.
+  hlm similar --data DIR --company DUNS [--k K] [--whitespace W]
+      Top-K most similar companies and whitespace recommendations.
+  hlm drift --data DIR --reference YYYY-MM --recent YYYY-MM [--months M]
+      Chi-square concept-drift check between two M-month periods.
+  hlm help
+      This text.
+"
+    .to_string()
+}
+
+/// Loads a corpus from `DIR/companies.csv` + `DIR/events.csv`.
+fn load(data: &str) -> Result<Corpus, String> {
+    let dir = Path::new(data);
+    let companies = std::fs::read_to_string(dir.join("companies.csv"))
+        .map_err(|e| format!("cannot read {}/companies.csv: {e}", data))?;
+    let events = std::fs::read_to_string(dir.join("events.csv"))
+        .map_err(|e| format!("cannot read {}/events.csv: {e}", data))?;
+    from_csv(Vocabulary::standard(), &companies, &events).map_err(|e| e.to_string())
+}
+
+/// `hlm generate`.
+pub fn generate(companies: usize, seed: u64, out: &str) -> Result<String, String> {
+    if companies == 0 {
+        return Err("--companies must be positive".into());
+    }
+    let corpus = hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(companies, seed));
+    let (companies_csv, events_csv) = to_csv(&corpus);
+    let dir = Path::new(out);
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {out}: {e}"))?;
+    std::fs::write(dir.join("companies.csv"), companies_csv)
+        .map_err(|e| format!("cannot write companies.csv: {e}"))?;
+    std::fs::write(dir.join("events.csv"), events_csv)
+        .map_err(|e| format!("cannot write events.csv: {e}"))?;
+    Ok(format!(
+        "wrote {} companies ({} install events) to {out}/companies.csv and {out}/events.csv\n",
+        corpus.len(),
+        corpus.total_tokens()
+    ))
+}
+
+/// `hlm stats`.
+pub fn stats(data: &str) -> Result<String, String> {
+    let corpus = load(data)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "companies:            {}", corpus.len());
+    let _ = writeln!(out, "product categories:   {}", corpus.vocab().len());
+    let _ = writeln!(out, "install events:       {}", corpus.total_tokens());
+    let _ = writeln!(out, "mean products/company: {:.2}", corpus.mean_products_per_company());
+    let _ = writeln!(out, "industries (SIC2):    {}", corpus.industries().len());
+
+    let df = corpus.document_frequencies();
+    let mut order: Vec<usize> = (0..df.len()).collect();
+    order.sort_by_key(|&p| std::cmp::Reverse(df[p]));
+    let name = |p: usize| corpus.vocab().name(hlm_corpus::ProductId(p as u16));
+    let _ = writeln!(out, "most common products:");
+    for &p in order.iter().take(5) {
+        let _ = writeln!(out, "  {:<26} {:>6} companies", name(p), df[p]);
+    }
+    let _ = writeln!(out, "least common products:");
+    for &p in order.iter().rev().take(3) {
+        let _ = writeln!(out, "  {:<26} {:>6} companies", name(p), df[p]);
+    }
+
+    // Largest industries, with human-readable SIC names.
+    let mut by_industry: std::collections::HashMap<hlm_corpus::Sic2, usize> =
+        std::collections::HashMap::new();
+    for c in corpus.companies() {
+        *by_industry.entry(c.industry).or_insert(0) += 1;
+    }
+    let mut industries: Vec<(hlm_corpus::Sic2, usize)> = by_industry.into_iter().collect();
+    industries.sort_by_key(|&(s, n)| (std::cmp::Reverse(n), s));
+    let _ = writeln!(out, "largest industries:");
+    for (sic, n) in industries.into_iter().take(5) {
+        let _ = writeln!(
+            out,
+            "  {} {:<38} {:>6} companies",
+            sic,
+            hlm_corpus::sic::major_group_name(sic),
+            n
+        );
+    }
+    Ok(out)
+}
+
+fn train_lda(corpus: &Corpus, topics: usize, iters: usize) -> LdaModel {
+    let ids: Vec<_> = corpus.ids().collect();
+    let docs = binary_docs(corpus, &ids);
+    GibbsTrainer::new(LdaConfig {
+        n_topics: topics,
+        vocab_size: corpus.vocab().len(),
+        n_iters: iters.max(2),
+        burn_in: iters.max(2) / 2,
+        sample_lag: 5,
+        ..Default::default()
+    })
+    .fit(&docs)
+}
+
+/// `hlm topics`.
+pub fn topics(data: &str, topics: usize, iters: usize) -> Result<String, String> {
+    if topics == 0 {
+        return Err("--topics must be positive".into());
+    }
+    let corpus = load(data)?;
+    let model = train_lda(&corpus, topics, iters);
+    let mut out = String::new();
+    for k in 0..model.n_topics() {
+        let tops: Vec<String> = model
+            .top_products(k, 8)
+            .into_iter()
+            .map(|(w, p)| {
+                format!("{} ({:.2})", corpus.vocab().name(hlm_corpus::ProductId(w as u16)), p)
+            })
+            .collect();
+        let _ = writeln!(out, "topic {k}: {}", tops.join(", "));
+    }
+    Ok(out)
+}
+
+/// `hlm similar`.
+pub fn similar(data: &str, company: u64, k: usize, whitespace: usize) -> Result<String, String> {
+    let corpus = load(data)?;
+    let query = corpus
+        .iter()
+        .find(|(_, c)| c.duns == company)
+        .map(|(id, _)| id)
+        .ok_or_else(|| format!("no company with duns {company}"))?;
+
+    let ids: Vec<_> = corpus.ids().collect();
+    let docs = binary_docs(&corpus, &ids);
+    let model = train_lda(&corpus, 3, 120);
+    let reps = lda_representations(&model, &docs);
+    let app = SalesApplication::new(corpus, reps, DistanceMetric::Cosine);
+
+    let mut out = String::new();
+    let describe = |id: hlm_corpus::CompanyId| -> String {
+        let c = app.corpus().company(id);
+        format!("{} (duns {}, {}, {} products)", c.name, c.duns, c.industry, c.product_count())
+    };
+    let _ = writeln!(out, "query: {}", describe(query));
+    let _ = writeln!(out, "top-{k} similar companies:");
+    for s in app.find_similar(query, k, &CompanyFilter::default()) {
+        let _ = writeln!(out, "  d={:.4}  {}", s.distance, describe(s.id));
+    }
+    let recs = app.recommend_whitespace(query, k.max(10), &CompanyFilter::default());
+    let _ = writeln!(out, "whitespace recommendations:");
+    for r in recs.iter().take(whitespace) {
+        let _ = writeln!(
+            out,
+            "  {:<26} score {:.2} ({} similar owners)",
+            app.corpus().vocab().name(r.product),
+            r.score,
+            r.owners_among_similar
+        );
+    }
+    Ok(out)
+}
+
+/// `hlm drift`.
+pub fn drift(data: &str, reference: Month, recent: Month, months: u32) -> Result<String, String> {
+    if months == 0 {
+        return Err("--months must be positive".into());
+    }
+    let corpus = load(data)?;
+    let rep = hlm_eval::detect_drift(
+        &corpus,
+        TimeWindow::new(reference, months),
+        TimeWindow::new(recent, months),
+        0.05,
+    );
+    let mut out = String::new();
+    let _ = writeln!(out, "reference period: {} + {months} months ({} events)", reference, rep.reference_events);
+    let _ = writeln!(out, "recent period:    {} + {months} months ({} events)", recent, rep.recent_events);
+    let _ = writeln!(out, "chi-square:       {:.2} (df {})", rep.chi_square, rep.degrees_of_freedom);
+    let _ = writeln!(out, "p-value:          {:.6}", rep.p_value);
+    let _ = writeln!(out, "JS divergence:    {:.4} nats", rep.js_divergence);
+    let _ = writeln!(
+        out,
+        "verdict:          {}",
+        if rep.drifted {
+            "CONCEPT DRIFT detected — retrain the model"
+        } else {
+            "no significant drift"
+        }
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("hlm_cli_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_then_stats_round_trips() {
+        let dir = tmp_dir("stats");
+        let msg = generate(120, 7, &dir).expect("generate works");
+        assert!(msg.contains("120 companies"));
+        let s = stats(&dir).expect("stats works");
+        assert!(s.contains("companies:            120"), "{s}");
+        assert!(s.contains("OS") || s.contains("network_HW"), "popular products listed: {s}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn topics_prints_k_topics() {
+        let dir = tmp_dir("topics");
+        generate(150, 9, &dir).unwrap();
+        let out = topics(&dir, 3, 60).unwrap();
+        assert_eq!(out.lines().count(), 3);
+        assert!(out.contains("topic 0:"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn similar_finds_neighbours_and_whitespace() {
+        let dir = tmp_dir("similar");
+        generate(150, 11, &dir).unwrap();
+        // Company duns are 10_000 + index in the generator.
+        let out = similar(&dir, 10_005, 5, 3).unwrap();
+        assert!(out.contains("top-5 similar companies"), "{out}");
+        assert!(out.matches("d=").count() == 5, "{out}");
+        assert!(out.contains("whitespace recommendations"));
+        let err = similar(&dir, 999, 5, 3).unwrap_err();
+        assert!(err.contains("no company"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drift_detects_stage_shift_on_generated_data() {
+        let dir = tmp_dir("drift");
+        generate(400, 13, &dir).unwrap();
+        let out = drift(&dir, Month::from_ym(1995, 1), Month::from_ym(2013, 1), 24).unwrap();
+        assert!(out.contains("CONCEPT DRIFT"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_data_directory_is_a_clean_error() {
+        let e = stats("/no/such/dir").unwrap_err();
+        assert!(e.contains("companies.csv"));
+        assert!(generate(0, 1, "/tmp/x").is_err());
+    }
+
+    #[test]
+    fn run_dispatches_help() {
+        let out = crate::run(&crate::Command::Help).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+}

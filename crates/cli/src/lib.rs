@@ -1,0 +1,39 @@
+//! Implementation of the `hlm` command-line tool.
+//!
+//! Subcommands (see `hlm help`):
+//!
+//! * `generate` — write a synthetic install-base corpus as CSV,
+//! * `stats` — corpus summary (sizes, industries, popular products),
+//! * `topics` — train LDA and print the learned topics,
+//! * `similar` — top-k similar companies + whitespace recommendations,
+//! * `drift` — chi-square concept-drift check between two periods.
+//!
+//! The argument parser is deliberately dependency-free; every command is a
+//! library function returning its output as a `String` so the whole surface
+//! is unit-testable.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, Command, ParsedArgs};
+
+/// Entry point shared by `main` and the tests: dispatches a parsed command.
+///
+/// # Errors
+/// Returns a human-readable message on any failure.
+pub fn run(cmd: &Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(commands::help_text()),
+        Command::Generate { companies, seed, out } => {
+            commands::generate(*companies, *seed, out)
+        }
+        Command::Stats { data } => commands::stats(data),
+        Command::Topics { data, topics, iters } => commands::topics(data, *topics, *iters),
+        Command::Similar { data, company, k, whitespace } => {
+            commands::similar(data, *company, *k, *whitespace)
+        }
+        Command::Drift { data, reference, recent, months } => {
+            commands::drift(data, *reference, *recent, *months)
+        }
+    }
+}

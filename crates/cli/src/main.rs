@@ -1,0 +1,20 @@
+//! The `hlm` binary: thin dispatcher over the library (see `hlm help`).
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match hlm_cli::parse_args(&argv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `hlm help` for usage");
+            std::process::exit(2);
+        }
+    };
+    match hlm_cli::run(&cmd) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Lloyd's k-means with k-means++ initialization.
+
+use hlm_linalg::dist::sample_categorical;
+use hlm_linalg::vector::euclidean_distance_sq;
+use hlm_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// k-means options.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KmeansOptions {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Stop when the total centroid movement falls below this.
+    pub tol: f64,
+    /// RNG seed (k-means++ seeding and empty-cluster reseeding).
+    pub seed: u64,
+}
+
+impl KmeansOptions {
+    /// Sensible defaults for the given `k`.
+    pub fn new(k: usize) -> Self {
+        KmeansOptions { k, max_iters: 100, tol: 1e-7, seed: 42 }
+    }
+}
+
+/// A k-means clustering result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KmeansResult {
+    /// `k x dim` centroid matrix.
+    pub centroids: Matrix,
+    /// Cluster index of every input point.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances of points to their centroids.
+    pub inertia: f64,
+    /// Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+/// Runs k-means on the rows of `points`.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > n` or `points` is empty.
+pub fn kmeans(points: &Matrix, opts: &KmeansOptions) -> KmeansResult {
+    let n = points.rows();
+    let k = opts.k;
+    assert!(n > 0, "no points to cluster");
+    assert!(k >= 1, "k must be at least 1");
+    assert!(k <= n, "k = {k} exceeds the number of points {n}");
+    let dim = points.cols();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    // k-means++ seeding.
+    let mut centroids = Matrix::zeros(k, dim);
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(points.row(first));
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| euclidean_distance_sq(points.row(i), centroids.row(0)))
+        .collect();
+    for c in 1..k {
+        let total: f64 = d2.iter().sum();
+        let next = if total > 0.0 {
+            sample_categorical(&mut rng, &d2)
+        } else {
+            rng.gen_range(0..n) // all points identical; any choice works
+        };
+        centroids.row_mut(c).copy_from_slice(points.row(next));
+        for (i, d) in d2.iter_mut().enumerate() {
+            let nd = euclidean_distance_sq(points.row(i), centroids.row(c));
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+    for iter in 0..opts.max_iters {
+        iterations = iter + 1;
+        // Assignment step.
+        for i in 0..n {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let d = euclidean_distance_sq(points.row(i), centroids.row(c));
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assignments[i] = best;
+        }
+        // Update step.
+        let mut sums = Matrix::zeros(k, dim);
+        let mut counts = vec![0usize; k];
+        for (i, &a) in assignments.iter().enumerate() {
+            counts[a] += 1;
+            for (s, &p) in sums.row_mut(a).iter_mut().zip(points.row(i)) {
+                *s += p;
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Empty cluster: reseed at the point farthest from its
+                // centroid.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = euclidean_distance_sq(
+                            points.row(a),
+                            centroids.row(assignments[a]),
+                        );
+                        let db = euclidean_distance_sq(
+                            points.row(b),
+                            centroids.row(assignments[b]),
+                        );
+                        da.partial_cmp(&db).expect("finite distances")
+                    })
+                    .expect("n > 0");
+                movement += euclidean_distance_sq(centroids.row(c), points.row(far)).sqrt();
+                centroids.row_mut(c).copy_from_slice(points.row(far));
+                continue;
+            }
+            let inv = 1.0 / counts[c] as f64;
+            let new_row: Vec<f64> = sums.row(c).iter().map(|&s| s * inv).collect();
+            movement += euclidean_distance_sq(centroids.row(c), &new_row).sqrt();
+            centroids.row_mut(c).copy_from_slice(&new_row);
+        }
+        if movement < opts.tol {
+            break;
+        }
+    }
+
+    // Final assignment against the last centroids.
+    let mut inertia = 0.0;
+    for i in 0..n {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for c in 0..k {
+            let d = euclidean_distance_sq(points.row(i), centroids.row(c));
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        assignments[i] = best;
+        inertia += best_d;
+    }
+    KmeansResult { centroids, assignments, inertia, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three tight blobs at (0,0), (10,0), (0,10).
+    fn blobs() -> Matrix {
+        let mut rows = Vec::new();
+        let centers = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+        let mut state = 12345u64;
+        let mut noise = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.8
+        };
+        for &(cx, cy) in &centers {
+            for _ in 0..20 {
+                rows.push(vec![cx + noise(), cy + noise()]);
+            }
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Matrix::from_rows(&refs)
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let points = blobs();
+        let res = kmeans(&points, &KmeansOptions::new(3));
+        // Points 0..20, 20..40, 40..60 must each share one label.
+        for group in 0..3 {
+            let label = res.assignments[group * 20];
+            for i in group * 20..(group + 1) * 20 {
+                assert_eq!(res.assignments[i], label, "point {i} strayed");
+            }
+        }
+        assert!(res.inertia < 60.0 * 0.5, "inertia {}", res.inertia);
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let points = blobs();
+        let i1 = kmeans(&points, &KmeansOptions::new(1)).inertia;
+        let i3 = kmeans(&points, &KmeansOptions::new(3)).inertia;
+        let i10 = kmeans(&points, &KmeansOptions::new(10)).inertia;
+        assert!(i3 < i1 * 0.2);
+        assert!(i10 <= i3);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let points = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0], &[2.0, 0.0]]);
+        let res = kmeans(&points, &KmeansOptions::new(3));
+        assert!(res.inertia < 1e-12);
+        let mut labels = res.assignments.clone();
+        labels.sort_unstable();
+        assert_eq!(labels, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let points = blobs();
+        let a = kmeans(&points, &KmeansOptions::new(3));
+        let b = kmeans(&points, &KmeansOptions::new(3));
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn identical_points_are_handled() {
+        let row: &[f64] = &[1.0, 2.0];
+        let points = Matrix::from_rows(&[row; 5]);
+        let res = kmeans(&points, &KmeansOptions::new(2));
+        assert!(res.inertia < 1e-12);
+        assert_eq!(res.assignments.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the number of points")]
+    fn rejects_k_above_n() {
+        let points = Matrix::from_rows(&[&[0.0], &[1.0]]);
+        kmeans(&points, &KmeansOptions::new(5));
+    }
+}

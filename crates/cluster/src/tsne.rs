@@ -1,0 +1,309 @@
+//! Exact t-SNE (van der Maaten & Hinton 2008).
+//!
+//! Projects high-dimensional points to 2-D for the product-embedding maps of
+//! Figures 8–9. The point sets involved are tiny (38 products), so the exact
+//! O(n²) formulation with early exaggeration and momentum is the right
+//! implementation — no Barnes–Hut tree needed.
+
+use hlm_linalg::dist::sample_standard_normal;
+use hlm_linalg::vector::euclidean_distance_sq;
+use hlm_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// t-SNE options.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TsneOptions {
+    /// Output dimensionality (2 for the paper's maps).
+    pub out_dims: usize,
+    /// Target perplexity of the input-space conditional distributions.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub n_iters: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied to `P` for the first quarter of the
+    /// iterations.
+    pub exaggeration: f64,
+    /// RNG seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneOptions {
+    fn default() -> Self {
+        TsneOptions {
+            out_dims: 2,
+            perplexity: 5.0,
+            n_iters: 500,
+            learning_rate: 100.0,
+            exaggeration: 12.0,
+            seed: 42,
+        }
+    }
+}
+
+impl TsneOptions {
+    /// Checks internal consistency against the number of points.
+    ///
+    /// # Panics
+    /// Panics on nonsensical settings.
+    fn validate(&self, n: usize) {
+        assert!(self.out_dims >= 1, "need at least one output dimension");
+        assert!(n >= 3, "t-SNE needs at least 3 points, got {n}");
+        assert!(
+            self.perplexity > 0.0 && self.perplexity < n as f64,
+            "perplexity must be in (0, n)"
+        );
+        assert!(self.n_iters >= 10, "too few iterations");
+        assert!(self.learning_rate > 0.0 && self.exaggeration >= 1.0);
+    }
+}
+
+/// Binary-searches the Gaussian bandwidth for row `i` so the conditional
+/// distribution's perplexity matches the target; returns `p_{j|i}`.
+fn conditional_probs(d2_row: &[f64], i: usize, target_perplexity: f64) -> Vec<f64> {
+    let n = d2_row.len();
+    let target_entropy = target_perplexity.ln();
+    let mut beta = 1.0; // 1 / (2σ²)
+    let (mut beta_min, mut beta_max) = (f64::NEG_INFINITY, f64::INFINITY);
+    let mut probs = vec![0.0; n];
+    for _ in 0..64 {
+        let mut sum = 0.0;
+        for (j, &d2) in d2_row.iter().enumerate() {
+            probs[j] = if j == i { 0.0 } else { (-beta * d2).exp() };
+            sum += probs[j];
+        }
+        if sum <= 0.0 {
+            // All neighbours infinitely far at this beta: soften.
+            beta /= 10.0;
+            continue;
+        }
+        // Shannon entropy of the normalized distribution.
+        let mut entropy = 0.0;
+        for (j, p) in probs.iter_mut().enumerate() {
+            *p /= sum;
+            if *p > 0.0 {
+                entropy -= *p * p.ln();
+            }
+            let _ = j;
+        }
+        let diff = entropy - target_entropy;
+        if diff.abs() < 1e-5 {
+            break;
+        }
+        if diff > 0.0 {
+            beta_min = beta;
+            beta = if beta_max.is_finite() { (beta + beta_max) / 2.0 } else { beta * 2.0 };
+        } else {
+            beta_max = beta;
+            beta = if beta_min.is_finite() { (beta + beta_min) / 2.0 } else { beta / 2.0 };
+        }
+    }
+    probs
+}
+
+/// Runs exact t-SNE on the rows of `points`; returns an `n x out_dims`
+/// embedding.
+///
+/// # Panics
+/// Panics on invalid options (including `perplexity >= n`).
+pub fn tsne(points: &Matrix, opts: &TsneOptions) -> Matrix {
+    let n = points.rows();
+    opts.validate(n);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    // Pairwise squared distances.
+    let mut d2 = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i + 1..n {
+            let d = euclidean_distance_sq(points.row(i), points.row(j));
+            d2.set(i, j, d);
+            d2.set(j, i, d);
+        }
+    }
+
+    // Symmetrized joint P.
+    let mut p = Matrix::zeros(n, n);
+    for i in 0..n {
+        let cond = conditional_probs(d2.row(i), i, opts.perplexity);
+        for (j, &c) in cond.iter().enumerate() {
+            p.add_at(i, j, c);
+            p.add_at(j, i, c);
+        }
+    }
+    let p_sum = p.sum();
+    p.scale_mut(1.0 / p_sum);
+    let p = p.map(|x| x.max(1e-12));
+
+    // Initial layout.
+    let d_out = opts.out_dims;
+    let mut y = Matrix::from_fn(n, d_out, |_, _| 1e-2 * sample_standard_normal(&mut rng));
+    let mut velocity = Matrix::zeros(n, d_out);
+    let mut gains = Matrix::filled(n, d_out, 1.0);
+
+    let exag_end = opts.n_iters / 4;
+    let mut q = Matrix::zeros(n, n);
+    for iter in 0..opts.n_iters {
+        let exaggeration = if iter < exag_end { opts.exaggeration } else { 1.0 };
+        let momentum = if iter < exag_end { 0.5 } else { 0.8 };
+
+        // Student-t affinities in the embedding.
+        let mut q_sum = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                let w = 1.0 / (1.0 + euclidean_distance_sq(y.row(i), y.row(j)));
+                q.set(i, j, w);
+                q.set(j, i, w);
+                q_sum += 2.0 * w;
+            }
+        }
+
+        // Gradient: 4 Σ_j (exag·p_ij − q_ij) w_ij (y_i − y_j).
+        let mut grad = Matrix::zeros(n, d_out);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w = q.get(i, j);
+                let q_ij = (w / q_sum).max(1e-12);
+                let coeff = 4.0 * (exaggeration * p.get(i, j) - q_ij) * w;
+                for k in 0..d_out {
+                    grad.add_at(i, k, coeff * (y.get(i, k) - y.get(j, k)));
+                }
+            }
+        }
+
+        // Adaptive gains + momentum update (van der Maaten's scheme).
+        for i in 0..n {
+            for k in 0..d_out {
+                let g = grad.get(i, k);
+                let v = velocity.get(i, k);
+                let same_sign = g.signum() == v.signum();
+                let gain =
+                    (if same_sign { gains.get(i, k) * 0.8 } else { gains.get(i, k) + 0.2 })
+                        .max(0.01);
+                gains.set(i, k, gain);
+                let new_v = momentum * v - opts.learning_rate * gain * g;
+                velocity.set(i, k, new_v);
+                y.add_at(i, k, new_v);
+            }
+        }
+
+        // Re-center to remove drift.
+        for k in 0..d_out {
+            let mean: f64 = (0..n).map(|i| y.get(i, k)).sum::<f64>() / n as f64;
+            for i in 0..n {
+                y.add_at(i, k, -mean);
+            }
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two 10-point clusters in 5-D, far apart.
+    fn clustered_points() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let mut state = 77u64;
+        let mut noise = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.6
+        };
+        for c in 0..2 {
+            for _ in 0..10 {
+                let base = c as f64 * 20.0;
+                rows.push(vec![base + noise(), noise(), noise(), base + noise(), noise()]);
+                labels.push(c);
+            }
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Matrix::from_rows(&refs), labels)
+    }
+
+    #[test]
+    fn preserves_cluster_separation() {
+        let (points, labels) = clustered_points();
+        let opts = TsneOptions { n_iters: 400, perplexity: 4.0, ..Default::default() };
+        let emb = tsne(&points, &opts);
+        assert_eq!(emb.shape(), (20, 2));
+        assert!(emb.is_finite());
+
+        // Mean intra-cluster distance must be well below inter-cluster.
+        let mut intra = (0.0, 0usize);
+        let mut inter = (0.0, 0usize);
+        for i in 0..20 {
+            for j in i + 1..20 {
+                let d = euclidean_distance_sq(emb.row(i), emb.row(j)).sqrt();
+                if labels[i] == labels[j] {
+                    intra.0 += d;
+                    intra.1 += 1;
+                } else {
+                    inter.0 += d;
+                    inter.1 += 1;
+                }
+            }
+        }
+        let intra_mean = intra.0 / intra.1 as f64;
+        let inter_mean = inter.0 / inter.1 as f64;
+        assert!(
+            inter_mean > 2.0 * intra_mean,
+            "inter {inter_mean} vs intra {intra_mean}"
+        );
+    }
+
+    #[test]
+    fn conditional_probs_hit_target_perplexity() {
+        // A ring of equidistant-ish points: check entropy calibration.
+        let d2_row: Vec<f64> = (0..20).map(|j| if j == 3 { 0.0 } else { (j as f64 + 1.0) * 0.7 }).collect();
+        let target = 6.0;
+        let probs = conditional_probs(&d2_row, 3, target);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(probs[3], 0.0);
+        let entropy: f64 = -probs.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f64>();
+        assert!(
+            (entropy.exp() - target).abs() < 0.05,
+            "effective perplexity {}",
+            entropy.exp()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (points, _) = clustered_points();
+        let opts = TsneOptions { n_iters: 100, perplexity: 4.0, ..Default::default() };
+        let a = tsne(&points, &opts);
+        let b = tsne(&points, &opts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn output_is_centered() {
+        let (points, _) = clustered_points();
+        let opts = TsneOptions { n_iters: 50, perplexity: 4.0, ..Default::default() };
+        let emb = tsne(&points, &opts);
+        for k in 0..2 {
+            let mean: f64 = (0..20).map(|i| emb.get(i, k)).sum::<f64>() / 20.0;
+            assert!(mean.abs() < 1e-9, "dim {k} mean {mean}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "perplexity must be in")]
+    fn rejects_perplexity_above_n() {
+        let points = Matrix::zeros(5, 3);
+        tsne(&points, &TsneOptions { perplexity: 10.0, ..Default::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 points")]
+    fn rejects_too_few_points() {
+        let points = Matrix::zeros(2, 3);
+        tsne(&points, &TsneOptions { perplexity: 1.0, ..Default::default() });
+    }
+}

@@ -1,0 +1,334 @@
+//! The sales application of Section 6.
+//!
+//! The deployed tool searches for the top-k companies most similar to a
+//! given customer (by their LDA representations of the HG input), filters
+//! them by industry, location, employee count and revenue, and recommends
+//! the products that similar companies own but the customer does not — the
+//! "whitespace" enriched from internal data. Here the corpus itself plays
+//! the role of the internal install-base database.
+
+use crate::similarity::{top_k_similar, DistanceMetric};
+use hlm_corpus::{CompanyId, Corpus, ProductId, Sic2};
+use hlm_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Filters applied to the similar-company result list.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CompanyFilter {
+    /// Keep only this SIC2 industry.
+    pub industry: Option<Sic2>,
+    /// Keep only this country.
+    pub country: Option<u16>,
+    /// Inclusive employee range.
+    pub employees: Option<(u32, u32)>,
+    /// Inclusive revenue range (millions USD).
+    pub revenue_musd: Option<(f64, f64)>,
+}
+
+impl CompanyFilter {
+    /// True when the company passes every set filter.
+    pub fn matches(&self, corpus: &Corpus, id: CompanyId) -> bool {
+        let c = corpus.company(id);
+        if let Some(ind) = self.industry {
+            if c.industry != ind {
+                return false;
+            }
+        }
+        if let Some(country) = self.country {
+            if c.country != country {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.employees {
+            if c.employees < lo || c.employees > hi {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.revenue_musd {
+            if c.revenue_musd < lo || c.revenue_musd > hi {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One similar company in a search result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimilarCompany {
+    /// The company.
+    pub id: CompanyId,
+    /// Distance to the query under the application's metric (smaller is
+    /// more similar).
+    pub distance: f64,
+}
+
+/// A whitespace recommendation: a product the query company lacks, scored
+/// by how prevalent it is among the similar companies (similarity-weighted).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WhitespaceRecommendation {
+    /// Recommended product.
+    pub product: ProductId,
+    /// Similarity-weighted prevalence among the top-k similar companies, in
+    /// `(0, 1]`.
+    pub score: f64,
+    /// How many of the similar companies own the product.
+    pub owners_among_similar: usize,
+}
+
+/// The similarity-search + recommendation tool.
+///
+/// Construction takes the corpus together with a representation matrix whose
+/// row `i` is company `i`'s features `B_i` — the deployment uses LDA
+/// representations, but any matrix from
+/// [`crate::representations`] works, which is exactly how the
+/// representation ablations are run.
+pub struct SalesApplication {
+    corpus: Corpus,
+    representations: Matrix,
+    metric: DistanceMetric,
+    index: Option<(crate::index::ClusteredIndex, usize)>,
+}
+
+impl SalesApplication {
+    /// Creates the application.
+    ///
+    /// # Panics
+    /// Panics unless `representations` has one row per corpus company.
+    pub fn new(corpus: Corpus, representations: Matrix, metric: DistanceMetric) -> Self {
+        assert_eq!(
+            representations.rows(),
+            corpus.len(),
+            "one representation row per company required"
+        );
+        SalesApplication { corpus, representations, metric, index: None }
+    }
+
+    /// Switches similar-company search to the IVF [`ClusteredIndex`] with
+    /// `n_cells` coarse cells, probing `n_probe` cells per query — the
+    /// at-scale configuration for corpora where the exact scan is too slow
+    /// (the paper's deployment handles ~1M companies). With
+    /// `n_probe == n_cells` results are identical to the exact scan.
+    ///
+    /// # Panics
+    /// Panics if `n_cells` is 0 or exceeds the corpus size, or `n_probe`
+    /// is 0.
+    pub fn with_index(mut self, n_cells: usize, n_probe: usize, seed: u64) -> Self {
+        assert!(n_probe >= 1, "must probe at least one cell");
+        let index = crate::index::ClusteredIndex::build(
+            self.representations.clone(),
+            n_cells,
+            self.metric,
+            seed,
+        );
+        self.index = Some((index, n_probe));
+        self
+    }
+
+    /// The underlying corpus.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// Top-k companies most similar to `query`, after filtering. Filters are
+    /// applied before ranking so the caller always gets up to `k` matches.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range query id.
+    pub fn find_similar(
+        &self,
+        query: CompanyId,
+        k: usize,
+        filter: &CompanyFilter,
+    ) -> Vec<SimilarCompany> {
+        // Rank all candidates, then filter; the candidate pool equals the
+        // corpus, so rank once with k = n. With an IVF index attached, the
+        // candidate pool is the probed cells instead of the full corpus.
+        let n = self.corpus.len().saturating_sub(1);
+        let all = match &self.index {
+            Some((index, n_probe)) => index.query_row(query.index(), n, *n_probe),
+            None => top_k_similar(&self.representations, query.index(), n, self.metric),
+        };
+        all.into_iter()
+            .map(|(row, distance)| SimilarCompany { id: CompanyId(row as u32), distance })
+            .filter(|s| filter.matches(&self.corpus, s.id))
+            .take(k)
+            .collect()
+    }
+
+    /// Whitespace recommendations for `query`: products owned by its top-k
+    /// similar companies but absent from its own install base, scored by
+    /// similarity-weighted prevalence, best first.
+    pub fn recommend_whitespace(
+        &self,
+        query: CompanyId,
+        k_similar: usize,
+        filter: &CompanyFilter,
+    ) -> Vec<WhitespaceRecommendation> {
+        let similar = self.find_similar(query, k_similar, filter);
+        if similar.is_empty() {
+            return Vec::new();
+        }
+        let m = self.corpus.vocab().len();
+        let query_owned: Vec<bool> = {
+            let mut owned = vec![false; m];
+            for p in self.corpus.company(query).product_set() {
+                owned[p.index()] = true;
+            }
+            owned
+        };
+        // Similarity weight: 1 / (1 + distance) keeps weights positive and
+        // bounded for any metric.
+        let mut weight_sum = 0.0;
+        let mut scores = vec![0.0f64; m];
+        let mut owners = vec![0usize; m];
+        for s in &similar {
+            let w = 1.0 / (1.0 + s.distance);
+            weight_sum += w;
+            for p in self.corpus.company(s.id).product_set() {
+                scores[p.index()] += w;
+                owners[p.index()] += 1;
+            }
+        }
+        let mut out: Vec<WhitespaceRecommendation> = scores
+            .into_iter()
+            .enumerate()
+            .filter(|&(p, s)| !query_owned[p] && s > 0.0)
+            .map(|(p, s)| WhitespaceRecommendation {
+                product: ProductId(p as u16),
+                score: s / weight_sum,
+                owners_among_similar: owners[p],
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("finite scores")
+                .then(a.product.cmp(&b.product))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::representations::{binary_docs, lda_representations};
+    use hlm_datagen::GeneratorConfig;
+    use hlm_lda::{GibbsTrainer, LdaConfig};
+
+    fn app() -> SalesApplication {
+        let corpus = hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(150, 21));
+        let ids: Vec<CompanyId> = corpus.ids().collect();
+        let docs = binary_docs(&corpus, &ids);
+        let lda = GibbsTrainer::new(LdaConfig {
+            n_topics: 3,
+            vocab_size: 38,
+            n_iters: 40,
+            burn_in: 20,
+            sample_lag: 5,
+            ..Default::default()
+        })
+        .fit(&docs);
+        let reps = lda_representations(&lda, &docs);
+        SalesApplication::new(corpus, reps, DistanceMetric::Cosine)
+    }
+
+    #[test]
+    fn find_similar_returns_k_sorted_matches() {
+        let app = app();
+        let res = app.find_similar(CompanyId(0), 5, &CompanyFilter::default());
+        assert_eq!(res.len(), 5);
+        for pair in res.windows(2) {
+            assert!(pair[0].distance <= pair[1].distance);
+        }
+        assert!(res.iter().all(|s| s.id != CompanyId(0)), "query excluded");
+    }
+
+    #[test]
+    fn filters_restrict_results() {
+        let app = app();
+        let target_industry = app.corpus().company(CompanyId(1)).industry;
+        let filter = CompanyFilter { industry: Some(target_industry), ..Default::default() };
+        let res = app.find_similar(CompanyId(0), 10, &filter);
+        for s in &res {
+            assert_eq!(app.corpus().company(s.id).industry, target_industry);
+        }
+        // An impossible filter gives no results.
+        let impossible =
+            CompanyFilter { employees: Some((u32::MAX - 1, u32::MAX)), ..Default::default() };
+        assert!(app.find_similar(CompanyId(0), 10, &impossible).is_empty());
+    }
+
+    #[test]
+    fn whitespace_excludes_owned_products() {
+        let app = app();
+        let query = CompanyId(3);
+        let owned = app.corpus().company(query).product_set();
+        let recs = app.recommend_whitespace(query, 10, &CompanyFilter::default());
+        assert!(!recs.is_empty(), "some whitespace should exist");
+        for r in &recs {
+            assert!(!owned.contains(&r.product), "{} is already owned", r.product);
+            assert!(r.score > 0.0 && r.score <= 1.0 + 1e-9);
+            assert!(r.owners_among_similar >= 1);
+        }
+        // Best-first ordering.
+        for pair in recs.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn whitespace_scores_reflect_prevalence() {
+        let app = app();
+        let recs = app.recommend_whitespace(CompanyId(5), 20, &CompanyFilter::default());
+        if recs.len() >= 2 {
+            let first = &recs[0];
+            let last = recs.last().unwrap();
+            assert!(first.owners_among_similar >= last.owners_among_similar);
+        }
+    }
+
+    #[test]
+    fn indexed_search_matches_exact_with_full_probe_and_is_sane_pruned() {
+        let exact_app = app();
+        // Rebuild the same app with an index (full probe = exact).
+        let corpus = exact_app.corpus().clone();
+        let ids: Vec<CompanyId> = corpus.ids().collect();
+        let docs = binary_docs(&corpus, &ids);
+        let lda = GibbsTrainer::new(LdaConfig {
+            n_topics: 3,
+            vocab_size: 38,
+            n_iters: 40,
+            burn_in: 20,
+            sample_lag: 5,
+            ..Default::default()
+        })
+        .fit(&docs);
+        let reps = lda_representations(&lda, &docs);
+        let indexed = SalesApplication::new(corpus.clone(), reps.clone(), DistanceMetric::Cosine)
+            .with_index(8, 8, 1);
+        let exact = exact_app.find_similar(CompanyId(3), 5, &CompanyFilter::default());
+        let approx = indexed.find_similar(CompanyId(3), 5, &CompanyFilter::default());
+        assert_eq!(
+            exact.iter().map(|s| s.id).collect::<Vec<_>>(),
+            approx.iter().map(|s| s.id).collect::<Vec<_>>(),
+            "full probe equals exact scan"
+        );
+        // Pruned probing still returns k sorted candidates.
+        let pruned = SalesApplication::new(corpus, reps, DistanceMetric::Cosine)
+            .with_index(8, 2, 1);
+        let res = pruned.find_similar(CompanyId(3), 5, &CompanyFilter::default());
+        assert_eq!(res.len(), 5);
+        for pair in res.windows(2) {
+            assert!(pair[0].distance <= pair[1].distance);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one representation row per company")]
+    fn rejects_mismatched_representation_matrix() {
+        let corpus = hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(10, 1));
+        SalesApplication::new(corpus, Matrix::zeros(5, 3), DistanceMetric::Cosine);
+    }
+}

@@ -1,0 +1,204 @@
+//! Cluster-pruned approximate nearest-neighbour index for similar-company
+//! search.
+//!
+//! Section 2 of the paper names "the computational complexity of the
+//! similarity search problem due to the large number of companies" as a core
+//! challenge — with ~1M companies, the brute-force scan of
+//! [`crate::top_k_similar`] is the bottleneck of the deployed tool. This
+//! index applies the standard IVF recipe: k-means the representation rows
+//! into coarse cells and, at query time, scan only the `n_probe` cells whose
+//! centroids are closest to the query. With `n_probe == n_cells` results are
+//! exactly the brute-force ranking.
+
+use crate::similarity::DistanceMetric;
+use hlm_cluster::{kmeans, KmeansOptions};
+use hlm_linalg::Matrix;
+
+/// An inverted-file (IVF) similarity index over representation rows.
+pub struct ClusteredIndex {
+    reps: Matrix,
+    centroids: Matrix,
+    cells: Vec<Vec<usize>>,
+    metric: DistanceMetric,
+}
+
+impl ClusteredIndex {
+    /// Builds the index by k-means-partitioning the rows of `reps` into
+    /// `n_cells` coarse cells.
+    ///
+    /// # Panics
+    /// Panics if `reps` is empty or `n_cells` is 0 or exceeds the row count.
+    pub fn build(reps: Matrix, n_cells: usize, metric: DistanceMetric, seed: u64) -> Self {
+        assert!(reps.rows() > 0, "empty representation matrix");
+        assert!(
+            n_cells >= 1 && n_cells <= reps.rows(),
+            "n_cells must be in 1..=rows"
+        );
+        let res = kmeans(&reps, &KmeansOptions { k: n_cells, max_iters: 50, tol: 1e-6, seed });
+        let mut cells = vec![Vec::new(); n_cells];
+        for (row, &cell) in res.assignments.iter().enumerate() {
+            cells[cell].push(row);
+        }
+        ClusteredIndex { reps, centroids: res.centroids, cells, metric }
+    }
+
+    /// Number of coarse cells.
+    pub fn n_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        self.reps.rows()
+    }
+
+    /// True when the index holds no rows (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.reps.rows() == 0
+    }
+
+    /// Top-`k` most similar rows to an arbitrary query vector, scanning the
+    /// `n_probe` nearest cells. Returns `(row, distance)` ascending.
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch or `n_probe == 0`.
+    pub fn query(&self, vector: &[f64], k: usize, n_probe: usize) -> Vec<(usize, f64)> {
+        assert_eq!(vector.len(), self.reps.cols(), "query dimension mismatch");
+        assert!(n_probe >= 1, "must probe at least one cell");
+        // Rank cells by centroid distance.
+        let mut cell_order: Vec<(usize, f64)> = (0..self.cells.len())
+            .map(|c| (c, self.metric.distance(vector, self.centroids.row(c))))
+            .collect();
+        cell_order
+            .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances").then(a.0.cmp(&b.0)));
+
+        let mut candidates: Vec<(usize, f64)> = Vec::new();
+        for &(c, _) in cell_order.iter().take(n_probe) {
+            for &row in &self.cells[c] {
+                candidates.push((row, self.metric.distance(vector, self.reps.row(row))));
+            }
+        }
+        candidates
+            .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances").then(a.0.cmp(&b.0)));
+        candidates.truncate(k);
+        candidates
+    }
+
+    /// Top-`k` most similar rows to an indexed row (the row itself is
+    /// excluded).
+    ///
+    /// # Panics
+    /// Panics if `row` is out of range or `n_probe == 0`.
+    pub fn query_row(&self, row: usize, k: usize, n_probe: usize) -> Vec<(usize, f64)> {
+        assert!(row < self.reps.rows(), "row out of range");
+        let mut out = self.query(self.reps.row(row), k + 1, n_probe);
+        out.retain(|&(r, _)| r != row);
+        out.truncate(k);
+        out
+    }
+
+    /// Recall@k of the pruned search against the exact scan, averaged over
+    /// `queries` — the quality diagnostic for choosing `n_probe`.
+    pub fn recall_at_k(&self, queries: &[usize], k: usize, n_probe: usize) -> f64 {
+        if queries.is_empty() {
+            return f64::NAN;
+        }
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for &q in queries {
+            let exact = crate::similarity::top_k_similar(&self.reps, q, k, self.metric);
+            let approx = self.query_row(q, k, n_probe);
+            let approx_set: std::collections::HashSet<usize> =
+                approx.iter().map(|&(r, _)| r).collect();
+            hits += exact.iter().filter(|&&(r, _)| approx_set.contains(&r)).count();
+            total += exact.len();
+        }
+        hits as f64 / total.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Clustered points: three groups of 30 rows in 4-D.
+    fn clustered_reps() -> Matrix {
+        let mut state = 42u64;
+        let mut noise = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.4
+        };
+        Matrix::from_fn(90, 4, |i, j| {
+            let group = i / 30;
+            let base = if j == group { 5.0 } else { 0.0 };
+            base + noise()
+        })
+    }
+
+    #[test]
+    fn full_probe_matches_brute_force_exactly() {
+        let reps = clustered_reps();
+        let index = ClusteredIndex::build(reps.clone(), 6, DistanceMetric::Euclidean, 1);
+        for q in [0usize, 31, 89] {
+            let exact = crate::similarity::top_k_similar(&reps, q, 10, DistanceMetric::Euclidean);
+            let approx = index.query_row(q, 10, index.n_cells());
+            assert_eq!(
+                exact.iter().map(|&(r, _)| r).collect::<Vec<_>>(),
+                approx.iter().map(|&(r, _)| r).collect::<Vec<_>>(),
+                "query {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_probe_has_high_recall_on_clustered_data() {
+        let reps = clustered_reps();
+        let index = ClusteredIndex::build(reps, 3, DistanceMetric::Euclidean, 2);
+        let queries: Vec<usize> = (0..90).step_by(9).collect();
+        let recall = index.recall_at_k(&queries, 5, 1);
+        assert!(recall > 0.9, "recall@5 with 1 probe: {recall}");
+    }
+
+    #[test]
+    fn more_probes_never_reduce_recall() {
+        let reps = clustered_reps();
+        let index = ClusteredIndex::build(reps, 6, DistanceMetric::Cosine, 3);
+        let queries: Vec<usize> = (0..90).step_by(7).collect();
+        let r1 = index.recall_at_k(&queries, 8, 1);
+        let r3 = index.recall_at_k(&queries, 8, 3);
+        let r6 = index.recall_at_k(&queries, 8, 6);
+        assert!(r3 >= r1 - 1e-12);
+        assert!(r6 >= r3 - 1e-12);
+        assert!((r6 - 1.0).abs() < 1e-12, "full probe is exact");
+    }
+
+    #[test]
+    fn query_excludes_self_and_respects_k() {
+        let reps = clustered_reps();
+        let index = ClusteredIndex::build(reps, 3, DistanceMetric::Euclidean, 4);
+        let res = index.query_row(5, 7, 3);
+        assert_eq!(res.len(), 7);
+        assert!(res.iter().all(|&(r, _)| r != 5));
+        for pair in res.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn arbitrary_vector_query_works() {
+        let reps = clustered_reps();
+        let index = ClusteredIndex::build(reps, 3, DistanceMetric::Euclidean, 5);
+        // A vector near group 1's corner.
+        let res = index.query(&[0.0, 5.0, 0.0, 0.0], 5, 1);
+        assert_eq!(res.len(), 5);
+        assert!(res.iter().all(|&(r, _)| (30..60).contains(&r)), "{res:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_wrong_dimension() {
+        let index =
+            ClusteredIndex::build(clustered_reps(), 3, DistanceMetric::Euclidean, 6);
+        index.query(&[1.0, 2.0], 3, 1);
+    }
+}

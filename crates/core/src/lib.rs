@@ -1,0 +1,57 @@
+//! The paper's contribution layer: learned company representations,
+//! similarity search, unified recommenders for every model family, and the
+//! sales application of Section 6.
+//!
+//! This crate glues the substrates together:
+//!
+//! * [`representations`] — builds the company feature matrices `B_i`
+//!   compared in Figure 7: raw binary, raw TF-IDF, LDA topic mixtures (with
+//!   binary or TF-IDF input) and LSTM hidden-state embeddings;
+//! * [`recommenders`] — adapters implementing the evaluation harness's
+//!   [`hlm_eval::Recommender`] / [`hlm_eval::RecommenderFactory`] traits for
+//!   LDA, LSTM, n-gram and CHH models, plus the dedicated BPMF evaluation of
+//!   Figures 5–6 (BPMF scores are per company-cell, not per history, so it
+//!   has its own protocol);
+//! * [`similarity`] — top-k similar-company search over any representation,
+//!   with the popularity-bias diagnostic motivating learned features
+//!   (Section 3.1);
+//! * [`app`] — the sales application: similar-company search with industry /
+//!   geography / size filters and whitespace product recommendations.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hlm_core::representations::lda_representations;
+//! use hlm_core::similarity::{top_k_similar, DistanceMetric};
+//! use hlm_datagen::GeneratorConfig;
+//! use hlm_lda::{GibbsTrainer, LdaConfig};
+//!
+//! let corpus = hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(200, 1));
+//! let ids: Vec<_> = corpus.ids().collect();
+//! let docs = hlm_core::representations::binary_docs(&corpus, &ids);
+//! let lda = GibbsTrainer::new(LdaConfig {
+//!     n_topics: 3,
+//!     vocab_size: corpus.vocab().len(),
+//!     n_iters: 30,
+//!     burn_in: 15,
+//!     ..Default::default()
+//! })
+//! .fit(&docs);
+//! let b = lda_representations(&lda, &docs);
+//! let similar = top_k_similar(&b, 0, 5, DistanceMetric::Cosine);
+//! assert_eq!(similar.len(), 5);
+//! ```
+
+pub mod app;
+pub mod index;
+pub mod recommenders;
+pub mod representations;
+pub mod similarity;
+
+pub use app::{CompanyFilter, SalesApplication, WhitespaceRecommendation};
+pub use index::ClusteredIndex;
+pub use recommenders::{
+    evaluate_bpmf, AprioriRecommenderFactory, BpmfEvaluation, ChhRecommenderFactory,
+    LdaRecommenderFactory, LstmRecommenderFactory, NgramRecommenderFactory,
+};
+pub use similarity::{neighbor_label_agreement, popularity_bias, top_k_similar, DistanceMetric};

@@ -1,0 +1,142 @@
+//! Train / validation / test splits.
+//!
+//! The paper uses 70% of the corpus for training, 10% for parameter
+//! validation and 20% for testing, identically for the LDA and RNN
+//! experiments. Splits here are seeded shuffles so every model sees the same
+//! partition.
+
+use crate::company::CompanyId;
+use crate::corpus::Corpus;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A partition of company ids into train / validation / test sets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Split {
+    /// Training companies (model estimation).
+    pub train: Vec<CompanyId>,
+    /// Validation companies (hyper-parameter selection).
+    pub valid: Vec<CompanyId>,
+    /// Test companies (reported perplexity / accuracy).
+    pub test: Vec<CompanyId>,
+}
+
+impl Split {
+    /// Splits a corpus by the given fractions with a seeded shuffle.
+    ///
+    /// `train_frac + valid_frac` must be at most 1; the remainder is the test
+    /// set. Rounding assigns `floor(N * frac)` to train and validation so the
+    /// test set absorbs the slack.
+    ///
+    /// # Panics
+    /// Panics if a fraction is negative or the two fractions exceed 1.
+    pub fn new(corpus: &Corpus, train_frac: f64, valid_frac: f64, seed: u64) -> Self {
+        assert!(train_frac >= 0.0 && valid_frac >= 0.0, "fractions must be non-negative");
+        assert!(train_frac + valid_frac <= 1.0 + 1e-12, "train + valid fractions exceed 1");
+        let mut ids: Vec<CompanyId> = corpus.ids().collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        hlm_linalg::dist::shuffle(&mut rng, &mut ids);
+
+        let n = ids.len();
+        let n_train = (n as f64 * train_frac).floor() as usize;
+        let n_valid = (n as f64 * valid_frac).floor() as usize;
+        let valid_end = (n_train + n_valid).min(n);
+        Split {
+            train: ids[..n_train].to_vec(),
+            valid: ids[n_train..valid_end].to_vec(),
+            test: ids[valid_end..].to_vec(),
+        }
+    }
+
+    /// The paper's 70 / 10 / 20 split.
+    pub fn paper(corpus: &Corpus, seed: u64) -> Self {
+        Self::new(corpus, 0.7, 0.1, seed)
+    }
+
+    /// Total companies covered by the split.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.valid.len() + self.test.len()
+    }
+
+    /// True when the split covers no companies.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::company::{Company, Sic2};
+    use crate::vocab::Vocabulary;
+    use std::collections::HashSet;
+
+    fn corpus(n: usize) -> Corpus {
+        let companies =
+            (0..n).map(|i| Company::new(i as u64, format!("c{i}"), Sic2(1), 0)).collect();
+        Corpus::new(Vocabulary::new(["a"]), companies)
+    }
+
+    #[test]
+    fn paper_split_has_expected_sizes() {
+        let c = corpus(1000);
+        let s = Split::paper(&c, 1);
+        assert_eq!(s.train.len(), 700);
+        assert_eq!(s.valid.len(), 100);
+        assert_eq!(s.test.len(), 200);
+        assert_eq!(s.len(), 1000);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let c = corpus(137);
+        let s = Split::paper(&c, 99);
+        let mut seen = HashSet::new();
+        for id in s.train.iter().chain(&s.valid).chain(&s.test) {
+            assert!(seen.insert(*id), "company {id} appears twice");
+        }
+        assert_eq!(seen.len(), 137);
+    }
+
+    #[test]
+    fn same_seed_same_split() {
+        let c = corpus(50);
+        let a = Split::paper(&c, 7);
+        let b = Split::paper(&c, 7);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let c = corpus(200);
+        let a = Split::paper(&c, 1);
+        let b = Split::paper(&c, 2);
+        assert_ne!(a.train, b.train);
+    }
+
+    #[test]
+    fn degenerate_fractions() {
+        let c = corpus(10);
+        let all_train = Split::new(&c, 1.0, 0.0, 0);
+        assert_eq!(all_train.train.len(), 10);
+        assert!(all_train.valid.is_empty() && all_train.test.is_empty());
+        let all_test = Split::new(&c, 0.0, 0.0, 0);
+        assert_eq!(all_test.test.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn rejects_fractions_over_one() {
+        let c = corpus(10);
+        Split::new(&c, 0.8, 0.3, 0);
+    }
+
+    #[test]
+    fn empty_corpus_split() {
+        let c = corpus(0);
+        let s = Split::paper(&c, 0);
+        assert!(s.is_empty());
+    }
+}

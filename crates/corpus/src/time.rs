@@ -1,0 +1,228 @@
+//! Month-granularity time arithmetic and the sliding evaluation windows.
+//!
+//! HG Data timestamps are month-level first/last-confirmation dates, and the
+//! paper's recommendation evaluation slides a 12-month window in 2-month
+//! steps from 2013-01 to 2015-01 (13 windows). A compact "months since
+//! 1970-01" integer covers the whole 1990–2016 span exactly.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A calendar month, stored as months since 1970-01.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Month(pub i32);
+
+impl Month {
+    /// Builds a month from a calendar year and 1-based month number.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= month <= 12`.
+    pub fn from_ym(year: i32, month: u32) -> Self {
+        assert!((1..=12).contains(&month), "month must be 1..=12, got {month}");
+        Month((year - 1970) * 12 + (month as i32 - 1))
+    }
+
+    /// Calendar year.
+    pub fn year(self) -> i32 {
+        1970 + self.0.div_euclid(12)
+    }
+
+    /// 1-based calendar month.
+    pub fn month(self) -> u32 {
+        (self.0.rem_euclid(12) + 1) as u32
+    }
+
+    /// The month `n` months later (or earlier for negative `n`).
+    pub fn plus_months(self, n: i32) -> Month {
+        Month(self.0 + n)
+    }
+
+    /// Whole months from `other` to `self`.
+    pub fn months_since(self, other: Month) -> i32 {
+        self.0 - other.0
+    }
+}
+
+impl Add<i32> for Month {
+    type Output = Month;
+    fn add(self, rhs: i32) -> Month {
+        self.plus_months(rhs)
+    }
+}
+
+impl Sub<Month> for Month {
+    type Output = i32;
+    fn sub(self, rhs: Month) -> i32 {
+        self.months_since(rhs)
+    }
+}
+
+impl fmt::Display for Month {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}", self.year(), self.month())
+    }
+}
+
+/// A half-open month interval `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeWindow {
+    /// First month inside the window.
+    pub start: Month,
+    /// First month after the window.
+    pub end: Month,
+}
+
+impl TimeWindow {
+    /// Builds a window of `months` months starting at `start`.
+    ///
+    /// # Panics
+    /// Panics if `months == 0`.
+    pub fn new(start: Month, months: u32) -> Self {
+        assert!(months > 0, "window must span at least one month");
+        TimeWindow { start, end: start.plus_months(months as i32) }
+    }
+
+    /// True when `m` falls inside `[start, end)`.
+    pub fn contains(&self, m: Month) -> bool {
+        self.start <= m && m < self.end
+    }
+
+    /// Window length in months.
+    pub fn months(&self) -> u32 {
+        (self.end - self.start) as u32
+    }
+}
+
+impl fmt::Display for TimeWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// Iterator of sliding windows `W_r`: a window of `window_months` months
+/// sliding by `step_months`, yielding `count` windows.
+///
+/// The paper's configuration — 12-month windows from 2013-01 sliding by 2
+/// months for 13 windows (last one 2015-01 … 2016-01) — is available as
+/// [`SlidingWindows::paper_evaluation`].
+#[derive(Debug, Clone)]
+pub struct SlidingWindows {
+    next_start: Month,
+    window_months: u32,
+    step_months: u32,
+    remaining: usize,
+}
+
+impl SlidingWindows {
+    /// Builds a sliding-window schedule.
+    ///
+    /// # Panics
+    /// Panics if `window_months == 0` or `step_months == 0`.
+    pub fn new(first_start: Month, window_months: u32, step_months: u32, count: usize) -> Self {
+        assert!(window_months > 0, "window must span at least one month");
+        assert!(step_months > 0, "step must be at least one month");
+        SlidingWindows { next_start: first_start, window_months, step_months, remaining: count }
+    }
+
+    /// The exact schedule of Section 5.1: r = 12 months, step 2 months,
+    /// first window 2013-01…2014-01, last 2015-01…2016-01 — 13 windows.
+    pub fn paper_evaluation() -> Self {
+        Self::new(Month::from_ym(2013, 1), 12, 2, 13)
+    }
+}
+
+impl Iterator for SlidingWindows {
+    type Item = TimeWindow;
+
+    fn next(&mut self) -> Option<TimeWindow> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let w = TimeWindow::new(self.next_start, self.window_months);
+        self.next_start = self.next_start.plus_months(self.step_months as i32);
+        self.remaining -= 1;
+        Some(w)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for SlidingWindows {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ym_roundtrip() {
+        for year in [1990, 1999, 2013, 2016] {
+            for month in 1..=12 {
+                let m = Month::from_ym(year, month);
+                assert_eq!(m.year(), year);
+                assert_eq!(m.month(), month);
+            }
+        }
+    }
+
+    #[test]
+    fn arithmetic_crosses_year_boundaries() {
+        let m = Month::from_ym(2015, 11);
+        assert_eq!(m.plus_months(3), Month::from_ym(2016, 2));
+        assert_eq!(m.plus_months(-23), Month::from_ym(2013, 12));
+        assert_eq!(Month::from_ym(2016, 1) - Month::from_ym(2013, 1), 36);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Month::from_ym(2013, 1).to_string(), "2013-01");
+        assert_eq!(
+            TimeWindow::new(Month::from_ym(2013, 1), 12).to_string(),
+            "[2013-01, 2014-01)"
+        );
+    }
+
+    #[test]
+    fn window_contains_is_half_open() {
+        let w = TimeWindow::new(Month::from_ym(2013, 1), 12);
+        assert!(w.contains(Month::from_ym(2013, 1)));
+        assert!(w.contains(Month::from_ym(2013, 12)));
+        assert!(!w.contains(Month::from_ym(2014, 1)));
+        assert!(!w.contains(Month::from_ym(2012, 12)));
+        assert_eq!(w.months(), 12);
+    }
+
+    #[test]
+    fn paper_schedule_matches_section_5_1() {
+        let windows: Vec<TimeWindow> = SlidingWindows::paper_evaluation().collect();
+        assert_eq!(windows.len(), 13);
+        assert_eq!(windows[0].start, Month::from_ym(2013, 1));
+        assert_eq!(windows[0].end, Month::from_ym(2014, 1));
+        assert_eq!(windows[12].start, Month::from_ym(2015, 1));
+        assert_eq!(windows[12].end, Month::from_ym(2016, 1));
+        // Successive windows slide by two months.
+        for pair in windows.windows(2) {
+            assert_eq!(pair[1].start - pair[0].start, 2);
+        }
+    }
+
+    #[test]
+    fn sliding_windows_size_hint() {
+        let mut it = SlidingWindows::new(Month::from_ym(2000, 1), 6, 3, 4);
+        assert_eq!(it.len(), 4);
+        it.next();
+        assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    fn pre_1970_months_work() {
+        let m = Month::from_ym(1969, 12);
+        assert_eq!(m.0, -1);
+        assert_eq!(m.year(), 1969);
+        assert_eq!(m.month(), 12);
+    }
+}

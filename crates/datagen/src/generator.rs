@@ -1,0 +1,341 @@
+//! The generator pipeline: industries → companies → sites → corpus.
+
+use crate::config::GeneratorConfig;
+use crate::profiles::PlantedProfiles;
+use hlm_corpus::aggregate::{aggregate_sites, SiteRecord};
+use hlm_corpus::{Corpus, InstallEvent, Month, ProductId, Sic2, Vocabulary};
+use hlm_linalg::dist::{
+    sample_categorical, sample_dirichlet, sample_normal, sample_standard_normal,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-industry prior over the planted profiles: each industry has one
+/// dominant profile (assigned round-robin) with concentration
+/// `dominant_concentration`, the rest get `background_concentration`.
+fn industry_priors(cfg: &GeneratorConfig, k: usize) -> Vec<Vec<f64>> {
+    (0..cfg.n_industries)
+        .map(|ind| {
+            (0..k)
+                .map(|p| {
+                    if p == ind % k {
+                        cfg.dominant_concentration
+                    } else {
+                        cfg.background_concentration
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Industry popularity weights: a long-tailed distribution so some SIC2
+/// codes hold many companies (like "Health Services" in the paper) and most
+/// hold few.
+fn industry_weights(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 1.0 / (1.0 + i as f64).sqrt()).collect()
+}
+
+/// Draws the install-base size: log-normal around `mean_products`, clamped
+/// to `[min_products, M]`.
+fn sample_base_size(rng: &mut StdRng, cfg: &GeneratorConfig, m: usize) -> usize {
+    let mu = cfg.mean_products.ln() - 0.5 * cfg.products_sigma * cfg.products_sigma;
+    let raw = (mu + cfg.products_sigma * sample_standard_normal(rng)).exp();
+    (raw.round() as usize).clamp(cfg.min_products, m)
+}
+
+/// Samples a company's product set from its profile mixture without
+/// replacement.
+fn sample_products(
+    rng: &mut StdRng,
+    planted: &PlantedProfiles,
+    theta: &[f64],
+    popularity_weight: f64,
+    n_products: usize,
+) -> Vec<ProductId> {
+    let m = planted.popularity.len();
+    let mixed: Vec<Vec<f64>> =
+        (0..planted.k()).map(|k| planted.mixed_distribution(k, popularity_weight)).collect();
+    let mut owned = vec![false; m];
+    let mut out = Vec::with_capacity(n_products);
+    let mut weights = vec![0.0; m];
+    while out.len() < n_products.min(m) {
+        let k = sample_categorical(rng, theta);
+        let dist = &mixed[k];
+        let mut any = false;
+        for (w, (&d, &o)) in weights.iter_mut().zip(dist.iter().zip(owned.iter())) {
+            *w = if o { 0.0 } else { d };
+            any |= *w > 0.0;
+        }
+        if !any {
+            // This profile has no unowned product left; fall back to the
+            // popularity background restricted to unowned products.
+            for (w, (&d, &o)) in
+                weights.iter_mut().zip(planted.popularity.iter().zip(owned.iter()))
+            {
+                *w = if o { 0.0 } else { d.max(1e-9) };
+            }
+        }
+        let p = sample_categorical(rng, &weights);
+        owned[p] = true;
+        out.push(ProductId(p as u16));
+    }
+    out
+}
+
+/// Orders products by noisy acquisition stage and assigns first-seen months:
+/// the acquisition times are uniform draws in `[founding, horizon)` sorted
+/// ascending, so earlier stages get earlier months.
+fn assign_timestamps(
+    rng: &mut StdRng,
+    cfg: &GeneratorConfig,
+    planted: &PlantedProfiles,
+    products: &[ProductId],
+    founding: Month,
+) -> Vec<InstallEvent> {
+    let mut keyed: Vec<(f64, ProductId)> = products
+        .iter()
+        .map(|&p| (planted.stage(p) + sample_normal(rng, 0.0, cfg.order_noise), p))
+        .collect();
+    keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("stage keys are finite"));
+
+    let span = (cfg.horizon - founding).max(1);
+    let mut months: Vec<i32> = (0..products.len()).map(|_| rng.gen_range(0..span)).collect();
+    months.sort_unstable();
+
+    keyed
+        .into_iter()
+        .zip(months)
+        .map(|((_, p), off)| {
+            let first = founding.plus_months(off);
+            // Last confirmation: somewhere between first-seen and horizon.
+            let remaining = (cfg.horizon - first).max(1);
+            let last = first.plus_months(rng.gen_range(0..remaining));
+            let confidence = 0.7 + 0.3 * rng.gen::<f32>();
+            InstallEvent { product: p, first_seen: first, last_seen: last, confidence }
+        })
+        .collect()
+}
+
+/// Generates per-site records. Each company's events are scattered over
+/// `1 + Geometric(mean_extra_sites)` sites in its country; the domestic
+/// aggregation in [`generate`] must union them back together.
+pub fn generate_sites(cfg: &GeneratorConfig) -> (Vocabulary, Vec<SiteRecord>) {
+    cfg.validate();
+    let vocab = Vocabulary::standard();
+    let planted = PlantedProfiles::standard(&vocab);
+    let priors = industry_priors(cfg, planted.k());
+    let ind_weights = industry_weights(cfg.n_industries);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut sites = Vec::with_capacity(cfg.n_companies * 2);
+    let mut next_site_duns: u64 = 1_000_000;
+
+    for ci in 0..cfg.n_companies {
+        let industry = sample_categorical(&mut rng, &ind_weights);
+        let theta = sample_dirichlet(&mut rng, &priors[industry]);
+        let n_products = sample_base_size(&mut rng, cfg, vocab.len());
+        let products = sample_products(
+            &mut rng,
+            &planted,
+            &theta,
+            cfg.popularity_weight,
+            n_products,
+        );
+        let founding_span = (cfg.latest_founding - cfg.earliest_founding).max(1);
+        let founding = cfg.earliest_founding.plus_months(rng.gen_range(0..founding_span));
+        let events = assign_timestamps(&mut rng, cfg, &planted, &products, founding);
+
+        let country = rng.gen_range(0..cfg.n_countries) as u16;
+        // Company size attributes correlate with install-base size.
+        let size_factor = events.len() as f64 / cfg.mean_products;
+        let employees_total =
+            (50.0 * size_factor * (1.0 + 9.0 * rng.gen::<f64>())).round() as u32 + 1;
+        let revenue_total = employees_total as f64 * (0.1 + 0.4 * rng.gen::<f64>());
+
+        // Scatter events across sites.
+        let extra = {
+            // Geometric via inversion on p = 1/(1+mean).
+            let p = 1.0 / (1.0 + cfg.mean_extra_sites);
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            (u.ln() / (1.0 - p).ln()).floor() as usize
+        };
+        let n_sites = 1 + extra;
+        let parent_duns = 10_000 + ci as u64;
+        let mut per_site_events: Vec<Vec<InstallEvent>> = vec![Vec::new(); n_sites];
+        for ev in events {
+            per_site_events[rng.gen_range(0..n_sites)].push(ev);
+        }
+        for site_events in per_site_events {
+            sites.push(SiteRecord {
+                site_duns: next_site_duns,
+                domestic_parent_duns: parent_duns,
+                company_name: format!("company_{parent_duns}"),
+                industry: Sic2((industry % 100) as u8),
+                country,
+                employees: (employees_total / n_sites as u32).max(1),
+                revenue_musd: revenue_total / n_sites as f64,
+                events: site_events,
+            });
+            next_site_duns += 1;
+        }
+    }
+    (vocab, sites)
+}
+
+/// Generates the aggregated domestic-company corpus: [`generate_sites`]
+/// followed by the same domestic aggregation step the paper performs on the
+/// HG Data feed.
+pub fn generate(cfg: &GeneratorConfig) -> Corpus {
+    let (vocab, sites) = generate_sites(cfg);
+    aggregate_sites(vocab, sites)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlm_corpus::sequence::count_product_ngrams;
+
+    fn small_corpus() -> Corpus {
+        generate(&GeneratorConfig::with_size_and_seed(300, 7))
+    }
+
+    #[test]
+    fn generates_requested_company_count() {
+        let c = small_corpus();
+        assert_eq!(c.len(), 300);
+        assert_eq!(c.vocab().len(), 38);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&GeneratorConfig::with_size_and_seed(50, 3));
+        let b = generate(&GeneratorConfig::with_size_and_seed(50, 3));
+        for (ca, cb) in a.companies().iter().zip(b.companies()) {
+            assert_eq!(ca.events(), cb.events());
+            assert_eq!(ca.employees, cb.employees);
+        }
+        let c = generate(&GeneratorConfig::with_size_and_seed(50, 4));
+        let differs = a
+            .companies()
+            .iter()
+            .zip(c.companies())
+            .any(|(x, y)| x.product_set() != y.product_set());
+        assert!(differs, "different seeds must differ");
+    }
+
+    #[test]
+    fn install_bases_respect_size_bounds() {
+        let cfg = GeneratorConfig::with_size_and_seed(300, 7);
+        let c = generate(&cfg);
+        for comp in c.companies() {
+            assert!(comp.product_count() >= cfg.min_products);
+            assert!(comp.product_count() <= 38);
+        }
+        let mean = c.mean_products_per_company();
+        assert!((4.0..14.0).contains(&mean), "mean products {mean}");
+    }
+
+    #[test]
+    fn timestamps_lie_in_observation_period() {
+        let cfg = GeneratorConfig::with_size_and_seed(200, 9);
+        let c = generate(&cfg);
+        for comp in c.companies() {
+            for e in comp.events() {
+                assert!(e.first_seen >= cfg.earliest_founding);
+                assert!(e.first_seen < cfg.horizon);
+                assert!(e.last_seen >= e.first_seen);
+                assert!(e.last_seen < cfg.horizon);
+                assert!((0.0..=1.0).contains(&(e.confidence as f64)));
+            }
+        }
+    }
+
+    #[test]
+    fn popular_products_are_widespread() {
+        let c = small_corpus();
+        let df = c.document_frequencies();
+        let os = c.vocab().id("OS").unwrap().index();
+        let niche = c.vocab().id("product_lifecycle").unwrap().index();
+        assert!(
+            df[os] > 3 * df[niche].max(1),
+            "OS df {} should dwarf niche df {}",
+            df[os],
+            df[niche]
+        );
+        // OS should be present in a majority of companies.
+        assert!(df[os] * 2 > c.len(), "OS df {} of {}", df[os], c.len());
+    }
+
+    #[test]
+    fn foundational_products_come_before_cloud() {
+        let c = small_corpus();
+        let os = c.vocab().id("OS").unwrap();
+        let cloud = c.vocab().id("cloud_infrastructure").unwrap();
+        let mut os_first = 0;
+        let mut cloud_first = 0;
+        for comp in c.companies() {
+            let seq = comp.product_sequence();
+            let pos_os = seq.iter().position(|&p| p == os);
+            let pos_cloud = seq.iter().position(|&p| p == cloud);
+            if let (Some(a), Some(b)) = (pos_os, pos_cloud) {
+                if a < b {
+                    os_first += 1;
+                } else {
+                    cloud_first += 1;
+                }
+            }
+        }
+        assert!(
+            os_first > 2 * cloud_first.max(1),
+            "OS before cloud {os_first} vs after {cloud_first}"
+        );
+    }
+
+    #[test]
+    fn sequences_have_repeated_bigrams() {
+        // Sequential structure: the same bigrams recur far more often than
+        // the number of distinct bigrams would suggest under shuffling.
+        let c = small_corpus();
+        let ids: Vec<_> = c.ids().collect();
+        let seqs = c.sequences_for(&ids);
+        let bigrams = count_product_ngrams(&seqs, 2);
+        let total: u64 = bigrams.values().sum();
+        let distinct = bigrams.len() as u64;
+        // Random order over 38 products would give nearly as many distinct
+        // bigrams as total slots (ratio close to 1); the stage ordering and
+        // profile structure push repetition well above 2x.
+        assert!(
+            total > 2 * distinct,
+            "bigrams should repeat heavily: total {total}, distinct {distinct}"
+        );
+    }
+
+    #[test]
+    fn industries_and_countries_are_diverse() {
+        let c = small_corpus();
+        assert!(c.industries().len() > 20);
+        let mut countries: Vec<u16> = c.companies().iter().map(|x| x.country).collect();
+        countries.sort_unstable();
+        countries.dedup();
+        assert!(countries.len() >= 5);
+    }
+
+    #[test]
+    fn multi_site_companies_exist_and_aggregate() {
+        let c = small_corpus();
+        let multi = c.companies().iter().filter(|x| x.site_count > 1).count();
+        assert!(multi > 30, "expected many multi-site companies, got {multi}");
+    }
+
+    #[test]
+    fn generate_sites_matches_generate() {
+        let cfg = GeneratorConfig::with_size_and_seed(40, 11);
+        let (vocab, sites) = generate_sites(&cfg);
+        let direct = generate(&cfg);
+        let via_sites = aggregate_sites(vocab, sites);
+        assert_eq!(direct.len(), via_sites.len());
+        for (a, b) in direct.companies().iter().zip(via_sites.companies()) {
+            assert_eq!(a.product_set(), b.product_set());
+        }
+    }
+}

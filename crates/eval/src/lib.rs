@@ -1,0 +1,20 @@
+//! Evaluation harness: statistics, the sliding-window recommendation
+//! protocol of Section 4.3, the n-gram sequentiality test of [19], and
+//! plain-text report rendering for the experiment binaries.
+
+pub mod drift;
+pub mod recommend;
+pub mod report;
+pub mod sequentiality;
+pub mod stats;
+
+pub use drift::{detect_drift, DriftReport};
+
+pub use recommend::{
+    evaluate_recommender, RandomRecommender, RecEvalConfig, Recommender, RecommenderFactory,
+    ThresholdPoint,
+};
+pub use sequentiality::{sequentiality_report, SequentialityReport};
+pub use stats::{
+    binomial_sf, bootstrap_mean_ci, five_number_summary, mean_ci, FiveNumber, MeanCi,
+};

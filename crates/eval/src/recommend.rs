@@ -1,0 +1,413 @@
+//! The sliding-window recommendation evaluation of Section 4.3.
+//!
+//! For every sliding window `W_r`, a recommender is trained on everything
+//! before the window's start, then asked for a score per product given each
+//! test company's acquisition history. Products scoring at least the
+//! threshold `φ` are recommended; the company's true future products are the
+//! ones first seen inside the window. Per-window micro-averaged precision,
+//! recall, F1 and the retrieved / correctly-retrieved / relevant counts are
+//! aggregated across the `l` windows into means with 95% confidence
+//! intervals — the data behind Figures 3 and 4.
+
+use crate::stats::{mean_ci, MeanCi};
+use hlm_corpus::{CompanyId, Corpus, Month, TimeWindow};
+use serde::{Deserialize, Serialize};
+
+/// A trained recommender: scores every product given an acquisition history
+/// (product indices in time order). Scores are conditional probabilities in
+/// `[0, 1]`; already-owned products are masked by the harness, not the
+/// model.
+pub trait Recommender {
+    /// Score per product (length = vocabulary size).
+    fn scores(&self, history: &[usize]) -> Vec<f64>;
+
+    /// Short label for reports.
+    fn name(&self) -> &str;
+}
+
+/// Trains a recommender on the companies' histories strictly before
+/// `cutoff`. Implemented by each model family's adapter in `hlm-core`.
+pub trait RecommenderFactory {
+    /// Train on `train_ids`' install-base history before `cutoff`.
+    fn train(&self, corpus: &Corpus, train_ids: &[CompanyId], cutoff: Month) -> Box<dyn Recommender>;
+
+    /// Label used in reports.
+    fn name(&self) -> &str;
+}
+
+/// The paper's random baseline: every product gets the uniform probability
+/// `1/M` (`≈ 0.026` for 38 products), so it retrieves everything below that
+/// threshold and nothing above it.
+#[derive(Debug, Clone)]
+pub struct RandomRecommender {
+    vocab_size: usize,
+}
+
+impl RandomRecommender {
+    /// Creates the uniform baseline over `vocab_size` products.
+    pub fn new(vocab_size: usize) -> Self {
+        assert!(vocab_size > 0, "empty vocabulary");
+        RandomRecommender { vocab_size }
+    }
+}
+
+impl Recommender for RandomRecommender {
+    fn scores(&self, _history: &[usize]) -> Vec<f64> {
+        vec![1.0 / self.vocab_size as f64; self.vocab_size]
+    }
+
+    fn name(&self) -> &str {
+        "random"
+    }
+}
+
+impl RecommenderFactory for RandomRecommender {
+    fn train(&self, _c: &Corpus, _ids: &[CompanyId], _cutoff: Month) -> Box<dyn Recommender> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &str {
+        "random"
+    }
+}
+
+/// Evaluation protocol settings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecEvalConfig {
+    /// The sliding windows (paper: 13 windows of 12 months, step 2).
+    pub windows: Vec<TimeWindow>,
+    /// The probability thresholds `φ` to sweep.
+    pub thresholds: Vec<f64>,
+    /// Retrain the model for every window (paper protocol) or once at the
+    /// first window's start (cheaper; fine when windows are close together).
+    pub retrain_per_window: bool,
+    /// Skip company-window pairs with an empty history (nothing to condition
+    /// on).
+    pub require_history: bool,
+}
+
+impl RecEvalConfig {
+    /// The paper's configuration with a default threshold grid
+    /// `0.00, 0.05, …, 0.50`.
+    pub fn paper() -> Self {
+        RecEvalConfig {
+            windows: hlm_corpus::SlidingWindows::paper_evaluation().collect(),
+            thresholds: (0..=10).map(|i| i as f64 * 0.05).collect(),
+            retrain_per_window: true,
+            require_history: true,
+        }
+    }
+}
+
+/// Accuracy measures for one threshold, aggregated over windows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThresholdPoint {
+    /// The probability threshold `φ`.
+    pub phi: f64,
+    /// Precision mean ± CI over windows (NaN mean when nothing retrieved in
+    /// any window).
+    pub precision: MeanCi,
+    /// Recall mean ± CI over windows.
+    pub recall: MeanCi,
+    /// F1 mean ± CI over windows.
+    pub f1: MeanCi,
+    /// Retrieved products per window.
+    pub retrieved: MeanCi,
+    /// Correctly retrieved products per window.
+    pub correct: MeanCi,
+    /// Relevant (ground-truth) products per window.
+    pub relevant: MeanCi,
+}
+
+/// Runs the full sliding-window evaluation for one recommender family.
+///
+/// `eval_ids` are the companies to evaluate on (the paper's test split).
+/// `train_ids` are passed to the factory; histories before each window start
+/// are the training signal.
+///
+/// # Panics
+/// Panics if the config has no windows or thresholds.
+pub fn evaluate_recommender(
+    factory: &dyn RecommenderFactory,
+    corpus: &Corpus,
+    train_ids: &[CompanyId],
+    eval_ids: &[CompanyId],
+    cfg: &RecEvalConfig,
+) -> Vec<ThresholdPoint> {
+    assert!(!cfg.windows.is_empty(), "need at least one window");
+    assert!(!cfg.thresholds.is_empty(), "need at least one threshold");
+    let n_phi = cfg.thresholds.len();
+    let n_win = cfg.windows.len();
+
+    // Per threshold, per window: counts.
+    let mut retrieved = vec![vec![0.0f64; n_win]; n_phi];
+    let mut correct = vec![vec![0.0f64; n_win]; n_phi];
+    let mut relevant = vec![vec![0.0f64; n_win]; n_phi];
+
+    let mut model: Option<Box<dyn Recommender>> = None;
+    for (wi, window) in cfg.windows.iter().enumerate() {
+        if cfg.retrain_per_window || model.is_none() {
+            let cutoff =
+                if cfg.retrain_per_window { window.start } else { cfg.windows[0].start };
+            model = Some(factory.train(corpus, train_ids, cutoff));
+        }
+        let model = model.as_deref().expect("model trained above");
+
+        for &id in eval_ids {
+            let company = corpus.company(id);
+            let history: Vec<usize> = company
+                .sequence_before(window.start)
+                .into_iter()
+                .map(|p| p.index())
+                .collect();
+            if cfg.require_history && history.is_empty() {
+                continue;
+            }
+            let truth: Vec<usize> = company
+                .products_first_seen_in(window.start, window.end)
+                .into_iter()
+                .map(|p| p.index())
+                .collect();
+            let scores = model.scores(&history);
+            debug_assert_eq!(scores.len(), corpus.vocab().len());
+
+            let mut owned = vec![false; scores.len()];
+            for &h in &history {
+                owned[h] = true;
+            }
+            let mut is_truth = vec![false; scores.len()];
+            for &t in &truth {
+                is_truth[t] = true;
+            }
+
+            for (pi, &phi) in cfg.thresholds.iter().enumerate() {
+                relevant[pi][wi] += truth.len() as f64;
+                for (p, &s) in scores.iter().enumerate() {
+                    if owned[p] || s < phi {
+                        continue;
+                    }
+                    retrieved[pi][wi] += 1.0;
+                    if is_truth[p] {
+                        correct[pi][wi] += 1.0;
+                    }
+                }
+            }
+        }
+    }
+
+    cfg.thresholds
+        .iter()
+        .enumerate()
+        .map(|(pi, &phi)| {
+            let mut precisions = Vec::with_capacity(n_win);
+            let mut recalls = Vec::with_capacity(n_win);
+            let mut f1s = Vec::with_capacity(n_win);
+            for wi in 0..n_win {
+                let ret = retrieved[pi][wi];
+                let cor = correct[pi][wi];
+                let rel = relevant[pi][wi];
+                // Precision is undefined when nothing is retrieved (the
+                // paper notes this for φ > 0.5); skip such windows.
+                if ret > 0.0 {
+                    precisions.push(cor / ret);
+                }
+                let recall = if rel > 0.0 { cor / rel } else { 0.0 };
+                recalls.push(recall);
+                let precision = if ret > 0.0 { cor / ret } else { 0.0 };
+                let f1 = if precision + recall > 0.0 {
+                    2.0 * precision * recall / (precision + recall)
+                } else {
+                    0.0
+                };
+                f1s.push(f1);
+            }
+            ThresholdPoint {
+                phi,
+                precision: mean_ci(&precisions, 0.95),
+                recall: mean_ci(&recalls, 0.95),
+                f1: mean_ci(&f1s, 0.95),
+                retrieved: mean_ci(&retrieved[pi], 0.95),
+                correct: mean_ci(&correct[pi], 0.95),
+                relevant: mean_ci(&relevant[pi], 0.95),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlm_corpus::{Company, InstallEvent, ProductId, Sic2, Vocabulary};
+
+    /// A corpus where every company acquires product 0 in 2010, product 1 in
+    /// 2013-06, and product 2 never — inside the single window
+    /// [2013-01, 2014-01) the truth is exactly {1}.
+    fn corpus() -> Corpus {
+        let vocab = Vocabulary::new(["a", "b", "c"]);
+        let companies = (0..10)
+            .map(|i| {
+                let mut c = Company::new(i, format!("c{i}"), Sic2(1), 0);
+                c.add_event(InstallEvent::at(ProductId(0), Month::from_ym(2010, 1)));
+                c.add_event(InstallEvent::at(ProductId(1), Month::from_ym(2013, 6)));
+                c
+            })
+            .collect();
+        Corpus::new(vocab, companies)
+    }
+
+    /// Recommender with fixed scores.
+    struct Fixed(Vec<f64>);
+    impl Recommender for Fixed {
+        fn scores(&self, _h: &[usize]) -> Vec<f64> {
+            self.0.clone()
+        }
+        fn name(&self) -> &str {
+            "fixed"
+        }
+    }
+    struct FixedFactory(Vec<f64>);
+    impl RecommenderFactory for FixedFactory {
+        fn train(&self, _c: &Corpus, _t: &[CompanyId], _m: Month) -> Box<dyn Recommender> {
+            Box::new(Fixed(self.0.clone()))
+        }
+        fn name(&self) -> &str {
+            "fixed"
+        }
+    }
+
+    fn single_window_cfg(thresholds: Vec<f64>) -> RecEvalConfig {
+        RecEvalConfig {
+            windows: vec![TimeWindow::new(Month::from_ym(2013, 1), 12)],
+            thresholds,
+            retrain_per_window: true,
+            require_history: true,
+        }
+    }
+
+    #[test]
+    fn perfect_recommender_scores_one() {
+        let c = corpus();
+        let ids: Vec<CompanyId> = c.ids().collect();
+        // Scores: product 1 high, product 2 low; product 0 is owned (masked).
+        let factory = FixedFactory(vec![0.9, 0.8, 0.01]);
+        let pts = evaluate_recommender(&factory, &c, &ids, &ids, &single_window_cfg(vec![0.5]));
+        assert_eq!(pts.len(), 1);
+        let p = &pts[0];
+        assert!((p.precision.mean - 1.0).abs() < 1e-12, "precision {}", p.precision.mean);
+        assert!((p.recall.mean - 1.0).abs() < 1e-12);
+        assert!((p.f1.mean - 1.0).abs() < 1e-12);
+        assert_eq!(p.retrieved.mean, 10.0);
+        assert_eq!(p.correct.mean, 10.0);
+        assert_eq!(p.relevant.mean, 10.0);
+    }
+
+    #[test]
+    fn owned_products_are_never_recommended() {
+        let c = corpus();
+        let ids: Vec<CompanyId> = c.ids().collect();
+        // Score everything at 1.0: retrieved = products 1 and 2 only (0 owned).
+        let factory = FixedFactory(vec![1.0, 1.0, 1.0]);
+        let pts = evaluate_recommender(&factory, &c, &ids, &ids, &single_window_cfg(vec![0.5]));
+        assert_eq!(pts[0].retrieved.mean, 20.0, "2 unowned products x 10 companies");
+        assert_eq!(pts[0].correct.mean, 10.0);
+        assert!((pts[0].precision.mean - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_sweep_monotone_retrieved() {
+        let c = corpus();
+        let ids: Vec<CompanyId> = c.ids().collect();
+        let factory = FixedFactory(vec![0.9, 0.3, 0.1]);
+        let pts = evaluate_recommender(
+            &factory,
+            &c,
+            &ids,
+            &ids,
+            &single_window_cfg(vec![0.0, 0.2, 0.4, 0.95]),
+        );
+        let retrieved: Vec<f64> = pts.iter().map(|p| p.retrieved.mean).collect();
+        assert!(retrieved.windows(2).all(|w| w[1] <= w[0]), "{retrieved:?}");
+        // At 0.95 nothing clears the bar: recall 0, precision NaN (no window
+        // retrieved anything).
+        assert_eq!(pts[3].recall.mean, 0.0);
+        assert!(pts[3].precision.mean.is_nan());
+    }
+
+    #[test]
+    fn random_baseline_behaves_like_paper() {
+        let c = corpus();
+        let ids: Vec<CompanyId> = c.ids().collect();
+        let uniform = 1.0 / 3.0;
+        let factory = RandomRecommender::new(3);
+        let pts = evaluate_recommender(
+            &factory,
+            &c,
+            &ids,
+            &ids,
+            &single_window_cfg(vec![uniform - 0.01, uniform + 0.01]),
+        );
+        // Below 1/M: retrieves every unowned product; above: nothing.
+        assert_eq!(pts[0].retrieved.mean, 20.0);
+        assert_eq!(pts[1].retrieved.mean, 0.0);
+        assert_eq!(pts[1].recall.mean, 0.0);
+    }
+
+    #[test]
+    fn history_requirement_skips_new_companies() {
+        let vocab = Vocabulary::new(["a", "b"]);
+        let mut c0 = Company::new(0, "new", Sic2(1), 0);
+        // Only activity inside the window: no history before it.
+        c0.add_event(InstallEvent::at(ProductId(0), Month::from_ym(2013, 5)));
+        let corpus = Corpus::new(vocab, vec![c0]);
+        let ids: Vec<CompanyId> = corpus.ids().collect();
+        let factory = FixedFactory(vec![1.0, 1.0]);
+        let pts =
+            evaluate_recommender(&factory, &corpus, &ids, &ids, &single_window_cfg(vec![0.0]));
+        assert_eq!(pts[0].retrieved.mean, 0.0, "company without history skipped");
+        assert_eq!(pts[0].relevant.mean, 0.0);
+    }
+
+    #[test]
+    fn multi_window_aggregation_counts_each_window() {
+        let c = corpus();
+        let ids: Vec<CompanyId> = c.ids().collect();
+        let cfg = RecEvalConfig {
+            windows: vec![
+                TimeWindow::new(Month::from_ym(2013, 1), 12),
+                TimeWindow::new(Month::from_ym(2014, 1), 12), // truth empty here
+            ],
+            thresholds: vec![0.5],
+            retrain_per_window: false,
+            require_history: true,
+        };
+        let factory = FixedFactory(vec![0.9, 0.8, 0.01]);
+        let pts = evaluate_recommender(&factory, &c, &ids, &ids, &cfg);
+        // Window 1 relevant 10, window 2 relevant 0 → mean 5.
+        assert!((pts[0].relevant.mean - 5.0).abs() < 1e-12);
+        // Recall: window 1 = 1.0, window 2 = 0 relevant → recall 0 → mean 0.5.
+        assert!((pts[0].recall.mean - 0.5).abs() < 1e-12);
+        assert_eq!(pts[0].recall.n, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one window")]
+    fn rejects_empty_windows() {
+        let c = corpus();
+        let ids: Vec<CompanyId> = c.ids().collect();
+        let cfg = RecEvalConfig {
+            windows: vec![],
+            thresholds: vec![0.1],
+            retrain_per_window: true,
+            require_history: true,
+        };
+        evaluate_recommender(&FixedFactory(vec![0.0; 3]), &c, &ids, &ids, &cfg);
+    }
+
+    #[test]
+    fn paper_config_matches_section_5_1() {
+        let cfg = RecEvalConfig::paper();
+        assert_eq!(cfg.windows.len(), 13);
+        assert_eq!(cfg.thresholds.len(), 11);
+        assert!(cfg.retrain_per_window);
+    }
+}

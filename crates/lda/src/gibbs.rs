@@ -1,0 +1,308 @@
+//! Weighted collapsed Gibbs sampler for LDA.
+//!
+//! Standard Griffiths–Steyvers collapsed Gibbs with one twist: each token
+//! carries a real-valued weight, so count tables are `f64`. With unit
+//! weights this is exactly classic LDA; with IDF weights it reproduces the
+//! gensim behaviour of training on TF-IDF-transformed corpora that the paper
+//! evaluates as the alternative input in Figure 2.
+
+use crate::model::{LdaConfig, LdaModel};
+use crate::WeightedDoc;
+use hlm_linalg::dist::sample_categorical;
+use hlm_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Collapsed Gibbs trainer.
+#[derive(Debug, Clone)]
+pub struct GibbsTrainer {
+    cfg: LdaConfig,
+}
+
+impl GibbsTrainer {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    /// Panics if the configuration is inconsistent.
+    pub fn new(cfg: LdaConfig) -> Self {
+        cfg.validate();
+        GibbsTrainer { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LdaConfig {
+        &self.cfg
+    }
+
+    /// Runs the sampler and returns the estimated model (posterior-mean
+    /// `phi` averaged over post-burn-in samples).
+    ///
+    /// # Panics
+    /// Panics if a document references a word outside the configured
+    /// vocabulary or carries a non-positive weight.
+    pub fn fit(&self, docs: &[WeightedDoc]) -> LdaModel {
+        let k = self.cfg.n_topics;
+        let m = self.cfg.vocab_size;
+        let mut alpha = self.cfg.effective_alpha();
+        let beta = self.cfg.beta;
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+
+        // Count tables (f64: tokens are weighted).
+        let mut n_dk = Matrix::zeros(docs.len(), k); // doc-topic
+        let mut n_kw = Matrix::zeros(k, m); // topic-word
+        let mut n_k = vec![0.0f64; k]; // topic totals
+
+        // Flat token arrays for cache-friendly sweeps.
+        let mut tok_doc: Vec<u32> = Vec::new();
+        let mut tok_word: Vec<u32> = Vec::new();
+        let mut tok_weight: Vec<f64> = Vec::new();
+        let mut tok_z: Vec<u16> = Vec::new();
+        for (d, doc) in docs.iter().enumerate() {
+            for &(w, weight) in doc {
+                assert!(w < m, "word {w} outside vocabulary of {m}");
+                assert!(
+                    weight.is_finite() && weight > 0.0,
+                    "token weight must be positive, got {weight}"
+                );
+                let z = rng.gen_range(0..k);
+                tok_doc.push(d as u32);
+                tok_word.push(w as u32);
+                tok_weight.push(weight);
+                tok_z.push(z as u16);
+                n_dk.add_at(d, z, weight);
+                n_kw.add_at(z, w, weight);
+                n_k[z] += weight;
+            }
+        }
+
+        let beta_sum = beta * m as f64;
+        let mut phi_acc = Matrix::zeros(k, m);
+        let mut n_samples = 0usize;
+        let mut probs = vec![0.0f64; k];
+
+        for iter in 0..self.cfg.n_iters {
+            for i in 0..tok_doc.len() {
+                let d = tok_doc[i] as usize;
+                let w = tok_word[i] as usize;
+                let weight = tok_weight[i];
+                let old_z = tok_z[i] as usize;
+
+                n_dk.add_at(d, old_z, -weight);
+                n_kw.add_at(old_z, w, -weight);
+                n_k[old_z] -= weight;
+
+                let dk_row = n_dk.row(d);
+                for (t, p) in probs.iter_mut().enumerate() {
+                    // Collapsed conditional: (n_dk + α)(n_kw + β)/(n_k + Mβ).
+                    *p = (dk_row[t] + alpha) * (n_kw.get(t, w) + beta)
+                        / (n_k[t] + beta_sum);
+                }
+                let new_z = sample_categorical(&mut rng, &probs);
+
+                tok_z[i] = new_z as u16;
+                n_dk.add_at(d, new_z, weight);
+                n_kw.add_at(new_z, w, weight);
+                n_k[new_z] += weight;
+            }
+
+            // Minka's fixed-point re-estimation of the symmetric alpha,
+            // applied during burn-in so the collected phi samples use the
+            // final value.
+            if self.cfg.optimize_alpha && iter < self.cfg.burn_in && iter % 10 == 9 {
+                alpha = minka_alpha_update(alpha, &n_dk, k);
+            }
+
+            let past_burn_in = iter >= self.cfg.burn_in;
+            let on_lag = (iter - self.cfg.burn_in.min(iter)) % self.cfg.sample_lag == 0;
+            if past_burn_in && on_lag {
+                for t in 0..k {
+                    let denom = n_k[t] + beta_sum;
+                    for w in 0..m {
+                        phi_acc.add_at(t, w, (n_kw.get(t, w) + beta) / denom);
+                    }
+                }
+                n_samples += 1;
+            }
+        }
+
+        assert!(n_samples > 0, "no phi samples collected; check burn_in / n_iters");
+        phi_acc.scale_mut(1.0 / n_samples as f64);
+        // Guard against accumulated rounding before the model's row check.
+        phi_acc.normalize_rows();
+        LdaModel::new(phi_acc, alpha, beta)
+    }
+}
+
+/// One step of Minka's fixed-point update for the symmetric Dirichlet
+/// concentration:
+///
+/// ```text
+/// α ← α · Σ_d Σ_k [ψ(n_dk + α) − ψ(α)]
+///         ───────────────────────────────
+///         K · Σ_d [ψ(n_d + Kα) − ψ(Kα)]
+/// ```
+///
+/// Empty documents are skipped; the result is clamped to `[1e-4, 1e2]` to
+/// keep a pathological early count table from destabilizing the chain.
+fn minka_alpha_update(alpha: f64, n_dk: &Matrix, k: usize) -> f64 {
+    use hlm_linalg::special::digamma;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for d in 0..n_dk.rows() {
+        let row = n_dk.row(d);
+        let n_d: f64 = row.iter().sum();
+        if n_d <= 0.0 {
+            continue;
+        }
+        for &c in row {
+            num += digamma(c + alpha) - digamma(alpha);
+        }
+        den += digamma(n_d + k as f64 * alpha) - digamma(k as f64 * alpha);
+    }
+    if den <= 0.0 || num <= 0.0 {
+        return alpha;
+    }
+    (alpha * num / (k as f64 * den)).clamp(1e-4, 1e2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit_weights;
+
+    /// Two planted topics: words 0-2 vs words 3-5.
+    fn planted_docs(n_docs: usize, seed: u64) -> Vec<Vec<usize>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n_docs)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0usize } else { 3 };
+                (0..8).map(|_| base + rng.gen_range(0..3)).collect()
+            })
+            .collect()
+    }
+
+    fn quick_cfg(n_topics: usize, vocab: usize, seed: u64) -> LdaConfig {
+        LdaConfig {
+            n_topics,
+            vocab_size: vocab,
+            n_iters: 120,
+            burn_in: 60,
+            sample_lag: 5,
+            seed,
+            alpha: Some(0.5),
+            beta: 0.1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn recovers_planted_topics() {
+        let docs = planted_docs(120, 1);
+        let model = GibbsTrainer::new(quick_cfg(2, 6, 7)).fit(&unit_weights(&docs));
+        // Each topic should concentrate on one 3-word block.
+        let phi = model.phi();
+        let block0: f64 = (0..3).map(|w| phi.get(0, w)).sum();
+        let block1: f64 = (0..3).map(|w| phi.get(1, w)).sum();
+        // One topic owns block {0,1,2}, the other {3,4,5}.
+        let (hi, lo) = if block0 > block1 { (block0, block1) } else { (block1, block0) };
+        assert!(hi > 0.9, "dominant topic block mass {hi}");
+        assert!(lo < 0.1, "other topic block mass {lo}");
+    }
+
+    #[test]
+    fn phi_rows_are_distributions() {
+        let docs = planted_docs(40, 2);
+        let model = GibbsTrainer::new(quick_cfg(3, 6, 3)).fit(&unit_weights(&docs));
+        for t in 0..3 {
+            let s: f64 = model.phi().row(t).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(model.phi().row(t).iter().all(|&p| p > 0.0), "beta smoothing keeps phi positive");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let docs = unit_weights(&planted_docs(30, 3));
+        let a = GibbsTrainer::new(quick_cfg(2, 6, 11)).fit(&docs);
+        let b = GibbsTrainer::new(quick_cfg(2, 6, 11)).fit(&docs);
+        assert_eq!(a.phi(), b.phi());
+    }
+
+    #[test]
+    fn weighted_tokens_shift_phi() {
+        // One doc with a heavily weighted word 5 vs unit weights.
+        let docs_unit: Vec<WeightedDoc> = vec![vec![(0, 1.0), (5, 1.0)]; 30];
+        let docs_heavy: Vec<WeightedDoc> = vec![vec![(0, 1.0), (5, 10.0)]; 30];
+        let cfg = quick_cfg(1, 6, 5);
+        let unit = GibbsTrainer::new(cfg.clone()).fit(&docs_unit);
+        let heavy = GibbsTrainer::new(cfg).fit(&docs_heavy);
+        assert!(heavy.phi().get(0, 5) > unit.phi().get(0, 5) + 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocabulary")]
+    fn rejects_out_of_vocab_word() {
+        let docs: Vec<WeightedDoc> = vec![vec![(9, 1.0)]];
+        GibbsTrainer::new(quick_cfg(2, 6, 1)).fit(&docs);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_non_positive_weight() {
+        let docs: Vec<WeightedDoc> = vec![vec![(0, 0.0)]];
+        GibbsTrainer::new(quick_cfg(2, 6, 1)).fit(&docs);
+    }
+
+    #[test]
+    fn single_topic_degenerates_to_smoothed_unigram() {
+        let docs = unit_weights(&vec![vec![0, 0, 0, 1]; 20]);
+        let model = GibbsTrainer::new(quick_cfg(1, 3, 9)).fit(&docs);
+        let phi = model.phi();
+        // Counts: w0 = 60, w1 = 20, w2 = 0 with beta = 0.1 smoothing.
+        assert!((phi.get(0, 0) - 60.1 / 80.3).abs() < 1e-9);
+        assert!((phi.get(0, 2) - 0.1 / 80.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minka_update_shrinks_alpha_on_sparse_mixtures() {
+        // Documents drawn from single topics: the optimal symmetric alpha is
+        // small. Starting from a deliberately bad alpha = 10, optimization
+        // must shrink it, and the resulting model must not fit worse.
+        let docs = unit_weights(&planted_docs(150, 8));
+        let bad = LdaConfig { alpha: Some(10.0), optimize_alpha: false, ..quick_cfg(2, 6, 21) };
+        let opt = LdaConfig { alpha: Some(10.0), optimize_alpha: true, ..quick_cfg(2, 6, 21) };
+        let m_bad = GibbsTrainer::new(bad).fit(&docs);
+        let m_opt = GibbsTrainer::new(opt).fit(&docs);
+        assert!(
+            m_opt.alpha() < 5.0,
+            "optimized alpha {} should shrink from 10",
+            m_opt.alpha()
+        );
+        assert_eq!(m_bad.alpha(), 10.0);
+        // The optimized model separates the planted blocks at least as well.
+        let block_mass = |m: &LdaModel| -> f64 {
+            let b0: f64 = (0..3).map(|w| m.phi().get(0, w)).sum();
+            b0.max(1.0 - b0)
+        };
+        assert!(block_mass(&m_opt) + 1e-9 >= block_mass(&m_bad) - 0.05);
+    }
+
+    #[test]
+    fn minka_update_is_stable_on_degenerate_counts() {
+        let n_dk = Matrix::zeros(3, 2); // all-empty documents
+        let a = minka_alpha_update(0.5, &n_dk, 2);
+        assert_eq!(a, 0.5, "no evidence leaves alpha unchanged");
+        // Huge counts stay clamped and finite.
+        let big = Matrix::filled(4, 2, 1e6);
+        let a2 = minka_alpha_update(50.0, &big, 2);
+        assert!(a2.is_finite() && (1e-4..=1e2).contains(&a2));
+    }
+
+    #[test]
+    fn handles_empty_documents() {
+        let mut docs = unit_weights(&planted_docs(20, 4));
+        docs.push(Vec::new());
+        let model = GibbsTrainer::new(quick_cfg(2, 6, 13)).fit(&docs);
+        assert!(model.phi().is_finite());
+    }
+}

@@ -1,0 +1,374 @@
+//! The estimated LDA model and fold-in inference.
+
+use hlm_linalg::dist::sample_categorical;
+use hlm_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters and sampler settings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LdaConfig {
+    /// Number of latent topics `K` (the user-set parameter swept in Fig. 2).
+    pub n_topics: usize,
+    /// Vocabulary size `M` (38 in the paper).
+    pub vocab_size: usize,
+    /// Symmetric document-topic prior. When `None`, uses `1 / K`: install
+    /// bases are short documents (a handful of products), so the classic
+    /// Griffiths–Steyvers `50 / K` would swamp the per-document counts and
+    /// flatten every topic mixture.
+    pub alpha: Option<f64>,
+    /// Symmetric topic-word prior.
+    pub beta: f64,
+    /// Total Gibbs sweeps.
+    pub n_iters: usize,
+    /// Sweeps discarded before collecting `phi` samples.
+    pub burn_in: usize,
+    /// Collect a `phi` sample every `sample_lag` sweeps after burn-in.
+    pub sample_lag: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Re-estimate the symmetric `alpha` during burn-in with Minka's
+    /// fixed-point update (every 10 sweeps). The estimated value replaces
+    /// the configured one for the rest of the chain and in the returned
+    /// model.
+    #[serde(default)]
+    pub optimize_alpha: bool,
+}
+
+impl Default for LdaConfig {
+    fn default() -> Self {
+        LdaConfig {
+            n_topics: 3,
+            vocab_size: 38,
+            alpha: None,
+            beta: 0.1,
+            n_iters: 200,
+            burn_in: 100,
+            sample_lag: 10,
+            seed: 42,
+            optimize_alpha: false,
+        }
+    }
+}
+
+impl LdaConfig {
+    /// The effective symmetric alpha.
+    pub fn effective_alpha(&self) -> f64 {
+        self.alpha.unwrap_or(1.0 / self.n_topics as f64)
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    /// Panics on nonsensical settings.
+    pub fn validate(&self) {
+        assert!(self.n_topics >= 1, "need at least one topic");
+        assert!(self.vocab_size >= 1, "need a vocabulary");
+        assert!(self.effective_alpha() > 0.0, "alpha must be positive");
+        assert!(self.beta > 0.0, "beta must be positive");
+        assert!(self.n_iters > self.burn_in, "n_iters must exceed burn_in");
+        assert!(self.sample_lag >= 1, "sample_lag must be at least 1");
+    }
+}
+
+/// A trained LDA model: the topic-word distributions and priors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LdaModel {
+    /// `K x M` row-stochastic topic-word matrix (posterior mean of `phi`).
+    phi: Matrix,
+    /// Symmetric document-topic prior.
+    alpha: f64,
+    /// Symmetric topic-word prior.
+    beta: f64,
+}
+
+impl LdaModel {
+    /// Wraps an estimated `phi` with its priors.
+    ///
+    /// # Panics
+    /// Panics if a row of `phi` does not sum to ~1 or priors are invalid.
+    pub fn new(phi: Matrix, alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && beta > 0.0, "priors must be positive");
+        for k in 0..phi.rows() {
+            let s: f64 = phi.row(k).iter().sum();
+            assert!(
+                (s - 1.0).abs() < 1e-6,
+                "phi row {k} sums to {s}, expected a distribution"
+            );
+        }
+        LdaModel { phi, alpha, beta }
+    }
+
+    /// Number of topics `K`.
+    pub fn n_topics(&self) -> usize {
+        self.phi.rows()
+    }
+
+    /// Vocabulary size `M`.
+    pub fn vocab_size(&self) -> usize {
+        self.phi.cols()
+    }
+
+    /// The `K x M` topic-word matrix.
+    pub fn phi(&self) -> &Matrix {
+        &self.phi
+    }
+
+    /// Document-topic prior.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Topic-word prior.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Number of free parameters, `K + K·M`, as counted in the paper's
+    /// "lessons learned" comparison with the LSTM.
+    pub fn parameter_count(&self) -> usize {
+        self.n_topics() + self.n_topics() * self.vocab_size()
+    }
+
+    /// Fold-in EM estimate of a document's topic mixture θ (the company
+    /// representation `B_i`).
+    ///
+    /// Runs fixed-φ EM: responsibilities `p(k | w) ∝ θ_k φ_kw`, then
+    /// `θ ∝ α + Σ_w weight · p(k | w)`, iterated to convergence. Determinism
+    /// makes this the default for representations and recommendations.
+    pub fn infer_theta(&self, doc: &[(usize, f64)]) -> Vec<f64> {
+        let k = self.n_topics();
+        let mut theta = vec![1.0 / k as f64; k];
+        if doc.is_empty() {
+            return theta;
+        }
+        let mut resp = vec![0.0; k];
+        for _ in 0..50 {
+            let mut new_theta = vec![self.alpha; k];
+            for &(w, weight) in doc {
+                debug_assert!(w < self.vocab_size(), "word index out of range");
+                let mut s = 0.0;
+                for t in 0..k {
+                    resp[t] = theta[t] * self.phi.get(t, w);
+                    s += resp[t];
+                }
+                if s <= 0.0 {
+                    continue; // word impossible under every topic; skip it
+                }
+                for t in 0..k {
+                    new_theta[t] += weight * resp[t] / s;
+                }
+            }
+            let total: f64 = new_theta.iter().sum();
+            new_theta.iter_mut().for_each(|x| *x /= total);
+            let delta: f64 =
+                theta.iter().zip(&new_theta).map(|(a, b)| (a - b).abs()).sum();
+            theta = new_theta;
+            if delta < 1e-10 {
+                break;
+            }
+        }
+        theta
+    }
+
+    /// Fold-in Gibbs estimate of θ: samples topic assignments for the
+    /// document with φ fixed and averages `(n_k + α) / (n + Kα)` over the
+    /// post-burn-in sweeps. Stochastic but unbiased; used in tests to
+    /// validate the EM estimate.
+    pub fn infer_theta_gibbs(
+        &self,
+        doc: &[(usize, f64)],
+        n_iters: usize,
+        burn_in: usize,
+        seed: u64,
+    ) -> Vec<f64> {
+        assert!(n_iters > burn_in, "n_iters must exceed burn_in");
+        let k = self.n_topics();
+        if doc.is_empty() {
+            return vec![1.0 / k as f64; k];
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut z = vec![0usize; doc.len()];
+        let mut n_k = vec![0.0f64; k];
+        let total_weight: f64 = doc.iter().map(|&(_, w)| w).sum();
+
+        // Initialize assignments proportional to phi alone.
+        for (i, &(w, weight)) in doc.iter().enumerate() {
+            let weights: Vec<f64> = (0..k).map(|t| self.phi.get(t, w).max(1e-300)).collect();
+            z[i] = sample_categorical(&mut rng, &weights);
+            n_k[z[i]] += weight;
+        }
+
+        let mut acc = vec![0.0f64; k];
+        let mut n_samples = 0.0;
+        let mut weights = vec![0.0; k];
+        for iter in 0..n_iters {
+            for (i, &(w, weight)) in doc.iter().enumerate() {
+                n_k[z[i]] -= weight;
+                for (t, wt) in weights.iter_mut().enumerate() {
+                    *wt = (n_k[t] + self.alpha) * self.phi.get(t, w).max(1e-300);
+                }
+                z[i] = sample_categorical(&mut rng, &weights);
+                n_k[z[i]] += weight;
+            }
+            if iter >= burn_in {
+                let denom = total_weight + k as f64 * self.alpha;
+                for t in 0..k {
+                    acc[t] += (n_k[t] + self.alpha) / denom;
+                }
+                n_samples += 1.0;
+            }
+        }
+        acc.iter_mut().for_each(|x| *x /= n_samples);
+        acc
+    }
+
+    /// Predictive word distribution `p(w | θ) = Σ_k θ_k φ_kw`.
+    ///
+    /// # Panics
+    /// Panics if `theta.len() != K`.
+    pub fn predictive_distribution(&self, theta: &[f64]) -> Vec<f64> {
+        assert_eq!(theta.len(), self.n_topics(), "theta dimension mismatch");
+        self.phi.vecmat(theta)
+    }
+
+    /// Predictive distribution for a document's future products given its
+    /// current install base (fold-in then mixture) — the LDA recommender
+    /// score of Section 4.3.
+    pub fn predict_products(&self, doc: &[(usize, f64)]) -> Vec<f64> {
+        let theta = self.infer_theta(doc);
+        self.predictive_distribution(&theta)
+    }
+
+    /// Product embeddings: an `M x K` matrix whose row `w` is
+    /// `p(topic | product w) ∝ φ_kw · p(k)` under a uniform topic prior.
+    /// These are the vectors projected by t-SNE in Figures 8–9.
+    pub fn product_embeddings(&self) -> Matrix {
+        let k = self.n_topics();
+        let m = self.vocab_size();
+        let mut out = Matrix::zeros(m, k);
+        for w in 0..m {
+            let mut col: Vec<f64> = (0..k).map(|t| self.phi.get(t, w)).collect();
+            let s: f64 = col.iter().sum();
+            if s > 0.0 {
+                col.iter_mut().for_each(|x| *x /= s);
+            } else {
+                col.iter_mut().for_each(|x| *x = 1.0 / k as f64);
+            }
+            for (t, &v) in col.iter().enumerate() {
+                out.set(w, t, v);
+            }
+        }
+        out
+    }
+
+    /// The most probable products of topic `k`, best first.
+    ///
+    /// # Panics
+    /// Panics if `k >= K`.
+    pub fn top_products(&self, k: usize, n: usize) -> Vec<(usize, f64)> {
+        assert!(k < self.n_topics(), "topic out of range");
+        let mut pairs: Vec<(usize, f64)> =
+            self.phi.row(k).iter().copied().enumerate().collect();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("phi is finite"));
+        pairs.truncate(n);
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_model() -> LdaModel {
+        // Two sharply separated topics over 4 words.
+        let phi = Matrix::from_rows(&[&[0.45, 0.45, 0.05, 0.05], &[0.05, 0.05, 0.45, 0.45]]);
+        LdaModel::new(phi, 0.1, 0.01)
+    }
+
+    #[test]
+    fn config_defaults_validate() {
+        LdaConfig::default().validate();
+        assert!((LdaConfig::default().effective_alpha() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a distribution")]
+    fn model_rejects_unnormalized_phi() {
+        let phi = Matrix::from_rows(&[&[0.5, 0.2]]);
+        LdaModel::new(phi, 0.1, 0.1);
+    }
+
+    #[test]
+    fn parameter_count_matches_paper_formula() {
+        // Paper: nt + nt * M; for 4 topics over 38 products = 156.
+        let phi = {
+            let mut p = Matrix::filled(4, 38, 1.0 / 38.0);
+            p.normalize_rows();
+            p
+        };
+        let m = LdaModel::new(phi, 0.1, 0.1);
+        assert_eq!(m.parameter_count(), 156);
+    }
+
+    #[test]
+    fn infer_theta_identifies_topic() {
+        let m = toy_model();
+        let theta = m.infer_theta(&[(0, 1.0), (1, 1.0)]);
+        assert!(theta[0] > 0.8, "doc of topic-0 words must load topic 0: {theta:?}");
+        let theta2 = m.infer_theta(&[(2, 1.0), (3, 1.0)]);
+        assert!(theta2[1] > 0.8);
+    }
+
+    #[test]
+    fn infer_theta_empty_doc_is_uniform() {
+        let m = toy_model();
+        assert_eq!(m.infer_theta(&[]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn gibbs_and_em_theta_agree() {
+        let m = toy_model();
+        let doc = vec![(0, 1.0), (1, 1.0), (0, 1.0)];
+        let em = m.infer_theta(&doc);
+        let gb = m.infer_theta_gibbs(&doc, 600, 100, 5);
+        assert!((em[0] - gb[0]).abs() < 0.12, "em {em:?} vs gibbs {gb:?}");
+    }
+
+    #[test]
+    fn predictive_distribution_is_normalized_mixture() {
+        let m = toy_model();
+        let p = m.predictive_distribution(&[0.5, 0.5]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((p[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_products_prefers_in_topic_words() {
+        let m = toy_model();
+        let p = m.predict_products(&[(0, 1.0)]);
+        assert!(p[1] > p[2], "same-topic word must score higher: {p:?}");
+    }
+
+    #[test]
+    fn product_embeddings_rows_are_distributions() {
+        let m = toy_model();
+        let e = m.product_embeddings();
+        assert_eq!(e.shape(), (4, 2));
+        for w in 0..4 {
+            assert!((e.row(w).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        assert!(e.get(0, 0) > 0.8);
+        assert!(e.get(3, 1) > 0.8);
+    }
+
+    #[test]
+    fn top_products_sorted_descending() {
+        let m = toy_model();
+        let tops = m.top_products(0, 3);
+        assert_eq!(tops.len(), 3);
+        assert!(tops[0].1 >= tops[1].1 && tops[1].1 >= tops[2].1);
+        assert!(tops[0].0 == 0 || tops[0].0 == 1);
+    }
+}

@@ -1,0 +1,250 @@
+//! Batch variational-Bayes inference for LDA (Blei, Ng & Jordan 2003).
+//!
+//! The paper's experiments used gensim, whose LDA implementation is
+//! variational Bayes rather than collapsed Gibbs. This module provides the
+//! same mean-field coordinate ascent so the two estimators can be compared
+//! (see the inference ablation): per-document variational Dirichlet
+//! parameters `γ_d` with token responsibilities
+//! `φ_{dwk} ∝ exp(ψ(γ_dk)) · exp(ψ(λ_kw) − ψ(Σ_w λ_kw))`, and a global
+//! topic-word Dirichlet `λ`.
+//!
+//! Token weights are honoured exactly as in the Gibbs sampler, so binary and
+//! TF-IDF inputs both work.
+
+use crate::model::{LdaConfig, LdaModel};
+use crate::WeightedDoc;
+use hlm_linalg::special::digamma;
+use hlm_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Settings for the variational optimizer.
+#[derive(Debug, Clone)]
+pub struct VbOptions {
+    /// Maximum E-M iterations over the corpus.
+    pub max_iters: usize,
+    /// Per-document E-step iterations.
+    pub doc_iters: usize,
+    /// Stop when the mean absolute change of `γ` falls below this.
+    pub tol: f64,
+}
+
+impl Default for VbOptions {
+    fn default() -> Self {
+        VbOptions { max_iters: 60, doc_iters: 30, tol: 1e-4 }
+    }
+}
+
+/// Variational-Bayes trainer sharing [`LdaConfig`] with the Gibbs sampler
+/// (the `n_iters` / `burn_in` / `sample_lag` fields are ignored; use
+/// [`VbOptions`]).
+#[derive(Debug, Clone)]
+pub struct VbTrainer {
+    cfg: LdaConfig,
+    opts: VbOptions,
+}
+
+impl VbTrainer {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    /// Panics on an inconsistent configuration or zero iteration budgets.
+    pub fn new(cfg: LdaConfig, opts: VbOptions) -> Self {
+        cfg.validate();
+        assert!(opts.max_iters >= 1 && opts.doc_iters >= 1, "iteration budgets must be positive");
+        assert!(opts.tol >= 0.0);
+        VbTrainer { cfg, opts }
+    }
+
+    /// Runs mean-field coordinate ascent and returns the estimated model
+    /// (expected `phi` under the variational posterior `λ`).
+    ///
+    /// # Panics
+    /// Panics on out-of-vocabulary words or non-positive token weights.
+    pub fn fit(&self, docs: &[WeightedDoc]) -> LdaModel {
+        let k = self.cfg.n_topics;
+        let m = self.cfg.vocab_size;
+        let alpha = self.cfg.effective_alpha();
+        let beta = self.cfg.beta;
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+
+        for doc in docs {
+            for &(w, weight) in doc {
+                assert!(w < m, "word {w} outside vocabulary of {m}");
+                assert!(
+                    weight.is_finite() && weight > 0.0,
+                    "token weight must be positive, got {weight}"
+                );
+            }
+        }
+
+        // Initialize λ with small positive noise around β.
+        let mut lambda =
+            Matrix::from_fn(k, m, |_, _| beta + 0.5 + 0.1 * rng.gen::<f64>());
+        let mut gamma = Matrix::filled(docs.len(), k, alpha + 1.0);
+
+        // exp(E[log φ_kw]) cache.
+        let mut e_log_phi = Matrix::zeros(k, m);
+        let mut resp = vec![0.0f64; k];
+
+        for _iter in 0..self.opts.max_iters {
+            // Cache expected log topic-word probabilities.
+            for t in 0..k {
+                let row_sum: f64 = lambda.row(t).iter().sum();
+                let psi_sum = digamma(row_sum);
+                for w in 0..m {
+                    e_log_phi.set(t, w, (digamma(lambda.get(t, w)) - psi_sum).exp());
+                }
+            }
+
+            let mut lambda_new = Matrix::filled(k, m, beta);
+            let mut mean_gamma_change = 0.0;
+
+            for (d, doc) in docs.iter().enumerate() {
+                // E-step for document d.
+                let mut g = vec![alpha + doc.len() as f64 / k as f64; k];
+                for _ in 0..self.opts.doc_iters {
+                    let mut g_new = vec![alpha; k];
+                    for &(w, weight) in doc {
+                        let mut s = 0.0;
+                        for t in 0..k {
+                            resp[t] = digamma(g[t]).exp() * e_log_phi.get(t, w);
+                            s += resp[t];
+                        }
+                        if s <= 0.0 {
+                            continue;
+                        }
+                        for t in 0..k {
+                            g_new[t] += weight * resp[t] / s;
+                        }
+                    }
+                    let delta: f64 =
+                        g.iter().zip(&g_new).map(|(a, b)| (a - b).abs()).sum::<f64>()
+                            / k as f64;
+                    g = g_new;
+                    if delta < self.opts.tol {
+                        break;
+                    }
+                }
+                // Accumulate sufficient statistics into λ.
+                for &(w, weight) in doc {
+                    let mut s = 0.0;
+                    for t in 0..k {
+                        resp[t] = digamma(g[t]).exp() * e_log_phi.get(t, w);
+                        s += resp[t];
+                    }
+                    if s <= 0.0 {
+                        continue;
+                    }
+                    for t in 0..k {
+                        lambda_new.add_at(t, w, weight * resp[t] / s);
+                    }
+                }
+                for t in 0..k {
+                    mean_gamma_change += (gamma.get(d, t) - g[t]).abs();
+                    gamma.set(d, t, g[t]);
+                }
+            }
+            lambda = lambda_new;
+            mean_gamma_change /= (docs.len().max(1) * k) as f64;
+            if mean_gamma_change < self.opts.tol {
+                break;
+            }
+        }
+
+        let mut phi = lambda;
+        phi.normalize_rows();
+        LdaModel::new(phi, alpha, beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gibbs::GibbsTrainer;
+    use crate::perplexity::document_completion_perplexity;
+    use crate::unit_weights;
+
+    fn planted_docs(n_docs: usize, seed: u64) -> Vec<Vec<usize>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n_docs)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0usize } else { 3 };
+                // 3 distinct words from the topic's block (set semantics).
+                let mut block: Vec<usize> = (base..base + 3).collect();
+                hlm_linalg::dist::shuffle(&mut rng, &mut block);
+                block
+            })
+            .collect()
+    }
+
+    fn cfg(k: usize, vocab: usize) -> LdaConfig {
+        LdaConfig {
+            n_topics: k,
+            vocab_size: vocab,
+            alpha: Some(0.3),
+            beta: 0.1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn vb_recovers_planted_topics() {
+        let docs = unit_weights(&planted_docs(150, 1));
+        let model = VbTrainer::new(cfg(2, 6), VbOptions::default()).fit(&docs);
+        let phi = model.phi();
+        // Topic 0 owns one of the two 3-word blocks nearly entirely — its
+        // mass on block {0,1,2} is near 1 (it owns that block) or near 0
+        // (it owns the other one).
+        let block0: f64 = (0..3).map(|w| phi.get(0, w)).sum();
+        assert!(
+            !(0.1..=0.9).contains(&block0),
+            "topics must separate the planted blocks, block mass {block0}"
+        );
+    }
+
+    #[test]
+    fn vb_and_gibbs_agree_on_heldout_fit() {
+        let docs = unit_weights(&planted_docs(200, 2));
+        let (train, test) = docs.split_at(160);
+        let vb = VbTrainer::new(cfg(2, 6), VbOptions::default()).fit(train);
+        let gibbs = GibbsTrainer::new(LdaConfig {
+            n_iters: 150,
+            burn_in: 75,
+            sample_lag: 5,
+            ..cfg(2, 6)
+        })
+        .fit(train);
+        let p_vb = document_completion_perplexity(&vb, test);
+        let p_gibbs = document_completion_perplexity(&gibbs, test);
+        assert!(
+            (p_vb - p_gibbs).abs() < 0.15 * p_gibbs,
+            "VB {p_vb} vs Gibbs {p_gibbs} should agree within 15%"
+        );
+    }
+
+    #[test]
+    fn vb_is_deterministic_given_seed() {
+        let docs = unit_weights(&planted_docs(50, 3));
+        let a = VbTrainer::new(cfg(3, 6), VbOptions::default()).fit(&docs);
+        let b = VbTrainer::new(cfg(3, 6), VbOptions::default()).fit(&docs);
+        assert_eq!(a.phi(), b.phi());
+    }
+
+    #[test]
+    fn vb_handles_weighted_and_empty_documents() {
+        let mut docs: Vec<WeightedDoc> = vec![vec![(0, 2.5), (1, 0.3)]; 20];
+        docs.push(Vec::new());
+        let model = VbTrainer::new(cfg(2, 4), VbOptions::default()).fit(&docs);
+        assert!(model.phi().is_finite());
+        for t in 0..2 {
+            assert!((model.phi().row(t).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocabulary")]
+    fn vb_rejects_out_of_vocab() {
+        VbTrainer::new(cfg(2, 3), VbOptions::default()).fit(&[vec![(7, 1.0)]]);
+    }
+}

@@ -1,0 +1,455 @@
+//! Random distributions implemented directly on top of any [`rand::Rng`].
+//!
+//! The workspace deliberately does not depend on `rand_distr`: the samplers
+//! here (polar normal, Marsaglia–Tsang gamma, stick-free Dirichlet, Walker
+//! alias tables, Bartlett Wishart, Cholesky-colored multivariate normal) are
+//! the exact set the model crates need and are kept auditable in one place.
+
+use crate::cholesky::Cholesky;
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Draws a standard normal variate using the Marsaglia polar method.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = 2.0 * rng.gen::<f64>() - 1.0;
+        let v = 2.0 * rng.gen::<f64>() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Draws from `Normal(mean, std_dev)`.
+///
+/// # Panics
+/// Panics if `std_dev < 0`.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0, "std_dev must be non-negative, got {std_dev}");
+    mean + std_dev * sample_standard_normal(rng)
+}
+
+/// Draws from `Gamma(shape, scale)` via Marsaglia & Tsang (2000), with the
+/// usual `U^{1/shape}` boost for `shape < 1`.
+///
+/// # Panics
+/// Panics unless `shape > 0` and `scale > 0`.
+pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive, got {shape}");
+    assert!(scale > 0.0, "gamma scale must be positive, got {scale}");
+    if shape < 1.0 {
+        // Gamma(a) = Gamma(a+1) * U^{1/a}
+        let u: f64 = loop {
+            let u = rng.gen::<f64>();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        return sample_gamma(rng, shape + 1.0, scale) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u = rng.gen::<f64>();
+        let x2 = x * x;
+        if u < 1.0 - 0.0331 * x2 * x2 || u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+            return d * v * scale;
+        }
+    }
+}
+
+/// Draws from `Beta(a, b)` as a ratio of gammas.
+///
+/// # Panics
+/// Panics unless both parameters are positive.
+pub fn sample_beta<R: Rng + ?Sized>(rng: &mut R, a: f64, b: f64) -> f64 {
+    let x = sample_gamma(rng, a, 1.0);
+    let y = sample_gamma(rng, b, 1.0);
+    x / (x + y)
+}
+
+/// Draws a probability vector from `Dirichlet(alphas)`.
+///
+/// # Panics
+/// Panics if `alphas` is empty or contains a non-positive entry.
+pub fn sample_dirichlet<R: Rng + ?Sized>(rng: &mut R, alphas: &[f64]) -> Vec<f64> {
+    assert!(!alphas.is_empty(), "Dirichlet needs at least one concentration");
+    let mut draws: Vec<f64> = alphas.iter().map(|&a| sample_gamma(rng, a, 1.0)).collect();
+    let sum: f64 = draws.iter().sum();
+    if sum == 0.0 {
+        // Extremely small alphas can underflow every gamma draw; fall back to
+        // a one-hot on a uniformly chosen coordinate, the limiting behaviour.
+        let k = rng.gen_range(0..draws.len());
+        draws.iter_mut().for_each(|x| *x = 0.0);
+        draws[k] = 1.0;
+        return draws;
+    }
+    draws.iter_mut().for_each(|x| *x /= sum);
+    draws
+}
+
+/// Draws a symmetric `Dirichlet(alpha, ..., alpha)` of dimension `k`.
+pub fn sample_symmetric_dirichlet<R: Rng + ?Sized>(rng: &mut R, alpha: f64, k: usize) -> Vec<f64> {
+    sample_dirichlet(rng, &vec![alpha; k])
+}
+
+/// Samples an index proportionally to non-negative `weights` (not necessarily
+/// normalized) via a single linear scan.
+///
+/// # Panics
+/// Panics if `weights` is empty, contains a negative or non-finite entry, or
+/// sums to zero.
+pub fn sample_categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "categorical needs at least one weight");
+    let mut total = 0.0;
+    for &w in weights {
+        assert!(w.is_finite() && w >= 0.0, "invalid categorical weight {w}");
+        total += w;
+    }
+    assert!(total > 0.0, "categorical weights sum to zero");
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    // Floating-point slack can leave target marginally positive.
+    weights.len() - 1
+}
+
+/// Samples an index from unnormalized log-weights.
+///
+/// # Panics
+/// Panics if all weights are `-inf` or the slice is empty.
+pub fn sample_categorical_log<R: Rng + ?Sized>(rng: &mut R, log_weights: &[f64]) -> usize {
+    let weights = crate::special::softmax(log_weights);
+    sample_categorical(rng, &weights)
+}
+
+/// Walker alias table for O(1) categorical sampling, used in the hot Gibbs
+/// and data-generation loops.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, has invalid entries, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let n = weights.len();
+        let total: f64 = weights
+            .iter()
+            .inspect(|&&w| assert!(w.is_finite() && w >= 0.0, "invalid alias weight {w}"))
+            .sum();
+        assert!(total > 0.0, "alias table weights sum to zero");
+
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are numerically 1.0.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if the table has no categories (never constructible; kept for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws a category index in O(1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Draws from a `Wishart(df, scale)` distribution via the Bartlett
+/// decomposition. `scale` must be SPD; `df` must exceed `dim - 1`.
+///
+/// Returns a `dim x dim` SPD matrix.
+///
+/// # Panics
+/// Panics on dimension/df violations or a non-SPD scale.
+pub fn sample_wishart<R: Rng + ?Sized>(rng: &mut R, df: f64, scale: &Matrix) -> Matrix {
+    let d = scale.rows();
+    assert_eq!(scale.rows(), scale.cols(), "Wishart scale must be square");
+    assert!(df > d as f64 - 1.0, "Wishart df {df} must exceed dim-1 = {}", d - 1);
+    let chol = Cholesky::decompose_with_jitter(scale, 1e-10, 8)
+        .expect("Wishart scale matrix must be positive definite");
+
+    // Bartlett: A lower-triangular with sqrt(chi2_{df-i}) diagonal, N(0,1) below.
+    let mut a = Matrix::zeros(d, d);
+    for i in 0..d {
+        let chi2 = 2.0 * sample_gamma(rng, (df - i as f64) / 2.0, 1.0);
+        a.set(i, i, chi2.sqrt());
+        for j in 0..i {
+            a.set(i, j, sample_standard_normal(rng));
+        }
+    }
+    let la = chol.factor().matmul(&a);
+    la.matmul(&la.transpose())
+}
+
+/// Draws from a multivariate normal with the given mean and SPD covariance.
+///
+/// # Panics
+/// Panics on dimension mismatch or non-SPD covariance.
+pub fn sample_multivariate_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: &[f64],
+    cov: &Matrix,
+) -> Vec<f64> {
+    assert_eq!(mean.len(), cov.rows(), "MVN mean/covariance dimension mismatch");
+    let chol = Cholesky::decompose_with_jitter(cov, 1e-10, 8)
+        .expect("MVN covariance must be positive definite");
+    sample_multivariate_normal_chol(rng, mean, &chol)
+}
+
+/// Draws from a multivariate normal given a pre-computed Cholesky factor of
+/// the covariance (the fast path inside Gibbs sweeps).
+pub fn sample_multivariate_normal_chol<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: &[f64],
+    cov_chol: &Cholesky,
+) -> Vec<f64> {
+    let d = cov_chol.dim();
+    assert_eq!(mean.len(), d, "MVN mean/Cholesky dimension mismatch");
+    let white: Vec<f64> = (0..d).map(|_| sample_standard_normal(rng)).collect();
+    let mut colored = cov_chol.apply_factor(&white);
+    for (c, &m) in colored.iter_mut().zip(mean) {
+        *c += m;
+    }
+    colored
+}
+
+/// Fisher–Yates shuffle of a slice (thin wrapper kept here so model crates do
+/// not need the `rand` `SliceRandom` trait in scope).
+pub fn shuffle<R: Rng + ?Sized, T>(rng: &mut R, xs: &mut [T]) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| sample_normal(&mut r, 2.0, 3.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.4, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments_all_regimes() {
+        let mut r = rng();
+        for &(shape, scale) in &[(0.5, 1.0), (2.0, 2.0), (9.0, 0.5)] {
+            let n = 20_000;
+            let xs: Vec<f64> = (0..n).map(|_| sample_gamma(&mut r, shape, scale)).collect();
+            let mean = xs.iter().sum::<f64>() / n as f64;
+            assert!(xs.iter().all(|&x| x > 0.0));
+            assert!(
+                (mean - shape * scale).abs() < 0.15 * (shape * scale).max(0.5),
+                "shape={shape} mean={mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn beta_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| sample_beta(&mut r, 2.0, 6.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.02);
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn dirichlet_is_simplex_and_mean_matches() {
+        let mut r = rng();
+        let alphas = [1.0, 2.0, 7.0];
+        let mut acc = [0.0; 3];
+        let n = 5_000;
+        for _ in 0..n {
+            let d = sample_dirichlet(&mut r, &alphas);
+            assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for (a, &x) in acc.iter_mut().zip(&d) {
+                *a += x;
+            }
+        }
+        for (i, a) in acc.iter().enumerate() {
+            let expect = alphas[i] / 10.0;
+            assert!((a / n as f64 - expect).abs() < 0.02, "component {i}");
+        }
+    }
+
+    #[test]
+    fn categorical_frequencies() {
+        let mut r = rng();
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[sample_categorical(&mut r, &w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn categorical_rejects_all_zero() {
+        let mut r = rng();
+        sample_categorical(&mut r, &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn categorical_log_matches_linear() {
+        let mut r = rng();
+        let logw = [0.0_f64.ln(), 1.0, 2.0]; // -inf, 1, 2
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[sample_categorical_log(&mut r, &logw)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[2] as f64 / counts[1] as f64;
+        assert!((ratio - std::f64::consts::E).abs() < 0.35, "ratio {ratio}");
+    }
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let mut r = rng();
+        let w = [0.1, 0.2, 0.0, 0.7];
+        let table = AliasTable::new(&w);
+        let mut counts = [0usize; 4];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[table.sample(&mut r)] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((c as f64 / n as f64 - w[i]).abs() < 0.01, "category {i}");
+        }
+    }
+
+    #[test]
+    fn wishart_mean_is_df_times_scale() {
+        let mut r = rng();
+        let scale = Matrix::from_rows(&[&[1.0, 0.3], &[0.3, 2.0]]);
+        let df = 5.0;
+        let mut acc = Matrix::zeros(2, 2);
+        let n = 3_000;
+        for _ in 0..n {
+            acc.axpy(1.0 / n as f64, &sample_wishart(&mut r, df, &scale));
+        }
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = df * scale.get(i, j);
+                assert!((acc.get(i, j) - expect).abs() < 0.2 * expect.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn mvn_moments() {
+        let mut r = rng();
+        let mean = [1.0, -1.0];
+        let cov = Matrix::from_rows(&[&[2.0, 0.8], &[0.8, 1.0]]);
+        let n = 20_000;
+        let mut m = [0.0; 2];
+        let mut c01 = 0.0;
+        let samples: Vec<Vec<f64>> =
+            (0..n).map(|_| sample_multivariate_normal(&mut r, &mean, &cov)).collect();
+        for s in &samples {
+            m[0] += s[0];
+            m[1] += s[1];
+        }
+        m[0] /= n as f64;
+        m[1] /= n as f64;
+        for s in &samples {
+            c01 += (s[0] - m[0]) * (s[1] - m[1]);
+        }
+        c01 /= n as f64;
+        assert!((m[0] - 1.0).abs() < 0.05 && (m[1] + 1.0).abs() < 0.05);
+        assert!((c01 - 0.8).abs() < 0.08, "cov {c01}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = rng();
+        let mut xs: Vec<u32> = (0..100).collect();
+        shuffle(&mut r, &mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "shuffle left input untouched");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<usize> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..50).map(|_| sample_categorical(&mut r, &[1.0, 2.0, 3.0])).collect()
+        };
+        let b: Vec<usize> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..50).map(|_| sample_categorical(&mut r, &[1.0, 2.0, 3.0])).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

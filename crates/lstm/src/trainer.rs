@@ -1,0 +1,293 @@
+//! Mini-batch trainer with validation-based early stopping.
+
+use crate::model::LstmLm;
+use crate::param::{Adam, AdamOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Training options. The paper trains for 14 epochs; early stopping on
+/// validation perplexity guards the small-corpus regime.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainOptions {
+    /// Maximum epochs (paper: 14).
+    pub epochs: usize,
+    /// Sequences per optimizer step.
+    pub batch_size: usize,
+    /// Adam settings.
+    pub adam: AdamOptions,
+    /// Stop when validation perplexity fails to improve this many epochs in
+    /// a row (0 disables early stopping).
+    pub patience: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Print one line per epoch to stderr.
+    pub verbose: bool,
+    /// Multiply the learning rate by this factor after each epoch beyond
+    /// `decay_after` (Zaremba-style schedule). 1.0 disables decay.
+    #[serde(default = "default_lr_decay")]
+    pub lr_decay: f64,
+    /// First epoch (0-based) after which the decay applies.
+    #[serde(default)]
+    pub decay_after: usize,
+}
+
+fn default_lr_decay() -> f64 {
+    1.0
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            epochs: 14,
+            batch_size: 16,
+            adam: AdamOptions::default(),
+            patience: 3,
+            seed: 1234,
+            verbose: false,
+            lr_decay: 1.0,
+            decay_after: 0,
+        }
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training NLL per target token.
+    pub train_nll: f64,
+    /// Validation perplexity (NaN when no validation set was given).
+    pub valid_perplexity: f64,
+}
+
+/// The trainer.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    opts: TrainOptions,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    /// Panics on nonsensical options.
+    pub fn new(opts: TrainOptions) -> Self {
+        assert!(opts.epochs >= 1, "need at least one epoch");
+        assert!(opts.batch_size >= 1, "batch size must be positive");
+        assert!(
+            opts.lr_decay > 0.0 && opts.lr_decay <= 1.0,
+            "lr_decay must be in (0, 1]"
+        );
+        Trainer { opts }
+    }
+
+    /// Trains `model` on `train` sequences, monitoring perplexity on
+    /// `valid` (pass an empty slice to disable validation / early stopping).
+    /// Returns per-epoch statistics. The model is left at the parameters of
+    /// the best validation epoch (or the final epoch without validation).
+    pub fn fit(
+        &self,
+        model: &mut LstmLm,
+        train: &[Vec<usize>],
+        valid: &[Vec<usize>],
+    ) -> Vec<EpochStats> {
+        let mut rng = StdRng::seed_from_u64(self.opts.seed);
+        let mut adam = Adam::new(self.opts.adam);
+        let mut lr = self.opts.adam.learning_rate;
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        let mut stats = Vec::with_capacity(self.opts.epochs);
+        let mut best: Option<(f64, LstmLm)> = None;
+        let mut since_best = 0usize;
+
+        for epoch in 0..self.opts.epochs {
+            hlm_linalg::dist::shuffle(&mut rng, &mut order);
+            let mut total_nll = 0.0;
+            let mut total_tokens = 0usize;
+            for chunk in order.chunks(self.opts.batch_size) {
+                for &idx in chunk {
+                    let (nll, n) = model.train_sequence(&train[idx]);
+                    total_nll += nll;
+                    total_tokens += n;
+                }
+                adam.step(&mut model.parameters_mut());
+            }
+            let train_nll =
+                if total_tokens > 0 { total_nll / total_tokens as f64 } else { 0.0 };
+            let valid_ppl =
+                if valid.is_empty() { f64::NAN } else { model.perplexity(valid) };
+            if self.opts.verbose {
+                eprintln!(
+                    "epoch {epoch}: train nll/token {train_nll:.4}, valid ppl {valid_ppl:.3}"
+                );
+            }
+            stats.push(EpochStats { epoch, train_nll, valid_perplexity: valid_ppl });
+
+            if self.opts.lr_decay != 1.0 && epoch >= self.opts.decay_after {
+                lr *= self.opts.lr_decay;
+                adam.set_learning_rate(lr);
+            }
+
+            if !valid.is_empty() {
+                let improved = best.as_ref().is_none_or(|(b, _)| valid_ppl < *b);
+                if improved {
+                    best = Some((valid_ppl, model.clone()));
+                    since_best = 0;
+                } else {
+                    since_best += 1;
+                    if self.opts.patience > 0 && since_best >= self.opts.patience {
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some((_, best_model)) = best {
+            *model = best_model;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LstmConfig;
+    use rand::Rng;
+
+    /// Markov data: 0→1→2→3 with occasional restarts.
+    fn markov_sequences(n: usize, seed: u64) -> Vec<Vec<usize>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let len = 4 + rng.gen_range(0..4);
+                let mut s = Vec::with_capacity(len);
+                let mut cur = rng.gen_range(0..4usize);
+                for _ in 0..len {
+                    s.push(cur);
+                    // Strong transition structure cur -> (cur + 1) % 4.
+                    cur = if rng.gen::<f64>() < 0.9 {
+                        (cur + 1) % 4
+                    } else {
+                        rng.gen_range(0..4)
+                    };
+                }
+                s
+            })
+            .collect()
+    }
+
+    fn quick_opts(epochs: usize) -> TrainOptions {
+        TrainOptions {
+            epochs,
+            batch_size: 8,
+            adam: AdamOptions { learning_rate: 1e-2, ..Default::default() },
+            patience: 0,
+            seed: 5,
+            verbose: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn learns_markov_structure() {
+        let train = markov_sequences(120, 1);
+        let test = markov_sequences(30, 2);
+        let mut model = LstmLm::new(
+            LstmConfig { vocab_size: 4, hidden_size: 16, n_layers: 1, dropout: 0.0, ..Default::default() },
+            3,
+        );
+        let before = model.perplexity(&test);
+        let stats = Trainer::new(quick_opts(15)).fit(&mut model, &train, &[]);
+        let after = model.perplexity(&test);
+        assert!(after < before * 0.7, "perplexity {before} -> {after}");
+        assert!(stats.last().unwrap().train_nll < stats[0].train_nll);
+        // 90% deterministic transitions: ppl should get well under uniform 4.
+        assert!(after < 2.5, "learned perplexity {after}");
+        let d = model.predict_next(&[0]);
+        assert!(d[1] > 0.5, "p(1|0) = {}", d[1]);
+    }
+
+    #[test]
+    fn early_stopping_restores_best_model() {
+        let train = markov_sequences(60, 3);
+        let valid = markov_sequences(20, 4);
+        let mut model = LstmLm::new(
+            LstmConfig { vocab_size: 4, hidden_size: 8, n_layers: 1, dropout: 0.0, ..Default::default() },
+            7,
+        );
+        let mut opts = quick_opts(30);
+        opts.patience = 2;
+        let stats = Trainer::new(opts).fit(&mut model, &train, &valid);
+        // Model perplexity on validation equals the best epoch's perplexity.
+        let best = stats
+            .iter()
+            .map(|s| s.valid_perplexity)
+            .fold(f64::INFINITY, f64::min);
+        let actual = model.perplexity(&valid);
+        assert!(
+            (actual - best).abs() < 1e-9,
+            "restored model ppl {actual} vs best {best}"
+        );
+    }
+
+    #[test]
+    fn epoch_stats_have_expected_length_without_early_stop() {
+        let train = markov_sequences(20, 5);
+        let mut model = LstmLm::new(
+            LstmConfig { vocab_size: 4, hidden_size: 6, n_layers: 1, dropout: 0.0, ..Default::default() },
+            9,
+        );
+        let stats = Trainer::new(quick_opts(4)).fit(&mut model, &train, &[]);
+        assert_eq!(stats.len(), 4);
+        assert!(stats.iter().all(|s| s.valid_perplexity.is_nan()));
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let train = markov_sequences(30, 6);
+        let run = || {
+            let mut m = LstmLm::new(
+                LstmConfig { vocab_size: 4, hidden_size: 6, n_layers: 1, dropout: 0.1, ..Default::default() },
+                11,
+            );
+            Trainer::new(quick_opts(3)).fit(&mut m, &train, &[]);
+            m.predict_next(&[0, 1])
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn lr_decay_schedule_is_applied_and_stable() {
+        let train = markov_sequences(40, 8);
+        let mut opts = quick_opts(6);
+        opts.lr_decay = 0.5;
+        opts.decay_after = 1;
+        let mut model = LstmLm::new(
+            LstmConfig { vocab_size: 4, hidden_size: 8, n_layers: 1, dropout: 0.0, ..Default::default() },
+            15,
+        );
+        let stats = Trainer::new(opts).fit(&mut model, &train, &[]);
+        assert_eq!(stats.len(), 6);
+        assert!(stats.last().unwrap().train_nll < stats[0].train_nll);
+    }
+
+    #[test]
+    #[should_panic(expected = "lr_decay")]
+    fn rejects_bad_decay() {
+        let mut opts = quick_opts(2);
+        opts.lr_decay = 1.5;
+        Trainer::new(opts);
+    }
+
+    #[test]
+    fn two_layer_model_trains() {
+        let train = markov_sequences(60, 7);
+        let mut model = LstmLm::new(
+            LstmConfig { vocab_size: 4, hidden_size: 10, n_layers: 2, dropout: 0.1, ..Default::default() },
+            13,
+        );
+        let stats = Trainer::new(quick_opts(8)).fit(&mut model, &train, &[]);
+        assert!(stats.last().unwrap().train_nll < stats[0].train_nll);
+    }
+}

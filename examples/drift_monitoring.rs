@@ -1,0 +1,57 @@
+//! Concept-drift monitoring — the retraining trigger of Section 6.
+//!
+//! The deployed tool retrains its LDA "on demand or when the concept shift
+//! is taken place". This example slides a yearly window over the corpus,
+//! compares each year's product-acquisition mix against a fixed reference
+//! period, and shows where the drift detector would have fired a retrain.
+//!
+//! ```sh
+//! cargo run -p hlm-examples --release --bin drift_monitoring
+//! ```
+
+use hlm_corpus::{Month, TimeWindow};
+use hlm_eval::detect_drift;
+use hlm_examples::{example_corpus, header};
+
+fn main() {
+    let corpus = example_corpus();
+    let reference = TimeWindow::new(Month::from_ym(1995, 1), 36);
+    header(&format!(
+        "Reference period {} (acquisition mix of the mid-90s install base)",
+        reference
+    ));
+
+    header("Yearly drift checks against the reference");
+    println!(
+        "{:<12} {:>8} {:>12} {:>10} {:>8}   verdict",
+        "period", "events", "chi-square", "p-value", "JS"
+    );
+    let mut first_drift: Option<Month> = None;
+    for year in (1998..=2015).step_by(2) {
+        let recent = TimeWindow::new(Month::from_ym(year, 1), 12);
+        let rep = detect_drift(&corpus, reference, recent, 0.01);
+        println!(
+            "{:<12} {:>8} {:>12.1} {:>10.2e} {:>8.4}   {}",
+            recent.start.to_string(),
+            rep.recent_events,
+            rep.chi_square,
+            rep.p_value,
+            rep.js_divergence,
+            if rep.drifted { "DRIFT — retrain" } else { "stable" }
+        );
+        if rep.drifted && first_drift.is_none() {
+            first_drift = Some(recent.start);
+        }
+    }
+
+    header("Interpretation");
+    match first_drift {
+        Some(m) => println!(
+            "The acquisition mix departs from the mid-90s reference starting around {m}: \
+             the generator's staged adoption (virtualization and cloud categories arrive \
+             late) shifts the distribution, exactly the kind of concept shift after which \
+             the paper's tool would retrain its LDA representations."
+        ),
+        None => println!("No drift detected — the corpus is stationary at this scale."),
+    }
+}

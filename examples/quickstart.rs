@@ -1,0 +1,57 @@
+//! Quickstart: generate an install-base corpus, train the paper's winning
+//! model (3-topic LDA), inspect the learned topics, and get similar
+//! companies plus product recommendations for one customer.
+//!
+//! ```sh
+//! cargo run -p hlm-examples --release --bin quickstart
+//! ```
+
+use hlm_core::representations::lda_representations;
+use hlm_core::{CompanyFilter, DistanceMetric, SalesApplication};
+use hlm_corpus::CompanyId;
+use hlm_examples::{describe, example_corpus, example_lda, header};
+
+fn main() {
+    header("1. Simulated HG-Data-style corpus");
+    let corpus = example_corpus();
+    println!(
+        "{} companies over {} product categories, {} industries, {:.1} products/company",
+        corpus.len(),
+        corpus.vocab().len(),
+        corpus.industries().len(),
+        corpus.mean_products_per_company()
+    );
+
+    header("2. Train LDA (3 latent topics — the paper's best setting)");
+    let (lda, docs) = example_lda(&corpus, 3);
+    for k in 0..lda.n_topics() {
+        let tops: Vec<String> = lda
+            .top_products(k, 6)
+            .into_iter()
+            .map(|(w, p)| {
+                format!("{} ({:.2})", corpus.vocab().name(hlm_corpus::ProductId(w as u16)), p)
+            })
+            .collect();
+        println!("topic {k}: {}", tops.join(", "));
+    }
+
+    header("3. Company representations and similarity search");
+    let reps = lda_representations(&lda, &docs);
+    let app = SalesApplication::new(corpus, reps, DistanceMetric::Cosine);
+    let customer = CompanyId(42);
+    println!("customer: {}", describe(app.corpus(), customer));
+    println!("most similar companies:");
+    for s in app.find_similar(customer, 5, &CompanyFilter::default()) {
+        println!("  d={:.4}  {}", s.distance, describe(app.corpus(), s.id));
+    }
+
+    header("4. Whitespace recommendations");
+    for rec in app.recommend_whitespace(customer, 20, &CompanyFilter::default()).iter().take(5) {
+        println!(
+            "  {} (score {:.2}, owned by {}/20 similar companies)",
+            app.corpus().vocab().name(rec.product),
+            rec.score,
+            rec.owners_among_similar
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Whitespace analysis — the deployed sales tool of Section 6.
+//!
+//! A hardware-services provider picks an existing customer, finds companies
+//! with a similar IT install base (optionally filtered by industry, country
+//! and size), and reads off the products those similar companies own that
+//! the prospect does not — the sales whitespace.
+//!
+//! ```sh
+//! cargo run -p hlm-examples --release --bin whitespace_analysis
+//! ```
+
+use hlm_core::representations::lda_representations;
+use hlm_core::{CompanyFilter, DistanceMetric, SalesApplication};
+use hlm_examples::{describe, example_corpus, example_lda, header};
+
+fn main() {
+    let corpus = example_corpus();
+    let (lda, docs) = example_lda(&corpus, 3);
+    let reps = lda_representations(&lda, &docs);
+    let app = SalesApplication::new(corpus, reps, DistanceMetric::Cosine);
+
+    // Pick a mid-sized customer with a substantial install base.
+    let customer = app
+        .corpus()
+        .iter()
+        .find(|(_, c)| c.product_count() >= 8 && c.employees > 100)
+        .map(|(id, _)| id)
+        .expect("corpus has substantial companies");
+
+    header("Customer profile");
+    println!("{}", describe(app.corpus(), customer));
+
+    header("Unfiltered: top-10 similar companies anywhere");
+    for s in app.find_similar(customer, 10, &CompanyFilter::default()) {
+        println!("  d={:.4}  {}", s.distance, describe(app.corpus(), s.id));
+    }
+
+    let home_country = app.corpus().company(customer).country;
+    let filter = CompanyFilter {
+        country: Some(home_country),
+        employees: Some((50, u32::MAX)),
+        ..Default::default()
+    };
+    header(&format!("Filtered: same country ({home_country}), ≥ 50 employees"));
+    let similar = app.find_similar(customer, 10, &filter);
+    for s in &similar {
+        println!("  d={:.4}  {}", s.distance, describe(app.corpus(), s.id));
+    }
+
+    header("Whitespace: products the similar companies own but the customer lacks");
+    let recs = app.recommend_whitespace(customer, 20, &filter);
+    if recs.is_empty() {
+        println!("  (no whitespace — the customer already owns everything its peers own)");
+    }
+    for r in recs.iter().take(8) {
+        println!(
+            "  {:<28} score {:.2}   ({} of the 20 similar companies own it)",
+            app.corpus().vocab().name(r.product),
+            r.score,
+            r.owners_among_similar
+        );
+    }
+
+    header("Interpretation");
+    println!("The scores are similarity-weighted prevalence among the peer set; the");
+    println!("deployed tool enriches exactly this list with internal account data");
+    println!("before it reaches an offering manager (Section 6 of the paper).");
+}

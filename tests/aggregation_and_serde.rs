@@ -1,0 +1,119 @@
+//! Data-integration pipeline (site aggregation) and serialization
+//! round-trips of the shared artefacts.
+
+use hlm_corpus::aggregate::aggregate_sites;
+use hlm_corpus::{Corpus, Month};
+use hlm_datagen::{generate_sites, GeneratorConfig};
+use hlm_tests::{quick_lda, test_corpus};
+
+#[test]
+fn site_roll_up_preserves_the_union_of_products() {
+    let cfg = GeneratorConfig::with_size_and_seed(100, 41);
+    let (vocab, sites) = generate_sites(&cfg);
+    // Union of products over a parent's sites == aggregated install base.
+    let mut union: std::collections::HashMap<u64, std::collections::BTreeSet<u16>> =
+        std::collections::HashMap::new();
+    for s in &sites {
+        let e = union.entry(s.domestic_parent_duns).or_default();
+        for ev in &s.events {
+            e.insert(ev.product.0);
+        }
+    }
+    let corpus = aggregate_sites(vocab, sites);
+    for company in corpus.companies() {
+        let expect = &union[&company.duns];
+        let got: std::collections::BTreeSet<u16> =
+            company.product_set().into_iter().map(|p| p.0).collect();
+        assert_eq!(&got, expect, "company {}", company.duns);
+    }
+}
+
+#[test]
+fn aggregated_first_seen_is_min_across_sites() {
+    let cfg = GeneratorConfig::with_size_and_seed(80, 42);
+    let (vocab, sites) = generate_sites(&cfg);
+    let mut min_seen: std::collections::HashMap<(u64, u16), Month> =
+        std::collections::HashMap::new();
+    for s in &sites {
+        for ev in &s.events {
+            let key = (s.domestic_parent_duns, ev.product.0);
+            min_seen
+                .entry(key)
+                .and_modify(|m| *m = (*m).min(ev.first_seen))
+                .or_insert(ev.first_seen);
+        }
+    }
+    let corpus = aggregate_sites(vocab, sites);
+    for company in corpus.companies() {
+        for ev in company.events() {
+            assert_eq!(ev.first_seen, min_seen[&(company.duns, ev.product.0)]);
+        }
+    }
+}
+
+#[test]
+fn corpus_round_trips_through_json() {
+    let corpus = test_corpus(50, 43);
+    let json = serde_json::to_string(&corpus).expect("serialize corpus");
+    let mut back: Corpus = serde_json::from_str(&json).expect("deserialize corpus");
+    // The vocabulary index is rebuilt lazily after deserialization.
+    assert_eq!(back.len(), corpus.len());
+    for (a, b) in corpus.companies().iter().zip(back.companies()) {
+        assert_eq!(a.product_set(), b.product_set());
+        assert_eq!(a.industry, b.industry);
+        assert_eq!(a.employees, b.employees);
+    }
+    // Vocabulary lookups work after an index rebuild.
+    let vocab_names: Vec<String> =
+        corpus.vocab().iter().map(|(_, n)| n.to_string()).collect();
+    let mut vocab = back.vocab().clone();
+    vocab.rebuild_index();
+    for n in &vocab_names {
+        assert!(vocab.id(n).is_some(), "lookup of {n} after round-trip");
+    }
+    let _ = &mut back;
+}
+
+#[test]
+fn lda_model_round_trips_through_json() {
+    let corpus = test_corpus(120, 44);
+    let ids: Vec<_> = corpus.ids().collect();
+    let (model, docs) = quick_lda(&corpus, &ids, 3);
+    let json = serde_json::to_string(&model).expect("serialize model");
+    let back: hlm_lda::LdaModel = serde_json::from_str(&json).expect("deserialize model");
+    assert_eq!(back.phi(), model.phi());
+    // Inference agrees exactly.
+    assert_eq!(back.infer_theta(&docs[0]), model.infer_theta(&docs[0]));
+}
+
+#[test]
+fn lstm_model_round_trips_through_json() {
+    use hlm_lstm::{LstmConfig, LstmLm};
+    let model = LstmLm::new(
+        LstmConfig { vocab_size: 6, hidden_size: 5, n_layers: 2, dropout: 0.2, ..Default::default() },
+        9,
+    );
+    let json = serde_json::to_string(&model).expect("serialize lstm");
+    let back: LstmLm = serde_json::from_str(&json).expect("deserialize lstm");
+    // Inference (dropout-free) must agree exactly.
+    assert_eq!(back.predict_next(&[0, 3, 2]), model.predict_next(&[0, 3, 2]));
+    assert_eq!(back.parameter_count(), model.parameter_count());
+}
+
+#[test]
+fn ngram_and_chh_round_trip_through_json() {
+    let corpus = test_corpus(100, 45);
+    let ids: Vec<_> = corpus.ids().collect();
+    let seqs = hlm_tests::index_sequences(&corpus, &ids);
+    let m = corpus.vocab().len();
+
+    let ngram = hlm_ngram::NgramLm::fit(hlm_ngram::NgramConfig::trigram(m), &seqs);
+    let back: hlm_ngram::NgramLm =
+        serde_json::from_str(&serde_json::to_string(&ngram).expect("ser")).expect("de");
+    assert_eq!(back.predict_next(&seqs[0][..2]), ngram.predict_next(&seqs[0][..2]));
+
+    let chh = hlm_chh::ExactChh::fit(2, m, &seqs);
+    let back: hlm_chh::ExactChh =
+        serde_json::from_str(&serde_json::to_string(&chh).expect("ser")).expect("de");
+    assert_eq!(back.predict_next(&seqs[0][..2]), chh.predict_next(&seqs[0][..2]));
+}

@@ -1,0 +1,52 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use hlm_corpus::{CompanyId, Corpus, Split};
+use hlm_datagen::GeneratorConfig;
+use hlm_lda::{GibbsTrainer, LdaConfig, LdaModel, WeightedDoc};
+
+/// A small but structured corpus: enough companies for every model to find
+/// signal, fast enough for CI.
+pub fn test_corpus(n: usize, seed: u64) -> Corpus {
+    hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(n, seed))
+}
+
+/// The paper's 70/10/20 split with a fixed seed.
+pub fn test_split(corpus: &Corpus) -> Split {
+    Split::paper(corpus, 99)
+}
+
+/// Quick LDA settings for integration tests.
+pub fn quick_lda_config(n_topics: usize, vocab_size: usize) -> LdaConfig {
+    LdaConfig {
+        n_topics,
+        vocab_size,
+        n_iters: 80,
+        burn_in: 40,
+        sample_lag: 5,
+        seed: 7,
+        alpha: None,
+        beta: 0.1,
+        ..Default::default()
+    }
+}
+
+/// Trains a quick LDA on the given companies' full install bases.
+pub fn quick_lda(
+    corpus: &Corpus,
+    ids: &[CompanyId],
+    n_topics: usize,
+) -> (LdaModel, Vec<WeightedDoc>) {
+    let docs = hlm_core::representations::binary_docs(corpus, ids);
+    let model =
+        GibbsTrainer::new(quick_lda_config(n_topics, corpus.vocab().len())).fit(&docs);
+    (model, docs)
+}
+
+/// Product sequences (as index vectors) for the given companies.
+pub fn index_sequences(corpus: &Corpus, ids: &[CompanyId]) -> Vec<Vec<usize>> {
+    ids.iter()
+        .map(|&id| {
+            corpus.company(id).product_sequence().into_iter().map(|p| p.index()).collect()
+        })
+        .collect()
+}

@@ -1,0 +1,134 @@
+//! End-to-end pipeline: generate → split → train every model family →
+//! compare goodness of fit, reproducing the paper's Table-1 ordering at
+//! integration-test scale.
+
+use hlm_lda::document_completion_perplexity;
+use hlm_lstm::{AdamOptions, LstmConfig, LstmLm, TrainOptions, Trainer};
+use hlm_ngram::{NgramConfig, NgramLm};
+use hlm_tests::{index_sequences, quick_lda_config, test_corpus, test_split};
+
+#[test]
+fn perplexity_ordering_matches_table_1() {
+    let corpus = test_corpus(600, 11);
+    let split = test_split(&corpus);
+    let m = corpus.vocab().len();
+
+    // LDA (3 topics, binary input).
+    let train_docs = hlm_core::representations::binary_docs(&corpus, &split.train);
+    let test_docs = hlm_core::representations::binary_docs(&corpus, &split.test);
+    let lda = hlm_lda::GibbsTrainer::new(quick_lda_config(3, m)).fit(&train_docs);
+    let ppl_lda = document_completion_perplexity(&lda, &test_docs);
+
+    // Sequence models.
+    let train_seqs = index_sequences(&corpus, &split.train);
+    let test_seqs = index_sequences(&corpus, &split.test);
+    let ppl_uni = NgramLm::fit(NgramConfig::unigram(m), &train_seqs).perplexity(&test_seqs);
+    let ppl_bi = NgramLm::fit(NgramConfig::bigram(m), &train_seqs).perplexity(&test_seqs);
+
+    let mut lstm = LstmLm::new(
+        LstmConfig { vocab_size: m, hidden_size: 64, n_layers: 1, dropout: 0.1, ..Default::default() },
+        5,
+    );
+    Trainer::new(TrainOptions {
+        epochs: 5,
+        batch_size: 16,
+        adam: AdamOptions { learning_rate: 5e-3, ..Default::default() },
+        patience: 0,
+        seed: 3,
+        verbose: false,
+        ..Default::default()
+    })
+    .fit(&mut lstm, &train_seqs, &[]);
+    let ppl_lstm = lstm.perplexity(&test_seqs);
+
+    // Table 1 ordering: LDA < LSTM < n-gram < unigram.
+    assert!(
+        ppl_lda < ppl_lstm,
+        "LDA {ppl_lda} must beat LSTM {ppl_lstm} (paper Table 1)"
+    );
+    assert!(ppl_lstm < ppl_uni, "LSTM {ppl_lstm} must beat unigram {ppl_uni}");
+    assert!(ppl_bi < ppl_uni, "bigram {ppl_bi} must beat unigram {ppl_uni}");
+    // And the margin between LDA and the unigram baseline is large, as in
+    // the paper's 8.5 vs 19.5.
+    assert!(ppl_lda * 1.5 < ppl_uni, "LDA {ppl_lda} vs unigram {ppl_uni}");
+}
+
+#[test]
+fn lda_topics_recover_planted_profile_structure() {
+    let corpus = test_corpus(500, 12);
+    let ids: Vec<_> = corpus.ids().collect();
+    let (model, _) = hlm_tests::quick_lda(&corpus, &ids, 3);
+
+    // Each planted profile has an anchor product; the trained topics should
+    // separate at least two anchors into different argmax topics.
+    let anchor = |name: &str| corpus.vocab().id(name).expect("standard category").index();
+    let topic_of = |w: usize| -> usize {
+        let col: Vec<f64> = (0..3).map(|k| model.phi().get(k, w)).collect();
+        hlm_linalg::vector::argmax(&col).expect("3 topics")
+    };
+    let t_hw = topic_of(anchor("server_HW"));
+    let t_sw = topic_of(anchor("DBMS"));
+    let t_comms = topic_of(anchor("telephony"));
+    let distinct: std::collections::HashSet<usize> = [t_hw, t_sw, t_comms].into_iter().collect();
+    assert!(
+        distinct.len() >= 2,
+        "anchors should split across topics: hw={t_hw} sw={t_sw} comms={t_comms}"
+    );
+}
+
+#[test]
+fn sequence_models_pick_up_generator_order() {
+    // After seeing a foundational product, sequence models should rank
+    // same-stage/next-stage products above late-stage cloud products.
+    let corpus = test_corpus(800, 13);
+    let ids: Vec<_> = corpus.ids().collect();
+    let seqs = index_sequences(&corpus, &ids);
+    let os = corpus.vocab().id("OS").unwrap().index();
+    let cloud = corpus.vocab().id("cloud_infrastructure").unwrap().index();
+    let server = corpus.vocab().id("server_HW").unwrap().index();
+
+    let bigram = NgramLm::fit(NgramConfig::bigram(corpus.vocab().len()), &seqs);
+    let d = bigram.predict_next(&[os]);
+    assert!(
+        d[server] > d[cloud],
+        "after OS, server_HW ({}) should outrank cloud ({})",
+        d[server],
+        d[cloud]
+    );
+
+    let chh = hlm_chh::ExactChh::fit(2, corpus.vocab().len(), &seqs);
+    let d2 = chh.predict_next(&[os]);
+    assert!(d2[server] > d2[cloud], "CHH agrees: {} vs {}", d2[server], d2[cloud]);
+}
+
+#[test]
+fn every_model_produces_proper_score_vectors() {
+    let corpus = test_corpus(300, 14);
+    let ids: Vec<_> = corpus.ids().collect();
+    let seqs = index_sequences(&corpus, &ids);
+    let m = corpus.vocab().len();
+    let history: Vec<usize> = seqs.iter().find(|s| s.len() >= 3).expect("non-trivial history")
+        [..3]
+        .to_vec();
+
+    let check = |name: &str, scores: Vec<f64>| {
+        assert_eq!(scores.len(), m, "{name} length");
+        assert!(scores.iter().all(|&s| (0.0..=1.0 + 1e-9).contains(&s)), "{name} range");
+        assert!(scores.iter().all(|s| s.is_finite()), "{name} finite");
+    };
+    let (lda, _) = hlm_tests::quick_lda(&corpus, &ids, 3);
+    check("LDA", {
+        let doc: Vec<(usize, f64)> = history.iter().map(|&w| (w, 1.0)).collect();
+        lda.predict_products(&doc)
+    });
+    check(
+        "ngram",
+        NgramLm::fit(NgramConfig::trigram(m), &seqs).predict_next(&history),
+    );
+    check("CHH", hlm_chh::ExactChh::fit(2, m, &seqs).predict_next(&history));
+    let lstm = LstmLm::new(
+        LstmConfig { vocab_size: m, hidden_size: 12, n_layers: 1, dropout: 0.0, ..Default::default() },
+        1,
+    );
+    check("LSTM", lstm.predict_next(&history));
+}

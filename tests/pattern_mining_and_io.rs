@@ -1,0 +1,139 @@
+//! Integration coverage for the pattern-mining family (Apriori vs CHH on
+//! generated data) and the CSV interchange path at realistic scale.
+
+use hlm_chh::{AprioriConfig, AprioriModel, ExactChh};
+use hlm_corpus::io::{from_csv, to_csv};
+use hlm_tests::{index_sequences, test_corpus};
+
+#[test]
+fn apriori_mines_profile_structure_from_generated_corpus() {
+    let corpus = test_corpus(600, 71);
+    let ids: Vec<_> = corpus.ids().collect();
+    let baskets = index_sequences(&corpus, &ids);
+    let model = AprioriModel::mine(
+        corpus.vocab().len(),
+        &baskets,
+        &AprioriConfig { min_support: 0.05, min_confidence: 0.3, max_len: 3 },
+    );
+    assert!(model.rules().len() > 10, "rich rule set expected, got {}", model.rules().len());
+
+    // Rules with high lift should connect same-profile products: check that
+    // at least one high-lift rule pairs two datacenter-profile categories.
+    let id_of = |name: &str| corpus.vocab().id(name).expect("standard category").index();
+    let datacenter: Vec<usize> =
+        ["server_HW", "storage_HW", "mainframs", "midrange", "data_archiving"]
+            .iter()
+            .map(|n| id_of(n))
+            .collect();
+    let has_profile_rule = model.rules().iter().any(|r| {
+        r.lift > 1.5
+            && r.antecedent.iter().all(|i| datacenter.contains(i))
+            && datacenter.contains(&r.consequent)
+    });
+    assert!(has_profile_rule, "expected a high-lift datacenter rule");
+
+    // Every reported rule satisfies the thresholds and basic identities.
+    for r in model.rules() {
+        assert!(r.support >= 0.05 - 1e-12);
+        assert!(r.confidence >= 0.3 - 1e-12);
+        assert!(r.confidence <= 1.0 + 1e-12);
+        assert!(r.lift > 0.0);
+        // support(rule) <= support(antecedent): confidence = s/s_ant <= 1.
+        let s_ant = model.support_of(&r.antecedent).expect("antecedent frequent");
+        assert!(r.support <= s_ant + 1e-12);
+    }
+}
+
+#[test]
+fn apriori_and_chh_agree_on_strong_pairwise_structure() {
+    // The two Section-3.2 miners look at different views (sets vs order),
+    // but a near-deterministic pair should surface in both.
+    let corpus = test_corpus(600, 72);
+    let ids: Vec<_> = corpus.ids().collect();
+    let seqs = index_sequences(&corpus, &ids);
+    let m = corpus.vocab().len();
+
+    let apriori = AprioriModel::mine(
+        m,
+        &seqs,
+        &AprioriConfig { min_support: 0.05, min_confidence: 0.4, max_len: 2 },
+    );
+    let chh = ExactChh::fit(1, m, &seqs);
+    let chh_rules = chh.heavy_hitters(1, 0.2, 20);
+
+    // For each CHH rule context->item, the itemset {context, item} should be
+    // frequent in the Apriori sense reasonably often.
+    let mut both = 0usize;
+    for rule in chh_rules.iter().take(20) {
+        let mut itemset = vec![rule.context[0], rule.item];
+        itemset.sort_unstable();
+        if apriori.support_of(&itemset).is_some() {
+            both += 1;
+        }
+    }
+    assert!(
+        both >= chh_rules.len().min(20) / 2,
+        "at least half of the strong CHH pairs are frequent itemsets ({both})"
+    );
+}
+
+#[test]
+fn csv_round_trip_preserves_a_generated_corpus_exactly() {
+    let corpus = test_corpus(400, 73);
+    let (companies_csv, events_csv) = to_csv(&corpus);
+    let back = from_csv(corpus.vocab().clone(), &companies_csv, &events_csv)
+        .expect("generated corpus parses back");
+    assert_eq!(back.len(), corpus.len());
+    assert_eq!(back.total_tokens(), corpus.total_tokens());
+    for (a, b) in corpus.companies().iter().zip(back.companies()) {
+        assert_eq!(a.events(), b.events(), "events of {}", a.name);
+        assert_eq!(a.site_count, b.site_count);
+        assert_eq!(a.country, b.country);
+    }
+    // Derived structures match exactly too.
+    assert_eq!(back.document_frequencies(), corpus.document_frequencies());
+    assert_eq!(back.unigram_distribution(), corpus.unigram_distribution());
+}
+
+#[test]
+fn csv_is_stable_under_double_round_trip() {
+    let corpus = test_corpus(150, 74);
+    let (c1, e1) = to_csv(&corpus);
+    let back = from_csv(corpus.vocab().clone(), &c1, &e1).expect("first parse");
+    let (c2, e2) = to_csv(&back);
+    assert_eq!(c1, c2, "companies CSV must be a fixed point");
+    assert_eq!(e1, e2, "events CSV must be a fixed point");
+}
+
+#[test]
+fn streaming_chh_tracks_exact_on_generated_sequences() {
+    let corpus = test_corpus(500, 75);
+    let ids: Vec<_> = corpus.ids().collect();
+    let seqs = index_sequences(&corpus, &ids);
+    let m = corpus.vocab().len();
+
+    let exact = ExactChh::fit(1, m, &seqs);
+    let mut stream = hlm_chh::StreamingChh::new(1, m, 64, 8);
+    for s in &seqs {
+        stream.observe_sequence(s);
+    }
+    // The strongest exact rules must survive the budgeted sketch with
+    // approximately correct probabilities.
+    let top = exact.heavy_hitters(1, 0.15, 20);
+    assert!(!top.is_empty(), "strong rules exist at this scale");
+    let mut tracked = 0usize;
+    for rule in top.iter().take(5) {
+        let p = stream.conditional_probability(&rule.context, rule.item);
+        if p > 0.0 {
+            tracked += 1;
+            assert!(
+                (p - rule.probability).abs() < 0.25,
+                "sketch p {p} vs exact {} for {:?}->{}",
+                rule.probability,
+                rule.context,
+                rule.item
+            );
+        }
+    }
+    assert!(tracked >= 3, "sketch should keep most of the top rules ({tracked}/5)");
+}

@@ -1,0 +1,120 @@
+//! Property-based invariants across crate boundaries.
+
+use hlm_chh::ExactChh;
+use hlm_corpus::{Corpus, Split};
+use hlm_eval::stats::{binomial_sf, five_number_summary, mean_ci};
+use hlm_ngram::{NgramConfig, NgramLm};
+use proptest::prelude::*;
+
+/// Arbitrary product sequences over a small vocabulary.
+fn sequences_strategy(vocab: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(prop::collection::vec(0..vocab, 1..10), 1..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn split_is_always_a_partition(n in 1usize..200, seed in 0u64..1000) {
+        let corpus = tiny_corpus(n);
+        let split = Split::new(&corpus, 0.7, 0.1, seed);
+        let mut all: Vec<u32> = split
+            .train
+            .iter()
+            .chain(&split.valid)
+            .chain(&split.test)
+            .map(|id| id.0)
+            .collect();
+        all.sort_unstable();
+        let expect: Vec<u32> = (0..n as u32).collect();
+        prop_assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn ngram_predictions_are_distributions(
+        seqs in sequences_strategy(6),
+        order in 1usize..4,
+        hist in prop::collection::vec(0usize..6, 0..4),
+    ) {
+        let lm = NgramLm::fit(
+            NgramConfig { order, vocab_size: 6, lambdas: None, add_k: 0.5 },
+            &seqs,
+        );
+        let d = lm.predict_next(&hist);
+        prop_assert_eq!(d.len(), 6);
+        prop_assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(d.iter().all(|&p| p >= 0.0));
+        // Token-level distribution is proper too.
+        let full = lm.predict_next_tokens(&hist);
+        prop_assert!((full.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chh_conditionals_sum_to_one_on_observed_contexts(
+        seqs in sequences_strategy(5),
+    ) {
+        let chh = ExactChh::fit(2, 5, &seqs);
+        // Any context actually observed must carry a proper conditional.
+        for seq in &seqs {
+            for w in seq.windows(2) {
+                let ctx = &w[..1];
+                if chh.context_support(ctx) > 0 {
+                    let total: f64 =
+                        (0..5).map(|i| chh.conditional_probability(ctx, i)).sum();
+                    prop_assert!((total - 1.0).abs() < 1e-9, "ctx {ctx:?} sums to {total}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_sf_is_monotone_in_k(n in 1u64..500, p in 0.01f64..0.99, k in 0u64..500) {
+        let k = k.min(n);
+        let a = binomial_sf(k, n, p);
+        let b = binomial_sf(k + 1, n, p);
+        prop_assert!(b <= a + 1e-12, "sf must fall with k: {a} -> {b}");
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&a));
+    }
+
+    #[test]
+    fn five_number_summary_is_ordered(xs in prop::collection::vec(-100.0f64..100.0, 1..60)) {
+        let f = five_number_summary(&xs);
+        prop_assert!(f.min <= f.q1 + 1e-12);
+        prop_assert!(f.q1 <= f.median + 1e-12);
+        prop_assert!(f.median <= f.q3 + 1e-12);
+        prop_assert!(f.q3 <= f.max + 1e-12);
+    }
+
+    #[test]
+    fn mean_ci_contains_the_mean(xs in prop::collection::vec(-50.0f64..50.0, 2..40)) {
+        let ci = mean_ci(&xs, 0.95);
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((ci.mean - m).abs() < 1e-9);
+        prop_assert!(ci.low() <= m + 1e-9 && m <= ci.high() + 1e-9);
+    }
+
+    #[test]
+    fn lda_theta_is_always_a_distribution(
+        doc in prop::collection::vec((0usize..8, 0.1f64..5.0), 0..12),
+    ) {
+        // A fixed small model; any weighted document must yield a simplex θ.
+        let phi = {
+            let mut m = hlm_linalg::Matrix::from_fn(2, 8, |k, w| ((k + w) % 3 + 1) as f64);
+            m.normalize_rows();
+            m
+        };
+        let model = hlm_lda::LdaModel::new(phi, 0.2, 0.1);
+        let theta = model.infer_theta(&doc);
+        prop_assert!((theta.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(theta.iter().all(|&x| x >= 0.0));
+        let pred = model.predictive_distribution(&theta);
+        prop_assert!((pred.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}
+
+fn tiny_corpus(n: usize) -> Corpus {
+    use hlm_corpus::{Company, Sic2, Vocabulary};
+    let companies =
+        (0..n).map(|i| Company::new(i as u64, format!("c{i}"), Sic2(1), 0)).collect();
+    Corpus::new(Vocabulary::new(["a"]), companies)
+}

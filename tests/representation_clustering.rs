@@ -1,0 +1,162 @@
+//! Representations → clustering → silhouette, the Figure-7 pipeline, plus
+//! the t-SNE product-map pipeline of Figures 8–9.
+
+use hlm_cluster::{kmeans, silhouette_score, tsne, KmeansOptions, TsneOptions};
+use hlm_core::representations as reps;
+use hlm_corpus::tfidf::TfIdf;
+use hlm_tests::{quick_lda, test_corpus, test_split};
+
+#[test]
+fn figure_7_ordering_lda_beats_tfidf_beats_raw() {
+    let corpus = test_corpus(400, 31);
+    let split = test_split(&corpus);
+    let sample: Vec<_> = split.train.iter().copied().take(250).collect();
+    let tfidf = TfIdf::fit(&corpus, &split.train);
+
+    let raw = reps::raw_binary(&corpus, &sample);
+    let raw_tfidf = reps::raw_tfidf(&corpus, &sample, &tfidf);
+    let (lda, docs) = quick_lda(&corpus, &sample, 3);
+    let lda_b = reps::lda_representations(&lda, &docs);
+
+    let sil = |m: &hlm_linalg::Matrix, k: usize| {
+        let res = kmeans(m, &KmeansOptions::new(k));
+        silhouette_score(m, &res.assignments)
+    };
+    for k in [10usize, 30] {
+        let s_raw = sil(&raw, k);
+        let s_tfidf = sil(&raw_tfidf, k);
+        let s_lda = sil(&lda_b, k);
+        assert!(
+            s_lda > s_raw,
+            "k={k}: lda {s_lda} must beat raw {s_raw} (paper Fig. 7)"
+        );
+        assert!(
+            s_lda > s_tfidf,
+            "k={k}: lda {s_lda} must beat raw tfidf {s_tfidf}"
+        );
+    }
+}
+
+#[test]
+fn lda_topic_space_clusters_align_with_dominant_topic() {
+    let corpus = test_corpus(300, 32);
+    let ids: Vec<_> = corpus.ids().collect();
+    let (lda, docs) = quick_lda(&corpus, &ids, 3);
+    let b = reps::lda_representations(&lda, &docs);
+    let res = kmeans(&b, &KmeansOptions::new(3));
+
+    // Companies sharing a cluster should mostly share their argmax topic.
+    let argmax_topic: Vec<usize> = (0..b.rows())
+        .map(|i| hlm_linalg::vector::argmax(b.row(i)).expect("3 topics"))
+        .collect();
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for c in 0..3 {
+        let members: Vec<usize> =
+            (0..b.rows()).filter(|&i| res.assignments[i] == c).collect();
+        if members.len() < 2 {
+            continue;
+        }
+        // Majority topic of the cluster.
+        let mut counts = [0usize; 3];
+        for &i in &members {
+            counts[argmax_topic[i]] += 1;
+        }
+        let majority = counts.iter().copied().max().unwrap();
+        agree += majority;
+        total += members.len();
+    }
+    let purity = agree as f64 / total as f64;
+    assert!(purity > 0.8, "cluster/topic purity {purity}");
+}
+
+#[test]
+fn tsne_on_lda_product_embeddings_is_stable_and_structured() {
+    let corpus = test_corpus(400, 33);
+    let ids: Vec<_> = corpus.ids().collect();
+    let (lda, _) = quick_lda(&corpus, &ids, 3);
+    let emb = lda.product_embeddings();
+    assert_eq!(emb.shape(), (38, 3));
+
+    let coords = tsne(&emb, &TsneOptions { perplexity: 5.0, n_iters: 300, ..Default::default() });
+    assert_eq!(coords.shape(), (38, 2));
+    assert!(coords.is_finite());
+
+    // Products with the same argmax topic should sit closer together than
+    // products from different topics, on average.
+    let topic: Vec<usize> = (0..38)
+        .map(|w| hlm_linalg::vector::argmax(emb.row(w)).expect("topics"))
+        .collect();
+    let mut intra = (0.0, 0usize);
+    let mut inter = (0.0, 0usize);
+    for i in 0..38 {
+        for j in i + 1..38 {
+            let d = hlm_linalg::vector::euclidean_distance(coords.row(i), coords.row(j));
+            if topic[i] == topic[j] {
+                intra.0 += d;
+                intra.1 += 1;
+            } else {
+                inter.0 += d;
+                inter.1 += 1;
+            }
+        }
+    }
+    let intra_mean = intra.0 / intra.1.max(1) as f64;
+    let inter_mean = inter.0 / inter.1.max(1) as f64;
+    assert!(
+        inter_mean > intra_mean,
+        "same-topic products should co-locate: intra {intra_mean} vs inter {inter_mean}"
+    );
+}
+
+#[test]
+fn lstm_embeddings_feed_clustering_without_degenerate_output() {
+    use hlm_lstm::{LstmConfig, LstmLm};
+    let corpus = test_corpus(120, 34);
+    let ids: Vec<_> = corpus.ids().collect();
+    let model = LstmLm::new(
+        LstmConfig { vocab_size: 38, hidden_size: 8, n_layers: 1, dropout: 0.0, ..Default::default() },
+        4,
+    );
+    let b = reps::lstm_representations(&model, &corpus, &ids);
+    let res = kmeans(&b, &KmeansOptions::new(5));
+    let mut distinct = res.assignments.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    assert!(distinct.len() >= 2, "LSTM embeddings must not collapse to one point");
+    let s = silhouette_score(&b, &res.assignments);
+    assert!(s.is_finite());
+}
+
+#[test]
+fn oculur_style_nmf_coclusters_recover_profiles_but_share_popular_products() {
+    // Section 3.1: factorization-based co-clustering on the raw binary
+    // matrix. The components align with the planted profiles (so NMF is not
+    // useless), yet the near-ubiquitous products load on several components
+    // at once — the popularity-dominance effect that pushed the paper to
+    // learned LDA features.
+    use hlm_cluster::{nmf, NmfOptions};
+    let corpus = hlm_tests::test_corpus(400, 35);
+    let ids: Vec<_> = corpus.ids().collect();
+    let binary = reps::raw_binary(&corpus, &ids);
+    let fit = nmf(&binary, &NmfOptions::new(3));
+    assert!(fit.relative_error < 0.9, "error {}", fit.relative_error);
+
+    let ccs = fit.overlapping_coclusters(0.4);
+    let os = corpus.vocab().id("OS").unwrap().index();
+    let in_n = |p: usize| ccs.iter().filter(|c| c.cols.contains(&p)).count();
+    // OS (ubiquitous) appears in at least two of the three co-clusters.
+    assert!(in_n(os) >= 2, "OS should load on multiple co-clusters, got {}", in_n(os));
+    // A niche profile product appears in fewer co-clusters than OS.
+    let niche = corpus.vocab().id("product_lifecycle").unwrap().index();
+    assert!(in_n(niche) <= in_n(os), "niche {} vs OS {}", in_n(niche), in_n(os));
+
+    // Profile anchors separate across components: server_HW and DBMS do not
+    // share all their co-clusters.
+    let server = corpus.vocab().id("server_HW").unwrap().index();
+    let dbms = corpus.vocab().id("DBMS").unwrap().index();
+    let comps = |p: usize| -> Vec<usize> {
+        ccs.iter().filter(|c| c.cols.contains(&p)).map(|c| c.component).collect()
+    };
+    assert_ne!(comps(server), comps(dbms), "profile anchors must differ");
+}

@@ -1,0 +1,127 @@
+//! The Section-6 sales application, end to end: LDA representations feeding
+//! similar-company search with filters and whitespace recommendations.
+
+use hlm_core::representations::lda_representations;
+use hlm_core::{CompanyFilter, DistanceMetric, SalesApplication};
+use hlm_corpus::CompanyId;
+use hlm_tests::{quick_lda, test_corpus};
+
+fn build_app(n: usize, seed: u64) -> SalesApplication {
+    let corpus = test_corpus(n, seed);
+    let ids: Vec<_> = corpus.ids().collect();
+    let (lda, docs) = quick_lda(&corpus, &ids, 3);
+    let reps = lda_representations(&lda, &docs);
+    SalesApplication::new(corpus, reps, DistanceMetric::Cosine)
+}
+
+#[test]
+fn similar_companies_share_the_install_base_profile() {
+    let app = build_app(400, 51);
+    // Pick a query with a substantial install base so overlap is meaningful.
+    let query = app
+        .corpus()
+        .iter()
+        .find(|(_, c)| c.product_count() >= 10)
+        .map(|(id, _)| id)
+        .expect("substantial company exists");
+    let similar = app.find_similar(query, 10, &CompanyFilter::default());
+    assert_eq!(similar.len(), 10);
+
+    // The top-10 similar companies have a higher Jaccard overlap with the
+    // query's install base than the average company (Jaccard controls for
+    // install-base size, unlike a raw shared-product count).
+    let query_set: std::collections::HashSet<_> =
+        app.corpus().company(query).product_set().into_iter().collect();
+    let jaccard = |id: CompanyId| -> f64 {
+        let other: std::collections::HashSet<_> =
+            app.corpus().company(id).product_set().into_iter().collect();
+        let inter = query_set.intersection(&other).count() as f64;
+        let union = query_set.union(&other).count() as f64;
+        inter / union
+    };
+    let sim_mean: f64 =
+        similar.iter().map(|s| jaccard(s.id)).sum::<f64>() / similar.len() as f64;
+    let all_mean: f64 = app
+        .corpus()
+        .ids()
+        .filter(|&id| id != query)
+        .map(jaccard)
+        .sum::<f64>()
+        / (app.corpus().len() - 1) as f64;
+    assert!(
+        sim_mean > all_mean,
+        "similar Jaccard {sim_mean} must beat corpus average {all_mean}"
+    );
+}
+
+#[test]
+fn whitespace_recommendations_match_similar_company_inventories() {
+    let app = build_app(400, 52);
+    let query = CompanyId(11);
+    let recs = app.recommend_whitespace(query, 15, &CompanyFilter::default());
+    assert!(!recs.is_empty());
+    let similar = app.find_similar(query, 15, &CompanyFilter::default());
+    // Every recommended product is owned by at least one similar company.
+    for r in &recs {
+        let owners = similar
+            .iter()
+            .filter(|s| app.corpus().company(s.id).owns(r.product))
+            .count();
+        assert_eq!(owners, r.owners_among_similar, "owner count for {}", r.product);
+        assert!(owners >= 1);
+    }
+}
+
+#[test]
+fn filters_compose() {
+    let app = build_app(600, 53);
+    let query = CompanyId(0);
+    let all = app.find_similar(query, 600, &CompanyFilter::default());
+    let country = app.corpus().company(all[0].id).country;
+    let industry = app.corpus().company(all[0].id).industry;
+
+    let filtered = app.find_similar(
+        query,
+        600,
+        &CompanyFilter {
+            country: Some(country),
+            industry: Some(industry),
+            ..Default::default()
+        },
+    );
+    assert!(!filtered.is_empty(), "the closest match itself satisfies the filter");
+    for s in &filtered {
+        let c = app.corpus().company(s.id);
+        assert_eq!(c.country, country);
+        assert_eq!(c.industry, industry);
+    }
+    assert!(filtered.len() < all.len());
+
+    // Employee-range filter.
+    let big_only = app.find_similar(
+        query,
+        600,
+        &CompanyFilter { employees: Some((500, u32::MAX)), ..Default::default() },
+    );
+    for s in &big_only {
+        assert!(app.corpus().company(s.id).employees >= 500);
+    }
+}
+
+#[test]
+fn results_are_deterministic() {
+    let a = build_app(200, 54);
+    let b = build_app(200, 54);
+    let fa = a.find_similar(CompanyId(3), 5, &CompanyFilter::default());
+    let fb = b.find_similar(CompanyId(3), 5, &CompanyFilter::default());
+    assert_eq!(
+        fa.iter().map(|s| s.id).collect::<Vec<_>>(),
+        fb.iter().map(|s| s.id).collect::<Vec<_>>()
+    );
+    let ra = a.recommend_whitespace(CompanyId(3), 10, &CompanyFilter::default());
+    let rb = b.recommend_whitespace(CompanyId(3), 10, &CompanyFilter::default());
+    assert_eq!(
+        ra.iter().map(|r| r.product).collect::<Vec<_>>(),
+        rb.iter().map(|r| r.product).collect::<Vec<_>>()
+    );
+}
