@@ -16,7 +16,12 @@ fn fixture() -> (hlm_corpus::Corpus, Vec<Vec<usize>>, Vec<Vec<(usize, f64)>>) {
     let seqs: Vec<Vec<usize>> = ids
         .iter()
         .map(|&id| {
-            corpus.company(id).product_sequence().into_iter().map(|p| p.index()).collect()
+            corpus
+                .company(id)
+                .product_sequence()
+                .into_iter()
+                .map(|p| p.index())
+                .collect()
         })
         .collect();
     let docs = hlm_core::representations::binary_docs(&corpus, &ids);
@@ -34,8 +39,8 @@ fn bench_lda(c: &mut Criterion) {
         seed: 1,
         alpha: None,
         beta: 0.1,
-            ..Default::default()
-        };
+        ..Default::default()
+    };
     c.bench_function("lda_gibbs_20_sweeps_500_docs", |b| {
         b.iter(|| GibbsTrainer::new(cfg.clone()).fit(black_box(&docs)))
     });
@@ -50,10 +55,20 @@ fn bench_lda(c: &mut Criterion) {
 
 fn bench_lstm(c: &mut Criterion) {
     let (_, seqs, _) = fixture();
-    let seq = seqs.iter().find(|s| s.len() >= 8).expect("long sequence").clone();
+    let seq = seqs
+        .iter()
+        .find(|s| s.len() >= 8)
+        .expect("long sequence")
+        .clone();
     for &h in &[50usize, 200] {
         let model = LstmLm::new(
-            LstmConfig { vocab_size: 38, hidden_size: h, n_layers: 1, dropout: 0.2, ..Default::default() },
+            LstmConfig {
+                vocab_size: 38,
+                hidden_size: h,
+                n_layers: 1,
+                dropout: 0.2,
+                ..Default::default()
+            },
             3,
         );
         c.bench_function(&format!("lstm_train_sequence_h{h}"), |b| {
@@ -96,10 +111,19 @@ fn bench_bpmf(c: &mut Criterion) {
     let mut ratings = Vec::new();
     for (row, &id) in ids.iter().enumerate() {
         for p in corpus.company(id).product_set() {
-            ratings.push(Rating { row, col: p.index(), value: 1.0 });
+            ratings.push(Rating {
+                row,
+                col: p.index(),
+                value: 1.0,
+            });
         }
     }
-    let cfg = BpmfConfig { n_iters: 10, burn_in: 4, n_factors: 8, ..Default::default() };
+    let cfg = BpmfConfig {
+        n_iters: 10,
+        burn_in: 4,
+        n_factors: 8,
+        ..Default::default()
+    };
     let mut group = c.benchmark_group("bpmf");
     group.sample_size(10);
     group.bench_function("bpmf_gibbs_10_sweeps_150x38", |b| {

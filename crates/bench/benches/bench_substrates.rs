@@ -21,7 +21,9 @@ fn bench_datagen(c: &mut Criterion) {
 fn bench_corpus_ops(c: &mut Criterion) {
     let corpus = hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(2000, 9));
     let ids: Vec<_> = corpus.ids().collect();
-    c.bench_function("binary_matrix_2000x38", |b| b.iter(|| corpus.binary_matrix()));
+    c.bench_function("binary_matrix_2000x38", |b| {
+        b.iter(|| corpus.binary_matrix())
+    });
     c.bench_function("tfidf_fit_and_transform_2000", |b| {
         b.iter(|| {
             let t = TfIdf::fit(&corpus, &ids);
@@ -58,7 +60,11 @@ fn bench_tsne(c: &mut Criterion) {
         b.iter(|| {
             tsne(
                 black_box(&emb),
-                &TsneOptions { n_iters: 300, perplexity: 5.0, ..Default::default() },
+                &TsneOptions {
+                    n_iters: 300,
+                    perplexity: 5.0,
+                    ..Default::default()
+                },
             )
         })
     });
@@ -127,9 +133,7 @@ fn bench_clustered_index(c: &mut Criterion) {
     let mut group = c.benchmark_group("clustered_index");
     group.sample_size(20);
     group.bench_function("build_64_cells_5000x38", |b| {
-        b.iter(|| {
-            ClusteredIndex::build(reps.clone(), 64, DistanceMetric::Cosine, 1)
-        })
+        b.iter(|| ClusteredIndex::build(reps.clone(), 64, DistanceMetric::Cosine, 1))
     });
     group.finish();
     let index = ClusteredIndex::build(reps, 64, DistanceMetric::Cosine, 1);

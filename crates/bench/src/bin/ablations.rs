@@ -3,7 +3,10 @@
 
 fn main() {
     let scale = hlm_bench::ExpScale::from_env();
-    eprintln!("[ablations] scale: {} ({} companies)", scale.name, scale.n_companies);
+    eprintln!(
+        "[ablations] scale: {} ({} companies)",
+        scale.name, scale.n_companies
+    );
     for table in hlm_bench::experiments::ablations::run(&scale) {
         hlm_bench::emit(&table);
     }

@@ -3,7 +3,10 @@
 
 fn main() {
     let scale = hlm_bench::ExpScale::from_env();
-    eprintln!("[fig1_lstm_perplexity] scale: {} ({} companies)", scale.name, scale.n_companies);
+    eprintln!(
+        "[fig1_lstm_perplexity] scale: {} ({} companies)",
+        scale.name, scale.n_companies
+    );
     for table in hlm_bench::experiments::fig1_lstm::run(&scale) {
         hlm_bench::emit(&table);
     }

@@ -3,7 +3,10 @@
 
 fn main() {
     let scale = hlm_bench::ExpScale::from_env();
-    eprintln!("[fig2_lda_perplexity] scale: {} ({} companies)", scale.name, scale.n_companies);
+    eprintln!(
+        "[fig2_lda_perplexity] scale: {} ({} companies)",
+        scale.name, scale.n_companies
+    );
     for table in hlm_bench::experiments::fig2_lda::run(&scale) {
         hlm_bench::emit(&table);
     }

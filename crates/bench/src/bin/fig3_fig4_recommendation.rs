@@ -3,7 +3,10 @@
 
 fn main() {
     let scale = hlm_bench::ExpScale::from_env();
-    eprintln!("[fig3_fig4_recommendation] scale: {} ({} companies)", scale.name, scale.n_companies);
+    eprintln!(
+        "[fig3_fig4_recommendation] scale: {} ({} companies)",
+        scale.name, scale.n_companies
+    );
     for table in hlm_bench::experiments::fig3_fig4_recommendation::run(&scale) {
         hlm_bench::emit(&table);
     }

@@ -3,7 +3,10 @@
 
 fn main() {
     let scale = hlm_bench::ExpScale::from_env();
-    eprintln!("[fig5_fig6_bpmf] scale: {} ({} companies)", scale.name, scale.n_companies);
+    eprintln!(
+        "[fig5_fig6_bpmf] scale: {} ({} companies)",
+        scale.name, scale.n_companies
+    );
     for table in hlm_bench::experiments::fig5_fig6_bpmf::run(&scale) {
         hlm_bench::emit(&table);
     }

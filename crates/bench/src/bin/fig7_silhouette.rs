@@ -3,7 +3,10 @@
 
 fn main() {
     let scale = hlm_bench::ExpScale::from_env();
-    eprintln!("[fig7_silhouette] scale: {} ({} companies)", scale.name, scale.n_companies);
+    eprintln!(
+        "[fig7_silhouette] scale: {} ({} companies)",
+        scale.name, scale.n_companies
+    );
     for table in hlm_bench::experiments::fig7_silhouette::run(&scale) {
         hlm_bench::emit(&table);
     }

@@ -3,7 +3,10 @@
 
 fn main() {
     let scale = hlm_bench::ExpScale::from_env();
-    eprintln!("[fig8_fig9_tsne] scale: {} ({} companies)", scale.name, scale.n_companies);
+    eprintln!(
+        "[fig8_fig9_tsne] scale: {} ({} companies)",
+        scale.name, scale.n_companies
+    );
     for table in hlm_bench::experiments::fig8_fig9_tsne::run(&scale) {
         hlm_bench::emit(&table);
     }

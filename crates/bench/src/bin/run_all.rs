@@ -3,15 +3,25 @@
 
 fn main() {
     let scale = hlm_bench::ExpScale::from_env();
-    eprintln!("[run_all] scale: {} ({} companies)", scale.name, scale.n_companies);
+    eprintln!(
+        "[run_all] scale: {} ({} companies)",
+        scale.name, scale.n_companies
+    );
     use hlm_bench::experiments as e;
     let start = std::time::Instant::now();
-    let phases: Vec<(&str, fn(&hlm_bench::ExpScale) -> Vec<hlm_eval::report::Table>)> = vec![
+    type Phase = (
+        &'static str,
+        fn(&hlm_bench::ExpScale) -> Vec<hlm_eval::report::Table>,
+    );
+    let phases: Vec<Phase> = vec![
         ("sequentiality + n-gram baselines", e::sequentiality::run),
         ("Figure 2 (LDA perplexity)", e::fig2_lda::run),
         ("Figure 1 (LSTM perplexity)", e::fig1_lstm::run),
         ("Table 1 (minimum perplexities)", e::table1::run),
-        ("Figures 3-4 (recommendation accuracy)", e::fig3_fig4_recommendation::run),
+        (
+            "Figures 3-4 (recommendation accuracy)",
+            e::fig3_fig4_recommendation::run,
+        ),
         ("Figures 5-6 (BPMF)", e::fig5_fig6_bpmf::run),
         ("Figure 7 (silhouette curves)", e::fig7_silhouette::run),
         ("Figures 8-9 (t-SNE product maps)", e::fig8_fig9_tsne::run),

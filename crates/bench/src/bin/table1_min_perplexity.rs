@@ -3,7 +3,10 @@
 
 fn main() {
     let scale = hlm_bench::ExpScale::from_env();
-    eprintln!("[table1_min_perplexity] scale: {} ({} companies)", scale.name, scale.n_companies);
+    eprintln!(
+        "[table1_min_perplexity] scale: {} ({} companies)",
+        scale.name, scale.n_companies
+    );
     for table in hlm_bench::experiments::table1::run(&scale) {
         hlm_bench::emit(&table);
     }

@@ -5,9 +5,10 @@ use crate::experiments::fig2_lda::train_lda;
 use crate::ExpScale;
 use hlm_chh::{ExactChh, StreamingChh};
 use hlm_core::{neighbor_label_agreement, DistanceMetric};
+use hlm_engine::{fit_lda, LdaEstimator, ModelSpec};
 use hlm_eval::report::{fmt_f, Table};
-use hlm_lda::{document_completion_perplexity, GibbsTrainer, LdaConfig};
-use hlm_ngram::{NgramConfig, NgramLm};
+use hlm_lda::{document_completion_perplexity, LdaConfig};
+use hlm_ngram::NgramConfig;
 
 /// LDA ablation: Gibbs sweep count vs held-out perplexity (convergence).
 pub fn lda_sweeps(scale: &ExpScale) -> Table {
@@ -20,7 +21,7 @@ pub fn lda_sweeps(scale: &ExpScale) -> Table {
         &["sweeps", "test perplexity"],
     );
     for iters in [10usize, 30, 60, 120, 240] {
-        let model = GibbsTrainer::new(LdaConfig {
+        let cfg = LdaConfig {
             n_topics: 3,
             vocab_size: corpus.vocab().len(),
             n_iters: iters,
@@ -30,8 +31,8 @@ pub fn lda_sweeps(scale: &ExpScale) -> Table {
             alpha: None,
             beta: 0.1,
             ..Default::default()
-        })
-        .fit(&train);
+        };
+        let model = fit_lda(cfg, LdaEstimator::Gibbs, &train).expect("valid LDA spec");
         t.add_row(vec![
             iters.to_string(),
             fmt_f(document_completion_perplexity(&model, &test), 3),
@@ -57,8 +58,17 @@ pub fn ngram_lambdas(scale: &ExpScale) -> Table {
         ("unigram-heavy", Some(vec![0.8, 0.1, 0.1])),
         ("trigram-heavy", Some(vec![0.05, 0.15, 0.8])),
     ] {
-        let cfg = NgramConfig { order: 3, vocab_size: m, lambdas, add_k: 0.5 };
-        let ppl = NgramLm::fit(cfg, &train).perplexity(&test);
+        let cfg = NgramConfig {
+            order: 3,
+            vocab_size: m,
+            lambdas,
+            add_k: 0.5,
+        };
+        let ppl = ModelSpec::Ngram(cfg)
+            .fit_sequences(&train, &[])
+            .expect("valid n-gram spec")
+            .perplexity(&test)
+            .expect("n-grams support perplexity");
         t.add_row(vec![label.to_string(), fmt_f(ppl, 3)]);
     }
     t
@@ -75,12 +85,28 @@ pub fn chh_budget(scale: &ExpScale) -> Table {
         .map(|s| s.into_iter().map(|p| p.index()).collect())
         .collect();
     let m = corpus.vocab().len();
-    let exact = ExactChh::fit(2, m, &seqs);
+    // Train both variants through the engine; the heavy-hitter diagnostics
+    // need the concrete models, reached via `as_any` downcasts.
+    let exact_trained = ModelSpec::ChhExact {
+        depth: 2,
+        vocab_size: m,
+    }
+    .fit_sequences(&seqs, &[])
+    .expect("valid CHH spec");
+    let exact = exact_trained
+        .as_any()
+        .downcast_ref::<ExactChh>()
+        .expect("concrete ExactChh");
     let exact_top = exact.heavy_hitters(2, 0.2, 10);
 
     let mut t = Table::new(
         "Ablation — exact vs streaming CHH (depth 2, min prob 0.2, min support 10)",
-        &["variant", "tracked contexts", "heavy hitters found", "top-20 overlap with exact"],
+        &[
+            "variant",
+            "tracked contexts",
+            "heavy hitters found",
+            "top-20 overlap with exact",
+        ],
     );
     t.add_row(vec![
         "exact".into(),
@@ -89,14 +115,21 @@ pub fn chh_budget(scale: &ExpScale) -> Table {
         "1.000".into(),
     ]);
     for budget in [64usize, 256, 1024] {
-        let mut stream = StreamingChh::new(2, m, budget, 8);
-        for s in &seqs {
-            stream.observe_sequence(s);
+        let stream_trained = ModelSpec::ChhStreaming {
+            depth: 2,
+            vocab_size: m,
+            max_contexts: budget,
+            counters_per_context: 8,
         }
+        .fit_sequences(&seqs, &[])
+        .expect("valid streaming CHH spec");
+        let stream = stream_trained
+            .as_any()
+            .downcast_ref::<StreamingChh>()
+            .expect("concrete StreamingChh");
         let stream_top = stream.heavy_hitters(0.2, 10);
         let key = |h: &hlm_chh::ConditionalHeavyHitter| (h.context.clone(), h.item);
-        let exact_keys: std::collections::HashSet<_> =
-            exact_top.iter().take(20).map(key).collect();
+        let exact_keys: std::collections::HashSet<_> = exact_top.iter().take(20).map(key).collect();
         let overlap = stream_top
             .iter()
             .take(20)
@@ -118,9 +151,16 @@ pub fn chh_budget(scale: &ExpScale) -> Table {
 pub fn representation_quality(scale: &ExpScale) -> Table {
     let corpus = scale.corpus();
     let split = scale.split(&corpus);
-    let sample: Vec<_> = split.train.iter().copied().take(scale.silhouette_sample).collect();
-    let labels: Vec<usize> =
-        sample.iter().map(|&id| corpus.company(id).industry.0 as usize % 3).collect();
+    let sample: Vec<_> = split
+        .train
+        .iter()
+        .copied()
+        .take(scale.silhouette_sample)
+        .collect();
+    let labels: Vec<usize> = sample
+        .iter()
+        .map(|&id| corpus.company(id).industry.0 as usize % 3)
+        .collect();
     let tfidf = hlm_corpus::tfidf::TfIdf::fit(&corpus, &split.train);
 
     let docs = hlm_core::representations::binary_docs(&corpus, &sample);
@@ -128,11 +168,18 @@ pub fn representation_quality(scale: &ExpScale) -> Table {
 
     let binary = hlm_core::representations::raw_binary(&corpus, &sample);
     let spaces: Vec<(&str, hlm_linalg::Matrix)> = vec![
-        ("raw TF-IDF", hlm_core::representations::raw_tfidf(&corpus, &sample, &tfidf)),
-        ("LDA3 topics", hlm_core::representations::lda_representations(&lda, &docs)),
+        (
+            "raw TF-IDF",
+            hlm_core::representations::raw_tfidf(&corpus, &sample, &tfidf),
+        ),
+        (
+            "LDA3 topics",
+            hlm_core::representations::lda_representations(&lda, &docs),
+        ),
         (
             "LSI rank 3",
-            hlm_core::representations::lsi_representations(&binary, 3, scale.seed),
+            hlm_core::representations::lsi_representations(&binary, 3, scale.seed)
+                .expect("rank 3 fits the matrix"),
         ),
         (
             "Fisher vectors (GMM-3 over LDA3 product embeddings)",
@@ -142,7 +189,8 @@ pub fn representation_quality(scale: &ExpScale) -> Table {
                 &lda.product_embeddings(),
                 3,
                 scale.seed,
-            ),
+            )
+            .expect("embeddings cover the vocabulary"),
         ),
         ("raw binary", binary),
     ];
@@ -153,8 +201,14 @@ pub fn representation_quality(scale: &ExpScale) -> Table {
     for (name, m) in &spaces {
         t.add_row(vec![
             name.to_string(),
-            fmt_f(neighbor_label_agreement(m, &labels, DistanceMetric::Cosine), 3),
-            fmt_f(neighbor_label_agreement(m, &labels, DistanceMetric::Euclidean), 3),
+            fmt_f(
+                neighbor_label_agreement(m, &labels, DistanceMetric::Cosine),
+                3,
+            ),
+            fmt_f(
+                neighbor_label_agreement(m, &labels, DistanceMetric::Euclidean),
+                3,
+            ),
         ]);
     }
     t
@@ -222,8 +276,12 @@ pub fn lda_alpha(scale: &ExpScale) -> Table {
         ("50/K (Griffiths-Steyvers)", Some(50.0 / 3.0), false),
         ("Minka fixed-point (init 1.0)", Some(1.0), true),
     ] {
-        let cfg = LdaConfig { alpha, optimize_alpha: optimize, ..base.clone() };
-        let model = GibbsTrainer::new(cfg).fit(&train);
+        let cfg = LdaConfig {
+            alpha,
+            optimize_alpha: optimize,
+            ..base.clone()
+        };
+        let model = fit_lda(cfg, LdaEstimator::Gibbs, &train).expect("valid LDA spec");
         t.add_row(vec![
             label.to_string(),
             fmt_f(model.alpha(), 4),
@@ -236,7 +294,6 @@ pub fn lda_alpha(scale: &ExpScale) -> Table {
 /// Estimator ablation: collapsed Gibbs vs variational Bayes (the gensim
 /// estimator the paper actually ran) on identical data.
 pub fn gibbs_vs_vb(scale: &ExpScale) -> Table {
-    use hlm_lda::{VbOptions, VbTrainer};
     let corpus = scale.corpus();
     let split = scale.split(&corpus);
     let train = hlm_core::representations::binary_docs(&corpus, &split.train);
@@ -252,21 +309,27 @@ pub fn gibbs_vs_vb(scale: &ExpScale) -> Table {
         beta: 0.1,
         ..Default::default()
     };
-    let gibbs = GibbsTrainer::new(cfg.clone()).fit(&train);
-    let vb = VbTrainer::new(cfg, VbOptions::default()).fit(&train);
+    let gibbs = fit_lda(cfg.clone(), LdaEstimator::Gibbs, &train).expect("valid LDA spec");
+    let vb = fit_lda(cfg, LdaEstimator::Vb, &train).expect("valid LDA spec");
     let mut t = Table::new(
         "Ablation — LDA estimator: collapsed Gibbs vs variational Bayes (3 topics)",
         &["estimator", "test perplexity"],
     );
-    t.add_row(vec!["collapsed Gibbs".into(), fmt_f(document_completion_perplexity(&gibbs, &test), 3)]);
-    t.add_row(vec!["variational Bayes".into(), fmt_f(document_completion_perplexity(&vb, &test), 3)]);
+    t.add_row(vec![
+        "collapsed Gibbs".into(),
+        fmt_f(document_completion_perplexity(&gibbs, &test), 3),
+    ]);
+    t.add_row(vec![
+        "variational Bayes".into(),
+        fmt_f(document_completion_perplexity(&vb, &test), 3),
+    ]);
     t
 }
 
 /// RNN-cell ablation: GRU vs LSTM test perplexity at the same width — the
 /// Section-3.4 discussion ("GRUs … do not outperform LSTM in general").
 pub fn gru_vs_lstm(scale: &ExpScale) -> Table {
-    use hlm_lstm::{AdamOptions, CellKind, LstmConfig, LstmLm, TrainOptions, Trainer};
+    use hlm_lstm::{AdamOptions, CellKind, LstmConfig, LstmLm, TrainOptions};
     let corpus = scale.corpus();
     let split = scale.split(&corpus);
     let train = sequences(&corpus, &split.train);
@@ -280,31 +343,41 @@ pub fn gru_vs_lstm(scale: &ExpScale) -> Table {
     );
     for (label, cell) in [("LSTM", CellKind::Lstm), ("GRU", CellKind::Gru)] {
         eprintln!("[ablations] training {label}…");
-        let mut model = LstmLm::new(
-            LstmConfig {
+        let spec = ModelSpec::Lstm {
+            config: LstmConfig {
                 vocab_size: m,
                 hidden_size: 100,
                 n_layers: 1,
                 dropout: 0.2,
                 cell,
             },
-            scale.seed,
-        );
-        let params = model.parameter_count();
-        Trainer::new(TrainOptions {
-            epochs: scale.lstm_epochs,
-            batch_size: 16,
-            adam: AdamOptions { learning_rate: 5e-3, ..Default::default() },
-            patience: 3,
+            train: TrainOptions {
+                epochs: scale.lstm_epochs,
+                batch_size: 16,
+                adam: AdamOptions {
+                    learning_rate: 5e-3,
+                    ..Default::default()
+                },
+                patience: 3,
+                seed: scale.seed,
+                verbose: false,
+                ..Default::default()
+            },
             seed: scale.seed,
-            verbose: false,
-            ..Default::default()
-        })
-        .fit(&mut model, &train, &valid);
+        };
+        let trained = spec.fit_sequences(&train, &valid).expect("valid LSTM spec");
+        let params = trained
+            .as_any()
+            .downcast_ref::<LstmLm>()
+            .expect("concrete LstmLm")
+            .parameter_count();
         t.add_row(vec![
             label.to_string(),
             params.to_string(),
-            fmt_f(model.perplexity(&test), 3),
+            fmt_f(
+                trained.perplexity(&test).expect("LSTM supports perplexity"),
+                3,
+            ),
         ]);
     }
     t
@@ -317,12 +390,18 @@ pub fn lsi_vs_lda(scale: &ExpScale) -> Table {
     use hlm_cluster::{kmeans, silhouette_score, KmeansOptions};
     let corpus = scale.corpus();
     let split = scale.split(&corpus);
-    let sample: Vec<_> = split.train.iter().copied().take(scale.silhouette_sample).collect();
+    let sample: Vec<_> = split
+        .train
+        .iter()
+        .copied()
+        .take(scale.silhouette_sample)
+        .collect();
     let binary = hlm_core::representations::raw_binary(&corpus, &sample);
     let docs = hlm_core::representations::binary_docs(&corpus, &sample);
     let lda = train_lda(scale, &corpus, &docs, 3);
     let lda_b = hlm_core::representations::lda_representations(&lda, &docs);
-    let lsi = hlm_core::representations::lsi_representations(&binary, 3, scale.seed);
+    let lsi = hlm_core::representations::lsi_representations(&binary, 3, scale.seed)
+        .expect("rank 3 fits the matrix");
 
     let mut t = Table::new(
         "Ablation — LSI (rank-3 SVD) vs LDA3 company features",
@@ -332,7 +411,11 @@ pub fn lsi_vs_lda(scale: &ExpScale) -> Table {
         let res = kmeans(m, &KmeansOptions::new(k));
         silhouette_score(m, &res.assignments)
     };
-    for (name, m) in [("raw binary", &binary), ("LSI rank 3", &lsi), ("LDA3 topics", &lda_b)] {
+    for (name, m) in [
+        ("raw binary", &binary),
+        ("LSI rank 3", &lsi),
+        ("LDA3 topics", &lda_b),
+    ] {
         t.add_row(vec![
             name.to_string(),
             fmt_f(sil(m, 10), 3),
@@ -348,7 +431,12 @@ pub fn cocluster_failure(scale: &ExpScale) -> Table {
     use hlm_cluster::spectral_cocluster;
     let corpus = scale.corpus();
     let split = scale.split(&corpus);
-    let sample: Vec<_> = split.train.iter().copied().take(scale.silhouette_sample).collect();
+    let sample: Vec<_> = split
+        .train
+        .iter()
+        .copied()
+        .take(scale.silhouette_sample)
+        .collect();
     let binary = hlm_core::representations::raw_binary(&corpus, &sample);
     let cc = spectral_cocluster(&binary, 5, scale.seed);
 
@@ -363,7 +451,12 @@ pub fn cocluster_failure(scale: &ExpScale) -> Table {
 
     let mut t = Table::new(
         "Section 3.1 check — spectral co-clustering of the raw binary matrix (5 co-clusters)",
-        &["co-cluster", "companies", "products", "mean popularity rank of products (0 = most popular)"],
+        &[
+            "co-cluster",
+            "companies",
+            "products",
+            "mean popularity rank of products (0 = most popular)",
+        ],
     );
     let sizes = cc.sizes();
     for (c, &(rows, cols)) in sizes.iter().enumerate() {

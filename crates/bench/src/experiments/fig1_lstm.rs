@@ -6,15 +6,20 @@
 
 use crate::ExpScale;
 use hlm_corpus::Corpus;
+use hlm_engine::ModelSpec;
 use hlm_eval::report::{fmt_f, Table};
-use hlm_lstm::{AdamOptions, LstmConfig, LstmLm, TrainOptions, Trainer};
+use hlm_lstm::{AdamOptions, LstmConfig, TrainOptions};
 
 /// Extracts non-empty product sequences for a split subset.
 pub fn sequences(corpus: &Corpus, ids: &[hlm_corpus::CompanyId]) -> Vec<Vec<usize>> {
     ids.iter()
         .filter_map(|&id| {
-            let s: Vec<usize> =
-                corpus.company(id).product_sequence().into_iter().map(|p| p.index()).collect();
+            let s: Vec<usize> = corpus
+                .company(id)
+                .product_sequence()
+                .into_iter()
+                .map(|p| p.index())
+                .collect();
             if s.is_empty() {
                 None
             } else {
@@ -24,7 +29,41 @@ pub fn sequences(corpus: &Corpus, ids: &[hlm_corpus::CompanyId]) -> Vec<Vec<usiz
         .collect()
 }
 
-/// Trains one LSTM architecture and returns its test perplexity.
+/// The engine spec for one Figure-1 grid point. `epochs: 0` yields the
+/// untrained random-init baseline.
+pub fn lstm_spec(
+    scale: &ExpScale,
+    vocab_size: usize,
+    nodes: usize,
+    layers: usize,
+    epochs: usize,
+) -> ModelSpec {
+    ModelSpec::Lstm {
+        config: LstmConfig {
+            vocab_size,
+            hidden_size: nodes,
+            n_layers: layers,
+            dropout: if epochs == 0 { 0.0 } else { 0.2 },
+            ..Default::default()
+        },
+        train: TrainOptions {
+            epochs,
+            batch_size: 16,
+            adam: AdamOptions {
+                learning_rate: 5e-3,
+                ..Default::default()
+            },
+            patience: 3,
+            seed: scale.seed,
+            verbose: false,
+            ..Default::default()
+        },
+        seed: scale.seed ^ (nodes as u64) << 8 ^ layers as u64,
+    }
+}
+
+/// Trains one LSTM architecture through the engine and returns its test
+/// perplexity.
 pub fn train_and_eval(
     scale: &ExpScale,
     vocab_size: usize,
@@ -34,21 +73,9 @@ pub fn train_and_eval(
     valid: &[Vec<usize>],
     test: &[Vec<usize>],
 ) -> f64 {
-    let mut model = LstmLm::new(
-        LstmConfig { vocab_size, hidden_size: nodes, n_layers: layers, dropout: 0.2, ..Default::default() },
-        scale.seed ^ (nodes as u64) << 8 ^ layers as u64,
-    );
-    let opts = TrainOptions {
-        epochs: scale.lstm_epochs,
-        batch_size: 16,
-        adam: AdamOptions { learning_rate: 5e-3, ..Default::default() },
-        patience: 3,
-        seed: scale.seed,
-        verbose: false,
-        ..Default::default()
-    };
-    Trainer::new(opts).fit(&mut model, train, valid);
-    model.perplexity(test)
+    let spec = lstm_spec(scale, vocab_size, nodes, layers, scale.lstm_epochs);
+    let model = spec.fit_sequences(train, valid).expect("valid LSTM spec");
+    model.perplexity(test).expect("LSTM supports perplexity")
 }
 
 /// One grid point of the sweep.
@@ -77,7 +104,11 @@ pub fn sweep(scale: &ExpScale) -> Vec<LstmPoint> {
             eprintln!("[fig1] LSTM {layers} layer(s) × {nodes} nodes…");
             let ppl = train_and_eval(scale, m, nodes, layers, &train, &valid, &test);
             eprintln!("[fig1]   test perplexity {ppl:.3}");
-            out.push(LstmPoint { nodes, layers, perplexity: ppl });
+            out.push(LstmPoint {
+                nodes,
+                layers,
+                perplexity: ppl,
+            });
         }
     }
     out
@@ -89,11 +120,17 @@ pub fn run(scale: &ExpScale) -> Vec<Table> {
     let points = sweep(scale);
     let mut headers = vec!["nodes (= embedding size)".to_string()];
     for &l in &scale.lstm_layers {
-        headers.push(format!("perplexity ({l} layer{})", if l == 1 { "" } else { "s" }));
+        headers.push(format!(
+            "perplexity ({l} layer{})",
+            if l == 1 { "" } else { "s" }
+        ));
     }
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut t = Table::new(
-        format!("Figure 1 — LSTM average perplexity per product on test data (scale: {})", scale.name),
+        format!(
+            "Figure 1 — LSTM average perplexity per product on test data (scale: {})",
+            scale.name
+        ),
         &header_refs,
     );
     for &nodes in &scale.lstm_nodes {
@@ -139,11 +176,11 @@ mod tests {
         let test = sequences(&corpus, &split.test);
         let m = corpus.vocab().len();
 
-        let untrained = LstmLm::new(
-            LstmConfig { vocab_size: m, hidden_size: 64, n_layers: 1, dropout: 0.0, ..Default::default() },
-            1,
-        )
-        .perplexity(&test);
+        let untrained = lstm_spec(&scale, m, 64, 1, 0)
+            .fit_sequences(&train, &[])
+            .expect("valid spec")
+            .perplexity(&test)
+            .expect("LSTM supports perplexity");
         let trained = train_and_eval(&scale, m, 64, 1, &train, &[], &test);
         assert!(
             trained < untrained * 0.8,

@@ -7,20 +7,21 @@
 use crate::ExpScale;
 use hlm_corpus::tfidf::TfIdf;
 use hlm_corpus::Corpus;
+use hlm_engine::LdaEstimator;
 use hlm_eval::report::{fmt_f, Table};
-use hlm_lda::{document_completion_perplexity, GibbsTrainer, LdaConfig, LdaModel, WeightedDoc};
+use hlm_lda::{document_completion_perplexity, LdaConfig, LdaModel, WeightedDoc};
 
 /// Topic counts swept (the paper's x-axis runs 2..16).
 pub const TOPIC_GRID: [usize; 10] = [2, 3, 4, 5, 6, 8, 10, 12, 14, 16];
 
-/// Trains one LDA configuration.
+/// Trains one LDA configuration through the engine.
 pub fn train_lda(
     scale: &ExpScale,
     corpus: &Corpus,
     docs: &[WeightedDoc],
     n_topics: usize,
 ) -> LdaModel {
-    GibbsTrainer::new(LdaConfig {
+    let config = LdaConfig {
         n_topics,
         vocab_size: corpus.vocab().len(),
         n_iters: scale.lda_iters,
@@ -30,8 +31,8 @@ pub fn train_lda(
         alpha: None,
         beta: 0.1,
         ..Default::default()
-    })
-    .fit(docs)
+    };
+    hlm_engine::fit_lda(config, LdaEstimator::Gibbs, docs).expect("valid LDA spec")
 }
 
 /// Raw data point of the sweep.
@@ -79,10 +80,18 @@ pub fn run(scale: &ExpScale) -> Vec<Table> {
             "Figure 2 — LDA average perplexity per product on test data (scale: {})",
             scale.name
         ),
-        &["topics", "perplexity (binary input)", "perplexity (TF-IDF input)"],
+        &[
+            "topics",
+            "perplexity (binary input)",
+            "perplexity (TF-IDF input)",
+        ],
     );
     for p in &points {
-        t.add_row(vec![p.topics.to_string(), fmt_f(p.binary, 3), fmt_f(p.tfidf, 3)]);
+        t.add_row(vec![
+            p.topics.to_string(),
+            fmt_f(p.binary, 3),
+            fmt_f(p.tfidf, 3),
+        ]);
     }
     vec![t]
 }
@@ -110,7 +119,10 @@ mod tests {
         // 3 topics (the planted truth) must beat the unigram-equivalent 1
         // topic; 12 topics must not beat 3 substantially.
         assert!(p3 < p1, "3 topics {p3} must beat 1 topic {p1}");
-        assert!(p12 > p3 * 0.9, "12 topics {p12} should not dominate 3 topics {p3}");
+        assert!(
+            p12 > p3 * 0.9,
+            "12 topics {p12} should not dominate 3 topics {p3}"
+        );
         assert!(p3 < 38.0, "sane perplexity bound");
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::ExpScale;
 use hlm_corpus::Corpus;
+use hlm_engine::{LdaEstimator, ModelSpec};
 use hlm_eval::report::{fmt_ci, fmt_f, Table};
 use hlm_eval::{evaluate_recommender, RandomRecommender, RecEvalConfig, ThresholdPoint};
 use hlm_lda::LdaConfig;
@@ -40,23 +41,35 @@ pub fn sweep(scale: &ExpScale, corpus: &Corpus) -> Vec<MethodCurves> {
     let cfg = protocol(scale);
     let m = corpus.vocab().len();
 
-    let lda = hlm_core::LdaRecommenderFactory::new(LdaConfig {
-        n_topics: 3,
-        vocab_size: m,
-        n_iters: scale.lda_iters,
-        burn_in: scale.lda_iters / 2,
-        sample_lag: 5,
-        seed: scale.seed,
-        alpha: None,
-        beta: 0.1,
+    let lda = ModelSpec::Lda {
+        config: LdaConfig {
+            n_topics: 3,
+            vocab_size: m,
+            n_iters: scale.lda_iters,
+            burn_in: scale.lda_iters / 2,
+            sample_lag: 5,
+            seed: scale.seed,
+            alpha: None,
+            beta: 0.1,
             ..Default::default()
-        });
-    let lstm = hlm_core::LstmRecommenderFactory {
-        config: LstmConfig { vocab_size: m, hidden_size: 100, n_layers: 1, dropout: 0.2, ..Default::default() },
+        },
+        estimator: LdaEstimator::Gibbs,
+    };
+    let lstm = ModelSpec::Lstm {
+        config: LstmConfig {
+            vocab_size: m,
+            hidden_size: 100,
+            n_layers: 1,
+            dropout: 0.2,
+            ..Default::default()
+        },
         train: TrainOptions {
             epochs: scale.lstm_epochs,
             batch_size: 16,
-            adam: AdamOptions { learning_rate: 3e-3, ..Default::default() },
+            adam: AdamOptions {
+                learning_rate: 3e-3,
+                ..Default::default()
+            },
             patience: 0,
             seed: scale.seed,
             verbose: false,
@@ -64,20 +77,29 @@ pub fn sweep(scale: &ExpScale, corpus: &Corpus) -> Vec<MethodCurves> {
         },
         seed: scale.seed ^ 0x157,
     };
-    let chh = hlm_core::ChhRecommenderFactory { depth: 2 };
+    let chh = ModelSpec::ChhExact {
+        depth: 2,
+        vocab_size: m,
+    };
     let random = RandomRecommender::new(m);
 
     let mut out = Vec::new();
-    for (name, factory) in [
-        ("CHH", &chh as &dyn hlm_eval::RecommenderFactory),
-        ("LSTM", &lstm),
-        ("LDA3", &lda),
-        ("random", &random),
-    ] {
+    for (name, spec) in [("CHH", &chh), ("LSTM", &lstm), ("LDA3", &lda)] {
         eprintln!("[fig3/4] evaluating {name}…");
-        let points = evaluate_recommender(factory, corpus, &split.train, &split.test, &cfg);
-        out.push(MethodCurves { method: name.to_string(), points });
+        let factory = spec.factory().expect("registry covers this family");
+        let points =
+            evaluate_recommender(factory.as_ref(), corpus, &split.train, &split.test, &cfg);
+        out.push(MethodCurves {
+            method: name.to_string(),
+            points,
+        });
     }
+    eprintln!("[fig3/4] evaluating random…");
+    let points = evaluate_recommender(&random, corpus, &split.train, &split.test, &cfg);
+    out.push(MethodCurves {
+        method: "random".to_string(),
+        points,
+    });
     out
 }
 
@@ -107,7 +129,11 @@ pub fn run(scale: &ExpScale) -> Vec<Table> {
     );
     for (i, &phi) in thresholds.iter().enumerate() {
         let get = |m: &str| -> &ThresholdPoint {
-            &curves.iter().find(|c| c.method == m).expect("method present").points[i]
+            &curves
+                .iter()
+                .find(|c| c.method == m)
+                .expect("method present")
+                .points[i]
         };
         fig3.add_row(vec![
             fmt_f(phi, 2),
@@ -139,7 +165,11 @@ pub fn run(scale: &ExpScale) -> Vec<Table> {
     );
     for (i, &phi) in thresholds.iter().enumerate() {
         let get = |m: &str| -> &ThresholdPoint {
-            &curves.iter().find(|c| c.method == m).expect("method present").points[i]
+            &curves
+                .iter()
+                .find(|c| c.method == m)
+                .expect("method present")
+                .points[i]
         };
         fig4.add_row(vec![
             fmt_f(phi, 2),

@@ -30,7 +30,11 @@ pub fn evaluate(scale: &ExpScale) -> BpmfEvaluation {
         ..Default::default()
     };
     let windows: Vec<_> = hlm_corpus::SlidingWindows::paper_evaluation().collect();
-    eprintln!("[fig5/6] fitting BPMF ({} companies, {} sweeps)…", split.test.len(), cfg.n_iters);
+    eprintln!(
+        "[fig5/6] fitting BPMF ({} companies, {} sweeps)…",
+        split.test.len(),
+        cfg.n_iters
+    );
     evaluate_bpmf(
         &corpus,
         &split.test,
@@ -48,7 +52,10 @@ pub fn run(scale: &ExpScale) -> Vec<Table> {
 
     let f = five_number_summary(&eval.scores);
     let mut fig5 = Table::new(
-        format!("Figure 5 — BPMF recommendation score distribution (scale: {})", scale.name),
+        format!(
+            "Figure 5 — BPMF recommendation score distribution (scale: {})",
+            scale.name
+        ),
         &["statistic", "value"],
     );
     fig5.add_row(vec!["min".into(), fmt_f(f.min, 4)]);
@@ -67,7 +74,13 @@ pub fn run(scale: &ExpScale) -> Vec<Table> {
             "Figure 6 — BPMF precision / recall / F1 vs recommendation-score threshold (scale: {})",
             scale.name
         ),
-        &["threshold", "Precision_BPMF", "Recall_BPMF", "F1_BPMF", "retrieved"],
+        &[
+            "threshold",
+            "Precision_BPMF",
+            "Recall_BPMF",
+            "F1_BPMF",
+            "retrieved",
+        ],
     );
     for p in &eval.points {
         fig6.add_row(vec![

@@ -14,16 +14,28 @@ use hlm_eval::report::{fmt_f, Table};
 use hlm_linalg::Matrix;
 
 /// The representations compared, in the paper's legend order.
-pub const REPRESENTATIONS: [&str; 8] =
-    ["raw", "raw_tfidf", "lda_2", "lda_3", "lda_4", "lda_7", "tfidf_lda_2", "tfidf_lda_4"];
+pub const REPRESENTATIONS: [&str; 8] = [
+    "raw",
+    "raw_tfidf",
+    "lda_2",
+    "lda_3",
+    "lda_4",
+    "lda_7",
+    "tfidf_lda_2",
+    "tfidf_lda_4",
+];
 
 /// Builds all eight representation matrices for a company sample.
 pub fn build_representations(scale: &ExpScale) -> Vec<(String, Matrix)> {
     let corpus = scale.corpus();
     let split = scale.split(&corpus);
     // Silhouettes are O(n²): cluster a seeded sample of the training split.
-    let sample: Vec<_> =
-        split.train.iter().copied().take(scale.silhouette_sample).collect();
+    let sample: Vec<_> = split
+        .train
+        .iter()
+        .copied()
+        .take(scale.silhouette_sample)
+        .collect();
     let tfidf = TfIdf::fit(&corpus, &split.train);
 
     let raw = hlm_core::representations::raw_binary(&corpus, &sample);
@@ -31,7 +43,10 @@ pub fn build_representations(scale: &ExpScale) -> Vec<(String, Matrix)> {
     let bin_docs = hlm_core::representations::binary_docs(&corpus, &sample);
     let tf_docs = hlm_core::representations::tfidf_docs(&corpus, &sample, &tfidf);
 
-    let mut out = vec![("raw".to_string(), raw), ("raw_tfidf".to_string(), raw_tfidf)];
+    let mut out = vec![
+        ("raw".to_string(), raw),
+        ("raw_tfidf".to_string(), raw_tfidf),
+    ];
     for k in [2usize, 3, 4, 7] {
         eprintln!("[fig7] LDA {k} topics (binary input)…");
         let model = train_lda(scale, &corpus, &bin_docs, k);
@@ -53,7 +68,15 @@ pub fn build_representations(scale: &ExpScale) -> Vec<(String, Matrix)> {
 
 /// Silhouette of k-means clusters on one representation.
 pub fn silhouette_at(reps: &Matrix, k: usize, seed: u64) -> f64 {
-    let res = kmeans(reps, &KmeansOptions { k, max_iters: 60, tol: 1e-6, seed });
+    let res = kmeans(
+        reps,
+        &KmeansOptions {
+            k,
+            max_iters: 60,
+            tol: 1e-6,
+            seed,
+        },
+    );
     // k-means can leave fewer distinct labels than k on degenerate data;
     // silhouette needs >= 2.
     let mut distinct: Vec<usize> = res.assignments.clone();
@@ -69,8 +92,12 @@ pub fn silhouette_at(reps: &Matrix, k: usize, seed: u64) -> f64 {
 pub fn run(scale: &ExpScale) -> Vec<Table> {
     let reps = build_representations(scale);
     let n = reps[0].1.rows();
-    let counts: Vec<usize> =
-        scale.cluster_counts.iter().copied().filter(|&k| k + 1 < n).collect();
+    let counts: Vec<usize> = scale
+        .cluster_counts
+        .iter()
+        .copied()
+        .filter(|&k| k + 1 < n)
+        .collect();
 
     let mut headers = vec!["clusters".to_string()];
     headers.extend(reps.iter().map(|(name, _)| name.clone()));
@@ -114,7 +141,10 @@ mod tests {
             s_lda3 > s_raw + 0.1,
             "lda_3 {s_lda3} must clearly beat raw {s_raw}"
         );
-        assert!(s_lda3 > s_tfidf, "lda_3 {s_lda3} must beat raw_tfidf {s_tfidf}");
+        assert!(
+            s_lda3 > s_tfidf,
+            "lda_3 {s_lda3} must beat raw_tfidf {s_tfidf}"
+        );
     }
 
     #[test]

@@ -15,8 +15,13 @@ use hlm_linalg::Matrix;
 /// Product groups the paper calls out as co-located.
 pub const HARDWARE_GROUP: [&str; 3] = ["server_HW", "storage_HW", "HW_other"];
 /// Software products the paper lists as a second co-located group.
-pub const SOFTWARE_GROUP: [&str; 5] =
-    ["commerce", "media", "collaboration", "product_lifecycle", "retail"];
+pub const SOFTWARE_GROUP: [&str; 5] = [
+    "commerce",
+    "media",
+    "collaboration",
+    "product_lifecycle",
+    "retail",
+];
 
 /// t-SNE map of the product embeddings of a `k`-topic LDA model.
 pub fn product_map(scale: &ExpScale, k: usize) -> (Vec<String>, Matrix) {
@@ -38,8 +43,11 @@ pub fn product_map(scale: &ExpScale, k: usize) -> (Vec<String>, Matrix) {
             ..Default::default()
         },
     );
-    let names: Vec<String> =
-        corpus.vocab().iter().map(|(_, name)| name.to_string()).collect();
+    let names: Vec<String> = corpus
+        .vocab()
+        .iter()
+        .map(|(_, name)| name.to_string())
+        .collect();
     (names, coords)
 }
 
@@ -47,7 +55,12 @@ pub fn product_map(scale: &ExpScale, k: usize) -> (Vec<String>, Matrix) {
 pub fn group_spread(names: &[String], coords: &Matrix, group: &[&str]) -> f64 {
     let idx: Vec<usize> = group
         .iter()
-        .map(|g| names.iter().position(|n| n == g).expect("group product present"))
+        .map(|g| {
+            names
+                .iter()
+                .position(|n| n == g)
+                .expect("group product present")
+        })
         .collect();
     let mut total = 0.0;
     let mut count = 0usize;
@@ -80,7 +93,11 @@ fn figure_table(fig: &str, k: usize, scale_name: &str, names: &[String], coords:
         &["product category", "x", "y"],
     );
     for (i, name) in names.iter().enumerate() {
-        t.add_row(vec![name.clone(), fmt_f(coords.get(i, 0), 2), fmt_f(coords.get(i, 1), 2)]);
+        t.add_row(vec![
+            name.clone(),
+            fmt_f(coords.get(i, 0), 2),
+            fmt_f(coords.get(i, 1), 2),
+        ]);
     }
     t
 }
@@ -123,7 +140,13 @@ mod tests {
         let hw = group_spread(&names, &coords, &HARDWARE_GROUP);
         let sw = group_spread(&names, &coords, &SOFTWARE_GROUP);
         let all = overall_spread(&coords);
-        assert!(hw < all, "hardware group spread {hw} must be below overall {all}");
-        assert!(sw < all, "software group spread {sw} must be below overall {all}");
+        assert!(
+            hw < all,
+            "hardware group spread {hw} must be below overall {all}"
+        );
+        assert!(
+            sw < all,
+            "software group spread {sw} must be below overall {all}"
+        );
     }
 }

@@ -5,9 +5,19 @@
 
 use crate::experiments::fig1_lstm::sequences;
 use crate::ExpScale;
+use hlm_engine::ModelSpec;
 use hlm_eval::report::{fmt_f, Table};
 use hlm_eval::sequentiality_report;
-use hlm_ngram::{NgramConfig, NgramLm};
+use hlm_ngram::NgramConfig;
+
+/// Test perplexity of one n-gram configuration, trained via the engine.
+fn ngram_perplexity(cfg: NgramConfig, train: &[Vec<usize>], test: &[Vec<usize>]) -> f64 {
+    ModelSpec::Ngram(cfg)
+        .fit_sequences(train, &[])
+        .expect("valid n-gram spec")
+        .perplexity(test)
+        .expect("n-grams support perplexity")
+}
 
 /// Runs the sequentiality test and the baseline perplexities.
 pub fn run(scale: &ExpScale) -> Vec<Table> {
@@ -17,8 +27,16 @@ pub fn run(scale: &ExpScale) -> Vec<Table> {
     let product_seqs = corpus.sequences_for(&ids);
 
     let mut seq_table = Table::new(
-        format!("Sequentiality of product time series (scale: {})", scale.name),
-        &["order", "distinct n-grams", "significant (p < 0.05)", "fraction"],
+        format!(
+            "Sequentiality of product time series (scale: {})",
+            scale.name
+        ),
+        &[
+            "order",
+            "distinct n-grams",
+            "significant (p < 0.05)",
+            "fraction",
+        ],
     );
     for order in [2usize, 3] {
         let rep = sequentiality_report(&product_seqs, order, 0.05);
@@ -34,7 +52,10 @@ pub fn run(scale: &ExpScale) -> Vec<Table> {
     let test = sequences(&corpus, &split.test);
     let m = corpus.vocab().len();
     let mut ppl_table = Table::new(
-        format!("Baseline n-gram perplexities on test data (scale: {})", scale.name),
+        format!(
+            "Baseline n-gram perplexities on test data (scale: {})",
+            scale.name
+        ),
         &["model", "test perplexity"],
     );
     for (name, cfg) in [
@@ -42,7 +63,7 @@ pub fn run(scale: &ExpScale) -> Vec<Table> {
         ("bigram", NgramConfig::bigram(m)),
         ("trigram", NgramConfig::trigram(m)),
     ] {
-        let ppl = NgramLm::fit(cfg, &train).perplexity(&test);
+        let ppl = ngram_perplexity(cfg, &train, &test);
         ppl_table.add_row(vec![name.to_string(), fmt_f(ppl, 2)]);
     }
     vec![seq_table, ppl_table]
@@ -88,10 +109,12 @@ mod tests {
         let train = sequences(&corpus, &split.train);
         let test = sequences(&corpus, &split.test);
         let m = corpus.vocab().len();
-        let uni = NgramLm::fit(NgramConfig::unigram(m), &train).perplexity(&test);
-        let bi = NgramLm::fit(NgramConfig::bigram(m), &train).perplexity(&test);
+        let uni = ngram_perplexity(NgramConfig::unigram(m), &train, &test);
+        let bi = ngram_perplexity(NgramConfig::bigram(m), &train, &test);
         assert!(bi < uni, "bigram {bi} must beat unigram {uni}");
-        // Popularity skew keeps the unigram well under the uniform 38.
-        assert!(uni < 38.0 && uni > 5.0, "unigram perplexity {uni}");
+        // The model's token alphabet is M + 2 (BOS/EOS share the LSTM
+        // conventions), so a skew-free corpus would measure 40 here;
+        // popularity skew must pull the unigram visibly below that.
+        assert!(uni < 39.0 && uni > 5.0, "unigram perplexity {uni}");
     }
 }

@@ -4,9 +4,10 @@
 
 use crate::experiments::{fig1_lstm, fig2_lda};
 use crate::ExpScale;
+use hlm_engine::ModelSpec;
 use hlm_eval::report::{fmt_f, Table};
 use hlm_lda::document_completion_perplexity;
-use hlm_ngram::{NgramConfig, NgramLm};
+use hlm_ngram::NgramConfig;
 
 /// Minimum perplexity per method family.
 #[derive(Debug, Clone)]
@@ -49,24 +50,45 @@ pub fn compute(scale: &ExpScale) -> Vec<MethodResult> {
         &test_seqs,
     );
 
-    // N-grams: best of bigram / trigram.
+    // N-grams: best of bigram / trigram, trained through the engine.
     let m = corpus.vocab().len();
+    let ngram_ppl = |cfg: NgramConfig| {
+        ModelSpec::Ngram(cfg)
+            .fit_sequences(&train_seqs, &[])
+            .expect("valid n-gram spec")
+            .perplexity(&test_seqs)
+            .expect("n-grams support perplexity")
+    };
     let ngram_best = [NgramConfig::bigram(m), NgramConfig::trigram(m)]
         .into_iter()
-        .map(|cfg| NgramLm::fit(cfg, &train_seqs).perplexity(&test_seqs))
+        .map(ngram_ppl)
         .fold(f64::INFINITY, f64::min);
 
     // Unigram bag-of-words.
-    let unigram = NgramLm::fit(NgramConfig::unigram(m), &train_seqs).perplexity(&test_seqs);
+    let unigram = ngram_ppl(NgramConfig::unigram(m));
 
     let mut results = vec![
-        MethodResult { method: "LDA".into(), min_perplexity: lda_best },
-        MethodResult { method: "LSTM".into(), min_perplexity: lstm },
-        MethodResult { method: "N-grams".into(), min_perplexity: ngram_best },
-        MethodResult { method: "Unigram 'bag of words'".into(), min_perplexity: unigram },
+        MethodResult {
+            method: "LDA".into(),
+            min_perplexity: lda_best,
+        },
+        MethodResult {
+            method: "LSTM".into(),
+            min_perplexity: lstm,
+        },
+        MethodResult {
+            method: "N-grams".into(),
+            min_perplexity: ngram_best,
+        },
+        MethodResult {
+            method: "Unigram 'bag of words'".into(),
+            min_perplexity: unigram,
+        },
     ];
     results.sort_by(|a, b| {
-        a.min_perplexity.partial_cmp(&b.min_perplexity).expect("finite perplexities")
+        a.min_perplexity
+            .partial_cmp(&b.min_perplexity)
+            .expect("finite perplexities")
     });
     results
 }
@@ -82,7 +104,11 @@ pub fn run(scale: &ExpScale) -> Vec<Table> {
         &["rank", "method name", "min. perplexity"],
     );
     for (i, r) in results.iter().enumerate() {
-        t.add_row(vec![(i + 1).to_string(), r.method.clone(), fmt_f(r.min_perplexity, 2)]);
+        t.add_row(vec![
+            (i + 1).to_string(),
+            r.method.clone(),
+            fmt_f(r.min_perplexity, 2),
+        ]);
     }
     vec![t]
 }

@@ -117,7 +117,10 @@ impl ExpScale {
 
     /// Generates the experiment corpus for this scale.
     pub fn corpus(&self) -> Corpus {
-        hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(self.n_companies, self.seed))
+        hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(
+            self.n_companies,
+            self.seed,
+        ))
     }
 
     /// The paper's 70/10/20 split of that corpus.

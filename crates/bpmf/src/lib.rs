@@ -101,7 +101,9 @@ impl BpmfModel {
     /// All predictions for a row (a company's recommendation scores over
     /// every product).
     pub fn predict_row(&self, row: usize) -> Vec<f64> {
-        (0..self.predictions.cols()).map(|c| self.predict(row, c)).collect()
+        (0..self.predictions.cols())
+            .map(|c| self.predict(row, c))
+            .collect()
     }
 
     /// Matrix dimensions `(rows, cols)`.
@@ -147,7 +149,12 @@ fn sample_hyper(
     }
     let mut s = Matrix::zeros(d, d);
     for i in 0..factors.rows() {
-        let diff: Vec<f64> = factors.row(i).iter().zip(&xbar).map(|(&f, &m)| f - m).collect();
+        let diff: Vec<f64> = factors
+            .row(i)
+            .iter()
+            .zip(&xbar)
+            .map(|(&f, &m)| f - m)
+            .collect();
         s.add_outer(1.0, &diff, &diff);
     }
 
@@ -167,8 +174,7 @@ fn sample_hyper(
 
     // μ ~ N(μ*, (β* Λ)⁻¹): color white noise with chol((β*Λ)⁻¹).
     let prec = lambda.scale(beta_star);
-    let prec_chol =
-        Cholesky::decompose_with_jitter(&prec, 1e-8, 10).expect("precision is SPD");
+    let prec_chol = Cholesky::decompose_with_jitter(&prec, 1e-8, 10).expect("precision is SPD");
     let z: Vec<f64> = (0..d).map(|_| sample_standard_normal(rng)).collect();
     // If Λ = L Lᵀ then L⁻ᵀ z has covariance Λ⁻¹.
     let noise = prec_chol.backward_substitute(&z);
@@ -189,18 +195,17 @@ fn sample_factors(
 ) {
     let d = factors.cols();
     let lambda_mu = lambda.matvec(mu);
-    for i in 0..factors.rows() {
+    for (i, ratings) in by_entity.iter().enumerate().take(factors.rows()) {
         let mut prec = lambda.clone();
         let mut b = lambda_mu.clone();
-        for &(j, r) in &by_entity[i] {
+        for &(j, r) in ratings {
             let vj = other.row(j);
             prec.add_outer(alpha, vj, vj);
             for (bk, &v) in b.iter_mut().zip(vj) {
                 *bk += alpha * r * v;
             }
         }
-        let chol =
-            Cholesky::decompose_with_jitter(&prec, 1e-8, 10).expect("precision is SPD");
+        let chol = Cholesky::decompose_with_jitter(&prec, 1e-8, 10).expect("precision is SPD");
         let mean = chol.solve(&b);
         let z: Vec<f64> = (0..d).map(|_| sample_standard_normal(rng)).collect();
         let noise = chol.backward_substitute(&z);
@@ -231,7 +236,10 @@ pub fn fit(
     let mut by_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_rows];
     let mut by_col: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_cols];
     for r in ratings {
-        assert!(r.row < n_rows && r.col < n_cols, "rating index out of range");
+        assert!(
+            r.row < n_rows && r.col < n_cols,
+            "rating index out of range"
+        );
         assert!(r.value.is_finite(), "rating must be finite");
         by_row[r.row].push((r.col, r.value));
         by_col[r.col].push((r.row, r.value));
@@ -259,7 +267,10 @@ pub fn fit(
     }
     assert!(n_samples > 0, "no samples collected");
     acc.scale_mut(1.0 / n_samples as f64);
-    BpmfModel { predictions: acc, clamp }
+    BpmfModel {
+        predictions: acc,
+        clamp,
+    }
 }
 
 #[cfg(test)]
@@ -267,7 +278,13 @@ mod tests {
     use super::*;
 
     fn quick_cfg(seed: u64) -> BpmfConfig {
-        BpmfConfig { n_iters: 40, burn_in: 15, n_factors: 4, seed, ..Default::default() }
+        BpmfConfig {
+            n_iters: 40,
+            burn_in: 15,
+            n_factors: 4,
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Low-rank planted matrix: R = u vᵀ with u, v in {1, 2}.
@@ -288,7 +305,11 @@ mod tests {
             for j in 0..m {
                 // Hold out a diagonal stripe for testing.
                 if (i + j) % 5 != 0 {
-                    obs.push(Rating { row: i, col: j, value: full[i][j] });
+                    obs.push(Rating {
+                        row: i,
+                        col: j,
+                        value: full[i][j],
+                    });
                 }
             }
         }
@@ -325,11 +346,20 @@ mod tests {
         for i in 0..n {
             for j in 0..m {
                 if (i * 7 + j * 3) % 4 != 0 {
-                    obs.push(Rating { row: i, col: j, value: 1.0 });
+                    obs.push(Rating {
+                        row: i,
+                        col: j,
+                        value: 1.0,
+                    });
                 }
             }
         }
-        let model = fit(n, m, &obs, &quick_cfg(2), Some((0.0, 1.0)));
+        let cfg = BpmfConfig {
+            n_iters: 80,
+            burn_in: 30,
+            ..quick_cfg(2)
+        };
+        let model = fit(n, m, &obs, &cfg, Some((0.0, 1.0)));
         let mut scores = model.all_scores();
         let high = scores.iter().filter(|&&s| s > 0.9).count();
         assert!(
@@ -349,7 +379,10 @@ mod tests {
         let model = fit(10, 6, &obs, &quick_cfg(3), Some((0.0, 1.0)));
         assert!(model.all_scores().iter().all(|&s| (0.0..=1.0).contains(&s)));
         let raw = fit(10, 6, &obs, &quick_cfg(3), None);
-        assert!(raw.all_scores().iter().any(|&s| s > 1.0), "planted values reach 4");
+        assert!(
+            raw.all_scores().iter().any(|&s| s > 1.0),
+            "planted values reach 4"
+        );
     }
 
     #[test]
@@ -382,6 +415,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn rejects_out_of_range_rating() {
-        fit(3, 3, &[Rating { row: 5, col: 0, value: 1.0 }], &quick_cfg(1), None);
+        fit(
+            3,
+            3,
+            &[Rating {
+                row: 5,
+                col: 0,
+                value: 1.0,
+            }],
+            &quick_cfg(1),
+            None,
+        );
     }
 }

@@ -42,7 +42,11 @@ pub struct AprioriConfig {
 
 impl Default for AprioriConfig {
     fn default() -> Self {
-        AprioriConfig { min_support: 0.05, min_confidence: 0.3, max_len: 3 }
+        AprioriConfig {
+            min_support: 0.05,
+            min_confidence: 0.3,
+            max_len: 3,
+        }
     }
 }
 
@@ -91,7 +95,10 @@ impl AprioriModel {
             .map(|b| {
                 b.iter()
                     .map(|&i| {
-                        assert!(i < vocab_size, "item {i} outside vocabulary of {vocab_size}");
+                        assert!(
+                            i < vocab_size,
+                            "item {i} outside vocabulary of {vocab_size}"
+                        );
                         i
                     })
                     .collect()
@@ -151,7 +158,10 @@ impl AprioriModel {
             }
             let mut level: Vec<Vec<usize>> = Vec::new();
             for cand in candidates {
-                let c = sets.iter().filter(|s| cand.iter().all(|i| s.contains(i))).count();
+                let c = sets
+                    .iter()
+                    .filter(|s| cand.iter().all(|i| s.contains(i)))
+                    .count();
                 if c >= min_count.max(1) {
                     support.insert(cand.clone(), c as f64 / n);
                     level.push(cand);
@@ -212,7 +222,10 @@ impl AprioriModel {
     pub fn rebuild_index(&mut self) {
         self.by_antecedent.clear();
         for (i, r) in self.rules.iter().enumerate() {
-            self.by_antecedent.entry(r.antecedent.clone()).or_default().push(i);
+            self.by_antecedent
+                .entry(r.antecedent.clone())
+                .or_default()
+                .push(i);
         }
     }
 
@@ -271,9 +284,9 @@ mod tests {
         let mut out = Vec::new();
         for i in 0..40 {
             match i % 4 {
-                0 | 1 => out.push(vec![0, 1, 2]),     // rule holds
-                2 => out.push(vec![0, 1, 2, 3]),      // rule holds + noise
-                _ => out.push(vec![0, 3]),            // antecedent incomplete
+                0 | 1 => out.push(vec![0, 1, 2]), // rule holds
+                2 => out.push(vec![0, 1, 2, 3]),  // rule holds + noise
+                _ => out.push(vec![0, 3]),        // antecedent incomplete
             }
         }
         out
@@ -299,7 +312,10 @@ mod tests {
         let strict = AprioriModel::mine(
             4,
             &baskets(),
-            &AprioriConfig { min_support: 0.9, ..Default::default() },
+            &AprioriConfig {
+                min_support: 0.9,
+                ..Default::default()
+            },
         );
         // Only item 0 appears in >= 90% of baskets.
         assert_eq!(strict.frequent_itemset_count(), 1);
@@ -307,7 +323,10 @@ mod tests {
         let loose = AprioriModel::mine(
             4,
             &baskets(),
-            &AprioriConfig { min_support: 0.05, ..Default::default() },
+            &AprioriConfig {
+                min_support: 0.05,
+                ..Default::default()
+            },
         );
         assert!(loose.frequent_itemset_count() > strict.frequent_itemset_count());
     }
@@ -322,8 +341,7 @@ mod tests {
                 for drop in 0..itemset.len() {
                     let mut sub = itemset.clone();
                     sub.remove(drop);
-                    let sub_support =
-                        model.support_of(&sub).expect("subset must be frequent");
+                    let sub_support = model.support_of(&sub).expect("subset must be frequent");
                     assert!(sub_support >= *s - 1e-12, "{sub:?} < {itemset:?}");
                 }
             }
@@ -334,7 +352,10 @@ mod tests {
     fn recommender_fires_only_on_satisfied_antecedents() {
         let model = AprioriModel::mine(4, &baskets(), &AprioriConfig::default());
         let scores = model.predict(&[0, 1]);
-        assert!((scores[2] - 1.0).abs() < 1e-12, "rule {{0,1}} => 2 fires: {scores:?}");
+        assert!(
+            (scores[2] - 1.0).abs() < 1e-12,
+            "rule {{0,1}} => 2 fires: {scores:?}"
+        );
         assert_eq!(scores[0], 0.0, "owned products never recommended");
         // With only item 3 owned, the {0,1} rule must not fire.
         let scores = model.predict(&[3]);
@@ -346,7 +367,10 @@ mod tests {
         let model = AprioriModel::mine(
             4,
             &baskets(),
-            &AprioriConfig { min_confidence: 0.0, ..Default::default() },
+            &AprioriConfig {
+                min_confidence: 0.0,
+                ..Default::default()
+            },
         );
         for pair in model.rules().windows(2) {
             assert!(pair[0].confidence >= pair[1].confidence - 1e-12);
@@ -358,7 +382,11 @@ mod tests {
         let model = AprioriModel::mine(
             4,
             &baskets(),
-            &AprioriConfig { max_len: 2, min_support: 0.05, min_confidence: 0.0 },
+            &AprioriConfig {
+                max_len: 2,
+                min_support: 0.05,
+                min_confidence: 0.0,
+            },
         );
         assert!(model.itemset_support.iter().all(|(k, _)| k.len() <= 2));
         assert!(model.rules().iter().all(|r| r.antecedent.len() == 1));

@@ -25,9 +25,11 @@ mod tables_serde {
     use std::collections::HashMap;
 
     type Tables = Vec<HashMap<Vec<usize>, HashMap<usize, u64>>>;
+    type TableEntries<'a> = Vec<Vec<(&'a Vec<usize>, &'a HashMap<usize, u64>)>>;
+    type OwnedTableEntries = Vec<Vec<(Vec<usize>, HashMap<usize, u64>)>>;
 
     pub fn serialize<S: Serializer>(tables: &Tables, s: S) -> Result<S::Ok, S::Error> {
-        let as_pairs: Vec<Vec<(&Vec<usize>, &HashMap<usize, u64>)>> = tables
+        let as_pairs: TableEntries<'_> = tables
             .iter()
             .map(|t| {
                 let mut entries: Vec<_> = t.iter().collect();
@@ -39,8 +41,11 @@ mod tables_serde {
     }
 
     pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Tables, D::Error> {
-        let as_pairs: Vec<Vec<(Vec<usize>, HashMap<usize, u64>)>> = Vec::deserialize(d)?;
-        Ok(as_pairs.into_iter().map(|t| t.into_iter().collect()).collect())
+        let as_pairs: OwnedTableEntries = Vec::deserialize(d)?;
+        Ok(as_pairs
+            .into_iter()
+            .map(|t| t.into_iter().collect())
+            .collect())
     }
 }
 
@@ -67,7 +72,10 @@ impl ExactChh {
             vec![HashMap::new(); depth + 1];
         for seq in sequences {
             for &w in seq {
-                assert!(w < vocab_size, "product {w} outside vocabulary of {vocab_size}");
+                assert!(
+                    w < vocab_size,
+                    "product {w} outside vocabulary of {vocab_size}"
+                );
             }
             for (pos, &w) in seq.iter().enumerate() {
                 for d in 0..=depth.min(pos) {
@@ -76,7 +84,11 @@ impl ExactChh {
                 }
             }
         }
-        ExactChh { depth, vocab_size, tables }
+        ExactChh {
+            depth,
+            vocab_size,
+            tables,
+        }
     }
 
     /// Maximum context depth.
@@ -154,7 +166,11 @@ impl ExactChh {
         min_probability: f64,
         min_support: u64,
     ) -> Vec<ConditionalHeavyHitter> {
-        assert!(d <= self.depth, "depth {d} exceeds fitted depth {}", self.depth);
+        assert!(
+            d <= self.depth,
+            "depth {d} exceeds fitted depth {}",
+            self.depth
+        );
         let mut out = Vec::new();
         for (ctx, nexts) in &self.tables[d] {
             let total: u64 = nexts.values().sum();
@@ -230,7 +246,10 @@ mod tests {
         // Unseen context [3, 3] backs off to [3] (also unseen as context
         // except terminal) then to the marginal.
         let d2 = chh.predict_next(&[3, 3]);
-        assert!((d2.iter().sum::<f64>() - 1.0).abs() < 1e-9, "marginal backoff: {d2:?}");
+        assert!(
+            (d2.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+            "marginal backoff: {d2:?}"
+        );
     }
 
     #[test]
@@ -282,7 +301,10 @@ mod tests {
         let chh = ExactChh::fit(2, 4, &sequences());
         for ctx in [vec![], vec![0], vec![1], vec![0, 1]] {
             let total: f64 = (0..4).map(|i| chh.conditional_probability(&ctx, i)).sum();
-            assert!((total - 1.0).abs() < 1e-9, "context {ctx:?} sums to {total}");
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "context {ctx:?} sums to {total}"
+            );
         }
     }
 }

@@ -27,7 +27,11 @@ impl SpaceSaving {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "SpaceSaving needs at least one counter");
-        SpaceSaving { capacity, counters: HashMap::with_capacity(capacity), total: 0 }
+        SpaceSaving {
+            capacity,
+            counters: HashMap::with_capacity(capacity),
+            total: 0,
+        }
     }
 
     /// Observes one occurrence of `item`.
@@ -69,8 +73,7 @@ impl SpaceSaving {
     /// Monitored `(item, estimated count)` pairs, count-descending
     /// (ties by item id for determinism).
     pub fn items(&self) -> Vec<(usize, u64)> {
-        let mut v: Vec<(usize, u64)> =
-            self.counters.iter().map(|(&i, &(c, _))| (i, c)).collect();
+        let mut v: Vec<(usize, u64)> = self.counters.iter().map(|(&i, &(c, _))| (i, c)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
@@ -127,7 +130,10 @@ impl StreamingChh {
     ) -> Self {
         assert!(vocab_size >= 1, "empty vocabulary");
         assert!(max_contexts >= 1, "need at least one context slot");
-        assert!(counters_per_context >= 1, "need at least one counter per context");
+        assert!(
+            counters_per_context >= 1,
+            "need at least one counter per context"
+        );
         StreamingChh {
             depth,
             vocab_size,
@@ -269,7 +275,11 @@ mod tests {
                 ss.observe(1 + (i % 7));
             }
         }
-        assert!(ss.estimate(0) >= 100, "heavy item estimate {}", ss.estimate(0));
+        assert!(
+            ss.estimate(0) >= 100,
+            "heavy item estimate {}",
+            ss.estimate(0)
+        );
         // SpaceSaving invariant: estimate >= true count for monitored items.
         let items = ss.items();
         assert_eq!(items.len(), 3);

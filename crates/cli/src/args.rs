@@ -58,13 +58,22 @@ pub enum Command {
 pub type ParsedArgs = Result<Command, String>;
 
 fn get_opt<'a>(pairs: &'a [(String, String)], key: &str) -> Option<&'a str> {
-    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
 }
 
-fn parse_num<T: std::str::FromStr>(pairs: &[(String, String)], key: &str, default: T) -> Result<T, String> {
+fn parse_num<T: std::str::FromStr>(
+    pairs: &[(String, String)],
+    key: &str,
+    default: T,
+) -> Result<T, String> {
     match get_opt(pairs, key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("invalid value {v:?} for --{key}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value {v:?} for --{key}")),
     }
 }
 
@@ -77,8 +86,12 @@ fn parse_month_opt(pairs: &[(String, String)], key: &str) -> Result<Month, Strin
     let (y, m) = v
         .split_once('-')
         .ok_or_else(|| format!("--{key} must be YYYY-MM, got {v:?}"))?;
-    let year: i32 = y.parse().map_err(|_| format!("bad year in --{key} {v:?}"))?;
-    let month: u32 = m.parse().map_err(|_| format!("bad month in --{key} {v:?}"))?;
+    let year: i32 = y
+        .parse()
+        .map_err(|_| format!("bad year in --{key} {v:?}"))?;
+    let month: u32 = m
+        .parse()
+        .map_err(|_| format!("bad month in --{key} {v:?}"))?;
     if !(1..=12).contains(&month) {
         return Err(format!("month out of range in --{key} {v:?}"));
     }
@@ -129,7 +142,9 @@ pub fn parse_args(argv: &[String]) -> ParsedArgs {
         }
         "stats" => {
             allow(&["data"])?;
-            Ok(Command::Stats { data: require(&pairs, "data")?.to_string() })
+            Ok(Command::Stats {
+                data: require(&pairs, "data")?.to_string(),
+            })
         }
         "topics" => {
             allow(&["data", "topics", "iters"])?;
@@ -183,13 +198,30 @@ mod tests {
         let cmd = parse_args(&argv(&["generate", "--out", "/tmp/x"])).unwrap();
         assert_eq!(
             cmd,
-            Command::Generate { companies: 2_000, seed: 42, out: "/tmp/x".into() }
+            Command::Generate {
+                companies: 2_000,
+                seed: 42,
+                out: "/tmp/x".into()
+            }
         );
         let cmd = parse_args(&argv(&[
-            "generate", "--companies", "500", "--seed", "7", "--out", "d",
+            "generate",
+            "--companies",
+            "500",
+            "--seed",
+            "7",
+            "--out",
+            "d",
         ]))
         .unwrap();
-        assert_eq!(cmd, Command::Generate { companies: 500, seed: 7, out: "d".into() });
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                companies: 500,
+                seed: 7,
+                out: "d".into()
+            }
+        );
     }
 
     #[test]
@@ -225,15 +257,28 @@ mod tests {
         ]))
         .unwrap();
         match cmd {
-            Command::Drift { reference, recent, months, .. } => {
+            Command::Drift {
+                reference,
+                recent,
+                months,
+                ..
+            } => {
                 assert_eq!(reference, Month::from_ym(2010, 3));
                 assert_eq!(recent, Month::from_ym(2014, 1));
                 assert_eq!(months, 24);
             }
             other => panic!("wrong command {other:?}"),
         }
-        let e = parse_args(&argv(&["drift", "--data", "d", "--reference", "201003", "--recent", "2014-01"]))
-            .unwrap_err();
+        let e = parse_args(&argv(&[
+            "drift",
+            "--data",
+            "d",
+            "--reference",
+            "201003",
+            "--recent",
+            "2014-01",
+        ]))
+        .unwrap_err();
         assert!(e.contains("YYYY-MM"));
     }
 
@@ -242,7 +287,12 @@ mod tests {
         let cmd = parse_args(&argv(&["similar", "--data", "d", "--company", "10042"])).unwrap();
         assert_eq!(
             cmd,
-            Command::Similar { data: "d".into(), company: 10042, k: 10, whitespace: 5 }
+            Command::Similar {
+                data: "d".into(),
+                company: 10042,
+                k: 10,
+                whitespace: 5
+            }
         );
         assert!(parse_args(&argv(&["similar", "--data", "d"])).is_err());
     }

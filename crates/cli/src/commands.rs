@@ -2,11 +2,12 @@
 //! `String` so everything is testable without process spawning.
 
 use hlm_core::representations::{binary_docs, lda_representations};
-use hlm_core::{CompanyFilter, DistanceMetric, SalesApplication};
+use hlm_core::{CompanyFilter, DistanceMetric};
 use hlm_corpus::io::{from_csv, to_csv};
 use hlm_corpus::{Corpus, Month, TimeWindow, Vocabulary};
 use hlm_datagen::GeneratorConfig;
-use hlm_lda::{GibbsTrainer, LdaConfig, LdaModel};
+use hlm_engine::{Engine, LdaEstimator};
+use hlm_lda::{LdaConfig, LdaModel};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -70,7 +71,11 @@ pub fn stats(data: &str) -> Result<String, String> {
     let _ = writeln!(out, "companies:            {}", corpus.len());
     let _ = writeln!(out, "product categories:   {}", corpus.vocab().len());
     let _ = writeln!(out, "install events:       {}", corpus.total_tokens());
-    let _ = writeln!(out, "mean products/company: {:.2}", corpus.mean_products_per_company());
+    let _ = writeln!(
+        out,
+        "mean products/company: {:.2}",
+        corpus.mean_products_per_company()
+    );
     let _ = writeln!(out, "industries (SIC2):    {}", corpus.industries().len());
 
     let df = corpus.document_frequencies();
@@ -107,18 +112,18 @@ pub fn stats(data: &str) -> Result<String, String> {
     Ok(out)
 }
 
-fn train_lda(corpus: &Corpus, topics: usize, iters: usize) -> LdaModel {
+fn train_lda(corpus: &Corpus, topics: usize, iters: usize) -> Result<LdaModel, String> {
     let ids: Vec<_> = corpus.ids().collect();
     let docs = binary_docs(corpus, &ids);
-    GibbsTrainer::new(LdaConfig {
+    let config = LdaConfig {
         n_topics: topics,
         vocab_size: corpus.vocab().len(),
         n_iters: iters.max(2),
         burn_in: iters.max(2) / 2,
         sample_lag: 5,
         ..Default::default()
-    })
-    .fit(&docs)
+    };
+    hlm_engine::fit_lda(config, LdaEstimator::Gibbs, &docs).map_err(|e| e.to_string())
 }
 
 /// `hlm topics`.
@@ -127,14 +132,18 @@ pub fn topics(data: &str, topics: usize, iters: usize) -> Result<String, String>
         return Err("--topics must be positive".into());
     }
     let corpus = load(data)?;
-    let model = train_lda(&corpus, topics, iters);
+    let model = train_lda(&corpus, topics, iters)?;
     let mut out = String::new();
     for k in 0..model.n_topics() {
         let tops: Vec<String> = model
             .top_products(k, 8)
             .into_iter()
             .map(|(w, p)| {
-                format!("{} ({:.2})", corpus.vocab().name(hlm_corpus::ProductId(w as u16)), p)
+                format!(
+                    "{} ({:.2})",
+                    corpus.vocab().name(hlm_corpus::ProductId(w as u16)),
+                    p
+                )
             })
             .collect();
         let _ = writeln!(out, "topic {k}: {}", tops.join(", "));
@@ -153,21 +162,35 @@ pub fn similar(data: &str, company: u64, k: usize, whitespace: usize) -> Result<
 
     let ids: Vec<_> = corpus.ids().collect();
     let docs = binary_docs(&corpus, &ids);
-    let model = train_lda(&corpus, 3, 120);
+    let model = train_lda(&corpus, 3, 120)?;
     let reps = lda_representations(&model, &docs);
-    let app = SalesApplication::new(corpus, reps, DistanceMetric::Cosine);
+    let engine = Engine::new(corpus);
+    let app = engine
+        .sales_app(reps, DistanceMetric::Cosine)
+        .map_err(|e| e.to_string())?;
 
     let mut out = String::new();
     let describe = |id: hlm_corpus::CompanyId| -> String {
         let c = app.corpus().company(id);
-        format!("{} (duns {}, {}, {} products)", c.name, c.duns, c.industry, c.product_count())
+        format!(
+            "{} (duns {}, {}, {} products)",
+            c.name,
+            c.duns,
+            c.industry,
+            c.product_count()
+        )
     };
     let _ = writeln!(out, "query: {}", describe(query));
     let _ = writeln!(out, "top-{k} similar companies:");
-    for s in app.find_similar(query, k, &CompanyFilter::default()) {
+    let similar = app
+        .find_similar(query, k, &CompanyFilter::default())
+        .map_err(|e| e.to_string())?;
+    for s in similar {
         let _ = writeln!(out, "  d={:.4}  {}", s.distance, describe(s.id));
     }
-    let recs = app.recommend_whitespace(query, k.max(10), &CompanyFilter::default());
+    let recs = app
+        .recommend_whitespace(query, k.max(10), &CompanyFilter::default())
+        .map_err(|e| e.to_string())?;
     let _ = writeln!(out, "whitespace recommendations:");
     for r in recs.iter().take(whitespace) {
         let _ = writeln!(
@@ -187,16 +210,28 @@ pub fn drift(data: &str, reference: Month, recent: Month, months: u32) -> Result
         return Err("--months must be positive".into());
     }
     let corpus = load(data)?;
-    let rep = hlm_eval::detect_drift(
-        &corpus,
+    let engine = Engine::new(corpus);
+    let rep = engine.detect_drift(
         TimeWindow::new(reference, months),
         TimeWindow::new(recent, months),
         0.05,
     );
     let mut out = String::new();
-    let _ = writeln!(out, "reference period: {} + {months} months ({} events)", reference, rep.reference_events);
-    let _ = writeln!(out, "recent period:    {} + {months} months ({} events)", recent, rep.recent_events);
-    let _ = writeln!(out, "chi-square:       {:.2} (df {})", rep.chi_square, rep.degrees_of_freedom);
+    let _ = writeln!(
+        out,
+        "reference period: {} + {months} months ({} events)",
+        reference, rep.reference_events
+    );
+    let _ = writeln!(
+        out,
+        "recent period:    {} + {months} months ({} events)",
+        recent, rep.recent_events
+    );
+    let _ = writeln!(
+        out,
+        "chi-square:       {:.2} (df {})",
+        rep.chi_square, rep.degrees_of_freedom
+    );
     let _ = writeln!(out, "p-value:          {:.6}", rep.p_value);
     let _ = writeln!(out, "JS divergence:    {:.4} nats", rep.js_divergence);
     let _ = writeln!(
@@ -228,7 +263,10 @@ mod tests {
         assert!(msg.contains("120 companies"));
         let s = stats(&dir).expect("stats works");
         assert!(s.contains("companies:            120"), "{s}");
-        assert!(s.contains("OS") || s.contains("network_HW"), "popular products listed: {s}");
+        assert!(
+            s.contains("OS") || s.contains("network_HW"),
+            "popular products listed: {s}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

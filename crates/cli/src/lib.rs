@@ -24,16 +24,28 @@ pub use args::{parse_args, Command, ParsedArgs};
 pub fn run(cmd: &Command) -> Result<String, String> {
     match cmd {
         Command::Help => Ok(commands::help_text()),
-        Command::Generate { companies, seed, out } => {
-            commands::generate(*companies, *seed, out)
-        }
+        Command::Generate {
+            companies,
+            seed,
+            out,
+        } => commands::generate(*companies, *seed, out),
         Command::Stats { data } => commands::stats(data),
-        Command::Topics { data, topics, iters } => commands::topics(data, *topics, *iters),
-        Command::Similar { data, company, k, whitespace } => {
-            commands::similar(data, *company, *k, *whitespace)
-        }
-        Command::Drift { data, reference, recent, months } => {
-            commands::drift(data, *reference, *recent, *months)
-        }
+        Command::Topics {
+            data,
+            topics,
+            iters,
+        } => commands::topics(data, *topics, *iters),
+        Command::Similar {
+            data,
+            company,
+            k,
+            whitespace,
+        } => commands::similar(data, *company, *k, *whitespace),
+        Command::Drift {
+            data,
+            reference,
+            recent,
+            months,
+        } => commands::drift(data, *reference, *recent, *months),
     }
 }

@@ -67,23 +67,30 @@ pub fn spectral_cocluster(a: &Matrix, k: usize, seed: u64) -> CoClustering {
     assert!(k >= 2, "need at least two co-clusters");
     let (n, m) = a.shape();
     assert!(n > 0 && m > 0, "empty matrix");
-    assert!(a.as_slice().iter().all(|&x| x >= 0.0), "matrix must be non-negative");
+    assert!(
+        a.as_slice().iter().all(|&x| x >= 0.0),
+        "matrix must be non-negative"
+    );
 
     // Degree scalings; empty rows/columns get a unit degree so the
     // normalization stays finite (they end up in arbitrary clusters).
     let mut d1 = vec![0.0f64; n];
     let mut d2 = vec![0.0f64; m];
-    for i in 0..n {
-        for j in 0..m {
+    for (i, d1i) in d1.iter_mut().enumerate().take(n) {
+        for (j, d2j) in d2.iter_mut().enumerate().take(m) {
             let v = a.get(i, j);
-            d1[i] += v;
-            d2[j] += v;
+            *d1i += v;
+            *d2j += v;
         }
     }
-    let d1_inv_sqrt: Vec<f64> =
-        d1.iter().map(|&d| if d > 0.0 { d.powf(-0.5) } else { 1.0 }).collect();
-    let d2_inv_sqrt: Vec<f64> =
-        d2.iter().map(|&d| if d > 0.0 { d.powf(-0.5) } else { 1.0 }).collect();
+    let d1_inv_sqrt: Vec<f64> = d1
+        .iter()
+        .map(|&d| if d > 0.0 { d.powf(-0.5) } else { 1.0 })
+        .collect();
+    let d2_inv_sqrt: Vec<f64> = d2
+        .iter()
+        .map(|&d| if d > 0.0 { d.powf(-0.5) } else { 1.0 })
+        .collect();
 
     let an = Matrix::from_fn(n, m, |i, j| d1_inv_sqrt[i] * a.get(i, j) * d2_inv_sqrt[j]);
 
@@ -100,18 +107,26 @@ pub fn spectral_cocluster(a: &Matrix, k: usize, seed: u64) -> CoClustering {
     // Build the joint embedding Z = [D1^{-1/2} U_{2..}; D2^{-1/2} V_{2..}].
     let offset = if svd.rank() > used { 1 } else { 0 };
     let mut z = Matrix::zeros(n + m, used);
-    for i in 0..n {
+    for (i, &s) in d1_inv_sqrt.iter().enumerate().take(n) {
         for c in 0..used {
-            z.set(i, c, d1_inv_sqrt[i] * svd.u.get(i, offset + c));
+            z.set(i, c, s * svd.u.get(i, offset + c));
         }
     }
-    for j in 0..m {
+    for (j, &s) in d2_inv_sqrt.iter().enumerate().take(m) {
         for c in 0..used {
-            z.set(n + j, c, d2_inv_sqrt[j] * svd.v.get(j, offset + c));
+            z.set(n + j, c, s * svd.v.get(j, offset + c));
         }
     }
 
-    let res = kmeans(&z, &KmeansOptions { k, max_iters: 100, tol: 1e-9, seed });
+    let res = kmeans(
+        &z,
+        &KmeansOptions {
+            k,
+            max_iters: 100,
+            tol: 1e-9,
+            seed,
+        },
+    );
     CoClustering {
         row_labels: res.assignments[..n].to_vec(),
         col_labels: res.assignments[n..].to_vec(),

@@ -32,7 +32,13 @@ pub struct GmmOptions {
 impl GmmOptions {
     /// Sensible defaults for `k` components.
     pub fn new(k: usize) -> Self {
-        GmmOptions { k, max_iters: 100, tol: 1e-7, var_floor: 1e-6, seed: 42 }
+        GmmOptions {
+            k,
+            max_iters: 100,
+            tol: 1e-7,
+            var_floor: 1e-6,
+            seed: 42,
+        }
     }
 }
 
@@ -79,7 +85,10 @@ impl Gmm {
             }
         }
         for i in 0..n {
-            for (v, (&x, &m)) in global_var.iter_mut().zip(points.row(i).iter().zip(&mean_all)) {
+            for (v, (&x, &m)) in global_var
+                .iter_mut()
+                .zip(points.row(i).iter().zip(&mean_all))
+            {
                 *v += (x - m) * (x - m) / n as f64;
             }
         }
@@ -95,14 +104,13 @@ impl Gmm {
             for i in 0..n {
                 let row = points.row(i);
                 let mut lps = vec![0.0f64; k];
-                for c in 0..k {
-                    lps[c] = weights[c].max(1e-300).ln()
-                        + log_gaussian_diag(row, means.row(c), vars.row(c));
+                for (c, (lp, &w)) in lps.iter_mut().zip(&weights).enumerate() {
+                    *lp = w.max(1e-300).ln() + log_gaussian_diag(row, means.row(c), vars.row(c));
                 }
                 let norm = log_sum_exp(&lps);
                 total_ll += norm;
-                for c in 0..k {
-                    log_resp.set(i, c, lps[c] - norm);
+                for (c, &lp) in lps.iter().enumerate() {
+                    log_resp.set(i, c, lp - norm);
                 }
             }
             let mean_ll = total_ll / n as f64;
@@ -113,7 +121,7 @@ impl Gmm {
             prev_ll = mean_ll;
 
             // M-step.
-            for c in 0..k {
+            for (c, wc) in weights.iter_mut().enumerate().take(k) {
                 let mut nk = 0.0;
                 let mut mu = vec![0.0f64; d];
                 for i in 0..n {
@@ -127,10 +135,10 @@ impl Gmm {
                     // Dead component: re-seed at a random point.
                     let i = rng.gen_range(0..n);
                     means.row_mut(c).copy_from_slice(points.row(i));
-                    for j in 0..d {
-                        vars.set(c, j, global_var[j].max(opts.var_floor));
+                    for (j, &gv) in global_var.iter().enumerate().take(d) {
+                        vars.set(c, j, gv.max(opts.var_floor));
                     }
-                    weights[c] = 1e-6;
+                    *wc = 1e-6;
                     continue;
                 }
                 mu.iter_mut().for_each(|m| *m /= nk);
@@ -145,14 +153,19 @@ impl Gmm {
                     vars.set(c, j, (v / nk).max(opts.var_floor));
                 }
                 means.row_mut(c).copy_from_slice(&mu);
-                weights[c] = nk / n as f64;
+                *wc = nk / n as f64;
             }
             // Renormalize weights (dead-component reseeding can unbalance).
             let ws: f64 = weights.iter().sum();
             weights.iter_mut().for_each(|w| *w /= ws);
         }
 
-        Gmm { weights, means, vars, final_log_likelihood: final_ll }
+        Gmm {
+            weights,
+            means,
+            vars,
+            final_log_likelihood: final_ll,
+        }
     }
 
     /// Number of components.
@@ -274,7 +287,11 @@ mod tests {
         let m0 = gmm.means.row(0)[0];
         let (lo, hi) = if m0 < 3.0 { (0, 1) } else { (1, 0) };
         for j in 0..2 {
-            assert!(gmm.means.get(lo, j).abs() < 0.3, "low mean {}", gmm.means.get(lo, j));
+            assert!(
+                gmm.means.get(lo, j).abs() < 0.3,
+                "low mean {}",
+                gmm.means.get(lo, j)
+            );
             assert!((gmm.means.get(hi, j) - 6.0).abs() < 0.3);
         }
         for &w in &gmm.weights {
@@ -342,7 +359,10 @@ mod tests {
         let gmm = Gmm::fit(&points, &GmmOptions::new(3));
         let fv = gmm.fisher_vector(&[points.row(0), points.row(1)]);
         assert_eq!(fv.len(), 2 * 3 * 2);
-        assert!((hlm_linalg::vector::norm(&fv) - 1.0).abs() < 1e-9, "L2 normalized");
+        assert!(
+            (hlm_linalg::vector::norm(&fv) - 1.0).abs() < 1e-9,
+            "L2 normalized"
+        );
         let empty = gmm.fisher_vector(&[]);
         assert!(empty.iter().all(|&x| x == 0.0));
     }

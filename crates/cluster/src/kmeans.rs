@@ -23,7 +23,12 @@ pub struct KmeansOptions {
 impl KmeansOptions {
     /// Sensible defaults for the given `k`.
     pub fn new(k: usize) -> Self {
-        KmeansOptions { k, max_iters: 100, tol: 1e-7, seed: 42 }
+        KmeansOptions {
+            k,
+            max_iters: 100,
+            tol: 1e-7,
+            seed: 42,
+        }
     }
 }
 
@@ -81,7 +86,7 @@ pub fn kmeans(points: &Matrix, opts: &KmeansOptions) -> KmeansResult {
     for iter in 0..opts.max_iters {
         iterations = iter + 1;
         // Assignment step.
-        for i in 0..n {
+        for (i, a) in assignments.iter_mut().enumerate().take(n) {
             let mut best = 0usize;
             let mut best_d = f64::INFINITY;
             for c in 0..k {
@@ -91,7 +96,7 @@ pub fn kmeans(points: &Matrix, opts: &KmeansOptions) -> KmeansResult {
                     best = c;
                 }
             }
-            assignments[i] = best;
+            *a = best;
         }
         // Update step.
         let mut sums = Matrix::zeros(k, dim);
@@ -103,20 +108,16 @@ pub fn kmeans(points: &Matrix, opts: &KmeansOptions) -> KmeansResult {
             }
         }
         let mut movement = 0.0;
-        for c in 0..k {
-            if counts[c] == 0 {
+        for (c, &count) in counts.iter().enumerate().take(k) {
+            if count == 0 {
                 // Empty cluster: reseed at the point farthest from its
                 // centroid.
                 let far = (0..n)
                     .max_by(|&a, &b| {
-                        let da = euclidean_distance_sq(
-                            points.row(a),
-                            centroids.row(assignments[a]),
-                        );
-                        let db = euclidean_distance_sq(
-                            points.row(b),
-                            centroids.row(assignments[b]),
-                        );
+                        let da =
+                            euclidean_distance_sq(points.row(a), centroids.row(assignments[a]));
+                        let db =
+                            euclidean_distance_sq(points.row(b), centroids.row(assignments[b]));
                         da.partial_cmp(&db).expect("finite distances")
                     })
                     .expect("n > 0");
@@ -124,7 +125,7 @@ pub fn kmeans(points: &Matrix, opts: &KmeansOptions) -> KmeansResult {
                 centroids.row_mut(c).copy_from_slice(points.row(far));
                 continue;
             }
-            let inv = 1.0 / counts[c] as f64;
+            let inv = 1.0 / count as f64;
             let new_row: Vec<f64> = sums.row(c).iter().map(|&s| s * inv).collect();
             movement += euclidean_distance_sq(centroids.row(c), &new_row).sqrt();
             centroids.row_mut(c).copy_from_slice(&new_row);
@@ -136,7 +137,7 @@ pub fn kmeans(points: &Matrix, opts: &KmeansOptions) -> KmeansResult {
 
     // Final assignment against the last centroids.
     let mut inertia = 0.0;
-    for i in 0..n {
+    for (i, a) in assignments.iter_mut().enumerate().take(n) {
         let mut best = 0usize;
         let mut best_d = f64::INFINITY;
         for c in 0..k {
@@ -146,10 +147,15 @@ pub fn kmeans(points: &Matrix, opts: &KmeansOptions) -> KmeansResult {
                 best = c;
             }
         }
-        assignments[i] = best;
+        *a = best;
         inertia += best_d;
     }
-    KmeansResult { centroids, assignments, inertia, iterations }
+    KmeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
 }
 
 #[cfg(test)]

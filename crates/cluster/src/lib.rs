@@ -15,7 +15,7 @@ pub mod tsne;
 
 pub use cocluster::{spectral_cocluster, CoClustering};
 pub use gmm::{Gmm, GmmOptions};
-pub use nmf::{nmf, Nmf, NmfOptions, OverlappingCoCluster};
 pub use kmeans::{kmeans, KmeansOptions, KmeansResult};
+pub use nmf::{nmf, Nmf, NmfOptions, OverlappingCoCluster};
 pub use silhouette::{silhouette_score, silhouette_score_sampled};
 pub use tsne::{tsne, TsneOptions};

@@ -33,7 +33,12 @@ pub struct NmfOptions {
 impl NmfOptions {
     /// Sensible defaults for `k` components.
     pub fn new(k: usize) -> Self {
-        NmfOptions { k, max_iters: 200, tol: 1e-6, seed: 42 }
+        NmfOptions {
+            k,
+            max_iters: 200,
+            tol: 1e-6,
+            seed: 42,
+        }
     }
 }
 
@@ -75,7 +80,10 @@ pub fn nmf(v: &Matrix, opts: &NmfOptions) -> Nmf {
     assert!(n > 0 && m > 0, "empty matrix");
     assert!(opts.k >= 1, "k must be positive");
     assert!(opts.k <= n.max(m), "k larger than both dimensions");
-    assert!(v.as_slice().iter().all(|&x| x >= 0.0), "matrix must be non-negative");
+    assert!(
+        v.as_slice().iter().all(|&x| x >= 0.0),
+        "matrix must be non-negative"
+    );
 
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let scale = (v.sum() / (n * m) as f64 / opts.k as f64).sqrt().max(1e-3);
@@ -113,7 +121,12 @@ pub fn nmf(v: &Matrix, opts: &NmfOptions) -> Nmf {
         }
         prev_err = err;
     }
-    Nmf { w, h, relative_error: err, iterations }
+    Nmf {
+        w,
+        h,
+        relative_error: err,
+        iterations,
+    }
 }
 
 impl Nmf {
@@ -158,7 +171,11 @@ impl Nmf {
                     .filter(|&(_, &x)| h_max > 0.0 && x >= threshold * h_max)
                     .map(|(j, _)| j)
                     .collect();
-                OverlappingCoCluster { component: c, rows, cols }
+                OverlappingCoCluster {
+                    component: c,
+                    rows,
+                    cols,
+                }
             })
             .collect()
     }
@@ -238,7 +255,12 @@ mod tests {
         // Column sides separate the two blocks.
         let cols0: std::collections::HashSet<_> = ccs[0].cols.iter().collect();
         let cols1: std::collections::HashSet<_> = ccs[1].cols.iter().collect();
-        assert!(cols0.is_disjoint(&cols1), "{:?} vs {:?}", ccs[0].cols, ccs[1].cols);
+        assert!(
+            cols0.is_disjoint(&cols1),
+            "{:?} vs {:?}",
+            ccs[0].cols,
+            ccs[1].cols
+        );
     }
 
     #[test]

@@ -141,7 +141,10 @@ mod tests {
             *l = i % 2;
         }
         let s = silhouette_score(&points, &labels);
-        assert!(s < 0.1, "scrambled labels should score near/below 0, got {s}");
+        assert!(
+            s < 0.1,
+            "scrambled labels should score near/below 0, got {s}"
+        );
     }
 
     #[test]
@@ -193,7 +196,10 @@ mod tests {
         let points = Matrix::from_rows(&refs);
         let exact = silhouette_score(&points, &labels);
         let sampled = silhouette_score_sampled(&points, &labels, 60, 3);
-        assert!((exact - sampled).abs() < 0.1, "exact {exact} vs sampled {sampled}");
+        assert!(
+            (exact - sampled).abs() < 0.1,
+            "exact {exact} vs sampled {sampled}"
+        );
     }
 
     #[test]

@@ -94,10 +94,18 @@ fn conditional_probs(d2_row: &[f64], i: usize, target_perplexity: f64) -> Vec<f6
         }
         if diff > 0.0 {
             beta_min = beta;
-            beta = if beta_max.is_finite() { (beta + beta_max) / 2.0 } else { beta * 2.0 };
+            beta = if beta_max.is_finite() {
+                (beta + beta_max) / 2.0
+            } else {
+                beta * 2.0
+            };
         } else {
             beta_max = beta;
-            beta = if beta_min.is_finite() { (beta + beta_min) / 2.0 } else { beta / 2.0 };
+            beta = if beta_min.is_finite() {
+                (beta + beta_min) / 2.0
+            } else {
+                beta / 2.0
+            };
         }
     }
     probs
@@ -145,7 +153,11 @@ pub fn tsne(points: &Matrix, opts: &TsneOptions) -> Matrix {
     let exag_end = opts.n_iters / 4;
     let mut q = Matrix::zeros(n, n);
     for iter in 0..opts.n_iters {
-        let exaggeration = if iter < exag_end { opts.exaggeration } else { 1.0 };
+        let exaggeration = if iter < exag_end {
+            opts.exaggeration
+        } else {
+            1.0
+        };
         let momentum = if iter < exag_end { 0.5 } else { 0.8 };
 
         // Student-t affinities in the embedding.
@@ -181,9 +193,12 @@ pub fn tsne(points: &Matrix, opts: &TsneOptions) -> Matrix {
                 let g = grad.get(i, k);
                 let v = velocity.get(i, k);
                 let same_sign = g.signum() == v.signum();
-                let gain =
-                    (if same_sign { gains.get(i, k) * 0.8 } else { gains.get(i, k) + 0.2 })
-                        .max(0.01);
+                let gain = (if same_sign {
+                    gains.get(i, k) * 0.8
+                } else {
+                    gains.get(i, k) + 0.2
+                })
+                .max(0.01);
                 gains.set(i, k, gain);
                 let new_v = momentum * v - opts.learning_rate * gain * g;
                 velocity.set(i, k, new_v);
@@ -218,7 +233,13 @@ mod tests {
         for c in 0..2 {
             for _ in 0..10 {
                 let base = c as f64 * 20.0;
-                rows.push(vec![base + noise(), noise(), noise(), base + noise(), noise()]);
+                rows.push(vec![
+                    base + noise(),
+                    noise(),
+                    noise(),
+                    base + noise(),
+                    noise(),
+                ]);
                 labels.push(c);
             }
         }
@@ -229,7 +250,11 @@ mod tests {
     #[test]
     fn preserves_cluster_separation() {
         let (points, labels) = clustered_points();
-        let opts = TsneOptions { n_iters: 400, perplexity: 4.0, ..Default::default() };
+        let opts = TsneOptions {
+            n_iters: 400,
+            perplexity: 4.0,
+            ..Default::default()
+        };
         let emb = tsne(&points, &opts);
         assert_eq!(emb.shape(), (20, 2));
         assert!(emb.is_finite());
@@ -260,12 +285,18 @@ mod tests {
     #[test]
     fn conditional_probs_hit_target_perplexity() {
         // A ring of equidistant-ish points: check entropy calibration.
-        let d2_row: Vec<f64> = (0..20).map(|j| if j == 3 { 0.0 } else { (j as f64 + 1.0) * 0.7 }).collect();
+        let d2_row: Vec<f64> = (0..20)
+            .map(|j| if j == 3 { 0.0 } else { (j as f64 + 1.0) * 0.7 })
+            .collect();
         let target = 6.0;
         let probs = conditional_probs(&d2_row, 3, target);
         assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert_eq!(probs[3], 0.0);
-        let entropy: f64 = -probs.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f64>();
+        let entropy: f64 = -probs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f64>();
         assert!(
             (entropy.exp() - target).abs() < 0.05,
             "effective perplexity {}",
@@ -276,7 +307,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (points, _) = clustered_points();
-        let opts = TsneOptions { n_iters: 100, perplexity: 4.0, ..Default::default() };
+        let opts = TsneOptions {
+            n_iters: 100,
+            perplexity: 4.0,
+            ..Default::default()
+        };
         let a = tsne(&points, &opts);
         let b = tsne(&points, &opts);
         assert_eq!(a, b);
@@ -285,7 +320,11 @@ mod tests {
     #[test]
     fn output_is_centered() {
         let (points, _) = clustered_points();
-        let opts = TsneOptions { n_iters: 50, perplexity: 4.0, ..Default::default() };
+        let opts = TsneOptions {
+            n_iters: 50,
+            perplexity: 4.0,
+            ..Default::default()
+        };
         let emb = tsne(&points, &opts);
         for k in 0..2 {
             let mean: f64 = (0..20).map(|i| emb.get(i, k)).sum::<f64>() / 20.0;
@@ -297,13 +336,25 @@ mod tests {
     #[should_panic(expected = "perplexity must be in")]
     fn rejects_perplexity_above_n() {
         let points = Matrix::zeros(5, 3);
-        tsne(&points, &TsneOptions { perplexity: 10.0, ..Default::default() });
+        tsne(
+            &points,
+            &TsneOptions {
+                perplexity: 10.0,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     #[should_panic(expected = "at least 3 points")]
     fn rejects_too_few_points() {
         let points = Matrix::zeros(2, 3);
-        tsne(&points, &TsneOptions { perplexity: 1.0, ..Default::default() });
+        tsne(
+            &points,
+            &TsneOptions {
+                perplexity: 1.0,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -7,10 +7,12 @@
 //! "whitespace" enriched from internal data. Here the corpus itself plays
 //! the role of the internal install-base database.
 
+use crate::error::CoreError;
 use crate::similarity::{top_k_similar, DistanceMetric};
 use hlm_corpus::{CompanyId, Corpus, ProductId, Sic2};
 use hlm_linalg::Matrix;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Filters applied to the similar-company result list.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -26,6 +28,14 @@ pub struct CompanyFilter {
 }
 
 impl CompanyFilter {
+    /// True when no filter is set (every company passes).
+    pub fn is_empty(&self) -> bool {
+        self.industry.is_none()
+            && self.country.is_none()
+            && self.employees.is_none()
+            && self.revenue_musd.is_none()
+    }
+
     /// True when the company passes every set filter.
     pub fn matches(&self, corpus: &Corpus, id: CompanyId) -> bool {
         let c = corpus.company(id);
@@ -83,9 +93,15 @@ pub struct WhitespaceRecommendation {
 /// representations, but any matrix from
 /// [`crate::representations`] works, which is exactly how the
 /// representation ablations are run.
+///
+/// Both inputs are held behind [`Arc`]s so a multi-threaded server can share
+/// one corpus and one representation matrix across many application handles
+/// (and with the training side) without cloning either; plain owned values
+/// are accepted too and wrapped on the way in.
+#[derive(Debug)]
 pub struct SalesApplication {
-    corpus: Corpus,
-    representations: Matrix,
+    corpus: Arc<Corpus>,
+    representations: Arc<Matrix>,
     metric: DistanceMetric,
     index: Option<(crate::index::ClusteredIndex, usize)>,
 }
@@ -93,15 +109,28 @@ pub struct SalesApplication {
 impl SalesApplication {
     /// Creates the application.
     ///
-    /// # Panics
-    /// Panics unless `representations` has one row per corpus company.
-    pub fn new(corpus: Corpus, representations: Matrix, metric: DistanceMetric) -> Self {
-        assert_eq!(
-            representations.rows(),
-            corpus.len(),
-            "one representation row per company required"
-        );
-        SalesApplication { corpus, representations, metric, index: None }
+    /// # Errors
+    /// [`CoreError::RepresentationMismatch`] unless `representations` has
+    /// one row per corpus company.
+    pub fn new(
+        corpus: impl Into<Arc<Corpus>>,
+        representations: impl Into<Arc<Matrix>>,
+        metric: DistanceMetric,
+    ) -> Result<Self, CoreError> {
+        let corpus = corpus.into();
+        let representations = representations.into();
+        if representations.rows() != corpus.len() {
+            return Err(CoreError::RepresentationMismatch {
+                rows: representations.rows(),
+                companies: corpus.len(),
+            });
+        }
+        Ok(SalesApplication {
+            corpus,
+            representations,
+            metric,
+            index: None,
+        })
     }
 
     /// Switches similar-company search to the IVF [`ClusteredIndex`] with
@@ -110,19 +139,26 @@ impl SalesApplication {
     /// (the paper's deployment handles ~1M companies). With
     /// `n_probe == n_cells` results are identical to the exact scan.
     ///
-    /// # Panics
-    /// Panics if `n_cells` is 0 or exceeds the corpus size, or `n_probe`
-    /// is 0.
-    pub fn with_index(mut self, n_cells: usize, n_probe: usize, seed: u64) -> Self {
-        assert!(n_probe >= 1, "must probe at least one cell");
+    /// # Errors
+    /// [`CoreError::InvalidCellCount`] if `n_cells` is 0 or exceeds the
+    /// corpus size; [`CoreError::InvalidProbeCount`] if `n_probe` is 0.
+    pub fn with_index(
+        mut self,
+        n_cells: usize,
+        n_probe: usize,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        if n_probe == 0 {
+            return Err(CoreError::InvalidProbeCount);
+        }
         let index = crate::index::ClusteredIndex::build(
-            self.representations.clone(),
+            Arc::clone(&self.representations),
             n_cells,
             self.metric,
             seed,
-        );
+        )?;
         self.index = Some((index, n_probe));
-        self
+        Ok(self)
     }
 
     /// The underlying corpus.
@@ -130,44 +166,85 @@ impl SalesApplication {
         &self.corpus
     }
 
-    /// Top-k companies most similar to `query`, after filtering. Filters are
-    /// applied before ranking so the caller always gets up to `k` matches.
+    /// A shared handle to the corpus (for handing to other components
+    /// without cloning the data).
+    pub fn corpus_arc(&self) -> Arc<Corpus> {
+        Arc::clone(&self.corpus)
+    }
+
+    /// The representation matrix backing similarity search.
+    pub fn representations(&self) -> &Matrix {
+        &self.representations
+    }
+
+    /// Top-k companies most similar to `query`, after filtering. The filter
+    /// is applied to the candidate pool before truncating to `k`, and a
+    /// pruned IVF index falls back to the exact scan when its probed cells
+    /// cannot fill `k` filtered matches — so the result has exactly `k`
+    /// entries whenever at least `k` companies (other than the query) pass
+    /// the filter.
     ///
-    /// # Panics
-    /// Panics on an out-of-range query id.
+    /// # Errors
+    /// [`CoreError::CompanyOutOfRange`] on an out-of-range query id.
     pub fn find_similar(
         &self,
         query: CompanyId,
         k: usize,
         filter: &CompanyFilter,
-    ) -> Vec<SimilarCompany> {
-        // Rank all candidates, then filter; the candidate pool equals the
-        // corpus, so rank once with k = n. With an IVF index attached, the
-        // candidate pool is the probed cells instead of the full corpus.
+    ) -> Result<Vec<SimilarCompany>, CoreError> {
+        if query.index() >= self.corpus.len() {
+            return Err(CoreError::CompanyOutOfRange {
+                id: query.0,
+                len: self.corpus.len(),
+            });
+        }
+        // The candidate pool equals the corpus, so rank once with k = n and
+        // keep the first k survivors of the filter. With an IVF index
+        // attached, the candidate pool is the probed cells instead.
         let n = self.corpus.len().saturating_sub(1);
-        let all = match &self.index {
-            Some((index, n_probe)) => index.query_row(query.index(), n, *n_probe),
-            None => top_k_similar(&self.representations, query.index(), n, self.metric),
+        let collect = |ranked: Vec<(usize, f64)>| -> Vec<SimilarCompany> {
+            ranked
+                .into_iter()
+                .map(|(row, distance)| SimilarCompany {
+                    id: CompanyId(row as u32),
+                    distance,
+                })
+                .filter(|s| filter.matches(&self.corpus, s.id))
+                .take(k)
+                .collect()
         };
-        all.into_iter()
-            .map(|(row, distance)| SimilarCompany { id: CompanyId(row as u32), distance })
-            .filter(|s| filter.matches(&self.corpus, s.id))
-            .take(k)
-            .collect()
+        if let Some((index, n_probe)) = &self.index {
+            let approx = collect(index.query_row(query.index(), n, *n_probe));
+            // The probed cells may hold fewer than k filter survivors even
+            // when the full corpus has k of them; fall back to the exact
+            // scan to honour the documented guarantee.
+            if approx.len() >= k || *n_probe >= index.n_cells() {
+                return Ok(approx);
+            }
+        }
+        Ok(collect(top_k_similar(
+            &self.representations,
+            query.index(),
+            n,
+            self.metric,
+        )))
     }
 
     /// Whitespace recommendations for `query`: products owned by its top-k
     /// similar companies but absent from its own install base, scored by
     /// similarity-weighted prevalence, best first.
+    ///
+    /// # Errors
+    /// [`CoreError::CompanyOutOfRange`] on an out-of-range query id.
     pub fn recommend_whitespace(
         &self,
         query: CompanyId,
         k_similar: usize,
         filter: &CompanyFilter,
-    ) -> Vec<WhitespaceRecommendation> {
-        let similar = self.find_similar(query, k_similar, filter);
+    ) -> Result<Vec<WhitespaceRecommendation>, CoreError> {
+        let similar = self.find_similar(query, k_similar, filter)?;
         if similar.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let m = self.corpus.vocab().len();
         let query_owned: Vec<bool> = {
@@ -206,7 +283,7 @@ impl SalesApplication {
                 .expect("finite scores")
                 .then(a.product.cmp(&b.product))
         });
-        out
+        Ok(out)
     }
 }
 
@@ -217,10 +294,9 @@ mod tests {
     use hlm_datagen::GeneratorConfig;
     use hlm_lda::{GibbsTrainer, LdaConfig};
 
-    fn app() -> SalesApplication {
-        let corpus = hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(150, 21));
+    fn reps_for(corpus: &Corpus) -> Matrix {
         let ids: Vec<CompanyId> = corpus.ids().collect();
-        let docs = binary_docs(&corpus, &ids);
+        let docs = binary_docs(corpus, &ids);
         let lda = GibbsTrainer::new(LdaConfig {
             n_topics: 3,
             vocab_size: 38,
@@ -230,14 +306,21 @@ mod tests {
             ..Default::default()
         })
         .fit(&docs);
-        let reps = lda_representations(&lda, &docs);
-        SalesApplication::new(corpus, reps, DistanceMetric::Cosine)
+        lda_representations(&lda, &docs)
+    }
+
+    fn app() -> SalesApplication {
+        let corpus = hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(150, 21));
+        let reps = reps_for(&corpus);
+        SalesApplication::new(corpus, reps, DistanceMetric::Cosine).expect("matching rows")
     }
 
     #[test]
     fn find_similar_returns_k_sorted_matches() {
         let app = app();
-        let res = app.find_similar(CompanyId(0), 5, &CompanyFilter::default());
+        let res = app
+            .find_similar(CompanyId(0), 5, &CompanyFilter::default())
+            .unwrap();
         assert_eq!(res.len(), 5);
         for pair in res.windows(2) {
             assert!(pair[0].distance <= pair[1].distance);
@@ -249,15 +332,23 @@ mod tests {
     fn filters_restrict_results() {
         let app = app();
         let target_industry = app.corpus().company(CompanyId(1)).industry;
-        let filter = CompanyFilter { industry: Some(target_industry), ..Default::default() };
-        let res = app.find_similar(CompanyId(0), 10, &filter);
+        let filter = CompanyFilter {
+            industry: Some(target_industry),
+            ..Default::default()
+        };
+        let res = app.find_similar(CompanyId(0), 10, &filter).unwrap();
         for s in &res {
             assert_eq!(app.corpus().company(s.id).industry, target_industry);
         }
         // An impossible filter gives no results.
-        let impossible =
-            CompanyFilter { employees: Some((u32::MAX - 1, u32::MAX)), ..Default::default() };
-        assert!(app.find_similar(CompanyId(0), 10, &impossible).is_empty());
+        let impossible = CompanyFilter {
+            employees: Some((u32::MAX - 1, u32::MAX)),
+            ..Default::default()
+        };
+        assert!(app
+            .find_similar(CompanyId(0), 10, &impossible)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -265,10 +356,16 @@ mod tests {
         let app = app();
         let query = CompanyId(3);
         let owned = app.corpus().company(query).product_set();
-        let recs = app.recommend_whitespace(query, 10, &CompanyFilter::default());
+        let recs = app
+            .recommend_whitespace(query, 10, &CompanyFilter::default())
+            .unwrap();
         assert!(!recs.is_empty(), "some whitespace should exist");
         for r in &recs {
-            assert!(!owned.contains(&r.product), "{} is already owned", r.product);
+            assert!(
+                !owned.contains(&r.product),
+                "{} is already owned",
+                r.product
+            );
             assert!(r.score > 0.0 && r.score <= 1.0 + 1e-9);
             assert!(r.owners_among_similar >= 1);
         }
@@ -281,7 +378,9 @@ mod tests {
     #[test]
     fn whitespace_scores_reflect_prevalence() {
         let app = app();
-        let recs = app.recommend_whitespace(CompanyId(5), 20, &CompanyFilter::default());
+        let recs = app
+            .recommend_whitespace(CompanyId(5), 20, &CompanyFilter::default())
+            .unwrap();
         if recs.len() >= 2 {
             let first = &recs[0];
             let last = recs.last().unwrap();
@@ -291,25 +390,32 @@ mod tests {
 
     #[test]
     fn indexed_search_matches_exact_with_full_probe_and_is_sane_pruned() {
-        let exact_app = app();
-        // Rebuild the same app with an index (full probe = exact).
-        let corpus = exact_app.corpus().clone();
-        let ids: Vec<CompanyId> = corpus.ids().collect();
-        let docs = binary_docs(&corpus, &ids);
-        let lda = GibbsTrainer::new(LdaConfig {
-            n_topics: 3,
-            vocab_size: 38,
-            n_iters: 40,
-            burn_in: 20,
-            sample_lag: 5,
-            ..Default::default()
-        })
-        .fit(&docs);
-        let reps = lda_representations(&lda, &docs);
-        let indexed = SalesApplication::new(corpus.clone(), reps.clone(), DistanceMetric::Cosine)
-            .with_index(8, 8, 1);
-        let exact = exact_app.find_similar(CompanyId(3), 5, &CompanyFilter::default());
-        let approx = indexed.find_similar(CompanyId(3), 5, &CompanyFilter::default());
+        let corpus = Arc::new(hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(
+            150, 21,
+        )));
+        let reps = Arc::new(reps_for(&corpus));
+        // The Arc-based construction shares corpus and representations
+        // across all three applications — no clone() of either.
+        let exact_app = SalesApplication::new(
+            Arc::clone(&corpus),
+            Arc::clone(&reps),
+            DistanceMetric::Cosine,
+        )
+        .unwrap();
+        let indexed = SalesApplication::new(
+            Arc::clone(&corpus),
+            Arc::clone(&reps),
+            DistanceMetric::Cosine,
+        )
+        .unwrap()
+        .with_index(8, 8, 1)
+        .unwrap();
+        let exact = exact_app
+            .find_similar(CompanyId(3), 5, &CompanyFilter::default())
+            .unwrap();
+        let approx = indexed
+            .find_similar(CompanyId(3), 5, &CompanyFilter::default())
+            .unwrap();
         assert_eq!(
             exact.iter().map(|s| s.id).collect::<Vec<_>>(),
             approx.iter().map(|s| s.id).collect::<Vec<_>>(),
@@ -317,8 +423,12 @@ mod tests {
         );
         // Pruned probing still returns k sorted candidates.
         let pruned = SalesApplication::new(corpus, reps, DistanceMetric::Cosine)
-            .with_index(8, 2, 1);
-        let res = pruned.find_similar(CompanyId(3), 5, &CompanyFilter::default());
+            .unwrap()
+            .with_index(8, 2, 1)
+            .unwrap();
+        let res = pruned
+            .find_similar(CompanyId(3), 5, &CompanyFilter::default())
+            .unwrap();
         assert_eq!(res.len(), 5);
         for pair in res.windows(2) {
             assert!(pair[0].distance <= pair[1].distance);
@@ -326,9 +436,101 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one representation row per company")]
+    fn pruned_index_fills_k_filtered_matches_via_fallback() {
+        // Regression test for the doc/behaviour mismatch: with a heavily
+        // pruned index (1 of 10 cells probed), a restrictive filter used to
+        // exhaust the probed candidate pool and return fewer than k matches
+        // even though k companies pass the filter corpus-wide.
+        let corpus = Arc::new(hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(
+            150, 21,
+        )));
+        let reps = Arc::new(reps_for(&corpus));
+        let app = SalesApplication::new(
+            Arc::clone(&corpus),
+            Arc::clone(&reps),
+            DistanceMetric::Cosine,
+        )
+        .unwrap()
+        .with_index(10, 1, 3)
+        .unwrap();
+        // Filter to the largest industry so plenty of matches exist.
+        let mut by_industry = std::collections::HashMap::new();
+        for c in corpus.companies() {
+            *by_industry.entry(c.industry).or_insert(0usize) += 1;
+        }
+        let (&industry, &count) = by_industry
+            .iter()
+            .max_by_key(|&(_, &n)| n)
+            .expect("non-empty corpus");
+        let filter = CompanyFilter {
+            industry: Some(industry),
+            ..Default::default()
+        };
+        let query = CompanyId(0);
+        let k = (count - 1).min(8); // k matches exist besides the query
+        let res = app.find_similar(query, k, &filter).unwrap();
+        assert_eq!(
+            res.len(),
+            k,
+            "fallback must fill k despite the pruned index"
+        );
+        for pair in res.windows(2) {
+            assert!(pair[0].distance <= pair[1].distance);
+        }
+        for s in &res {
+            assert_eq!(corpus.company(s.id).industry, industry);
+        }
+    }
+
+    #[test]
     fn rejects_mismatched_representation_matrix() {
         let corpus = hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(10, 1));
-        SalesApplication::new(corpus, Matrix::zeros(5, 3), DistanceMetric::Cosine);
+        let err = SalesApplication::new(corpus, Matrix::zeros(5, 3), DistanceMetric::Cosine)
+            .expect_err("5 rows for 10 companies must be rejected");
+        assert_eq!(
+            err,
+            CoreError::RepresentationMismatch {
+                rows: 5,
+                companies: 10
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_index_configuration_and_query() {
+        let app = app();
+        let n = app.corpus().len();
+        let err = app.find_similar(CompanyId(n as u32), 5, &CompanyFilter::default());
+        assert_eq!(
+            err.unwrap_err(),
+            CoreError::CompanyOutOfRange {
+                id: n as u32,
+                len: n
+            }
+        );
+
+        let make = || {
+            let corpus = hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(150, 21));
+            let reps = reps_for(&corpus);
+            SalesApplication::new(corpus, reps, DistanceMetric::Cosine).unwrap()
+        };
+        assert_eq!(
+            make().with_index(0, 1, 1).unwrap_err(),
+            CoreError::InvalidCellCount {
+                n_cells: 0,
+                rows: 150
+            }
+        );
+        assert_eq!(
+            make().with_index(151, 1, 1).unwrap_err(),
+            CoreError::InvalidCellCount {
+                n_cells: 151,
+                rows: 150
+            }
+        );
+        assert_eq!(
+            make().with_index(8, 0, 1).unwrap_err(),
+            CoreError::InvalidProbeCount
+        );
     }
 }

@@ -10,13 +10,18 @@
 //! centroids are closest to the query. With `n_probe == n_cells` results are
 //! exactly the brute-force ranking.
 
+use crate::error::CoreError;
 use crate::similarity::DistanceMetric;
 use hlm_cluster::{kmeans, KmeansOptions};
 use hlm_linalg::Matrix;
+use std::sync::Arc;
 
-/// An inverted-file (IVF) similarity index over representation rows.
+/// An inverted-file (IVF) similarity index over representation rows. The
+/// rows are held behind an [`Arc`] so the index shares one matrix with the
+/// [`crate::app::SalesApplication`] that built it.
+#[derive(Debug)]
 pub struct ClusteredIndex {
-    reps: Matrix,
+    reps: Arc<Matrix>,
     centroids: Matrix,
     cells: Vec<Vec<usize>>,
     metric: DistanceMetric,
@@ -26,20 +31,41 @@ impl ClusteredIndex {
     /// Builds the index by k-means-partitioning the rows of `reps` into
     /// `n_cells` coarse cells.
     ///
-    /// # Panics
-    /// Panics if `reps` is empty or `n_cells` is 0 or exceeds the row count.
-    pub fn build(reps: Matrix, n_cells: usize, metric: DistanceMetric, seed: u64) -> Self {
-        assert!(reps.rows() > 0, "empty representation matrix");
-        assert!(
-            n_cells >= 1 && n_cells <= reps.rows(),
-            "n_cells must be in 1..=rows"
+    /// # Errors
+    /// [`CoreError::InvalidCellCount`] if `reps` is empty or `n_cells` is 0
+    /// or exceeds the row count.
+    pub fn build(
+        reps: impl Into<Arc<Matrix>>,
+        n_cells: usize,
+        metric: DistanceMetric,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        let reps = reps.into();
+        if reps.rows() == 0 || n_cells == 0 || n_cells > reps.rows() {
+            return Err(CoreError::InvalidCellCount {
+                n_cells,
+                rows: reps.rows(),
+            });
+        }
+        let res = kmeans(
+            &reps,
+            &KmeansOptions {
+                k: n_cells,
+                max_iters: 50,
+                tol: 1e-6,
+                seed,
+            },
         );
-        let res = kmeans(&reps, &KmeansOptions { k: n_cells, max_iters: 50, tol: 1e-6, seed });
         let mut cells = vec![Vec::new(); n_cells];
         for (row, &cell) in res.assignments.iter().enumerate() {
             cells[cell].push(row);
         }
-        ClusteredIndex { reps, centroids: res.centroids, cells, metric }
+        Ok(ClusteredIndex {
+            reps,
+            centroids: res.centroids,
+            cells,
+            metric,
+        })
     }
 
     /// Number of coarse cells.
@@ -69,8 +95,11 @@ impl ClusteredIndex {
         let mut cell_order: Vec<(usize, f64)> = (0..self.cells.len())
             .map(|c| (c, self.metric.distance(vector, self.centroids.row(c))))
             .collect();
-        cell_order
-            .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances").then(a.0.cmp(&b.0)));
+        cell_order.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite distances")
+                .then(a.0.cmp(&b.0))
+        });
 
         let mut candidates: Vec<(usize, f64)> = Vec::new();
         for &(c, _) in cell_order.iter().take(n_probe) {
@@ -78,8 +107,11 @@ impl ClusteredIndex {
                 candidates.push((row, self.metric.distance(vector, self.reps.row(row))));
             }
         }
-        candidates
-            .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances").then(a.0.cmp(&b.0)));
+        candidates.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite distances")
+                .then(a.0.cmp(&b.0))
+        });
         candidates.truncate(k);
         candidates
     }
@@ -110,7 +142,10 @@ impl ClusteredIndex {
             let approx = self.query_row(q, k, n_probe);
             let approx_set: std::collections::HashSet<usize> =
                 approx.iter().map(|&(r, _)| r).collect();
-            hits += exact.iter().filter(|&&(r, _)| approx_set.contains(&r)).count();
+            hits += exact
+                .iter()
+                .filter(|&&(r, _)| approx_set.contains(&r))
+                .count();
             total += exact.len();
         }
         hits as f64 / total.max(1) as f64
@@ -138,7 +173,7 @@ mod tests {
     #[test]
     fn full_probe_matches_brute_force_exactly() {
         let reps = clustered_reps();
-        let index = ClusteredIndex::build(reps.clone(), 6, DistanceMetric::Euclidean, 1);
+        let index = ClusteredIndex::build(reps.clone(), 6, DistanceMetric::Euclidean, 1).unwrap();
         for q in [0usize, 31, 89] {
             let exact = crate::similarity::top_k_similar(&reps, q, 10, DistanceMetric::Euclidean);
             let approx = index.query_row(q, 10, index.n_cells());
@@ -153,7 +188,7 @@ mod tests {
     #[test]
     fn single_probe_has_high_recall_on_clustered_data() {
         let reps = clustered_reps();
-        let index = ClusteredIndex::build(reps, 3, DistanceMetric::Euclidean, 2);
+        let index = ClusteredIndex::build(reps, 3, DistanceMetric::Euclidean, 2).unwrap();
         let queries: Vec<usize> = (0..90).step_by(9).collect();
         let recall = index.recall_at_k(&queries, 5, 1);
         assert!(recall > 0.9, "recall@5 with 1 probe: {recall}");
@@ -162,7 +197,7 @@ mod tests {
     #[test]
     fn more_probes_never_reduce_recall() {
         let reps = clustered_reps();
-        let index = ClusteredIndex::build(reps, 6, DistanceMetric::Cosine, 3);
+        let index = ClusteredIndex::build(reps, 6, DistanceMetric::Cosine, 3).unwrap();
         let queries: Vec<usize> = (0..90).step_by(7).collect();
         let r1 = index.recall_at_k(&queries, 8, 1);
         let r3 = index.recall_at_k(&queries, 8, 3);
@@ -175,7 +210,7 @@ mod tests {
     #[test]
     fn query_excludes_self_and_respects_k() {
         let reps = clustered_reps();
-        let index = ClusteredIndex::build(reps, 3, DistanceMetric::Euclidean, 4);
+        let index = ClusteredIndex::build(reps, 3, DistanceMetric::Euclidean, 4).unwrap();
         let res = index.query_row(5, 7, 3);
         assert_eq!(res.len(), 7);
         assert!(res.iter().all(|&(r, _)| r != 5));
@@ -187,7 +222,7 @@ mod tests {
     #[test]
     fn arbitrary_vector_query_works() {
         let reps = clustered_reps();
-        let index = ClusteredIndex::build(reps, 3, DistanceMetric::Euclidean, 5);
+        let index = ClusteredIndex::build(reps, 3, DistanceMetric::Euclidean, 5).unwrap();
         // A vector near group 1's corner.
         let res = index.query(&[0.0, 5.0, 0.0, 0.0], 5, 1);
         assert_eq!(res.len(), 5);
@@ -198,7 +233,28 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn rejects_wrong_dimension() {
         let index =
-            ClusteredIndex::build(clustered_reps(), 3, DistanceMetric::Euclidean, 6);
+            ClusteredIndex::build(clustered_reps(), 3, DistanceMetric::Euclidean, 6).unwrap();
         index.query(&[1.0, 2.0], 3, 1);
+    }
+
+    #[test]
+    fn rejects_bad_cell_counts() {
+        let reps = clustered_reps();
+        let zero = ClusteredIndex::build(reps.clone(), 0, DistanceMetric::Euclidean, 1);
+        assert_eq!(
+            zero.unwrap_err(),
+            CoreError::InvalidCellCount {
+                n_cells: 0,
+                rows: 90
+            }
+        );
+        let over = ClusteredIndex::build(reps, 91, DistanceMetric::Euclidean, 1);
+        assert_eq!(
+            over.unwrap_err(),
+            CoreError::InvalidCellCount {
+                n_cells: 91,
+                rows: 90
+            }
+        );
     }
 }

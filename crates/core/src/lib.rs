@@ -16,42 +16,62 @@
 //!   with the popularity-bias diagnostic motivating learned features
 //!   (Section 3.1);
 //! * [`app`] — the sales application: similar-company search with industry /
-//!   geography / size filters and whitespace product recommendations.
+//!   geography / size filters and whitespace product recommendations;
+//! * [`index`] — the clustered (IVF-style) approximate index the application
+//!   uses for sub-linear similarity search;
+//! * [`error`] — the typed [`CoreError`] these layers return instead of
+//!   panicking on shape or range mismatches.
 //!
-//! # Quickstart
+//! Applications should not drive these pieces directly: the `hlm-engine`
+//! crate wraps them in a single entry point (`ModelSpec` → `TrainedModel`
+//! registry, `Engine::sales_app`, drift detection) and is the API the CLI,
+//! benchmarks and examples use.
+//!
+//! # Quickstart (through the engine)
 //!
 //! ```
 //! use hlm_core::representations::lda_representations;
-//! use hlm_core::similarity::{top_k_similar, DistanceMetric};
+//! use hlm_core::{CompanyFilter, DistanceMetric};
 //! use hlm_datagen::GeneratorConfig;
-//! use hlm_lda::{GibbsTrainer, LdaConfig};
+//! use hlm_engine::{Engine, LdaEstimator};
+//! use hlm_lda::LdaConfig;
 //!
 //! let corpus = hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(200, 1));
 //! let ids: Vec<_> = corpus.ids().collect();
 //! let docs = hlm_core::representations::binary_docs(&corpus, &ids);
-//! let lda = GibbsTrainer::new(LdaConfig {
-//!     n_topics: 3,
-//!     vocab_size: corpus.vocab().len(),
-//!     n_iters: 30,
-//!     burn_in: 15,
-//!     ..Default::default()
-//! })
-//! .fit(&docs);
+//! let lda = hlm_engine::fit_lda(
+//!     LdaConfig {
+//!         n_topics: 3,
+//!         vocab_size: corpus.vocab().len(),
+//!         n_iters: 30,
+//!         burn_in: 15,
+//!         ..Default::default()
+//!     },
+//!     LdaEstimator::Gibbs,
+//!     &docs,
+//! )
+//! .expect("valid LDA spec");
 //! let b = lda_representations(&lda, &docs);
-//! let similar = top_k_similar(&b, 0, 5, DistanceMetric::Cosine);
+//!
+//! let engine = Engine::new(corpus);
+//! let app = engine.sales_app(b, DistanceMetric::Cosine).expect("shapes match");
+//! let query = app.corpus().ids().next().expect("non-empty corpus");
+//! let similar = app.find_similar(query, 5, &CompanyFilter::default()).expect("id in range");
 //! assert_eq!(similar.len(), 5);
 //! ```
 
 pub mod app;
+pub mod error;
 pub mod index;
 pub mod recommenders;
 pub mod representations;
 pub mod similarity;
 
 pub use app::{CompanyFilter, SalesApplication, WhitespaceRecommendation};
+pub use error::CoreError;
 pub use index::ClusteredIndex;
 pub use recommenders::{
-    evaluate_bpmf, AprioriRecommenderFactory, BpmfEvaluation, ChhRecommenderFactory,
-    LdaRecommenderFactory, LstmRecommenderFactory, NgramRecommenderFactory,
+    evaluate_bpmf, masked_lda_scores, AprioriRecommenderFactory, BpmfEvaluation,
+    ChhRecommenderFactory, LdaRecommenderFactory, LstmRecommenderFactory, NgramRecommenderFactory,
 };
 pub use similarity::{neighbor_label_agreement, popularity_bias, top_k_similar, DistanceMetric};

@@ -37,7 +37,12 @@ fn docs_before(corpus: &Corpus, ids: &[CompanyId], cutoff: Month) -> Vec<Weighte
 fn sequences_before(corpus: &Corpus, ids: &[CompanyId], cutoff: Month) -> Vec<Vec<usize>> {
     ids.iter()
         .map(|&id| {
-            corpus.company(id).sequence_before(cutoff).into_iter().map(|p| p.index()).collect()
+            corpus
+                .company(id)
+                .sequence_before(cutoff)
+                .into_iter()
+                .map(|p| p.index())
+                .collect()
         })
         .collect()
 }
@@ -45,6 +50,25 @@ fn sequences_before(corpus: &Corpus, ids: &[CompanyId], cutoff: Month) -> Vec<Ve
 // ---------------------------------------------------------------------------
 // LDA
 // ---------------------------------------------------------------------------
+
+/// Fold-in predictive scores for the next *new* product under an LDA model.
+///
+/// Install bases are sets: the predictive mass on already-owned products is
+/// structurally dead, so the distribution is masked to the unowned support
+/// and renormalized (mirroring the document-completion perplexity). Shared by
+/// [`LdaRecommenderFactory`] and the engine layer's LDA wrapper.
+pub fn masked_lda_scores(model: &LdaModel, history: &[usize]) -> Vec<f64> {
+    let doc: WeightedDoc = history.iter().map(|&w| (w, 1.0)).collect();
+    let mut scores = model.predict_products(&doc);
+    for &w in history {
+        scores[w] = 0.0;
+    }
+    let s: f64 = scores.iter().sum();
+    if s > 0.0 {
+        scores.iter_mut().for_each(|x| *x /= s);
+    }
+    scores
+}
 
 /// Trains an LDA model per cutoff and scores via the fold-in predictive
 /// mixture `Σ_k θ_k φ_kp` (the "LDA3" recommender when `n_topics = 3`).
@@ -70,20 +94,7 @@ struct LdaRecommender {
 
 impl Recommender for LdaRecommender {
     fn scores(&self, history: &[usize]) -> Vec<f64> {
-        let doc: WeightedDoc = history.iter().map(|&w| (w, 1.0)).collect();
-        let mut scores = self.model.predict_products(&doc);
-        // Install bases are sets: the predictive mass on already-owned
-        // products is structurally dead, so the conditional probability of a
-        // *new* product renormalizes over the unowned support (mirroring the
-        // document-completion perplexity).
-        for &w in history {
-            scores[w] = 0.0;
-        }
-        let s: f64 = scores.iter().sum();
-        if s > 0.0 {
-            scores.iter_mut().for_each(|x| *x /= s);
-        }
-        scores
+        masked_lda_scores(&self.model, history)
     }
 
     fn name(&self) -> &str {
@@ -100,7 +111,10 @@ impl RecommenderFactory for LdaRecommenderFactory {
     ) -> Box<dyn Recommender> {
         let docs = docs_before(corpus, train_ids, cutoff);
         let model = GibbsTrainer::new(self.config.clone()).fit(&docs);
-        Box::new(LdaRecommender { model, label: self.label.clone() })
+        Box::new(LdaRecommender {
+            model,
+            label: self.label.clone(),
+        })
     }
 
     fn name(&self) -> &str {
@@ -204,7 +218,10 @@ impl RecommenderFactory for NgramRecommenderFactory {
     ) -> Box<dyn Recommender> {
         let seqs = sequences_before(corpus, train_ids, cutoff);
         let model = NgramLm::fit(self.config.clone(), &seqs);
-        Box::new(NgramRecommender { model, label: self.label.clone() })
+        Box::new(NgramRecommender {
+            model,
+            label: self.label.clone(),
+        })
     }
 
     fn name(&self) -> &str {
@@ -356,10 +373,17 @@ pub fn evaluate_bpmf(
         let mut ratings = Vec::new();
         for (row, &id) in eval_ids.iter().enumerate() {
             for p in corpus.company(id).sequence_before(cutoff) {
-                ratings.push(Rating { row, col: p.index(), value: 1.0 });
+                ratings.push(Rating {
+                    row,
+                    col: p.index(),
+                    value: 1.0,
+                });
             }
         }
-        assert!(!ratings.is_empty(), "no install-base events before {cutoff}");
+        assert!(
+            !ratings.is_empty(),
+            "no install-base events before {cutoff}"
+        );
         hlm_bpmf::fit(eval_ids.len(), m, &ratings, cfg, Some((0.0, 1.0)))
     };
 
@@ -386,7 +410,11 @@ pub fn evaluate_bpmf(
             let scores = model.predict_row(row);
             if wi == 0 {
                 first_window_scores.extend(
-                    scores.iter().enumerate().filter(|&(p, _)| !owned[p]).map(|(_, &s)| s),
+                    scores
+                        .iter()
+                        .enumerate()
+                        .filter(|&(p, _)| !owned[p])
+                        .map(|(_, &s)| s),
                 );
             }
             for (pi, &phi) in thresholds.iter().enumerate() {
@@ -436,7 +464,10 @@ pub fn evaluate_bpmf(
             }
         })
         .collect();
-    BpmfEvaluation { scores: first_window_scores, points }
+    BpmfEvaluation {
+        scores: first_window_scores,
+        points,
+    }
 }
 
 #[cfg(test)]
@@ -452,8 +483,7 @@ mod tests {
 
     fn quick_eval_cfg() -> RecEvalConfig {
         RecEvalConfig {
-            windows: hlm_corpus::SlidingWindows::new(Month::from_ym(2013, 1), 12, 4, 4)
-                .collect(),
+            windows: hlm_corpus::SlidingWindows::new(Month::from_ym(2013, 1), 12, 4, 4).collect(),
             thresholds: vec![0.0, 0.05, 0.1, 0.3, 0.9],
             retrain_per_window: false,
             require_history: true,
@@ -476,12 +506,15 @@ mod tests {
         let c = corpus();
         let ids: Vec<CompanyId> = c.ids().collect();
         let (train, test) = ids.split_at(180);
-        let pts =
-            evaluate_recommender(&quick_lda_factory(3), &c, train, test, &quick_eval_cfg());
+        let pts = evaluate_recommender(&quick_lda_factory(3), &c, train, test, &quick_eval_cfg());
         assert_eq!(pts.len(), 5);
         // Retrieval shrinks with the threshold; recall at phi=0 is 1 (every
         // unowned product retrieved).
-        assert!((pts[0].recall.mean - 1.0).abs() < 1e-9, "recall@0 {}", pts[0].recall.mean);
+        assert!(
+            (pts[0].recall.mean - 1.0).abs() < 1e-9,
+            "recall@0 {}",
+            pts[0].recall.mean
+        );
         assert!(pts[4].retrieved.mean < pts[0].retrieved.mean);
         // Scores are probabilities over 38 products: phi=0.9 retrieves ~nothing.
         assert!(pts[4].retrieved.mean < 1.0);
@@ -524,7 +557,13 @@ mod tests {
         let ids: Vec<CompanyId> = c.ids().collect();
         let (train, test) = ids.split_at(180);
         let factory = LstmRecommenderFactory {
-            config: LstmConfig { vocab_size: 38, hidden_size: 10, n_layers: 1, dropout: 0.1, ..Default::default() },
+            config: LstmConfig {
+                vocab_size: 38,
+                hidden_size: 10,
+                n_layers: 1,
+                dropout: 0.1,
+                ..Default::default()
+            },
             train: TrainOptions {
                 epochs: 2,
                 batch_size: 16,
@@ -532,17 +571,11 @@ mod tests {
                 patience: 0,
                 seed: 7,
                 verbose: false,
-            ..Default::default()
-        },
+                ..Default::default()
+            },
             seed: 11,
         };
-        let pts = evaluate_recommender(
-            &factory,
-            &c,
-            &train[..120],
-            &test[..40],
-            &quick_eval_cfg(),
-        );
+        let pts = evaluate_recommender(&factory, &c, &train[..120], &test[..40], &quick_eval_cfg());
         assert!(pts[0].recall.mean > 0.99);
         // Distributions over 38 products: thresholding at 0.9 kills recall.
         assert!(pts[4].recall.mean < 0.2);
@@ -554,15 +587,13 @@ mod tests {
         let ids: Vec<CompanyId> = c.ids().take(120).collect();
         let windows: Vec<TimeWindow> =
             hlm_corpus::SlidingWindows::new(Month::from_ym(2013, 1), 12, 4, 3).collect();
-        let cfg = BpmfConfig { n_iters: 25, burn_in: 10, n_factors: 5, ..Default::default() };
-        let eval = evaluate_bpmf(
-            &c,
-            &ids,
-            &windows,
-            &[0.90, 0.93, 0.96, 0.99],
-            &cfg,
-            false,
-        );
+        let cfg = BpmfConfig {
+            n_iters: 25,
+            burn_in: 10,
+            n_factors: 5,
+            ..Default::default()
+        };
+        let eval = evaluate_bpmf(&c, &ids, &windows, &[0.90, 0.93, 0.96, 0.99], &cfg, false);
         assert!(!eval.scores.is_empty());
         // Figure 5: the bulk of the scores sits high in [0, 1].
         let median = {
@@ -575,12 +606,19 @@ mod tests {
         // unowned product -> recall near 1, precision near the base rate.
         let first = &eval.points[0];
         assert!(first.recall.mean > 0.6, "recall {}", first.recall.mean);
-        assert!(first.precision.mean < 0.3, "precision {}", first.precision.mean);
+        assert!(
+            first.precision.mean < 0.3,
+            "precision {}",
+            first.precision.mean
+        );
         // Degeneracy: thresholds across [0.90, 0.96] barely change what is
         // retrieved (the score mass sits above them all).
         let r0 = eval.points[0].retrieved.mean;
         let r2 = eval.points[2].retrieved.mean;
-        assert!(r2 > 0.5 * r0, "retrieval cliff between 0.90 and 0.96: {r0} -> {r2}");
+        assert!(
+            r2 > 0.5 * r0,
+            "retrieval cliff between 0.90 and 0.96: {r0} -> {r2}"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! Section-4 model list) LSTM hidden-state embeddings. This module builds
 //! each of them as a row-per-company [`Matrix`].
 
+use crate::error::CoreError;
 use hlm_corpus::tfidf::TfIdf;
 use hlm_corpus::{CompanyId, Corpus};
 use hlm_lda::{LdaModel, WeightedDoc};
@@ -17,7 +18,12 @@ use hlm_lstm::LstmLm;
 pub fn binary_docs(corpus: &Corpus, ids: &[CompanyId]) -> Vec<WeightedDoc> {
     ids.iter()
         .map(|&id| {
-            corpus.company(id).product_set().into_iter().map(|p| (p.index(), 1.0)).collect()
+            corpus
+                .company(id)
+                .product_set()
+                .into_iter()
+                .map(|p| (p.index(), 1.0))
+                .collect()
         })
         .collect()
 }
@@ -66,10 +72,19 @@ pub fn lda_representations(model: &LdaModel, docs: &[WeightedDoc]) -> Matrix {
 /// alternative the paper cites in Section 3.5 — competitive features, but
 /// without LDA's interpretability.
 ///
-/// # Panics
-/// Panics if `k == 0` or the matrix is empty.
-pub fn lsi_representations(company_product: &Matrix, k: usize, seed: u64) -> Matrix {
-    hlm_linalg::truncated_svd(company_product, k, seed).row_embeddings()
+/// # Errors
+/// [`CoreError::InvalidRank`] if `k == 0`, the matrix is empty, or `k`
+/// exceeds either dimension.
+pub fn lsi_representations(
+    company_product: &Matrix,
+    k: usize,
+    seed: u64,
+) -> Result<Matrix, CoreError> {
+    let (rows, cols) = company_product.shape();
+    if k == 0 || k > rows || k > cols {
+        return Err(CoreError::InvalidRank { k, rows, cols });
+    }
+    Ok(hlm_linalg::truncated_svd(company_product, k, seed).row_embeddings())
 }
 
 /// Fisher-kernel company representations (Section 3.4): a GMM is fit over
@@ -78,23 +93,36 @@ pub fn lsi_representations(company_product: &Matrix, k: usize, seed: u64) -> Mat
 /// improved Fisher vector of its owned products' embeddings. Output is
 /// `N x (2 · K_gmm · D)`.
 ///
-/// # Panics
-/// Panics if `product_embeddings` has fewer rows than the vocabulary or the
-/// GMM has more components than products.
+/// # Errors
+/// [`CoreError::EmbeddingMismatch`] if `product_embeddings` has fewer rows
+/// than the vocabulary; [`CoreError::InvalidRank`] if the GMM would have
+/// zero components or more components than embedding rows.
 pub fn fisher_representations(
     corpus: &Corpus,
     ids: &[CompanyId],
     product_embeddings: &Matrix,
     gmm_components: usize,
     seed: u64,
-) -> Matrix {
-    assert!(
-        product_embeddings.rows() >= corpus.vocab().len(),
-        "one embedding row per product required"
-    );
+) -> Result<Matrix, CoreError> {
+    if product_embeddings.rows() < corpus.vocab().len() {
+        return Err(CoreError::EmbeddingMismatch {
+            rows: product_embeddings.rows(),
+            products: corpus.vocab().len(),
+        });
+    }
+    if gmm_components == 0 || gmm_components > product_embeddings.rows() {
+        return Err(CoreError::InvalidRank {
+            k: gmm_components,
+            rows: product_embeddings.rows(),
+            cols: product_embeddings.cols(),
+        });
+    }
     let gmm = hlm_cluster::Gmm::fit(
         product_embeddings,
-        &hlm_cluster::GmmOptions { seed, ..hlm_cluster::GmmOptions::new(gmm_components) },
+        &hlm_cluster::GmmOptions {
+            seed,
+            ..hlm_cluster::GmmOptions::new(gmm_components)
+        },
     );
     let fv_dim = 2 * gmm.k() * gmm.dim();
     let mut out = Matrix::zeros(ids.len(), fv_dim);
@@ -108,7 +136,7 @@ pub fn fisher_representations(
         let fv = gmm.fisher_vector(&rows);
         out.row_mut(i).copy_from_slice(&fv);
     }
-    out
+    Ok(out)
 }
 
 /// LSTM company embeddings (`N x H`): the final top-layer hidden state after
@@ -117,8 +145,12 @@ pub fn lstm_representations(model: &LstmLm, corpus: &Corpus, ids: &[CompanyId]) 
     let h = model.config().hidden_size;
     let mut out = Matrix::zeros(ids.len(), h);
     for (i, &id) in ids.iter().enumerate() {
-        let seq: Vec<usize> =
-            corpus.company(id).product_sequence().into_iter().map(|p| p.index()).collect();
+        let seq: Vec<usize> = corpus
+            .company(id)
+            .product_sequence()
+            .into_iter()
+            .map(|p| p.index())
+            .collect();
         let emb = model.encode(&seq);
         out.row_mut(i).copy_from_slice(&emb);
     }
@@ -218,19 +250,24 @@ mod tests {
         let c = corpus();
         let ids: Vec<CompanyId> = c.ids().collect();
         let binary = raw_binary(&c, &ids);
-        let lsi = lsi_representations(&binary, 3, 7);
+        let lsi = lsi_representations(&binary, 3, 7).unwrap();
         assert_eq!(lsi.shape(), (120, 3));
         assert!(lsi.is_finite());
         // LSI features separate latent profiles better than chance: check
         // 1-NN label agreement against the generator's profile labels.
-        let labels: Vec<usize> =
-            ids.iter().map(|&id| c.company(id).industry.0 as usize % 3).collect();
+        let labels: Vec<usize> = ids
+            .iter()
+            .map(|&id| c.company(id).industry.0 as usize % 3)
+            .collect();
         let agree = crate::similarity::neighbor_label_agreement(
             &lsi,
             &labels,
             crate::similarity::DistanceMetric::Cosine,
         );
-        assert!(agree > 0.5, "LSI 1-NN agreement {agree} must beat chance 1/3");
+        assert!(
+            agree > 0.5,
+            "LSI 1-NN agreement {agree} must beat chance 1/3"
+        );
     }
 
     #[test]
@@ -248,19 +285,59 @@ mod tests {
         })
         .fit(&docs);
         let emb = lda.product_embeddings();
-        let fv = fisher_representations(&c, &ids, &emb, 3, 9);
+        let fv = fisher_representations(&c, &ids, &emb, 3, 9).unwrap();
         assert_eq!(fv.shape(), (120, 2 * 3 * 3));
         assert!(fv.is_finite());
         // Fisher vectors carry the latent-profile signal: 1-NN agreement
         // with the generator's profile labels beats chance.
-        let labels: Vec<usize> =
-            ids.iter().map(|&id| c.company(id).industry.0 as usize % 3).collect();
+        let labels: Vec<usize> = ids
+            .iter()
+            .map(|&id| c.company(id).industry.0 as usize % 3)
+            .collect();
         let agree = crate::similarity::neighbor_label_agreement(
             &fv,
             &labels,
             crate::similarity::DistanceMetric::Cosine,
         );
-        assert!(agree > 0.5, "Fisher 1-NN agreement {agree} must beat chance 1/3");
+        assert!(
+            agree > 0.5,
+            "Fisher 1-NN agreement {agree} must beat chance 1/3"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_rank_and_embedding_shapes() {
+        let c = corpus();
+        let ids: Vec<CompanyId> = c.ids().collect();
+        let binary = raw_binary(&c, &ids);
+        let zero = lsi_representations(&binary, 0, 7);
+        assert_eq!(
+            zero.unwrap_err(),
+            CoreError::InvalidRank {
+                k: 0,
+                rows: 120,
+                cols: 38
+            }
+        );
+        let over = lsi_representations(&binary, 39, 7);
+        assert_eq!(
+            over.unwrap_err(),
+            CoreError::InvalidRank {
+                k: 39,
+                rows: 120,
+                cols: 38
+            }
+        );
+        // Embedding matrix covering only half the vocabulary.
+        let short = Matrix::zeros(19, 3);
+        let fv = fisher_representations(&c, &ids, &short, 2, 9);
+        assert_eq!(
+            fv.unwrap_err(),
+            CoreError::EmbeddingMismatch {
+                rows: 19,
+                products: 38
+            }
+        );
     }
 
     #[test]
@@ -268,7 +345,13 @@ mod tests {
         let c = corpus();
         let ids: Vec<CompanyId> = c.ids().take(10).collect();
         let model = LstmLm::new(
-            LstmConfig { vocab_size: 38, hidden_size: 12, n_layers: 1, dropout: 0.0, ..Default::default() },
+            LstmConfig {
+                vocab_size: 38,
+                hidden_size: 12,
+                n_layers: 1,
+                dropout: 0.0,
+                ..Default::default()
+            },
             3,
         );
         let a = lstm_representations(&model, &c, &ids);

@@ -43,7 +43,11 @@ pub fn top_k_similar(
         .filter(|&i| i != query)
         .map(|i| (i, metric.distance(q, representations.row(i))))
         .collect();
-    dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances").then(a.0.cmp(&b.0)));
+    dists.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .expect("finite distances")
+            .then(a.0.cmp(&b.0))
+    });
     dists.truncate(k);
     dists
 }
@@ -66,7 +70,11 @@ pub fn popularity_bias(
     representations: &Matrix,
     metric: DistanceMetric,
 ) -> f64 {
-    assert_eq!(ids.len(), representations.rows(), "one row per company required");
+    assert_eq!(
+        ids.len(),
+        representations.rows(),
+        "one row per company required"
+    );
     assert!(ids.len() >= 2, "need at least two companies");
 
     // Top popularity quartile by document frequency.
@@ -83,7 +91,9 @@ pub fn popularity_bias(
     let mut total_shared = 0usize;
     for (row, &id) in ids.iter().enumerate() {
         let nn = top_k_similar(representations, row, 1, metric);
-        let Some(&(nn_row, _)) = nn.first() else { continue };
+        let Some(&(nn_row, _)) = nn.first() else {
+            continue;
+        };
         let a = corpus.company(id).product_set();
         let b = corpus.company(ids[nn_row]).product_set();
         let b_set: std::collections::HashSet<_> = b.into_iter().collect();
@@ -117,7 +127,11 @@ pub fn neighbor_label_agreement(
     labels: &[usize],
     metric: DistanceMetric,
 ) -> f64 {
-    assert_eq!(labels.len(), representations.rows(), "one label per row required");
+    assert_eq!(
+        labels.len(),
+        representations.rows(),
+        "one label per row required"
+    );
     assert!(labels.len() >= 2, "need at least two points");
     let mut agree = 0usize;
     for i in 0..representations.rows() {
@@ -192,8 +206,10 @@ mod tests {
         // over 3 profiles).
         let corpus = hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(250, 9));
         let ids: Vec<CompanyId> = corpus.ids().collect();
-        let labels: Vec<usize> =
-            ids.iter().map(|&id| corpus.company(id).industry.0 as usize % 3).collect();
+        let labels: Vec<usize> = ids
+            .iter()
+            .map(|&id| corpus.company(id).industry.0 as usize % 3)
+            .collect();
         let raw = raw_binary(&corpus, &ids);
         let docs = binary_docs(&corpus, &ids);
         let lda = GibbsTrainer::new(LdaConfig {
@@ -210,7 +226,10 @@ mod tests {
         // 1-NN agreement: both spaces carry the profile signal, LDA well
         // above the 1/3 chance level.
         let agree_lda = neighbor_label_agreement(&lda_b, &labels, DistanceMetric::Cosine);
-        assert!(agree_lda > 0.5, "LDA agreement {agree_lda} should be well above chance 1/3");
+        assert!(
+            agree_lda > 0.5,
+            "LDA agreement {agree_lda} should be well above chance 1/3"
+        );
 
         // The paper's actual representation-quality claim (Figure 7):
         // k-means clusters on LDA features are far better separated

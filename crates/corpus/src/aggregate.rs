@@ -68,7 +68,10 @@ pub fn aggregate_sites(vocab: Vocabulary, sites: Vec<SiteRecord>) -> Corpus {
     }
     let mut keys: Vec<(u64, u16)> = groups.keys().copied().collect();
     keys.sort_unstable();
-    let companies = keys.into_iter().map(|k| groups.remove(&k).expect("key present")).collect();
+    let companies = keys
+        .into_iter()
+        .map(|k| groups.remove(&k).expect("key present"))
+        .collect();
     Corpus::new(vocab, companies)
 }
 
@@ -112,7 +115,11 @@ mod tests {
         assert_eq!(c.revenue_musd, 10.0);
         assert_eq!(c.product_count(), 3);
         // Product 1 keeps the earliest first_seen (2003).
-        let e1 = c.events().iter().find(|e| e.product == ProductId(1)).unwrap();
+        let e1 = c
+            .events()
+            .iter()
+            .find(|e| e.product == ProductId(1))
+            .unwrap();
         assert_eq!(e1.first_seen, Month::from_ym(2003, 1));
     }
 
@@ -121,7 +128,10 @@ mod tests {
         let vocab = Vocabulary::new(["a"]);
         let corpus = aggregate_sites(
             vocab,
-            vec![site(10, 1, 1, vec![ev(0, 2000)]), site(11, 1, 2, vec![ev(0, 2001)])],
+            vec![
+                site(10, 1, 1, vec![ev(0, 2000)]),
+                site(11, 1, 2, vec![ev(0, 2001)]),
+            ],
         );
         assert_eq!(corpus.len(), 2, "domestic aggregation keys on country");
     }
@@ -131,7 +141,10 @@ mod tests {
         let vocab = Vocabulary::new(["a"]);
         let corpus = aggregate_sites(
             vocab,
-            vec![site(10, 1, 1, vec![ev(0, 2000)]), site(20, 2, 1, vec![ev(0, 2001)])],
+            vec![
+                site(10, 1, 1, vec![ev(0, 2000)]),
+                site(20, 2, 1, vec![ev(0, 2001)]),
+            ],
         );
         assert_eq!(corpus.len(), 2);
     }
@@ -141,11 +154,19 @@ mod tests {
         let vocab = Vocabulary::new(["a"]);
         let a = aggregate_sites(
             vocab.clone(),
-            vec![site(10, 2, 1, vec![]), site(11, 1, 1, vec![]), site(12, 1, 2, vec![])],
+            vec![
+                site(10, 2, 1, vec![]),
+                site(11, 1, 1, vec![]),
+                site(12, 1, 2, vec![]),
+            ],
         );
         let b = aggregate_sites(
             vocab,
-            vec![site(12, 1, 2, vec![]), site(10, 2, 1, vec![]), site(11, 1, 1, vec![])],
+            vec![
+                site(12, 1, 2, vec![]),
+                site(10, 2, 1, vec![]),
+                site(11, 1, 1, vec![]),
+            ],
         );
         let key = |c: &Corpus| -> Vec<(u64, u16)> {
             c.companies().iter().map(|x| (x.duns, x.country)).collect()

@@ -53,7 +53,12 @@ impl InstallEvent {
     /// Convenience constructor with `last_seen == first_seen` and full
     /// confidence.
     pub fn at(product: ProductId, first_seen: Month) -> Self {
-        InstallEvent { product, first_seen, last_seen: first_seen, confidence: 1.0 }
+        InstallEvent {
+            product,
+            first_seen,
+            last_seen: first_seen,
+            confidence: 1.0,
+        }
     }
 }
 
@@ -141,7 +146,11 @@ impl Company {
     /// acquisition order — the training history for a sliding window starting
     /// at `cutoff`.
     pub fn sequence_before(&self, cutoff: Month) -> Vec<ProductId> {
-        self.events.iter().filter(|e| e.first_seen < cutoff).map(|e| e.product).collect()
+        self.events
+            .iter()
+            .filter(|e| e.first_seen < cutoff)
+            .map(|e| e.product)
+            .collect()
     }
 
     /// Products whose first appearance falls inside `[start, end)` — the
@@ -193,8 +202,18 @@ mod tests {
     #[test]
     fn duplicate_products_merge() {
         let mut c = Company::new(1, "A", Sic2(1), 0);
-        c.add_event(InstallEvent { product: ProductId(5), first_seen: m(2005, 1), last_seen: m(2006, 1), confidence: 0.6 });
-        c.add_event(InstallEvent { product: ProductId(5), first_seen: m(2003, 1), last_seen: m(2004, 1), confidence: 0.9 });
+        c.add_event(InstallEvent {
+            product: ProductId(5),
+            first_seen: m(2005, 1),
+            last_seen: m(2006, 1),
+            confidence: 0.6,
+        });
+        c.add_event(InstallEvent {
+            product: ProductId(5),
+            first_seen: m(2003, 1),
+            last_seen: m(2004, 1),
+            confidence: 0.9,
+        });
         assert_eq!(c.product_count(), 1);
         let e = c.events()[0];
         assert_eq!(e.first_seen, m(2003, 1));

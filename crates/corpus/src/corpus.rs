@@ -63,7 +63,10 @@ impl Corpus {
 
     /// Iterates `(id, company)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (CompanyId, &Company)> {
-        self.companies.iter().enumerate().map(|(i, c)| (CompanyId(i as u32), c))
+        self.companies
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CompanyId(i as u32), c))
     }
 
     /// Ids in corpus order.
@@ -142,13 +145,17 @@ impl Corpus {
     /// The set views `A_i` for a subset of companies, as id-index vectors —
     /// the "documents" fed to LDA.
     pub fn documents_for(&self, ids: &[CompanyId]) -> Vec<Vec<ProductId>> {
-        ids.iter().map(|&id| self.company(id).product_set()).collect()
+        ids.iter()
+            .map(|&id| self.company(id).product_set())
+            .collect()
     }
 
     /// The sequence views `AS_i` for a subset of companies — the inputs to
     /// the sequential models (LSTM, n-gram, CHH).
     pub fn sequences_for(&self, ids: &[CompanyId]) -> Vec<Vec<ProductId>> {
-        ids.iter().map(|&id| self.company(id).product_sequence()).collect()
+        ids.iter()
+            .map(|&id| self.company(id).product_sequence())
+            .collect()
     }
 
     /// The distinct SIC2 industries present, sorted.

@@ -37,7 +37,10 @@ impl std::fmt::Display for CsvError {
 impl std::error::Error for CsvError {}
 
 fn err(line: usize, message: impl Into<String>) -> CsvError {
-    CsvError { line, message: message.into() }
+    CsvError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Splits one CSV line into fields, honouring RFC-4180 quoting.
@@ -88,8 +91,12 @@ fn parse_month(s: &str, line: usize) -> Result<Month, CsvError> {
     let (y, m) = s
         .split_once('-')
         .ok_or_else(|| err(line, format!("month {s:?} is not YYYY-MM")))?;
-    let year: i32 = y.parse().map_err(|_| err(line, format!("bad year in {s:?}")))?;
-    let month: u32 = m.parse().map_err(|_| err(line, format!("bad month in {s:?}")))?;
+    let year: i32 = y
+        .parse()
+        .map_err(|_| err(line, format!("bad year in {s:?}")))?;
+    let month: u32 = m
+        .parse()
+        .map_err(|_| err(line, format!("bad month in {s:?}")))?;
     if !(1..=12).contains(&month) {
         return Err(err(line, format!("month {month} out of range in {s:?}")));
     }
@@ -153,7 +160,10 @@ pub fn from_csv(
         }
         let f = split_csv_line(line, line_no)?;
         if f.len() != 7 {
-            return Err(err(line_no, format!("expected 7 company fields, got {}", f.len())));
+            return Err(err(
+                line_no,
+                format!("expected 7 company fields, got {}", f.len()),
+            ));
         }
         let duns: u64 = f[0].parse().map_err(|_| err(line_no, "bad duns"))?;
         let sic: u8 = f[2].parse().map_err(|_| err(line_no, "bad sic2"))?;
@@ -180,7 +190,10 @@ pub fn from_csv(
         }
         let f = split_csv_line(line, line_no)?;
         if f.len() != 5 {
-            return Err(err(line_no, format!("expected 5 event fields, got {}", f.len())));
+            return Err(err(
+                line_no,
+                format!("expected 5 event fields, got {}", f.len()),
+            ));
         }
         let duns: u64 = f[0].parse().map_err(|_| err(line_no, "bad duns"))?;
         let &idx = by_duns
@@ -198,7 +211,12 @@ pub fn from_csv(
         if !(0.0..=1.0).contains(&confidence) {
             return Err(err(line_no, "confidence outside [0, 1]"));
         }
-        companies[idx].add_event(InstallEvent { product, first_seen, last_seen, confidence });
+        companies[idx].add_event(InstallEvent {
+            product,
+            first_seen,
+            last_seen,
+            confidence,
+        });
     }
 
     Ok(Corpus::new(vocab, companies))

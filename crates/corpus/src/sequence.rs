@@ -138,7 +138,15 @@ mod tests {
     #[test]
     fn markers_wrap_sequence() {
         let toks = with_markers(&[p(3), p(7)]);
-        assert_eq!(toks, vec![Token::Bos, Token::Product(p(3)), Token::Product(p(7)), Token::Eos]);
+        assert_eq!(
+            toks,
+            vec![
+                Token::Bos,
+                Token::Product(p(3)),
+                Token::Product(p(7)),
+                Token::Eos
+            ]
+        );
     }
 
     #[test]

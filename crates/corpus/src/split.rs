@@ -32,8 +32,14 @@ impl Split {
     /// # Panics
     /// Panics if a fraction is negative or the two fractions exceed 1.
     pub fn new(corpus: &Corpus, train_frac: f64, valid_frac: f64, seed: u64) -> Self {
-        assert!(train_frac >= 0.0 && valid_frac >= 0.0, "fractions must be non-negative");
-        assert!(train_frac + valid_frac <= 1.0 + 1e-12, "train + valid fractions exceed 1");
+        assert!(
+            train_frac >= 0.0 && valid_frac >= 0.0,
+            "fractions must be non-negative"
+        );
+        assert!(
+            train_frac + valid_frac <= 1.0 + 1e-12,
+            "train + valid fractions exceed 1"
+        );
         let mut ids: Vec<CompanyId> = corpus.ids().collect();
         let mut rng = StdRng::seed_from_u64(seed);
         hlm_linalg::dist::shuffle(&mut rng, &mut ids);
@@ -73,8 +79,9 @@ mod tests {
     use std::collections::HashSet;
 
     fn corpus(n: usize) -> Corpus {
-        let companies =
-            (0..n).map(|i| Company::new(i as u64, format!("c{i}"), Sic2(1), 0)).collect();
+        let companies = (0..n)
+            .map(|i| Company::new(i as u64, format!("c{i}"), Sic2(1), 0))
+            .collect();
         Corpus::new(Vocabulary::new(["a"]), companies)
     }
 

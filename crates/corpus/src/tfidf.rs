@@ -60,9 +60,12 @@ impl TfIdf {
     /// # Panics
     /// Panics if `binary.len()` does not match the fitted vocabulary size.
     pub fn transform_vector(&self, binary: &[f64]) -> Vec<f64> {
-        assert_eq!(binary.len(), self.idf.len(), "TF-IDF vocabulary size mismatch");
-        let mut v: Vec<f64> =
-            binary.iter().zip(&self.idf).map(|(&b, &w)| b * w).collect();
+        assert_eq!(
+            binary.len(),
+            self.idf.len(),
+            "TF-IDF vocabulary size mismatch"
+        );
+        let mut v: Vec<f64> = binary.iter().zip(&self.idf).map(|(&b, &w)| b * w).collect();
         hlm_linalg::vector::normalize(&mut v);
         v
     }
@@ -73,9 +76,14 @@ impl TfIdf {
     /// # Panics
     /// Panics if the column count does not match the fitted vocabulary size.
     pub fn transform_matrix(&self, binary: &Matrix) -> Matrix {
-        assert_eq!(binary.cols(), self.idf.len(), "TF-IDF vocabulary size mismatch");
-        let mut out =
-            Matrix::from_fn(binary.rows(), binary.cols(), |r, c| binary.get(r, c) * self.idf[c]);
+        assert_eq!(
+            binary.cols(),
+            self.idf.len(),
+            "TF-IDF vocabulary size mismatch"
+        );
+        let mut out = Matrix::from_fn(binary.rows(), binary.cols(), |r, c| {
+            binary.get(r, c) * self.idf[c]
+        });
         for r in 0..out.rows() {
             hlm_linalg::vector::normalize(out.row_mut(r));
         }

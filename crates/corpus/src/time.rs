@@ -21,7 +21,10 @@ impl Month {
     /// # Panics
     /// Panics unless `1 <= month <= 12`.
     pub fn from_ym(year: i32, month: u32) -> Self {
-        assert!((1..=12).contains(&month), "month must be 1..=12, got {month}");
+        assert!(
+            (1..=12).contains(&month),
+            "month must be 1..=12, got {month}"
+        );
         Month((year - 1970) * 12 + (month as i32 - 1))
     }
 
@@ -82,7 +85,10 @@ impl TimeWindow {
     /// Panics if `months == 0`.
     pub fn new(start: Month, months: u32) -> Self {
         assert!(months > 0, "window must span at least one month");
-        TimeWindow { start, end: start.plus_months(months as i32) }
+        TimeWindow {
+            start,
+            end: start.plus_months(months as i32),
+        }
     }
 
     /// True when `m` falls inside `[start, end)`.
@@ -124,7 +130,12 @@ impl SlidingWindows {
     pub fn new(first_start: Month, window_months: u32, step_months: u32, count: usize) -> Self {
         assert!(window_months > 0, "window must span at least one month");
         assert!(step_months > 0, "step must be at least one month");
-        SlidingWindows { next_start: first_start, window_months, step_months, remaining: count }
+        SlidingWindows {
+            next_start: first_start,
+            window_months,
+            step_months,
+            remaining: count,
+        }
     }
 
     /// The exact schedule of Section 5.1: r = 12 months, step 2 months,

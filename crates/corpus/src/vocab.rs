@@ -137,14 +137,21 @@ impl Vocabulary {
 
     /// Iterates `(id, name)` pairs in order.
     pub fn iter(&self) -> impl Iterator<Item = (ProductId, &str)> {
-        self.names.iter().enumerate().map(|(i, n)| (ProductId(i as u16), n.as_str()))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ProductId(i as u16), n.as_str()))
     }
 
     /// Rebuilds the name index (needed after `serde` deserialization, which
     /// skips the redundant map).
     pub fn rebuild_index(&mut self) {
-        self.index =
-            self.names.iter().enumerate().map(|(i, n)| (n.clone(), ProductId(i as u16))).collect();
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), ProductId(i as u16)))
+            .collect();
     }
 }
 
@@ -193,7 +200,10 @@ mod tests {
     fn custom_vocabulary() {
         let v = Vocabulary::new(["x", "y"]);
         assert_eq!(v.len(), 2);
-        assert_eq!(v.ids().collect::<Vec<_>>(), vec![ProductId(0), ProductId(1)]);
+        assert_eq!(
+            v.ids().collect::<Vec<_>>(),
+            vec![ProductId(0), ProductId(1)]
+        );
     }
 
     #[test]

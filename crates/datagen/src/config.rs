@@ -71,7 +71,11 @@ impl Default for GeneratorConfig {
 impl GeneratorConfig {
     /// Convenience constructor for the two knobs almost every caller sets.
     pub fn with_size_and_seed(n_companies: usize, seed: u64) -> Self {
-        GeneratorConfig { n_companies, seed, ..Default::default() }
+        GeneratorConfig {
+            n_companies,
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Checks internal consistency.
@@ -82,16 +86,28 @@ impl GeneratorConfig {
     pub fn validate(&self) {
         assert!(self.n_industries > 0, "need at least one industry");
         assert!(self.n_countries > 0, "need at least one country");
-        assert!(self.min_products >= 1, "companies need at least one product");
-        assert!(self.mean_products >= self.min_products as f64, "mean below minimum");
+        assert!(
+            self.min_products >= 1,
+            "companies need at least one product"
+        );
+        assert!(
+            self.mean_products >= self.min_products as f64,
+            "mean below minimum"
+        );
         assert!(
             (0.0..=1.0).contains(&self.popularity_weight),
             "popularity_weight must be in [0,1]"
         );
         assert!(self.dominant_concentration > 0.0 && self.background_concentration > 0.0);
         assert!(self.order_noise >= 0.0, "order noise must be non-negative");
-        assert!(self.earliest_founding <= self.latest_founding, "inverted founding bounds");
-        assert!(self.latest_founding < self.horizon, "founding must precede horizon");
+        assert!(
+            self.earliest_founding <= self.latest_founding,
+            "inverted founding bounds"
+        );
+        assert!(
+            self.latest_founding < self.horizon,
+            "founding must precede horizon"
+        );
         assert!(self.mean_extra_sites >= 0.0);
     }
 }

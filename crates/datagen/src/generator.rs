@@ -54,8 +54,9 @@ fn sample_products(
     n_products: usize,
 ) -> Vec<ProductId> {
     let m = planted.popularity.len();
-    let mixed: Vec<Vec<f64>> =
-        (0..planted.k()).map(|k| planted.mixed_distribution(k, popularity_weight)).collect();
+    let mixed: Vec<Vec<f64>> = (0..planted.k())
+        .map(|k| planted.mixed_distribution(k, popularity_weight))
+        .collect();
     let mut owned = vec![false; m];
     let mut out = Vec::with_capacity(n_products);
     let mut weights = vec![0.0; m];
@@ -70,8 +71,9 @@ fn sample_products(
         if !any {
             // This profile has no unowned product left; fall back to the
             // popularity background restricted to unowned products.
-            for (w, (&d, &o)) in
-                weights.iter_mut().zip(planted.popularity.iter().zip(owned.iter()))
+            for (w, (&d, &o)) in weights
+                .iter_mut()
+                .zip(planted.popularity.iter().zip(owned.iter()))
             {
                 *w = if o { 0.0 } else { d.max(1e-9) };
             }
@@ -95,12 +97,19 @@ fn assign_timestamps(
 ) -> Vec<InstallEvent> {
     let mut keyed: Vec<(f64, ProductId)> = products
         .iter()
-        .map(|&p| (planted.stage(p) + sample_normal(rng, 0.0, cfg.order_noise), p))
+        .map(|&p| {
+            (
+                planted.stage(p) + sample_normal(rng, 0.0, cfg.order_noise),
+                p,
+            )
+        })
         .collect();
     keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("stage keys are finite"));
 
     let span = (cfg.horizon - founding).max(1);
-    let mut months: Vec<i32> = (0..products.len()).map(|_| rng.gen_range(0..span)).collect();
+    let mut months: Vec<i32> = (0..products.len())
+        .map(|_| rng.gen_range(0..span))
+        .collect();
     months.sort_unstable();
 
     keyed
@@ -112,7 +121,12 @@ fn assign_timestamps(
             let remaining = (cfg.horizon - first).max(1);
             let last = first.plus_months(rng.gen_range(0..remaining));
             let confidence = 0.7 + 0.3 * rng.gen::<f32>();
-            InstallEvent { product: p, first_seen: first, last_seen: last, confidence }
+            InstallEvent {
+                product: p,
+                first_seen: first,
+                last_seen: last,
+                confidence,
+            }
         })
         .collect()
 }
@@ -142,7 +156,9 @@ pub fn generate_sites(cfg: &GeneratorConfig) -> (Vocabulary, Vec<SiteRecord>) {
             n_products,
         );
         let founding_span = (cfg.latest_founding - cfg.earliest_founding).max(1);
-        let founding = cfg.earliest_founding.plus_months(rng.gen_range(0..founding_span));
+        let founding = cfg
+            .earliest_founding
+            .plus_months(rng.gen_range(0..founding_span));
         let events = assign_timestamps(&mut rng, cfg, &planted, &products, founding);
 
         let country = rng.gen_range(0..cfg.n_countries) as u16;
@@ -324,7 +340,10 @@ mod tests {
     fn multi_site_companies_exist_and_aggregate() {
         let c = small_corpus();
         let multi = c.companies().iter().filter(|x| x.site_count > 1).count();
-        assert!(multi > 30, "expected many multi-site companies, got {multi}");
+        assert!(
+            multi > 30,
+            "expected many multi-site companies, got {multi}"
+        );
     }
 
     #[test]

@@ -185,8 +185,7 @@ impl PlantedProfiles {
             dist.iter_mut().for_each(|x| *x /= s);
             dist
         };
-        let profile_dists: Vec<Vec<f64>> =
-            specs.iter().map(|s| resolve(&s.weights)).collect();
+        let profile_dists: Vec<Vec<f64>> = specs.iter().map(|s| resolve(&s.weights)).collect();
 
         let mut popularity = vec![0.008; m]; // small floor so every product can appear
         for &(name, w) in POPULAR {
@@ -286,7 +285,10 @@ mod tests {
             &planted.profile_dists[0],
             &planted.profile_dists[1],
         );
-        assert!(d01 > 0.1, "profiles 0 and 1 must be well separated, got {d01}");
+        assert!(
+            d01 > 0.1,
+            "profiles 0 and 1 must be well separated, got {d01}"
+        );
     }
 
     #[test]

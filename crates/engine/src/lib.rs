@@ -1,0 +1,1094 @@
+//! The engine layer: a single entry point for training, scoring and serving
+//! every model family the paper compares.
+//!
+//! The repo grows one crate per substrate (LDA, LSTM, n-grams, CHH, BPMF)
+//! plus the contribution layer in `hlm-core`. Consumers used to construct
+//! each model by hand — seven different constructor/`fit` shapes scattered
+//! across the CLI, the figure experiments and the examples. This crate
+//! collapses them behind three types:
+//!
+//! * [`ModelKind`] — the closed set of model families, parseable from the
+//!   strings a CLI or config file would carry;
+//! * [`ModelSpec`] — a *validated* configuration for one family, convertible
+//!   into either a sliding-window [`RecommenderFactory`] (delegating to the
+//!   adapters in [`hlm_core::recommenders`]) or a concrete trained model;
+//! * [`TrainedModel`] — the trait object returned by [`ModelSpec::fit_sequences`]
+//!   / [`Engine::train`], exposing `recommend` and `perplexity` uniformly and
+//!   the concrete model via [`TrainedModel::as_any`] for family-specific
+//!   diagnostics (topic inspection, heavy-hitter counts, …).
+//!
+//! Invalid input surfaces as a typed [`EngineError`] rather than a panic, so
+//! a server built on the engine can turn bad requests into error responses.
+//! The [`Engine`] facade holds the corpus behind an [`Arc`] and shares it
+//! with every [`SalesApplication`] it spawns — one copy of the install-base
+//! data regardless of how many serving surfaces are open.
+
+use hlm_chh::{AprioriConfig, AprioriModel, ExactChh, StreamingChh};
+use hlm_core::app::SalesApplication;
+use hlm_core::recommenders::{
+    masked_lda_scores, AprioriRecommenderFactory, ChhRecommenderFactory, LdaRecommenderFactory,
+    LstmRecommenderFactory, NgramRecommenderFactory,
+};
+use hlm_core::similarity::DistanceMetric;
+use hlm_core::CoreError;
+use hlm_corpus::{CompanyId, Corpus, Month, TimeWindow};
+use hlm_eval::drift::DriftReport;
+use hlm_eval::{Recommender, RecommenderFactory};
+use hlm_lda::{GibbsTrainer, LdaConfig, LdaModel, VbOptions, VbTrainer, WeightedDoc};
+use hlm_linalg::Matrix;
+use hlm_lstm::{LstmConfig, LstmLm, TrainOptions, Trainer};
+use hlm_ngram::{NgramConfig, NgramLm};
+use std::any::Any;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Everything that can go wrong when configuring, training or serving a
+/// model through the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// An invalid-input error bubbled up from the contribution layer.
+    Core(CoreError),
+    /// A model-kind string did not name any registered family.
+    UnknownModelKind(String),
+    /// A [`ModelSpec`] carries parameters no model can be trained with.
+    InvalidSpec {
+        /// What is wrong with the spec.
+        reason: String,
+    },
+    /// The family exists but does not support the requested operation.
+    Unsupported {
+        /// The model family.
+        kind: ModelKind,
+        /// The operation it cannot perform.
+        operation: &'static str,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Core(e) => write!(f, "{e}"),
+            EngineError::UnknownModelKind(s) => {
+                write!(
+                    f,
+                    "unknown model kind {s:?} (expected one of {})",
+                    ModelKind::NAMES
+                )
+            }
+            EngineError::InvalidSpec { reason } => write!(f, "invalid model spec: {reason}"),
+            EngineError::Unsupported { kind, operation } => {
+                write!(f, "model family {kind} does not support {operation}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for EngineError {
+    fn from(e: CoreError) -> Self {
+        EngineError::Core(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model kinds
+// ---------------------------------------------------------------------------
+
+/// The closed set of model families in the paper's comparison (Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Interpolated n-gram language model (sequential association rules).
+    Ngram,
+    /// Latent Dirichlet Allocation over install bases.
+    Lda,
+    /// LSTM language model over acquisition sequences.
+    Lstm,
+    /// Exact Conditional Heavy Hitters.
+    ChhExact,
+    /// Streaming (SpaceSaving-budgeted) Conditional Heavy Hitters.
+    ChhStreaming,
+    /// Apriori association rules (time-agnostic baseline).
+    Apriori,
+    /// Bayesian Probabilistic Matrix Factorization.
+    Bpmf,
+}
+
+impl ModelKind {
+    /// Canonical names, in registry order — the strings [`FromStr`] accepts
+    /// and [`fmt::Display`] prints.
+    pub const NAMES: &'static str = "ngram, lda, lstm, chh-exact, chh-streaming, apriori, bpmf";
+
+    /// Every family, in registry order.
+    pub const ALL: [ModelKind; 7] = [
+        ModelKind::Ngram,
+        ModelKind::Lda,
+        ModelKind::Lstm,
+        ModelKind::ChhExact,
+        ModelKind::ChhStreaming,
+        ModelKind::Apriori,
+        ModelKind::Bpmf,
+    ];
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ModelKind::Ngram => "ngram",
+            ModelKind::Lda => "lda",
+            ModelKind::Lstm => "lstm",
+            ModelKind::ChhExact => "chh-exact",
+            ModelKind::ChhStreaming => "chh-streaming",
+            ModelKind::Apriori => "apriori",
+            ModelKind::Bpmf => "bpmf",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for ModelKind {
+    type Err = EngineError;
+
+    fn from_str(s: &str) -> Result<Self, EngineError> {
+        match s.to_ascii_lowercase().as_str() {
+            "ngram" | "n-gram" => Ok(ModelKind::Ngram),
+            "lda" => Ok(ModelKind::Lda),
+            "lstm" => Ok(ModelKind::Lstm),
+            "chh" | "chh-exact" | "exact-chh" => Ok(ModelKind::ChhExact),
+            "chh-streaming" | "streaming-chh" => Ok(ModelKind::ChhStreaming),
+            "apriori" => Ok(ModelKind::Apriori),
+            "bpmf" => Ok(ModelKind::Bpmf),
+            _ => Err(EngineError::UnknownModelKind(s.to_string())),
+        }
+    }
+}
+
+/// Which LDA posterior estimator to run (Section 3.3 trains with collapsed
+/// Gibbs; variational Bayes is the ablation alternative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LdaEstimator {
+    /// Collapsed Gibbs sampling (the paper's estimator).
+    Gibbs,
+    /// Mean-field variational Bayes.
+    Vb,
+}
+
+// ---------------------------------------------------------------------------
+// Model specs
+// ---------------------------------------------------------------------------
+
+/// A validated, self-contained configuration for one model family — the one
+/// currency every consumer (CLI, experiments, examples) uses to request a
+/// model from the engine.
+#[derive(Debug, Clone)]
+pub enum ModelSpec {
+    /// Interpolated n-gram LM; the vocabulary lives in the config.
+    Ngram(NgramConfig),
+    /// LDA topic model with a choice of estimator.
+    Lda {
+        /// Topic count, vocabulary, sweeps, priors.
+        config: LdaConfig,
+        /// Gibbs (paper) or variational Bayes.
+        estimator: LdaEstimator,
+    },
+    /// LSTM LM with its training schedule; `epochs: 0` yields the untrained
+    /// random-init baseline of Figure 1.
+    Lstm {
+        /// Architecture.
+        config: LstmConfig,
+        /// Training schedule.
+        train: TrainOptions,
+        /// Parameter-init seed.
+        seed: u64,
+    },
+    /// Exact Conditional Heavy Hitters.
+    ChhExact {
+        /// Context depth (paper: 2).
+        depth: usize,
+        /// Number of products `M`.
+        vocab_size: usize,
+    },
+    /// Streaming Conditional Heavy Hitters under a SpaceSaving budget.
+    ChhStreaming {
+        /// Context depth.
+        depth: usize,
+        /// Number of products `M`.
+        vocab_size: usize,
+        /// Maximum tracked contexts.
+        max_contexts: usize,
+        /// SpaceSaving counters per context.
+        counters_per_context: usize,
+    },
+    /// Apriori association rules.
+    Apriori {
+        /// Mining thresholds.
+        config: AprioriConfig,
+        /// Number of products `M`.
+        vocab_size: usize,
+    },
+    /// Bayesian PMF. Carried for completeness of the registry; BPMF scores
+    /// `(company, product)` cells rather than histories, so it only runs
+    /// under its dedicated protocol ([`hlm_core::recommenders::evaluate_bpmf`])
+    /// and every history-based operation returns [`EngineError::Unsupported`].
+    Bpmf(hlm_bpmf::BpmfConfig),
+}
+
+impl ModelSpec {
+    /// The family this spec configures.
+    pub fn kind(&self) -> ModelKind {
+        match self {
+            ModelSpec::Ngram(_) => ModelKind::Ngram,
+            ModelSpec::Lda { .. } => ModelKind::Lda,
+            ModelSpec::Lstm { .. } => ModelKind::Lstm,
+            ModelSpec::ChhExact { .. } => ModelKind::ChhExact,
+            ModelSpec::ChhStreaming { .. } => ModelKind::ChhStreaming,
+            ModelSpec::Apriori { .. } => ModelKind::Apriori,
+            ModelSpec::Bpmf(_) => ModelKind::Bpmf,
+        }
+    }
+
+    /// Report label, mirroring the adapters' conventions (`LDA3`, `2-gram`,
+    /// `CHH`, …).
+    pub fn label(&self) -> String {
+        match self {
+            ModelSpec::Ngram(cfg) => format!("{}-gram", cfg.order),
+            ModelSpec::Lda { config, .. } => format!("LDA{}", config.n_topics),
+            ModelSpec::Lstm { .. } => "LSTM".to_string(),
+            ModelSpec::ChhExact { .. } => "CHH".to_string(),
+            ModelSpec::ChhStreaming { .. } => "CHH-streaming".to_string(),
+            ModelSpec::Apriori { .. } => "Apriori".to_string(),
+            ModelSpec::Bpmf(_) => "BPMF".to_string(),
+        }
+    }
+
+    /// Checks the spec for parameters no model can be trained with.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidSpec`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        let invalid = |reason: String| Err(EngineError::InvalidSpec { reason });
+        match self {
+            ModelSpec::Ngram(cfg) => {
+                if cfg.order == 0 {
+                    return invalid("n-gram order must be at least 1".into());
+                }
+                if cfg.vocab_size == 0 {
+                    return invalid("n-gram vocabulary must be non-empty".into());
+                }
+            }
+            ModelSpec::Lda { config, .. } => {
+                if config.n_topics == 0 {
+                    return invalid("LDA needs at least one topic".into());
+                }
+                if config.vocab_size == 0 {
+                    return invalid("LDA vocabulary must be non-empty".into());
+                }
+            }
+            ModelSpec::Lstm { config, .. } => {
+                if config.vocab_size == 0 {
+                    return invalid("LSTM vocabulary must be non-empty".into());
+                }
+                if config.hidden_size == 0 || config.n_layers == 0 {
+                    return invalid("LSTM needs at least one hidden unit and one layer".into());
+                }
+            }
+            ModelSpec::ChhExact { vocab_size, .. } => {
+                if *vocab_size == 0 {
+                    return invalid("CHH vocabulary must be non-empty".into());
+                }
+            }
+            ModelSpec::ChhStreaming {
+                vocab_size,
+                max_contexts,
+                counters_per_context,
+                ..
+            } => {
+                if *vocab_size == 0 {
+                    return invalid("CHH vocabulary must be non-empty".into());
+                }
+                if *max_contexts == 0 || *counters_per_context == 0 {
+                    return invalid(format!(
+                        "streaming CHH budgets must be positive \
+                         (max_contexts={max_contexts}, counters={counters_per_context})"
+                    ));
+                }
+            }
+            ModelSpec::Apriori { config, vocab_size } => {
+                if *vocab_size == 0 {
+                    return invalid("Apriori vocabulary must be non-empty".into());
+                }
+                if config.max_len == 0 {
+                    return invalid("Apriori max_len must be at least 1".into());
+                }
+            }
+            ModelSpec::Bpmf(cfg) => {
+                if cfg.n_factors == 0 {
+                    return invalid("BPMF needs at least one latent factor".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Bridges the spec to the sliding-window evaluation protocol: a
+    /// [`RecommenderFactory`] that retrains on history before each window.
+    /// Delegates to the adapters in [`hlm_core::recommenders`]; the streaming
+    /// CHH factory (which core does not provide) lives in this crate.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidSpec`] for unusable parameters;
+    /// [`EngineError::Unsupported`] for BPMF (dedicated protocol) and the
+    /// variational LDA estimator (the window protocol trains with Gibbs).
+    pub fn factory(&self) -> Result<Box<dyn RecommenderFactory>, EngineError> {
+        self.validate()?;
+        match self {
+            ModelSpec::Ngram(cfg) => Ok(Box::new(NgramRecommenderFactory::new(cfg.clone()))),
+            ModelSpec::Lda { config, estimator } => match estimator {
+                LdaEstimator::Gibbs => Ok(Box::new(LdaRecommenderFactory::new(config.clone()))),
+                LdaEstimator::Vb => Err(EngineError::Unsupported {
+                    kind: ModelKind::Lda,
+                    operation: "sliding-window factory with the VB estimator",
+                }),
+            },
+            ModelSpec::Lstm {
+                config,
+                train,
+                seed,
+            } => Ok(Box::new(LstmRecommenderFactory {
+                config: config.clone(),
+                train: train.clone(),
+                seed: *seed,
+            })),
+            ModelSpec::ChhExact { depth, .. } => {
+                Ok(Box::new(ChhRecommenderFactory { depth: *depth }))
+            }
+            ModelSpec::ChhStreaming {
+                depth,
+                max_contexts,
+                counters_per_context,
+                ..
+            } => Ok(Box::new(StreamingChhRecommenderFactory {
+                depth: *depth,
+                max_contexts: *max_contexts,
+                counters_per_context: *counters_per_context,
+            })),
+            ModelSpec::Apriori { config, .. } => Ok(Box::new(AprioriRecommenderFactory {
+                config: config.clone(),
+            })),
+            ModelSpec::Bpmf(_) => Err(EngineError::Unsupported {
+                kind: ModelKind::Bpmf,
+                operation: "history-conditioned recommendation \
+                            (use hlm_core::recommenders::evaluate_bpmf)",
+            }),
+        }
+    }
+
+    /// Trains a model on explicit acquisition sequences and returns it as a
+    /// uniform [`TrainedModel`]. `valid` feeds early stopping where the
+    /// family supports it (LSTM) and is ignored elsewhere.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidSpec`] for unusable parameters;
+    /// [`EngineError::Unsupported`] for BPMF, which is not a sequence model.
+    pub fn fit_sequences(
+        &self,
+        train: &[Vec<usize>],
+        valid: &[Vec<usize>],
+    ) -> Result<Box<dyn TrainedModel>, EngineError> {
+        self.validate()?;
+        let label = self.label();
+        match self {
+            ModelSpec::Ngram(cfg) => {
+                let model = NgramLm::fit(cfg.clone(), train);
+                Ok(Box::new(TrainedNgram { model, label }))
+            }
+            ModelSpec::Lda { config, estimator } => {
+                let docs = hlm_lda::unit_weights(train);
+                let model = fit_lda(config.clone(), *estimator, &docs)?;
+                Ok(Box::new(TrainedLda { model, label }))
+            }
+            ModelSpec::Lstm {
+                config,
+                train: opts,
+                seed,
+            } => {
+                let seqs: Vec<Vec<usize>> =
+                    train.iter().filter(|s| !s.is_empty()).cloned().collect();
+                let mut model = LstmLm::new(config.clone(), *seed);
+                if opts.epochs > 0 {
+                    Trainer::new(opts.clone()).fit(&mut model, &seqs, valid);
+                }
+                Ok(Box::new(TrainedLstm { model, label }))
+            }
+            ModelSpec::ChhExact { depth, vocab_size } => {
+                let model = ExactChh::fit(*depth, *vocab_size, train);
+                Ok(Box::new(TrainedChhExact { model, label }))
+            }
+            ModelSpec::ChhStreaming {
+                depth,
+                vocab_size,
+                max_contexts,
+                counters_per_context,
+            } => {
+                let mut model =
+                    StreamingChh::new(*depth, *vocab_size, *max_contexts, *counters_per_context);
+                for seq in train {
+                    model.observe_sequence(seq);
+                }
+                Ok(Box::new(TrainedChhStreaming { model, label }))
+            }
+            ModelSpec::Apriori { config, vocab_size } => {
+                let baskets: Vec<Vec<usize>> =
+                    train.iter().filter(|b| !b.is_empty()).cloned().collect();
+                let model = if baskets.is_empty() {
+                    // Degenerate single-basket model: predictions are zeros
+                    // rather than a panic, matching the core adapter.
+                    AprioriModel::mine(*vocab_size, &[vec![0]], config)
+                } else {
+                    AprioriModel::mine(*vocab_size, &baskets, config)
+                };
+                Ok(Box::new(TrainedApriori { model, label }))
+            }
+            ModelSpec::Bpmf(_) => Err(EngineError::Unsupported {
+                kind: ModelKind::Bpmf,
+                operation: "training on acquisition sequences",
+            }),
+        }
+    }
+}
+
+/// Trains an LDA model on weighted documents (binary or TF-IDF input) with
+/// the requested estimator, returning the concrete [`LdaModel`] for
+/// consumers that need topics, embeddings or fold-in θ directly.
+///
+/// # Errors
+/// [`EngineError::InvalidSpec`] on zero topics, an empty vocabulary, or an
+/// empty document collection.
+pub fn fit_lda(
+    config: LdaConfig,
+    estimator: LdaEstimator,
+    docs: &[WeightedDoc],
+) -> Result<LdaModel, EngineError> {
+    ModelSpec::Lda {
+        config: config.clone(),
+        estimator,
+    }
+    .validate()?;
+    if docs.is_empty() {
+        return Err(EngineError::InvalidSpec {
+            reason: "LDA needs at least one training document".into(),
+        });
+    }
+    Ok(match estimator {
+        LdaEstimator::Gibbs => GibbsTrainer::new(config).fit(docs),
+        LdaEstimator::Vb => VbTrainer::new(config, VbOptions::default()).fit(docs),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Trained models
+// ---------------------------------------------------------------------------
+
+/// A trained model of any family behind one interface. Obtained from
+/// [`ModelSpec::fit_sequences`] or [`Engine::train`].
+pub trait TrainedModel {
+    /// The family that trained this model.
+    fn kind(&self) -> ModelKind;
+
+    /// Report label (`LDA3`, `2-gram`, …).
+    fn label(&self) -> &str;
+
+    /// Scores per product (length = vocabulary size) for the next
+    /// acquisition given an install-base history.
+    ///
+    /// # Errors
+    /// [`EngineError::Unsupported`] for families that cannot condition on a
+    /// history.
+    fn recommend(&self, history: &[usize]) -> Result<Vec<f64>, EngineError>;
+
+    /// Per-token perplexity over held-out sequences (Figure 1 / Table 1
+    /// protocol).
+    ///
+    /// # Errors
+    /// [`EngineError::Unsupported`] for non-probabilistic families
+    /// (CHH, Apriori).
+    fn perplexity(&self, test: &[Vec<usize>]) -> Result<f64, EngineError>;
+
+    /// The concrete model (e.g. [`ExactChh`], [`LdaModel`]) for
+    /// family-specific diagnostics; downcast with `downcast_ref`.
+    fn as_any(&self) -> &dyn Any;
+}
+
+struct TrainedNgram {
+    model: NgramLm,
+    label: String,
+}
+
+impl TrainedModel for TrainedNgram {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Ngram
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn recommend(&self, history: &[usize]) -> Result<Vec<f64>, EngineError> {
+        Ok(self.model.predict_next(history))
+    }
+
+    fn perplexity(&self, test: &[Vec<usize>]) -> Result<f64, EngineError> {
+        Ok(self.model.perplexity(test))
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        &self.model
+    }
+}
+
+struct TrainedLda {
+    model: LdaModel,
+    label: String,
+}
+
+impl TrainedModel for TrainedLda {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Lda
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn recommend(&self, history: &[usize]) -> Result<Vec<f64>, EngineError> {
+        Ok(masked_lda_scores(&self.model, history))
+    }
+
+    fn perplexity(&self, test: &[Vec<usize>]) -> Result<f64, EngineError> {
+        let docs = hlm_lda::unit_weights(test);
+        Ok(hlm_lda::document_completion_perplexity(&self.model, &docs))
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        &self.model
+    }
+}
+
+struct TrainedLstm {
+    model: LstmLm,
+    label: String,
+}
+
+impl TrainedModel for TrainedLstm {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Lstm
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn recommend(&self, history: &[usize]) -> Result<Vec<f64>, EngineError> {
+        Ok(self.model.predict_next(history))
+    }
+
+    fn perplexity(&self, test: &[Vec<usize>]) -> Result<f64, EngineError> {
+        Ok(self.model.perplexity(test))
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        &self.model
+    }
+}
+
+struct TrainedChhExact {
+    model: ExactChh,
+    label: String,
+}
+
+impl TrainedModel for TrainedChhExact {
+    fn kind(&self) -> ModelKind {
+        ModelKind::ChhExact
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn recommend(&self, history: &[usize]) -> Result<Vec<f64>, EngineError> {
+        Ok(self.model.predict_next(history))
+    }
+
+    fn perplexity(&self, _test: &[Vec<usize>]) -> Result<f64, EngineError> {
+        Err(EngineError::Unsupported {
+            kind: ModelKind::ChhExact,
+            operation: "perplexity",
+        })
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        &self.model
+    }
+}
+
+struct TrainedChhStreaming {
+    model: StreamingChh,
+    label: String,
+}
+
+impl TrainedModel for TrainedChhStreaming {
+    fn kind(&self) -> ModelKind {
+        ModelKind::ChhStreaming
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn recommend(&self, history: &[usize]) -> Result<Vec<f64>, EngineError> {
+        Ok(self.model.predict_next(history))
+    }
+
+    fn perplexity(&self, _test: &[Vec<usize>]) -> Result<f64, EngineError> {
+        Err(EngineError::Unsupported {
+            kind: ModelKind::ChhStreaming,
+            operation: "perplexity",
+        })
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        &self.model
+    }
+}
+
+struct TrainedApriori {
+    model: AprioriModel,
+    label: String,
+}
+
+impl TrainedModel for TrainedApriori {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Apriori
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn recommend(&self, history: &[usize]) -> Result<Vec<f64>, EngineError> {
+        Ok(self.model.predict(history))
+    }
+
+    fn perplexity(&self, _test: &[Vec<usize>]) -> Result<f64, EngineError> {
+        Err(EngineError::Unsupported {
+            kind: ModelKind::Apriori,
+            operation: "perplexity",
+        })
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        &self.model
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming CHH factory (core only ships the exact one)
+// ---------------------------------------------------------------------------
+
+/// Sliding-window factory for streaming Conditional Heavy Hitters: per
+/// cutoff, a fresh sketch observes every training sequence before the
+/// window.
+#[derive(Debug, Clone)]
+pub struct StreamingChhRecommenderFactory {
+    /// Context depth.
+    pub depth: usize,
+    /// Maximum tracked contexts.
+    pub max_contexts: usize,
+    /// SpaceSaving counters per context.
+    pub counters_per_context: usize,
+}
+
+struct StreamingChhRecommender {
+    model: StreamingChh,
+}
+
+impl Recommender for StreamingChhRecommender {
+    fn scores(&self, history: &[usize]) -> Vec<f64> {
+        self.model.predict_next(history)
+    }
+
+    fn name(&self) -> &str {
+        "CHH-streaming"
+    }
+}
+
+impl RecommenderFactory for StreamingChhRecommenderFactory {
+    fn train(
+        &self,
+        corpus: &Corpus,
+        train_ids: &[CompanyId],
+        cutoff: Month,
+    ) -> Box<dyn Recommender> {
+        let mut model = StreamingChh::new(
+            self.depth,
+            corpus.vocab().len(),
+            self.max_contexts,
+            self.counters_per_context,
+        );
+        for &id in train_ids {
+            let seq: Vec<usize> = corpus
+                .company(id)
+                .sequence_before(cutoff)
+                .into_iter()
+                .map(|p| p.index())
+                .collect();
+            model.observe_sequence(&seq);
+        }
+        Box::new(StreamingChhRecommender { model })
+    }
+
+    fn name(&self) -> &str {
+        "CHH-streaming"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine facade
+// ---------------------------------------------------------------------------
+
+/// The serving facade: one corpus behind an [`Arc`], shared by every model
+/// it trains and every [`SalesApplication`] it spawns.
+pub struct Engine {
+    corpus: Arc<Corpus>,
+}
+
+impl Engine {
+    /// Wraps a corpus (or an already-shared `Arc<Corpus>`).
+    pub fn new(corpus: impl Into<Arc<Corpus>>) -> Self {
+        Engine {
+            corpus: corpus.into(),
+        }
+    }
+
+    /// The underlying corpus.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// A shared handle to the corpus (cheap; no data copy).
+    pub fn corpus_arc(&self) -> Arc<Corpus> {
+        Arc::clone(&self.corpus)
+    }
+
+    /// Trains a model on the given companies' acquisition histories strictly
+    /// before `cutoff`.
+    ///
+    /// # Errors
+    /// Spec validation and family-support errors as in
+    /// [`ModelSpec::fit_sequences`].
+    pub fn train(
+        &self,
+        spec: &ModelSpec,
+        ids: &[CompanyId],
+        cutoff: Month,
+    ) -> Result<Box<dyn TrainedModel>, EngineError> {
+        let seqs: Vec<Vec<usize>> = ids
+            .iter()
+            .map(|&id| {
+                self.corpus
+                    .company(id)
+                    .sequence_before(cutoff)
+                    .into_iter()
+                    .map(|p| p.index())
+                    .collect()
+            })
+            .collect();
+        spec.fit_sequences(&seqs, &[])
+    }
+
+    /// Trains a model on every company's full history.
+    ///
+    /// # Errors
+    /// As in [`Engine::train`].
+    pub fn train_full(&self, spec: &ModelSpec) -> Result<Box<dyn TrainedModel>, EngineError> {
+        let ids: Vec<CompanyId> = self.corpus.ids().collect();
+        self.train(spec, &ids, Month(i32::MAX))
+    }
+
+    /// Opens the sales application over this corpus with the given company
+    /// representations, sharing the corpus `Arc` (no data copy).
+    ///
+    /// # Errors
+    /// [`EngineError::Core`] on a row/company mismatch.
+    pub fn sales_app(
+        &self,
+        representations: impl Into<Arc<Matrix>>,
+        metric: DistanceMetric,
+    ) -> Result<SalesApplication, EngineError> {
+        Ok(SalesApplication::new(
+            self.corpus_arc(),
+            representations,
+            metric,
+        )?)
+    }
+
+    /// Market-drift check between two time windows (Section 6's monitoring
+    /// loop).
+    pub fn detect_drift(
+        &self,
+        reference: TimeWindow,
+        recent: TimeWindow,
+        significance: f64,
+    ) -> DriftReport {
+        hlm_eval::drift::detect_drift(&self.corpus, reference, recent, significance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlm_datagen::GeneratorConfig;
+
+    fn corpus() -> Corpus {
+        hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(150, 5))
+    }
+
+    fn tiny_seqs() -> Vec<Vec<usize>> {
+        vec![
+            vec![0, 1, 2, 3],
+            vec![1, 2, 3, 4],
+            vec![0, 2, 4],
+            vec![3, 1, 0, 2],
+        ]
+    }
+
+    #[test]
+    fn model_kind_round_trips_and_rejects_unknown() {
+        for kind in ModelKind::ALL {
+            assert_eq!(kind.to_string().parse::<ModelKind>().unwrap(), kind);
+        }
+        assert_eq!("CHH".parse::<ModelKind>().unwrap(), ModelKind::ChhExact);
+        let err = "markov-chain".parse::<ModelKind>().unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::UnknownModelKind("markov-chain".to_string())
+        );
+        assert!(err.to_string().contains("markov-chain"));
+    }
+
+    #[test]
+    fn every_family_has_a_factory_or_a_reasoned_refusal() {
+        let specs = [
+            ModelSpec::Ngram(NgramConfig::bigram(5)),
+            ModelSpec::Lda {
+                config: LdaConfig {
+                    n_topics: 2,
+                    vocab_size: 5,
+                    ..Default::default()
+                },
+                estimator: LdaEstimator::Gibbs,
+            },
+            ModelSpec::Lstm {
+                config: LstmConfig {
+                    vocab_size: 5,
+                    hidden_size: 4,
+                    ..Default::default()
+                },
+                train: TrainOptions::default(),
+                seed: 1,
+            },
+            ModelSpec::ChhExact {
+                depth: 2,
+                vocab_size: 5,
+            },
+            ModelSpec::ChhStreaming {
+                depth: 2,
+                vocab_size: 5,
+                max_contexts: 10,
+                counters_per_context: 4,
+            },
+            ModelSpec::Apriori {
+                config: AprioriConfig::default(),
+                vocab_size: 5,
+            },
+        ];
+        for spec in &specs {
+            let factory = spec
+                .factory()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.label()));
+            assert!(!factory.name().is_empty());
+        }
+        // BPMF is registered but refuses the history-based protocol.
+        let err = ModelSpec::Bpmf(hlm_bpmf::BpmfConfig::default())
+            .factory()
+            .err()
+            .unwrap();
+        assert!(matches!(
+            err,
+            EngineError::Unsupported {
+                kind: ModelKind::Bpmf,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn ngram_and_lda_train_score_and_measure_perplexity() {
+        let train = tiny_seqs();
+        let test = vec![vec![0, 1, 2], vec![2, 3, 4]];
+        for spec in [
+            ModelSpec::Ngram(NgramConfig::bigram(5)),
+            ModelSpec::Lda {
+                config: LdaConfig {
+                    n_topics: 2,
+                    vocab_size: 5,
+                    n_iters: 20,
+                    burn_in: 10,
+                    ..Default::default()
+                },
+                estimator: LdaEstimator::Gibbs,
+            },
+        ] {
+            let model = spec.fit_sequences(&train, &[]).unwrap();
+            assert_eq!(model.kind(), spec.kind());
+            let scores = model.recommend(&[0, 1]).unwrap();
+            assert_eq!(scores.len(), 5);
+            assert!(scores.iter().all(|s| s.is_finite() && *s >= 0.0));
+            let ppl = model.perplexity(&test).unwrap();
+            assert!(ppl.is_finite() && ppl > 1.0, "{}: ppl {ppl}", model.label());
+        }
+    }
+
+    #[test]
+    fn chh_models_recommend_but_refuse_perplexity() {
+        let train = tiny_seqs();
+        for spec in [
+            ModelSpec::ChhExact {
+                depth: 2,
+                vocab_size: 5,
+            },
+            ModelSpec::ChhStreaming {
+                depth: 2,
+                vocab_size: 5,
+                max_contexts: 20,
+                counters_per_context: 4,
+            },
+        ] {
+            let model = spec.fit_sequences(&train, &[]).unwrap();
+            assert_eq!(model.recommend(&[0, 1]).unwrap().len(), 5);
+            let err = model.perplexity(&[vec![0, 1]]).unwrap_err();
+            assert!(matches!(err, EngineError::Unsupported { .. }));
+        }
+    }
+
+    #[test]
+    fn downcast_reaches_the_concrete_model() {
+        let spec = ModelSpec::ChhExact {
+            depth: 1,
+            vocab_size: 5,
+        };
+        let model = spec.fit_sequences(&tiny_seqs(), &[]).unwrap();
+        let chh = model
+            .as_any()
+            .downcast_ref::<ExactChh>()
+            .expect("concrete ExactChh");
+        assert!(chh.context_count() > 0);
+        // Wrong type: downcast politely fails.
+        assert!(model.as_any().downcast_ref::<NgramLm>().is_none());
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_before_training() {
+        let zero_topics = ModelSpec::Lda {
+            config: LdaConfig {
+                n_topics: 0,
+                vocab_size: 5,
+                ..Default::default()
+            },
+            estimator: LdaEstimator::Gibbs,
+        };
+        assert!(matches!(
+            zero_topics.fit_sequences(&tiny_seqs(), &[]).err().unwrap(),
+            EngineError::InvalidSpec { .. }
+        ));
+        let zero_budget = ModelSpec::ChhStreaming {
+            depth: 2,
+            vocab_size: 5,
+            max_contexts: 0,
+            counters_per_context: 4,
+        };
+        assert!(matches!(
+            zero_budget.fit_sequences(&tiny_seqs(), &[]).err().unwrap(),
+            EngineError::InvalidSpec { .. }
+        ));
+        let zero_order = ModelSpec::Ngram(NgramConfig {
+            order: 0,
+            ..NgramConfig::bigram(5)
+        });
+        assert!(matches!(
+            zero_order.factory().err().unwrap(),
+            EngineError::InvalidSpec { .. }
+        ));
+    }
+
+    #[test]
+    fn fit_lda_validates_and_supports_both_estimators() {
+        let docs = hlm_lda::unit_weights(&tiny_seqs());
+        let cfg = LdaConfig {
+            n_topics: 2,
+            vocab_size: 5,
+            n_iters: 15,
+            burn_in: 5,
+            ..Default::default()
+        };
+        for est in [LdaEstimator::Gibbs, LdaEstimator::Vb] {
+            let model = fit_lda(cfg.clone(), est, &docs).unwrap();
+            assert_eq!(model.n_topics(), 2);
+        }
+        let err = fit_lda(cfg, LdaEstimator::Gibbs, &[]).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidSpec { .. }));
+    }
+
+    #[test]
+    fn engine_trains_and_opens_the_sales_app_with_shared_corpus() {
+        let engine = Engine::new(corpus());
+        let model = engine
+            .train_full(&ModelSpec::Ngram(NgramConfig::bigram(
+                engine.corpus().vocab().len(),
+            )))
+            .unwrap();
+        assert_eq!(
+            model.recommend(&[0]).unwrap().len(),
+            engine.corpus().vocab().len()
+        );
+
+        // The sales app shares the corpus allocation, not a copy.
+        let ids: Vec<CompanyId> = engine.corpus().ids().collect();
+        let reps = hlm_core::representations::raw_binary(engine.corpus(), &ids);
+        let app = engine.sales_app(reps, DistanceMetric::Cosine).unwrap();
+        assert!(Arc::ptr_eq(&engine.corpus_arc(), &app.corpus_arc()));
+
+        // A mismatched representation matrix surfaces as a typed core error.
+        let bad = Matrix::zeros(3, 4);
+        let err = engine.sales_app(bad, DistanceMetric::Cosine).err().unwrap();
+        assert_eq!(
+            err,
+            EngineError::Core(CoreError::RepresentationMismatch {
+                rows: 3,
+                companies: 150
+            })
+        );
+    }
+}

@@ -81,7 +81,10 @@ pub fn detect_drift(
     recent: TimeWindow,
     significance: f64,
 ) -> DriftReport {
-    assert!(significance > 0.0 && significance < 1.0, "significance must be in (0,1)");
+    assert!(
+        significance > 0.0 && significance < 1.0,
+        "significance must be in (0,1)"
+    );
     let ref_counts = acquisition_counts(corpus, reference);
     let rec_counts = acquisition_counts(corpus, recent);
     let n1: u64 = ref_counts.iter().sum();
@@ -112,7 +115,10 @@ pub fn detect_drift(
     let mut chi2 = 0.0;
     for &i in &kept {
         let col = (ref_counts[i] + rec_counts[i]) as f64;
-        for (obs, row_total) in [(ref_counts[i] as f64, n1 as f64), (rec_counts[i] as f64, n2 as f64)] {
+        for (obs, row_total) in [
+            (ref_counts[i] as f64, n1 as f64),
+            (rec_counts[i] as f64, n2 as f64),
+        ] {
             let expected = row_total * col / grand;
             if expected > 0.0 {
                 chi2 += (obs - expected) * (obs - expected) / expected;
@@ -153,8 +159,14 @@ mod tests {
                 } else {
                     (ProductId(2), ProductId(0))
                 };
-                c.add_event(InstallEvent::at(ref_p, Month::from_ym(2010, 1 + (i % 12) as u32)));
-                c.add_event(InstallEvent::at(rec_p, Month::from_ym(2014, 1 + (i % 12) as u32)));
+                c.add_event(InstallEvent::at(
+                    ref_p,
+                    Month::from_ym(2010, 1 + (i % 12) as u32),
+                ));
+                c.add_event(InstallEvent::at(
+                    rec_p,
+                    Month::from_ym(2014, 1 + (i % 12) as u32),
+                ));
                 c
             })
             .collect();
@@ -184,7 +196,11 @@ mod tests {
         let c = corpus(false, 120);
         let (a, b) = windows();
         let rep = detect_drift(&c, a, b, 0.05);
-        assert!(!rep.drifted, "p = {} chi2 = {}", rep.p_value, rep.chi_square);
+        assert!(
+            !rep.drifted,
+            "p = {} chi2 = {}",
+            rep.p_value, rep.chi_square
+        );
         assert!(rep.js_divergence < 0.05, "JS {}", rep.js_divergence);
     }
 
@@ -204,7 +220,10 @@ mod tests {
         let p = [1.0, 0.0];
         let q = [0.0, 1.0];
         let d = jensen_shannon(&p, &q);
-        assert!((d - std::f64::consts::LN_2).abs() < 1e-12, "disjoint = ln 2");
+        assert!(
+            (d - std::f64::consts::LN_2).abs() < 1e-12,
+            "disjoint = ln 2"
+        );
         assert_eq!(jensen_shannon(&p, &p), 0.0);
     }
 
@@ -213,13 +232,15 @@ mod tests {
         // The simulator's stage ordering means late periods acquire more
         // virtualization/cloud than early periods: drift must be detected
         // between 1995 and 2015 on a decent corpus.
-        let c = hlm_datagen::generate(&hlm_datagen::GeneratorConfig::with_size_and_seed(
-            800, 3,
-        ));
+        let c = hlm_datagen::generate(&hlm_datagen::GeneratorConfig::with_size_and_seed(800, 3));
         let early = TimeWindow::new(Month::from_ym(1995, 1), 24);
         let late = TimeWindow::new(Month::from_ym(2013, 1), 24);
         let rep = detect_drift(&c, early, late, 0.01);
-        assert!(rep.drifted, "stage ordering implies drift, p = {}", rep.p_value);
+        assert!(
+            rep.drifted,
+            "stage ordering implies drift, p = {}",
+            rep.p_value
+        );
         // And two adjacent late periods drift much less.
         let late2 = TimeWindow::new(Month::from_ym(2011, 1), 24);
         let rep2 = detect_drift(&c, late2, late, 0.05);

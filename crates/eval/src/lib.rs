@@ -15,6 +15,4 @@ pub use recommend::{
     ThresholdPoint,
 };
 pub use sequentiality::{sequentiality_report, SequentialityReport};
-pub use stats::{
-    binomial_sf, bootstrap_mean_ci, five_number_summary, mean_ci, FiveNumber, MeanCi,
-};
+pub use stats::{binomial_sf, bootstrap_mean_ci, five_number_summary, mean_ci, FiveNumber, MeanCi};

@@ -29,7 +29,12 @@ pub trait Recommender {
 /// `cutoff`. Implemented by each model family's adapter in `hlm-core`.
 pub trait RecommenderFactory {
     /// Train on `train_ids`' install-base history before `cutoff`.
-    fn train(&self, corpus: &Corpus, train_ids: &[CompanyId], cutoff: Month) -> Box<dyn Recommender>;
+    fn train(
+        &self,
+        corpus: &Corpus,
+        train_ids: &[CompanyId],
+        cutoff: Month,
+    ) -> Box<dyn Recommender>;
 
     /// Label used in reports.
     fn name(&self) -> &str;
@@ -147,8 +152,11 @@ pub fn evaluate_recommender(
     let mut model: Option<Box<dyn Recommender>> = None;
     for (wi, window) in cfg.windows.iter().enumerate() {
         if cfg.retrain_per_window || model.is_none() {
-            let cutoff =
-                if cfg.retrain_per_window { window.start } else { cfg.windows[0].start };
+            let cutoff = if cfg.retrain_per_window {
+                window.start
+            } else {
+                cfg.windows[0].start
+            };
             model = Some(factory.train(corpus, train_ids, cutoff));
         }
         let model = model.as_deref().expect("model trained above");
@@ -293,7 +301,11 @@ mod tests {
         let pts = evaluate_recommender(&factory, &c, &ids, &ids, &single_window_cfg(vec![0.5]));
         assert_eq!(pts.len(), 1);
         let p = &pts[0];
-        assert!((p.precision.mean - 1.0).abs() < 1e-12, "precision {}", p.precision.mean);
+        assert!(
+            (p.precision.mean - 1.0).abs() < 1e-12,
+            "precision {}",
+            p.precision.mean
+        );
         assert!((p.recall.mean - 1.0).abs() < 1e-12);
         assert!((p.f1.mean - 1.0).abs() < 1e-12);
         assert_eq!(p.retrieved.mean, 10.0);
@@ -308,7 +320,10 @@ mod tests {
         // Score everything at 1.0: retrieved = products 1 and 2 only (0 owned).
         let factory = FixedFactory(vec![1.0, 1.0, 1.0]);
         let pts = evaluate_recommender(&factory, &c, &ids, &ids, &single_window_cfg(vec![0.5]));
-        assert_eq!(pts[0].retrieved.mean, 20.0, "2 unowned products x 10 companies");
+        assert_eq!(
+            pts[0].retrieved.mean, 20.0,
+            "2 unowned products x 10 companies"
+        );
         assert_eq!(pts[0].correct.mean, 10.0);
         assert!((pts[0].precision.mean - 0.5).abs() < 1e-12);
     }
@@ -363,7 +378,10 @@ mod tests {
         let factory = FixedFactory(vec![1.0, 1.0]);
         let pts =
             evaluate_recommender(&factory, &corpus, &ids, &ids, &single_window_cfg(vec![0.0]));
-        assert_eq!(pts[0].retrieved.mean, 0.0, "company without history skipped");
+        assert_eq!(
+            pts[0].retrieved.mean, 0.0,
+            "company without history skipped"
+        );
         assert_eq!(pts[0].relevant.mean, 0.0);
     }
 

@@ -82,9 +82,21 @@ impl Table {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }
@@ -147,9 +159,17 @@ mod tests {
     fn float_formatting() {
         assert_eq!(fmt_f(1.23456, 2), "1.23");
         assert_eq!(fmt_f(f64::NAN, 2), "-");
-        let ci = MeanCi { mean: 0.5, half_width: 0.05, n: 13 };
+        let ci = MeanCi {
+            mean: 0.5,
+            half_width: 0.05,
+            n: 13,
+        };
         assert_eq!(fmt_ci(&ci, 2), "0.50 ± 0.05");
-        let nan_ci = MeanCi { mean: f64::NAN, half_width: 0.0, n: 0 };
+        let nan_ci = MeanCi {
+            mean: f64::NAN,
+            half_width: 0.0,
+            n: 0,
+        };
         assert_eq!(fmt_ci(&nan_ci, 2), "-");
     }
 }

@@ -42,7 +42,10 @@ pub fn sequentiality_report(
     significance: f64,
 ) -> SequentialityReport {
     assert!(order >= 2, "sequentiality is defined for order >= 2");
-    assert!(significance > 0.0 && significance < 1.0, "significance must be in (0,1)");
+    assert!(
+        significance > 0.0 && significance < 1.0,
+        "significance must be in (0,1)"
+    );
 
     // Empirical unigram distribution over products.
     let mut counts: std::collections::HashMap<ProductId, u64> = std::collections::HashMap::new();
@@ -111,7 +114,11 @@ mod tests {
     fn sequential_data_is_flagged() {
         let seqs = sequential_data(100, 1);
         let rep = sequentiality_report(&seqs, 2, 0.05);
-        assert!(rep.significant_fraction > 0.8, "fraction {}", rep.significant_fraction);
+        assert!(
+            rep.significant_fraction > 0.8,
+            "fraction {}",
+            rep.significant_fraction
+        );
         assert_eq!(rep.distinct_ngrams, 4, "only the cycle bigrams occur");
         assert_eq!(rep.order, 2);
     }

@@ -39,18 +39,37 @@ impl MeanCi {
 /// # Panics
 /// Panics unless `0 < level < 1`.
 pub fn mean_ci(samples: &[f64], level: f64) -> MeanCi {
-    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0,1)"
+    );
     let n = samples.len();
     if n == 0 {
-        return MeanCi { mean: f64::NAN, half_width: 0.0, n: 0 };
+        return MeanCi {
+            mean: f64::NAN,
+            half_width: 0.0,
+            n: 0,
+        };
     }
     let mean = samples.iter().sum::<f64>() / n as f64;
     if n == 1 {
-        return MeanCi { mean, half_width: 0.0, n };
+        return MeanCi {
+            mean,
+            half_width: 0.0,
+            n,
+        };
     }
-    let var = samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+    let var = samples
+        .iter()
+        .map(|&x| (x - mean) * (x - mean))
+        .sum::<f64>()
+        / (n - 1) as f64;
     let z = normal_quantile(0.5 + level / 2.0);
-    MeanCi { mean, half_width: z * (var / n as f64).sqrt(), n }
+    MeanCi {
+        mean,
+        half_width: z * (var / n as f64).sqrt(),
+        n,
+    }
 }
 
 /// Five-number summary (min, Q1, median, Q3, max) for boxplots (Figure 5).
@@ -85,7 +104,13 @@ pub fn five_number_summary(samples: &[f64]) -> FiveNumber {
         let frac = idx - lo as f64;
         s[lo] * (1.0 - frac) + s[hi] * frac
     };
-    FiveNumber { min: s[0], q1: q(0.25), median: q(0.5), q3: q(0.75), max: *s.last().unwrap() }
+    FiveNumber {
+        min: s[0],
+        q1: q(0.25),
+        median: q(0.5),
+        q3: q(0.75),
+        max: *s.last().unwrap(),
+    }
 }
 
 /// Non-parametric bootstrap confidence interval for the mean: resamples the
@@ -99,27 +124,42 @@ pub fn five_number_summary(samples: &[f64]) -> FiveNumber {
 pub fn bootstrap_mean_ci(samples: &[f64], level: f64, n_resamples: usize, seed: u64) -> MeanCi {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
-    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0,1)"
+    );
     assert!(n_resamples > 0, "need at least one resample");
     let n = samples.len();
     if n == 0 {
-        return MeanCi { mean: f64::NAN, half_width: 0.0, n: 0 };
+        return MeanCi {
+            mean: f64::NAN,
+            half_width: 0.0,
+            n: 0,
+        };
     }
     let mean = samples.iter().sum::<f64>() / n as f64;
     if n == 1 {
-        return MeanCi { mean, half_width: 0.0, n };
+        return MeanCi {
+            mean,
+            half_width: 0.0,
+            n,
+        };
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut means: Vec<f64> = (0..n_resamples)
-        .map(|_| {
-            (0..n).map(|_| samples[rng.gen_range(0..n)]).sum::<f64>() / n as f64
-        })
+        .map(|_| (0..n).map(|_| samples[rng.gen_range(0..n)]).sum::<f64>() / n as f64)
         .collect();
     means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
     let lo_idx = (((1.0 - level) / 2.0) * (n_resamples - 1) as f64).round() as usize;
     let hi_idx = (((1.0 + level) / 2.0) * (n_resamples - 1) as f64).round() as usize;
-    let half = (mean - means[lo_idx]).abs().max((means[hi_idx] - mean).abs());
-    MeanCi { mean, half_width: half, n }
+    let half = (mean - means[lo_idx])
+        .abs()
+        .max((means[hi_idx] - mean).abs());
+    MeanCi {
+        mean,
+        half_width: half,
+        n,
+    }
 }
 
 /// One-sided binomial survival function `P(X ≥ k)` for `X ~ Bin(n, p)`.
@@ -197,9 +237,21 @@ mod tests {
 
     #[test]
     fn significance_is_interval_disjointness() {
-        let a = MeanCi { mean: 1.0, half_width: 0.1, n: 10 };
-        let b = MeanCi { mean: 1.5, half_width: 0.1, n: 10 };
-        let c = MeanCi { mean: 1.15, half_width: 0.1, n: 10 };
+        let a = MeanCi {
+            mean: 1.0,
+            half_width: 0.1,
+            n: 10,
+        };
+        let b = MeanCi {
+            mean: 1.5,
+            half_width: 0.1,
+            n: 10,
+        };
+        let c = MeanCi {
+            mean: 1.15,
+            half_width: 0.1,
+            n: 10,
+        };
         assert!(a.significantly_different_from(&b));
         assert!(!a.significantly_different_from(&c));
     }
@@ -282,6 +334,9 @@ mod tests {
         // n = 10_000 exact vs n = 10_001 normal: continuity check.
         let exact = binomial_sf(5100, 10_000, 0.5);
         let approx = binomial_sf(5101, 10_001, 0.5);
-        assert!((exact - approx).abs() < 0.02, "exact {exact} vs approx {approx}");
+        assert!(
+            (exact - approx).abs() < 0.02,
+            "exact {exact} vs approx {approx}"
+        );
     }
 }

@@ -94,8 +94,7 @@ impl GibbsTrainer {
                 let dk_row = n_dk.row(d);
                 for (t, p) in probs.iter_mut().enumerate() {
                     // Collapsed conditional: (n_dk + α)(n_kw + β)/(n_k + Mβ).
-                    *p = (dk_row[t] + alpha) * (n_kw.get(t, w) + beta)
-                        / (n_k[t] + beta_sum);
+                    *p = (dk_row[t] + alpha) * (n_kw.get(t, w) + beta) / (n_k[t] + beta_sum);
                 }
                 let new_z = sample_categorical(&mut rng, &probs);
 
@@ -115,8 +114,8 @@ impl GibbsTrainer {
             let past_burn_in = iter >= self.cfg.burn_in;
             let on_lag = (iter - self.cfg.burn_in.min(iter)) % self.cfg.sample_lag == 0;
             if past_burn_in && on_lag {
-                for t in 0..k {
-                    let denom = n_k[t] + beta_sum;
+                for (t, &nk) in n_k.iter().enumerate().take(k) {
+                    let denom = nk + beta_sum;
                     for w in 0..m {
                         phi_acc.add_at(t, w, (n_kw.get(t, w) + beta) / denom);
                     }
@@ -125,7 +124,10 @@ impl GibbsTrainer {
             }
         }
 
-        assert!(n_samples > 0, "no phi samples collected; check burn_in / n_iters");
+        assert!(
+            n_samples > 0,
+            "no phi samples collected; check burn_in / n_iters"
+        );
         phi_acc.scale_mut(1.0 / n_samples as f64);
         // Guard against accumulated rounding before the model's row check.
         phi_acc.normalize_rows();
@@ -204,7 +206,11 @@ mod tests {
         let block0: f64 = (0..3).map(|w| phi.get(0, w)).sum();
         let block1: f64 = (0..3).map(|w| phi.get(1, w)).sum();
         // One topic owns block {0,1,2}, the other {3,4,5}.
-        let (hi, lo) = if block0 > block1 { (block0, block1) } else { (block1, block0) };
+        let (hi, lo) = if block0 > block1 {
+            (block0, block1)
+        } else {
+            (block1, block0)
+        };
         assert!(hi > 0.9, "dominant topic block mass {hi}");
         assert!(lo < 0.1, "other topic block mass {lo}");
     }
@@ -216,7 +222,10 @@ mod tests {
         for t in 0..3 {
             let s: f64 = model.phi().row(t).iter().sum();
             assert!((s - 1.0).abs() < 1e-9);
-            assert!(model.phi().row(t).iter().all(|&p| p > 0.0), "beta smoothing keeps phi positive");
+            assert!(
+                model.phi().row(t).iter().all(|&p| p > 0.0),
+                "beta smoothing keeps phi positive"
+            );
         }
     }
 
@@ -269,8 +278,16 @@ mod tests {
         // small. Starting from a deliberately bad alpha = 10, optimization
         // must shrink it, and the resulting model must not fit worse.
         let docs = unit_weights(&planted_docs(150, 8));
-        let bad = LdaConfig { alpha: Some(10.0), optimize_alpha: false, ..quick_cfg(2, 6, 21) };
-        let opt = LdaConfig { alpha: Some(10.0), optimize_alpha: true, ..quick_cfg(2, 6, 21) };
+        let bad = LdaConfig {
+            alpha: Some(10.0),
+            optimize_alpha: false,
+            ..quick_cfg(2, 6, 21)
+        };
+        let opt = LdaConfig {
+            alpha: Some(10.0),
+            optimize_alpha: true,
+            ..quick_cfg(2, 6, 21)
+        };
         let m_bad = GibbsTrainer::new(bad).fit(&docs);
         let m_opt = GibbsTrainer::new(opt).fit(&docs);
         assert!(

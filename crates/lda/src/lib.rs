@@ -47,5 +47,7 @@ pub type WeightedDoc = Vec<(usize, f64)>;
 
 /// Converts plain word-index documents into unit-weight [`WeightedDoc`]s.
 pub fn unit_weights(docs: &[Vec<usize>]) -> Vec<WeightedDoc> {
-    docs.iter().map(|d| d.iter().map(|&w| (w, 1.0)).collect()).collect()
+    docs.iter()
+        .map(|d| d.iter().map(|&w| (w, 1.0)).collect())
+        .collect()
 }

@@ -162,8 +162,11 @@ impl LdaModel {
             }
             let total: f64 = new_theta.iter().sum();
             new_theta.iter_mut().for_each(|x| *x /= total);
-            let delta: f64 =
-                theta.iter().zip(&new_theta).map(|(a, b)| (a - b).abs()).sum();
+            let delta: f64 = theta
+                .iter()
+                .zip(&new_theta)
+                .map(|(a, b)| (a - b).abs())
+                .sum();
             theta = new_theta;
             if delta < 1e-10 {
                 break;
@@ -269,8 +272,7 @@ impl LdaModel {
     /// Panics if `k >= K`.
     pub fn top_products(&self, k: usize, n: usize) -> Vec<(usize, f64)> {
         assert!(k < self.n_topics(), "topic out of range");
-        let mut pairs: Vec<(usize, f64)> =
-            self.phi.row(k).iter().copied().enumerate().collect();
+        let mut pairs: Vec<(usize, f64)> = self.phi.row(k).iter().copied().enumerate().collect();
         pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("phi is finite"));
         pairs.truncate(n);
         pairs
@@ -316,7 +318,10 @@ mod tests {
     fn infer_theta_identifies_topic() {
         let m = toy_model();
         let theta = m.infer_theta(&[(0, 1.0), (1, 1.0)]);
-        assert!(theta[0] > 0.8, "doc of topic-0 words must load topic 0: {theta:?}");
+        assert!(
+            theta[0] > 0.8,
+            "doc of topic-0 words must load topic 0: {theta:?}"
+        );
         let theta2 = m.infer_theta(&[(2, 1.0), (3, 1.0)]);
         assert!(theta2[1] > 0.8);
     }

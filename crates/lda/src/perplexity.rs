@@ -132,7 +132,10 @@ mod tests {
         let model = LdaModel::new(phi, 0.1, 0.1);
         let docs: Vec<WeightedDoc> = vec![vec![(0, 1.0), (3, 1.0), (2, 1.0), (4, 1.0)]; 4];
         let ppl = document_completion_perplexity(&model, &docs);
-        assert!((ppl - (m - 2) as f64).abs() < 1e-9, "uniform perplexity {ppl}");
+        assert!(
+            (ppl - (m - 2) as f64).abs() < 1e-9,
+            "uniform perplexity {ppl}"
+        );
     }
 
     #[test]
@@ -164,8 +167,8 @@ mod tests {
                 seed: 17,
                 alpha: Some(0.5),
                 beta: 0.1,
-            ..Default::default()
-        })
+                ..Default::default()
+            })
             .fit(train)
         };
         let p2 = document_completion_perplexity(&fit(2), test);

@@ -31,7 +31,11 @@ pub struct VbOptions {
 
 impl Default for VbOptions {
     fn default() -> Self {
-        VbOptions { max_iters: 60, doc_iters: 30, tol: 1e-4 }
+        VbOptions {
+            max_iters: 60,
+            doc_iters: 30,
+            tol: 1e-4,
+        }
     }
 }
 
@@ -51,7 +55,10 @@ impl VbTrainer {
     /// Panics on an inconsistent configuration or zero iteration budgets.
     pub fn new(cfg: LdaConfig, opts: VbOptions) -> Self {
         cfg.validate();
-        assert!(opts.max_iters >= 1 && opts.doc_iters >= 1, "iteration budgets must be positive");
+        assert!(
+            opts.max_iters >= 1 && opts.doc_iters >= 1,
+            "iteration budgets must be positive"
+        );
         assert!(opts.tol >= 0.0);
         VbTrainer { cfg, opts }
     }
@@ -79,8 +86,7 @@ impl VbTrainer {
         }
 
         // Initialize λ with small positive noise around β.
-        let mut lambda =
-            Matrix::from_fn(k, m, |_, _| beta + 0.5 + 0.1 * rng.gen::<f64>());
+        let mut lambda = Matrix::from_fn(k, m, |_, _| beta + 0.5 + 0.1 * rng.gen::<f64>());
         let mut gamma = Matrix::filled(docs.len(), k, alpha + 1.0);
 
         // exp(E[log φ_kw]) cache.
@@ -118,9 +124,12 @@ impl VbTrainer {
                             g_new[t] += weight * resp[t] / s;
                         }
                     }
-                    let delta: f64 =
-                        g.iter().zip(&g_new).map(|(a, b)| (a - b).abs()).sum::<f64>()
-                            / k as f64;
+                    let delta: f64 = g
+                        .iter()
+                        .zip(&g_new)
+                        .map(|(a, b)| (a - b).abs())
+                        .sum::<f64>()
+                        / k as f64;
                     g = g_new;
                     if delta < self.opts.tol {
                         break;
@@ -129,20 +138,20 @@ impl VbTrainer {
                 // Accumulate sufficient statistics into λ.
                 for &(w, weight) in doc {
                     let mut s = 0.0;
-                    for t in 0..k {
-                        resp[t] = digamma(g[t]).exp() * e_log_phi.get(t, w);
-                        s += resp[t];
+                    for (t, r) in resp.iter_mut().enumerate().take(k) {
+                        *r = digamma(g[t]).exp() * e_log_phi.get(t, w);
+                        s += *r;
                     }
                     if s <= 0.0 {
                         continue;
                     }
-                    for t in 0..k {
-                        lambda_new.add_at(t, w, weight * resp[t] / s);
+                    for (t, &r) in resp.iter().enumerate().take(k) {
+                        lambda_new.add_at(t, w, weight * r / s);
                     }
                 }
-                for t in 0..k {
-                    mean_gamma_change += (gamma.get(d, t) - g[t]).abs();
-                    gamma.set(d, t, g[t]);
+                for (t, &gt) in g.iter().enumerate().take(k) {
+                    mean_gamma_change += (gamma.get(d, t) - gt).abs();
+                    gamma.set(d, t, gt);
                 }
             }
             lambda = lambda_new;

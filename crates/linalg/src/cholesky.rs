@@ -15,7 +15,11 @@ pub struct NotPositiveDefinite {
 
 impl std::fmt::Display for NotPositiveDefinite {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "matrix is not positive definite (pivot {} non-positive)", self.pivot)
+        write!(
+            f,
+            "matrix is not positive definite (pivot {} non-positive)",
+            self.pivot
+        )
     }
 }
 
@@ -119,8 +123,8 @@ impl Cholesky {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l.get(i, k) * y[k];
+            for (k, &yk) in y.iter().enumerate().take(i) {
+                sum -= self.l.get(i, k) * yk;
             }
             y[i] = sum / self.l.get(i, i);
         }
@@ -134,8 +138,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = y[i];
-            for k in i + 1..n {
-                sum -= self.l.get(k, i) * x[k];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.l.get(k, i) * xk;
             }
             x[i] = sum / self.l.get(i, i);
         }
@@ -169,12 +173,12 @@ impl Cholesky {
         let n = self.dim();
         assert_eq!(v.len(), n, "apply_factor dimension mismatch");
         let mut out = vec![0.0; n];
-        for i in 0..n {
+        for (i, o) in out.iter_mut().enumerate() {
             let mut sum = 0.0;
-            for k in 0..=i {
-                sum += self.l.get(i, k) * v[k];
+            for (k, &vk) in v.iter().enumerate().take(i + 1) {
+                sum += self.l.get(i, k) * vk;
             }
-            out[i] = sum;
+            *o = sum;
         }
         out
     }

@@ -26,7 +26,10 @@ pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// # Panics
 /// Panics if `std_dev < 0`.
 pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
-    assert!(std_dev >= 0.0, "std_dev must be non-negative, got {std_dev}");
+    assert!(
+        std_dev >= 0.0,
+        "std_dev must be non-negative, got {std_dev}"
+    );
     mean + std_dev * sample_standard_normal(rng)
 }
 
@@ -80,7 +83,10 @@ pub fn sample_beta<R: Rng + ?Sized>(rng: &mut R, a: f64, b: f64) -> f64 {
 /// # Panics
 /// Panics if `alphas` is empty or contains a non-positive entry.
 pub fn sample_dirichlet<R: Rng + ?Sized>(rng: &mut R, alphas: &[f64]) -> Vec<f64> {
-    assert!(!alphas.is_empty(), "Dirichlet needs at least one concentration");
+    assert!(
+        !alphas.is_empty(),
+        "Dirichlet needs at least one concentration"
+    );
     let mut draws: Vec<f64> = alphas.iter().map(|&a| sample_gamma(rng, a, 1.0)).collect();
     let sum: f64 = draws.iter().sum();
     if sum == 0.0 {
@@ -215,7 +221,11 @@ impl AliasTable {
 pub fn sample_wishart<R: Rng + ?Sized>(rng: &mut R, df: f64, scale: &Matrix) -> Matrix {
     let d = scale.rows();
     assert_eq!(scale.rows(), scale.cols(), "Wishart scale must be square");
-    assert!(df > d as f64 - 1.0, "Wishart df {df} must exceed dim-1 = {}", d - 1);
+    assert!(
+        df > d as f64 - 1.0,
+        "Wishart df {df} must exceed dim-1 = {}",
+        d - 1
+    );
     let chol = Cholesky::decompose_with_jitter(scale, 1e-10, 8)
         .expect("Wishart scale matrix must be positive definite");
 
@@ -241,7 +251,11 @@ pub fn sample_multivariate_normal<R: Rng + ?Sized>(
     mean: &[f64],
     cov: &Matrix,
 ) -> Vec<f64> {
-    assert_eq!(mean.len(), cov.rows(), "MVN mean/covariance dimension mismatch");
+    assert_eq!(
+        mean.len(),
+        cov.rows(),
+        "MVN mean/covariance dimension mismatch"
+    );
     let chol = Cholesky::decompose_with_jitter(cov, 1e-10, 8)
         .expect("MVN covariance must be positive definite");
     sample_multivariate_normal_chol(rng, mean, &chol)
@@ -413,8 +427,9 @@ mod tests {
         let n = 20_000;
         let mut m = [0.0; 2];
         let mut c01 = 0.0;
-        let samples: Vec<Vec<f64>> =
-            (0..n).map(|_| sample_multivariate_normal(&mut r, &mean, &cov)).collect();
+        let samples: Vec<Vec<f64>> = (0..n)
+            .map(|_| sample_multivariate_normal(&mut r, &mean, &cov))
+            .collect();
         for s in &samples {
             m[0] += s[0];
             m[1] += s[1];
@@ -437,18 +452,26 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "shuffle left input untouched");
+        assert_ne!(
+            xs,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input untouched"
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
         let a: Vec<usize> = {
             let mut r = StdRng::seed_from_u64(7);
-            (0..50).map(|_| sample_categorical(&mut r, &[1.0, 2.0, 3.0])).collect()
+            (0..50)
+                .map(|_| sample_categorical(&mut r, &[1.0, 2.0, 3.0]))
+                .collect()
         };
         let b: Vec<usize> = {
             let mut r = StdRng::seed_from_u64(7);
-            (0..50).map(|_| sample_categorical(&mut r, &[1.0, 2.0, 3.0])).collect()
+            (0..50)
+                .map(|_| sample_categorical(&mut r, &[1.0, 2.0, 3.0]))
+                .collect()
         };
         assert_eq!(a, b);
     }

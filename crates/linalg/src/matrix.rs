@@ -19,12 +19,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -64,7 +72,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "row {i} has length {} != {cols}", r.len());
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds a matrix by evaluating `f(row, col)` for every cell.
@@ -102,21 +114,30 @@ impl Matrix {
     /// Panics on out-of-bounds access.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
     /// Sets the value at `(r, c)`.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
     /// Adds `v` to the value at `(r, c)`.
     #[inline]
     pub fn add_at(&mut self, r: usize, c: usize, v: f64) {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] += v;
     }
 
@@ -204,7 +225,9 @@ impl Matrix {
     /// Panics if `v.len() != self.cols()`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
-        self.iter_rows().map(|row| crate::vector::dot(row, v)).collect()
+        self.iter_rows()
+            .map(|row| crate::vector::dot(row, v))
+            .collect()
     }
 
     /// Vector-matrix product `v^T * self`.
@@ -250,9 +273,22 @@ impl Matrix {
     }
 
     fn zip_with(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
-        assert_eq!(self.shape(), other.shape(), "element-wise op shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "element-wise op shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place `self += alpha * other`.
@@ -269,7 +305,11 @@ impl Matrix {
     /// Returns the matrix scaled by `alpha`.
     pub fn scale(&self, alpha: f64) -> Matrix {
         let data = self.data.iter().map(|&x| x * alpha).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place scaling by `alpha`.
@@ -280,7 +320,11 @@ impl Matrix {
     /// Applies `f` to every element, returning a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
         let data = self.data.iter().map(|&x| f(x)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Outer product `a * b^T` as an `a.len() x b.len()` matrix.

@@ -54,7 +54,8 @@ pub fn digamma(mut x: f64) -> f64 {
     // Asymptotic expansion ψ(x) ≈ ln x − 1/(2x) − Σ B_{2n} / (2n x^{2n}).
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    result + x.ln() - 0.5 * inv
+    result + x.ln()
+        - 0.5 * inv
         - inv2
             * (1.0 / 12.0
                 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0 - inv2 / 132.0))))
@@ -85,7 +86,10 @@ pub fn normal_cdf(x: f64) -> f64 {
 /// # Panics
 /// Panics unless `0 < p < 1`.
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal_quantile requires p in (0,1), got {p}"
+    );
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
@@ -346,7 +350,10 @@ mod tests {
     fn incomplete_gamma_known_values() {
         // P(1, x) = 1 - e^{-x}.
         for &x in &[0.1, 1.0, 3.0, 10.0] {
-            assert!((gamma_p(1.0, x) - (1.0 - (-x as f64).exp())).abs() < 1e-12, "x={x}");
+            assert!(
+                (gamma_p(1.0, x) - (1.0 - (-x as f64).exp())).abs() < 1e-12,
+                "x={x}"
+            );
         }
         // P(1/2, x) = erf(sqrt(x)).
         for &x in &[0.25, 1.0, 4.0] {

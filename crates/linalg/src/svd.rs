@@ -46,8 +46,9 @@ pub fn truncated_svd(a: &Matrix, k: usize, seed: u64) -> TruncatedSvd {
     for _ in 0..k {
         // Power-iterate v on AᵀA (m-dimensional, m = 38 in practice).
         let m = residual.cols();
-        let mut v: Vec<f64> =
-            (0..m).map(|_| crate::dist::sample_standard_normal(&mut rng)).collect();
+        let mut v: Vec<f64> = (0..m)
+            .map(|_| crate::dist::sample_standard_normal(&mut rng))
+            .collect();
         vector::normalize(&mut v);
         let mut sigma = 0.0;
         for _ in 0..200 {
@@ -198,7 +199,10 @@ mod tests {
         let a = low_rank();
         let svd = truncated_svd(&a, 1, 5);
         let err = svd.reconstruct().sub(&a).frobenius_norm();
-        assert!((err - 2.0).abs() < 1e-6, "residual is the dropped sigma=2 component");
+        assert!(
+            (err - 2.0).abs() < 1e-6,
+            "residual is the dropped sigma=2 component"
+        );
     }
 
     #[test]

@@ -8,7 +8,13 @@
 /// Panics if the lengths differ.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot length mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter().zip(b).map(|(&x, &y)| x * y).sum()
 }
 
@@ -110,7 +116,7 @@ pub fn argmax(a: &[f64]) -> Option<usize> {
     let mut best: Option<(usize, f64)> = None;
     for (i, &x) in a.iter().enumerate() {
         match best {
-            Some((_, bx)) if !(x > bx) => {}
+            Some((_, bx)) if x.partial_cmp(&bx) != Some(std::cmp::Ordering::Greater) => {}
             _ if x.is_nan() => {}
             _ => best = Some((i, x)),
         }

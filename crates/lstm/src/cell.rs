@@ -60,7 +60,13 @@ impl LstmCell {
         for j in hidden_size..2 * hidden_size {
             b.value.set(0, j, 1.0); // forget-gate bias
         }
-        LstmCell { w, u, b, input_size, hidden_size }
+        LstmCell {
+            w,
+            u,
+            b,
+            input_size,
+            hidden_size,
+        }
     }
 
     /// Input dimensionality `E`.
@@ -82,7 +88,12 @@ impl LstmCell {
     ///
     /// # Panics
     /// Panics on dimension mismatches.
-    pub fn forward(&self, x: &[f64], h_prev: &[f64], c_prev: &[f64]) -> (Vec<f64>, Vec<f64>, CellCache) {
+    pub fn forward(
+        &self,
+        x: &[f64],
+        h_prev: &[f64],
+        c_prev: &[f64],
+    ) -> (Vec<f64>, Vec<f64>, CellCache) {
         let h_sz = self.hidden_size;
         assert_eq!(x.len(), self.input_size, "input size mismatch");
         assert_eq!(h_prev.len(), h_sz, "hidden size mismatch");
@@ -130,7 +141,12 @@ impl LstmCell {
     /// One backward step. `dh` and `dc` are the gradients flowing into this
     /// step's outputs; gradients are accumulated into the cell's parameters
     /// and `(dx, dh_prev, dc_prev)` are returned for the upstream step.
-    pub fn backward(&mut self, cache: &CellCache, dh: &[f64], dc: &[f64]) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    pub fn backward(
+        &mut self,
+        cache: &CellCache,
+        dh: &[f64],
+        dc: &[f64],
+    ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
         let h_sz = self.hidden_size;
         assert_eq!(dh.len(), h_sz, "dh size mismatch");
         assert_eq!(dc.len(), h_sz, "dc size mismatch");
@@ -187,7 +203,10 @@ mod tests {
         let (h, cc, cache) = c.forward(&[0.1, -0.2, 0.3], &[0.0; 5], &[0.0; 5]);
         assert_eq!(h.len(), 5);
         assert_eq!(cc.len(), 5);
-        assert!(h.iter().all(|&x| x.abs() <= 1.0), "h is o*tanh(c), bounded by 1");
+        assert!(
+            h.iter().all(|&x| x.abs() <= 1.0),
+            "h is o*tanh(c), bounded by 1"
+        );
         assert_eq!(cache.i.len(), 5);
         assert!(cache.i.iter().all(|&x| (0.0..=1.0).contains(&x)));
     }

@@ -109,9 +109,17 @@ impl GruCell {
             un_h[j] = u[2 * h_sz + j];
             n[j] = (a[2 * h_sz + j] + r[j] * un_h[j]).tanh();
         }
-        let h: Vec<f64> =
-            (0..h_sz).map(|j| (1.0 - z[j]) * n[j] + z[j] * h_prev[j]).collect();
-        let cache = GruCache { x: x.to_vec(), h_prev: h_prev.to_vec(), z, r, n, un_h };
+        let h: Vec<f64> = (0..h_sz)
+            .map(|j| (1.0 - z[j]) * n[j] + z[j] * h_prev[j])
+            .collect();
+        let cache = GruCache {
+            x: x.to_vec(),
+            h_prev: h_prev.to_vec(),
+            z,
+            r,
+            n,
+            un_h,
+        };
         (h, cache)
     }
 
@@ -265,7 +273,11 @@ mod tests {
             let mut xm = x;
             xm[j] -= eps;
             let numeric = (loss(&c, &xp) - loss(&c, &xm)) / (2.0 * eps);
-            assert!((dx[j] - numeric).abs() < 1e-5, "dx[{j}]: {} vs {numeric}", dx[j]);
+            assert!(
+                (dx[j] - numeric).abs() < 1e-5,
+                "dx[{j}]: {} vs {numeric}",
+                dx[j]
+            );
         }
     }
 

@@ -126,7 +126,12 @@ impl RnnLayer {
     }
 
     /// Backward step; GRU layers ignore `dc` and return a zero `dc_prev`.
-    fn backward(&mut self, cache: &RnnCache, dh: &[f64], dc: &[f64]) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    fn backward(
+        &mut self,
+        cache: &RnnCache,
+        dh: &[f64],
+        dc: &[f64],
+    ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
         match (self, cache) {
             (RnnLayer::Lstm(cell), RnnCache::Lstm(cache)) => cell.backward(cache, dh, dc),
             (RnnLayer::Gru(cell), RnnCache::Gru(cache)) => {
@@ -163,7 +168,10 @@ impl LstmConfig {
         assert!(self.vocab_size >= 1, "empty vocabulary");
         assert!(self.hidden_size >= 1, "hidden size must be positive");
         assert!(self.n_layers >= 1, "need at least one layer");
-        assert!((0.0..1.0).contains(&self.dropout), "dropout must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&self.dropout),
+            "dropout must be in [0, 1)"
+        );
     }
 }
 
@@ -199,12 +207,20 @@ impl LstmLm {
         let h = cfg.hidden_size;
         let n_tok = cfg.n_tokens();
         let embedding = Param::xavier(&mut rng, n_tok, h);
-        let layers =
-            (0..cfg.n_layers).map(|_| RnnLayer::new(cfg.cell, &mut rng, h)).collect();
+        let layers = (0..cfg.n_layers)
+            .map(|_| RnnLayer::new(cfg.cell, &mut rng, h))
+            .collect();
         let w_out = Param::xavier(&mut rng, n_tok, h);
         let b_out = Param::zeros(1, n_tok);
         let dropout_rng = StdRng::seed_from_u64(seed ^ 0x5EED_D80F);
-        LstmLm { cfg, embedding, layers, w_out, b_out, dropout_rng }
+        LstmLm {
+            cfg,
+            embedding,
+            layers,
+            w_out,
+            b_out,
+            dropout_rng,
+        }
     }
 
     /// The architecture.
@@ -215,7 +231,11 @@ impl LstmLm {
     /// Total scalar parameter count (embedding + cells + output head).
     pub fn parameter_count(&self) -> usize {
         self.embedding.len()
-            + self.layers.iter().map(|l| l.parameter_count()).sum::<usize>()
+            + self
+                .layers
+                .iter()
+                .map(|l| l.parameter_count())
+                .sum::<usize>()
             + self.w_out.len()
             + self.b_out.len()
     }
@@ -275,8 +295,9 @@ impl LstmLm {
                 .collect()
         };
         let dropout_on = p_drop > 0.0;
-        let in_masks: Vec<Vec<Vec<f64>>> =
-            (0..n_layers).map(|_| (0..t_len).map(|_| make_mask(dropout_on)).collect()).collect();
+        let in_masks: Vec<Vec<Vec<f64>>> = (0..n_layers)
+            .map(|_| (0..t_len).map(|_| make_mask(dropout_on)).collect())
+            .collect();
         let out_masks: Vec<Vec<f64>> = (0..t_len).map(|_| make_mask(dropout_on)).collect();
 
         // Forward.
@@ -337,15 +358,18 @@ impl LstmLm {
                 .collect();
             for l in (0..n_layers).rev() {
                 let dc = dc_next[l].clone();
-                let (mut dx, dh_prev, dc_prev) =
-                    self.layers[l].backward(&caches[l][t], &dh, &dc);
+                let (mut dx, dh_prev, dc_prev) = self.layers[l].backward(&caches[l][t], &dh, &dc);
                 dh_next[l] = dh_prev;
                 dc_next[l] = dc_prev;
                 for (dj, &m) in dx.iter_mut().zip(&in_masks[l][t]) {
                     *dj *= m;
                 }
                 if l > 0 {
-                    dh = dx.iter().zip(&dh_next[l - 1]).map(|(&a, &b)| a + b).collect();
+                    dh = dx
+                        .iter()
+                        .zip(&dh_next[l - 1])
+                        .map(|(&a, &b)| a + b)
+                        .collect();
                 } else {
                     // Embedding gradient.
                     for (j, &d) in dx.iter().enumerate() {
@@ -486,7 +510,13 @@ mod tests {
 
     fn tiny() -> LstmLm {
         LstmLm::new(
-            LstmConfig { vocab_size: 4, hidden_size: 6, n_layers: 2, dropout: 0.0, ..Default::default() },
+            LstmConfig {
+                vocab_size: 4,
+                hidden_size: 6,
+                n_layers: 2,
+                dropout: 0.0,
+                ..Default::default()
+            },
             3,
         )
     }
@@ -517,11 +547,20 @@ mod tests {
     fn training_reduces_loss_on_repeated_pattern() {
         use crate::param::{Adam, AdamOptions};
         let mut m = LstmLm::new(
-            LstmConfig { vocab_size: 4, hidden_size: 12, n_layers: 1, dropout: 0.0, ..Default::default() },
+            LstmConfig {
+                vocab_size: 4,
+                hidden_size: 12,
+                n_layers: 1,
+                dropout: 0.0,
+                ..Default::default()
+            },
             5,
         );
         let seqs: Vec<Vec<usize>> = vec![vec![0, 1, 2, 3]; 8];
-        let mut adam = Adam::new(AdamOptions { learning_rate: 1e-2, ..Default::default() });
+        let mut adam = Adam::new(AdamOptions {
+            learning_rate: 1e-2,
+            ..Default::default()
+        });
         let mut first = 0.0;
         let mut last = 0.0;
         for epoch in 0..60 {
@@ -551,7 +590,13 @@ mod tests {
     #[test]
     fn train_sequence_gradients_match_finite_differences() {
         let mut m = LstmLm::new(
-            LstmConfig { vocab_size: 3, hidden_size: 4, n_layers: 2, dropout: 0.0, ..Default::default() },
+            LstmConfig {
+                vocab_size: 3,
+                hidden_size: 4,
+                n_layers: 2,
+                dropout: 0.0,
+                ..Default::default()
+            },
             7,
         );
         let seq = vec![0usize, 2, 1];
@@ -590,13 +635,27 @@ mod tests {
             "w_out grad: analytic {analytic}, numeric {numeric}"
         );
         // second layer recurrent weight u[1, 2]
-        let analytic =
-            m.layers[1].as_lstm().expect("lstm layer").u.grad.get(1, 2);
-        m.layers[1].as_lstm_mut().expect("lstm layer").u.value.add_at(1, 2, eps);
+        let analytic = m.layers[1].as_lstm().expect("lstm layer").u.grad.get(1, 2);
+        m.layers[1]
+            .as_lstm_mut()
+            .expect("lstm layer")
+            .u
+            .value
+            .add_at(1, 2, eps);
         let lp = loss_of(&mut m);
-        m.layers[1].as_lstm_mut().expect("lstm layer").u.value.add_at(1, 2, -2.0 * eps);
+        m.layers[1]
+            .as_lstm_mut()
+            .expect("lstm layer")
+            .u
+            .value
+            .add_at(1, 2, -2.0 * eps);
         let lm = loss_of(&mut m);
-        m.layers[1].as_lstm_mut().expect("lstm layer").u.value.add_at(1, 2, eps);
+        m.layers[1]
+            .as_lstm_mut()
+            .expect("lstm layer")
+            .u
+            .value
+            .add_at(1, 2, eps);
         let numeric = (lp - lm) / (2.0 * eps);
         assert!(
             (analytic - numeric).abs() < 1e-5 * analytic.abs().max(1.0),
@@ -615,7 +674,13 @@ mod tests {
 
     #[test]
     fn dropout_changes_training_but_not_inference() {
-        let cfg = LstmConfig { vocab_size: 4, hidden_size: 6, n_layers: 1, dropout: 0.5, ..Default::default() };
+        let cfg = LstmConfig {
+            vocab_size: 4,
+            hidden_size: 6,
+            n_layers: 1,
+            dropout: 0.5,
+            ..Default::default()
+        };
         let mut a = LstmLm::new(cfg.clone(), 9);
         let b = a.clone();
         // Inference is deterministic and dropout-free.
@@ -634,11 +699,23 @@ mod tests {
     #[test]
     fn parameter_count_scales_with_architecture() {
         let small = LstmLm::new(
-            LstmConfig { vocab_size: 38, hidden_size: 10, n_layers: 1, dropout: 0.0, ..Default::default() },
+            LstmConfig {
+                vocab_size: 38,
+                hidden_size: 10,
+                n_layers: 1,
+                dropout: 0.0,
+                ..Default::default()
+            },
             1,
         );
         let big = LstmLm::new(
-            LstmConfig { vocab_size: 38, hidden_size: 100, n_layers: 1, dropout: 0.0, ..Default::default() },
+            LstmConfig {
+                vocab_size: 38,
+                hidden_size: 100,
+                n_layers: 1,
+                dropout: 0.0,
+                ..Default::default()
+            },
             1,
         );
         assert!(big.parameter_count() > 40 * small.parameter_count() / 2);
@@ -662,7 +739,10 @@ mod tests {
             6,
         );
         let seqs: Vec<Vec<usize>> = vec![vec![0, 1, 2, 3]; 8];
-        let mut adam = Adam::new(AdamOptions { learning_rate: 1e-2, ..Default::default() });
+        let mut adam = Adam::new(AdamOptions {
+            learning_rate: 1e-2,
+            ..Default::default()
+        });
         let mut first = 0.0;
         let mut last = 0.0;
         for epoch in 0..60 {
@@ -721,7 +801,13 @@ mod tests {
     fn gru_has_fewer_parameters_than_lstm() {
         let mk = |cell: CellKind| {
             LstmLm::new(
-                LstmConfig { vocab_size: 38, hidden_size: 50, n_layers: 1, dropout: 0.0, cell },
+                LstmConfig {
+                    vocab_size: 38,
+                    hidden_size: 50,
+                    n_layers: 1,
+                    dropout: 0.0,
+                    cell,
+                },
                 1,
             )
         };

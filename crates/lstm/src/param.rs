@@ -183,7 +183,10 @@ mod tests {
     fn adam_minimizes_quadratic() {
         // Minimize f(x) = (x - 3)^2 elementwise.
         let mut p = Param::zeros(1, 4);
-        let mut adam = Adam::new(AdamOptions { learning_rate: 0.1, ..Default::default() });
+        let mut adam = Adam::new(AdamOptions {
+            learning_rate: 0.1,
+            ..Default::default()
+        });
         for _ in 0..500 {
             for i in 0..4 {
                 let x = p.value.get(0, i);
@@ -233,7 +236,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "learning rate must be positive")]
     fn rejects_bad_learning_rate() {
-        Adam::new(AdamOptions { learning_rate: 0.0, ..Default::default() });
+        Adam::new(AdamOptions {
+            learning_rate: 0.0,
+            ..Default::default()
+        });
     }
 
     #[test]

@@ -113,16 +113,26 @@ impl Trainer {
                 }
                 adam.step(&mut model.parameters_mut());
             }
-            let train_nll =
-                if total_tokens > 0 { total_nll / total_tokens as f64 } else { 0.0 };
-            let valid_ppl =
-                if valid.is_empty() { f64::NAN } else { model.perplexity(valid) };
+            let train_nll = if total_tokens > 0 {
+                total_nll / total_tokens as f64
+            } else {
+                0.0
+            };
+            let valid_ppl = if valid.is_empty() {
+                f64::NAN
+            } else {
+                model.perplexity(valid)
+            };
             if self.opts.verbose {
                 eprintln!(
                     "epoch {epoch}: train nll/token {train_nll:.4}, valid ppl {valid_ppl:.3}"
                 );
             }
-            stats.push(EpochStats { epoch, train_nll, valid_perplexity: valid_ppl });
+            stats.push(EpochStats {
+                epoch,
+                train_nll,
+                valid_perplexity: valid_ppl,
+            });
 
             if self.opts.lr_decay != 1.0 && epoch >= self.opts.decay_after {
                 lr *= self.opts.lr_decay;
@@ -181,7 +191,10 @@ mod tests {
         TrainOptions {
             epochs,
             batch_size: 8,
-            adam: AdamOptions { learning_rate: 1e-2, ..Default::default() },
+            adam: AdamOptions {
+                learning_rate: 1e-2,
+                ..Default::default()
+            },
             patience: 0,
             seed: 5,
             verbose: false,
@@ -194,7 +207,13 @@ mod tests {
         let train = markov_sequences(120, 1);
         let test = markov_sequences(30, 2);
         let mut model = LstmLm::new(
-            LstmConfig { vocab_size: 4, hidden_size: 16, n_layers: 1, dropout: 0.0, ..Default::default() },
+            LstmConfig {
+                vocab_size: 4,
+                hidden_size: 16,
+                n_layers: 1,
+                dropout: 0.0,
+                ..Default::default()
+            },
             3,
         );
         let before = model.perplexity(&test);
@@ -213,7 +232,13 @@ mod tests {
         let train = markov_sequences(60, 3);
         let valid = markov_sequences(20, 4);
         let mut model = LstmLm::new(
-            LstmConfig { vocab_size: 4, hidden_size: 8, n_layers: 1, dropout: 0.0, ..Default::default() },
+            LstmConfig {
+                vocab_size: 4,
+                hidden_size: 8,
+                n_layers: 1,
+                dropout: 0.0,
+                ..Default::default()
+            },
             7,
         );
         let mut opts = quick_opts(30);
@@ -235,7 +260,13 @@ mod tests {
     fn epoch_stats_have_expected_length_without_early_stop() {
         let train = markov_sequences(20, 5);
         let mut model = LstmLm::new(
-            LstmConfig { vocab_size: 4, hidden_size: 6, n_layers: 1, dropout: 0.0, ..Default::default() },
+            LstmConfig {
+                vocab_size: 4,
+                hidden_size: 6,
+                n_layers: 1,
+                dropout: 0.0,
+                ..Default::default()
+            },
             9,
         );
         let stats = Trainer::new(quick_opts(4)).fit(&mut model, &train, &[]);
@@ -248,7 +279,13 @@ mod tests {
         let train = markov_sequences(30, 6);
         let run = || {
             let mut m = LstmLm::new(
-                LstmConfig { vocab_size: 4, hidden_size: 6, n_layers: 1, dropout: 0.1, ..Default::default() },
+                LstmConfig {
+                    vocab_size: 4,
+                    hidden_size: 6,
+                    n_layers: 1,
+                    dropout: 0.1,
+                    ..Default::default()
+                },
                 11,
             );
             Trainer::new(quick_opts(3)).fit(&mut m, &train, &[]);
@@ -264,7 +301,13 @@ mod tests {
         opts.lr_decay = 0.5;
         opts.decay_after = 1;
         let mut model = LstmLm::new(
-            LstmConfig { vocab_size: 4, hidden_size: 8, n_layers: 1, dropout: 0.0, ..Default::default() },
+            LstmConfig {
+                vocab_size: 4,
+                hidden_size: 8,
+                n_layers: 1,
+                dropout: 0.0,
+                ..Default::default()
+            },
             15,
         );
         let stats = Trainer::new(opts).fit(&mut model, &train, &[]);
@@ -284,7 +327,13 @@ mod tests {
     fn two_layer_model_trains() {
         let train = markov_sequences(60, 7);
         let mut model = LstmLm::new(
-            LstmConfig { vocab_size: 4, hidden_size: 10, n_layers: 2, dropout: 0.1, ..Default::default() },
+            LstmConfig {
+                vocab_size: 4,
+                hidden_size: 10,
+                n_layers: 2,
+                dropout: 0.1,
+                ..Default::default()
+            },
             13,
         );
         let stats = Trainer::new(quick_opts(8)).fit(&mut model, &train, &[]);

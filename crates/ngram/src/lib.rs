@@ -38,17 +38,32 @@ pub struct NgramConfig {
 impl NgramConfig {
     /// Unigram ("bag of words") configuration.
     pub fn unigram(vocab_size: usize) -> Self {
-        NgramConfig { order: 1, vocab_size, lambdas: None, add_k: 0.5 }
+        NgramConfig {
+            order: 1,
+            vocab_size,
+            lambdas: None,
+            add_k: 0.5,
+        }
     }
 
     /// Bigram configuration.
     pub fn bigram(vocab_size: usize) -> Self {
-        NgramConfig { order: 2, vocab_size, lambdas: None, add_k: 0.5 }
+        NgramConfig {
+            order: 2,
+            vocab_size,
+            lambdas: None,
+            add_k: 0.5,
+        }
     }
 
     /// Trigram configuration.
     pub fn trigram(vocab_size: usize) -> Self {
-        NgramConfig { order: 3, vocab_size, lambdas: None, add_k: 0.5 }
+        NgramConfig {
+            order: 3,
+            vocab_size,
+            lambdas: None,
+            add_k: 0.5,
+        }
     }
 
     /// Effective interpolation weights.
@@ -80,7 +95,10 @@ impl NgramConfig {
     pub fn validate(&self) {
         assert!(self.order >= 1, "order must be at least 1");
         assert!(self.vocab_size >= 1, "empty vocabulary");
-        assert!(self.add_k > 0.0, "add_k must be positive for a proper distribution");
+        assert!(
+            self.add_k > 0.0,
+            "add_k must be positive for a proper distribution"
+        );
         let _ = self.effective_lambdas();
     }
 }
@@ -93,9 +111,11 @@ mod tables_serde {
     use std::collections::HashMap;
 
     type Tables = Vec<HashMap<Vec<usize>, HashMap<usize, f64>>>;
+    type TableEntries<'a> = Vec<Vec<(&'a Vec<usize>, &'a HashMap<usize, f64>)>>;
+    type OwnedTableEntries = Vec<Vec<(Vec<usize>, HashMap<usize, f64>)>>;
 
     pub fn serialize<S: Serializer>(tables: &Tables, s: S) -> Result<S::Ok, S::Error> {
-        let as_pairs: Vec<Vec<(&Vec<usize>, &HashMap<usize, f64>)>> = tables
+        let as_pairs: TableEntries<'_> = tables
             .iter()
             .map(|t| {
                 let mut entries: Vec<_> = t.iter().collect();
@@ -107,8 +127,11 @@ mod tables_serde {
     }
 
     pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Tables, D::Error> {
-        let as_pairs: Vec<Vec<(Vec<usize>, HashMap<usize, f64>)>> = Vec::deserialize(d)?;
-        Ok(as_pairs.into_iter().map(|t| t.into_iter().collect()).collect())
+        let as_pairs: OwnedTableEntries = Vec::deserialize(d)?;
+        Ok(as_pairs
+            .into_iter()
+            .map(|t| t.into_iter().collect())
+            .collect())
     }
 }
 
@@ -164,7 +187,12 @@ impl NgramLm {
                 }
             }
         }
-        NgramLm { cfg, lambdas, ngram_counts, total_tokens }
+        NgramLm {
+            cfg,
+            lambdas,
+            ngram_counts,
+            total_tokens,
+        }
     }
 
     /// The configuration.
@@ -216,7 +244,9 @@ impl NgramLm {
 
     /// Full next-token distribution given a product history.
     pub fn predict_next_tokens(&self, history: &[usize]) -> Vec<f64> {
-        (0..self.n_tokens()).map(|w| self.token_prob(history, w)).collect()
+        (0..self.n_tokens())
+            .map(|w| self.token_prob(history, w))
+            .collect()
     }
 
     /// Next-product distribution (BOS/EOS mass removed, renormalized) — the
@@ -350,7 +380,10 @@ mod tests {
         let p2 = NgramLm::fit(NgramConfig::bigram(4), &train).perplexity(&test);
         let p3 = NgramLm::fit(NgramConfig::trigram(4), &train).perplexity(&test);
         assert!(p2 < p1, "bigram {p2} must beat unigram {p1}");
-        assert!(p3 <= p2 * 1.05, "trigram {p3} should not be much worse than bigram {p2}");
+        assert!(
+            p3 <= p2 * 1.05,
+            "trigram {p3} should not be much worse than bigram {p2}"
+        );
         // Near-deterministic transitions: bigram perplexity well below
         // uniform 4 (the interpolated unigram component keeps it above the
         // entropy-rate bound of ~1.6).
@@ -408,6 +441,9 @@ mod tests {
         let lm = NgramLm::fit(NgramConfig::trigram(3), &seqs);
         // First product is always 2: p(2 | empty history) should dominate.
         let d = lm.predict_next(&[]);
-        assert!(d[2] > d[0] && d[2] > d[1], "start-of-sequence structure: {d:?}");
+        assert!(
+            d[2] > d[0] && d[2] > d[1],
+            "start-of-sequence structure: {d:?}"
+        );
     }
 }

@@ -22,18 +22,33 @@ fn main() {
     let raw_tf = reps::raw_tfidf(&corpus, &ids, &tfidf);
     let (lda, docs) = example_lda(&corpus, 3);
     let lda_b = reps::lda_representations(&lda, &docs);
-    println!("raw binary: {}d, raw TF-IDF: {}d, LDA topics: {}d", raw.cols(), raw_tf.cols(), lda_b.cols());
+    println!(
+        "raw binary: {}d, raw TF-IDF: {}d, LDA topics: {}d",
+        raw.cols(),
+        raw_tf.cols(),
+        lda_b.cols()
+    );
 
     header("Popularity bias of nearest neighbours (share of popular-quartile products among shared products)");
-    for (name, m) in [("raw binary", &raw), ("raw TF-IDF", &raw_tf), ("LDA topics", &lda_b)] {
+    for (name, m) in [
+        ("raw binary", &raw),
+        ("raw TF-IDF", &raw_tf),
+        ("LDA topics", &lda_b),
+    ] {
         let bias = popularity_bias(&corpus, &ids, m, DistanceMetric::Cosine);
         println!("  {name:<12} {bias:.3}");
     }
 
     header("Nearest-neighbour latent-profile agreement (higher is better)");
-    let labels: Vec<usize> =
-        ids.iter().map(|&id| corpus.company(id).industry.0 as usize % 3).collect();
-    for (name, m) in [("raw binary", &raw), ("raw TF-IDF", &raw_tf), ("LDA topics", &lda_b)] {
+    let labels: Vec<usize> = ids
+        .iter()
+        .map(|&id| corpus.company(id).industry.0 as usize % 3)
+        .collect();
+    for (name, m) in [
+        ("raw binary", &raw),
+        ("raw TF-IDF", &raw_tf),
+        ("LDA topics", &lda_b),
+    ] {
         let agree = neighbor_label_agreement(m, &labels, DistanceMetric::Cosine);
         println!("  {name:<12} {agree:.3}");
     }

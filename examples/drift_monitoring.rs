@@ -10,11 +10,11 @@
 //! ```
 
 use hlm_corpus::{Month, TimeWindow};
-use hlm_eval::detect_drift;
+use hlm_engine::Engine;
 use hlm_examples::{example_corpus, header};
 
 fn main() {
-    let corpus = example_corpus();
+    let engine = Engine::new(example_corpus());
     let reference = TimeWindow::new(Month::from_ym(1995, 1), 36);
     header(&format!(
         "Reference period {} (acquisition mix of the mid-90s install base)",
@@ -29,7 +29,7 @@ fn main() {
     let mut first_drift: Option<Month> = None;
     for year in (1998..=2015).step_by(2) {
         let recent = TimeWindow::new(Month::from_ym(year, 1), 12);
-        let rep = detect_drift(&corpus, reference, recent, 0.01);
+        let rep = engine.detect_drift(reference, recent, 0.01);
         println!(
             "{:<12} {:>8} {:>12.1} {:>10.2e} {:>8.4}   {}",
             recent.start.to_string(),
@@ -37,7 +37,11 @@ fn main() {
             rep.chi_square,
             rep.p_value,
             rep.js_divergence,
-            if rep.drifted { "DRIFT — retrain" } else { "stable" }
+            if rep.drifted {
+                "DRIFT — retrain"
+            } else {
+                "stable"
+            }
         );
         if rep.drifted && first_drift.is_none() {
             first_drift = Some(recent.start);

@@ -7,12 +7,13 @@
 //! ```
 
 use hlm_corpus::Split;
+use hlm_engine::{LdaEstimator, ModelSpec};
 use hlm_eval::report::{fmt_f, Table};
 use hlm_eval::sequentiality_report;
 use hlm_examples::{example_corpus, header};
-use hlm_lda::{document_completion_perplexity, GibbsTrainer, LdaConfig};
-use hlm_lstm::{AdamOptions, LstmConfig, LstmLm, TrainOptions, Trainer};
-use hlm_ngram::{NgramConfig, NgramLm};
+use hlm_lda::{document_completion_perplexity, LdaConfig};
+use hlm_lstm::{AdamOptions, LstmConfig, TrainOptions};
+use hlm_ngram::NgramConfig;
 
 fn main() {
     let corpus = example_corpus();
@@ -39,7 +40,12 @@ fn main() {
     let seqs = |ids: &[hlm_corpus::CompanyId]| -> Vec<Vec<usize>> {
         ids.iter()
             .map(|&id| {
-                corpus.company(id).product_sequence().into_iter().map(|p| p.index()).collect()
+                corpus
+                    .company(id)
+                    .product_sequence()
+                    .into_iter()
+                    .map(|p| p.index())
+                    .collect()
             })
             .collect()
     };
@@ -50,7 +56,7 @@ fn main() {
     let mut rows: Vec<(String, f64)> = Vec::new();
     for k in [2usize, 3, 4] {
         eprintln!("training LDA{k}…");
-        let model = GibbsTrainer::new(LdaConfig {
+        let config = LdaConfig {
             n_topics: k,
             vocab_size: m,
             n_iters: 150,
@@ -60,32 +66,57 @@ fn main() {
             alpha: None,
             beta: 0.1,
             ..Default::default()
-        })
-        .fit(&train_docs);
-        rows.push((format!("LDA{k}"), document_completion_perplexity(&model, &test_docs)));
+        };
+        let model =
+            hlm_engine::fit_lda(config, LdaEstimator::Gibbs, &train_docs).expect("valid LDA spec");
+        rows.push((
+            format!("LDA{k}"),
+            document_completion_perplexity(&model, &test_docs),
+        ));
     }
     eprintln!("training LSTM 1×100…");
-    let mut lstm = LstmLm::new(
-        LstmConfig { vocab_size: m, hidden_size: 100, n_layers: 1, dropout: 0.2, ..Default::default() },
-        2019,
-    );
-    Trainer::new(TrainOptions {
-        epochs: 6,
-        batch_size: 16,
-        adam: AdamOptions { learning_rate: 5e-3, ..Default::default() },
-        patience: 3,
+    let lstm_spec = ModelSpec::Lstm {
+        config: LstmConfig {
+            vocab_size: m,
+            hidden_size: 100,
+            n_layers: 1,
+            dropout: 0.2,
+            ..Default::default()
+        },
+        train: TrainOptions {
+            epochs: 6,
+            batch_size: 16,
+            adam: AdamOptions {
+                learning_rate: 5e-3,
+                ..Default::default()
+            },
+            patience: 3,
+            seed: 2019,
+            verbose: false,
+            ..Default::default()
+        },
         seed: 2019,
-        verbose: false,
-        ..Default::default()
-    })
-    .fit(&mut lstm, &train_seqs, &valid_seqs);
-    rows.push(("LSTM (1 layer × 100)".into(), lstm.perplexity(&test_seqs)));
+    };
+    let lstm = lstm_spec
+        .fit_sequences(&train_seqs, &valid_seqs)
+        .expect("valid LSTM spec");
+    rows.push((
+        "LSTM (1 layer × 100)".into(),
+        lstm.perplexity(&test_seqs)
+            .expect("LSTMs support perplexity"),
+    ));
     for (name, cfg) in [
         ("trigram", NgramConfig::trigram(m)),
         ("bigram", NgramConfig::bigram(m)),
         ("unigram bag-of-words", NgramConfig::unigram(m)),
     ] {
-        rows.push((name.into(), NgramLm::fit(cfg, &train_seqs).perplexity(&test_seqs)));
+        let trained = ModelSpec::Ngram(cfg)
+            .fit_sequences(&train_seqs, &[])
+            .expect("valid n-gram spec");
+        let ppl = trained
+            .perplexity(&test_seqs)
+            .expect("n-grams support perplexity");
+        rows.push((name.into(), ppl));
     }
     rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
 

@@ -6,6 +6,7 @@
 //! ```
 
 use hlm_corpus::Split;
+use hlm_engine::{LdaEstimator, ModelSpec};
 use hlm_eval::report::{fmt_ci, fmt_f, Table};
 use hlm_eval::{evaluate_recommender, RandomRecommender, RecEvalConfig};
 use hlm_examples::{example_corpus, header};
@@ -29,32 +30,52 @@ fn main() {
         split.test.len()
     ));
 
-    let lda = hlm_core::LdaRecommenderFactory::new(LdaConfig {
-        n_topics: 3,
-        vocab_size: m,
-        n_iters: 150,
-        burn_in: 75,
-        sample_lag: 5,
-        seed: 2019,
-        alpha: None,
-        beta: 0.1,
+    let lda = ModelSpec::Lda {
+        config: LdaConfig {
+            n_topics: 3,
+            vocab_size: m,
+            n_iters: 150,
+            burn_in: 75,
+            sample_lag: 5,
+            seed: 2019,
+            alpha: None,
+            beta: 0.1,
             ..Default::default()
-        });
-    let chh = hlm_core::ChhRecommenderFactory { depth: 2 };
-    let bigram = hlm_core::NgramRecommenderFactory::new(NgramConfig::bigram(m));
+        },
+        estimator: LdaEstimator::Gibbs,
+    }
+    .factory()
+    .expect("registry covers LDA");
+    let chh = ModelSpec::ChhExact {
+        depth: 2,
+        vocab_size: m,
+    }
+    .factory()
+    .expect("registry covers CHH");
+    let bigram = ModelSpec::Ngram(NgramConfig::bigram(m))
+        .factory()
+        .expect("registry covers n-grams");
     let random = RandomRecommender::new(m);
 
     let mut table = Table::new(
         "Recall and F1 vs threshold φ (mean ± 95% CI over windows)",
-        &["phi", "Recall_LDA3", "F1_LDA3", "Recall_CHH", "F1_CHH", "Recall_bigram", "Recall_random"],
+        &[
+            "phi",
+            "Recall_LDA3",
+            "F1_LDA3",
+            "Recall_CHH",
+            "F1_CHH",
+            "Recall_bigram",
+            "Recall_random",
+        ],
     );
     let run = |f: &dyn hlm_eval::RecommenderFactory| {
         eprintln!("evaluating {}…", f.name());
         evaluate_recommender(f, &corpus, &split.train, &split.test, &cfg)
     };
-    let r_lda = run(&lda);
-    let r_chh = run(&chh);
-    let r_bi = run(&bigram);
+    let r_lda = run(lda.as_ref());
+    let r_chh = run(chh.as_ref());
+    let r_bi = run(bigram.as_ref());
     let r_rand = run(&random);
     for i in 0..cfg.thresholds.len() {
         table.add_row(vec![

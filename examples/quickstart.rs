@@ -7,8 +7,9 @@
 //! ```
 
 use hlm_core::representations::lda_representations;
-use hlm_core::{CompanyFilter, DistanceMetric, SalesApplication};
+use hlm_core::{CompanyFilter, DistanceMetric};
 use hlm_corpus::CompanyId;
+use hlm_engine::Engine;
 use hlm_examples::{describe, example_corpus, example_lda, header};
 
 fn main() {
@@ -29,7 +30,11 @@ fn main() {
             .top_products(k, 6)
             .into_iter()
             .map(|(w, p)| {
-                format!("{} ({:.2})", corpus.vocab().name(hlm_corpus::ProductId(w as u16)), p)
+                format!(
+                    "{} ({:.2})",
+                    corpus.vocab().name(hlm_corpus::ProductId(w as u16)),
+                    p
+                )
             })
             .collect();
         println!("topic {k}: {}", tops.join(", "));
@@ -37,16 +42,25 @@ fn main() {
 
     header("3. Company representations and similarity search");
     let reps = lda_representations(&lda, &docs);
-    let app = SalesApplication::new(corpus, reps, DistanceMetric::Cosine);
+    let engine = Engine::new(corpus);
+    let app = engine
+        .sales_app(reps, DistanceMetric::Cosine)
+        .expect("representations match the corpus");
     let customer = CompanyId(42);
     println!("customer: {}", describe(app.corpus(), customer));
     println!("most similar companies:");
-    for s in app.find_similar(customer, 5, &CompanyFilter::default()) {
+    let similar = app
+        .find_similar(customer, 5, &CompanyFilter::default())
+        .expect("customer id in range");
+    for s in similar {
         println!("  d={:.4}  {}", s.distance, describe(app.corpus(), s.id));
     }
 
     header("4. Whitespace recommendations");
-    for rec in app.recommend_whitespace(customer, 20, &CompanyFilter::default()).iter().take(5) {
+    let recs = app
+        .recommend_whitespace(customer, 20, &CompanyFilter::default())
+        .expect("customer id in range");
+    for rec in recs.iter().take(5) {
         println!(
             "  {} (score {:.2}, owned by {}/20 similar companies)",
             app.corpus().vocab().name(rec.product),

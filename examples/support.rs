@@ -3,7 +3,8 @@
 
 use hlm_corpus::{CompanyId, Corpus};
 use hlm_datagen::GeneratorConfig;
-use hlm_lda::{GibbsTrainer, LdaConfig, LdaModel, WeightedDoc};
+use hlm_engine::LdaEstimator;
+use hlm_lda::{LdaConfig, LdaModel, WeightedDoc};
 
 /// Default example corpus size (override with `HLM_EXAMPLE_COMPANIES`).
 pub fn corpus_size() -> usize {
@@ -24,7 +25,7 @@ pub fn example_corpus() -> Corpus {
 pub fn example_lda(corpus: &Corpus, n_topics: usize) -> (LdaModel, Vec<WeightedDoc>) {
     let ids: Vec<CompanyId> = corpus.ids().collect();
     let docs = hlm_core::representations::binary_docs(corpus, &ids);
-    let model = GibbsTrainer::new(LdaConfig {
+    let config = LdaConfig {
         n_topics,
         vocab_size: corpus.vocab().len(),
         n_iters: 150,
@@ -34,16 +35,21 @@ pub fn example_lda(corpus: &Corpus, n_topics: usize) -> (LdaModel, Vec<WeightedD
         alpha: None,
         beta: 0.1,
         ..Default::default()
-    })
-    .fit(&docs);
+    };
+    let model = hlm_engine::fit_lda(config, LdaEstimator::Gibbs, &docs)
+        .expect("the example corpus yields a valid LDA spec");
     (model, docs)
 }
 
 /// Describes a company in one line.
 pub fn describe(corpus: &Corpus, id: CompanyId) -> String {
     let c = corpus.company(id);
-    let products: Vec<&str> =
-        c.product_set().into_iter().take(6).map(|p| corpus.vocab().name(p)).collect();
+    let products: Vec<&str> = c
+        .product_set()
+        .into_iter()
+        .take(6)
+        .map(|p| corpus.vocab().name(p))
+        .collect();
     format!(
         "{} [{} | country {} | {} employees | {:.1} M$] owns {} products: {}{}",
         c.name,

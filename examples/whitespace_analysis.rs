@@ -10,14 +10,18 @@
 //! ```
 
 use hlm_core::representations::lda_representations;
-use hlm_core::{CompanyFilter, DistanceMetric, SalesApplication};
+use hlm_core::{CompanyFilter, DistanceMetric};
+use hlm_engine::Engine;
 use hlm_examples::{describe, example_corpus, example_lda, header};
 
 fn main() {
     let corpus = example_corpus();
     let (lda, docs) = example_lda(&corpus, 3);
     let reps = lda_representations(&lda, &docs);
-    let app = SalesApplication::new(corpus, reps, DistanceMetric::Cosine);
+    let engine = Engine::new(corpus);
+    let app = engine
+        .sales_app(reps, DistanceMetric::Cosine)
+        .expect("representations match the corpus");
 
     // Pick a mid-sized customer with a substantial install base.
     let customer = app
@@ -31,7 +35,10 @@ fn main() {
     println!("{}", describe(app.corpus(), customer));
 
     header("Unfiltered: top-10 similar companies anywhere");
-    for s in app.find_similar(customer, 10, &CompanyFilter::default()) {
+    let unfiltered = app
+        .find_similar(customer, 10, &CompanyFilter::default())
+        .expect("customer id in range");
+    for s in unfiltered {
         println!("  d={:.4}  {}", s.distance, describe(app.corpus(), s.id));
     }
 
@@ -41,14 +48,20 @@ fn main() {
         employees: Some((50, u32::MAX)),
         ..Default::default()
     };
-    header(&format!("Filtered: same country ({home_country}), ≥ 50 employees"));
-    let similar = app.find_similar(customer, 10, &filter);
+    header(&format!(
+        "Filtered: same country ({home_country}), ≥ 50 employees"
+    ));
+    let similar = app
+        .find_similar(customer, 10, &filter)
+        .expect("customer id in range");
     for s in &similar {
         println!("  d={:.4}  {}", s.distance, describe(app.corpus(), s.id));
     }
 
     header("Whitespace: products the similar companies own but the customer lacks");
-    let recs = app.recommend_whitespace(customer, 20, &filter);
+    let recs = app
+        .recommend_whitespace(customer, 20, &filter)
+        .expect("customer id in range");
     if recs.is_empty() {
         println!("  (no whitespace — the customer already owns everything its peers own)");
     }

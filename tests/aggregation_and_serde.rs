@@ -64,8 +64,7 @@ fn corpus_round_trips_through_json() {
         assert_eq!(a.employees, b.employees);
     }
     // Vocabulary lookups work after an index rebuild.
-    let vocab_names: Vec<String> =
-        corpus.vocab().iter().map(|(_, n)| n.to_string()).collect();
+    let vocab_names: Vec<String> = corpus.vocab().iter().map(|(_, n)| n.to_string()).collect();
     let mut vocab = back.vocab().clone();
     vocab.rebuild_index();
     for n in &vocab_names {
@@ -90,13 +89,22 @@ fn lda_model_round_trips_through_json() {
 fn lstm_model_round_trips_through_json() {
     use hlm_lstm::{LstmConfig, LstmLm};
     let model = LstmLm::new(
-        LstmConfig { vocab_size: 6, hidden_size: 5, n_layers: 2, dropout: 0.2, ..Default::default() },
+        LstmConfig {
+            vocab_size: 6,
+            hidden_size: 5,
+            n_layers: 2,
+            dropout: 0.2,
+            ..Default::default()
+        },
         9,
     );
     let json = serde_json::to_string(&model).expect("serialize lstm");
     let back: LstmLm = serde_json::from_str(&json).expect("deserialize lstm");
     // Inference (dropout-free) must agree exactly.
-    assert_eq!(back.predict_next(&[0, 3, 2]), model.predict_next(&[0, 3, 2]));
+    assert_eq!(
+        back.predict_next(&[0, 3, 2]),
+        model.predict_next(&[0, 3, 2])
+    );
     assert_eq!(back.parameter_count(), model.parameter_count());
 }
 
@@ -110,10 +118,16 @@ fn ngram_and_chh_round_trip_through_json() {
     let ngram = hlm_ngram::NgramLm::fit(hlm_ngram::NgramConfig::trigram(m), &seqs);
     let back: hlm_ngram::NgramLm =
         serde_json::from_str(&serde_json::to_string(&ngram).expect("ser")).expect("de");
-    assert_eq!(back.predict_next(&seqs[0][..2]), ngram.predict_next(&seqs[0][..2]));
+    assert_eq!(
+        back.predict_next(&seqs[0][..2]),
+        ngram.predict_next(&seqs[0][..2])
+    );
 
     let chh = hlm_chh::ExactChh::fit(2, m, &seqs);
     let back: hlm_chh::ExactChh =
         serde_json::from_str(&serde_json::to_string(&chh).expect("ser")).expect("de");
-    assert_eq!(back.predict_next(&seqs[0][..2]), chh.predict_next(&seqs[0][..2]));
+    assert_eq!(
+        back.predict_next(&seqs[0][..2]),
+        chh.predict_next(&seqs[0][..2])
+    );
 }

@@ -37,8 +37,7 @@ pub fn quick_lda(
     n_topics: usize,
 ) -> (LdaModel, Vec<WeightedDoc>) {
     let docs = hlm_core::representations::binary_docs(corpus, ids);
-    let model =
-        GibbsTrainer::new(quick_lda_config(n_topics, corpus.vocab().len())).fit(&docs);
+    let model = GibbsTrainer::new(quick_lda_config(n_topics, corpus.vocab().len())).fit(&docs);
     (model, docs)
 }
 
@@ -46,7 +45,12 @@ pub fn quick_lda(
 pub fn index_sequences(corpus: &Corpus, ids: &[CompanyId]) -> Vec<Vec<usize>> {
     ids.iter()
         .map(|&id| {
-            corpus.company(id).product_sequence().into_iter().map(|p| p.index()).collect()
+            corpus
+                .company(id)
+                .product_sequence()
+                .into_iter()
+                .map(|p| p.index())
+                .collect()
         })
         .collect()
 }

@@ -26,7 +26,11 @@ fn splits_and_lda_perplexities_are_deterministic() {
 
     let (m1, _) = quick_lda(&corpus, &s1.train, 3);
     let (m2, _) = quick_lda(&corpus, &s2.train, 3);
-    assert_eq!(m1.phi(), m2.phi(), "Gibbs chains with equal seeds must agree");
+    assert_eq!(
+        m1.phi(),
+        m2.phi(),
+        "Gibbs chains with equal seeds must agree"
+    );
 
     let test_docs = hlm_core::representations::binary_docs(&corpus, &s1.test);
     let p1 = document_completion_perplexity(&m1, &test_docs);
@@ -78,7 +82,13 @@ fn lstm_training_is_reproducible() {
     let seqs = index_sequences(&corpus, &ids);
     let train = |seed: u64| {
         let mut m = LstmLm::new(
-            LstmConfig { vocab_size: 38, hidden_size: 10, n_layers: 1, dropout: 0.3, ..Default::default() },
+            LstmConfig {
+                vocab_size: 38,
+                hidden_size: 10,
+                n_layers: 1,
+                dropout: 0.3,
+                ..Default::default()
+            },
             seed,
         );
         Trainer::new(TrainOptions {

@@ -26,13 +26,22 @@ fn perplexity_ordering_matches_table_1() {
     let ppl_bi = NgramLm::fit(NgramConfig::bigram(m), &train_seqs).perplexity(&test_seqs);
 
     let mut lstm = LstmLm::new(
-        LstmConfig { vocab_size: m, hidden_size: 64, n_layers: 1, dropout: 0.1, ..Default::default() },
+        LstmConfig {
+            vocab_size: m,
+            hidden_size: 64,
+            n_layers: 1,
+            dropout: 0.1,
+            ..Default::default()
+        },
         5,
     );
     Trainer::new(TrainOptions {
         epochs: 5,
         batch_size: 16,
-        adam: AdamOptions { learning_rate: 5e-3, ..Default::default() },
+        adam: AdamOptions {
+            learning_rate: 5e-3,
+            ..Default::default()
+        },
         patience: 0,
         seed: 3,
         verbose: false,
@@ -46,11 +55,20 @@ fn perplexity_ordering_matches_table_1() {
         ppl_lda < ppl_lstm,
         "LDA {ppl_lda} must beat LSTM {ppl_lstm} (paper Table 1)"
     );
-    assert!(ppl_lstm < ppl_uni, "LSTM {ppl_lstm} must beat unigram {ppl_uni}");
-    assert!(ppl_bi < ppl_uni, "bigram {ppl_bi} must beat unigram {ppl_uni}");
+    assert!(
+        ppl_lstm < ppl_uni,
+        "LSTM {ppl_lstm} must beat unigram {ppl_uni}"
+    );
+    assert!(
+        ppl_bi < ppl_uni,
+        "bigram {ppl_bi} must beat unigram {ppl_uni}"
+    );
     // And the margin between LDA and the unigram baseline is large, as in
     // the paper's 8.5 vs 19.5.
-    assert!(ppl_lda * 1.5 < ppl_uni, "LDA {ppl_lda} vs unigram {ppl_uni}");
+    assert!(
+        ppl_lda * 1.5 < ppl_uni,
+        "LDA {ppl_lda} vs unigram {ppl_uni}"
+    );
 }
 
 #[test]
@@ -98,7 +116,12 @@ fn sequence_models_pick_up_generator_order() {
 
     let chh = hlm_chh::ExactChh::fit(2, corpus.vocab().len(), &seqs);
     let d2 = chh.predict_next(&[os]);
-    assert!(d2[server] > d2[cloud], "CHH agrees: {} vs {}", d2[server], d2[cloud]);
+    assert!(
+        d2[server] > d2[cloud],
+        "CHH agrees: {} vs {}",
+        d2[server],
+        d2[cloud]
+    );
 }
 
 #[test]
@@ -107,13 +130,18 @@ fn every_model_produces_proper_score_vectors() {
     let ids: Vec<_> = corpus.ids().collect();
     let seqs = index_sequences(&corpus, &ids);
     let m = corpus.vocab().len();
-    let history: Vec<usize> = seqs.iter().find(|s| s.len() >= 3).expect("non-trivial history")
-        [..3]
+    let history: Vec<usize> = seqs
+        .iter()
+        .find(|s| s.len() >= 3)
+        .expect("non-trivial history")[..3]
         .to_vec();
 
     let check = |name: &str, scores: Vec<f64>| {
         assert_eq!(scores.len(), m, "{name} length");
-        assert!(scores.iter().all(|&s| (0.0..=1.0 + 1e-9).contains(&s)), "{name} range");
+        assert!(
+            scores.iter().all(|&s| (0.0..=1.0 + 1e-9).contains(&s)),
+            "{name} range"
+        );
         assert!(scores.iter().all(|s| s.is_finite()), "{name} finite");
     };
     let (lda, _) = hlm_tests::quick_lda(&corpus, &ids, 3);
@@ -125,9 +153,18 @@ fn every_model_produces_proper_score_vectors() {
         "ngram",
         NgramLm::fit(NgramConfig::trigram(m), &seqs).predict_next(&history),
     );
-    check("CHH", hlm_chh::ExactChh::fit(2, m, &seqs).predict_next(&history));
+    check(
+        "CHH",
+        hlm_chh::ExactChh::fit(2, m, &seqs).predict_next(&history),
+    );
     let lstm = LstmLm::new(
-        LstmConfig { vocab_size: m, hidden_size: 12, n_layers: 1, dropout: 0.0, ..Default::default() },
+        LstmConfig {
+            vocab_size: m,
+            hidden_size: 12,
+            n_layers: 1,
+            dropout: 0.0,
+            ..Default::default()
+        },
         1,
     );
     check("LSTM", lstm.predict_next(&history));

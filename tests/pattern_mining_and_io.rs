@@ -13,18 +13,31 @@ fn apriori_mines_profile_structure_from_generated_corpus() {
     let model = AprioriModel::mine(
         corpus.vocab().len(),
         &baskets,
-        &AprioriConfig { min_support: 0.05, min_confidence: 0.3, max_len: 3 },
+        &AprioriConfig {
+            min_support: 0.05,
+            min_confidence: 0.3,
+            max_len: 3,
+        },
     );
-    assert!(model.rules().len() > 10, "rich rule set expected, got {}", model.rules().len());
+    assert!(
+        model.rules().len() > 10,
+        "rich rule set expected, got {}",
+        model.rules().len()
+    );
 
     // Rules with high lift should connect same-profile products: check that
     // at least one high-lift rule pairs two datacenter-profile categories.
     let id_of = |name: &str| corpus.vocab().id(name).expect("standard category").index();
-    let datacenter: Vec<usize> =
-        ["server_HW", "storage_HW", "mainframs", "midrange", "data_archiving"]
-            .iter()
-            .map(|n| id_of(n))
-            .collect();
+    let datacenter: Vec<usize> = [
+        "server_HW",
+        "storage_HW",
+        "mainframs",
+        "midrange",
+        "data_archiving",
+    ]
+    .iter()
+    .map(|n| id_of(n))
+    .collect();
     let has_profile_rule = model.rules().iter().any(|r| {
         r.lift > 1.5
             && r.antecedent.iter().all(|i| datacenter.contains(i))
@@ -39,7 +52,9 @@ fn apriori_mines_profile_structure_from_generated_corpus() {
         assert!(r.confidence <= 1.0 + 1e-12);
         assert!(r.lift > 0.0);
         // support(rule) <= support(antecedent): confidence = s/s_ant <= 1.
-        let s_ant = model.support_of(&r.antecedent).expect("antecedent frequent");
+        let s_ant = model
+            .support_of(&r.antecedent)
+            .expect("antecedent frequent");
         assert!(r.support <= s_ant + 1e-12);
     }
 }
@@ -56,7 +71,11 @@ fn apriori_and_chh_agree_on_strong_pairwise_structure() {
     let apriori = AprioriModel::mine(
         m,
         &seqs,
-        &AprioriConfig { min_support: 0.05, min_confidence: 0.4, max_len: 2 },
+        &AprioriConfig {
+            min_support: 0.05,
+            min_confidence: 0.4,
+            max_len: 2,
+        },
     );
     let chh = ExactChh::fit(1, m, &seqs);
     let chh_rules = chh.heavy_hitters(1, 0.2, 20);
@@ -135,5 +154,8 @@ fn streaming_chh_tracks_exact_on_generated_sequences() {
             );
         }
     }
-    assert!(tracked >= 3, "sketch should keep most of the top rules ({tracked}/5)");
+    assert!(
+        tracked >= 3,
+        "sketch should keep most of the top rules ({tracked}/5)"
+    );
 }

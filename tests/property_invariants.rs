@@ -114,7 +114,8 @@ proptest! {
 
 fn tiny_corpus(n: usize) -> Corpus {
     use hlm_corpus::{Company, Sic2, Vocabulary};
-    let companies =
-        (0..n).map(|i| Company::new(i as u64, format!("c{i}"), Sic2(1), 0)).collect();
+    let companies = (0..n)
+        .map(|i| Company::new(i as u64, format!("c{i}"), Sic2(1), 0))
+        .collect();
     Corpus::new(Vocabulary::new(["a"]), companies)
 }

@@ -51,7 +51,11 @@ fn counting_invariants_hold_for_every_method() {
             );
             // Measures in range.
             for v in [p.recall.mean, p.f1.mean] {
-                assert!((0.0..=1.0 + 1e-9).contains(&v), "{}: out of range", factory.name());
+                assert!(
+                    (0.0..=1.0 + 1e-9).contains(&v),
+                    "{}: out of range",
+                    factory.name()
+                );
             }
         }
         // Retrieval is monotone non-increasing in the threshold.
@@ -122,7 +126,12 @@ fn bpmf_counts_are_consistent_too() {
     let corpus = test_corpus(200, 24);
     let ids: Vec<_> = corpus.ids().take(80).collect();
     let windows: Vec<_> = SlidingWindows::new(Month::from_ym(2013, 1), 12, 6, 2).collect();
-    let cfg = hlm_bpmf::BpmfConfig { n_iters: 20, burn_in: 8, n_factors: 4, ..Default::default() };
+    let cfg = hlm_bpmf::BpmfConfig {
+        n_iters: 20,
+        burn_in: 8,
+        n_factors: 4,
+        ..Default::default()
+    };
     let eval = hlm_core::evaluate_bpmf(&corpus, &ids, &windows, &[0.5, 0.9, 0.99], &cfg, false);
     for p in &eval.points {
         assert!(p.correct.mean <= p.retrieved.mean + 1e-9);

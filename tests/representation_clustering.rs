@@ -52,8 +52,7 @@ fn lda_topic_space_clusters_align_with_dominant_topic() {
     let mut agree = 0usize;
     let mut total = 0usize;
     for c in 0..3 {
-        let members: Vec<usize> =
-            (0..b.rows()).filter(|&i| res.assignments[i] == c).collect();
+        let members: Vec<usize> = (0..b.rows()).filter(|&i| res.assignments[i] == c).collect();
         if members.len() < 2 {
             continue;
         }
@@ -78,7 +77,14 @@ fn tsne_on_lda_product_embeddings_is_stable_and_structured() {
     let emb = lda.product_embeddings();
     assert_eq!(emb.shape(), (38, 3));
 
-    let coords = tsne(&emb, &TsneOptions { perplexity: 5.0, n_iters: 300, ..Default::default() });
+    let coords = tsne(
+        &emb,
+        &TsneOptions {
+            perplexity: 5.0,
+            n_iters: 300,
+            ..Default::default()
+        },
+    );
     assert_eq!(coords.shape(), (38, 2));
     assert!(coords.is_finite());
 
@@ -115,7 +121,13 @@ fn lstm_embeddings_feed_clustering_without_degenerate_output() {
     let corpus = test_corpus(120, 34);
     let ids: Vec<_> = corpus.ids().collect();
     let model = LstmLm::new(
-        LstmConfig { vocab_size: 38, hidden_size: 8, n_layers: 1, dropout: 0.0, ..Default::default() },
+        LstmConfig {
+            vocab_size: 38,
+            hidden_size: 8,
+            n_layers: 1,
+            dropout: 0.0,
+            ..Default::default()
+        },
         4,
     );
     let b = reps::lstm_representations(&model, &corpus, &ids);
@@ -123,7 +135,10 @@ fn lstm_embeddings_feed_clustering_without_degenerate_output() {
     let mut distinct = res.assignments.clone();
     distinct.sort_unstable();
     distinct.dedup();
-    assert!(distinct.len() >= 2, "LSTM embeddings must not collapse to one point");
+    assert!(
+        distinct.len() >= 2,
+        "LSTM embeddings must not collapse to one point"
+    );
     let s = silhouette_score(&b, &res.assignments);
     assert!(s.is_finite());
 }
@@ -146,17 +161,29 @@ fn oculur_style_nmf_coclusters_recover_profiles_but_share_popular_products() {
     let os = corpus.vocab().id("OS").unwrap().index();
     let in_n = |p: usize| ccs.iter().filter(|c| c.cols.contains(&p)).count();
     // OS (ubiquitous) appears in at least two of the three co-clusters.
-    assert!(in_n(os) >= 2, "OS should load on multiple co-clusters, got {}", in_n(os));
+    assert!(
+        in_n(os) >= 2,
+        "OS should load on multiple co-clusters, got {}",
+        in_n(os)
+    );
     // A niche profile product appears in fewer co-clusters than OS.
     let niche = corpus.vocab().id("product_lifecycle").unwrap().index();
-    assert!(in_n(niche) <= in_n(os), "niche {} vs OS {}", in_n(niche), in_n(os));
+    assert!(
+        in_n(niche) <= in_n(os),
+        "niche {} vs OS {}",
+        in_n(niche),
+        in_n(os)
+    );
 
     // Profile anchors separate across components: server_HW and DBMS do not
     // share all their co-clusters.
     let server = corpus.vocab().id("server_HW").unwrap().index();
     let dbms = corpus.vocab().id("DBMS").unwrap().index();
     let comps = |p: usize| -> Vec<usize> {
-        ccs.iter().filter(|c| c.cols.contains(&p)).map(|c| c.component).collect()
+        ccs.iter()
+            .filter(|c| c.cols.contains(&p))
+            .map(|c| c.component)
+            .collect()
     };
     assert_ne!(comps(server), comps(dbms), "profile anchors must differ");
 }

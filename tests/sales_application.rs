@@ -2,8 +2,9 @@
 //! similar-company search with filters and whitespace recommendations.
 
 use hlm_core::representations::lda_representations;
-use hlm_core::{CompanyFilter, DistanceMetric, SalesApplication};
+use hlm_core::{CompanyFilter, CoreError, DistanceMetric, SalesApplication};
 use hlm_corpus::CompanyId;
+use hlm_engine::{Engine, EngineError, ModelKind};
 use hlm_tests::{quick_lda, test_corpus};
 
 fn build_app(n: usize, seed: u64) -> SalesApplication {
@@ -11,7 +12,9 @@ fn build_app(n: usize, seed: u64) -> SalesApplication {
     let ids: Vec<_> = corpus.ids().collect();
     let (lda, docs) = quick_lda(&corpus, &ids, 3);
     let reps = lda_representations(&lda, &docs);
-    SalesApplication::new(corpus, reps, DistanceMetric::Cosine)
+    Engine::new(corpus)
+        .sales_app(reps, DistanceMetric::Cosine)
+        .expect("representations match the corpus")
 }
 
 #[test]
@@ -24,14 +27,20 @@ fn similar_companies_share_the_install_base_profile() {
         .find(|(_, c)| c.product_count() >= 10)
         .map(|(id, _)| id)
         .expect("substantial company exists");
-    let similar = app.find_similar(query, 10, &CompanyFilter::default());
+    let similar = app
+        .find_similar(query, 10, &CompanyFilter::default())
+        .expect("id in range");
     assert_eq!(similar.len(), 10);
 
     // The top-10 similar companies have a higher Jaccard overlap with the
     // query's install base than the average company (Jaccard controls for
     // install-base size, unlike a raw shared-product count).
-    let query_set: std::collections::HashSet<_> =
-        app.corpus().company(query).product_set().into_iter().collect();
+    let query_set: std::collections::HashSet<_> = app
+        .corpus()
+        .company(query)
+        .product_set()
+        .into_iter()
+        .collect();
     let jaccard = |id: CompanyId| -> f64 {
         let other: std::collections::HashSet<_> =
             app.corpus().company(id).product_set().into_iter().collect();
@@ -39,8 +48,7 @@ fn similar_companies_share_the_install_base_profile() {
         let union = query_set.union(&other).count() as f64;
         inter / union
     };
-    let sim_mean: f64 =
-        similar.iter().map(|s| jaccard(s.id)).sum::<f64>() / similar.len() as f64;
+    let sim_mean: f64 = similar.iter().map(|s| jaccard(s.id)).sum::<f64>() / similar.len() as f64;
     let all_mean: f64 = app
         .corpus()
         .ids()
@@ -58,16 +66,24 @@ fn similar_companies_share_the_install_base_profile() {
 fn whitespace_recommendations_match_similar_company_inventories() {
     let app = build_app(400, 52);
     let query = CompanyId(11);
-    let recs = app.recommend_whitespace(query, 15, &CompanyFilter::default());
+    let recs = app
+        .recommend_whitespace(query, 15, &CompanyFilter::default())
+        .expect("id in range");
     assert!(!recs.is_empty());
-    let similar = app.find_similar(query, 15, &CompanyFilter::default());
+    let similar = app
+        .find_similar(query, 15, &CompanyFilter::default())
+        .expect("id in range");
     // Every recommended product is owned by at least one similar company.
     for r in &recs {
         let owners = similar
             .iter()
             .filter(|s| app.corpus().company(s.id).owns(r.product))
             .count();
-        assert_eq!(owners, r.owners_among_similar, "owner count for {}", r.product);
+        assert_eq!(
+            owners, r.owners_among_similar,
+            "owner count for {}",
+            r.product
+        );
         assert!(owners >= 1);
     }
 }
@@ -76,20 +92,27 @@ fn whitespace_recommendations_match_similar_company_inventories() {
 fn filters_compose() {
     let app = build_app(600, 53);
     let query = CompanyId(0);
-    let all = app.find_similar(query, 600, &CompanyFilter::default());
+    let all = app
+        .find_similar(query, 600, &CompanyFilter::default())
+        .expect("id in range");
     let country = app.corpus().company(all[0].id).country;
     let industry = app.corpus().company(all[0].id).industry;
 
-    let filtered = app.find_similar(
-        query,
-        600,
-        &CompanyFilter {
-            country: Some(country),
-            industry: Some(industry),
-            ..Default::default()
-        },
+    let filtered = app
+        .find_similar(
+            query,
+            600,
+            &CompanyFilter {
+                country: Some(country),
+                industry: Some(industry),
+                ..Default::default()
+            },
+        )
+        .expect("id in range");
+    assert!(
+        !filtered.is_empty(),
+        "the closest match itself satisfies the filter"
     );
-    assert!(!filtered.is_empty(), "the closest match itself satisfies the filter");
     for s in &filtered {
         let c = app.corpus().company(s.id);
         assert_eq!(c.country, country);
@@ -98,11 +121,16 @@ fn filters_compose() {
     assert!(filtered.len() < all.len());
 
     // Employee-range filter.
-    let big_only = app.find_similar(
-        query,
-        600,
-        &CompanyFilter { employees: Some((500, u32::MAX)), ..Default::default() },
-    );
+    let big_only = app
+        .find_similar(
+            query,
+            600,
+            &CompanyFilter {
+                employees: Some((500, u32::MAX)),
+                ..Default::default()
+            },
+        )
+        .expect("id in range");
     for s in &big_only {
         assert!(app.corpus().company(s.id).employees >= 500);
     }
@@ -112,16 +140,64 @@ fn filters_compose() {
 fn results_are_deterministic() {
     let a = build_app(200, 54);
     let b = build_app(200, 54);
-    let fa = a.find_similar(CompanyId(3), 5, &CompanyFilter::default());
-    let fb = b.find_similar(CompanyId(3), 5, &CompanyFilter::default());
+    let fa = a
+        .find_similar(CompanyId(3), 5, &CompanyFilter::default())
+        .expect("id in range");
+    let fb = b
+        .find_similar(CompanyId(3), 5, &CompanyFilter::default())
+        .expect("id in range");
     assert_eq!(
         fa.iter().map(|s| s.id).collect::<Vec<_>>(),
         fb.iter().map(|s| s.id).collect::<Vec<_>>()
     );
-    let ra = a.recommend_whitespace(CompanyId(3), 10, &CompanyFilter::default());
-    let rb = b.recommend_whitespace(CompanyId(3), 10, &CompanyFilter::default());
+    let ra = a
+        .recommend_whitespace(CompanyId(3), 10, &CompanyFilter::default())
+        .expect("id in range");
+    let rb = b
+        .recommend_whitespace(CompanyId(3), 10, &CompanyFilter::default())
+        .expect("id in range");
     assert_eq!(
         ra.iter().map(|r| r.product).collect::<Vec<_>>(),
         rb.iter().map(|r| r.product).collect::<Vec<_>>()
     );
+}
+
+#[test]
+fn bad_inputs_surface_typed_errors_not_panics() {
+    let corpus = test_corpus(120, 55);
+    let n = corpus.len();
+    let ids: Vec<_> = corpus.ids().collect();
+    let (lda, docs) = quick_lda(&corpus, &ids, 3);
+    let reps = lda_representations(&lda, &docs);
+    let engine = Engine::new(corpus);
+
+    // Representation matrix with the wrong number of rows.
+    let truncated = hlm_linalg::Matrix::zeros(n - 1, 3);
+    match engine.sales_app(truncated, DistanceMetric::Cosine) {
+        Err(EngineError::Core(CoreError::RepresentationMismatch { rows, companies })) => {
+            assert_eq!((rows, companies), (n - 1, n));
+        }
+        _ => panic!("mismatched rows must yield RepresentationMismatch"),
+    }
+
+    // Queries outside the corpus fail with the offending id.
+    let app = engine
+        .sales_app(reps, DistanceMetric::Cosine)
+        .expect("shapes match");
+    let bogus = CompanyId(n as u32);
+    match app.find_similar(bogus, 5, &CompanyFilter::default()) {
+        Err(CoreError::CompanyOutOfRange { id, len }) => {
+            assert_eq!((id, len), (n as u32, n));
+        }
+        _ => panic!("out-of-range query must yield CompanyOutOfRange"),
+    }
+    assert!(app
+        .recommend_whitespace(bogus, 5, &CompanyFilter::default())
+        .is_err());
+
+    // Unknown model names are rejected with the offending string preserved.
+    match "markov-chain".parse::<ModelKind>() {
+        Err(EngineError::UnknownModelKind(name)) => assert_eq!(name, "markov-chain"),
+        _ => panic!("unknown model kinds must be rejected"),
+    }
 }

@@ -1,0 +1,286 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! Provides the slice of proptest this workspace's property tests use: the
+//! [`Strategy`] trait with range / tuple / `prop::collection::vec`
+//! strategies, the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`]
+//! macros, and [`ProptestConfig`] with `with_cases`.
+//!
+//! Semantics differ from upstream in two deliberate ways: generation is
+//! deterministic (seeded from the test function's name, so failures
+//! reproduce run-to-run), and there is no shrinking — a failing case
+//! reports its inputs via the standard assert message instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration (subset: case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic generation source used by [`proptest!`].
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Seeds the runner from a stable hash of the test name.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A strategy that always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.generate(runner),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Element count for [`prop::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy modules mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRunner};
+        use rand::Rng;
+
+        /// Strategy for `Vec`s whose elements come from `element`.
+        pub struct VecStrategy<S: Strategy> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// `vec(element, len)` with `len` a count, range, or inclusive range.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let n = if self.size.lo + 1 >= self.size.hi_exclusive {
+                    self.size.lo
+                } else {
+                    runner.rng().gen_range(self.size.lo..self.size.hi_exclusive)
+                };
+                (0..n).map(|_| self.element.generate(runner)).collect()
+            }
+        }
+    }
+}
+
+/// The proptest prelude: everything the `proptest!` macro and typical
+/// property tests need.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property-based test functions.
+///
+/// Supports the upstream surface used in this workspace: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]`-annotated
+/// functions whose arguments are drawn from strategies via `arg in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{@with_config ($cfg) $($rest)*}
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __runner = $crate::TestRunner::deterministic(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut __runner);)*
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!{@with_config ($crate::ProptestConfig::default()) $($rest)*}
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 2usize..9, y in -1.5f64..1.5) {
+            prop_assert!((2..9).contains(&x));
+            prop_assert!((-1.5..1.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(
+            xs in prop::collection::vec(0usize..5, 1..4),
+            pairs in prop::collection::vec((0usize..8, 0.1f64..5.0), 0..12),
+        ) {
+            prop_assert!((1..4).contains(&xs.len()));
+            prop_assert!(pairs.len() < 12);
+            for (a, b) in pairs {
+                prop_assert!(a < 8);
+                prop_assert!((0.1..5.0).contains(&b));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..1000) {
+            prop_assert!(x < 1000);
+        }
+    }
+
+    #[test]
+    fn nested_vec_strategy_composes() {
+        fn sequences(vocab: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+            prop::collection::vec(prop::collection::vec(0..vocab, 1..10), 1..20)
+        }
+        let mut runner = crate::TestRunner::deterministic("nested");
+        let seqs = sequences(6).generate(&mut runner);
+        assert!((1..20).contains(&seqs.len()));
+        for s in seqs {
+            assert!((1..10).contains(&s.len()));
+            assert!(s.iter().all(|&t| t < 6));
+        }
+    }
+}

@@ -1,0 +1,530 @@
+//! Offline vendored subset of the `serde` API.
+//!
+//! This workspace builds in environments with no access to crates.io, so the
+//! external `serde` crate is replaced by this in-tree implementation that is
+//! signature-compatible with the slice of serde the workspace uses:
+//!
+//! - generic [`Serialize`] / [`Deserialize`] traits (so hand-written
+//!   `#[serde(with = "module")]` adapters written against upstream serde
+//!   compile unchanged),
+//! - `#[derive(Serialize, Deserialize)]` via the companion `serde_derive`
+//!   proc-macro (re-exported under the `derive` feature),
+//! - the `ser::Error` / `de::Error` traits with `custom`.
+//!
+//! Unlike upstream's visitor-based data model, everything funnels through a
+//! single self-describing [`Value`] tree. A [`Serializer`] receives a fully
+//! built `Value`; a [`Deserializer`] hands one out. That is sufficient for
+//! the JSON round-trips this workspace performs and keeps the surface small.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::{self, Display};
+use std::hash::Hash;
+
+/// Self-describing data tree — the entire data model of this serde subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Ordered key/value pairs (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+/// Serialization error helpers.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Trait for serializer error types, mirroring `serde::ser::Error`.
+    pub trait Error: Sized + std::error::Error {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization error helpers.
+pub mod de {
+    use std::fmt::Display;
+
+    /// Trait for deserializer error types, mirroring `serde::de::Error`.
+    pub trait Error: Sized + std::error::Error {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A sink that consumes one [`Value`] tree.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: ser::Error;
+
+    /// Consumes the fully built value.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A source that produces one [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+
+    /// Yields the value to deserialize from.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Types convertible into the data model.
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Types constructible from the data model.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Error produced by the built-in [`ValueSerializer`] / [`ValueDeserializer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueError(pub String);
+
+impl Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl ser::Error for ValueError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl de::Error for ValueError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// The identity [`Serializer`]: returns the built [`Value`].
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// The identity [`Deserializer`]: yields the wrapped [`Value`].
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn take_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Serializes any `T: Serialize` into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserializes any `T: Deserialize` from a [`Value`] tree.
+pub fn from_value<T>(value: Value) -> Result<T, ValueError>
+where
+    T: for<'de> Deserialize<'de>,
+{
+    T::deserialize(ValueDeserializer(value))
+}
+
+fn type_error<E: de::Error>(expected: &str, got: &Value) -> E {
+    let kind = match got {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::I64(_) | Value::U64(_) => "integer",
+        Value::F64(_) => "float",
+        Value::Str(_) => "string",
+        Value::Seq(_) => "sequence",
+        Value::Map(_) => "map",
+    };
+    E::custom(format!("expected {expected}, found {kind}"))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &mut T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::I64(*self as i64))
+            }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::U64(*self as u64))
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::F64(*self as f64))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_value(Value::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+fn collect_seq<'a, S, T, I>(serializer: S, iter: I) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    T: Serialize + 'a,
+    I: IntoIterator<Item = &'a T>,
+{
+    let mut out = Vec::new();
+    for item in iter {
+        out.push(
+            item.serialize(ValueSerializer)
+                .map_err(<S::Error as ser::Error>::custom)?,
+        );
+    }
+    serializer.serialize_value(Value::Seq(out))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_seq(serializer, self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_seq(serializer, self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_seq(serializer, self.iter())
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(self.$idx.serialize(ValueSerializer)
+                        .map_err(<S::Error as ser::Error>::custom)?,)+
+                ];
+                serializer.serialize_value(Value::Seq(items))
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+impl<K: Serialize, V: Serialize, S2> Serialize for HashMap<K, V, S2> {
+    /// Maps serialize as a sequence of `[key, value]` pairs so non-string
+    /// keys survive the trip through formats with string-only object keys.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut out = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            let pair = (k, v)
+                .serialize(ValueSerializer)
+                .map_err(<S::Error as ser::Error>::custom)?;
+            out.push(pair);
+        }
+        serializer.serialize_value(Value::Seq(out))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut out = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            let pair = (k, v)
+                .serialize(ValueSerializer)
+                .map_err(<S::Error as ser::Error>::custom)?;
+            out.push(pair);
+        }
+        serializer.serialize_value(Value::Seq(out))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(type_error("bool", &other)),
+        }
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.take_value()?;
+                let wide: i128 = match v {
+                    Value::I64(i) => i as i128,
+                    Value::U64(u) => u as i128,
+                    Value::F64(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => f as i128,
+                    other => return Err(type_error("integer", &other)),
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    <D::Error as de::Error>::custom(format!(
+                        "integer {wide} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+deserialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::F64(f) => Ok(f),
+            Value::I64(i) => Ok(i as f64),
+            Value::U64(u) => Ok(u as f64),
+            // Non-finite floats serialize as null (JSON has no NaN literal).
+            Value::Null => Ok(f64::NAN),
+            other => Err(type_error("float", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(type_error("single-char string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(type_error("string", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            v => {
+                let inner = T::deserialize(ValueDeserializer(v))
+                    .map_err(<D::Error as de::Error>::custom)?;
+                Ok(Some(inner))
+            }
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| {
+                    T::deserialize(ValueDeserializer(v)).map_err(<D::Error as de::Error>::custom)
+                })
+                .collect(),
+            other => Err(type_error("sequence", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal, $($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                let items = match deserializer.take_value()? {
+                    Value::Seq(items) => items,
+                    other => return Err(type_error("tuple sequence", &other)),
+                };
+                if items.len() != $len {
+                    return Err(<De::Error as de::Error>::custom(format!(
+                        "expected tuple of length {}, found {}", $len, items.len()
+                    )));
+                }
+                let mut iter = items.into_iter();
+                Ok(($(
+                    $name::deserialize(ValueDeserializer(iter.next().unwrap()))
+                        .map_err(|e| <De::Error as de::Error>::custom(e))?,
+                )+))
+            }
+        }
+    )*};
+}
+deserialize_tuple! {
+    (1, T0)
+    (2, T0, T1)
+    (3, T0, T1, T2)
+    (4, T0, T1, T2, T3)
+    (5, T0, T1, T2, T3, T4)
+}
+
+impl<'de, K, V, S2> Deserialize<'de> for HashMap<K, V, S2>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    S2: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let pairs: Vec<(K, V)> = Vec::deserialize(deserializer)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let pairs: Vec<(K, V)> = Vec::deserialize(deserializer)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.take_value()
+    }
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(from_value::<u16>(to_value(&7u16).unwrap()).unwrap(), 7);
+        assert_eq!(from_value::<i32>(to_value(&-3i32).unwrap()).unwrap(), -3);
+        assert_eq!(from_value::<f64>(to_value(&1.5f64).unwrap()).unwrap(), 1.5);
+        assert_eq!(from_value::<String>(to_value("hi").unwrap()).unwrap(), "hi");
+        assert_eq!(from_value::<Option<u8>>(Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn nested_collections_round_trip() {
+        let mut m: HashMap<Vec<usize>, HashMap<usize, u64>> = HashMap::new();
+        m.insert(vec![1, 2], [(3usize, 4u64)].into_iter().collect());
+        let back: HashMap<Vec<usize>, HashMap<usize, u64>> =
+            from_value(to_value(&m).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn wrong_shape_is_an_error() {
+        assert!(from_value::<u8>(Value::Str("x".into())).is_err());
+        assert!(from_value::<Vec<u8>>(Value::Bool(true)).is_err());
+        assert!(from_value::<u8>(Value::I64(300)).is_err());
+    }
+}

@@ -1,0 +1,484 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the in-tree
+//! serde subset.
+//!
+//! Implemented directly over `proc_macro::TokenTree` (no `syn`/`quote`,
+//! which are unavailable offline). Supports exactly the item shapes this
+//! workspace derives on:
+//!
+//! - named-field structs, tuple/newtype structs, unit structs (no generics),
+//! - enums with unit and newtype variants (externally tagged),
+//! - field attributes `#[serde(skip)]`, `#[serde(default)]`,
+//!   `#[serde(default = "path")]`, `#[serde(with = "module")]`,
+//!   and combinations thereof.
+//!
+//! Generated code targets the Value-based data model of the vendored
+//! `serde` crate: structs become `Value::Map`, tuples `Value::Seq`, unit
+//! enum variants `Value::Str(name)`, newtype variants a single-entry map.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct with this many fields.
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Default)]
+struct Field {
+    name: String,
+    skip: bool,
+    /// `None`: required. `Some(None)`: `Default::default()`.
+    /// `Some(Some(path))`: call `path()`.
+    default: Option<Option<String>>,
+    /// `#[serde(with = "module")]` path.
+    with: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    newtype: bool,
+}
+
+fn ident_text(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skips `#[...]` attribute tokens starting at `i`, parsing any
+/// `#[serde(...)]` contents into `field`.
+fn skip_attrs(toks: &[TokenTree], mut i: usize, mut field: Option<&mut Field>) -> usize {
+    while i < toks.len() && is_punct(&toks[i], '#') {
+        if let TokenTree::Group(g) = &toks[i + 1] {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if inner.first().and_then(ident_text).as_deref() == Some("serde") {
+                if let (Some(TokenTree::Group(args)), Some(f)) = (inner.get(1), field.as_mut()) {
+                    parse_serde_attr(args.stream(), f);
+                }
+            }
+        }
+        i += 2;
+    }
+    i
+}
+
+/// Parses the contents of `#[serde( ... )]`.
+fn parse_serde_attr(stream: TokenStream, field: &mut Field) {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        let key = ident_text(&toks[i]).unwrap_or_else(|| {
+            panic!(
+                "serde_derive: unsupported serde attribute token `{}`",
+                toks[i]
+            )
+        });
+        i += 1;
+        let value = if i < toks.len() && is_punct(&toks[i], '=') {
+            let lit = toks[i + 1].to_string();
+            i += 2;
+            Some(lit.trim_matches('"').to_string())
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("skip", None) => field.skip = true,
+            ("default", v) => field.default = Some(v),
+            ("with", Some(path)) => field.with = Some(path),
+            (other, _) => panic!("serde_derive: unsupported serde attribute `{other}`"),
+        }
+        if i < toks.len() && is_punct(&toks[i], ',') {
+            i += 1;
+        }
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)` at `i`.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if toks.get(i).and_then(ident_text).as_deref() == Some("pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&toks, 0, None);
+    i = skip_vis(&toks, i);
+    let kw = ident_text(&toks[i]).expect("serde_derive: expected `struct` or `enum`");
+    i += 1;
+    let name = ident_text(&toks[i]).expect("serde_derive: expected item name");
+    i += 1;
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        panic!("serde_derive: generic types are not supported by the vendored derive");
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde_derive: malformed enum body"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+/// Advances past one type, returning the index just after it (at a
+/// top-level `,` or the end). Tracks `<...>` nesting by angle depth.
+fn skip_type(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut field = Field::default();
+        i = skip_attrs(&toks, i, Some(&mut field));
+        i = skip_vis(&toks, i);
+        field.name = ident_text(&toks[i]).expect("serde_derive: expected field name");
+        i += 1;
+        assert!(
+            is_punct(&toks[i], ':'),
+            "serde_derive: expected `:` after field name"
+        );
+        i = skip_type(&toks, i + 1);
+        if i < toks.len() && is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut n = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i, None);
+        i = skip_vis(&toks, i);
+        i = skip_type(&toks, i);
+        n += 1;
+        if i < toks.len() && is_punct(&toks[i], ',') {
+            i += 1;
+        }
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i, None);
+        let name = ident_text(&toks[i]).expect("serde_derive: expected variant name");
+        i += 1;
+        let mut newtype = false;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    assert_eq!(
+                        count_tuple_fields(g.stream()),
+                        1,
+                        "serde_derive: only newtype enum variants are supported"
+                    );
+                    newtype = true;
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    panic!("serde_derive: struct enum variants are not supported")
+                }
+                _ => {}
+            }
+        }
+        if i < toks.len() && is_punct(&toks[i], '=') {
+            panic!("serde_derive: explicit discriminants are not supported");
+        }
+        if i < toks.len() && is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, newtype });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const SER_CUSTOM: &str = "<__S::Error as ::serde::ser::Error>::custom";
+const DE_CUSTOM: &str = "<__D::Error as ::serde::de::Error>::custom";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut out = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                if f.skip {
+                    continue;
+                }
+                let value_expr = match &f.with {
+                    Some(path) => format!(
+                        "{path}::serialize(&self.{fname}, ::serde::ValueSerializer)\
+                         .map_err({SER_CUSTOM})?",
+                        fname = f.name
+                    ),
+                    None => format!(
+                        "::serde::to_value(&self.{fname}).map_err({SER_CUSTOM})?",
+                        fname = f.name
+                    ),
+                };
+                out.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{fname}\"), {value_expr}));\n",
+                    fname = f.name
+                ));
+            }
+            out.push_str("__serializer.serialize_value(::serde::Value::Map(__fields))\n");
+            out
+        }
+        Kind::TupleStruct(1) => {
+            "::serde::Serialize::serialize(&self.0, __serializer)\n".to_string()
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::to_value(&self.{i}).map_err({SER_CUSTOM})?"))
+                .collect();
+            format!(
+                "__serializer.serialize_value(::serde::Value::Seq(::std::vec![{}]))\n",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => "__serializer.serialize_value(::serde::Value::Null)\n".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                if v.newtype {
+                    arms.push_str(&format!(
+                        "{name}::{vname}(__inner) => {{\n\
+                         let __v = ::serde::to_value(__inner).map_err({SER_CUSTOM})?;\n\
+                         __serializer.serialize_value(::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from(\"{vname}\"), __v)]))\n}}\n",
+                        vname = v.name
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{vname} => __serializer.serialize_value(\
+                         ::serde::Value::Str(::std::string::String::from(\"{vname}\"))),\n",
+                        vname = v.name
+                    ));
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut out = format!(
+                "let mut __map = match __deserializer.take_value()? {{\n\
+                 ::serde::Value::Map(__m) => __m,\n\
+                 _ => return ::core::result::Result::Err({DE_CUSTOM}(\
+                 \"expected map for struct {name}\")),\n}};\n\
+                 let mut __take = |__k: &str| -> ::core::option::Option<::serde::Value> {{\n\
+                 __map.iter().position(|(__key, _)| __key == __k)\
+                 .map(|__i| __map.swap_remove(__i).1)\n}};\n"
+            );
+            let mut inits = String::new();
+            let mut uses_take = false;
+            for f in fields {
+                if f.skip {
+                    let init = match &f.default {
+                        Some(Some(path)) => format!("{path}()"),
+                        _ => "::core::default::Default::default()".to_string(),
+                    };
+                    inits.push_str(&format!("{fname}: {init},\n", fname = f.name));
+                    continue;
+                }
+                uses_take = true;
+                let some_expr = match &f.with {
+                    Some(path) => format!(
+                        "{path}::deserialize(::serde::ValueDeserializer(__v))\
+                         .map_err({DE_CUSTOM})?"
+                    ),
+                    None => format!("::serde::from_value(__v).map_err({DE_CUSTOM})?"),
+                };
+                let none_expr = match &f.default {
+                    None => format!(
+                        "return ::core::result::Result::Err({DE_CUSTOM}(\
+                         \"missing field `{fname}` in {name}\"))",
+                        fname = f.name
+                    ),
+                    Some(None) => "::core::default::Default::default()".to_string(),
+                    Some(Some(path)) => format!("{path}()"),
+                };
+                inits.push_str(&format!(
+                    "{fname}: match __take(\"{fname}\") {{\n\
+                     ::core::option::Option::Some(__v) => {some_expr},\n\
+                     ::core::option::Option::None => {none_expr},\n}},\n",
+                    fname = f.name
+                ));
+            }
+            if !uses_take {
+                out.push_str("let _ = &mut __take;\n");
+            }
+            out.push_str(&format!(
+                "::core::result::Result::Ok({name} {{\n{inits}}})\n"
+            ));
+            out
+        }
+        Kind::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(\
+             ::serde::from_value(__deserializer.take_value()?).map_err({DE_CUSTOM})?))\n"
+        ),
+        Kind::TupleStruct(n) => {
+            let mut out = format!(
+                "let __items = match __deserializer.take_value()? {{\n\
+                 ::serde::Value::Seq(__s) => __s,\n\
+                 _ => return ::core::result::Result::Err({DE_CUSTOM}(\
+                 \"expected sequence for tuple struct {name}\")),\n}};\n\
+                 if __items.len() != {n} {{\n\
+                 return ::core::result::Result::Err({DE_CUSTOM}(\
+                 \"wrong tuple length for {name}\"));\n}}\n\
+                 let mut __iter = __items.into_iter();\n"
+            );
+            let items: Vec<String> = (0..*n)
+                .map(|_| {
+                    format!("::serde::from_value(__iter.next().unwrap()).map_err({DE_CUSTOM})?")
+                })
+                .collect();
+            out.push_str(&format!(
+                "::core::result::Result::Ok({name}({}))\n",
+                items.join(", ")
+            ));
+            out
+        }
+        Kind::UnitStruct => {
+            format!(
+                "let _ = __deserializer.take_value()?;\n\
+                 ::core::result::Result::Ok({name})\n"
+            )
+        }
+        Kind::Enum(variants) => {
+            let units: Vec<&Variant> = variants.iter().filter(|v| !v.newtype).collect();
+            let newtypes: Vec<&Variant> = variants.iter().filter(|v| v.newtype).collect();
+            let mut out = String::from("match __deserializer.take_value()? {\n");
+            if !units.is_empty() {
+                let mut arms = String::new();
+                for v in &units {
+                    arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n",
+                        vname = v.name
+                    ));
+                }
+                out.push_str(&format!(
+                    "::serde::Value::Str(__s) => match __s.as_str() {{\n{arms}\
+                     __other => ::core::result::Result::Err({DE_CUSTOM}(::std::format!(\
+                     \"unknown variant `{{__other}}` for {name}\"))),\n}},\n"
+                ));
+            }
+            if !newtypes.is_empty() {
+                let mut arms = String::new();
+                for v in &newtypes {
+                    arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                         ::serde::from_value(__v).map_err({DE_CUSTOM})?)),\n",
+                        vname = v.name
+                    ));
+                }
+                out.push_str(&format!(
+                    "::serde::Value::Map(mut __m) if __m.len() == 1 => {{\n\
+                     let (__k, __v) = __m.remove(0);\n\
+                     match __k.as_str() {{\n{arms}\
+                     __other => ::core::result::Result::Err({DE_CUSTOM}(::std::format!(\
+                     \"unknown variant `{{__other}}` for {name}\"))),\n}}\n}},\n"
+                ));
+            }
+            out.push_str(&format!(
+                "_ => ::core::result::Result::Err({DE_CUSTOM}(\
+                 \"unexpected value shape for enum {name}\")),\n}}\n"
+            ));
+            out
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n{body}}}\n}}\n"
+    )
+}
