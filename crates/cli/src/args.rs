@@ -2,6 +2,28 @@
 
 use hlm_corpus::Month;
 
+/// Resilience options shared by training subcommands.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TrainFlags {
+    /// Directory for training checkpoints; enables checkpointing when set.
+    pub checkpoint_dir: Option<String>,
+    /// Resume from the latest good checkpoint in `checkpoint_dir`.
+    pub resume: bool,
+    /// Wall-clock training budget in seconds.
+    pub max_seconds: Option<u64>,
+    /// Deterministically stop before iteration N, as if the process had been
+    /// killed there (kill/resume drills in tests and CI).
+    pub abort_at: Option<u64>,
+}
+
+impl TrainFlags {
+    /// True when any resilience option was given (the plain fast path is
+    /// used otherwise).
+    pub fn is_active(&self) -> bool {
+        self != &TrainFlags::default()
+    }
+}
+
 /// A parsed subcommand with its options.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -29,6 +51,8 @@ pub enum Command {
         topics: usize,
         /// Gibbs sweeps.
         iters: usize,
+        /// Checkpoint/resume/watchdog options.
+        flags: TrainFlags,
     },
     /// Similar companies + whitespace for one company.
     Similar {
@@ -81,6 +105,19 @@ fn require<'a>(pairs: &'a [(String, String)], key: &str) -> Result<&'a str, Stri
     get_opt(pairs, key).ok_or_else(|| format!("missing required option --{key}"))
 }
 
+fn parse_opt_num<T: std::str::FromStr>(
+    pairs: &[(String, String)],
+    key: &str,
+) -> Result<Option<T>, String> {
+    match get_opt(pairs, key) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("invalid value {v:?} for --{key}")),
+    }
+}
+
 fn parse_month_opt(pairs: &[(String, String)], key: &str) -> Result<Month, String> {
     let v = require(pairs, key)?;
     let (y, m) = v
@@ -106,7 +143,8 @@ pub fn parse_args(argv: &[String]) -> ParsedArgs {
     let Some(sub) = argv.first() else {
         return Ok(Command::Help);
     };
-    // Collect --key value pairs.
+    // Collect --key value pairs; a few options are bare boolean flags.
+    const BOOL_FLAGS: &[&str] = &["resume"];
     let rest = &argv[1..];
     let mut pairs: Vec<(String, String)> = Vec::new();
     let mut i = 0;
@@ -115,6 +153,11 @@ pub fn parse_args(argv: &[String]) -> ParsedArgs {
         let Some(key) = k.strip_prefix("--") else {
             return Err(format!("expected an option starting with --, got {k:?}"));
         };
+        if BOOL_FLAGS.contains(&key) {
+            pairs.push((key.to_string(), "true".to_string()));
+            i += 1;
+            continue;
+        }
         let Some(v) = rest.get(i + 1) else {
             return Err(format!("option --{key} is missing a value"));
         };
@@ -147,11 +190,29 @@ pub fn parse_args(argv: &[String]) -> ParsedArgs {
             })
         }
         "topics" => {
-            allow(&["data", "topics", "iters"])?;
+            allow(&[
+                "data",
+                "topics",
+                "iters",
+                "checkpoint-dir",
+                "resume",
+                "max-seconds",
+                "abort-at",
+            ])?;
+            let flags = TrainFlags {
+                checkpoint_dir: get_opt(&pairs, "checkpoint-dir").map(String::from),
+                resume: get_opt(&pairs, "resume").is_some(),
+                max_seconds: parse_opt_num(&pairs, "max-seconds")?,
+                abort_at: parse_opt_num(&pairs, "abort-at")?,
+            };
+            if flags.resume && flags.checkpoint_dir.is_none() {
+                return Err("--resume requires --checkpoint-dir".to_string());
+            }
             Ok(Command::Topics {
                 data: require(&pairs, "data")?.to_string(),
                 topics: parse_num(&pairs, "topics", 3usize)?,
                 iters: parse_num(&pairs, "iters", 150usize)?,
+                flags,
             })
         }
         "similar" => {
@@ -280,6 +341,62 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(e.contains("YYYY-MM"));
+    }
+
+    #[test]
+    fn topics_resilience_flags_parse() {
+        let cmd = parse_args(&argv(&["topics", "--data", "d"])).unwrap();
+        match cmd {
+            Command::Topics { flags, .. } => {
+                assert_eq!(flags, TrainFlags::default());
+                assert!(!flags.is_active());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+
+        let cmd = parse_args(&argv(&[
+            "topics",
+            "--data",
+            "d",
+            "--checkpoint-dir",
+            "/tmp/ck",
+            "--resume",
+            "--max-seconds",
+            "30",
+            "--abort-at",
+            "12",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Topics { flags, .. } => {
+                assert_eq!(flags.checkpoint_dir.as_deref(), Some("/tmp/ck"));
+                assert!(flags.resume);
+                assert_eq!(flags.max_seconds, Some(30));
+                assert_eq!(flags.abort_at, Some(12));
+                assert!(flags.is_active());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resume_requires_checkpoint_dir() {
+        let e = parse_args(&argv(&["topics", "--data", "d", "--resume"])).unwrap_err();
+        assert!(e.contains("--checkpoint-dir"), "{e}");
+        // --resume is a bare flag: the next option must still parse.
+        let cmd = parse_args(&argv(&[
+            "topics",
+            "--data",
+            "d",
+            "--resume",
+            "--checkpoint-dir",
+            "ck",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Topics { flags, .. } => assert!(flags.resume),
+            other => panic!("wrong command {other:?}"),
+        }
     }
 
     #[test]

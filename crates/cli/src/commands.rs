@@ -1,12 +1,13 @@
 //! The `hlm` subcommand implementations. Each returns its output as a
 //! `String` so everything is testable without process spawning.
 
+use crate::{CliError, TrainFlags};
 use hlm_core::representations::{binary_docs, lda_representations};
 use hlm_core::{CompanyFilter, DistanceMetric};
-use hlm_corpus::io::{from_csv, to_csv};
+use hlm_corpus::io::{from_csv, from_csv_lenient, to_csv, LenientOptions, QuarantineReport};
 use hlm_corpus::{Corpus, Month, TimeWindow, Vocabulary};
 use hlm_datagen::GeneratorConfig;
-use hlm_engine::{Engine, LdaEstimator};
+use hlm_engine::{Engine, LdaEstimator, RunGuard, TrainPlan};
 use hlm_lda::{LdaConfig, LdaModel};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -22,41 +23,68 @@ USAGE:
       DIR/companies.csv + DIR/events.csv.
   hlm stats --data DIR
       Corpus summary: sizes, industries, most/least common products.
+      Malformed rows are quarantined (and reported) instead of aborting.
   hlm topics --data DIR [--topics K] [--iters N]
-      Train LDA and print the learned topics.
+            [--checkpoint-dir DIR] [--resume] [--max-seconds S]
+      Train LDA and print the learned topics. --checkpoint-dir snapshots
+      every sweep; --resume continues an interrupted run from the latest
+      good checkpoint; --max-seconds bounds the wall-clock budget.
   hlm similar --data DIR --company DUNS [--k K] [--whitespace W]
       Top-K most similar companies and whitespace recommendations.
   hlm drift --data DIR --reference YYYY-MM --recent YYYY-MM [--months M]
       Chi-square concept-drift check between two M-month periods.
   hlm help
       This text.
+
+EXIT CODES:
+  0 success   2 usage error   3 data error   4 engine/training error
 "
     .to_string()
 }
 
-/// Loads a corpus from `DIR/companies.csv` + `DIR/events.csv`.
-fn load(data: &str) -> Result<Corpus, String> {
+/// Reads `DIR/companies.csv` + `DIR/events.csv` as strings.
+fn read_pair(data: &str) -> Result<(String, String), CliError> {
     let dir = Path::new(data);
     let companies = std::fs::read_to_string(dir.join("companies.csv"))
-        .map_err(|e| format!("cannot read {}/companies.csv: {e}", data))?;
+        .map_err(|e| CliError::Data(format!("cannot read {data}/companies.csv: {e}")))?;
     let events = std::fs::read_to_string(dir.join("events.csv"))
-        .map_err(|e| format!("cannot read {}/events.csv: {e}", data))?;
-    from_csv(Vocabulary::standard(), &companies, &events).map_err(|e| e.to_string())
+        .map_err(|e| CliError::Data(format!("cannot read {data}/events.csv: {e}")))?;
+    Ok((companies, events))
+}
+
+/// Loads a corpus strictly (first malformed row is an error).
+fn load(data: &str) -> Result<Corpus, CliError> {
+    let (companies, events) = read_pair(data)?;
+    from_csv(Vocabulary::standard(), &companies, &events).map_err(|e| CliError::Data(e.to_string()))
+}
+
+/// Loads a corpus leniently, quarantining malformed rows up to the default
+/// error budget.
+fn load_lenient(data: &str) -> Result<(Corpus, QuarantineReport), CliError> {
+    let (companies, events) = read_pair(data)?;
+    from_csv_lenient(
+        Vocabulary::standard(),
+        &companies,
+        &events,
+        &LenientOptions::default(),
+    )
+    .map_err(|e| CliError::Data(e.to_string()))
 }
 
 /// `hlm generate`.
-pub fn generate(companies: usize, seed: u64, out: &str) -> Result<String, String> {
+pub fn generate(companies: usize, seed: u64, out: &str) -> Result<String, CliError> {
     if companies == 0 {
-        return Err("--companies must be positive".into());
+        return Err(CliError::Usage("--companies must be positive".into()));
     }
     let corpus = hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(companies, seed));
     let (companies_csv, events_csv) = to_csv(&corpus);
     let dir = Path::new(out);
-    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {out}: {e}"))?;
+    std::fs::create_dir_all(dir)
+        .map_err(|e| CliError::Data(format!("cannot create {out}: {e}")))?;
     std::fs::write(dir.join("companies.csv"), companies_csv)
-        .map_err(|e| format!("cannot write companies.csv: {e}"))?;
+        .map_err(|e| CliError::Data(format!("cannot write companies.csv: {e}")))?;
     std::fs::write(dir.join("events.csv"), events_csv)
-        .map_err(|e| format!("cannot write events.csv: {e}"))?;
+        .map_err(|e| CliError::Data(format!("cannot write events.csv: {e}")))?;
     Ok(format!(
         "wrote {} companies ({} install events) to {out}/companies.csv and {out}/events.csv\n",
         corpus.len(),
@@ -64,9 +92,10 @@ pub fn generate(companies: usize, seed: u64, out: &str) -> Result<String, String
     ))
 }
 
-/// `hlm stats`.
-pub fn stats(data: &str) -> Result<String, String> {
-    let corpus = load(data)?;
+/// `hlm stats`. Uses the lenient CSV path: malformed rows are quarantined
+/// and summarised rather than failing the whole command.
+pub fn stats(data: &str) -> Result<String, CliError> {
+    let (corpus, report) = load_lenient(data)?;
     let mut out = String::new();
     let _ = writeln!(out, "companies:            {}", corpus.len());
     let _ = writeln!(out, "product categories:   {}", corpus.vocab().len());
@@ -109,10 +138,32 @@ pub fn stats(data: &str) -> Result<String, String> {
             n
         );
     }
+    if !report.is_empty() {
+        let _ = writeln!(out, "note: {}", report.summary());
+        for row in report.rows().iter().take(5) {
+            let _ = writeln!(out, "  {}.csv line {}: {}", row.file, row.line, row.reason);
+        }
+    }
     Ok(out)
 }
 
-fn train_lda(corpus: &Corpus, topics: usize, iters: usize) -> Result<LdaModel, String> {
+/// Maps an engine failure, pointing interrupted runs at `--resume`.
+fn engine_err(e: hlm_engine::EngineError) -> CliError {
+    if e.is_interruption() {
+        CliError::Engine(format!(
+            "{e}; re-run with --resume to continue from the last checkpoint"
+        ))
+    } else {
+        CliError::Engine(e.to_string())
+    }
+}
+
+fn train_lda(
+    corpus: &Corpus,
+    topics: usize,
+    iters: usize,
+    flags: &TrainFlags,
+) -> Result<(LdaModel, Vec<String>), CliError> {
     let ids: Vec<_> = corpus.ids().collect();
     let docs = binary_docs(corpus, &ids);
     let config = LdaConfig {
@@ -123,17 +174,62 @@ fn train_lda(corpus: &Corpus, topics: usize, iters: usize) -> Result<LdaModel, S
         sample_lag: 5,
         ..Default::default()
     };
-    hlm_engine::fit_lda(config, LdaEstimator::Gibbs, &docs).map_err(|e| e.to_string())
+    if !flags.is_active() {
+        return hlm_engine::fit_lda(config, LdaEstimator::Gibbs, &docs)
+            .map(|m| (m, Vec::new()))
+            .map_err(engine_err);
+    }
+
+    let mut plan = TrainPlan::new().resume(flags.resume);
+    if let Some(dir) = &flags.checkpoint_dir {
+        plan = plan.on_disk(dir).map_err(engine_err)?;
+    }
+    let mut guard = RunGuard::unlimited();
+    if let Some(secs) = flags.max_seconds {
+        guard = guard.with_deadline_millis(secs.saturating_mul(1000));
+    }
+    if let Some(n) = flags.abort_at {
+        guard = guard.abort_at_iteration(n);
+    }
+    let fit =
+        hlm_engine::fit_lda_resilient(config, LdaEstimator::Gibbs, &docs, plan.with_guard(guard))
+            .map_err(engine_err)?;
+
+    let mut notes = Vec::new();
+    if let Some(iter) = fit.resumed_from {
+        notes.push(format!("resumed from checkpoint at sweep {iter}"));
+    }
+    if fit.checkpoints_written > 0 {
+        notes.push(format!(
+            "wrote {} checkpoint(s) to {}",
+            fit.checkpoints_written,
+            flags.checkpoint_dir.as_deref().unwrap_or("?"),
+        ));
+    }
+    if let Some(e) = &fit.rolled_back {
+        notes.push(format!(
+            "training diverged ({e}); rolled back to the last good checkpoint"
+        ));
+    }
+    Ok((fit.model, notes))
 }
 
 /// `hlm topics`.
-pub fn topics(data: &str, topics: usize, iters: usize) -> Result<String, String> {
+pub fn topics(
+    data: &str,
+    topics: usize,
+    iters: usize,
+    flags: &TrainFlags,
+) -> Result<String, CliError> {
     if topics == 0 {
-        return Err("--topics must be positive".into());
+        return Err(CliError::Usage("--topics must be positive".into()));
     }
     let corpus = load(data)?;
-    let model = train_lda(&corpus, topics, iters)?;
+    let (model, notes) = train_lda(&corpus, topics, iters, flags)?;
     let mut out = String::new();
+    for note in notes {
+        let _ = writeln!(out, "note: {note}");
+    }
     for k in 0..model.n_topics() {
         let tops: Vec<String> = model
             .top_products(k, 8)
@@ -152,22 +248,22 @@ pub fn topics(data: &str, topics: usize, iters: usize) -> Result<String, String>
 }
 
 /// `hlm similar`.
-pub fn similar(data: &str, company: u64, k: usize, whitespace: usize) -> Result<String, String> {
+pub fn similar(data: &str, company: u64, k: usize, whitespace: usize) -> Result<String, CliError> {
     let corpus = load(data)?;
     let query = corpus
         .iter()
         .find(|(_, c)| c.duns == company)
         .map(|(id, _)| id)
-        .ok_or_else(|| format!("no company with duns {company}"))?;
+        .ok_or_else(|| CliError::Data(format!("no company with duns {company}")))?;
 
     let ids: Vec<_> = corpus.ids().collect();
     let docs = binary_docs(&corpus, &ids);
-    let model = train_lda(&corpus, 3, 120)?;
+    let (model, _) = train_lda(&corpus, 3, 120, &TrainFlags::default())?;
     let reps = lda_representations(&model, &docs);
     let engine = Engine::new(corpus);
     let app = engine
         .sales_app(reps, DistanceMetric::Cosine)
-        .map_err(|e| e.to_string())?;
+        .map_err(engine_err)?;
 
     let mut out = String::new();
     let describe = |id: hlm_corpus::CompanyId| -> String {
@@ -184,13 +280,13 @@ pub fn similar(data: &str, company: u64, k: usize, whitespace: usize) -> Result<
     let _ = writeln!(out, "top-{k} similar companies:");
     let similar = app
         .find_similar(query, k, &CompanyFilter::default())
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Engine(e.to_string()))?;
     for s in similar {
         let _ = writeln!(out, "  d={:.4}  {}", s.distance, describe(s.id));
     }
     let recs = app
         .recommend_whitespace(query, k.max(10), &CompanyFilter::default())
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Engine(e.to_string()))?;
     let _ = writeln!(out, "whitespace recommendations:");
     for r in recs.iter().take(whitespace) {
         let _ = writeln!(
@@ -205,9 +301,9 @@ pub fn similar(data: &str, company: u64, k: usize, whitespace: usize) -> Result<
 }
 
 /// `hlm drift`.
-pub fn drift(data: &str, reference: Month, recent: Month, months: u32) -> Result<String, String> {
+pub fn drift(data: &str, reference: Month, recent: Month, months: u32) -> Result<String, CliError> {
     if months == 0 {
-        return Err("--months must be positive".into());
+        return Err(CliError::Usage("--months must be positive".into()));
     }
     let corpus = load(data)?;
     let engine = Engine::new(corpus);
@@ -274,10 +370,75 @@ mod tests {
     fn topics_prints_k_topics() {
         let dir = tmp_dir("topics");
         generate(150, 9, &dir).unwrap();
-        let out = topics(&dir, 3, 60).unwrap();
+        let out = topics(&dir, 3, 60, &TrainFlags::default()).unwrap();
         assert_eq!(out.lines().count(), 3);
         assert!(out.contains("topic 0:"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn topics_kill_and_resume_via_cli_flags() {
+        let dir = tmp_dir("resume");
+        generate(150, 9, &dir).unwrap();
+        let ck = format!("{dir}/checkpoints");
+
+        // A deterministic "kill" at sweep 20: exit class is engine/training
+        // (4) and the message tells the operator how to continue.
+        let killed = TrainFlags {
+            checkpoint_dir: Some(ck.clone()),
+            abort_at: Some(20),
+            ..TrainFlags::default()
+        };
+        let err = topics(&dir, 3, 60, &killed).unwrap_err();
+        assert_eq!(err.exit_code(), 4);
+        assert!(err.to_string().contains("--resume"), "{err}");
+
+        // Resume completes and says where it picked up.
+        let resumed = TrainFlags {
+            checkpoint_dir: Some(ck),
+            resume: true,
+            ..TrainFlags::default()
+        };
+        let out = topics(&dir, 3, 60, &resumed).unwrap();
+        assert!(out.contains("resumed from checkpoint at sweep 20"), "{out}");
+        assert!(out.contains("topic 0:"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_quarantines_malformed_rows_and_reports_them() {
+        let dir = tmp_dir("lenient");
+        generate(80, 21, &dir).unwrap();
+        let events_path = Path::new(&dir).join("events.csv");
+        let mut events = std::fs::read_to_string(&events_path).unwrap();
+        events.push_str("999999,OS,2001-05,2001-05,1\n"); // unknown company
+        events.push_str("10000,OS,2001-05,2001-05,42\n"); // confidence out of range
+        std::fs::write(&events_path, events).unwrap();
+
+        let out = stats(&dir).unwrap();
+        assert!(out.contains("companies:            80"), "{out}");
+        assert!(
+            out.contains("quarantined 2 malformed rows (companies: 0, events: 2)"),
+            "{out}"
+        );
+        assert!(out.contains("confidence"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn errors_map_to_stable_exit_codes() {
+        assert_eq!(CliError::Usage("u".into()).exit_code(), 2);
+        assert_eq!(CliError::Data("d".into()).exit_code(), 3);
+        assert_eq!(CliError::Engine("e".into()).exit_code(), 4);
+
+        // Usage: bad option value.
+        let e = topics("ignored", 0, 10, &TrainFlags::default()).unwrap_err();
+        assert_eq!(e.exit_code(), 2);
+        // Data: unreadable input.
+        let e = stats("/no/such/dir").unwrap_err();
+        assert_eq!(e.exit_code(), 3);
+        // Stderr rendering is a single line even for multi-line messages.
+        assert_eq!(CliError::Data("a\nb".into()).to_string(), "a b");
     }
 
     #[test]
@@ -290,7 +451,7 @@ mod tests {
         assert!(out.matches("d=").count() == 5, "{out}");
         assert!(out.contains("whitespace recommendations"));
         let err = similar(&dir, 999, 5, 3).unwrap_err();
-        assert!(err.contains("no company"));
+        assert!(err.to_string().contains("no company"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -306,7 +467,7 @@ mod tests {
     #[test]
     fn missing_data_directory_is_a_clean_error() {
         let e = stats("/no/such/dir").unwrap_err();
-        assert!(e.contains("companies.csv"));
+        assert!(e.to_string().contains("companies.csv"));
         assert!(generate(0, 1, "/tmp/x").is_err());
     }
 

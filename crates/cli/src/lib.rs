@@ -10,18 +10,60 @@
 //!
 //! The argument parser is deliberately dependency-free; every command is a
 //! library function returning its output as a `String` so the whole surface
-//! is unit-testable.
+//! is unit-testable. Failures are typed ([`CliError`]) and carry the process
+//! exit code: usage errors exit 2, data errors 3, engine/training errors 4.
 
 pub mod args;
 pub mod commands;
 
-pub use args::{parse_args, Command, ParsedArgs};
+pub use args::{parse_args, Command, ParsedArgs, TrainFlags};
+
+use std::fmt;
+
+/// A command failure, classified so the binary can exit with a stable code
+/// that scripts (and CI) can branch on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The invocation itself is wrong: bad flags, bad option values
+    /// (exit code 2).
+    Usage(String),
+    /// The input data cannot be read or parsed: missing files, malformed
+    /// CSV, error budget exhausted (exit code 3).
+    Data(String),
+    /// Training or serving failed: divergence, cancellation, deadline,
+    /// checkpoint IO (exit code 4).
+    Engine(String),
+}
+
+impl CliError {
+    /// The process exit code this failure maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Data(_) => 3,
+            CliError::Engine(_) => 4,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    /// Single-line rendering (newlines flattened) for stderr.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            CliError::Usage(m) | CliError::Data(m) | CliError::Engine(m) => m,
+        };
+        f.write_str(&msg.replace('\n', " "))
+    }
+}
+
+impl std::error::Error for CliError {}
 
 /// Entry point shared by `main` and the tests: dispatches a parsed command.
 ///
 /// # Errors
-/// Returns a human-readable message on any failure.
-pub fn run(cmd: &Command) -> Result<String, String> {
+/// Returns a [`CliError`] carrying a human-readable message and the exit
+/// code class.
+pub fn run(cmd: &Command) -> Result<String, CliError> {
     match cmd {
         Command::Help => Ok(commands::help_text()),
         Command::Generate {
@@ -34,7 +76,8 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             data,
             topics,
             iters,
-        } => commands::topics(data, *topics, *iters),
+            flags,
+        } => commands::topics(data, *topics, *iters, flags),
         Command::Similar {
             data,
             company,

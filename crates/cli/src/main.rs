@@ -1,20 +1,23 @@
 //! The `hlm` binary: thin dispatcher over the library (see `hlm help`).
+//!
+//! Exit codes: 0 success, 2 usage error, 3 data error, 4 engine/training
+//! error. Errors are printed as a single line on stderr.
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let cmd = match hlm_cli::parse_args(&argv) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!("run `hlm help` for usage");
-            std::process::exit(2);
+            let err = hlm_cli::CliError::Usage(format!("{e}; run `hlm help` for usage"));
+            eprintln!("error: {err}");
+            std::process::exit(err.exit_code());
         }
     };
     match hlm_cli::run(&cmd) {
         Ok(out) => print!("{out}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -134,9 +134,90 @@ pub fn to_csv(corpus: &Corpus) -> (String, String) {
     (companies, events)
 }
 
+/// Parses and validates one company row (already split off the header).
+fn parse_company_row(line: &str, line_no: usize) -> Result<Company, CsvError> {
+    let f = split_csv_line(line, line_no)?;
+    if f.len() != 7 {
+        return Err(err(
+            line_no,
+            format!("expected 7 company fields, got {}", f.len()),
+        ));
+    }
+    let duns: u64 = f[0].parse().map_err(|_| err(line_no, "bad duns"))?;
+    let sic: u8 = f[2].parse().map_err(|_| err(line_no, "bad sic2"))?;
+    let country: u16 = f[3].parse().map_err(|_| err(line_no, "bad country"))?;
+    let mut c = Company::new(duns, f[1].clone(), Sic2(sic), country);
+    c.site_count = f[4].parse().map_err(|_| err(line_no, "bad site_count"))?;
+    c.employees = f[5].parse().map_err(|_| err(line_no, "bad employees"))?;
+    c.revenue_musd = f[6].parse().map_err(|_| err(line_no, "bad revenue"))?;
+    Ok(c)
+}
+
+/// Parses and validates one event row, resolving the owning company through
+/// `by_duns`. Returns the company's index and the event.
+fn parse_event_row(
+    line: &str,
+    line_no: usize,
+    vocab: &Vocabulary,
+    by_duns: &HashMap<u64, usize>,
+) -> Result<(usize, InstallEvent), CsvError> {
+    let f = split_csv_line(line, line_no)?;
+    if f.len() != 5 {
+        return Err(err(
+            line_no,
+            format!("expected 5 event fields, got {}", f.len()),
+        ));
+    }
+    let duns: u64 = f[0].parse().map_err(|_| err(line_no, "bad duns"))?;
+    let &idx = by_duns
+        .get(&duns)
+        .ok_or_else(|| err(line_no, format!("event references unknown company {duns}")))?;
+    let product = vocab
+        .id(&f[1])
+        .ok_or_else(|| err(line_no, format!("unknown product category {:?}", f[1])))?;
+    let first_seen = parse_month(&f[2], line_no)?;
+    let last_seen = parse_month(&f[3], line_no)?;
+    if last_seen < first_seen {
+        return Err(err(line_no, "last_seen precedes first_seen"));
+    }
+    let confidence: f32 = f[4].parse().map_err(|_| err(line_no, "bad confidence"))?;
+    if !(0.0..=1.0).contains(&confidence) {
+        return Err(err(line_no, "confidence outside [0, 1]"));
+    }
+    Ok((
+        idx,
+        InstallEvent {
+            product,
+            first_seen,
+            last_seen,
+            confidence,
+        },
+    ))
+}
+
+/// Validates a file's header line and yields its `(line_no, line)` records,
+/// skipping blanks. `what` names the file in structural errors.
+fn records<'a>(
+    csv: &'a str,
+    what: &str,
+) -> Result<impl Iterator<Item = (usize, &'a str)>, CsvError> {
+    let mut lines = csv.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| err(0, format!("empty {what} file")))?;
+    if !header.starts_with("duns,") {
+        return Err(err(1, format!("{what} header must start with 'duns,'")));
+    }
+    Ok(lines
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| (i + 1, line)))
+}
+
 /// Parses `(companies_csv, events_csv)` into a corpus over the given
 /// vocabulary. Events referencing unknown companies or products are errors;
-/// companies without events are kept (empty install bases).
+/// companies without events are kept (empty install bases). The first
+/// malformed row aborts the parse — see [`from_csv_lenient`] for the
+/// quarantine-and-continue alternative.
 ///
 /// # Errors
 /// Returns a [`CsvError`] naming the offending line.
@@ -148,78 +229,172 @@ pub fn from_csv(
     let mut companies: Vec<Company> = Vec::new();
     let mut by_duns: HashMap<u64, usize> = HashMap::new();
 
-    let mut lines = companies_csv.lines().enumerate();
-    let (_, header) = lines.next().ok_or_else(|| err(0, "empty companies file"))?;
-    if !header.starts_with("duns,") {
-        return Err(err(1, "companies header must start with 'duns,'"));
-    }
-    for (i, line) in lines {
-        let line_no = i + 1;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let f = split_csv_line(line, line_no)?;
-        if f.len() != 7 {
-            return Err(err(
-                line_no,
-                format!("expected 7 company fields, got {}", f.len()),
-            ));
-        }
-        let duns: u64 = f[0].parse().map_err(|_| err(line_no, "bad duns"))?;
-        let sic: u8 = f[2].parse().map_err(|_| err(line_no, "bad sic2"))?;
-        let country: u16 = f[3].parse().map_err(|_| err(line_no, "bad country"))?;
-        let mut c = Company::new(duns, f[1].clone(), Sic2(sic), country);
-        c.site_count = f[4].parse().map_err(|_| err(line_no, "bad site_count"))?;
-        c.employees = f[5].parse().map_err(|_| err(line_no, "bad employees"))?;
-        c.revenue_musd = f[6].parse().map_err(|_| err(line_no, "bad revenue"))?;
-        if by_duns.insert(duns, companies.len()).is_some() {
-            return Err(err(line_no, format!("duplicate company duns {duns}")));
+    for (line_no, line) in records(companies_csv, "companies")? {
+        let c = parse_company_row(line, line_no)?;
+        if by_duns.insert(c.duns, companies.len()).is_some() {
+            return Err(err(line_no, format!("duplicate company duns {}", c.duns)));
         }
         companies.push(c);
     }
 
-    let mut lines = events_csv.lines().enumerate();
-    let (_, header) = lines.next().ok_or_else(|| err(0, "empty events file"))?;
-    if !header.starts_with("duns,") {
-        return Err(err(1, "events header must start with 'duns,'"));
-    }
-    for (i, line) in lines {
-        let line_no = i + 1;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let f = split_csv_line(line, line_no)?;
-        if f.len() != 5 {
-            return Err(err(
-                line_no,
-                format!("expected 5 event fields, got {}", f.len()),
-            ));
-        }
-        let duns: u64 = f[0].parse().map_err(|_| err(line_no, "bad duns"))?;
-        let &idx = by_duns
-            .get(&duns)
-            .ok_or_else(|| err(line_no, format!("event references unknown company {duns}")))?;
-        let product = vocab
-            .id(&f[1])
-            .ok_or_else(|| err(line_no, format!("unknown product category {:?}", f[1])))?;
-        let first_seen = parse_month(&f[2], line_no)?;
-        let last_seen = parse_month(&f[3], line_no)?;
-        if last_seen < first_seen {
-            return Err(err(line_no, "last_seen precedes first_seen"));
-        }
-        let confidence: f32 = f[4].parse().map_err(|_| err(line_no, "bad confidence"))?;
-        if !(0.0..=1.0).contains(&confidence) {
-            return Err(err(line_no, "confidence outside [0, 1]"));
-        }
-        companies[idx].add_event(InstallEvent {
-            product,
-            first_seen,
-            last_seen,
-            confidence,
-        });
+    for (line_no, line) in records(events_csv, "events")? {
+        let (idx, event) = parse_event_row(line, line_no, &vocab, &by_duns)?;
+        companies[idx].add_event(event);
     }
 
     Ok(Corpus::new(vocab, companies))
+}
+
+/// Which of the two CSV files a quarantined row came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsvFile {
+    /// `companies.csv`.
+    Companies,
+    /// `events.csv`.
+    Events,
+}
+
+impl std::fmt::Display for CsvFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CsvFile::Companies => "companies",
+            CsvFile::Events => "events",
+        })
+    }
+}
+
+/// One malformed row set aside by [`from_csv_lenient`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRow {
+    /// The file the row came from.
+    pub file: CsvFile,
+    /// 1-based line number within that file.
+    pub line: usize,
+    /// Why the row was rejected.
+    pub reason: String,
+}
+
+/// Everything [`from_csv_lenient`] set aside instead of aborting on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    rows: Vec<QuarantinedRow>,
+}
+
+impl QuarantineReport {
+    /// The quarantined rows, in file order (companies before events).
+    pub fn rows(&self) -> &[QuarantinedRow] {
+        &self.rows
+    }
+
+    /// Number of quarantined rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when every row parsed cleanly.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// One-line human summary, e.g.
+    /// `quarantined 3 malformed rows (companies: 1, events: 2)`.
+    pub fn summary(&self) -> String {
+        let companies = self
+            .rows
+            .iter()
+            .filter(|r| r.file == CsvFile::Companies)
+            .count();
+        format!(
+            "quarantined {} malformed row{} (companies: {companies}, events: {})",
+            self.len(),
+            if self.len() == 1 { "" } else { "s" },
+            self.len() - companies,
+        )
+    }
+}
+
+/// How tolerant [`from_csv_lenient`] is before giving up.
+#[derive(Debug, Clone)]
+pub struct LenientOptions {
+    /// Error budget: parsing aborts once more than this many rows have been
+    /// quarantined (a feed that is mostly garbage should fail loudly, not
+    /// produce a near-empty corpus).
+    pub max_quarantined: usize,
+}
+
+impl Default for LenientOptions {
+    fn default() -> Self {
+        LenientOptions {
+            max_quarantined: 100,
+        }
+    }
+}
+
+/// Like [`from_csv`], but quarantines malformed rows — bad fields, unknown
+/// companies/products, duplicate duns, inverted date ranges, out-of-range
+/// confidences — into a [`QuarantineReport`] and keeps going, up to the
+/// error budget in `opts`. Structural problems (missing file content, bad
+/// headers) are still hard errors: they mean the *file* is wrong, not a row.
+///
+/// # Errors
+/// Returns a [`CsvError`] for structural problems, or when the quarantine
+/// exceeds [`LenientOptions::max_quarantined`] (the error names the line
+/// that blew the budget).
+pub fn from_csv_lenient(
+    vocab: Vocabulary,
+    companies_csv: &str,
+    events_csv: &str,
+    opts: &LenientOptions,
+) -> Result<(Corpus, QuarantineReport), CsvError> {
+    let mut companies: Vec<Company> = Vec::new();
+    let mut by_duns: HashMap<u64, usize> = HashMap::new();
+    let mut report = QuarantineReport::default();
+
+    let quarantine =
+        |report: &mut QuarantineReport, file: CsvFile, e: CsvError| -> Result<(), CsvError> {
+            report.rows.push(QuarantinedRow {
+                file,
+                line: e.line,
+                reason: e.message,
+            });
+            if report.rows.len() > opts.max_quarantined {
+                return Err(err(
+                    e.line,
+                    format!(
+                        "error budget exhausted: more than {} malformed rows",
+                        opts.max_quarantined
+                    ),
+                ));
+            }
+            Ok(())
+        };
+
+    for (line_no, line) in records(companies_csv, "companies")? {
+        match parse_company_row(line, line_no) {
+            Ok(c) => {
+                if let std::collections::hash_map::Entry::Vacant(slot) = by_duns.entry(c.duns) {
+                    slot.insert(companies.len());
+                    companies.push(c);
+                } else {
+                    quarantine(
+                        &mut report,
+                        CsvFile::Companies,
+                        err(line_no, format!("duplicate company duns {}", c.duns)),
+                    )?;
+                }
+            }
+            Err(e) => quarantine(&mut report, CsvFile::Companies, e)?,
+        }
+    }
+
+    for (line_no, line) in records(events_csv, "events")? {
+        match parse_event_row(line, line_no, &vocab, &by_duns) {
+            Ok((idx, event)) => companies[idx].add_event(event),
+            Err(e) => quarantine(&mut report, CsvFile::Events, e)?,
+        }
+    }
+
+    Ok((Corpus::new(vocab, companies), report))
 }
 
 #[cfg(test)]
@@ -340,5 +515,116 @@ mod tests {
         let with_blanks = format!("{c_csv}\n\n");
         let back = from_csv(corpus.vocab().clone(), &with_blanks, &e_csv).unwrap();
         assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn confidence_outside_unit_interval_is_rejected_with_line_number() {
+        let corpus = sample_corpus();
+        let (c_csv, _) = to_csv(&corpus);
+        for bad in ["1.5", "-0.1", "NaN", "inf"] {
+            let events = format!(
+                "duns,product,first_seen,last_seen,confidence\n100,OS,2001-05,2001-05,{bad}\n"
+            );
+            let e = from_csv(corpus.vocab().clone(), &c_csv, &events).unwrap_err();
+            assert_eq!(e.line, 2, "confidence {bad}");
+            assert!(
+                e.message.contains("confidence"),
+                "confidence {bad}: {}",
+                e.message
+            );
+        }
+    }
+
+    #[test]
+    fn lenient_parse_quarantines_bad_rows_and_keeps_the_rest() {
+        let corpus = sample_corpus();
+        let (mut c_csv, mut e_csv) = to_csv(&corpus);
+        c_csv.push_str("100,dup,1,0,1,0,0\n"); // duplicate duns
+        c_csv.push_str("bogus,x,1,0,1,0,0\n"); // bad duns
+        e_csv.push_str("999,OS,2001-05,2001-05,1\n"); // unknown company
+        e_csv.push_str("100,OS,2001-05,2001-05,7\n"); // confidence out of range
+        e_csv.push_str("200,plain,2003-01,2003-06,0.5\n"); // fine
+
+        let (back, report) = from_csv_lenient(
+            corpus.vocab().clone(),
+            &c_csv,
+            &e_csv,
+            &LenientOptions::default(),
+        )
+        .expect("lenient parse succeeds under budget");
+
+        assert_eq!(back.len(), 2, "good companies survive");
+        assert_eq!(back.companies()[1].events().len(), 1, "good row applied");
+        assert_eq!(report.len(), 4);
+        let files: Vec<CsvFile> = report.rows().iter().map(|r| r.file).collect();
+        assert_eq!(
+            files,
+            vec![
+                CsvFile::Companies,
+                CsvFile::Companies,
+                CsvFile::Events,
+                CsvFile::Events
+            ]
+        );
+        assert!(report.rows()[0].reason.contains("duplicate"));
+        assert!(report.rows()[3].reason.contains("confidence"));
+        assert_eq!(report.rows()[2].line, 4);
+        assert_eq!(
+            report.summary(),
+            "quarantined 4 malformed rows (companies: 2, events: 2)"
+        );
+    }
+
+    #[test]
+    fn lenient_parse_matches_strict_on_clean_input() {
+        let corpus = sample_corpus();
+        let (c_csv, e_csv) = to_csv(&corpus);
+        let strict = from_csv(corpus.vocab().clone(), &c_csv, &e_csv).unwrap();
+        let (lenient, report) = from_csv_lenient(
+            corpus.vocab().clone(),
+            &c_csv,
+            &e_csv,
+            &LenientOptions::default(),
+        )
+        .unwrap();
+        assert!(report.is_empty());
+        assert_eq!(strict.len(), lenient.len());
+        for (s, l) in strict.companies().iter().zip(lenient.companies()) {
+            assert_eq!(s.duns, l.duns);
+            assert_eq!(s.events(), l.events());
+        }
+    }
+
+    #[test]
+    fn lenient_parse_enforces_the_error_budget() {
+        let corpus = sample_corpus();
+        let (c_csv, mut e_csv) = to_csv(&corpus);
+        for _ in 0..3 {
+            e_csv.push_str("999,OS,2001-05,2001-05,1\n");
+        }
+        let opts = LenientOptions { max_quarantined: 2 };
+        let e = from_csv_lenient(corpus.vocab().clone(), &c_csv, &e_csv, &opts).unwrap_err();
+        assert!(e.message.contains("error budget"), "{e}");
+
+        let generous = LenientOptions { max_quarantined: 3 };
+        assert!(from_csv_lenient(corpus.vocab().clone(), &c_csv, &e_csv, &generous).is_ok());
+    }
+
+    #[test]
+    fn lenient_parse_keeps_structural_errors_hard() {
+        let corpus = sample_corpus();
+        let (c_csv, e_csv) = to_csv(&corpus);
+        let opts = LenientOptions::default();
+        assert!(from_csv_lenient(corpus.vocab().clone(), "", &e_csv, &opts)
+            .unwrap_err()
+            .message
+            .contains("empty companies"));
+        let bad_header = "name,duns\n";
+        assert!(
+            from_csv_lenient(corpus.vocab().clone(), &c_csv, bad_header, &opts)
+                .unwrap_err()
+                .message
+                .contains("header")
+        );
     }
 }

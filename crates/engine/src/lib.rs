@@ -38,6 +38,12 @@ use hlm_lda::{GibbsTrainer, LdaConfig, LdaModel, VbOptions, VbTrainer, WeightedD
 use hlm_linalg::Matrix;
 use hlm_lstm::{LstmConfig, LstmLm, TrainOptions, Trainer};
 use hlm_ngram::{NgramConfig, NgramLm};
+pub use hlm_resilience::{
+    CancelHandle, Checkpoint, CheckpointStore, Clock, CollapsePolicy, Fault, FaultPlan,
+    ManualClock, ResilienceError, RunGuard, SystemClock,
+};
+
+use hlm_resilience::TrainControl;
 use std::any::Any;
 use std::fmt;
 use std::str::FromStr;
@@ -67,6 +73,17 @@ pub enum EngineError {
         /// The operation it cannot perform.
         operation: &'static str,
     },
+    /// A resilience failure during training: watchdog trip, divergence with
+    /// no good checkpoint to roll back to, or checkpoint IO damage.
+    Resilience(ResilienceError),
+}
+
+impl EngineError {
+    /// True when the error means "the run was stopped on purpose (deadline
+    /// or cancellation) and can be resumed from its checkpoints".
+    pub fn is_interruption(&self) -> bool {
+        matches!(self, EngineError::Resilience(e) if e.is_interruption())
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -84,6 +101,7 @@ impl fmt::Display for EngineError {
             EngineError::Unsupported { kind, operation } => {
                 write!(f, "model family {kind} does not support {operation}")
             }
+            EngineError::Resilience(e) => write!(f, "{e}"),
         }
     }
 }
@@ -92,8 +110,15 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Core(e) => Some(e),
+            EngineError::Resilience(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<ResilienceError> for EngineError {
+    fn from(e: ResilienceError) -> Self {
+        EngineError::Resilience(e)
     }
 }
 
@@ -498,6 +523,471 @@ pub fn fit_lda(
 }
 
 // ---------------------------------------------------------------------------
+// Resilient training
+// ---------------------------------------------------------------------------
+
+/// How a resilient training run checkpoints, resumes and guards itself.
+/// Consumed by [`Engine::train_resilient`] / [`ModelSpec::fit_sequences_resilient`]
+/// (the [`RunGuard`] inside is single-use). A default plan — no store, an
+/// unlimited guard — makes those entry points behave exactly like the plain
+/// `fit` paths.
+#[derive(Default)]
+pub struct TrainPlan {
+    store: Option<CheckpointStore>,
+    resume: bool,
+    guard: RunGuard,
+    collapse: CollapsePolicy,
+    faults: FaultPlan,
+    checkpoint_every: u64,
+}
+
+impl TrainPlan {
+    /// A plan with no checkpointing and an unlimited watchdog.
+    pub fn new() -> Self {
+        TrainPlan {
+            checkpoint_every: 1,
+            ..TrainPlan::default()
+        }
+    }
+
+    /// Checkpoint every completed iteration into `store`.
+    pub fn with_store(mut self, store: CheckpointStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Checkpoint into (and resume from) a directory on disk.
+    ///
+    /// # Errors
+    /// [`EngineError::Resilience`] if the directory cannot be created.
+    pub fn on_disk(self, dir: impl Into<std::path::PathBuf>) -> Result<Self, EngineError> {
+        Ok(self.with_store(CheckpointStore::on_disk(dir)?))
+    }
+
+    /// Before training, look for the latest good checkpoint in the store and
+    /// continue from it instead of starting over.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Attach a watchdog (deadline, cancellation, deterministic aborts).
+    pub fn with_guard(mut self, guard: RunGuard) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// Opt in to score-collapse detection at iteration boundaries.
+    pub fn with_collapse_policy(mut self, policy: CollapsePolicy) -> Self {
+        self.collapse = policy;
+        self
+    }
+
+    /// Attach a deterministic fault plan (metric poisoning for tests).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Checkpoint only every `n` completed iterations (clamped to ≥ 1).
+    pub fn checkpoint_every(mut self, n: u64) -> Self {
+        self.checkpoint_every = n.max(1);
+        self
+    }
+}
+
+/// The result of a resilient training run: the model plus how the run got
+/// there (fresh, resumed, or rolled back after divergence).
+pub struct ResilientFit<M> {
+    /// The trained (or rolled-back) model.
+    pub model: M,
+    /// Iteration count of the checkpoint the run resumed from, if any.
+    pub resumed_from: Option<u64>,
+    /// Checkpoints successfully persisted during this run.
+    pub checkpoints_written: u64,
+    /// Set when training diverged and the model was recovered from the last
+    /// good checkpoint instead — the model is usable but captures fewer
+    /// iterations than requested.
+    pub rolled_back: Option<ResilienceError>,
+}
+
+impl<M> fmt::Debug for ResilientFit<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResilientFit")
+            .field("resumed_from", &self.resumed_from)
+            .field("checkpoints_written", &self.checkpoints_written)
+            .field("rolled_back", &self.rolled_back)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Shared scaffolding for the per-family resilient fits: resolves the resume
+/// checkpoint, builds the [`TrainControl`], runs `fit`, and on divergence
+/// rolls back to the last good checkpoint via `rollback`.
+fn run_resilient<M>(
+    kind: &str,
+    plan: TrainPlan,
+    fit: impl FnOnce(
+        &mut TrainControl,
+        Option<&hlm_resilience::Checkpoint>,
+    ) -> Result<M, ResilienceError>,
+    rollback: impl FnOnce(&hlm_resilience::Checkpoint) -> Result<M, ResilienceError>,
+) -> Result<ResilientFit<M>, EngineError> {
+    let TrainPlan {
+        store,
+        resume,
+        guard,
+        collapse,
+        faults,
+        checkpoint_every,
+    } = plan;
+
+    let resume_ckpt = match (&store, resume) {
+        (Some(s), true) => s.latest_good(kind)?,
+        _ => None,
+    };
+    let resumed_from = resume_ckpt.as_ref().map(|c| c.iteration);
+
+    let mut ctrl = match &store {
+        Some(s) => TrainControl::new(kind, s),
+        None => TrainControl::noop(),
+    }
+    .with_guard(guard)
+    .with_collapse_policy(collapse)
+    .with_faults(faults)
+    .with_checkpoint_every(checkpoint_every.max(1));
+
+    let result = fit(&mut ctrl, resume_ckpt.as_ref());
+    let checkpoints_written = ctrl.saves();
+
+    match result {
+        Ok(model) => Ok(ResilientFit {
+            model,
+            resumed_from,
+            checkpoints_written,
+            rolled_back: None,
+        }),
+        Err(diverged @ ResilienceError::Diverged { .. }) => {
+            // A poisoned model must never escape: recover the last snapshot
+            // that passed its divergence checks, or surface the error.
+            if let Some(s) = &store {
+                if let Ok(Some(good)) = s.latest_good(kind) {
+                    if let Ok(model) = rollback(&good) {
+                        return Ok(ResilientFit {
+                            model,
+                            resumed_from,
+                            checkpoints_written,
+                            rolled_back: Some(diverged),
+                        });
+                    }
+                }
+            }
+            Err(EngineError::Resilience(diverged))
+        }
+        Err(e) => Err(EngineError::Resilience(e)),
+    }
+}
+
+/// Like [`fit_lda`], but checkpointed, resumable and watchdog-guarded per
+/// `plan`. On divergence the model rolls back to the last good checkpoint
+/// (reported in [`ResilientFit::rolled_back`]) instead of being returned
+/// poisoned.
+///
+/// # Errors
+/// Spec errors as in [`fit_lda`]; [`EngineError::Resilience`] when the
+/// watchdog trips (resumable — see [`EngineError::is_interruption`]) or
+/// divergence hits with no good checkpoint to fall back to.
+pub fn fit_lda_resilient(
+    config: LdaConfig,
+    estimator: LdaEstimator,
+    docs: &[WeightedDoc],
+    plan: TrainPlan,
+) -> Result<ResilientFit<LdaModel>, EngineError> {
+    ModelSpec::Lda {
+        config: config.clone(),
+        estimator,
+    }
+    .validate()?;
+    if docs.is_empty() {
+        return Err(EngineError::InvalidSpec {
+            reason: "LDA needs at least one training document".into(),
+        });
+    }
+    match estimator {
+        LdaEstimator::Gibbs => {
+            let trainer = GibbsTrainer::new(config);
+            run_resilient(
+                hlm_lda::GIBBS_CHECKPOINT_KIND,
+                plan,
+                |ctrl, resume| trainer.fit_resumable(docs, ctrl, resume),
+                |good| trainer.model_from_checkpoint(good),
+            )
+        }
+        LdaEstimator::Vb => {
+            let trainer = VbTrainer::new(config, VbOptions::default());
+            run_resilient(
+                hlm_lda::VB_CHECKPOINT_KIND,
+                plan,
+                |ctrl, resume| trainer.fit_resumable(docs, ctrl, resume),
+                |good| trainer.model_from_checkpoint(good),
+            )
+        }
+    }
+}
+
+/// Checkpointed, resumable, watchdog-guarded BPMF fit. BPMF scores
+/// `(company, product)` cells rather than histories, so it gets its own
+/// entry point instead of riding [`ModelSpec::fit_sequences_resilient`].
+///
+/// # Errors
+/// [`EngineError::InvalidSpec`] on zero factors or empty ratings;
+/// resilience errors as in [`fit_lda_resilient`].
+pub fn fit_bpmf_resilient(
+    n_rows: usize,
+    n_cols: usize,
+    ratings: &[hlm_bpmf::Rating],
+    cfg: &hlm_bpmf::BpmfConfig,
+    clamp: Option<(f64, f64)>,
+    plan: TrainPlan,
+) -> Result<ResilientFit<hlm_bpmf::BpmfModel>, EngineError> {
+    ModelSpec::Bpmf(cfg.clone()).validate()?;
+    if ratings.is_empty() {
+        return Err(EngineError::InvalidSpec {
+            reason: "BPMF needs at least one observed rating".into(),
+        });
+    }
+    run_resilient(
+        hlm_bpmf::BPMF_CHECKPOINT_KIND,
+        plan,
+        |ctrl, resume| hlm_bpmf::fit_resumable(n_rows, n_cols, ratings, cfg, clamp, ctrl, resume),
+        |good| hlm_bpmf::model_from_checkpoint(good, clamp),
+    )
+}
+
+impl ModelSpec {
+    /// Like [`ModelSpec::fit_sequences`], but checkpointed, resumable and
+    /// watchdog-guarded per `plan` for the iterative families (LSTM, LDA).
+    /// One-shot families (n-gram, CHH, Apriori) train instantly and consult
+    /// only the plan's watchdog; BPMF is refused as in `fit_sequences`.
+    ///
+    /// # Errors
+    /// As in [`ModelSpec::fit_sequences`], plus [`EngineError::Resilience`]
+    /// for watchdog trips and unrecoverable divergence.
+    pub fn fit_sequences_resilient(
+        &self,
+        train: &[Vec<usize>],
+        valid: &[Vec<usize>],
+        plan: TrainPlan,
+    ) -> Result<ResilientFit<Box<dyn TrainedModel>>, EngineError> {
+        self.validate()?;
+        let label = self.label();
+        match self {
+            ModelSpec::Lda { config, estimator } => {
+                let docs = hlm_lda::unit_weights(train);
+                let fit = fit_lda_resilient(config.clone(), *estimator, &docs, plan)?;
+                Ok(ResilientFit {
+                    model: Box::new(TrainedLda {
+                        model: fit.model,
+                        label,
+                    }),
+                    resumed_from: fit.resumed_from,
+                    checkpoints_written: fit.checkpoints_written,
+                    rolled_back: fit.rolled_back,
+                })
+            }
+            ModelSpec::Lstm {
+                config,
+                train: opts,
+                seed,
+            } => {
+                let seqs: Vec<Vec<usize>> =
+                    train.iter().filter(|s| !s.is_empty()).cloned().collect();
+                let init = LstmLm::new(config.clone(), *seed);
+                if opts.epochs == 0 {
+                    return Ok(ResilientFit {
+                        model: Box::new(TrainedLstm { model: init, label }),
+                        resumed_from: None,
+                        checkpoints_written: 0,
+                        rolled_back: None,
+                    });
+                }
+                let trainer = Trainer::new(opts.clone());
+                let fit = run_resilient(
+                    hlm_lstm::LSTM_CHECKPOINT_KIND,
+                    plan,
+                    |ctrl, resume| {
+                        let mut model = init;
+                        trainer.fit_resumable(&mut model, &seqs, valid, ctrl, resume)?;
+                        Ok(model)
+                    },
+                    |good| trainer.model_from_checkpoint(good).map(|(m, _)| m),
+                )?;
+                Ok(ResilientFit {
+                    model: Box::new(TrainedLstm {
+                        model: fit.model,
+                        label,
+                    }),
+                    resumed_from: fit.resumed_from,
+                    checkpoints_written: fit.checkpoints_written,
+                    rolled_back: fit.rolled_back,
+                })
+            }
+            // One-shot families: a single watchdog check, then the plain fit.
+            _ => {
+                plan.guard.check(0)?;
+                Ok(ResilientFit {
+                    model: self.fit_sequences(train, valid)?,
+                    resumed_from: None,
+                    checkpoints_written: 0,
+                    rolled_back: None,
+                })
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Degraded-mode serving
+// ---------------------------------------------------------------------------
+
+/// How a [`ResilientModel`] decides a primary answer is unusable.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Per-request latency budget; a primary answer that took longer is
+    /// discarded in favour of the fallback. `None` disables the deadline.
+    pub request_budget_millis: Option<u64>,
+    /// Score-collapse policy: [`CollapsePolicy::Detect`] (the default here)
+    /// also treats an all-constant score vector as a primary failure.
+    pub collapse: CollapsePolicy,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            request_budget_millis: None,
+            collapse: CollapsePolicy::Detect,
+        }
+    }
+}
+
+/// A response from the fallback chain: the value plus whether it came from
+/// the degraded path (and why).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Served<T> {
+    /// The answer (from the primary model, or the fallback when degraded).
+    pub value: T,
+    /// `None` when the primary answered cleanly; otherwise the reason the
+    /// request fell back to the unigram baseline.
+    pub degraded: Option<String>,
+}
+
+impl<T> Served<T> {
+    /// Did this response come from the fallback path?
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+}
+
+/// The serving fallback chain: a primary [`TrainedModel`] backed by a
+/// unigram baseline. If the primary errors, produces non-finite or collapsed
+/// scores, or blows the per-request latency budget, the request is
+/// transparently answered by the unigram model and tagged degraded — the
+/// sales application keeps answering either way.
+pub struct ResilientModel {
+    primary: Box<dyn TrainedModel>,
+    fallback: NgramLm,
+    opts: ServeOptions,
+    clock: Box<dyn Clock>,
+}
+
+impl ResilientModel {
+    /// Chains `primary` over a unigram `fallback` (train one with
+    /// [`NgramConfig::unigram`] on the same sequences).
+    pub fn new(primary: Box<dyn TrainedModel>, fallback: NgramLm, opts: ServeOptions) -> Self {
+        ResilientModel {
+            primary,
+            fallback,
+            opts,
+            clock: Box::new(SystemClock::new()),
+        }
+    }
+
+    /// Replace the latency clock (tests pass a
+    /// [`hlm_resilience::ManualClock`] for deterministic deadline misses).
+    pub fn with_clock(mut self, clock: Box<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// The primary model.
+    pub fn primary(&self) -> &dyn TrainedModel {
+        self.primary.as_ref()
+    }
+
+    /// Why a primary score vector is unusable, or `None` if it is fine.
+    fn score_defect(&self, scores: &[f64]) -> Option<String> {
+        if let Some(bad) = scores.iter().find(|s| !s.is_finite()) {
+            return Some(format!("primary produced a non-finite score ({bad})"));
+        }
+        if self.opts.collapse == CollapsePolicy::Detect && scores.len() > 1 {
+            let first = scores[0];
+            if scores.iter().all(|s| (s - first).abs() < 1e-12) {
+                return Some("primary score distribution collapsed to a constant".to_string());
+            }
+        }
+        None
+    }
+
+    /// Next-acquisition scores with fallback: never errors, always answers.
+    pub fn recommend(&self, history: &[usize]) -> Served<Vec<f64>> {
+        let started = self.clock.elapsed_millis();
+        let degraded_reason = match self.primary.recommend(history) {
+            Ok(scores) => {
+                let elapsed = self.clock.elapsed_millis().saturating_sub(started);
+                if let Some(defect) = self.score_defect(&scores) {
+                    defect
+                } else if self
+                    .opts
+                    .request_budget_millis
+                    .is_some_and(|budget| elapsed > budget)
+                {
+                    format!("primary missed its deadline ({elapsed} ms)")
+                } else {
+                    return Served {
+                        value: scores,
+                        degraded: None,
+                    };
+                }
+            }
+            Err(e) => format!("primary failed: {e}"),
+        };
+        Served {
+            value: self.fallback.predict_next(history),
+            degraded: Some(degraded_reason),
+        }
+    }
+
+    /// Held-out perplexity with fallback: a primary that errors or reports a
+    /// non-finite value is replaced by the unigram baseline's figure.
+    pub fn perplexity(&self, test: &[Vec<usize>]) -> Served<f64> {
+        let degraded_reason = match self.primary.perplexity(test) {
+            Ok(ppl) if ppl.is_finite() => {
+                return Served {
+                    value: ppl,
+                    degraded: None,
+                }
+            }
+            Ok(ppl) => format!("primary perplexity is not finite ({ppl})"),
+            Err(e) => format!("primary failed: {e}"),
+        };
+        Served {
+            value: self.fallback.perplexity(test),
+            degraded: Some(degraded_reason),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Trained models
 // ---------------------------------------------------------------------------
 
@@ -804,8 +1294,12 @@ impl Engine {
         ids: &[CompanyId],
         cutoff: Month,
     ) -> Result<Box<dyn TrainedModel>, EngineError> {
-        let seqs: Vec<Vec<usize>> = ids
-            .iter()
+        spec.fit_sequences(&self.sequences_before(ids, cutoff), &[])
+    }
+
+    /// The given companies' acquisition sequences strictly before `cutoff`.
+    fn sequences_before(&self, ids: &[CompanyId], cutoff: Month) -> Vec<Vec<usize>> {
+        ids.iter()
             .map(|&id| {
                 self.corpus
                     .company(id)
@@ -814,8 +1308,41 @@ impl Engine {
                     .map(|p| p.index())
                     .collect()
             })
-            .collect();
-        spec.fit_sequences(&seqs, &[])
+            .collect()
+    }
+
+    /// Like [`Engine::train`], but checkpointed, resumable and
+    /// watchdog-guarded per `plan` (see [`ModelSpec::fit_sequences_resilient`]).
+    ///
+    /// # Errors
+    /// As in [`ModelSpec::fit_sequences_resilient`].
+    pub fn train_resilient(
+        &self,
+        spec: &ModelSpec,
+        ids: &[CompanyId],
+        cutoff: Month,
+        plan: TrainPlan,
+    ) -> Result<ResilientFit<Box<dyn TrainedModel>>, EngineError> {
+        spec.fit_sequences_resilient(&self.sequences_before(ids, cutoff), &[], plan)
+    }
+
+    /// Trains the primary model *and* a unigram baseline on the same
+    /// histories, chained into a [`ResilientModel`] so serving degrades
+    /// gracefully instead of failing.
+    ///
+    /// # Errors
+    /// As in [`Engine::train`].
+    pub fn serve_resilient(
+        &self,
+        spec: &ModelSpec,
+        ids: &[CompanyId],
+        cutoff: Month,
+        opts: ServeOptions,
+    ) -> Result<ResilientModel, EngineError> {
+        let seqs = self.sequences_before(ids, cutoff);
+        let primary = spec.fit_sequences(&seqs, &[])?;
+        let fallback = NgramLm::fit(NgramConfig::unigram(self.corpus.vocab().len()), &seqs);
+        Ok(ResilientModel::new(primary, fallback, opts))
     }
 
     /// Trains a model on every company's full history.
@@ -1059,6 +1586,291 @@ mod tests {
         }
         let err = fit_lda(cfg, LdaEstimator::Gibbs, &[]).unwrap_err();
         assert!(matches!(err, EngineError::InvalidSpec { .. }));
+    }
+
+    #[test]
+    fn train_resilient_kill_and_resume_matches_plain_training() {
+        use hlm_resilience::{CheckpointStore, MemIo};
+
+        let engine = Engine::new(corpus());
+        let ids: Vec<CompanyId> = engine.corpus().ids().collect();
+        let spec = ModelSpec::Lda {
+            config: LdaConfig {
+                n_topics: 2,
+                vocab_size: engine.corpus().vocab().len(),
+                n_iters: 40,
+                burn_in: 20,
+                ..Default::default()
+            },
+            estimator: LdaEstimator::Gibbs,
+        };
+        let cutoff = Month(i32::MAX);
+        let full = engine.train(&spec, &ids, cutoff).unwrap();
+
+        // Kill at sweep 30 (mid phi accumulation), resume from the store.
+        let store = CheckpointStore::new(Box::new(MemIo::new()));
+        let plan = TrainPlan::new()
+            .with_store(store)
+            .with_guard(RunGuard::unlimited().abort_at_iteration(30));
+        let err = engine
+            .train_resilient(&spec, &ids, cutoff, plan)
+            .unwrap_err();
+        assert!(err.is_interruption(), "{err}");
+        // The store was consumed by the plan; rebuild over the same MemIo is
+        // not possible, so run the kill/resume pair against a disk store.
+        let dir = std::env::temp_dir().join(format!("hlm-engine-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = TrainPlan::new()
+            .on_disk(&dir)
+            .unwrap()
+            .with_guard(RunGuard::unlimited().abort_at_iteration(30));
+        let err = engine
+            .train_resilient(&spec, &ids, cutoff, plan)
+            .unwrap_err();
+        assert!(err.is_interruption());
+
+        let plan = TrainPlan::new().on_disk(&dir).unwrap().resume(true);
+        let fit = engine.train_resilient(&spec, &ids, cutoff, plan).unwrap();
+        assert_eq!(fit.resumed_from, Some(30));
+        assert!(fit.rolled_back.is_none());
+        let test = vec![vec![0, 1, 2], vec![2, 3]];
+        let full_ppl = full.perplexity(&test).unwrap();
+        let resumed_ppl = fit.model.perplexity(&test).unwrap();
+        assert!(
+            (full_ppl - resumed_ppl).abs() < 1e-9,
+            "resumed ppl {resumed_ppl} != full ppl {full_ppl}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn train_resilient_rolls_back_to_last_good_checkpoint_on_divergence() {
+        use hlm_resilience::{CheckpointStore, FaultPlan, MemIo};
+
+        let engine = Engine::new(corpus());
+        let ids: Vec<CompanyId> = engine.corpus().ids().collect();
+        let spec = ModelSpec::Lda {
+            config: LdaConfig {
+                n_topics: 2,
+                vocab_size: engine.corpus().vocab().len(),
+                n_iters: 40,
+                burn_in: 20,
+                ..Default::default()
+            },
+            estimator: LdaEstimator::Gibbs,
+        };
+        // NaN injected at sweep 35: past burn-in, so checkpoints 1..=35 hold
+        // phi samples and rollback succeeds.
+        let plan = TrainPlan::new()
+            .with_store(CheckpointStore::new(Box::new(MemIo::new())))
+            .with_faults(FaultPlan::none().with_nan_at_iteration(35));
+        let fit = engine
+            .train_resilient(&spec, &ids, Month(i32::MAX), plan)
+            .unwrap();
+        let rolled = fit.rolled_back.expect("divergence must be reported");
+        assert!(matches!(
+            rolled,
+            ResilienceError::Diverged { iteration: 35, .. }
+        ));
+        // The rolled-back model is usable.
+        let scores = fit.model.recommend(&[0, 1]).unwrap();
+        assert!(scores.iter().all(|s| s.is_finite()));
+
+        // Without a store there is nothing to roll back to: the divergence
+        // surfaces as an error instead of a poisoned model.
+        let plan = TrainPlan::new().with_faults(FaultPlan::none().with_nan_at_iteration(35));
+        let err = engine
+            .train_resilient(&spec, &ids, Month(i32::MAX), plan)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Resilience(ResilienceError::Diverged { .. })
+        ));
+    }
+
+    /// A primary that always reports the same constant score for every
+    /// product — the paper's BPMF degeneracy, distilled.
+    struct CollapsedPrimary {
+        vocab: usize,
+    }
+
+    impl TrainedModel for CollapsedPrimary {
+        fn kind(&self) -> ModelKind {
+            ModelKind::Bpmf
+        }
+        fn label(&self) -> &str {
+            "collapsed"
+        }
+        fn recommend(&self, _history: &[usize]) -> Result<Vec<f64>, EngineError> {
+            Ok(vec![1.0; self.vocab])
+        }
+        fn perplexity(&self, _test: &[Vec<usize>]) -> Result<f64, EngineError> {
+            Ok(f64::NAN)
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn degraded_serving_falls_back_to_unigram_and_tags_the_response() {
+        let train = tiny_seqs();
+        let fallback = NgramLm::fit(NgramConfig::unigram(5), &train);
+
+        // Healthy primary: served directly, not degraded.
+        let healthy = ModelSpec::Ngram(NgramConfig::bigram(5))
+            .fit_sequences(&train, &[])
+            .unwrap();
+        let server = ResilientModel::new(healthy, fallback.clone(), ServeOptions::default());
+        let served = server.recommend(&[0, 1]);
+        assert!(!served.is_degraded());
+        assert_eq!(served.value.len(), 5);
+
+        // Collapsed primary: unigram answers, response is tagged.
+        let server = ResilientModel::new(
+            Box::new(CollapsedPrimary { vocab: 5 }),
+            fallback.clone(),
+            ServeOptions::default(),
+        );
+        let served = server.recommend(&[0, 1]);
+        assert!(served.is_degraded(), "collapse must degrade");
+        assert!(served.degraded.as_deref().unwrap().contains("collapsed"));
+        assert_eq!(served.value, fallback.predict_next(&[0, 1]));
+        let ppl = server.perplexity(&[vec![0, 1, 2]]);
+        assert!(ppl.is_degraded());
+        assert!(ppl.value.is_finite());
+
+        // Primaries that refuse the operation degrade too (CHH perplexity).
+        let chh = ModelSpec::ChhExact {
+            depth: 2,
+            vocab_size: 5,
+        }
+        .fit_sequences(&train, &[])
+        .unwrap();
+        let server = ResilientModel::new(chh, fallback.clone(), ServeOptions::default());
+        let ppl = server.perplexity(&[vec![0, 1, 2]]);
+        assert!(ppl.is_degraded());
+        assert!(ppl.value.is_finite());
+    }
+
+    /// A primary whose every answer takes a fixed number of (manual-clock)
+    /// milliseconds — for deterministic deadline tests.
+    struct SlowPrimary {
+        inner: Box<dyn TrainedModel>,
+        clock: hlm_resilience::ManualClock,
+        cost_millis: u64,
+    }
+
+    impl TrainedModel for SlowPrimary {
+        fn kind(&self) -> ModelKind {
+            self.inner.kind()
+        }
+        fn label(&self) -> &str {
+            "slow"
+        }
+        fn recommend(&self, history: &[usize]) -> Result<Vec<f64>, EngineError> {
+            self.clock.advance(self.cost_millis);
+            self.inner.recommend(history)
+        }
+        fn perplexity(&self, test: &[Vec<usize>]) -> Result<f64, EngineError> {
+            self.inner.perplexity(test)
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn deadline_miss_degrades_deterministically() {
+        use hlm_resilience::ManualClock;
+
+        let train = tiny_seqs();
+        let fallback = NgramLm::fit(NgramConfig::unigram(5), &train);
+        let clock = ManualClock::new();
+        let primary = SlowPrimary {
+            inner: ModelSpec::Ngram(NgramConfig::bigram(5))
+                .fit_sequences(&train, &[])
+                .unwrap(),
+            clock: clock.clone(),
+            cost_millis: 50,
+        };
+        let server = ResilientModel::new(
+            Box::new(primary),
+            fallback,
+            ServeOptions {
+                request_budget_millis: Some(20),
+                collapse: CollapsePolicy::Detect,
+            },
+        )
+        .with_clock(Box::new(clock));
+        let served = server.recommend(&[0, 1]);
+        assert!(served.is_degraded(), "50 ms answer over a 20 ms budget");
+        assert!(served.degraded.as_deref().unwrap().contains("deadline"));
+    }
+
+    #[test]
+    fn one_shot_families_consult_the_watchdog() {
+        let spec = ModelSpec::Ngram(NgramConfig::bigram(5));
+        let plan = TrainPlan::new().with_guard(RunGuard::unlimited().abort_at_iteration(0));
+        let err = spec
+            .fit_sequences_resilient(&tiny_seqs(), &[], plan)
+            .unwrap_err();
+        assert!(err.is_interruption());
+        let fit = spec
+            .fit_sequences_resilient(&tiny_seqs(), &[], TrainPlan::new())
+            .unwrap();
+        assert_eq!(fit.checkpoints_written, 0);
+        assert!(fit.model.recommend(&[0]).is_ok());
+    }
+
+    #[test]
+    fn bpmf_trains_resiliently_through_the_engine() {
+        use hlm_bpmf::{BpmfConfig, Rating};
+        use hlm_resilience::{CheckpointStore, MemIo};
+
+        let ratings: Vec<Rating> = (0..8)
+            .flat_map(|r| {
+                (0..4).map(move |c| Rating {
+                    row: r,
+                    col: c,
+                    value: ((r + c) % 3) as f64,
+                })
+            })
+            .collect();
+        let cfg = BpmfConfig {
+            n_factors: 2,
+            n_iters: 30,
+            burn_in: 10,
+            seed: 5,
+            ..Default::default()
+        };
+        let full = fit_bpmf_resilient(8, 4, &ratings, &cfg, None, TrainPlan::new())
+            .unwrap()
+            .model;
+
+        let dir = std::env::temp_dir().join(format!("hlm-engine-bpmf-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = TrainPlan::new()
+            .on_disk(&dir)
+            .unwrap()
+            .with_guard(RunGuard::unlimited().abort_at_iteration(17));
+        let err = fit_bpmf_resilient(8, 4, &ratings, &cfg, None, plan).unwrap_err();
+        assert!(err.is_interruption());
+        let plan = TrainPlan::new().on_disk(&dir).unwrap().resume(true);
+        let fit = fit_bpmf_resilient(8, 4, &ratings, &cfg, None, plan).unwrap();
+        assert_eq!(fit.resumed_from, Some(17));
+        for r in 0..8 {
+            assert_eq!(fit.model.predict_row(r), full.predict_row(r));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Rollback needs at least one post-burn-in sample.
+        let plan = TrainPlan::new()
+            .with_store(CheckpointStore::new(Box::new(MemIo::new())))
+            .with_faults(hlm_resilience::FaultPlan::none().with_nan_at_iteration(25));
+        let fit = fit_bpmf_resilient(8, 4, &ratings, &cfg, None, plan).unwrap();
+        assert!(fit.rolled_back.is_some());
+        assert!(fit.model.all_scores().iter().all(|s| s.is_finite()));
     }
 
     #[test]

@@ -10,8 +10,31 @@ use crate::model::{LdaConfig, LdaModel};
 use crate::WeightedDoc;
 use hlm_linalg::dist::sample_categorical;
 use hlm_linalg::Matrix;
+use hlm_resilience::{Checkpoint, ResilienceError, TrainControl};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Checkpoint kind tag for collapsed Gibbs runs.
+pub const GIBBS_CHECKPOINT_KIND: &str = "lda-gibbs";
+
+/// Complete sampler state after a finished sweep: everything `fit_resumable`
+/// needs to continue bit-for-bit. Count tables are serialized rather than
+/// recomputed from `tok_z` because the incremental add/subtract updates
+/// accumulate floating-point error in a different order than a fresh
+/// summation would.
+#[derive(Serialize, Deserialize)]
+struct GibbsState {
+    iters_done: u64,
+    alpha: f64,
+    tok_z: Vec<u16>,
+    n_dk: Matrix,
+    n_kw: Matrix,
+    n_k: Vec<f64>,
+    phi_acc: Matrix,
+    n_samples: u64,
+    rng: [u64; 4],
+}
 
 /// Collapsed Gibbs trainer.
 #[derive(Debug, Clone)]
@@ -41,6 +64,24 @@ impl GibbsTrainer {
     /// Panics if a document references a word outside the configured
     /// vocabulary or carries a non-positive weight.
     pub fn fit(&self, docs: &[WeightedDoc]) -> LdaModel {
+        self.fit_resumable(docs, &mut TrainControl::noop(), None)
+            .expect("noop control cannot interrupt training")
+    }
+
+    /// Like [`GibbsTrainer::fit`], but consults `ctrl` at every sweep
+    /// boundary (watchdog, divergence detection, per-sweep checkpointing)
+    /// and optionally continues from a checkpoint written by an earlier run.
+    /// An interrupted-then-resumed run produces a model bit-identical to an
+    /// uninterrupted one.
+    ///
+    /// # Panics
+    /// Panics on the same malformed-input conditions as `fit`.
+    pub fn fit_resumable(
+        &self,
+        docs: &[WeightedDoc],
+        ctrl: &mut TrainControl,
+        resume: Option<&Checkpoint>,
+    ) -> Result<LdaModel, ResilienceError> {
         let k = self.cfg.n_topics;
         let m = self.cfg.vocab_size;
         let mut alpha = self.cfg.effective_alpha();
@@ -77,10 +118,25 @@ impl GibbsTrainer {
 
         let beta_sum = beta * m as f64;
         let mut phi_acc = Matrix::zeros(k, m);
-        let mut n_samples = 0usize;
+        let mut n_samples = 0u64;
         let mut probs = vec![0.0f64; k];
+        let mut start_iter = 0u64;
 
-        for iter in 0..self.cfg.n_iters {
+        if let Some(ckpt) = resume {
+            let state = decode_state(ckpt, tok_z.len(), docs.len(), k, m)?;
+            start_iter = state.iters_done;
+            alpha = state.alpha;
+            tok_z = state.tok_z;
+            n_dk = state.n_dk;
+            n_kw = state.n_kw;
+            n_k = state.n_k;
+            phi_acc = state.phi_acc;
+            n_samples = state.n_samples;
+            rng = StdRng::from_state(state.rng);
+        }
+
+        for iter in start_iter as usize..self.cfg.n_iters {
+            ctrl.begin_iteration(iter as u64)?;
             for i in 0..tok_doc.len() {
                 let d = tok_doc[i] as usize;
                 let w = tok_word[i] as usize;
@@ -122,6 +178,25 @@ impl GibbsTrainer {
                 }
                 n_samples += 1;
             }
+
+            // Total topic mass is conserved by a correct sweep; a NaN weight
+            // or injected fault shows up here and aborts before the broken
+            // state can be checkpointed.
+            ctrl.check_metric(iter as u64, "topic mass", n_k.iter().sum())?;
+
+            ctrl.checkpoint(iter as u64 + 1, || {
+                encode_state(&GibbsState {
+                    iters_done: iter as u64 + 1,
+                    alpha,
+                    tok_z: tok_z.clone(),
+                    n_dk: n_dk.clone(),
+                    n_kw: n_kw.clone(),
+                    n_k: n_k.clone(),
+                    phi_acc: phi_acc.clone(),
+                    n_samples,
+                    rng: rng.state(),
+                })
+            });
         }
 
         assert!(
@@ -131,8 +206,79 @@ impl GibbsTrainer {
         phi_acc.scale_mut(1.0 / n_samples as f64);
         // Guard against accumulated rounding before the model's row check.
         phi_acc.normalize_rows();
-        LdaModel::new(phi_acc, alpha, beta)
+        Ok(LdaModel::new(phi_acc, alpha, beta))
     }
+
+    /// Materializes a model directly from a checkpoint, without further
+    /// sweeps — the rollback path when a later sweep diverges. Fails with
+    /// [`ResilienceError::Mismatch`] if the checkpoint predates burn-in (no
+    /// phi samples collected yet).
+    pub fn model_from_checkpoint(&self, ckpt: &Checkpoint) -> Result<LdaModel, ResilienceError> {
+        if ckpt.kind != GIBBS_CHECKPOINT_KIND {
+            return Err(ResilienceError::Mismatch {
+                reason: format!("kind {} != {GIBBS_CHECKPOINT_KIND}", ckpt.kind),
+            });
+        }
+        let state: GibbsState = parse_payload(&ckpt.payload)?;
+        if state.n_samples == 0 {
+            return Err(ResilienceError::Mismatch {
+                reason: "checkpoint predates burn-in: no phi samples collected".to_string(),
+            });
+        }
+        let mut phi = state.phi_acc;
+        phi.scale_mut(1.0 / state.n_samples as f64);
+        phi.normalize_rows();
+        Ok(LdaModel::new(phi, state.alpha, self.cfg.beta))
+    }
+}
+
+fn encode_state(state: &GibbsState) -> Vec<u8> {
+    serde_json::to_string(state)
+        .expect("gibbs state serializes")
+        .into_bytes()
+}
+
+fn parse_payload(payload: &[u8]) -> Result<GibbsState, ResilienceError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| ResilienceError::corrupt("gibbs payload is not UTF-8"))?;
+    serde_json::from_str(text)
+        .map_err(|e| ResilienceError::corrupt(format!("gibbs payload does not parse: {e}")))
+}
+
+fn decode_state(
+    ckpt: &Checkpoint,
+    n_tokens: usize,
+    n_docs: usize,
+    k: usize,
+    m: usize,
+) -> Result<GibbsState, ResilienceError> {
+    if ckpt.kind != GIBBS_CHECKPOINT_KIND {
+        return Err(ResilienceError::Mismatch {
+            reason: format!("kind {} != {GIBBS_CHECKPOINT_KIND}", ckpt.kind),
+        });
+    }
+    let state = parse_payload(&ckpt.payload)?;
+    if state.tok_z.len() != n_tokens {
+        return Err(ResilienceError::Mismatch {
+            reason: format!(
+                "checkpoint has {} token assignments, corpus has {n_tokens}",
+                state.tok_z.len()
+            ),
+        });
+    }
+    if state.n_dk.rows() != n_docs
+        || state.n_dk.cols() != k
+        || state.n_kw.rows() != k
+        || state.n_kw.cols() != m
+        || state.n_k.len() != k
+        || state.phi_acc.rows() != k
+        || state.phi_acc.cols() != m
+    {
+        return Err(ResilienceError::Mismatch {
+            reason: "checkpoint count-table shapes do not match the configuration".to_string(),
+        });
+    }
+    Ok(state)
 }
 
 /// One step of Minka's fixed-point update for the symmetric Dirichlet
@@ -321,5 +467,90 @@ mod tests {
         docs.push(Vec::new());
         let model = GibbsTrainer::new(quick_cfg(2, 6, 13)).fit(&docs);
         assert!(model.phi().is_finite());
+    }
+
+    #[test]
+    fn kill_and_resume_matches_uninterrupted_run() {
+        use hlm_resilience::{CheckpointStore, MemIo, RunGuard};
+
+        let docs = unit_weights(&planted_docs(30, 3));
+        let cfg = quick_cfg(2, 6, 11);
+        let full = GibbsTrainer::new(cfg.clone()).fit(&docs);
+
+        // Kill mid-accumulation (after burn-in at 60, before the end at 120).
+        let store = CheckpointStore::new(Box::new(MemIo::new()));
+        let trainer = GibbsTrainer::new(cfg);
+        let mut ctrl = TrainControl::new(GIBBS_CHECKPOINT_KIND, &store)
+            .with_guard(RunGuard::unlimited().abort_at_iteration(70));
+        let err = trainer.fit_resumable(&docs, &mut ctrl, None).unwrap_err();
+        assert!(err.is_interruption());
+
+        let ckpt = store.latest_good(GIBBS_CHECKPOINT_KIND).unwrap().unwrap();
+        assert_eq!(ckpt.iteration, 70);
+        let resumed = trainer
+            .fit_resumable(&docs, &mut TrainControl::noop(), Some(&ckpt))
+            .unwrap();
+        assert_eq!(resumed.phi(), full.phi(), "resume must be bit-identical");
+        assert_eq!(resumed.alpha(), full.alpha());
+    }
+
+    #[test]
+    fn model_from_checkpoint_requires_phi_samples() {
+        use hlm_resilience::{CheckpointStore, MemIo, RunGuard};
+
+        let docs = unit_weights(&planted_docs(30, 3));
+        let trainer = GibbsTrainer::new(quick_cfg(2, 6, 11));
+        let store = CheckpointStore::new(Box::new(MemIo::new()));
+
+        // Killed during burn-in: no phi samples, rollback must refuse.
+        let mut ctrl = TrainControl::new(GIBBS_CHECKPOINT_KIND, &store)
+            .with_guard(RunGuard::unlimited().abort_at_iteration(10));
+        trainer.fit_resumable(&docs, &mut ctrl, None).unwrap_err();
+        let early = store.latest_good(GIBBS_CHECKPOINT_KIND).unwrap().unwrap();
+        assert!(matches!(
+            trainer.model_from_checkpoint(&early),
+            Err(hlm_resilience::ResilienceError::Mismatch { .. })
+        ));
+
+        // Killed after burn-in: rollback produces a valid model.
+        let mut ctrl = TrainControl::new(GIBBS_CHECKPOINT_KIND, &store)
+            .with_guard(RunGuard::unlimited().abort_at_iteration(80));
+        trainer.fit_resumable(&docs, &mut ctrl, None).unwrap_err();
+        let late = store.latest_good(GIBBS_CHECKPOINT_KIND).unwrap().unwrap();
+        let model = trainer.model_from_checkpoint(&late).unwrap();
+        assert!(model.phi().is_finite());
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_corpus_or_kind() {
+        use hlm_resilience::{Checkpoint, CheckpointStore, MemIo, RunGuard};
+
+        let docs = unit_weights(&planted_docs(30, 3));
+        let trainer = GibbsTrainer::new(quick_cfg(2, 6, 11));
+        let store = CheckpointStore::new(Box::new(MemIo::new()));
+        let mut ctrl = TrainControl::new(GIBBS_CHECKPOINT_KIND, &store)
+            .with_guard(RunGuard::unlimited().abort_at_iteration(5));
+        trainer.fit_resumable(&docs, &mut ctrl, None).unwrap_err();
+        let ckpt = store.latest_good(GIBBS_CHECKPOINT_KIND).unwrap().unwrap();
+
+        // Different corpus (token count changes).
+        let other = unit_weights(&planted_docs(10, 9));
+        let err = trainer
+            .fit_resumable(&other, &mut TrainControl::noop(), Some(&ckpt))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            hlm_resilience::ResilienceError::Mismatch { .. }
+        ));
+
+        // Wrong kind tag.
+        let wrong = Checkpoint::new("lstm", ckpt.iteration, ckpt.payload.clone());
+        let err = trainer
+            .fit_resumable(&docs, &mut TrainControl::noop(), Some(&wrong))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            hlm_resilience::ResilienceError::Mismatch { .. }
+        ));
     }
 }

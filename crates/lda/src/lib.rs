@@ -36,10 +36,10 @@ pub mod model;
 pub mod perplexity;
 pub mod vb;
 
-pub use gibbs::GibbsTrainer;
+pub use gibbs::{GibbsTrainer, GIBBS_CHECKPOINT_KIND};
 pub use model::{LdaConfig, LdaModel};
 pub use perplexity::{document_completion_perplexity, held_out_log_likelihood};
-pub use vb::{VbOptions, VbTrainer};
+pub use vb::{VbOptions, VbTrainer, VB_CHECKPOINT_KIND};
 
 /// A document as `(word index, weight)` pairs. Binary install bases use
 /// weight 1.0 per owned product; TF-IDF input uses the IDF weight.

@@ -15,8 +15,23 @@ use crate::model::{LdaConfig, LdaModel};
 use crate::WeightedDoc;
 use hlm_linalg::special::digamma;
 use hlm_linalg::Matrix;
+use hlm_resilience::{Checkpoint, ResilienceError, TrainControl};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Checkpoint kind tag for variational-Bayes runs.
+pub const VB_CHECKPOINT_KIND: &str = "lda-vb";
+
+/// Optimizer state after a completed E-M iteration. The RNG is only used to
+/// initialize `λ`, which is part of the state, so it needs no capture.
+#[derive(Serialize, Deserialize)]
+struct VbState {
+    iters_done: u64,
+    converged: bool,
+    lambda: Matrix,
+    gamma: Matrix,
+}
 
 /// Settings for the variational optimizer.
 #[derive(Debug, Clone)]
@@ -69,6 +84,22 @@ impl VbTrainer {
     /// # Panics
     /// Panics on out-of-vocabulary words or non-positive token weights.
     pub fn fit(&self, docs: &[WeightedDoc]) -> LdaModel {
+        self.fit_resumable(docs, &mut TrainControl::noop(), None)
+            .expect("noop control cannot interrupt training")
+    }
+
+    /// Like [`VbTrainer::fit`], but consults `ctrl` at every E-M iteration
+    /// boundary and optionally continues from an earlier run's checkpoint,
+    /// producing a model bit-identical to an uninterrupted run.
+    ///
+    /// # Panics
+    /// Panics on the same malformed-input conditions as `fit`.
+    pub fn fit_resumable(
+        &self,
+        docs: &[WeightedDoc],
+        ctrl: &mut TrainControl,
+        resume: Option<&Checkpoint>,
+    ) -> Result<LdaModel, ResilienceError> {
         let k = self.cfg.n_topics;
         let m = self.cfg.vocab_size;
         let alpha = self.cfg.effective_alpha();
@@ -88,12 +119,26 @@ impl VbTrainer {
         // Initialize λ with small positive noise around β.
         let mut lambda = Matrix::from_fn(k, m, |_, _| beta + 0.5 + 0.1 * rng.gen::<f64>());
         let mut gamma = Matrix::filled(docs.len(), k, alpha + 1.0);
+        let mut start_iter = 0u64;
+
+        if let Some(ckpt) = resume {
+            let state = decode_state(ckpt, docs.len(), k, m)?;
+            if state.converged {
+                let mut phi = state.lambda;
+                phi.normalize_rows();
+                return Ok(LdaModel::new(phi, alpha, beta));
+            }
+            start_iter = state.iters_done;
+            lambda = state.lambda;
+            gamma = state.gamma;
+        }
 
         // exp(E[log φ_kw]) cache.
         let mut e_log_phi = Matrix::zeros(k, m);
         let mut resp = vec![0.0f64; k];
 
-        for _iter in 0..self.opts.max_iters {
+        for iter in start_iter as usize..self.opts.max_iters {
+            ctrl.begin_iteration(iter as u64)?;
             // Cache expected log topic-word probabilities.
             for t in 0..k {
                 let row_sum: f64 = lambda.row(t).iter().sum();
@@ -156,15 +201,74 @@ impl VbTrainer {
             }
             lambda = lambda_new;
             mean_gamma_change /= (docs.len().max(1) * k) as f64;
-            if mean_gamma_change < self.opts.tol {
+            let change = ctrl.check_metric(iter as u64, "mean gamma change", mean_gamma_change)?;
+            let converged = change < self.opts.tol;
+            ctrl.checkpoint(iter as u64 + 1, || {
+                encode_state(&VbState {
+                    iters_done: iter as u64 + 1,
+                    converged,
+                    lambda: lambda.clone(),
+                    gamma: gamma.clone(),
+                })
+            });
+            if converged {
                 break;
             }
         }
 
         let mut phi = lambda;
         phi.normalize_rows();
-        LdaModel::new(phi, alpha, beta)
+        Ok(LdaModel::new(phi, alpha, beta))
     }
+
+    /// Materializes a model directly from a checkpoint, without further
+    /// E-M iterations — the rollback path when a later iteration diverges.
+    pub fn model_from_checkpoint(&self, ckpt: &Checkpoint) -> Result<LdaModel, ResilienceError> {
+        let state = decode_state(ckpt, usize::MAX, self.cfg.n_topics, self.cfg.vocab_size)?;
+        let mut phi = state.lambda;
+        phi.normalize_rows();
+        Ok(LdaModel::new(
+            phi,
+            self.cfg.effective_alpha(),
+            self.cfg.beta,
+        ))
+    }
+}
+
+fn encode_state(state: &VbState) -> Vec<u8> {
+    serde_json::to_string(state)
+        .expect("vb state serializes")
+        .into_bytes()
+}
+
+fn decode_state(
+    ckpt: &Checkpoint,
+    n_docs: usize,
+    k: usize,
+    m: usize,
+) -> Result<VbState, ResilienceError> {
+    if ckpt.kind != VB_CHECKPOINT_KIND {
+        return Err(ResilienceError::Mismatch {
+            reason: format!("kind {} != {VB_CHECKPOINT_KIND}", ckpt.kind),
+        });
+    }
+    let text = std::str::from_utf8(&ckpt.payload)
+        .map_err(|_| ResilienceError::corrupt("vb payload is not UTF-8"))?;
+    let state: VbState = serde_json::from_str(text)
+        .map_err(|e| ResilienceError::corrupt(format!("vb payload does not parse: {e}")))?;
+    if state.lambda.rows() != k || state.lambda.cols() != m {
+        return Err(ResilienceError::Mismatch {
+            reason: "checkpoint lambda shape does not match the configuration".to_string(),
+        });
+    }
+    // n_docs == usize::MAX skips the document-count check (rollback path,
+    // where the corpus is not at hand).
+    if n_docs != usize::MAX && (state.gamma.rows() != n_docs || state.gamma.cols() != k) {
+        return Err(ResilienceError::Mismatch {
+            reason: "checkpoint gamma shape does not match the corpus".to_string(),
+        });
+    }
+    Ok(state)
 }
 
 #[cfg(test)]
@@ -255,5 +359,47 @@ mod tests {
     #[should_panic(expected = "outside vocabulary")]
     fn vb_rejects_out_of_vocab() {
         VbTrainer::new(cfg(2, 3), VbOptions::default()).fit(&[vec![(7, 1.0)]]);
+    }
+
+    #[test]
+    fn vb_kill_and_resume_matches_uninterrupted_run() {
+        use hlm_resilience::{CheckpointStore, MemIo, RunGuard, TrainControl};
+
+        let docs = unit_weights(&planted_docs(80, 5));
+        let trainer = VbTrainer::new(cfg(2, 6), VbOptions::default());
+        let full = trainer.fit(&docs);
+
+        let store = CheckpointStore::new(Box::new(MemIo::new()));
+        let mut ctrl = TrainControl::new(VB_CHECKPOINT_KIND, &store)
+            .with_guard(RunGuard::unlimited().abort_at_iteration(3));
+        let err = trainer.fit_resumable(&docs, &mut ctrl, None).unwrap_err();
+        assert!(err.is_interruption());
+
+        let ckpt = store.latest_good(VB_CHECKPOINT_KIND).unwrap().unwrap();
+        assert_eq!(ckpt.iteration, 3);
+        let resumed = trainer
+            .fit_resumable(&docs, &mut TrainControl::noop(), Some(&ckpt))
+            .unwrap();
+        assert_eq!(resumed.phi(), full.phi(), "resume must be bit-identical");
+    }
+
+    #[test]
+    fn vb_resume_from_converged_checkpoint_returns_final_model() {
+        use hlm_resilience::{CheckpointStore, MemIo, TrainControl};
+
+        let docs = unit_weights(&planted_docs(80, 6));
+        let trainer = VbTrainer::new(cfg(2, 6), VbOptions::default());
+        let store = CheckpointStore::new(Box::new(MemIo::new()));
+        let mut ctrl = TrainControl::new(VB_CHECKPOINT_KIND, &store);
+        let full = trainer.fit_resumable(&docs, &mut ctrl, None).unwrap();
+
+        let ckpt = store.latest_good(VB_CHECKPOINT_KIND).unwrap().unwrap();
+        let resumed = trainer
+            .fit_resumable(&docs, &mut TrainControl::noop(), Some(&ckpt))
+            .unwrap();
+        assert_eq!(resumed.phi(), full.phi());
+
+        let rolled_back = trainer.model_from_checkpoint(&ckpt).unwrap();
+        assert_eq!(rolled_back.phi(), full.phi());
     }
 }

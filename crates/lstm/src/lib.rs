@@ -37,4 +37,4 @@ pub use cell::LstmCell;
 pub use gru::GruCell;
 pub use model::{CellKind, LstmConfig, LstmLm, RnnLayer};
 pub use param::{AdamOptions, Param};
-pub use trainer::{TrainOptions, Trainer};
+pub use trainer::{TrainOptions, Trainer, LSTM_CHECKPOINT_KIND};

@@ -228,6 +228,19 @@ impl LstmLm {
         &self.cfg
     }
 
+    /// The dropout RNG's raw state, for checkpointing. `dropout_rng` is
+    /// `#[serde(skip)]` (deserializing resets it), so resumable training
+    /// captures and restores it explicitly alongside the serialized model.
+    pub fn dropout_rng_state(&self) -> [u64; 4] {
+        self.dropout_rng.state()
+    }
+
+    /// Restores the dropout RNG mid-stream (see
+    /// [`LstmLm::dropout_rng_state`]).
+    pub fn set_dropout_rng_state(&mut self, state: [u64; 4]) {
+        self.dropout_rng = StdRng::from_state(state);
+    }
+
     /// Total scalar parameter count (embedding + cells + output head).
     pub fn parameter_count(&self) -> usize {
         self.embedding.len()

@@ -2,9 +2,33 @@
 
 use crate::model::LstmLm;
 use crate::param::{Adam, AdamOptions};
+use hlm_resilience::{Checkpoint, ResilienceError, TrainControl};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// Checkpoint kind tag for LSTM training runs.
+pub const LSTM_CHECKPOINT_KIND: &str = "lstm";
+
+/// Complete trainer state after a finished epoch. The shuffle order and both
+/// RNG streams are captured so a resumed run replays the exact same batch
+/// sequence and dropout masks as an uninterrupted one.
+#[derive(Serialize, Deserialize)]
+struct LstmTrainState {
+    epochs_done: u64,
+    stopped_early: bool,
+    model: LstmLm,
+    model_rng: [u64; 4],
+    adam: Adam,
+    lr: f64,
+    order: Vec<usize>,
+    stats: Vec<EpochStats>,
+    best_ppl: Option<f64>,
+    best_model: Option<LstmLm>,
+    best_rng: [u64; 4],
+    since_best: u64,
+    shuffle_rng: [u64; 4],
+}
 
 /// Training options. The paper trains for 14 epochs; early stopping on
 /// validation perplexity guards the small-corpus regime.
@@ -93,6 +117,23 @@ impl Trainer {
         train: &[Vec<usize>],
         valid: &[Vec<usize>],
     ) -> Vec<EpochStats> {
+        self.fit_resumable(model, train, valid, &mut TrainControl::noop(), None)
+            .expect("noop control cannot interrupt training")
+    }
+
+    /// Like [`Trainer::fit`], but consults `ctrl` at every epoch boundary
+    /// (watchdog, NaN/divergence detection, per-epoch checkpointing) and
+    /// optionally continues from a checkpoint written by an earlier run. An
+    /// interrupted-then-resumed run leaves `model` bit-identical to an
+    /// uninterrupted one.
+    pub fn fit_resumable(
+        &self,
+        model: &mut LstmLm,
+        train: &[Vec<usize>],
+        valid: &[Vec<usize>],
+        ctrl: &mut TrainControl,
+        resume: Option<&Checkpoint>,
+    ) -> Result<Vec<EpochStats>, ResilienceError> {
         let mut rng = StdRng::seed_from_u64(self.opts.seed);
         let mut adam = Adam::new(self.opts.adam);
         let mut lr = self.opts.adam.learning_rate;
@@ -100,8 +141,33 @@ impl Trainer {
         let mut stats = Vec::with_capacity(self.opts.epochs);
         let mut best: Option<(f64, LstmLm)> = None;
         let mut since_best = 0usize;
+        let mut start_epoch = 0u64;
 
-        for epoch in 0..self.opts.epochs {
+        if let Some(ckpt) = resume {
+            let state = decode_state(ckpt, train.len())?;
+            start_epoch = state.epochs_done;
+            *model = state.model;
+            model.set_dropout_rng_state(state.model_rng);
+            adam = state.adam;
+            lr = state.lr;
+            order = state.order;
+            stats = state.stats;
+            best = match (state.best_ppl, state.best_model) {
+                (Some(ppl), Some(mut m)) => {
+                    m.set_dropout_rng_state(state.best_rng);
+                    Some((ppl, m))
+                }
+                _ => None,
+            };
+            since_best = state.since_best as usize;
+            rng = StdRng::from_state(state.shuffle_rng);
+            if state.stopped_early {
+                start_epoch = self.opts.epochs as u64; // skip straight to restore
+            }
+        }
+
+        for epoch in start_epoch as usize..self.opts.epochs {
+            ctrl.begin_iteration(epoch as u64)?;
             hlm_linalg::dist::shuffle(&mut rng, &mut order);
             let mut total_nll = 0.0;
             let mut total_tokens = 0usize;
@@ -118,10 +184,11 @@ impl Trainer {
             } else {
                 0.0
             };
+            let train_nll = ctrl.check_metric(epoch as u64, "train nll", train_nll)?;
             let valid_ppl = if valid.is_empty() {
                 f64::NAN
             } else {
-                model.perplexity(valid)
+                ctrl.check_metric(epoch as u64, "valid perplexity", model.perplexity(valid))?
             };
             if self.opts.verbose {
                 eprintln!(
@@ -139,6 +206,7 @@ impl Trainer {
                 adam.set_learning_rate(lr);
             }
 
+            let mut stop = false;
             if !valid.is_empty() {
                 let improved = best.as_ref().is_none_or(|(b, _)| valid_ppl < *b);
                 if improved {
@@ -147,16 +215,92 @@ impl Trainer {
                 } else {
                     since_best += 1;
                     if self.opts.patience > 0 && since_best >= self.opts.patience {
-                        break;
+                        stop = true;
                     }
                 }
+            }
+
+            ctrl.checkpoint(epoch as u64 + 1, || {
+                encode_state(&LstmTrainState {
+                    epochs_done: epoch as u64 + 1,
+                    stopped_early: stop,
+                    model: model.clone(),
+                    model_rng: model.dropout_rng_state(),
+                    adam: adam.clone(),
+                    lr,
+                    order: order.clone(),
+                    stats: stats.clone(),
+                    best_ppl: best.as_ref().map(|(p, _)| *p),
+                    best_model: best.as_ref().map(|(_, m)| m.clone()),
+                    best_rng: best
+                        .as_ref()
+                        .map(|(_, m)| m.dropout_rng_state())
+                        .unwrap_or([0; 4]),
+                    since_best: since_best as u64,
+                    shuffle_rng: rng.state(),
+                })
+            });
+
+            if stop {
+                break;
             }
         }
         if let Some((_, best_model)) = best {
             *model = best_model;
         }
-        stats
+        Ok(stats)
     }
+
+    /// Materializes the model a checkpoint captured, without further epochs —
+    /// the rollback path when a later epoch diverges. Returns the best
+    /// validation model when early stopping was active, otherwise the model
+    /// as of the checkpointed epoch, plus the per-epoch stats so far.
+    pub fn model_from_checkpoint(
+        &self,
+        ckpt: &Checkpoint,
+    ) -> Result<(LstmLm, Vec<EpochStats>), ResilienceError> {
+        let state = decode_state(ckpt, usize::MAX)?;
+        let model = match (state.best_ppl, state.best_model) {
+            (Some(_), Some(mut m)) => {
+                m.set_dropout_rng_state(state.best_rng);
+                m
+            }
+            _ => {
+                let mut m = state.model;
+                m.set_dropout_rng_state(state.model_rng);
+                m
+            }
+        };
+        Ok((model, state.stats))
+    }
+}
+
+fn encode_state(state: &LstmTrainState) -> Vec<u8> {
+    serde_json::to_string(state)
+        .expect("lstm trainer state serializes")
+        .into_bytes()
+}
+
+fn decode_state(ckpt: &Checkpoint, n_train: usize) -> Result<LstmTrainState, ResilienceError> {
+    if ckpt.kind != LSTM_CHECKPOINT_KIND {
+        return Err(ResilienceError::Mismatch {
+            reason: format!("kind {} != {LSTM_CHECKPOINT_KIND}", ckpt.kind),
+        });
+    }
+    let text = std::str::from_utf8(&ckpt.payload)
+        .map_err(|_| ResilienceError::corrupt("lstm payload is not UTF-8"))?;
+    let state: LstmTrainState = serde_json::from_str(text)
+        .map_err(|e| ResilienceError::corrupt(format!("lstm payload does not parse: {e}")))?;
+    // n_train == usize::MAX skips the corpus check (rollback path).
+    if n_train != usize::MAX && state.order.len() != n_train {
+        return Err(ResilienceError::Mismatch {
+            reason: format!(
+                "checkpoint shuffled {} sequences, corpus has {n_train}",
+                state.order.len()
+            ),
+        });
+    }
+    Ok(state)
 }
 
 #[cfg(test)]

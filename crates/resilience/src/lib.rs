@@ -1,0 +1,36 @@
+//! Resilience layer for hidden-layer-model training and serving.
+//!
+//! Production training runs die: machines are preempted, disks tear writes,
+//! gradients blow up. This crate gives the trainers in the workspace a small,
+//! dependency-free toolkit to survive that:
+//!
+//! - [`checkpoint`] — a versioned, checksummed snapshot container
+//!   ([`Checkpoint`]), atomic filesystem storage ([`FsIo`]), and a store that
+//!   falls back past corrupt files to the latest good snapshot
+//!   ([`CheckpointStore`]).
+//! - [`guard`] — a watchdog ([`RunGuard`]) combining wall-clock deadlines
+//!   (injectable [`Clock`]), cooperative cancellation ([`CancelHandle`]), and
+//!   deterministic abort points for kill/resume tests.
+//! - [`control`] — [`TrainControl`], the per-run object trainer loops consult
+//!   at iteration boundaries for watchdog checks, NaN/divergence detection,
+//!   opt-in score-collapse detection, and checkpoint emission.
+//! - [`fault`] — a seeded, count-based fault-injection harness
+//!   ([`FaultPlan`], [`FaultyIo`]) so every failure mode the tests exercise
+//!   is reproducible without timing or signals.
+//!
+//! The contract trainers uphold: a checkpoint captures *everything* the loop
+//! needs (including RNG streams), is written only after an iteration fully
+//! completes and passes divergence checks, and resuming from it continues
+//! the run bit-for-bit identically to one that was never interrupted.
+
+pub mod checkpoint;
+pub mod control;
+pub mod error;
+pub mod fault;
+pub mod guard;
+
+pub use checkpoint::{Checkpoint, CheckpointIo, CheckpointSink, CheckpointStore, FsIo, MemIo};
+pub use control::{CollapsePolicy, TrainControl};
+pub use error::ResilienceError;
+pub use fault::{Fault, FaultPlan, FaultyIo};
+pub use guard::{CancelHandle, Clock, ManualClock, RunGuard, SystemClock};

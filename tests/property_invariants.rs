@@ -4,6 +4,7 @@ use hlm_chh::ExactChh;
 use hlm_corpus::{Corpus, Split};
 use hlm_eval::stats::{binomial_sf, five_number_summary, mean_ci};
 use hlm_ngram::{NgramConfig, NgramLm};
+use hlm_resilience::Checkpoint;
 use proptest::prelude::*;
 
 /// Arbitrary product sequences over a small vocabulary.
@@ -109,6 +110,80 @@ proptest! {
         prop_assert!(theta.iter().all(|&x| x >= 0.0));
         let pred = model.predictive_distribution(&theta);
         prop_assert!((pred.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_for_any_payload(
+        kind_idx in 0usize..4,
+        iteration in 0u64..u64::MAX,
+        payload in prop::collection::vec(0u8..=255, 0..512),
+    ) {
+        let kind = ["lstm", "lda-gibbs", "lda-vb", "bpmf"][kind_idx];
+        let ckpt = Checkpoint::new(kind, iteration, payload);
+        let decoded = Checkpoint::decode(&ckpt.encode()).unwrap();
+        prop_assert_eq!(decoded, ckpt);
+    }
+
+    #[test]
+    fn any_single_flipped_byte_invalidates_a_checkpoint(
+        payload in prop::collection::vec(0u8..=255, 1..256),
+        iteration in 0u64..1_000_000,
+        pos_seed in 0usize..usize::MAX,
+        mask in 1u8..=255,
+    ) {
+        let bytes = Checkpoint::new("lda-gibbs", iteration, payload).encode();
+        let pos = pos_seed % bytes.len();
+        let mut damaged = bytes.clone();
+        damaged[pos] ^= mask;
+        prop_assert!(
+            Checkpoint::decode(&damaged).is_err(),
+            "flipping byte {} with mask {:#04x} went undetected",
+            pos,
+            mask
+        );
+        // The pristine encoding still decodes (the damage, not the format,
+        // is what's rejected).
+        prop_assert!(Checkpoint::decode(&bytes).is_ok());
+    }
+
+    #[test]
+    fn csv_roundtrips_hostile_company_names(
+        raw_names in prop::collection::vec(prop::collection::vec(32u8..127, 1..20), 1..8),
+    ) {
+        // Printable-ASCII names — including commas, quotes, and leading or
+        // trailing spaces — survive a CSV write/parse cycle byte for byte.
+        use hlm_corpus::{io, Company, InstallEvent, Month, ProductId, Sic2, Vocabulary};
+        let names: Vec<String> = raw_names
+            .iter()
+            .map(|bs| bs.iter().map(|&b| b as char).collect())
+            .collect();
+        let companies: Vec<Company> = names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let mut c = Company::new(i as u64, name.clone(), Sic2(7), 1);
+                c.add_event(InstallEvent::at(ProductId(0), Month::from_ym(2005, 3)));
+                c
+            })
+            .collect();
+        let corpus = Corpus::new(Vocabulary::new(["prod, \"x\""]), companies);
+        let (c_csv, e_csv) = io::to_csv(&corpus);
+        let back = io::from_csv(corpus.vocab().clone(), &c_csv, &e_csv).unwrap();
+        prop_assert_eq!(back.len(), corpus.len());
+        for (orig, parsed) in corpus.companies().iter().zip(back.companies()) {
+            prop_assert_eq!(&orig.name, &parsed.name);
+            prop_assert_eq!(orig.events(), parsed.events());
+        }
+        // The lenient parser agrees on clean input and quarantines nothing.
+        let (lenient, report) = io::from_csv_lenient(
+            corpus.vocab().clone(),
+            &c_csv,
+            &e_csv,
+            &io::LenientOptions::default(),
+        )
+        .unwrap();
+        prop_assert!(report.is_empty());
+        prop_assert_eq!(lenient.len(), corpus.len());
     }
 }
 

@@ -216,6 +216,28 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for checkpointing a generator
+        /// mid-stream (upstream `StdRng` offers no such hook; this vendored
+        /// generator does so resumable training can restore the exact
+        /// stream position).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator at an exact stream position captured by
+        /// [`StdRng::state`]. An all-zero state (never produced by a live
+        /// generator) is nudged the same way as in `from_seed`.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return StdRng {
+                    s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3],
+                };
+            }
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]

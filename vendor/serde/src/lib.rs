@@ -431,6 +431,16 @@ impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
     }
 }
 
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(deserializer)?;
+        let len = items.len();
+        items.try_into().map_err(|_| {
+            <D::Error as de::Error>::custom(format!("expected {N} elements, got {len}"))
+        })
+    }
+}
+
 impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         T::deserialize(deserializer).map(Box::new)
