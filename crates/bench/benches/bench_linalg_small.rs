@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks guarding the small-size fast path of the
+//! linalg kernels touched by the parallel runtime work: cache-blocked
+//! matmul with the transpose-B variant, the parallel cutoff, the sparsity
+//! probe, and the unrolled dot/axpy.
+//!
+//! Everything here sits *below* the parallel-dispatch cutoff on purpose —
+//! the point is that the blocking, probing and unrolling added for large
+//! shapes must not cost anything at the paper's actual working sizes
+//! (38-product vocabulary, 3–16 topic factors, 64×64 Cholesky inputs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hlm_linalg::vector::{axpy, dot};
+use hlm_linalg::Matrix;
+use std::hint::black_box;
+
+fn mat(r: usize, c: usize, salt: usize) -> Matrix {
+    Matrix::from_fn(r, c, |i, j| {
+        ((i * 31 + j * 17 + salt) % 13) as f64 / 13.0 - 0.4
+    })
+}
+
+fn bench_small_matmul(c: &mut Criterion) {
+    for n in [8usize, 16, 32, 64] {
+        let a = mat(n, n, 1);
+        let b = mat(n, n, 2);
+        c.bench_function(&format!("matmul_{n}x{n}"), |bch| {
+            bch.iter(|| black_box(&a).matmul(black_box(&b)))
+        });
+        c.bench_function(&format!("matmul_nt_{n}x{n}"), |bch| {
+            bch.iter(|| black_box(&a).matmul_nt(black_box(&b)))
+        });
+    }
+    // The paper's shapes: representations (n×38 by 38×k) and factor products.
+    let reps = mat(1000, 38, 3);
+    let proj = mat(38, 3, 4);
+    c.bench_function("matmul_1000x38_by_38x3", |bch| {
+        bch.iter(|| black_box(&reps).matmul(black_box(&proj)))
+    });
+}
+
+fn bench_small_matvec(c: &mut Criterion) {
+    for (r, k) in [(38usize, 3usize), (64, 64), (300, 38)] {
+        let m = mat(r, k, 5);
+        let v: Vec<f64> = (0..k).map(|i| (i % 7) as f64 / 7.0).collect();
+        c.bench_function(&format!("matvec_{r}x{k}"), |bch| {
+            bch.iter(|| black_box(&m).matvec(black_box(&v)))
+        });
+    }
+}
+
+fn bench_dot_axpy(c: &mut Criterion) {
+    for n in [38usize, 300, 4096] {
+        let a: Vec<f64> = (0..n).map(|i| (i % 11) as f64 / 11.0).collect();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 3) % 13) as f64 / 13.0).collect();
+        c.bench_function(&format!("dot_{n}"), |bch| {
+            bch.iter(|| dot(black_box(&a), black_box(&b)))
+        });
+        c.bench_function(&format!("axpy_{n}"), |bch| {
+            let mut y = a.clone();
+            bch.iter(|| axpy(black_box(&mut y), 0.5, black_box(&b)))
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_small_matmul,
+    bench_small_matvec,
+    bench_dot_axpy
+);
+criterion_main!(benches);

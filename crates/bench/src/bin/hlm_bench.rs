@@ -1,0 +1,168 @@
+//! `hlm-bench` — wall-clock baseline for the parallel runtime (PR 3).
+//!
+//! Times the LDA hot path (Gibbs training + document-completion perplexity)
+//! at 1 worker thread and at 8, on the same corpus and seed, and reports
+//! wall-clock, speedup and the dimensions of the workload. The runtime is
+//! deterministic by construction, so the two runs must produce the *same*
+//! perplexity — the binary asserts this and records it in the output.
+//!
+//! Usage:
+//!   hlm-bench [--json [PATH]]
+//!
+//! `--json` writes the machine-readable record (default `BENCH_pr3.json`)
+//! next to the human-readable stdout summary. Scale follows `HLM_SCALE`
+//! (`smoke|small|medium|paper`, default `small`).
+//!
+//! Note on interpreting speedup: the numbers are honest wall-clock on the
+//! machine the binary runs on. On a single-core host the 8-thread run
+//! cannot beat the serial one (thread switching only adds overhead); the
+//! ≥3× target is meaningful only where ≥8 hardware threads exist, which is
+//! why CI runs this on its multi-core runners.
+
+use hlm_engine::{effective_threads, set_threads};
+use hlm_lda::{document_completion_perplexity, GibbsTrainer, LdaConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Run {
+    threads: usize,
+    train_seconds: f64,
+    eval_seconds: f64,
+    perplexity: f64,
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (want_json, json_path) = match argv.first().map(String::as_str) {
+        None => (false, String::new()),
+        Some("--json") => (
+            true,
+            argv.get(1)
+                .cloned()
+                .unwrap_or_else(|| "BENCH_pr3.json".to_string()),
+        ),
+        Some(other) => {
+            eprintln!("unknown option {other:?}; usage: hlm-bench [--json [PATH]]");
+            std::process::exit(2);
+        }
+    };
+
+    let scale = hlm_bench::ExpScale::from_env();
+    eprintln!(
+        "[hlm-bench] scale: {} ({} companies)",
+        scale.name, scale.n_companies
+    );
+    let corpus = scale.corpus();
+    let split = scale.split(&corpus);
+    let train = hlm_core::representations::binary_docs(&corpus, &split.train);
+    let test = hlm_core::representations::binary_docs(&corpus, &split.test);
+    let config = LdaConfig {
+        n_topics: 3,
+        vocab_size: corpus.vocab().len(),
+        n_iters: scale.lda_iters,
+        burn_in: scale.lda_iters / 2,
+        sample_lag: 5,
+        seed: scale.seed,
+        ..Default::default()
+    };
+
+    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut runs = Vec::new();
+    for threads in [1usize, 8] {
+        set_threads(threads);
+        eprintln!("[hlm-bench] LDA train+eval at {threads} thread(s)…");
+        let t0 = Instant::now();
+        let model = GibbsTrainer::new(config.clone()).fit(&train);
+        let train_seconds = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let perplexity = document_completion_perplexity(&model, &test);
+        let eval_seconds = t1.elapsed().as_secs_f64();
+        assert_eq!(effective_threads(), threads);
+        runs.push(Run {
+            threads,
+            train_seconds,
+            eval_seconds,
+            perplexity,
+        });
+    }
+    let deterministic = runs
+        .windows(2)
+        .all(|w| w[0].perplexity.to_bits() == w[1].perplexity.to_bits());
+    assert!(
+        deterministic,
+        "perplexity must be bit-identical at every thread count"
+    );
+
+    let total = |r: &Run| r.train_seconds + r.eval_seconds;
+    let speedup_train = runs[0].train_seconds / runs[1].train_seconds;
+    let speedup_eval = runs[0].eval_seconds / runs[1].eval_seconds;
+    let speedup_total = total(&runs[0]) / total(&runs[1]);
+
+    println!(
+        "corpus: {} companies, {} products, {} docs train / {} test",
+        corpus.len(),
+        corpus.vocab().len(),
+        train.len(),
+        test.len()
+    );
+    println!(
+        "LDA: {} topics, {} sweeps; hardware threads: {hardware}",
+        config.n_topics, config.n_iters
+    );
+    for r in &runs {
+        println!(
+            "threads={}: train {:.3}s  eval {:.3}s  perplexity {:.6}",
+            r.threads, r.train_seconds, r.eval_seconds, r.perplexity
+        );
+    }
+    println!(
+        "speedup (1 -> 8 threads): train {speedup_train:.2}x  eval {speedup_eval:.2}x  \
+         total {speedup_total:.2}x"
+    );
+    println!("deterministic across thread counts: {deterministic}");
+
+    if want_json {
+        let mut j = String::new();
+        let _ = writeln!(j, "{{");
+        let _ = writeln!(j, "  \"bench\": \"pr3_parallel_runtime\",");
+        let _ = writeln!(j, "  \"scale\": \"{}\",", scale.name);
+        let _ = writeln!(
+            j,
+            "  \"corpus\": {{\"companies\": {}, \"products\": {}, \"train_docs\": {}, \
+             \"test_docs\": {}}},",
+            corpus.len(),
+            corpus.vocab().len(),
+            train.len(),
+            test.len()
+        );
+        let _ = writeln!(
+            j,
+            "  \"lda\": {{\"n_topics\": {}, \"n_iters\": {}}},",
+            config.n_topics, config.n_iters
+        );
+        let _ = writeln!(j, "  \"hardware_threads\": {hardware},");
+        let _ = writeln!(j, "  \"runs\": [");
+        for (i, r) in runs.iter().enumerate() {
+            let _ = writeln!(
+                j,
+                "    {{\"threads\": {}, \"train_seconds\": {:.6}, \"eval_seconds\": {:.6}, \
+                 \"perplexity\": {:.12}}}{}",
+                r.threads,
+                r.train_seconds,
+                r.eval_seconds,
+                r.perplexity,
+                if i + 1 < runs.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(j, "  ],");
+        let _ = writeln!(
+            j,
+            "  \"speedup_1_to_8\": {{\"train\": {speedup_train:.4}, \"eval\": {speedup_eval:.4}, \
+             \"total\": {speedup_total:.4}}},"
+        );
+        let _ = writeln!(j, "  \"deterministic\": {deterministic}");
+        let _ = writeln!(j, "}}");
+        std::fs::write(&json_path, j).expect("write benchmark json");
+        eprintln!("[hlm-bench] wrote {json_path}");
+    }
+}

@@ -199,10 +199,19 @@ fn sample_hyper(
     (mu, lambda)
 }
 
+/// Factor rows per parallel chunk (fixed: part of the deterministic
+/// sampling schedule).
+const FACTOR_ROW_CHUNK: usize = 64;
+
 /// Samples one side's factor rows given the other side and hyperparameters.
+///
+/// Rows are conditionally independent given the other side, so they are
+/// drawn over fixed chunks in parallel; each chunk uses its own RNG stream
+/// derived from `stream_seed` and the chunk index, making the draw
+/// bit-identical at any thread count.
 #[allow(clippy::too_many_arguments)]
 fn sample_factors(
-    rng: &mut StdRng,
+    stream_seed: u64,
     factors: &mut Matrix,
     other: &Matrix,
     by_entity: &[Vec<(usize, f64)>],
@@ -211,25 +220,41 @@ fn sample_factors(
     alpha: f64,
 ) {
     let d = factors.cols();
+    let n_rows = factors.rows();
     let lambda_mu = lambda.matvec(mu);
-    for (i, ratings) in by_entity.iter().enumerate().take(factors.rows()) {
-        let mut prec = lambda.clone();
-        let mut b = lambda_mu.clone();
-        for &(j, r) in ratings {
-            let vj = other.row(j);
-            prec.add_outer(alpha, vj, vj);
-            for (bk, &v) in b.iter_mut().zip(vj) {
-                *bk += alpha * r * v;
+    let pool = hlm_par::Pool::global();
+    hlm_par::par_for_each_init(
+        &pool,
+        factors.as_mut_slice(),
+        FACTOR_ROW_CHUNK * d,
+        |c| StdRng::seed_from_u64(hlm_par::split_seed(stream_seed, c as u64)),
+        |rng, c, block| {
+            let row0 = c * FACTOR_ROW_CHUNK;
+            for (r, out_row) in block.chunks_exact_mut(d).enumerate() {
+                let i = row0 + r;
+                if i >= n_rows {
+                    break;
+                }
+                let mut prec = lambda.clone();
+                let mut b = lambda_mu.clone();
+                for &(j, rating) in &by_entity[i] {
+                    let vj = other.row(j);
+                    prec.add_outer(alpha, vj, vj);
+                    for (bk, &v) in b.iter_mut().zip(vj) {
+                        *bk += alpha * rating * v;
+                    }
+                }
+                let chol =
+                    Cholesky::decompose_with_jitter(&prec, 1e-8, 10).expect("precision is SPD");
+                let mean = chol.solve(&b);
+                let z: Vec<f64> = (0..d).map(|_| sample_standard_normal(rng)).collect();
+                let noise = chol.backward_substitute(&z);
+                for (o, (m, e)) in out_row.iter_mut().zip(mean.iter().zip(&noise)) {
+                    *o = m + e;
+                }
             }
-        }
-        let chol = Cholesky::decompose_with_jitter(&prec, 1e-8, 10).expect("precision is SPD");
-        let mean = chol.solve(&b);
-        let z: Vec<f64> = (0..d).map(|_| sample_standard_normal(rng)).collect();
-        let noise = chol.backward_substitute(&z);
-        for (k, (m, e)) in mean.iter().zip(&noise).enumerate() {
-            factors.set(i, k, m + e);
-        }
-    }
+        },
+    );
 }
 
 /// Fits BPMF by Gibbs sampling.
@@ -320,11 +345,16 @@ pub fn fit_resumable(
         ctrl.begin_iteration(iter as u64)?;
         let (mu_u, lambda_u) = sample_hyper(&mut rng, &u, cfg.beta0, cfg.w0_scale);
         let (mu_v, lambda_v) = sample_hyper(&mut rng, &v, cfg.beta0, cfg.w0_scale);
-        sample_factors(&mut rng, &mut u, &v, &by_row, &mu_u, &lambda_u, cfg.alpha);
-        sample_factors(&mut rng, &mut v, &u, &by_col, &mu_v, &lambda_v, cfg.alpha);
+        // Factor streams are keyed by (seed, sweep, side) rather than drawn
+        // from the master RNG, so chunked parallel draws stay reproducible
+        // (and resume-identical: the key depends only on the sweep number).
+        let seed_u = hlm_par::split_seed3(cfg.seed ^ 0xFAC7_0125, iter as u64, 0);
+        let seed_v = hlm_par::split_seed3(cfg.seed ^ 0xFAC7_0125, iter as u64, 1);
+        sample_factors(seed_u, &mut u, &v, &by_row, &mu_u, &lambda_u, cfg.alpha);
+        sample_factors(seed_v, &mut v, &u, &by_col, &mu_v, &lambda_v, cfg.alpha);
 
         if iter >= cfg.burn_in {
-            let pred = u.matmul(&v.transpose());
+            let pred = u.matmul_nt(&v);
             acc.axpy(1.0, &pred);
             n_samples += 1;
 

@@ -78,6 +78,19 @@ pub enum Command {
     },
 }
 
+/// A fully parsed invocation: the subcommand plus the options that apply to
+/// every subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// The subcommand with its own options.
+    pub command: Command,
+    /// Worker-thread override (`--threads N`); `None` leaves the pool at the
+    /// `HLM_THREADS` / detected-core default. Results are identical at any
+    /// setting — the runtime is deterministic — so this only trades
+    /// wall-clock for cores.
+    pub threads: Option<usize>,
+}
+
 /// Result of parsing: the command or a usage error.
 pub type ParsedArgs = Result<Command, String>;
 
@@ -135,13 +148,25 @@ fn parse_month_opt(pairs: &[(String, String)], key: &str) -> Result<Month, Strin
     Ok(Month::from_ym(year, month))
 }
 
+/// Parses command-line arguments (excluding the program name) into just the
+/// subcommand, discarding global options. Prefer [`parse_invocation`]; this
+/// stays for callers that only dispatch on the command.
+pub fn parse_args(argv: &[String]) -> ParsedArgs {
+    parse_invocation(argv).map(|inv| inv.command)
+}
+
 /// Parses command-line arguments (excluding the program name).
 ///
 /// Options are `--key value` pairs following the subcommand; unknown keys
-/// are rejected so typos surface immediately.
-pub fn parse_args(argv: &[String]) -> ParsedArgs {
+/// are rejected so typos surface immediately. `--threads N` is accepted by
+/// every subcommand and returned on the [`Invocation`] rather than the
+/// command.
+pub fn parse_invocation(argv: &[String]) -> Result<Invocation, String> {
     let Some(sub) = argv.first() else {
-        return Ok(Command::Help);
+        return Ok(Invocation {
+            command: Command::Help,
+            threads: None,
+        });
     };
     // Collect --key value pairs; a few options are bare boolean flags.
     const BOOL_FLAGS: &[&str] = &["resume"];
@@ -164,6 +189,12 @@ pub fn parse_args(argv: &[String]) -> ParsedArgs {
         pairs.push((key.to_string(), v.clone()));
         i += 2;
     }
+    // `--threads` is global: pull it out before the per-command allow-lists.
+    let threads = match parse_opt_num::<usize>(&pairs, "threads")? {
+        Some(0) => return Err("--threads must be positive".to_string()),
+        t => t,
+    };
+    pairs.retain(|(k, _)| k != "threads");
     let allow = |allowed: &[&str]| -> Result<(), String> {
         for (k, _) in &pairs {
             if !allowed.contains(&k.as_str()) {
@@ -173,7 +204,7 @@ pub fn parse_args(argv: &[String]) -> ParsedArgs {
         Ok(())
     };
 
-    match sub.as_str() {
+    let command = match sub.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "generate" => {
             allow(&["companies", "seed", "out"])?;
@@ -236,7 +267,8 @@ pub fn parse_args(argv: &[String]) -> ParsedArgs {
             })
         }
         other => Err(format!("unknown subcommand {other:?}; run `hlm help`")),
-    }
+    }?;
+    Ok(Invocation { command, threads })
 }
 
 #[cfg(test)]
@@ -397,6 +429,21 @@ mod tests {
             Command::Topics { flags, .. } => assert!(flags.resume),
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn threads_is_accepted_by_every_subcommand() {
+        let inv = parse_invocation(&argv(&["stats", "--data", "d", "--threads", "4"])).unwrap();
+        assert_eq!(inv.threads, Some(4));
+        assert_eq!(inv.command, Command::Stats { data: "d".into() });
+        let inv = parse_invocation(&argv(&["topics", "--data", "d", "--threads", "2"])).unwrap();
+        assert_eq!(inv.threads, Some(2));
+        let inv = parse_invocation(&argv(&["generate", "--out", "o"])).unwrap();
+        assert_eq!(inv.threads, None);
+        let e = parse_invocation(&argv(&["stats", "--data", "d", "--threads", "0"])).unwrap_err();
+        assert!(e.contains("positive"), "{e}");
+        let e = parse_invocation(&argv(&["stats", "--data", "d", "--threads", "x"])).unwrap_err();
+        assert!(e.contains("--threads"), "{e}");
     }
 
     #[test]

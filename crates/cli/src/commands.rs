@@ -36,6 +36,13 @@ USAGE:
   hlm help
       This text.
 
+GLOBAL OPTIONS:
+  --threads N
+      Worker threads for the parallel runtime (default: HLM_THREADS if
+      set, else the detected core count). Results are bit-identical at
+      any thread count; only the wall-clock changes. `stats` and
+      `topics` end with an `elapsed: …s (N threads)` summary line.
+
 EXIT CODES:
   0 success   2 usage error   3 data error   4 engine/training error
 "
@@ -95,6 +102,7 @@ pub fn generate(companies: usize, seed: u64, out: &str) -> Result<String, CliErr
 /// `hlm stats`. Uses the lenient CSV path: malformed rows are quarantined
 /// and summarised rather than failing the whole command.
 pub fn stats(data: &str) -> Result<String, CliError> {
+    let t0 = std::time::Instant::now();
     let (corpus, report) = load_lenient(data)?;
     let mut out = String::new();
     let _ = writeln!(out, "companies:            {}", corpus.len());
@@ -144,7 +152,18 @@ pub fn stats(data: &str) -> Result<String, CliError> {
             let _ = writeln!(out, "  {}.csv line {}: {}", row.file, row.line, row.reason);
         }
     }
+    let _ = writeln!(out, "{}", timing_summary(t0));
     Ok(out)
+}
+
+/// The trailing `elapsed … (N threads)` summary line for commands that do
+/// real work — the operator's first clue when tuning `--threads`.
+fn timing_summary(t0: std::time::Instant) -> String {
+    format!(
+        "elapsed: {:.3}s ({} threads)",
+        t0.elapsed().as_secs_f64(),
+        hlm_engine::effective_threads()
+    )
 }
 
 /// Maps an engine failure, pointing interrupted runs at `--resume`.
@@ -224,6 +243,7 @@ pub fn topics(
     if topics == 0 {
         return Err(CliError::Usage("--topics must be positive".into()));
     }
+    let t0 = std::time::Instant::now();
     let corpus = load(data)?;
     let (model, notes) = train_lda(&corpus, topics, iters, flags)?;
     let mut out = String::new();
@@ -244,6 +264,7 @@ pub fn topics(
             .collect();
         let _ = writeln!(out, "topic {k}: {}", tops.join(", "));
     }
+    let _ = writeln!(out, "{}", timing_summary(t0));
     Ok(out)
 }
 
@@ -371,8 +392,14 @@ mod tests {
         let dir = tmp_dir("topics");
         generate(150, 9, &dir).unwrap();
         let out = topics(&dir, 3, 60, &TrainFlags::default()).unwrap();
-        assert_eq!(out.lines().count(), 3);
+        // 3 topic lines + the trailing elapsed/threads summary.
+        assert_eq!(out.lines().count(), 4);
         assert!(out.contains("topic 0:"));
+        let last = out.lines().last().unwrap();
+        assert!(
+            last.starts_with("elapsed: ") && last.ends_with("threads)"),
+            "{last}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -16,7 +16,8 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{parse_args, Command, ParsedArgs, TrainFlags};
+pub use args::{parse_args, parse_invocation, Command, Invocation, ParsedArgs, TrainFlags};
+pub use hlm_engine::{effective_threads, set_threads};
 
 use std::fmt;
 

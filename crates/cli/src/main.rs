@@ -5,15 +5,18 @@
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = match hlm_cli::parse_args(&argv) {
-        Ok(c) => c,
+    let inv = match hlm_cli::parse_invocation(&argv) {
+        Ok(inv) => inv,
         Err(e) => {
             let err = hlm_cli::CliError::Usage(format!("{e}; run `hlm help` for usage"));
             eprintln!("error: {err}");
             std::process::exit(err.exit_code());
         }
     };
-    match hlm_cli::run(&cmd) {
+    if let Some(n) = inv.threads {
+        hlm_cli::set_threads(n);
+    }
+    match hlm_cli::run(&inv.command) {
         Ok(out) => print!("{out}"),
         Err(e) => {
             eprintln!("error: {e}");

@@ -45,6 +45,25 @@ pub struct KmeansResult {
     pub iterations: usize,
 }
 
+/// Points per data-parallel assignment chunk. Fixed so chunk boundaries (and
+/// the inertia reduction order) depend on the data alone, never the thread
+/// count.
+const ASSIGN_CHUNK: usize = 64;
+
+/// Index and squared distance of the centroid nearest to `point`.
+fn nearest_centroid(point: &[f64], centroids: &Matrix) -> (usize, f64) {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for c in 0..centroids.rows() {
+        let d = euclidean_distance_sq(point, centroids.row(c));
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
 /// Runs k-means on the rows of `points`.
 ///
 /// # Panics
@@ -81,22 +100,27 @@ pub fn kmeans(points: &Matrix, opts: &KmeansOptions) -> KmeansResult {
         }
     }
 
+    let pool = hlm_par::Pool::global();
     let mut assignments = vec![0usize; n];
     let mut iterations = 0;
     for iter in 0..opts.max_iters {
         iterations = iter + 1;
-        // Assignment step.
-        for (i, a) in assignments.iter_mut().enumerate().take(n) {
-            let mut best = 0usize;
-            let mut best_d = f64::INFINITY;
-            for c in 0..k {
-                let d = euclidean_distance_sq(points.row(i), centroids.row(c));
-                if d < best_d {
-                    best_d = d;
-                    best = c;
-                }
-            }
-            *a = best;
+        // Assignment step: data-parallel over fixed point chunks. Every
+        // write is independent, so the labels are thread-count invariant.
+        {
+            let centroids = &centroids;
+            hlm_par::par_for_each_init(
+                &pool,
+                &mut assignments,
+                ASSIGN_CHUNK,
+                |_| (),
+                |_, c, block| {
+                    let lo = c * ASSIGN_CHUNK;
+                    for (off, a) in block.iter_mut().enumerate() {
+                        *a = nearest_centroid(points.row(lo + off), centroids).0;
+                    }
+                },
+            );
         }
         // Update step.
         let mut sums = Matrix::zeros(k, dim);
@@ -135,20 +159,28 @@ pub fn kmeans(points: &Matrix, opts: &KmeansOptions) -> KmeansResult {
         }
     }
 
-    // Final assignment against the last centroids.
-    let mut inertia = 0.0;
-    for (i, a) in assignments.iter_mut().enumerate().take(n) {
-        let mut best = 0usize;
-        let mut best_d = f64::INFINITY;
-        for c in 0..k {
-            let d = euclidean_distance_sq(points.row(i), centroids.row(c));
-            if d < best_d {
-                best_d = d;
-                best = c;
+    // Final assignment against the last centroids; per-chunk inertia sums
+    // are folded in chunk order so inertia is thread-count invariant.
+    let n_chunks = hlm_par::chunk_count(n, ASSIGN_CHUNK);
+    let parts = {
+        let centroids = &centroids;
+        pool.run(n_chunks, |c| {
+            let (lo, hi) = hlm_par::chunk_bounds(n, ASSIGN_CHUNK, c);
+            let mut block = Vec::with_capacity(hi - lo);
+            let mut part = 0.0;
+            for i in lo..hi {
+                let (best, best_d) = nearest_centroid(points.row(i), centroids);
+                block.push(best);
+                part += best_d;
             }
-        }
-        *a = best;
-        inertia += best_d;
+            (block, part)
+        })
+    };
+    let mut inertia = 0.0;
+    for (c, (block, part)) in parts.into_iter().enumerate() {
+        let lo = c * ASSIGN_CHUNK;
+        assignments[lo..lo + block.len()].copy_from_slice(&block);
+        inertia += part;
     }
     KmeansResult {
         centroids,

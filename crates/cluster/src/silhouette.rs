@@ -67,33 +67,50 @@ fn silhouette_of_subset(points: &Matrix, labels: &[usize], subset: &[usize]) -> 
         cluster_sizes[label_index(labels[i])] += 1;
     }
 
-    let mut total = 0.0;
-    // Per point: mean distance to each cluster.
-    for (si, &i) in subset.iter().enumerate() {
-        let own = label_index(labels[i]);
-        if cluster_sizes[own] == 1 {
-            continue; // singleton: s = 0
-        }
-        let mut sums = vec![0.0f64; k];
-        for (sj, &j) in subset.iter().enumerate() {
-            if si == sj {
-                continue;
+    // Per point: mean distance to each cluster. The O(n²) distance work is
+    // data-parallel over fixed point chunks; per-chunk partial sums are
+    // folded in chunk order so the score is independent of the thread count.
+    const POINT_CHUNK: usize = 16;
+    let pool = hlm_par::Pool::global();
+    let total = hlm_par::par_map_reduce(
+        &pool,
+        subset,
+        POINT_CHUNK,
+        |c, chunk| {
+            let lo = c * POINT_CHUNK;
+            let mut part = 0.0;
+            for (off, &i) in chunk.iter().enumerate() {
+                let si = lo + off;
+                let own = label_index(labels[i]);
+                if cluster_sizes[own] == 1 {
+                    continue; // singleton: s = 0
+                }
+                let mut sums = vec![0.0f64; k];
+                for (sj, &j) in subset.iter().enumerate() {
+                    if si == sj {
+                        continue;
+                    }
+                    sums[label_index(labels[j])] +=
+                        euclidean_distance(points.row(i), points.row(j));
+                }
+                let a = sums[own] / (cluster_sizes[own] - 1) as f64;
+                let mut b = f64::INFINITY;
+                for c in 0..k {
+                    if c != own && cluster_sizes[c] > 0 {
+                        b = b.min(sums[c] / cluster_sizes[c] as f64);
+                    }
+                }
+                let denom = a.max(b);
+                if denom > 0.0 {
+                    part += (b - a) / denom;
+                }
             }
-            sums[label_index(labels[j])] += euclidean_distance(points.row(i), points.row(j));
-        }
-        let a = sums[own] / (cluster_sizes[own] - 1) as f64;
-        let mut b = f64::INFINITY;
-        for c in 0..k {
-            if c != own && cluster_sizes[c] > 0 {
-                b = b.min(sums[c] / cluster_sizes[c] as f64);
-            }
-        }
-        let denom = a.max(b);
-        if denom > 0.0 {
-            total += (b - a) / denom;
-        }
-        let _ = n;
-    }
+            part
+        },
+        0.0f64,
+        |acc, part| acc + part,
+    );
+    let _ = n;
     total / subset.len() as f64
 }
 

@@ -150,6 +150,11 @@ pub fn tsne(points: &Matrix, opts: &TsneOptions) -> Matrix {
     let mut velocity = Matrix::zeros(n, d_out);
     let mut gains = Matrix::filled(n, d_out, 1.0);
 
+    // Rows per data-parallel chunk in the Q / gradient passes. Fixed so
+    // chunk boundaries and reduction order never depend on the thread count.
+    const ROW_CHUNK: usize = 8;
+    let pool = hlm_par::Pool::global();
+
     let exag_end = opts.n_iters / 4;
     let mut q = Matrix::zeros(n, n);
     for iter in 0..opts.n_iters {
@@ -160,31 +165,65 @@ pub fn tsne(points: &Matrix, opts: &TsneOptions) -> Matrix {
         };
         let momentum = if iter < exag_end { 0.5 } else { 0.8 };
 
-        // Student-t affinities in the embedding.
-        let mut q_sum = 0.0;
-        for i in 0..n {
-            for j in i + 1..n {
-                let w = 1.0 / (1.0 + euclidean_distance_sq(y.row(i), y.row(j)));
-                q.set(i, j, w);
-                q.set(j, i, w);
-                q_sum += 2.0 * w;
-            }
-        }
+        // Student-t affinities in the embedding: each row computed in full
+        // (both triangles), row chunks in parallel, per-chunk sums folded in
+        // chunk order.
+        let partials = {
+            let y_ref = &y;
+            hlm_par::par_for_each_init(
+                &pool,
+                q.as_mut_slice(),
+                ROW_CHUNK * n,
+                |_| (),
+                |_, c, block| {
+                    let lo = c * ROW_CHUNK;
+                    let mut part = 0.0;
+                    for (r, row) in block.chunks_mut(n).enumerate() {
+                        let i = lo + r;
+                        for (j, cell) in row.iter_mut().enumerate() {
+                            if i == j {
+                                *cell = 0.0;
+                                continue;
+                            }
+                            let w = 1.0 / (1.0 + euclidean_distance_sq(y_ref.row(i), y_ref.row(j)));
+                            *cell = w;
+                            part += w;
+                        }
+                    }
+                    part
+                },
+            )
+        };
+        let q_sum: f64 = partials.iter().sum();
 
-        // Gradient: 4 Σ_j (exag·p_ij − q_ij) w_ij (y_i − y_j).
+        // Gradient: 4 Σ_j (exag·p_ij − q_ij) w_ij (y_i − y_j). Rows are
+        // independent, so row chunks run in parallel.
         let mut grad = Matrix::zeros(n, d_out);
-        for i in 0..n {
-            for j in 0..n {
-                if i == j {
-                    continue;
-                }
-                let w = q.get(i, j);
-                let q_ij = (w / q_sum).max(1e-12);
-                let coeff = 4.0 * (exaggeration * p.get(i, j) - q_ij) * w;
-                for k in 0..d_out {
-                    grad.add_at(i, k, coeff * (y.get(i, k) - y.get(j, k)));
-                }
-            }
+        {
+            let (y_ref, p_ref, q_ref) = (&y, &p, &q);
+            hlm_par::par_for_each_init(
+                &pool,
+                grad.as_mut_slice(),
+                ROW_CHUNK * d_out,
+                |_| (),
+                |_, c, block| {
+                    let lo = c * ROW_CHUNK;
+                    for (r, row) in block.chunks_mut(d_out).enumerate() {
+                        let i = lo + r;
+                        for j in 0..n {
+                            if i == j {
+                                continue;
+                            }
+                            let w = q_ref.get(i, j);
+                            let q_ij = (w / q_sum).max(1e-12);
+                            let coeff = 4.0 * (exaggeration * p_ref.get(i, j) - q_ij) * w;
+                            for (k, g) in row.iter_mut().enumerate() {
+                                *g += coeff * (y_ref.get(i, k) - y_ref.get(j, k));
+                            }
+                        }
+                    }
+                },
+            );
         }
 
         // Adaptive gains + momentum update (van der Maaten's scheme).

@@ -285,7 +285,69 @@ impl SalesApplication {
         });
         Ok(out)
     }
+
+    /// [`SalesApplication::find_similar`] for a batch of queries, fanned out
+    /// over the global worker pool. Results are in query order and identical
+    /// to calling `find_similar` per query serially — each query is
+    /// independent, so parallelism cannot change any answer.
+    ///
+    /// # Errors
+    /// As in [`SalesApplication::find_similar`]; the first failing query's
+    /// error is returned.
+    pub fn find_similar_batch(
+        &self,
+        queries: &[CompanyId],
+        k: usize,
+        filter: &CompanyFilter,
+    ) -> Result<Vec<Vec<SimilarCompany>>, CoreError> {
+        let pool = hlm_par::Pool::global();
+        hlm_par::par_chunks(&pool, queries, BATCH_QUERY_CHUNK, |_c, chunk| {
+            chunk
+                .iter()
+                .map(|&q| self.find_similar(q, k, filter))
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .into_iter()
+        .try_fold(Vec::with_capacity(queries.len()), |mut acc, part| {
+            acc.extend(part?);
+            Ok(acc)
+        })
+    }
+
+    /// [`SalesApplication::recommend_whitespace`] for a batch of queries,
+    /// fanned out over the global worker pool — the serving-side bulk path
+    /// (score a whole territory's accounts at once). Results are in query
+    /// order and identical to the serial per-query calls.
+    ///
+    /// # Errors
+    /// As in [`SalesApplication::recommend_whitespace`]; the first failing
+    /// query's error is returned.
+    pub fn recommend_whitespace_batch(
+        &self,
+        queries: &[CompanyId],
+        k_similar: usize,
+        filter: &CompanyFilter,
+    ) -> Result<Vec<Vec<WhitespaceRecommendation>>, CoreError> {
+        let pool = hlm_par::Pool::global();
+        hlm_par::par_chunks(&pool, queries, BATCH_QUERY_CHUNK, |_c, chunk| {
+            chunk
+                .iter()
+                .map(|&q| self.recommend_whitespace(q, k_similar, filter))
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .into_iter()
+        .try_fold(Vec::with_capacity(queries.len()), |mut acc, part| {
+            acc.extend(part?);
+            Ok(acc)
+        })
+    }
 }
+
+/// Queries per parallel task in the batch scoring entry points. Fixed (never
+/// derived from the thread count) so chunk boundaries — and thus the exact
+/// work split — are reproducible; correctness does not depend on it because
+/// each query is scored independently.
+const BATCH_QUERY_CHUNK: usize = 8;
 
 #[cfg(test)]
 mod tests {
@@ -373,6 +435,41 @@ mod tests {
         for pair in recs.windows(2) {
             assert!(pair[0].score >= pair[1].score);
         }
+    }
+
+    #[test]
+    fn batch_scoring_matches_serial_per_query_calls() {
+        let app = app();
+        let queries: Vec<CompanyId> = (0..20).map(CompanyId).collect();
+        let filter = CompanyFilter::default();
+        let similar = app.find_similar_batch(&queries, 5, &filter).unwrap();
+        let recs = app
+            .recommend_whitespace_batch(&queries, 5, &filter)
+            .unwrap();
+        assert_eq!(similar.len(), queries.len());
+        assert_eq!(recs.len(), queries.len());
+        for (i, &q) in queries.iter().enumerate() {
+            let serial_sim = app.find_similar(q, 5, &filter).unwrap();
+            assert_eq!(
+                similar[i].iter().map(|s| s.id).collect::<Vec<_>>(),
+                serial_sim.iter().map(|s| s.id).collect::<Vec<_>>()
+            );
+            let serial_rec = app.recommend_whitespace(q, 5, &filter).unwrap();
+            assert_eq!(
+                recs[i]
+                    .iter()
+                    .map(|r| (r.product, r.score))
+                    .collect::<Vec<_>>(),
+                serial_rec
+                    .iter()
+                    .map(|r| (r.product, r.score))
+                    .collect::<Vec<_>>()
+            );
+        }
+        // An out-of-range query anywhere in the batch surfaces its error.
+        let bad = [CompanyId(0), CompanyId(10_000)];
+        assert!(app.find_similar_batch(&bad, 5, &filter).is_err());
+        assert!(app.recommend_whitespace_batch(&bad, 5, &filter).is_err());
     }
 
     #[test]

@@ -131,68 +131,112 @@ fn assign_timestamps(
         .collect()
 }
 
+/// Generates one company's site records with a placeholder `site_duns` of 0
+/// (globally unique numbers are assigned at the ordered merge). `rng` is the
+/// company's own stream, split from the master seed by company index, so
+/// companies can be generated in parallel without sharing RNG state.
+#[allow(clippy::too_many_arguments)]
+fn company_sites(
+    cfg: &GeneratorConfig,
+    planted: &PlantedProfiles,
+    priors: &[Vec<f64>],
+    ind_weights: &[f64],
+    vocab_len: usize,
+    ci: usize,
+    rng: &mut StdRng,
+) -> Vec<SiteRecord> {
+    let industry = sample_categorical(rng, ind_weights);
+    let theta = sample_dirichlet(rng, &priors[industry]);
+    let n_products = sample_base_size(rng, cfg, vocab_len);
+    let products = sample_products(rng, planted, &theta, cfg.popularity_weight, n_products);
+    let founding_span = (cfg.latest_founding - cfg.earliest_founding).max(1);
+    let founding = cfg
+        .earliest_founding
+        .plus_months(rng.gen_range(0..founding_span));
+    let events = assign_timestamps(rng, cfg, planted, &products, founding);
+
+    let country = rng.gen_range(0..cfg.n_countries) as u16;
+    // Company size attributes correlate with install-base size.
+    let size_factor = events.len() as f64 / cfg.mean_products;
+    let employees_total = (50.0 * size_factor * (1.0 + 9.0 * rng.gen::<f64>())).round() as u32 + 1;
+    let revenue_total = employees_total as f64 * (0.1 + 0.4 * rng.gen::<f64>());
+
+    // Scatter events across sites.
+    let extra = {
+        // Geometric via inversion on p = 1/(1+mean).
+        let p = 1.0 / (1.0 + cfg.mean_extra_sites);
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        (u.ln() / (1.0 - p).ln()).floor() as usize
+    };
+    let n_sites = 1 + extra;
+    let parent_duns = 10_000 + ci as u64;
+    let mut per_site_events: Vec<Vec<InstallEvent>> = vec![Vec::new(); n_sites];
+    for ev in events {
+        per_site_events[rng.gen_range(0..n_sites)].push(ev);
+    }
+    per_site_events
+        .into_iter()
+        .map(|site_events| SiteRecord {
+            site_duns: 0, // assigned at the ordered merge
+            domestic_parent_duns: parent_duns,
+            company_name: format!("company_{parent_duns}"),
+            industry: Sic2((industry % 100) as u8),
+            country,
+            employees: (employees_total / n_sites as u32).max(1),
+            revenue_musd: revenue_total / n_sites as f64,
+            events: site_events,
+        })
+        .collect()
+}
+
 /// Generates per-site records. Each company's events are scattered over
 /// `1 + Geometric(mean_extra_sites)` sites in its country; the domestic
 /// aggregation in [`generate`] must union them back together.
+///
+/// Every company draws from its own RNG stream
+/// (`split_seed(cfg.seed, company_index)`), so fixed company chunks generate
+/// in parallel and the corpus is bit-identical at any thread count. Site
+/// DUNS numbers are assigned sequentially when the chunks are merged back in
+/// company order.
 pub fn generate_sites(cfg: &GeneratorConfig) -> (Vocabulary, Vec<SiteRecord>) {
     cfg.validate();
     let vocab = Vocabulary::standard();
     let planted = PlantedProfiles::standard(&vocab);
     let priors = industry_priors(cfg, planted.k());
     let ind_weights = industry_weights(cfg.n_industries);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Companies per generation chunk; fixed so the chunk layout is a
+    // function of the corpus size alone.
+    const COMPANY_CHUNK: usize = 32;
+    let pool = hlm_par::Pool::global();
+    let n_chunks = hlm_par::chunk_count(cfg.n_companies, COMPANY_CHUNK);
+    let chunks = pool.run(n_chunks, |c| {
+        let (lo, hi) = hlm_par::chunk_bounds(cfg.n_companies, COMPANY_CHUNK, c);
+        let mut out = Vec::with_capacity(hi - lo);
+        for ci in lo..hi {
+            let mut rng = StdRng::seed_from_u64(hlm_par::split_seed(cfg.seed, ci as u64));
+            out.push(company_sites(
+                cfg,
+                &planted,
+                &priors,
+                &ind_weights,
+                vocab.len(),
+                ci,
+                &mut rng,
+            ));
+        }
+        out
+    });
+
     let mut sites = Vec::with_capacity(cfg.n_companies * 2);
     let mut next_site_duns: u64 = 1_000_000;
-
-    for ci in 0..cfg.n_companies {
-        let industry = sample_categorical(&mut rng, &ind_weights);
-        let theta = sample_dirichlet(&mut rng, &priors[industry]);
-        let n_products = sample_base_size(&mut rng, cfg, vocab.len());
-        let products = sample_products(
-            &mut rng,
-            &planted,
-            &theta,
-            cfg.popularity_weight,
-            n_products,
-        );
-        let founding_span = (cfg.latest_founding - cfg.earliest_founding).max(1);
-        let founding = cfg
-            .earliest_founding
-            .plus_months(rng.gen_range(0..founding_span));
-        let events = assign_timestamps(&mut rng, cfg, &planted, &products, founding);
-
-        let country = rng.gen_range(0..cfg.n_countries) as u16;
-        // Company size attributes correlate with install-base size.
-        let size_factor = events.len() as f64 / cfg.mean_products;
-        let employees_total =
-            (50.0 * size_factor * (1.0 + 9.0 * rng.gen::<f64>())).round() as u32 + 1;
-        let revenue_total = employees_total as f64 * (0.1 + 0.4 * rng.gen::<f64>());
-
-        // Scatter events across sites.
-        let extra = {
-            // Geometric via inversion on p = 1/(1+mean).
-            let p = 1.0 / (1.0 + cfg.mean_extra_sites);
-            let u: f64 = rng.gen::<f64>().max(1e-12);
-            (u.ln() / (1.0 - p).ln()).floor() as usize
-        };
-        let n_sites = 1 + extra;
-        let parent_duns = 10_000 + ci as u64;
-        let mut per_site_events: Vec<Vec<InstallEvent>> = vec![Vec::new(); n_sites];
-        for ev in events {
-            per_site_events[rng.gen_range(0..n_sites)].push(ev);
-        }
-        for site_events in per_site_events {
-            sites.push(SiteRecord {
-                site_duns: next_site_duns,
-                domestic_parent_duns: parent_duns,
-                company_name: format!("company_{parent_duns}"),
-                industry: Sic2((industry % 100) as u8),
-                country,
-                employees: (employees_total / n_sites as u32).max(1),
-                revenue_musd: revenue_total / n_sites as f64,
-                events: site_events,
-            });
-            next_site_duns += 1;
+    for chunk in chunks {
+        for company in chunk {
+            for mut site in company {
+                site.site_duns = next_site_duns;
+                next_site_duns += 1;
+                sites.push(site);
+            }
         }
     }
     (vocab, sites)

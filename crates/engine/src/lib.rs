@@ -38,6 +38,7 @@ use hlm_lda::{GibbsTrainer, LdaConfig, LdaModel, VbOptions, VbTrainer, WeightedD
 use hlm_linalg::Matrix;
 use hlm_lstm::{LstmConfig, LstmLm, TrainOptions, Trainer};
 use hlm_ngram::{NgramConfig, NgramLm};
+pub use hlm_par::{effective_threads, set_threads};
 pub use hlm_resilience::{
     CancelHandle, Checkpoint, CheckpointStore, Clock, CollapsePolicy, Fault, FaultPlan,
     ManualClock, ResilienceError, RunGuard, SystemClock,
@@ -993,7 +994,12 @@ impl ResilientModel {
 
 /// A trained model of any family behind one interface. Obtained from
 /// [`ModelSpec::fit_sequences`] or [`Engine::train`].
-pub trait TrainedModel {
+///
+/// `Send + Sync` is part of the contract so trained models can be handed
+/// across worker threads ([`Engine::train_many`]) and shared by a
+/// multi-threaded server; every family's model is plain owned data, so the
+/// bound costs implementors nothing.
+pub trait TrainedModel: Send + Sync {
     /// The family that trained this model.
     fn kind(&self) -> ModelKind;
 
@@ -1311,6 +1317,27 @@ impl Engine {
             .collect()
     }
 
+    /// Trains several model specs concurrently on the *same* histories —
+    /// one worker-pool task per spec, results in spec order. Each family
+    /// seeds its own RNG from its config, so the outcome is bit-identical
+    /// to training the specs one after another (and independent of the
+    /// thread count); only the wall-clock changes. This is the batch path
+    /// behind the ablation tables, where half a dozen families train on one
+    /// split.
+    ///
+    /// Per-spec failures are returned in place rather than aborting the
+    /// batch: one invalid spec must not cost the others their training run.
+    pub fn train_many(
+        &self,
+        specs: &[ModelSpec],
+        ids: &[CompanyId],
+        cutoff: Month,
+    ) -> Vec<Result<Box<dyn TrainedModel>, EngineError>> {
+        let seqs = self.sequences_before(ids, cutoff);
+        let pool = hlm_par::Pool::global();
+        pool.run(specs.len(), |i| specs[i].fit_sequences(&seqs, &[]))
+    }
+
     /// Like [`Engine::train`], but checkpointed, resumable and
     /// watchdog-guarded per `plan` (see [`ModelSpec::fit_sequences_resilient`]).
     ///
@@ -1586,6 +1613,55 @@ mod tests {
         }
         let err = fit_lda(cfg, LdaEstimator::Gibbs, &[]).unwrap_err();
         assert!(matches!(err, EngineError::InvalidSpec { .. }));
+    }
+
+    #[test]
+    fn train_many_matches_serial_training_and_keeps_per_spec_errors_in_place() {
+        let engine = Engine::new(corpus());
+        let ids: Vec<CompanyId> = engine.corpus().ids().collect();
+        let vocab = engine.corpus().vocab().len();
+        let cutoff = Month(i32::MAX);
+        let specs = vec![
+            ModelSpec::Ngram(NgramConfig::bigram(vocab)),
+            // Invalid on purpose: the batch must carry this error in place
+            // without costing the neighbouring specs their training runs.
+            ModelSpec::Lda {
+                config: LdaConfig {
+                    n_topics: 0,
+                    vocab_size: vocab,
+                    ..Default::default()
+                },
+                estimator: LdaEstimator::Gibbs,
+            },
+            ModelSpec::Lda {
+                config: LdaConfig {
+                    n_topics: 2,
+                    vocab_size: vocab,
+                    n_iters: 20,
+                    burn_in: 10,
+                    ..Default::default()
+                },
+                estimator: LdaEstimator::Gibbs,
+            },
+        ];
+        let batch = engine.train_many(&specs, &ids, cutoff);
+        assert_eq!(batch.len(), specs.len());
+        match &batch[1] {
+            Err(EngineError::InvalidSpec { .. }) => {}
+            Err(other) => panic!("expected InvalidSpec, got {other}"),
+            Ok(_) => panic!("invalid spec must not train"),
+        }
+        let test = vec![vec![0, 1, 2], vec![2, 3]];
+        for i in [0, 2] {
+            let parallel = batch[i].as_ref().unwrap();
+            let serial = engine.train(&specs[i], &ids, cutoff).unwrap();
+            assert_eq!(parallel.label(), serial.label());
+            let (p, s) = (
+                parallel.perplexity(&test).unwrap(),
+                serial.perplexity(&test).unwrap(),
+            );
+            assert!((p - s).abs() < 1e-12, "spec {i}: {p} != {s}");
+        }
     }
 
     #[test]

@@ -17,7 +17,11 @@ use serde::{Deserialize, Serialize};
 /// (product indices in time order). Scores are conditional probabilities in
 /// `[0, 1]`; already-owned products are masked by the harness, not the
 /// model.
-pub trait Recommender {
+///
+/// `Send + Sync` lets the evaluation harness fan scoring out over companies
+/// and the engine train model families on worker threads; scoring takes
+/// `&self`, so implementations need no internal locking.
+pub trait Recommender: Send + Sync {
     /// Score per product (length = vocabulary size).
     fn scores(&self, history: &[usize]) -> Vec<f64>;
 
@@ -161,44 +165,62 @@ pub fn evaluate_recommender(
         }
         let model = model.as_deref().expect("model trained above");
 
-        for &id in eval_ids {
-            let company = corpus.company(id);
-            let history: Vec<usize> = company
-                .sequence_before(window.start)
-                .into_iter()
-                .map(|p| p.index())
-                .collect();
-            if cfg.require_history && history.is_empty() {
-                continue;
-            }
-            let truth: Vec<usize> = company
-                .products_first_seen_in(window.start, window.end)
-                .into_iter()
-                .map(|p| p.index())
-                .collect();
-            let scores = model.scores(&history);
-            debug_assert_eq!(scores.len(), corpus.vocab().len());
+        // Fan scoring out over fixed company chunks; per-chunk count
+        // vectors are merged in chunk order (the counts are integer-valued,
+        // so the totals are exact at any thread count).
+        const COMPANY_CHUNK: usize = 8;
+        let pool = hlm_par::Pool::global();
+        let parts = hlm_par::par_chunks(&pool, eval_ids, COMPANY_CHUNK, |_c, chunk| {
+            let mut ret = vec![0.0f64; n_phi];
+            let mut cor = vec![0.0f64; n_phi];
+            let mut rel = vec![0.0f64; n_phi];
+            for &id in chunk {
+                let company = corpus.company(id);
+                let history: Vec<usize> = company
+                    .sequence_before(window.start)
+                    .into_iter()
+                    .map(|p| p.index())
+                    .collect();
+                if cfg.require_history && history.is_empty() {
+                    continue;
+                }
+                let truth: Vec<usize> = company
+                    .products_first_seen_in(window.start, window.end)
+                    .into_iter()
+                    .map(|p| p.index())
+                    .collect();
+                let scores = model.scores(&history);
+                debug_assert_eq!(scores.len(), corpus.vocab().len());
 
-            let mut owned = vec![false; scores.len()];
-            for &h in &history {
-                owned[h] = true;
-            }
-            let mut is_truth = vec![false; scores.len()];
-            for &t in &truth {
-                is_truth[t] = true;
-            }
+                let mut owned = vec![false; scores.len()];
+                for &h in &history {
+                    owned[h] = true;
+                }
+                let mut is_truth = vec![false; scores.len()];
+                for &t in &truth {
+                    is_truth[t] = true;
+                }
 
-            for (pi, &phi) in cfg.thresholds.iter().enumerate() {
-                relevant[pi][wi] += truth.len() as f64;
-                for (p, &s) in scores.iter().enumerate() {
-                    if owned[p] || s < phi {
-                        continue;
-                    }
-                    retrieved[pi][wi] += 1.0;
-                    if is_truth[p] {
-                        correct[pi][wi] += 1.0;
+                for (pi, &phi) in cfg.thresholds.iter().enumerate() {
+                    rel[pi] += truth.len() as f64;
+                    for (p, &s) in scores.iter().enumerate() {
+                        if owned[p] || s < phi {
+                            continue;
+                        }
+                        ret[pi] += 1.0;
+                        if is_truth[p] {
+                            cor[pi] += 1.0;
+                        }
                     }
                 }
+            }
+            (ret, cor, rel)
+        });
+        for (ret, cor, rel) in parts {
+            for pi in 0..n_phi {
+                retrieved[pi][wi] += ret[pi];
+                correct[pi][wi] += cor[pi];
+                relevant[pi][wi] += rel[pi];
             }
         }
     }

@@ -5,15 +5,38 @@
 //! weights this is exactly classic LDA; with IDF weights it reproduces the
 //! gensim behaviour of training on TF-IDF-transformed corpora that the paper
 //! evaluates as the alternative input in Figure 2.
+//!
+//! Sweeps are data-parallel in the AD-LDA style (Newman et al.): documents
+//! are sliced into fixed chunks, each chunk samples against a sweep-start
+//! snapshot of the topic-word table with its own RNG stream derived from
+//! `(seed, sweep, chunk)`, and the per-chunk count deltas are merged in
+//! chunk order. Chunk boundaries and streams never depend on the worker
+//! count, so results are bit-identical at any `HLM_THREADS` — and the
+//! checkpoint/resume bit-identity guarantee carries over unchanged.
 
 use crate::model::{LdaConfig, LdaModel};
 use crate::WeightedDoc;
 use hlm_linalg::dist::sample_categorical;
 use hlm_linalg::Matrix;
+use hlm_par::Pool;
 use hlm_resilience::{Checkpoint, ResilienceError, TrainControl};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Documents per parallel Gibbs chunk. Fixed: chunk boundaries are part of
+/// the deterministic sampling schedule, not a tuning knob per machine.
+const DOC_CHUNK: usize = 64;
+
+/// One chunk's sweep result: new topic assignments and document-topic rows
+/// for its token/document range, plus count-table deltas relative to the
+/// sweep-start snapshot.
+struct SweepDelta {
+    z: Vec<u16>,
+    dk_rows: Vec<f64>,
+    kw_delta: Matrix,
+    k_delta: Vec<f64>,
+}
 
 /// Checkpoint kind tag for collapsed Gibbs runs.
 pub const GIBBS_CHECKPOINT_KIND: &str = "lda-gibbs";
@@ -116,10 +139,17 @@ impl GibbsTrainer {
             }
         }
 
+        // Token range of each document in the flat arrays (documents are
+        // contiguous by construction).
+        let mut doc_start = Vec::with_capacity(docs.len() + 1);
+        doc_start.push(0usize);
+        for doc in docs {
+            doc_start.push(doc_start.last().unwrap() + doc.len());
+        }
+
         let beta_sum = beta * m as f64;
         let mut phi_acc = Matrix::zeros(k, m);
         let mut n_samples = 0u64;
-        let mut probs = vec![0.0f64; k];
         let mut start_iter = 0u64;
 
         if let Some(ckpt) = resume {
@@ -135,29 +165,74 @@ impl GibbsTrainer {
             rng = StdRng::from_state(state.rng);
         }
 
+        let pool = Pool::global();
+        let n_chunks = hlm_par::chunk_count(docs.len(), DOC_CHUNK);
         for iter in start_iter as usize..self.cfg.n_iters {
             ctrl.begin_iteration(iter as u64)?;
-            for i in 0..tok_doc.len() {
-                let d = tok_doc[i] as usize;
-                let w = tok_word[i] as usize;
-                let weight = tok_weight[i];
-                let old_z = tok_z[i] as usize;
+            // Document-sliced sweep: every chunk samples its documents
+            // against the sweep-start snapshot of the shared tables (its own
+            // n_dk rows stay exact), on an RNG stream keyed by
+            // (seed, sweep, chunk). With a single chunk this is exactly the
+            // sequential collapsed sampler.
+            let alpha_now = alpha;
+            let deltas = pool.run(n_chunks, |c| {
+                let (d_lo, d_hi) = hlm_par::chunk_bounds(docs.len(), DOC_CHUNK, c);
+                let (t_lo, t_hi) = (doc_start[d_lo], doc_start[d_hi]);
+                let mut chunk_rng = StdRng::seed_from_u64(hlm_par::split_seed3(
+                    self.cfg.seed,
+                    iter as u64,
+                    c as u64,
+                ));
+                let mut local_kw = n_kw.clone();
+                let mut local_k = n_k.clone();
+                let mut dk_rows = n_dk.as_slice()[d_lo * k..d_hi * k].to_vec();
+                let mut z = tok_z[t_lo..t_hi].to_vec();
+                let mut probs = vec![0.0f64; k];
+                for i in t_lo..t_hi {
+                    let d = tok_doc[i] as usize;
+                    let w = tok_word[i] as usize;
+                    let weight = tok_weight[i];
+                    let old_z = z[i - t_lo] as usize;
+                    let dk_row = &mut dk_rows[(d - d_lo) * k..(d - d_lo + 1) * k];
 
-                n_dk.add_at(d, old_z, -weight);
-                n_kw.add_at(old_z, w, -weight);
-                n_k[old_z] -= weight;
+                    dk_row[old_z] -= weight;
+                    local_kw.add_at(old_z, w, -weight);
+                    local_k[old_z] -= weight;
 
-                let dk_row = n_dk.row(d);
-                for (t, p) in probs.iter_mut().enumerate() {
-                    // Collapsed conditional: (n_dk + α)(n_kw + β)/(n_k + Mβ).
-                    *p = (dk_row[t] + alpha) * (n_kw.get(t, w) + beta) / (n_k[t] + beta_sum);
+                    for (t, p) in probs.iter_mut().enumerate() {
+                        // Collapsed conditional:
+                        // (n_dk + α)(n_kw + β)/(n_k + Mβ).
+                        *p = (dk_row[t] + alpha_now) * (local_kw.get(t, w) + beta)
+                            / (local_k[t] + beta_sum);
+                    }
+                    let new_z = sample_categorical(&mut chunk_rng, &probs);
+
+                    z[i - t_lo] = new_z as u16;
+                    dk_row[new_z] += weight;
+                    local_kw.add_at(new_z, w, weight);
+                    local_k[new_z] += weight;
                 }
-                let new_z = sample_categorical(&mut rng, &probs);
-
-                tok_z[i] = new_z as u16;
-                n_dk.add_at(d, new_z, weight);
-                n_kw.add_at(new_z, w, weight);
-                n_k[new_z] += weight;
+                local_kw.axpy(-1.0, &n_kw);
+                for (l, &g) in local_k.iter_mut().zip(n_k.iter()) {
+                    *l -= g;
+                }
+                SweepDelta {
+                    z,
+                    dk_rows,
+                    kw_delta: local_kw,
+                    k_delta: local_k,
+                }
+            });
+            // Deterministic merge in chunk order.
+            for (c, delta) in deltas.into_iter().enumerate() {
+                let (d_lo, d_hi) = hlm_par::chunk_bounds(docs.len(), DOC_CHUNK, c);
+                let (t_lo, t_hi) = (doc_start[d_lo], doc_start[d_hi]);
+                tok_z[t_lo..t_hi].copy_from_slice(&delta.z);
+                n_dk.as_mut_slice()[d_lo * k..d_hi * k].copy_from_slice(&delta.dk_rows);
+                n_kw.axpy(1.0, &delta.kw_delta);
+                for (g, &dl) in n_k.iter_mut().zip(&delta.k_delta) {
+                    *g += dl;
+                }
             }
 
             // Minka's fixed-point re-estimation of the symmetric alpha,

@@ -37,30 +37,56 @@ pub fn completion_split(doc: &[(usize, f64)]) -> (WeightedDoc, WeightedDoc) {
 /// predictive mixture is therefore conditioned on that information — mass on
 /// observed products is removed and the distribution renormalized — exactly
 /// as the LDA recommender never re-recommends an owned product.
+///
+/// Documents are scored independently and the per-document sums are reduced
+/// in document order, so the parallel evaluation (above a small corpus size)
+/// equals the serial one to the last ulp at any thread count.
 pub fn held_out_log_likelihood(model: &LdaModel, docs: &[WeightedDoc]) -> (f64, usize) {
-    let mut total_ll = 0.0;
-    let mut n_tokens = 0usize;
-    for doc in docs {
-        let (observed, held_out) = completion_split(doc);
-        if held_out.is_empty() {
-            continue;
-        }
-        let theta = model.infer_theta(&observed);
-        let mut pred = model.predictive_distribution(&theta);
-        for &(w, _) in &observed {
-            pred[w] = 0.0;
-        }
-        let remaining: f64 = pred.iter().sum();
-        if remaining > 0.0 {
-            pred.iter_mut().for_each(|p| *p /= remaining);
-        }
-        for &(w, _) in &held_out {
-            // beta smoothing keeps every p strictly positive.
-            total_ll += pred[w].max(f64::MIN_POSITIVE).ln();
-            n_tokens += 1;
-        }
+    // Documents per evaluation chunk; fixed so the reduction order is a
+    // function of the corpus alone.
+    const EVAL_DOC_CHUNK: usize = 32;
+    let pool = hlm_par::Pool::global();
+    hlm_par::par_map_reduce(
+        &pool,
+        docs,
+        EVAL_DOC_CHUNK,
+        |_c, chunk| {
+            let mut ll = 0.0;
+            let mut n = 0usize;
+            for doc in chunk {
+                let (doc_ll, doc_n) = doc_log_likelihood(model, doc);
+                ll += doc_ll;
+                n += doc_n;
+            }
+            (ll, n)
+        },
+        (0.0f64, 0usize),
+        |(acc_ll, acc_n), (ll, n)| (acc_ll + ll, acc_n + n),
+    )
+}
+
+/// One document's held-out log-likelihood under document completion:
+/// `(sum of ln P(w), held-out token count)`.
+fn doc_log_likelihood(model: &LdaModel, doc: &[(usize, f64)]) -> (f64, usize) {
+    let (observed, held_out) = completion_split(doc);
+    if held_out.is_empty() {
+        return (0.0, 0);
     }
-    (total_ll, n_tokens)
+    let theta = model.infer_theta(&observed);
+    let mut pred = model.predictive_distribution(&theta);
+    for &(w, _) in &observed {
+        pred[w] = 0.0;
+    }
+    let remaining: f64 = pred.iter().sum();
+    if remaining > 0.0 {
+        pred.iter_mut().for_each(|p| *p /= remaining);
+    }
+    let mut total_ll = 0.0;
+    for &(w, _) in &held_out {
+        // beta smoothing keeps every p strictly positive.
+        total_ll += pred[w].max(f64::MIN_POSITIVE).ln();
+    }
+    (total_ll, held_out.len())
 }
 
 /// Average perplexity per product on a test corpus:

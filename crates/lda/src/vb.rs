@@ -15,10 +15,24 @@ use crate::model::{LdaConfig, LdaModel};
 use crate::WeightedDoc;
 use hlm_linalg::special::digamma;
 use hlm_linalg::Matrix;
+use hlm_par::Pool;
 use hlm_resilience::{Checkpoint, ResilienceError, TrainControl};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Documents per parallel E-step chunk (fixed so results are independent of
+/// the worker count).
+const VB_DOC_CHUNK: usize = 64;
+
+/// One chunk's E-step output: its contribution to the new `λ` sufficient
+/// statistics, its documents' updated `γ` rows, and the summed absolute
+/// `γ` change.
+struct EStepOut {
+    lambda_contrib: Matrix,
+    gamma_rows: Vec<f64>,
+    gamma_change: f64,
+}
 
 /// Checkpoint kind tag for variational-Bayes runs.
 pub const VB_CHECKPOINT_KIND: &str = "lda-vb";
@@ -135,7 +149,8 @@ impl VbTrainer {
 
         // exp(E[log φ_kw]) cache.
         let mut e_log_phi = Matrix::zeros(k, m);
-        let mut resp = vec![0.0f64; k];
+        let pool = Pool::global();
+        let n_chunks = hlm_par::chunk_count(docs.len(), VB_DOC_CHUNK);
 
         for iter in start_iter as usize..self.opts.max_iters {
             ctrl.begin_iteration(iter as u64)?;
@@ -148,56 +163,75 @@ impl VbTrainer {
                 }
             }
 
-            let mut lambda_new = Matrix::filled(k, m, beta);
-            let mut mean_gamma_change = 0.0;
-
-            for (d, doc) in docs.iter().enumerate() {
-                // E-step for document d.
-                let mut g = vec![alpha + doc.len() as f64 / k as f64; k];
-                for _ in 0..self.opts.doc_iters {
-                    let mut g_new = vec![alpha; k];
+            // Per-document E-steps are independent given λ; run them over
+            // fixed document chunks and merge the sufficient statistics in
+            // chunk order (deterministic at any thread count).
+            let e_outs = pool.run(n_chunks, |c| {
+                let (d_lo, d_hi) = hlm_par::chunk_bounds(docs.len(), VB_DOC_CHUNK, c);
+                let mut out = EStepOut {
+                    lambda_contrib: Matrix::zeros(k, m),
+                    gamma_rows: Vec::with_capacity((d_hi - d_lo) * k),
+                    gamma_change: 0.0,
+                };
+                let mut resp = vec![0.0f64; k];
+                for (d, doc) in docs.iter().enumerate().take(d_hi).skip(d_lo) {
+                    // E-step for document d.
+                    let mut g = vec![alpha + doc.len() as f64 / k as f64; k];
+                    for _ in 0..self.opts.doc_iters {
+                        let mut g_new = vec![alpha; k];
+                        for &(w, weight) in doc {
+                            let mut s = 0.0;
+                            for t in 0..k {
+                                resp[t] = digamma(g[t]).exp() * e_log_phi.get(t, w);
+                                s += resp[t];
+                            }
+                            if s <= 0.0 {
+                                continue;
+                            }
+                            for t in 0..k {
+                                g_new[t] += weight * resp[t] / s;
+                            }
+                        }
+                        let delta: f64 = g
+                            .iter()
+                            .zip(&g_new)
+                            .map(|(a, b)| (a - b).abs())
+                            .sum::<f64>()
+                            / k as f64;
+                        g = g_new;
+                        if delta < self.opts.tol {
+                            break;
+                        }
+                    }
+                    // Accumulate sufficient statistics into λ.
                     for &(w, weight) in doc {
                         let mut s = 0.0;
-                        for t in 0..k {
-                            resp[t] = digamma(g[t]).exp() * e_log_phi.get(t, w);
-                            s += resp[t];
+                        for (t, r) in resp.iter_mut().enumerate().take(k) {
+                            *r = digamma(g[t]).exp() * e_log_phi.get(t, w);
+                            s += *r;
                         }
                         if s <= 0.0 {
                             continue;
                         }
-                        for t in 0..k {
-                            g_new[t] += weight * resp[t] / s;
+                        for (t, &r) in resp.iter().enumerate().take(k) {
+                            out.lambda_contrib.add_at(t, w, weight * r / s);
                         }
                     }
-                    let delta: f64 = g
-                        .iter()
-                        .zip(&g_new)
-                        .map(|(a, b)| (a - b).abs())
-                        .sum::<f64>()
-                        / k as f64;
-                    g = g_new;
-                    if delta < self.opts.tol {
-                        break;
+                    for (t, &gt) in g.iter().enumerate().take(k) {
+                        out.gamma_change += (gamma.get(d, t) - gt).abs();
                     }
+                    out.gamma_rows.extend_from_slice(&g);
                 }
-                // Accumulate sufficient statistics into λ.
-                for &(w, weight) in doc {
-                    let mut s = 0.0;
-                    for (t, r) in resp.iter_mut().enumerate().take(k) {
-                        *r = digamma(g[t]).exp() * e_log_phi.get(t, w);
-                        s += *r;
-                    }
-                    if s <= 0.0 {
-                        continue;
-                    }
-                    for (t, &r) in resp.iter().enumerate().take(k) {
-                        lambda_new.add_at(t, w, weight * r / s);
-                    }
-                }
-                for (t, &gt) in g.iter().enumerate().take(k) {
-                    mean_gamma_change += (gamma.get(d, t) - gt).abs();
-                    gamma.set(d, t, gt);
-                }
+                out
+            });
+
+            let mut lambda_new = Matrix::filled(k, m, beta);
+            let mut mean_gamma_change = 0.0;
+            for (c, out) in e_outs.into_iter().enumerate() {
+                let (d_lo, d_hi) = hlm_par::chunk_bounds(docs.len(), VB_DOC_CHUNK, c);
+                lambda_new.axpy(1.0, &out.lambda_contrib);
+                gamma.as_mut_slice()[d_lo * k..d_hi * k].copy_from_slice(&out.gamma_rows);
+                mean_gamma_change += out.gamma_change;
             }
             lambda = lambda_new;
             mean_gamma_change /= (docs.len().max(1) * k) as f64;

@@ -8,6 +8,40 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Multiply-add count above which `matmul`/`matvec` fan out across the
+/// global worker pool. Below it the spawn cost dwarfs the arithmetic.
+const PAR_FLOP_CUTOFF: usize = 1 << 18;
+
+/// Output rows per parallel block. Fixed (never derived from the thread
+/// count) so chunk boundaries are a pure function of the shapes.
+const PAR_ROW_CHUNK: usize = 16;
+
+/// Inner-dimension tile: `K_TILE` rows of the right operand stay cache-hot
+/// while a block of output rows consumes them.
+const K_TILE: usize = 64;
+
+/// Probes up to 16 evenly spaced elements of a row segment; the zero-skip
+/// branch in the matmul kernel is only enabled when at least half the
+/// probes hit zeros. On dense data the always-taken branch costs more than
+/// the multiplications it saves.
+fn segment_probe_sparse(seg: &[f64]) -> bool {
+    if seg.is_empty() {
+        return false;
+    }
+    // Odd stride so the sample pattern cannot alias with even-periodic
+    // sparsity structure.
+    let stride = ((seg.len() / 16) | 1).max(1);
+    let mut zeros = 0usize;
+    let mut total = 0usize;
+    let mut i = 0;
+    while i < seg.len() {
+        zeros += usize::from(seg[i] == 0.0);
+        total += 1;
+        i += stride;
+    }
+    2 * zeros >= total
+}
+
 /// Dense row-major matrix of `f64` values.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
@@ -193,6 +227,13 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
+    /// Cache-blocked over the inner dimension (a tile of `other`'s rows
+    /// stays hot while a block of output rows consumes it) and parallelized
+    /// across output-row blocks above [`PAR_FLOP_CUTOFF`]. Per output cell
+    /// the inner-dimension accumulation order is the plain ascending-`k`
+    /// order, so blocked, parallel and naive i-k-j results are bit-identical
+    /// for finite inputs, at any thread count.
+    ///
     /// # Panics
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
@@ -202,29 +243,117 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j order keeps both inner accesses sequential in memory.
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ik * b;
+        if self.rows == 0 || self.cols == 0 || other.cols == 0 {
+            return out;
+        }
+        let n = other.cols;
+        let pool = hlm_par::Pool::global();
+        let flops = self.rows * self.cols * n;
+        if flops >= PAR_FLOP_CUTOFF && pool.threads() > 1 && self.rows > 1 {
+            hlm_par::par_for_each_init(
+                &pool,
+                &mut out.data,
+                PAR_ROW_CHUNK * n,
+                |_| (),
+                |(), block_idx, out_block| {
+                    self.mul_rows_into(other, block_idx * PAR_ROW_CHUNK, out_block);
+                },
+            );
+        } else {
+            self.mul_rows_into(other, 0, &mut out.data);
+        }
+        out
+    }
+
+    /// Computes output rows `row0..` of `self * other` into `out_block`
+    /// (`out_block.len()` must be a multiple of `other.cols`): the k-tiled
+    /// i-k-j kernel shared by the serial and parallel paths.
+    fn mul_rows_into(&self, other: &Matrix, row0: usize, out_block: &mut [f64]) {
+        let n = other.cols;
+        let n_rows = out_block.len() / n;
+        let mut k0 = 0;
+        while k0 < self.cols {
+            let k1 = (k0 + K_TILE).min(self.cols);
+            for (r, out_row) in out_block.chunks_exact_mut(n).enumerate().take(n_rows) {
+                let a_seg = &self.row(row0 + r)[k0..k1];
+                // Zero entries of A contribute nothing either way; skipping
+                // them only pays when the segment is actually sparse —
+                // probing first avoids a mispredicting branch on dense data.
+                let skip_zeros = segment_probe_sparse(a_seg);
+                for (k, &a_ik) in a_seg.iter().enumerate() {
+                    if skip_zeros && a_ik == 0.0 {
+                        continue;
+                    }
+                    crate::vector::axpy(out_row, a_ik, other.row(k0 + k));
                 }
             }
+            k0 = k1;
+        }
+    }
+
+    /// Matrix product with a transposed right operand: `self * other^T`,
+    /// where `other` is `m x k` with `k == self.cols()`. Both operands are
+    /// walked along rows, so every inner product is two sequential streams —
+    /// the fast path for Gram-style products without materializing a
+    /// transpose.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt dimension mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        if self.rows == 0 || other.rows == 0 {
+            return out;
+        }
+        let n = other.rows;
+        let pool = hlm_par::Pool::global();
+        let flops = self.rows * self.cols * n;
+        let nt_kernel = |row0: usize, out_block: &mut [f64]| {
+            for (r, out_row) in out_block.chunks_exact_mut(n).enumerate() {
+                let a_row = self.row(row0 + r);
+                for (o, b_row) in out_row.iter_mut().zip(other.iter_rows()) {
+                    *o = crate::vector::dot(a_row, b_row);
+                }
+            }
+        };
+        if flops >= PAR_FLOP_CUTOFF && pool.threads() > 1 && self.rows > 1 {
+            hlm_par::par_for_each_init(
+                &pool,
+                &mut out.data,
+                PAR_ROW_CHUNK * n,
+                |_| (),
+                |(), block_idx, out_block| nt_kernel(block_idx * PAR_ROW_CHUNK, out_block),
+            );
+        } else {
+            nt_kernel(0, &mut out.data);
         }
         out
     }
 
     /// Matrix-vector product `self * v`.
     ///
+    /// Row results are independent dot products, so the parallel path (taken
+    /// above [`PAR_FLOP_CUTOFF`]) is bit-identical to the serial one.
+    ///
     /// # Panics
     /// Panics if `v.len() != self.cols()`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        let pool = hlm_par::Pool::global();
+        if self.rows * self.cols >= PAR_FLOP_CUTOFF && pool.threads() > 1 {
+            let n_chunks = hlm_par::chunk_count(self.rows, PAR_ROW_CHUNK);
+            let blocks = pool.run(n_chunks, |c| {
+                let (lo, hi) = hlm_par::chunk_bounds(self.rows, PAR_ROW_CHUNK, c);
+                (lo..hi)
+                    .map(|r| crate::vector::dot(self.row(r), v))
+                    .collect::<Vec<f64>>()
+            });
+            return blocks.concat();
+        }
         self.iter_rows()
             .map(|row| crate::vector::dot(row, v))
             .collect()
@@ -472,6 +601,78 @@ mod tests {
         let mut c = a.clone();
         c.axpy(2.0, &b);
         assert_eq!(c.row(0), &[7.0, 10.0]);
+    }
+
+    /// Reference naive i-k-j product without blocking, skipping or
+    /// parallelism.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                for j in 0..b.cols() {
+                    out.add_at(i, j, a.get(i, k) * b.get(k, j));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_bitwise() {
+        // 70x130 * 130x90 crosses both the K_TILE boundary and the parallel
+        // flop cutoff; with ~30% zeros the sparsity probe takes both paths.
+        let a = Matrix::from_fn(70, 130, |i, j| {
+            if (i * 131 + j * 7) % 10 < 3 {
+                0.0
+            } else {
+                ((i * 31 + j) as f64).sin()
+            }
+        });
+        let b = Matrix::from_fn(130, 90, |i, j| ((i + 3 * j) as f64).cos());
+        let expect = naive_matmul(&a, &b);
+        assert_eq!(a.matmul(&b), expect);
+    }
+
+    #[test]
+    fn matmul_is_thread_count_independent() {
+        let a = Matrix::from_fn(64, 96, |i, j| ((i * 17 + j * 5) as f64).sin());
+        let b = Matrix::from_fn(96, 64, |i, j| ((i + j * 11) as f64).cos());
+        hlm_par::set_threads(1);
+        let serial = a.matmul(&b);
+        let serial_nt = a.matmul_nt(&b.transpose());
+        let serial_mv = a.matvec(&b.col(0));
+        for threads in [2, 7] {
+            hlm_par::set_threads(threads);
+            assert_eq!(a.matmul(&b), serial, "{threads} threads");
+            assert_eq!(a.matmul_nt(&b.transpose()), serial_nt, "{threads} threads");
+            assert_eq!(a.matvec(&b.col(0)), serial_mv, "{threads} threads");
+        }
+        hlm_par::set_threads(0);
+    }
+
+    #[test]
+    fn matmul_nt_matches_matmul_of_transpose() {
+        let a = Matrix::from_fn(9, 13, |i, j| (i * 13 + j) as f64 * 0.25);
+        let b = Matrix::from_fn(7, 13, |i, j| ((i + j) as f64).sqrt());
+        let via_transpose = a.matmul(&b.transpose());
+        let direct = a.matmul_nt(&b);
+        assert_eq!(direct.shape(), (9, 7));
+        for i in 0..9 {
+            for j in 0..7 {
+                assert!((direct.get(i, j) - via_transpose.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn sparsity_probe_detects_density() {
+        assert!(segment_probe_sparse(&[0.0; 32]));
+        assert!(!segment_probe_sparse(&[1.0; 32]));
+        assert!(!segment_probe_sparse(&[]));
+        let mostly_zero: Vec<f64> = (0..64)
+            .map(|i| if i % 4 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        assert!(segment_probe_sparse(&mostly_zero));
     }
 
     proptest! {

@@ -15,7 +15,23 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
         a.len(),
         b.len()
     );
-    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+    // Four independent accumulators break the serial add dependency chain
+    // so the FPU pipelines; the fixed lane structure keeps results
+    // deterministic for a given length.
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+        s0 += ca[0] * cb[0];
+        s1 += ca[1] * cb[1];
+        s2 += ca[2] * cb[2];
+        s3 += ca[3] * cb[3];
+    }
+    let mut tail = 0.0;
+    for (&x, &y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        tail += x * y;
+    }
+    (s0 + s1) + (s2 + s3) + tail
 }
 
 /// Euclidean (L2) norm.
@@ -37,7 +53,21 @@ pub fn norm_l1(a: &[f64]) -> f64 {
 #[inline]
 pub fn axpy(a: &mut [f64], alpha: f64, b: &[f64]) {
     assert_eq!(a.len(), b.len(), "axpy length mismatch");
-    for (x, &y) in a.iter_mut().zip(b) {
+    // 4-way unroll: each lane writes a distinct element, so unlike `dot`
+    // there is no reassociation — results are identical to the naive loop.
+    let mut chunks_a = a.chunks_exact_mut(4);
+    let mut chunks_b = b.chunks_exact(4);
+    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+        ca[0] += alpha * cb[0];
+        ca[1] += alpha * cb[1];
+        ca[2] += alpha * cb[2];
+        ca[3] += alpha * cb[3];
+    }
+    for (x, &y) in chunks_a
+        .into_remainder()
+        .iter_mut()
+        .zip(chunks_b.remainder())
+    {
         *x += alpha * y;
     }
 }

@@ -110,6 +110,13 @@ impl RnnLayer {
         }
     }
 
+    fn params(&self) -> [&Param; 3] {
+        match self {
+            RnnLayer::Lstm(c) => [&c.w, &c.u, &c.b],
+            RnnLayer::Gru(c) => [&c.w, &c.u, &c.b],
+        }
+    }
+
     /// Forward step. GRU layers carry no cell state: they return `c_prev`
     /// unchanged so the caller's state plumbing is uniform.
     fn forward(&self, x: &[f64], h_prev: &[f64], c_prev: &[f64]) -> (Vec<f64>, Vec<f64>, RnnCache) {
@@ -173,6 +180,18 @@ impl LstmConfig {
             "dropout must be in [0, 1)"
         );
     }
+}
+
+/// Dropout masks for one training sequence, pre-drawn from the model's
+/// dropout RNG. Separating the draw from the gradient computation lets the
+/// trainer consume the RNG stream in batch order (exactly as the serial loop
+/// would) while the compute runs data-parallel on cloned models.
+#[derive(Debug, Clone)]
+pub struct DropoutMasks {
+    /// `in_masks[layer][t]`: mask applied to layer `layer`'s input at step `t`.
+    in_masks: Vec<Vec<Vec<f64>>>,
+    /// `out_masks[t]`: mask applied to the top hidden state at step `t`.
+    out_masks: Vec<Vec<f64>>,
 }
 
 /// The trainable language model.
@@ -281,19 +300,18 @@ impl LstmLm {
         (input, target)
     }
 
-    /// Runs one training sequence: forward with dropout, cross-entropy loss,
-    /// full BPTT accumulating gradients into the parameters (no optimizer
-    /// step). Returns `(total negative log-likelihood, target count)`.
-    pub fn train_sequence(&mut self, seq: &[usize]) -> (f64, usize) {
-        let (inputs, targets) = self.io_tokens(seq);
-        let t_len = inputs.len();
+    /// Draws the dropout masks for one training sequence from the model's
+    /// dropout RNG (inverted dropout): one mask per layer input per step,
+    /// plus one on the final hidden state per step. Consumes the RNG stream
+    /// in exactly the order [`LstmLm::train_sequence`] historically did, so
+    /// checkpointed RNG states stay compatible.
+    pub fn draw_masks(&mut self, seq: &[usize]) -> DropoutMasks {
+        let t_len = seq.len() + 1; // BOS-prefixed input length
         let h = self.cfg.hidden_size;
         let n_layers = self.cfg.n_layers;
         let p_drop = self.cfg.dropout;
         let keep = 1.0 - p_drop;
-
-        // Dropout masks (inverted dropout): one per layer input per step,
-        // plus one on the final hidden state per step.
+        let dropout_on = p_drop > 0.0;
         let mut make_mask = |on: bool| -> Vec<f64> {
             (0..h)
                 .map(|_| {
@@ -307,11 +325,60 @@ impl LstmLm {
                 })
                 .collect()
         };
-        let dropout_on = p_drop > 0.0;
         let in_masks: Vec<Vec<Vec<f64>>> = (0..n_layers)
             .map(|_| (0..t_len).map(|_| make_mask(dropout_on)).collect())
             .collect();
         let out_masks: Vec<Vec<f64>> = (0..t_len).map(|_| make_mask(dropout_on)).collect();
+        DropoutMasks {
+            in_masks,
+            out_masks,
+        }
+    }
+
+    /// Adds `other`'s accumulated gradients into this model's gradient
+    /// buffers. Used by the data-parallel trainer to merge per-chunk
+    /// gradients (computed on cloned models) back into the master in fixed
+    /// chunk order.
+    ///
+    /// # Panics
+    /// Panics if the architectures differ.
+    pub fn accumulate_grads(&mut self, other: &LstmLm) {
+        self.embedding.grad.axpy(1.0, &other.embedding.grad);
+        assert_eq!(self.layers.len(), other.layers.len(), "layer count differs");
+        for (mine, theirs) in self.layers.iter_mut().zip(&other.layers) {
+            for (dst, src) in mine.params_mut().into_iter().zip(theirs.params()) {
+                dst.grad.axpy(1.0, &src.grad);
+            }
+        }
+        self.w_out.grad.axpy(1.0, &other.w_out.grad);
+        self.b_out.grad.axpy(1.0, &other.b_out.grad);
+    }
+
+    /// Runs one training sequence: forward with dropout, cross-entropy loss,
+    /// full BPTT accumulating gradients into the parameters (no optimizer
+    /// step). Returns `(total negative log-likelihood, target count)`.
+    pub fn train_sequence(&mut self, seq: &[usize]) -> (f64, usize) {
+        let masks = self.draw_masks(seq);
+        self.train_sequence_masked(seq, &masks)
+    }
+
+    /// Like [`LstmLm::train_sequence`], but uses pre-drawn dropout masks and
+    /// never touches the dropout RNG — safe to run on cloned models in
+    /// parallel workers.
+    pub fn train_sequence_masked(&mut self, seq: &[usize], masks: &DropoutMasks) -> (f64, usize) {
+        let (inputs, targets) = self.io_tokens(seq);
+        let t_len = inputs.len();
+        let h = self.cfg.hidden_size;
+        let n_layers = self.cfg.n_layers;
+        let DropoutMasks {
+            in_masks,
+            out_masks,
+        } = masks;
+        assert_eq!(
+            out_masks.len(),
+            t_len,
+            "mask length does not match sequence"
+        );
 
         // Forward.
         let mut hs = vec![vec![0.0; h]; n_layers];

@@ -10,6 +10,11 @@ use serde::{Deserialize, Serialize};
 /// Checkpoint kind tag for LSTM training runs.
 pub const LSTM_CHECKPOINT_KIND: &str = "lstm";
 
+/// Sequences per data-parallel gradient chunk within a mini-batch. Fixed (a
+/// function of the batch alone, never the thread count) so gradient merge
+/// order — and therefore training — is identical at any parallelism.
+const SEQ_CHUNK: usize = 4;
+
 /// Complete trainer state after a finished epoch. The shuffle order and both
 /// RNG streams are captured so a resumed run replays the exact same batch
 /// sequence and dropout masks as an uninterrupted one.
@@ -171,11 +176,36 @@ impl Trainer {
             hlm_linalg::dist::shuffle(&mut rng, &mut order);
             let mut total_nll = 0.0;
             let mut total_tokens = 0usize;
-            for chunk in order.chunks(self.opts.batch_size) {
-                for &idx in chunk {
-                    let (nll, n) = model.train_sequence(&train[idx]);
+            let pool = hlm_par::Pool::global();
+            for batch in order.chunks(self.opts.batch_size) {
+                // Pre-draw every dropout mask from the master RNG in batch
+                // order (the same stream consumption as a serial loop), then
+                // compute per-sequence gradients data-parallel on cloned
+                // models and merge them back in fixed chunk order. The chunk
+                // layout depends only on the batch, never on the thread
+                // count, so training is bit-identical at any parallelism.
+                let masks: Vec<_> = batch
+                    .iter()
+                    .map(|&idx| model.draw_masks(&train[idx]))
+                    .collect();
+                let n_chunks = hlm_par::chunk_count(batch.len(), SEQ_CHUNK);
+                let snapshot: &LstmLm = model;
+                let results = pool.run(n_chunks, |c| {
+                    let (lo, hi) = hlm_par::chunk_bounds(batch.len(), SEQ_CHUNK, c);
+                    let mut worker = snapshot.clone();
+                    let mut nll = 0.0;
+                    let mut n = 0usize;
+                    for i in lo..hi {
+                        let (l, cnt) = worker.train_sequence_masked(&train[batch[i]], &masks[i]);
+                        nll += l;
+                        n += cnt;
+                    }
+                    (worker, nll, n)
+                });
+                for (worker, nll, n) in results {
                     total_nll += nll;
                     total_tokens += n;
+                    model.accumulate_grads(&worker);
                 }
                 adam.step(&mut model.parameters_mut());
             }

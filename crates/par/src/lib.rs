@@ -1,0 +1,414 @@
+//! Deterministic data-parallel runtime for the hidden-layer-models
+//! workspace.
+//!
+//! Everything here is std-only: a scoped worker pool built on
+//! [`std::thread::scope`] plus a small set of chunked primitives. The design
+//! contract is **determinism independent of thread count**:
+//!
+//! * **Fixed chunk assignment** — chunk boundaries are a pure function of
+//!   the data size and the chunk size, never of the worker count. The same
+//!   input always produces the same chunks.
+//! * **Ordered reduction** — chunk results are merged in chunk order, so
+//!   floating-point accumulation follows one canonical order no matter
+//!   which worker produced which chunk, or in what order they finished.
+//! * **Per-chunk RNG streams** — callers derive one seed per
+//!   `(master seed, iteration, chunk index)` with [`split_seed`] /
+//!   [`split_seed3`], so stochastic sweeps (Gibbs sampling, BPMF draws,
+//!   datagen) consume independent streams that do not depend on scheduling.
+//!
+//! Under this contract a run with one worker and a run with sixteen produce
+//! bit-identical results; parallelism only changes wall-clock time. That is
+//! what lets the parallel trainers keep the checkpoint/resume bit-identity
+//! guarantees introduced with the resilience layer.
+//!
+//! The worker count comes from, in priority order: an explicit
+//! [`Pool::new`], the process-wide [`set_threads`] override (the engine's
+//! `--threads` option), the `HLM_THREADS` environment variable, and finally
+//! [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Process-wide worker-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide worker count used by [`Pool::global`]. Passing 0
+/// clears the override, falling back to `HLM_THREADS` / detected
+/// parallelism. This only changes how many workers execute the fixed chunk
+/// schedule — results are unaffected by construction.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The worker count [`Pool::global`] would use right now: the
+/// [`set_threads`] override if set, else `HLM_THREADS` if parsable and
+/// positive, else [`std::thread::available_parallelism`] (1 when detection
+/// fails).
+pub fn effective_threads() -> usize {
+    let over = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if over > 0 {
+        return over;
+    }
+    if let Ok(s) = std::env::var("HLM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A worker pool of a fixed size. The pool is scoped: each parallel call
+/// spawns its workers inside [`std::thread::scope`] and joins them before
+/// returning, so borrowed data flows into tasks without `'static` bounds
+/// and a panicking task propagates to the caller.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool with an explicit worker count (at least 1). Used directly by
+    /// the determinism tests to pin specific counts such as 1, 2 and 7.
+    ///
+    /// # Panics
+    /// Panics if `threads` is 0.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "pool needs at least one worker");
+        Pool { threads }
+    }
+
+    /// The pool honouring the process-wide thread policy (see
+    /// [`effective_threads`]).
+    pub fn global() -> Self {
+        Pool {
+            threads: effective_threads(),
+        }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `n_tasks` independent tasks and returns their results **in task
+    /// order**. Tasks are handed to workers through an atomic counter;
+    /// because each result is keyed by its task index, the output is
+    /// independent of which worker ran what.
+    pub fn run<R, F>(&self, n_tasks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if n_tasks == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(n_tasks);
+        if workers <= 1 {
+            return (0..n_tasks).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let f = &f;
+        let per_worker: Vec<Vec<(usize, R)>> = thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n_tasks {
+                                break;
+                            }
+                            local.push((i, f(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool worker panicked"))
+                .collect()
+        });
+        reorder(n_tasks, per_worker)
+    }
+}
+
+/// Places `(index, value)` pairs into index order.
+fn reorder<R>(n: usize, batches: Vec<Vec<(usize, R)>>) -> Vec<R> {
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in batches.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "task {i} produced twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|o| o.expect("every task ran"))
+        .collect()
+}
+
+/// Number of fixed-size chunks covering `len` items (`chunk` is clamped to
+/// at least 1). A pure function of the data — never of the thread count.
+pub fn chunk_count(len: usize, chunk: usize) -> usize {
+    len.div_ceil(chunk.max(1))
+}
+
+/// Half-open item range `[lo, hi)` of chunk `i`.
+pub fn chunk_bounds(len: usize, chunk: usize, i: usize) -> (usize, usize) {
+    let chunk = chunk.max(1);
+    let lo = i * chunk;
+    (lo.min(len), ((i + 1) * chunk).min(len))
+}
+
+/// Maps fixed chunks of `items` in parallel; returns one result per chunk,
+/// in chunk order. `f` receives the chunk index and the chunk slice.
+pub fn par_chunks<T, R, F>(pool: &Pool, items: &[T], chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let n = chunk_count(items.len(), chunk);
+    pool.run(n, |i| {
+        let (lo, hi) = chunk_bounds(items.len(), chunk, i);
+        f(i, &items[lo..hi])
+    })
+}
+
+/// Maps fixed chunks in parallel, then folds the chunk results **in chunk
+/// order** on the calling thread. The ordered fold pins the floating-point
+/// accumulation order, so the reduction is bitwise-reproducible across
+/// thread counts.
+pub fn par_map_reduce<T, R, A, F, G>(
+    pool: &Pool,
+    items: &[T],
+    chunk: usize,
+    map: F,
+    init: A,
+    fold: G,
+) -> A
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+    G: FnMut(A, R) -> A,
+{
+    par_chunks(pool, items, chunk, map)
+        .into_iter()
+        .fold(init, fold)
+}
+
+/// Mutates fixed disjoint chunks of `items` in parallel, giving each chunk
+/// a fresh state built by `init(chunk_index)` — typically an RNG seeded via
+/// [`split_seed3`]. Returns one result per chunk, in chunk order. Chunks
+/// are pre-assigned to workers round-robin; since every chunk's work
+/// depends only on its own contents, index and state, the schedule cannot
+/// influence results.
+pub fn par_for_each_init<T, S, R, I, F>(
+    pool: &Pool,
+    items: &mut [T],
+    chunk: usize,
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize, &mut [T]) -> R + Sync,
+{
+    let len = items.len();
+    let n = chunk_count(len, chunk);
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = pool.threads.min(n);
+    if workers <= 1 {
+        return items
+            .chunks_mut(chunk.max(1))
+            .enumerate()
+            .map(|(i, c)| {
+                let mut state = init(i);
+                f(&mut state, i, c)
+            })
+            .collect();
+    }
+    let mut assigned: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, c) in items.chunks_mut(chunk.max(1)).enumerate() {
+        assigned[i % workers].push((i, c));
+    }
+    let init = &init;
+    let f = &f;
+    let per_worker: Vec<Vec<(usize, R)>> = thread::scope(|s| {
+        let handles: Vec<_> = assigned
+            .into_iter()
+            .map(|work| {
+                s.spawn(move || {
+                    work.into_iter()
+                        .map(|(i, c)| {
+                            let mut state = init(i);
+                            (i, f(&mut state, i, c))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect()
+    });
+    reorder(n, per_worker)
+}
+
+/// Derives an independent stream seed from a master seed and a stream
+/// index. Two SplitMix64 finalizer rounds over the mixed pair: small input
+/// deltas (stream 0, 1, 2, …) land far apart, so per-chunk `StdRng`s seeded
+/// from consecutive indices are statistically unrelated.
+pub fn split_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Two-level stream derivation: `(master, a, b)` → seed. Used for
+/// per-sweep, per-chunk streams: `a` is the sweep/iteration, `b` the chunk
+/// index.
+pub fn split_seed3(master: u64, a: u64, b: u64) -> u64 {
+    split_seed(split_seed(master, a), b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_bounds_cover_exactly() {
+        for len in [0usize, 1, 5, 64, 65, 1000] {
+            for chunk in [1usize, 3, 64, 1000] {
+                let n = chunk_count(len, chunk);
+                let mut covered = 0;
+                for i in 0..n {
+                    let (lo, hi) = chunk_bounds(len, chunk, i);
+                    assert_eq!(lo, covered, "len {len} chunk {chunk} i {i}");
+                    assert!(hi > lo);
+                    covered = hi;
+                }
+                assert_eq!(covered, len);
+            }
+        }
+        assert_eq!(chunk_count(0, 8), 0);
+    }
+
+    #[test]
+    fn run_returns_results_in_task_order() {
+        for workers in [1, 2, 3, 7, 16] {
+            let pool = Pool::new(workers);
+            let out = pool.run(23, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_chunks_is_thread_count_independent() {
+        let items: Vec<f64> = (0..997).map(|i| (i as f64).sin()).collect();
+        let serial = par_chunks(&Pool::new(1), &items, 64, |i, c| (i, c.iter().sum::<f64>()));
+        for workers in [2, 7] {
+            let par = par_chunks(&Pool::new(workers), &items, 64, |i, c| {
+                (i, c.iter().sum::<f64>())
+            });
+            assert_eq!(serial, par, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_reduce_folds_in_chunk_order() {
+        let items: Vec<u32> = (0..100).collect();
+        for workers in [1, 2, 7] {
+            let order = par_map_reduce(
+                &Pool::new(workers),
+                &items,
+                9,
+                |i, _| i,
+                Vec::new(),
+                |mut acc: Vec<usize>, i| {
+                    acc.push(i);
+                    acc
+                },
+            );
+            assert_eq!(order, (0..chunk_count(100, 9)).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_for_each_init_mutates_disjoint_chunks() {
+        let mut serial: Vec<u64> = vec![0; 137];
+        par_for_each_init(
+            &Pool::new(1),
+            &mut serial,
+            16,
+            |i| split_seed(42, i as u64),
+            |seed, _i, chunk| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = seed.wrapping_add(j as u64);
+                }
+            },
+        );
+        for workers in [2, 7] {
+            let mut par: Vec<u64> = vec![0; 137];
+            par_for_each_init(
+                &Pool::new(workers),
+                &mut par,
+                16,
+                |i| split_seed(42, i as u64),
+                |seed, _i, chunk| {
+                    for (j, x) in chunk.iter_mut().enumerate() {
+                        *x = seed.wrapping_add(j as u64);
+                    }
+                },
+            );
+            assert_eq!(serial, par, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn split_seed_separates_streams() {
+        let seeds: Vec<u64> = (0..64).map(|i| split_seed(7, i)).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len(), "stream seeds must be distinct");
+        // Consecutive streams should differ in many bits, not just the low
+        // ones.
+        for w in seeds.windows(2) {
+            assert!((w[0] ^ w[1]).count_ones() >= 16);
+        }
+        assert_ne!(split_seed3(7, 1, 2), split_seed3(7, 2, 1));
+    }
+
+    #[test]
+    fn set_threads_overrides_policy() {
+        set_threads(5);
+        assert_eq!(effective_threads(), 5);
+        assert_eq!(Pool::global().threads(), 5);
+        set_threads(0);
+        assert!(effective_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_propagates_worker_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            Pool::new(4).run(8, |i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Thread-count invariance of the parallel runtime: every parallel hot path
+//! must produce bit-identical results whether it runs on 1, 2 or 7 worker
+//! threads. This is the determinism contract of `hlm-par` (DESIGN.md §3.3):
+//! chunk boundaries are a function of the data size only, reductions fold in
+//! chunk order, and RNG streams are split per chunk/company — never per
+//! worker — so the thread count can only change the wall-clock.
+//!
+//! Everything lives in one test function: the thread override is process
+//! global, and the default multi-threaded test harness would otherwise race
+//! two tests' overrides against each other.
+
+use hlm_bpmf::{BpmfConfig, Rating};
+use hlm_lda::document_completion_perplexity;
+use hlm_tests::{index_sequences, quick_lda, test_corpus, test_split};
+
+/// Runs `f` once per thread count and asserts all outcomes are identical.
+/// The outcome type uses plain `==`; callers pass bit-preserving
+/// representations (e.g. `f64::to_bits`) where rounding could hide drift.
+fn invariant_across_thread_counts<T: PartialEq + std::fmt::Debug>(
+    what: &str,
+    f: impl Fn() -> T,
+) -> T {
+    let baseline = {
+        hlm_engine::set_threads(1);
+        f()
+    };
+    for threads in [2usize, 7] {
+        hlm_engine::set_threads(threads);
+        assert_eq!(hlm_engine::effective_threads(), threads);
+        let run = f();
+        assert_eq!(
+            run, baseline,
+            "{what}: {threads}-thread run differs from the serial run"
+        );
+    }
+    hlm_engine::set_threads(0); // restore the HLM_THREADS / auto default
+    baseline
+}
+
+#[test]
+fn parallel_hot_paths_are_bit_identical_across_thread_counts() {
+    // Corpus generation: per-company RNG streams, ordered site-id assignment.
+    let corpus = invariant_across_thread_counts("datagen", || {
+        let c = test_corpus(250, 71);
+        c.companies()
+            .iter()
+            .map(|co| {
+                (
+                    co.events().to_vec(),
+                    co.revenue_musd.to_bits(),
+                    co.site_count,
+                )
+            })
+            .collect::<Vec<_>>()
+    });
+    assert!(!corpus.is_empty());
+
+    let corpus = test_corpus(250, 71);
+    let split = test_split(&corpus);
+    let test_docs = hlm_core::representations::binary_docs(&corpus, &split.test);
+
+    // LDA collapsed Gibbs (document-sliced sweep, deterministic count merge)
+    // + parallel document-completion perplexity. The perplexity comparison
+    // is on raw bits: parallel folding must equal serial to the last ulp.
+    invariant_across_thread_counts("lda gibbs + perplexity", || {
+        let (model, _) = quick_lda(&corpus, &split.train, 3);
+        let phi: Vec<u64> = model.phi().as_slice().iter().map(|x| x.to_bits()).collect();
+        let ppl = document_completion_perplexity(&model, &test_docs).to_bits();
+        (phi, ppl)
+    });
+
+    // BPMF conditional draws (per-row chunk RNG streams).
+    let ratings: Vec<Rating> = corpus
+        .companies()
+        .iter()
+        .take(60)
+        .enumerate()
+        .flat_map(|(row, c)| {
+            c.product_set().into_iter().map(move |p| Rating {
+                row,
+                col: p.index(),
+                value: 1.0,
+            })
+        })
+        .collect();
+    invariant_across_thread_counts("bpmf", || {
+        let cfg = BpmfConfig {
+            n_factors: 4,
+            n_iters: 12,
+            burn_in: 4,
+            seed: 9,
+            ..Default::default()
+        };
+        let model = hlm_bpmf::fit(60, corpus.vocab().len(), &ratings, &cfg, Some((0.0, 1.0)));
+        model
+            .all_scores()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect::<Vec<_>>()
+    });
+
+    // LSTM minibatch training (chunked gradient accumulation, ordered merge).
+    let ids: Vec<_> = corpus.ids().collect();
+    let seqs = index_sequences(&corpus, &ids);
+    invariant_across_thread_counts("lstm", || {
+        use hlm_lstm::{AdamOptions, LstmConfig, LstmLm, TrainOptions, Trainer};
+        let mut m = LstmLm::new(
+            LstmConfig {
+                vocab_size: corpus.vocab().len(),
+                hidden_size: 8,
+                n_layers: 1,
+                dropout: 0.3,
+                ..Default::default()
+            },
+            17,
+        );
+        Trainer::new(TrainOptions {
+            epochs: 1,
+            batch_size: 8,
+            adam: AdamOptions::default(),
+            patience: 0,
+            seed: 5,
+            verbose: false,
+            ..Default::default()
+        })
+        .fit(&mut m, &seqs, &[]);
+        m.predict_next(&[0, 3])
+            .iter()
+            .map(|x| x.to_bits())
+            .collect::<Vec<_>>()
+    });
+}
