@@ -21,6 +21,7 @@
 
 use hlm_engine::{effective_threads, set_threads};
 use hlm_lda::{document_completion_perplexity, GibbsTrainer, LdaConfig};
+use hlm_obs::json;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -94,9 +95,12 @@ fn main() {
     );
 
     let total = |r: &Run| r.train_seconds + r.eval_seconds;
-    let speedup_train = runs[0].train_seconds / runs[1].train_seconds;
-    let speedup_eval = runs[0].eval_seconds / runs[1].eval_seconds;
-    let speedup_total = total(&runs[0]) / total(&runs[1]);
+    // Ratios of near-zero timings (smoke scale on a fast machine) can be
+    // inf/NaN, which `{:.4}` would serialize as invalid JSON — sanitize at
+    // the boundary (debug builds assert instead of papering over it).
+    let speedup_train = json::finite_or(runs[0].train_seconds / runs[1].train_seconds, 0.0);
+    let speedup_eval = json::finite_or(runs[0].eval_seconds / runs[1].eval_seconds, 0.0);
+    let speedup_total = json::finite_or(total(&runs[0]) / total(&runs[1]), 0.0);
 
     println!(
         "corpus: {} companies, {} products, {} docs train / {} test",
@@ -148,9 +152,9 @@ fn main() {
                 "    {{\"threads\": {}, \"train_seconds\": {:.6}, \"eval_seconds\": {:.6}, \
                  \"perplexity\": {:.12}}}{}",
                 r.threads,
-                r.train_seconds,
-                r.eval_seconds,
-                r.perplexity,
+                json::finite_or(r.train_seconds, 0.0),
+                json::finite_or(r.eval_seconds, 0.0),
+                json::finite_or(r.perplexity, 0.0),
                 if i + 1 < runs.len() { "," } else { "" }
             );
         }
@@ -162,6 +166,7 @@ fn main() {
         );
         let _ = writeln!(j, "  \"deterministic\": {deterministic}");
         let _ = writeln!(j, "}}");
+        json::check_finite(&j).expect("benchmark json must contain only finite numbers");
         std::fs::write(&json_path, j).expect("write benchmark json");
         eprintln!("[hlm-bench] wrote {json_path}");
     }

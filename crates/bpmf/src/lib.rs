@@ -341,8 +341,10 @@ pub fn fit_resumable(
         rng = StdRng::from_state(state.rng);
     }
 
+    let rec = hlm_obs::global();
     for iter in start_iter as usize..cfg.n_iters {
         ctrl.begin_iteration(iter as u64)?;
+        let sweep_t0 = rec.is_enabled().then(std::time::Instant::now);
         let (mu_u, lambda_u) = sample_hyper(&mut rng, &u, cfg.beta0, cfg.w0_scale);
         let (mu_v, lambda_v) = sample_hyper(&mut rng, &v, cfg.beta0, cfg.w0_scale);
         // Factor streams are keyed by (seed, sweep, side) rather than drawn
@@ -367,6 +369,16 @@ pub fn fit_resumable(
                 mean.as_slice().iter().sum::<f64>() / mean.as_slice().len() as f64,
             )?;
             ctrl.check_scores(iter as u64, mean.as_slice())?;
+        }
+
+        // Pure observation of the finished sweep (the sample counter only
+        // advances past burn-in, mirroring `n_samples`).
+        if let Some(t0) = sweep_t0 {
+            rec.observe("bpmf.sample_seconds", t0.elapsed().as_secs_f64());
+            rec.add("bpmf.sweeps", 1);
+            if iter >= cfg.burn_in {
+                rec.add("bpmf.samples", 1);
+            }
         }
 
         ctrl.checkpoint(iter as u64 + 1, || {

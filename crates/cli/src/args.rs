@@ -78,6 +78,30 @@ pub enum Command {
     },
 }
 
+impl Command {
+    /// The subcommand's name, e.g. for the root metrics span `cli.<name>`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::Help => "help",
+            Command::Generate { .. } => "generate",
+            Command::Stats { .. } => "stats",
+            Command::Topics { .. } => "topics",
+            Command::Similar { .. } => "similar",
+            Command::Drift { .. } => "drift",
+        }
+    }
+}
+
+/// Output format for the `--metrics` snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// JSON-lines event log (one record per span/counter/histogram/trace).
+    #[default]
+    Jsonl,
+    /// Prometheus text exposition format.
+    Prom,
+}
+
 /// A fully parsed invocation: the subcommand plus the options that apply to
 /// every subcommand.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,6 +113,12 @@ pub struct Invocation {
     /// setting — the runtime is deterministic — so this only trades
     /// wall-clock for cores.
     pub threads: Option<usize>,
+    /// Write an observability snapshot to this path after the command runs
+    /// (`--metrics PATH`). Enables the process-wide recorder; results are
+    /// bit-identical with or without it — metrics are read-only observers.
+    pub metrics: Option<String>,
+    /// Snapshot format (`--metrics-format jsonl|prom`).
+    pub metrics_format: MetricsFormat,
 }
 
 /// Result of parsing: the command or a usage error.
@@ -166,6 +196,8 @@ pub fn parse_invocation(argv: &[String]) -> Result<Invocation, String> {
         return Ok(Invocation {
             command: Command::Help,
             threads: None,
+            metrics: None,
+            metrics_format: MetricsFormat::default(),
         });
     };
     // Collect --key value pairs; a few options are bare boolean flags.
@@ -189,12 +221,27 @@ pub fn parse_invocation(argv: &[String]) -> Result<Invocation, String> {
         pairs.push((key.to_string(), v.clone()));
         i += 2;
     }
-    // `--threads` is global: pull it out before the per-command allow-lists.
+    // `--threads`, `--metrics` and `--metrics-format` are global: pull them
+    // out before the per-command allow-lists.
     let threads = match parse_opt_num::<usize>(&pairs, "threads")? {
         Some(0) => return Err("--threads must be positive".to_string()),
         t => t,
     };
-    pairs.retain(|(k, _)| k != "threads");
+    let metrics = get_opt(&pairs, "metrics").map(String::from);
+    let metrics_format = match get_opt(&pairs, "metrics-format") {
+        None => MetricsFormat::default(),
+        Some("jsonl") => MetricsFormat::Jsonl,
+        Some("prom") => MetricsFormat::Prom,
+        Some(other) => {
+            return Err(format!(
+                "invalid value {other:?} for --metrics-format (expected jsonl or prom)"
+            ))
+        }
+    };
+    if metrics.is_none() && get_opt(&pairs, "metrics-format").is_some() {
+        return Err("--metrics-format requires --metrics".to_string());
+    }
+    pairs.retain(|(k, _)| k != "threads" && k != "metrics" && k != "metrics-format");
     let allow = |allowed: &[&str]| -> Result<(), String> {
         for (k, _) in &pairs {
             if !allowed.contains(&k.as_str()) {
@@ -268,7 +315,12 @@ pub fn parse_invocation(argv: &[String]) -> Result<Invocation, String> {
         }
         other => Err(format!("unknown subcommand {other:?}; run `hlm help`")),
     }?;
-    Ok(Invocation { command, threads })
+    Ok(Invocation {
+        command,
+        threads,
+        metrics,
+        metrics_format,
+    })
 }
 
 #[cfg(test)]
@@ -444,6 +496,42 @@ mod tests {
         assert!(e.contains("positive"), "{e}");
         let e = parse_invocation(&argv(&["stats", "--data", "d", "--threads", "x"])).unwrap_err();
         assert!(e.contains("--threads"), "{e}");
+    }
+
+    #[test]
+    fn metrics_flags_are_global_and_validated() {
+        let inv =
+            parse_invocation(&argv(&["stats", "--data", "d", "--metrics", "m.jsonl"])).unwrap();
+        assert_eq!(inv.metrics.as_deref(), Some("m.jsonl"));
+        assert_eq!(inv.metrics_format, MetricsFormat::Jsonl);
+        let inv = parse_invocation(&argv(&[
+            "topics",
+            "--data",
+            "d",
+            "--metrics",
+            "m.prom",
+            "--metrics-format",
+            "prom",
+        ]))
+        .unwrap();
+        assert_eq!(inv.metrics.as_deref(), Some("m.prom"));
+        assert_eq!(inv.metrics_format, MetricsFormat::Prom);
+        let inv = parse_invocation(&argv(&["generate", "--out", "o"])).unwrap();
+        assert_eq!(inv.metrics, None);
+        let e = parse_invocation(&argv(&[
+            "stats",
+            "--data",
+            "d",
+            "--metrics",
+            "m",
+            "--metrics-format",
+            "xml",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("jsonl or prom"), "{e}");
+        let e = parse_invocation(&argv(&["stats", "--data", "d", "--metrics-format", "prom"]))
+            .unwrap_err();
+        assert!(e.contains("requires --metrics"), "{e}");
     }
 
     #[test]

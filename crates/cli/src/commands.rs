@@ -42,6 +42,12 @@ GLOBAL OPTIONS:
       set, else the detected core count). Results are bit-identical at
       any thread count; only the wall-clock changes. `stats` and
       `topics` end with an `elapsed: …s (N threads)` summary line.
+  --metrics PATH [--metrics-format jsonl|prom]
+      Record structured metrics (spans, counters, histograms, traces)
+      while the command runs and write a snapshot to PATH afterwards.
+      jsonl (default) is a schema-versioned JSON-lines event log; prom
+      is a Prometheus-style text snapshot. Recording is a read-only
+      observer: results are bit-identical with or without it.
 
 EXIT CODES:
   0 success   2 usage error   3 data error   4 engine/training error
@@ -157,13 +163,21 @@ pub fn stats(data: &str) -> Result<String, CliError> {
 }
 
 /// The trailing `elapsed … (N threads)` summary line for commands that do
-/// real work — the operator's first clue when tuning `--threads`.
+/// real work — the operator's first clue when tuning `--threads`. With
+/// `--metrics` the recorder is live and the line also reports how many spans
+/// were recorded and their summed root duration.
 fn timing_summary(t0: std::time::Instant) -> String {
-    format!(
+    let base = format!(
         "elapsed: {:.3}s ({} threads)",
         t0.elapsed().as_secs_f64(),
         hlm_engine::effective_threads()
-    )
+    );
+    let rec = hlm_obs::global();
+    if !rec.is_enabled() {
+        return base;
+    }
+    let (n_spans, root_ms) = rec.snapshot().span_totals();
+    format!("{base} — {n_spans} spans, {root_ms:.1}ms in root spans")
 }
 
 /// Maps an engine failure, pointing interrupted runs at `--resume`.

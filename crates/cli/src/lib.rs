@@ -16,7 +16,9 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{parse_args, parse_invocation, Command, Invocation, ParsedArgs, TrainFlags};
+pub use args::{
+    parse_args, parse_invocation, Command, Invocation, MetricsFormat, ParsedArgs, TrainFlags,
+};
 pub use hlm_engine::{effective_threads, set_threads};
 
 use std::fmt;
@@ -92,4 +94,42 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             months,
         } => commands::drift(data, *reference, *recent, *months),
     }
+}
+
+/// Full entry point for a parsed [`Invocation`]: applies the global options
+/// (thread override, metrics recorder), dispatches the command, and — when
+/// `--metrics PATH` was given — writes the observability snapshot to `PATH`
+/// in the requested format after the command finishes.
+///
+/// The recorder is a read-only observer: enabling it never changes command
+/// output or model results, only adds the snapshot file and the span totals
+/// on the timing summary line.
+///
+/// # Errors
+/// Returns the command's own [`CliError`] if it failed; a snapshot that
+/// cannot be written surfaces as a [`CliError::Data`] only when the command
+/// itself succeeded (the original failure always wins).
+pub fn run_invocation(inv: &Invocation) -> Result<String, CliError> {
+    if let Some(n) = inv.threads {
+        set_threads(n);
+    }
+    if inv.metrics.is_some() {
+        hlm_obs::install(hlm_obs::Recorder::enabled());
+    }
+    let result = run(&inv.command);
+    if let Some(path) = &inv.metrics {
+        let snapshot = hlm_obs::global().snapshot();
+        let text = match inv.metrics_format {
+            MetricsFormat::Jsonl => snapshot.to_jsonl(),
+            MetricsFormat::Prom => snapshot.to_prometheus(),
+        };
+        let written = std::fs::write(path, text)
+            .map_err(|e| CliError::Data(format!("cannot write metrics file {path:?}: {e}")));
+        return match (result, written) {
+            (Ok(out), Ok(())) => Ok(out),
+            (Ok(_), Err(e)) => Err(e),
+            (Err(e), _) => Err(e),
+        };
+    }
+    result
 }

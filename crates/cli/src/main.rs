@@ -13,10 +13,7 @@ fn main() {
             std::process::exit(err.exit_code());
         }
     };
-    if let Some(n) = inv.threads {
-        hlm_cli::set_threads(n);
-    }
-    match hlm_cli::run(&inv.command) {
+    match hlm_cli::run_invocation(&inv) {
         Ok(out) => print!("{out}"),
         Err(e) => {
             eprintln!("error: {e}");

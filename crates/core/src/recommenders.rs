@@ -439,14 +439,20 @@ pub fn evaluate_bpmf(
             let mut precisions = Vec::new();
             let mut recalls = Vec::new();
             let mut f1s = Vec::new();
+            let mut windows_scored = 0usize;
             for wi in 0..n_win {
                 let (ret, cor, rel) = (retrieved[pi][wi], correct[pi][wi], relevant[pi][wi]);
+                // Same convention as `hlm_eval::evaluate_recommender`: every
+                // window contributes to all three metrics (precision 0 when
+                // nothing is retrieved), so the means stay finite and
+                // comparable across metrics.
                 if ret > 0.0 {
-                    precisions.push(cor / ret);
+                    windows_scored += 1;
                 }
+                let precision = if ret > 0.0 { cor / ret } else { 0.0 };
+                precisions.push(precision);
                 let recall = if rel > 0.0 { cor / rel } else { 0.0 };
                 recalls.push(recall);
-                let precision = if ret > 0.0 { cor / ret } else { 0.0 };
                 f1s.push(if precision + recall > 0.0 {
                     2.0 * precision * recall / (precision + recall)
                 } else {
@@ -458,6 +464,7 @@ pub fn evaluate_bpmf(
                 precision: mean_ci(&precisions, 0.95),
                 recall: mean_ci(&recalls, 0.95),
                 f1: mean_ci(&f1s, 0.95),
+                windows_scored,
                 retrieved: mean_ci(&retrieved[pi], 0.95),
                 correct: mean_ci(&correct[pi], 0.95),
                 relevant: mean_ci(&relevant[pi], 0.95),

@@ -517,6 +517,9 @@ pub fn fit_lda(
             reason: "LDA needs at least one training document".into(),
         });
     }
+    let rec = hlm_obs::global();
+    let _span = rec.span("engine.fit_lda");
+    rec.add("engine.trains", 1);
     Ok(match estimator {
         LdaEstimator::Gibbs => GibbsTrainer::new(config).fit(docs),
         LdaEstimator::Vb => VbTrainer::new(config, VbOptions::default()).fit(docs),
@@ -674,6 +677,7 @@ fn run_resilient<M>(
             if let Some(s) = &store {
                 if let Ok(Some(good)) = s.latest_good(kind) {
                     if let Ok(model) = rollback(&good) {
+                        hlm_obs::global().add("engine.rollbacks", 1);
                         return Ok(ResilientFit {
                             model,
                             resumed_from,
@@ -714,6 +718,9 @@ pub fn fit_lda_resilient(
             reason: "LDA needs at least one training document".into(),
         });
     }
+    let rec = hlm_obs::global();
+    let _span = rec.span("engine.fit_lda_resilient");
+    rec.add("engine.trains", 1);
     match estimator {
         LdaEstimator::Gibbs => {
             let trainer = GibbsTrainer::new(config);
@@ -941,6 +948,9 @@ impl ResilientModel {
 
     /// Next-acquisition scores with fallback: never errors, always answers.
     pub fn recommend(&self, history: &[usize]) -> Served<Vec<f64>> {
+        let rec = hlm_obs::global();
+        rec.add("serve.requests", 1);
+        let req_t0 = rec.is_enabled().then(std::time::Instant::now);
         let started = self.clock.elapsed_millis();
         let degraded_reason = match self.primary.recommend(history) {
             Ok(scores) => {
@@ -954,6 +964,9 @@ impl ResilientModel {
                 {
                     format!("primary missed its deadline ({elapsed} ms)")
                 } else {
+                    if let Some(t0) = req_t0 {
+                        rec.observe("serve.latency_seconds", t0.elapsed().as_secs_f64());
+                    }
                     return Served {
                         value: scores,
                         degraded: None,
@@ -962,15 +975,22 @@ impl ResilientModel {
             }
             Err(e) => format!("primary failed: {e}"),
         };
-        Served {
+        rec.add("serve.degraded", 1);
+        let served = Served {
             value: self.fallback.predict_next(history),
             degraded: Some(degraded_reason),
+        };
+        if let Some(t0) = req_t0 {
+            rec.observe("serve.latency_seconds", t0.elapsed().as_secs_f64());
         }
+        served
     }
 
     /// Held-out perplexity with fallback: a primary that errors or reports a
     /// non-finite value is replaced by the unigram baseline's figure.
     pub fn perplexity(&self, test: &[Vec<usize>]) -> Served<f64> {
+        let rec = hlm_obs::global();
+        rec.add("serve.requests", 1);
         let degraded_reason = match self.primary.perplexity(test) {
             Ok(ppl) if ppl.is_finite() => {
                 return Served {
@@ -981,6 +1001,7 @@ impl ResilientModel {
             Ok(ppl) => format!("primary perplexity is not finite ({ppl})"),
             Err(e) => format!("primary failed: {e}"),
         };
+        rec.add("serve.degraded", 1);
         Served {
             value: self.fallback.perplexity(test),
             degraded: Some(degraded_reason),
@@ -1300,6 +1321,9 @@ impl Engine {
         ids: &[CompanyId],
         cutoff: Month,
     ) -> Result<Box<dyn TrainedModel>, EngineError> {
+        let rec = hlm_obs::global();
+        let _span = rec.span("engine.train");
+        rec.add("engine.trains", 1);
         spec.fit_sequences(&self.sequences_before(ids, cutoff), &[])
     }
 
@@ -1350,6 +1374,9 @@ impl Engine {
         cutoff: Month,
         plan: TrainPlan,
     ) -> Result<ResilientFit<Box<dyn TrainedModel>>, EngineError> {
+        let rec = hlm_obs::global();
+        let _span = rec.span("engine.train_resilient");
+        rec.add("engine.trains", 1);
         spec.fit_sequences_resilient(&self.sequences_before(ids, cutoff), &[], plan)
     }
 
@@ -1366,6 +1393,9 @@ impl Engine {
         cutoff: Month,
         opts: ServeOptions,
     ) -> Result<ResilientModel, EngineError> {
+        let rec = hlm_obs::global();
+        let _span = rec.span("engine.serve_resilient");
+        rec.add("engine.trains", 1);
         let seqs = self.sequences_before(ids, cutoff);
         let primary = spec.fit_sequences(&seqs, &[])?;
         let fallback = NgramLm::fit(NgramConfig::unigram(self.corpus.vocab().len()), &seqs);

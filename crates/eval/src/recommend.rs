@@ -113,13 +113,22 @@ impl RecEvalConfig {
 pub struct ThresholdPoint {
     /// The probability threshold `φ`.
     pub phi: f64,
-    /// Precision mean ± CI over windows (NaN mean when nothing retrieved in
-    /// any window).
+    /// Precision mean ± CI over **all** windows. A window that retrieves
+    /// nothing contributes precision 0 (the conservative convention: an
+    /// empty answer earns no credit), so the mean is always finite and
+    /// averages over the same window set as recall and F1. Use
+    /// [`ThresholdPoint::windows_scored`] to see how many windows actually
+    /// retrieved something.
     pub precision: MeanCi,
     /// Recall mean ± CI over windows.
     pub recall: MeanCi,
     /// F1 mean ± CI over windows.
     pub f1: MeanCi,
+    /// Windows in which at least one product was retrieved — the windows
+    /// where precision is defined in the textbook sense. When this is less
+    /// than the window count, the precision mean includes zero-retrieval
+    /// windows at 0.
+    pub windows_scored: usize,
     /// Retrieved products per window.
     pub retrieved: MeanCi,
     /// Correctly retrieved products per window.
@@ -232,18 +241,25 @@ pub fn evaluate_recommender(
             let mut precisions = Vec::with_capacity(n_win);
             let mut recalls = Vec::with_capacity(n_win);
             let mut f1s = Vec::with_capacity(n_win);
+            let mut windows_scored = 0usize;
             for wi in 0..n_win {
                 let ret = retrieved[pi][wi];
                 let cor = correct[pi][wi];
                 let rel = relevant[pi][wi];
-                // Precision is undefined when nothing is retrieved (the
-                // paper notes this for φ > 0.5); skip such windows.
+                // Precision is undefined in the textbook sense when nothing
+                // is retrieved (the paper notes this for φ > 0.5). All three
+                // metrics must average over the SAME window set or their
+                // means stop being comparable, so such windows score
+                // precision 0 — no credit for an empty answer — and
+                // `windows_scored` reports how many windows retrieved
+                // anything at all.
                 if ret > 0.0 {
-                    precisions.push(cor / ret);
+                    windows_scored += 1;
                 }
+                let precision = if ret > 0.0 { cor / ret } else { 0.0 };
+                precisions.push(precision);
                 let recall = if rel > 0.0 { cor / rel } else { 0.0 };
                 recalls.push(recall);
-                let precision = if ret > 0.0 { cor / ret } else { 0.0 };
                 let f1 = if precision + recall > 0.0 {
                     2.0 * precision * recall / (precision + recall)
                 } else {
@@ -256,6 +272,7 @@ pub fn evaluate_recommender(
                 precision: mean_ci(&precisions, 0.95),
                 recall: mean_ci(&recalls, 0.95),
                 f1: mean_ci(&f1s, 0.95),
+                windows_scored,
                 retrieved: mean_ci(&retrieved[pi], 0.95),
                 correct: mean_ci(&correct[pi], 0.95),
                 relevant: mean_ci(&relevant[pi], 0.95),
@@ -364,10 +381,56 @@ mod tests {
         );
         let retrieved: Vec<f64> = pts.iter().map(|p| p.retrieved.mean).collect();
         assert!(retrieved.windows(2).all(|w| w[1] <= w[0]), "{retrieved:?}");
-        // At 0.95 nothing clears the bar: recall 0, precision NaN (no window
-        // retrieved anything).
+        // At 0.95 nothing clears the bar: recall 0, precision 0 by the
+        // zero-retrieval convention (finite, same window set as recall),
+        // and no window scored.
         assert_eq!(pts[3].recall.mean, 0.0);
-        assert!(pts[3].precision.mean.is_nan());
+        assert_eq!(pts[3].precision.mean, 0.0);
+        assert_eq!(pts[3].windows_scored, 0);
+        // Lower thresholds retrieve in the single window.
+        assert_eq!(pts[0].windows_scored, 1);
+    }
+
+    #[test]
+    fn metrics_are_always_finite_and_share_the_window_count() {
+        // Regression: zero-retrieval windows used to be skipped for
+        // precision only, leaving precision.mean NaN while recall/f1
+        // averaged over a different window count.
+        let c = corpus();
+        let ids: Vec<CompanyId> = c.ids().collect();
+        let factory = FixedFactory(vec![0.9, 0.3, 0.1]);
+        let cfg = RecEvalConfig {
+            windows: vec![
+                TimeWindow::new(Month::from_ym(2013, 1), 12),
+                TimeWindow::new(Month::from_ym(2014, 1), 12),
+            ],
+            thresholds: vec![0.0, 0.2, 0.5, 0.95],
+            retrain_per_window: false,
+            require_history: true,
+        };
+        let pts = evaluate_recommender(&factory, &c, &ids, &ids, &cfg);
+        for p in &pts {
+            for (name, m) in [
+                ("precision", &p.precision),
+                ("recall", &p.recall),
+                ("f1", &p.f1),
+            ] {
+                assert!(
+                    m.mean.is_finite() && m.half_width.is_finite(),
+                    "{name} at phi {} must be finite, got {} ± {}",
+                    p.phi,
+                    m.mean,
+                    m.half_width
+                );
+                assert_eq!(
+                    m.n,
+                    cfg.windows.len(),
+                    "{name} at phi {} must average over every window",
+                    p.phi
+                );
+            }
+            assert!(p.windows_scored <= cfg.windows.len());
+        }
     }
 
     #[test]

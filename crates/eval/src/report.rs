@@ -111,9 +111,10 @@ pub fn fmt_f(x: f64, digits: usize) -> String {
     }
 }
 
-/// Formats `mean ± half_width`.
+/// Formats `mean ± half_width`; an empty statistic (n = 0, see the
+/// [`crate::stats::MeanCi`] empty-sample contract) renders as "-".
 pub fn fmt_ci(ci: &crate::stats::MeanCi, digits: usize) -> String {
-    if ci.mean.is_nan() {
+    if ci.is_empty() || ci.mean.is_nan() {
         "-".to_string()
     } else {
         format!("{:.digits$} ± {:.digits$}", ci.mean, ci.half_width)

@@ -5,9 +5,16 @@ use hlm_linalg::special::{ln_binomial, normal_cdf, normal_quantile};
 use serde::{Deserialize, Serialize};
 
 /// A mean with a symmetric confidence half-width.
+///
+/// **Empty-sample contract:** statistics over an empty sample report
+/// `mean: 0.0, half_width: 0.0, n: 0`. The zeros keep every serialization
+/// finite (a NaN mean would reach JSON as `null` and poison BENCH
+/// artifacts); `n == 0` — checked via [`MeanCi::is_empty`] — is the signal
+/// that no data backed the figure, and [`MeanCi::significantly_different_from`]
+/// treats such values as incomparable.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MeanCi {
-    /// Sample mean.
+    /// Sample mean (0 for an empty sample; see the empty-sample contract).
     pub mean: f64,
     /// Half-width of the confidence interval (0 for fewer than 2 samples).
     pub half_width: f64,
@@ -16,6 +23,21 @@ pub struct MeanCi {
 }
 
 impl MeanCi {
+    /// The statistics of an empty sample (see the empty-sample contract).
+    pub fn empty() -> Self {
+        MeanCi {
+            mean: 0.0,
+            half_width: 0.0,
+            n: 0,
+        }
+    }
+
+    /// True when no samples backed this value — the mean is the contract's
+    /// placeholder 0, not an observed average.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
     /// Lower bound of the interval.
     pub fn low(&self) -> f64 {
         self.mean - self.half_width
@@ -27,8 +49,14 @@ impl MeanCi {
     }
 
     /// True when the two intervals do not overlap — the paper's criterion
-    /// for "statistically significantly different".
+    /// for "statistically significantly different". Empty or non-finite
+    /// values are incomparable: the answer is always `false` (explicitly,
+    /// not vacuously through NaN comparisons).
     pub fn significantly_different_from(&self, other: &MeanCi) -> bool {
+        if self.is_empty() || other.is_empty() || !self.mean.is_finite() || !other.mean.is_finite()
+        {
+            return false;
+        }
         self.low() > other.high() || other.low() > self.high()
     }
 }
@@ -45,11 +73,7 @@ pub fn mean_ci(samples: &[f64], level: f64) -> MeanCi {
     );
     let n = samples.len();
     if n == 0 {
-        return MeanCi {
-            mean: f64::NAN,
-            half_width: 0.0,
-            n: 0,
-        };
+        return MeanCi::empty();
     }
     let mean = samples.iter().sum::<f64>() / n as f64;
     if n == 1 {
@@ -131,11 +155,7 @@ pub fn bootstrap_mean_ci(samples: &[f64], level: f64, n_resamples: usize, seed: 
     assert!(n_resamples > 0, "need at least one resample");
     let n = samples.len();
     if n == 0 {
-        return MeanCi {
-            mean: f64::NAN,
-            half_width: 0.0,
-            n: 0,
-        };
+        return MeanCi::empty();
     }
     let mean = samples.iter().sum::<f64>() / n as f64;
     if n == 1 {
@@ -220,8 +240,14 @@ mod tests {
 
     #[test]
     fn mean_ci_edge_cases() {
-        assert!(mean_ci(&[], 0.95).mean.is_nan());
+        // Empty-sample contract: finite zeros with n = 0, flagged empty.
+        let empty = mean_ci(&[], 0.95);
+        assert_eq!(empty, MeanCi::empty());
+        assert!(empty.is_empty());
+        assert_eq!(empty.mean, 0.0);
+        assert!(empty.mean.is_finite());
         let one = mean_ci(&[7.0], 0.95);
+        assert!(!one.is_empty());
         assert_eq!(one.mean, 7.0);
         assert_eq!(one.half_width, 0.0);
         let constant = mean_ci(&[2.0; 10], 0.95);
@@ -254,6 +280,28 @@ mod tests {
         };
         assert!(a.significantly_different_from(&b));
         assert!(!a.significantly_different_from(&c));
+    }
+
+    #[test]
+    fn significance_guards_empty_and_non_finite_values() {
+        let a = MeanCi {
+            mean: 1.0,
+            half_width: 0.1,
+            n: 10,
+        };
+        // An empty side is incomparable, whichever side it is on.
+        assert!(!a.significantly_different_from(&MeanCi::empty()));
+        assert!(!MeanCi::empty().significantly_different_from(&a));
+        assert!(!MeanCi::empty().significantly_different_from(&MeanCi::empty()));
+        // A hand-built NaN mean must answer false explicitly, not through a
+        // vacuous NaN comparison.
+        let poisoned = MeanCi {
+            mean: f64::NAN,
+            half_width: 0.1,
+            n: 10,
+        };
+        assert!(!a.significantly_different_from(&poisoned));
+        assert!(!poisoned.significantly_different_from(&a));
     }
 
     #[test]
@@ -290,7 +338,7 @@ mod tests {
 
     #[test]
     fn bootstrap_ci_edge_cases() {
-        assert!(bootstrap_mean_ci(&[], 0.95, 100, 1).mean.is_nan());
+        assert_eq!(bootstrap_mean_ci(&[], 0.95, 100, 1), MeanCi::empty());
         let one = bootstrap_mean_ci(&[5.0], 0.95, 100, 1);
         assert_eq!(one.half_width, 0.0);
         let constant = bootstrap_mean_ci(&[3.0; 20], 0.95, 200, 1);

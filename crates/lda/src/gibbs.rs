@@ -166,9 +166,11 @@ impl GibbsTrainer {
         }
 
         let pool = Pool::global();
+        let rec = hlm_obs::global();
         let n_chunks = hlm_par::chunk_count(docs.len(), DOC_CHUNK);
         for iter in start_iter as usize..self.cfg.n_iters {
             ctrl.begin_iteration(iter as u64)?;
+            let sweep_t0 = rec.is_enabled().then(std::time::Instant::now);
             // Document-sliced sweep: every chunk samples its documents
             // against the sweep-start snapshot of the shared tables (its own
             // n_dk rows stay exact), on an RNG stream keyed by
@@ -252,6 +254,18 @@ impl GibbsTrainer {
                     }
                 }
                 n_samples += 1;
+            }
+
+            // Observability: read-only — nothing below branches on these
+            // values, so enabling the recorder cannot change the chain.
+            if let Some(t0) = sweep_t0 {
+                rec.observe("lda.gibbs.sweep_seconds", t0.elapsed().as_secs_f64());
+                rec.add("lda.gibbs.sweeps", 1);
+                rec.trace(
+                    "lda.gibbs.log_likelihood",
+                    iter as u64,
+                    gibbs_log_likelihood(&n_kw, &n_k, beta),
+                );
             }
 
             // Total topic mass is conserved by a correct sweep; a NaN weight
@@ -354,6 +368,30 @@ fn decode_state(
         });
     }
     Ok(state)
+}
+
+/// Griffiths–Steyvers corpus log-likelihood `log P(w|z)` of the current
+/// topic assignment, computed read-only from the count tables:
+///
+/// ```text
+/// K·[lnΓ(Mβ) − M·lnΓ(β)] + Σ_k [ Σ_w lnΓ(n_kw + β) − lnΓ(n_k + Mβ) ]
+/// ```
+///
+/// Recorded as a convergence trace when observability is enabled; with
+/// weighted tokens the counts are real-valued and this is the natural
+/// generalization.
+fn gibbs_log_likelihood(n_kw: &Matrix, n_k: &[f64], beta: f64) -> f64 {
+    use hlm_linalg::special::ln_gamma;
+    let (k, m) = (n_kw.rows(), n_kw.cols());
+    let beta_sum = beta * m as f64;
+    let mut ll = k as f64 * (ln_gamma(beta_sum) - m as f64 * ln_gamma(beta));
+    for (t, &nk) in n_k.iter().enumerate().take(k) {
+        for &c in n_kw.row(t) {
+            ll += ln_gamma(c + beta);
+        }
+        ll -= ln_gamma(nk + beta_sum);
+    }
+    ll
 }
 
 /// One step of Minka's fixed-point update for the symmetric Dirichlet

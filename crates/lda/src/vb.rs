@@ -150,10 +150,12 @@ impl VbTrainer {
         // exp(E[log φ_kw]) cache.
         let mut e_log_phi = Matrix::zeros(k, m);
         let pool = Pool::global();
+        let rec = hlm_obs::global();
         let n_chunks = hlm_par::chunk_count(docs.len(), VB_DOC_CHUNK);
 
         for iter in start_iter as usize..self.opts.max_iters {
             ctrl.begin_iteration(iter as u64)?;
+            let iter_t0 = rec.is_enabled().then(std::time::Instant::now);
             // Cache expected log topic-word probabilities.
             for t in 0..k {
                 let row_sum: f64 = lambda.row(t).iter().sum();
@@ -235,6 +237,13 @@ impl VbTrainer {
             }
             lambda = lambda_new;
             mean_gamma_change /= (docs.len().max(1) * k) as f64;
+            // Read-only observation: the trace mirrors the convergence
+            // criterion without influencing it.
+            if let Some(t0) = iter_t0 {
+                rec.observe("lda.vb.iter_seconds", t0.elapsed().as_secs_f64());
+                rec.add("lda.vb.iters", 1);
+                rec.trace("lda.vb.mean_gamma_change", iter as u64, mean_gamma_change);
+            }
             let change = ctrl.check_metric(iter as u64, "mean gamma change", mean_gamma_change)?;
             let converged = change < self.opts.tol;
             ctrl.checkpoint(iter as u64 + 1, || {

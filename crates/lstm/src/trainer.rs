@@ -171,8 +171,12 @@ impl Trainer {
             }
         }
 
+        let rec = hlm_obs::global();
         for epoch in start_epoch as usize..self.opts.epochs {
             ctrl.begin_iteration(epoch as u64)?;
+            let epoch_t0 = rec.is_enabled().then(std::time::Instant::now);
+            let mut grad_norm_sum = 0.0;
+            let mut n_batches = 0u64;
             hlm_linalg::dist::shuffle(&mut rng, &mut order);
             let mut total_nll = 0.0;
             let mut total_tokens = 0usize;
@@ -207,6 +211,17 @@ impl Trainer {
                     total_tokens += n;
                     model.accumulate_grads(&worker);
                 }
+                // Gradient norm must be read before Adam zeroes the grads;
+                // pure observation, gated so disabled runs pay nothing.
+                if epoch_t0.is_some() {
+                    let norm_sq: f64 = model
+                        .parameters_mut()
+                        .iter()
+                        .map(|p| p.grad.as_slice().iter().map(|g| g * g).sum::<f64>())
+                        .sum();
+                    grad_norm_sum += norm_sq.sqrt();
+                    n_batches += 1;
+                }
                 adam.step(&mut model.parameters_mut());
             }
             let train_nll = if total_tokens > 0 {
@@ -214,6 +229,18 @@ impl Trainer {
             } else {
                 0.0
             };
+            if let Some(t0) = epoch_t0 {
+                rec.observe("lstm.epoch_seconds", t0.elapsed().as_secs_f64());
+                rec.add("lstm.epochs", 1);
+                rec.trace("lstm.train_nll", epoch as u64, train_nll);
+                if n_batches > 0 {
+                    rec.trace(
+                        "lstm.grad_norm",
+                        epoch as u64,
+                        grad_norm_sum / n_batches as f64,
+                    );
+                }
+            }
             let train_nll = ctrl.check_metric(epoch as u64, "train nll", train_nll)?;
             let valid_ppl = if valid.is_empty() {
                 f64::NAN

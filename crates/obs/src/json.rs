@@ -1,0 +1,109 @@
+//! Hand-rolled JSON emission helpers with a finiteness guard.
+//!
+//! Every JSON emitter in the workspace (the event-log sink here, the CLI
+//! `--json` outputs, `hlm-bench`) must never serialize a non-finite float:
+//! `serde_json` and naive `{:.6}` formatting both turn NaN/∞ into `null` or
+//! invalid tokens, which silently poisons downstream tooling. [`Num`] is the
+//! single choke point: debug builds assert finiteness so the offending call
+//! site is caught in CI, release builds sanitize to `0.0` so emitted JSON
+//! stays parseable.
+
+use std::fmt;
+
+/// A JSON number that is guaranteed to serialize as a finite value.
+///
+/// Debug builds panic on non-finite input; release builds substitute `0.0`.
+/// `Display` uses Rust's shortest round-trip float formatting, which never
+/// emits exponents or non-finite tokens — always valid JSON.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Num(pub f64);
+
+impl fmt::Display for Num {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", finite_or(self.0, 0.0))
+    }
+}
+
+/// Returns `v` if finite, else `fallback`. Debug builds assert instead, so
+/// non-finite values surface as panics during tests.
+pub fn finite_or(v: f64, fallback: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        debug_assert!(v.is_finite(), "non-finite value at JSON boundary: {v}");
+        fallback
+    }
+}
+
+/// Escapes a string for inclusion inside JSON double quotes.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Validates that a JSON text contains no non-finite artifacts: the tokens
+/// `NaN`, `Infinity`, `-Infinity`, or `null` (our emitters have no legal
+/// nulls — a `null` means a NaN slipped through a serializer). Returns the
+/// offending token on failure. Used by tests and the CI metrics-artifact
+/// check.
+pub fn check_finite(text: &str) -> Result<(), String> {
+    for token in ["NaN", "Infinity", "null"] {
+        if let Some(pos) = text.find(token) {
+            let line = text[..pos].matches('\n').count() + 1;
+            return Err(format!("non-finite JSON token `{token}` at line {line}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_displays_shortest_roundtrip() {
+        assert_eq!(Num(0.5).to_string(), "0.5");
+        assert_eq!(Num(3.0).to_string(), "3");
+        assert_eq!(Num(1e-7).to_string(), "0.0000001");
+        let v: f64 = 0.1 + 0.2;
+        assert_eq!(Num(v).to_string().parse::<f64>().unwrap(), v);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "non-finite"))]
+    fn num_sanitizes_non_finite() {
+        // Release builds sanitize to 0; debug builds panic on the first call
+        // (covered by the conditional should_panic above).
+        assert_eq!(Num(f64::NAN).to_string(), "0");
+        assert_eq!(Num(f64::INFINITY).to_string(), "0");
+        assert_eq!(Num(f64::NEG_INFINITY).to_string(), "0");
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn check_finite_flags_bad_tokens() {
+        assert!(check_finite("{\"a\":1.5}").is_ok());
+        let err = check_finite("{\"a\":1}\n{\"b\":null}").unwrap_err();
+        assert!(err.contains("null") && err.contains("line 2"), "{err}");
+        assert!(check_finite("{\"a\":NaN}").is_err());
+        assert!(check_finite("{\"a\":-Infinity}").is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Snapshot rendering: JSON-lines event log and Prometheus text exposition.
+
+use crate::json::{esc, finite_or, Num};
+use crate::{Snapshot, BUCKET_BOUNDS};
+use std::fmt::Write as _;
+
+impl Snapshot {
+    /// Renders the JSON-lines event log. One object per line; the first line
+    /// is a `meta` record carrying the schema version and record counts, so
+    /// consumers can validate before parsing the rest. The schema (field
+    /// names and types per record `type`) is pinned by a golden test:
+    ///
+    /// ```text
+    /// {"type":"meta","schema":1,"spans":2,"counters":1,"histograms":1,"traces":2}
+    /// {"type":"span","seq":3,"path":"cli.topics/engine.train","start_ms":0.2,"duration_ms":41.7}
+    /// {"type":"counter","name":"par.tasks","value":96}
+    /// {"type":"histogram","name":"lda.gibbs.sweep_seconds","count":20,"sum":0.81,
+    ///  "min":0.03,"max":0.06,"buckets":[{"le":"1e-6","n":0}, …, {"le":"+Inf","n":0}]}
+    /// {"type":"trace","seq":1,"name":"lda.gibbs.log_likelihood","iteration":0,"value":-5417.3}
+    /// ```
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"meta\",\"schema\":{},\"spans\":{},\"counters\":{},\"histograms\":{},\"traces\":{}}}",
+            self.schema,
+            self.spans.len(),
+            self.counters.len(),
+            self.histograms.len(),
+            self.traces.len()
+        );
+        for s in &self.spans {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"span\",\"seq\":{},\"path\":\"{}\",\"start_ms\":{},\"duration_ms\":{}}}",
+                s.seq,
+                esc(&s.path),
+                Num(s.start_ms),
+                Num(s.duration_ms)
+            );
+        }
+        for (name, v) in &self.counters {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{v}}}",
+                esc(name)
+            );
+        }
+        for (name, h) in &self.histograms {
+            let mut buckets = String::new();
+            for (i, n) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    buckets.push(',');
+                }
+                let _ = write!(buckets, "{{\"le\":\"{}\",\"n\":{n}}}", bound_label(i));
+            }
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{buckets}]}}",
+                esc(name),
+                h.count,
+                Num(h.sum),
+                Num(h.min),
+                Num(h.max)
+            );
+        }
+        for t in &self.traces {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"trace\",\"seq\":{},\"name\":\"{}\",\"iteration\":{},\"value\":{}}}",
+                t.seq,
+                esc(&t.name),
+                t.iteration,
+                Num(t.value)
+            );
+        }
+        out
+    }
+
+    /// Renders a Prometheus text-format snapshot: counters and histograms
+    /// (with cumulative `le` buckets, `_sum`, `_count`), plus spans and
+    /// traces flattened to labeled gauges. Metric names are sanitized
+    /// (`.`/`/` → `_`) and prefixed `hlm_`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let m = prom_name(name);
+            let _ = writeln!(out, "# TYPE {m} counter");
+            let _ = writeln!(out, "{m} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let m = prom_name(name);
+            let _ = writeln!(out, "# TYPE {m} histogram");
+            let mut cum = 0u64;
+            for (i, n) in h.buckets.iter().enumerate() {
+                cum += n;
+                let _ = writeln!(out, "{m}_bucket{{le=\"{}\"}} {cum}", bound_label(i));
+            }
+            let _ = writeln!(out, "{m}_sum {}", Num(h.sum));
+            let _ = writeln!(out, "{m}_count {}", h.count);
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "# TYPE hlm_span_duration_ms gauge");
+            for s in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "hlm_span_duration_ms{{path=\"{}\",seq=\"{}\"}} {}",
+                    s.path,
+                    s.seq,
+                    Num(s.duration_ms)
+                );
+            }
+        }
+        if !self.traces.is_empty() {
+            let _ = writeln!(out, "# TYPE hlm_trace_value gauge");
+            for t in &self.traces {
+                let _ = writeln!(
+                    out,
+                    "hlm_trace_value{{name=\"{}\",iteration=\"{}\"}} {}",
+                    prom_name(&t.name),
+                    t.iteration,
+                    Num(t.value)
+                );
+            }
+        }
+        out
+    }
+}
+
+/// The `le` label for bucket `i`: the bound in exponent notation, or `+Inf`
+/// for the overflow bucket.
+fn bound_label(i: usize) -> String {
+    match BUCKET_BOUNDS.get(i) {
+        Some(b) => format!("{:e}", finite_or(*b, 0.0)),
+        None => "+Inf".to_string(),
+    }
+}
+
+/// Sanitizes a dotted/slashed metric name into a Prometheus identifier.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("hlm_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::json::check_finite;
+    use crate::Recorder;
+
+    fn sample() -> crate::Snapshot {
+        let rec = Recorder::enabled();
+        rec.add("par.tasks", 96);
+        rec.observe("sweep.seconds", 0.02);
+        rec.observe("sweep.seconds", 3.5);
+        rec.trace("lda.gibbs.log_likelihood", 0, -5417.25);
+        drop(rec.span("cli.stats"));
+        rec.snapshot()
+    }
+
+    #[test]
+    fn jsonl_is_finite_and_line_structured() {
+        let text = sample().to_jsonl();
+        check_finite(&text).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + 1 + 1 + 1 + 1); // meta + span + counter + histogram + trace
+        assert!(lines[0].starts_with("{\"type\":\"meta\",\"schema\":1,"));
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE hlm_par_tasks counter\nhlm_par_tasks 96\n"));
+        // 0.02 lands in le=1e-1; 3.5 in le=1e1; +Inf must equal the count.
+        assert!(text.contains("hlm_sweep_seconds_bucket{le=\"1e-1\"} 1"));
+        assert!(text.contains("hlm_sweep_seconds_bucket{le=\"1e1\"} 2"));
+        assert!(text.contains("hlm_sweep_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("hlm_sweep_seconds_count 2"));
+        assert!(text.contains(
+            "hlm_trace_value{name=\"hlm_lda_gibbs_log_likelihood\",iteration=\"0\"} -5417.25"
+        ));
+    }
+}

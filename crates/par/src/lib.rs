@@ -28,6 +28,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
+use std::time::Instant;
 
 /// Process-wide worker-count override; 0 means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -104,16 +105,24 @@ impl Pool {
         if n_tasks == 0 {
             return Vec::new();
         }
+        // Task/run counters depend only on the task count, so totals are
+        // identical whichever path executes. Per-worker figures (busy time,
+        // queue imbalance) are wall-clock observations and naturally vary.
+        let rec = hlm_obs::global();
+        rec.add("par.runs", 1);
+        rec.add("par.tasks", n_tasks as u64);
         let workers = self.threads.min(n_tasks);
         if workers <= 1 {
             return (0..n_tasks).map(f).collect();
         }
         let next = AtomicUsize::new(0);
         let f = &f;
+        let rec = &rec;
         let per_worker: Vec<Vec<(usize, R)>> = thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
+                        let t0 = rec.is_enabled().then(Instant::now);
                         let mut local = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -121,6 +130,10 @@ impl Pool {
                                 break;
                             }
                             local.push((i, f(i)));
+                        }
+                        if let Some(t0) = t0 {
+                            rec.observe("par.worker_busy_seconds", t0.elapsed().as_secs_f64());
+                            rec.observe("par.worker_tasks", local.len() as f64);
                         }
                         local
                     })
@@ -223,6 +236,11 @@ where
     if n == 0 {
         return Vec::new();
     }
+    // Same counter discipline as `Pool::run`: totals are a pure function of
+    // the chunk count, identical in the serial and parallel paths.
+    let rec = hlm_obs::global();
+    rec.add("par.runs", 1);
+    rec.add("par.tasks", n as u64);
     let workers = pool.threads.min(n);
     if workers <= 1 {
         return items
@@ -240,17 +258,26 @@ where
     }
     let init = &init;
     let f = &f;
+    let rec = &rec;
     let per_worker: Vec<Vec<(usize, R)>> = thread::scope(|s| {
         let handles: Vec<_> = assigned
             .into_iter()
             .map(|work| {
                 s.spawn(move || {
-                    work.into_iter()
+                    let t0 = rec.is_enabled().then(Instant::now);
+                    let n_assigned = work.len();
+                    let out = work
+                        .into_iter()
                         .map(|(i, c)| {
                             let mut state = init(i);
                             (i, f(&mut state, i, c))
                         })
-                        .collect::<Vec<_>>()
+                        .collect::<Vec<_>>();
+                    if let Some(t0) = t0 {
+                        rec.observe("par.worker_busy_seconds", t0.elapsed().as_secs_f64());
+                        rec.observe("par.worker_tasks", n_assigned as f64);
+                    }
+                    out
                 })
             })
             .collect();

@@ -108,11 +108,13 @@ impl<'a> TrainControl<'a> {
         value: f64,
     ) -> Result<f64, ResilienceError> {
         let value = if self.faults.poisons_metric_at(iteration) {
+            hlm_obs::global().add("resilience.faults_injected", 1);
             f64::NAN
         } else {
             value
         };
         if !value.is_finite() {
+            hlm_obs::global().add("resilience.divergences", 1);
             return Err(ResilienceError::Diverged {
                 iteration,
                 reason: format!("{name} is not finite ({value})"),
@@ -156,10 +158,23 @@ impl<'a> TrainControl<'a> {
         if iterations_done == 0 || !iterations_done.is_multiple_of(self.checkpoint_every) {
             return;
         }
+        let rec = hlm_obs::global();
         let ckpt = Checkpoint::new(self.kind, iterations_done, payload());
-        match sink.save(&ckpt) {
-            Ok(()) => self.saves += 1,
-            Err(e) => self.sink_failures.push((iterations_done, e)),
+        let write_t0 = rec.is_enabled().then(std::time::Instant::now);
+        let saved = sink.save(&ckpt);
+        if let Some(t0) = write_t0 {
+            rec.observe("resilience.checkpoint_seconds", t0.elapsed().as_secs_f64());
+            rec.observe("resilience.checkpoint_bytes", ckpt.payload.len() as f64);
+        }
+        match saved {
+            Ok(()) => {
+                rec.add("resilience.checkpoints", 1);
+                self.saves += 1;
+            }
+            Err(e) => {
+                rec.add("resilience.checkpoint_failures", 1);
+                self.sink_failures.push((iterations_done, e));
+            }
         }
     }
 

@@ -56,8 +56,7 @@ fn similar_companies_share_the_install_base_profile() {
             let union = query_set.union(&other).count() as f64;
             inter / union
         };
-        sim_mean_total +=
-            similar.iter().map(|s| jaccard(s.id)).sum::<f64>() / similar.len() as f64;
+        sim_mean_total += similar.iter().map(|s| jaccard(s.id)).sum::<f64>() / similar.len() as f64;
         all_mean_total += app
             .corpus()
             .ids()
