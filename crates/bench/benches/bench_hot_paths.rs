@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks of the three PR 5 hot paths: one collapsed
+//! Gibbs sweep, one LSTM minibatch forward+backward, and one
+//! `find_similar` serving query (cold scan vs. warm cache).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hlm_core::{CompanyFilter, DistanceMetric, SalesApplication, ServingCache};
+use hlm_datagen::GeneratorConfig;
+use hlm_lda::{GibbsTrainer, LdaConfig};
+use hlm_lstm::{LstmConfig, LstmLm};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn fixture() -> (Arc<hlm_corpus::Corpus>, Vec<hlm_lda::WeightedDoc>) {
+    let corpus = hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(1_000, 7));
+    let ids: Vec<_> = corpus.ids().collect();
+    let docs = hlm_core::representations::binary_docs(&corpus, &ids);
+    (Arc::new(corpus), docs)
+}
+
+/// One collapsed Gibbs sweep over the full corpus (the allocation-free
+/// inner loop of `hlm-lda`): `n_iters: 1` isolates a single sweep plus the
+/// one-time arena setup.
+fn bench_gibbs_sweep(c: &mut Criterion) {
+    let (_, docs) = fixture();
+    let cfg = LdaConfig {
+        n_topics: 3,
+        vocab_size: 38,
+        n_iters: 1,
+        burn_in: 0,
+        sample_lag: 1,
+        seed: 11,
+        ..Default::default()
+    };
+    c.bench_function("gibbs_single_sweep_1000_docs", |b| {
+        b.iter(|| GibbsTrainer::new(cfg.clone()).fit(black_box(&docs)))
+    });
+}
+
+/// One 32-sequence minibatch of masked forward+backward passes — the
+/// per-batch unit of work each pool worker runs in `hlm-lstm`'s trainer.
+fn bench_lstm_minibatch(c: &mut Criterion) {
+    let corpus = hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(200, 3));
+    let seqs: Vec<Vec<usize>> = corpus
+        .ids()
+        .map(|id| {
+            corpus
+                .company(id)
+                .product_sequence()
+                .into_iter()
+                .map(|p| p.index())
+                .collect()
+        })
+        .take(32)
+        .collect();
+    let mut model = LstmLm::new(
+        LstmConfig {
+            vocab_size: 38,
+            hidden_size: 100,
+            n_layers: 1,
+            dropout: 0.2,
+            ..Default::default()
+        },
+        5,
+    );
+    let masks: Vec<_> = seqs.iter().map(|s| model.draw_masks(s)).collect();
+    c.bench_function("lstm_minibatch_32seqs_h100", |b| {
+        b.iter_batched(
+            || model.clone(),
+            |mut m| {
+                let mut nll = 0.0;
+                for (seq, mask) in seqs.iter().zip(&masks) {
+                    nll += m.train_sequence_masked(black_box(seq), mask).0;
+                }
+                black_box(nll)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+/// A `find_similar` serving query over LDA representations: the cold path
+/// is the k-bounded exact scan, the warm path a `ServingCache` hit.
+fn bench_find_similar(c: &mut Criterion) {
+    let (corpus, docs) = fixture();
+    let model = GibbsTrainer::new(LdaConfig {
+        n_topics: 3,
+        vocab_size: 38,
+        n_iters: 30,
+        burn_in: 15,
+        sample_lag: 3,
+        seed: 13,
+        ..Default::default()
+    })
+    .fit(&docs);
+    let reps = hlm_core::representations::lda_representations(&model, &docs);
+    let query = corpus.ids().next().expect("non-empty corpus");
+    let filter = CompanyFilter::default();
+
+    let app = SalesApplication::new(Arc::clone(&corpus), reps.clone(), DistanceMetric::Cosine)
+        .expect("rows match corpus");
+    c.bench_function("find_similar_k10_1000_rows_cold", |b| {
+        b.iter(|| app.find_similar(black_box(query), 10, &filter).unwrap())
+    });
+
+    let cached_app = SalesApplication::new(corpus, reps, DistanceMetric::Cosine)
+        .expect("rows match corpus")
+        .with_cache(Arc::new(ServingCache::default()));
+    cached_app.find_similar(query, 10, &filter).unwrap();
+    c.bench_function("find_similar_k10_1000_rows_warm_cache", |b| {
+        b.iter(|| {
+            cached_app
+                .find_similar(black_box(query), 10, &filter)
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_gibbs_sweep,
+    bench_lstm_minibatch,
+    bench_find_similar
+);
+criterion_main!(benches);

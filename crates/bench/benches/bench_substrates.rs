@@ -136,7 +136,7 @@ fn bench_clustered_index(c: &mut Criterion) {
         b.iter(|| ClusteredIndex::build(reps.clone(), 64, DistanceMetric::Cosine, 1))
     });
     group.finish();
-    let index = ClusteredIndex::build(reps, 64, DistanceMetric::Cosine, 1);
+    let index = ClusteredIndex::build(reps, 64, DistanceMetric::Cosine, 1).expect("valid cells");
     c.bench_function("ivf_query_4probes_5000x38", |b| {
         b.iter(|| index.query_row(black_box(17), 10, 4))
     });

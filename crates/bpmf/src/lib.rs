@@ -203,6 +203,15 @@ fn sample_hyper(
 /// sampling schedule).
 const FACTOR_ROW_CHUNK: usize = 64;
 
+/// Reusable per-worker temporaries for one factor row's conditional draw,
+/// built once per pool slot and overwritten for every row (see
+/// [`hlm_par::par_for_each_scratch`]).
+struct FactorScratch {
+    prec: Matrix,
+    b: Vec<f64>,
+    z: Vec<f64>,
+}
+
 /// Samples one side's factor rows given the other side and hyperparameters.
 ///
 /// Rows are conditionally independent given the other side, so they are
@@ -222,33 +231,50 @@ fn sample_factors(
     let d = factors.cols();
     let n_rows = factors.rows();
     let lambda_mu = lambda.matvec(mu);
+    // ~d² multiply-adds per observed rating (rank-1 precision update) plus
+    // ~d³ per row for the Cholesky factor-and-solve.
+    let n_obs: usize = by_entity.iter().map(Vec::len).sum();
+    let budget = hlm_par::Budget::units(((n_obs * d * d + n_rows * d * d * d) as u64) * 2);
     let pool = hlm_par::Pool::global();
-    hlm_par::par_for_each_init(
+    let mut blocks: Vec<&mut [f64]> = factors
+        .as_mut_slice()
+        .chunks_mut(FACTOR_ROW_CHUNK * d)
+        .collect();
+    hlm_par::par_for_each_scratch(
         &pool,
-        factors.as_mut_slice(),
-        FACTOR_ROW_CHUNK * d,
-        |c| StdRng::seed_from_u64(hlm_par::split_seed(stream_seed, c as u64)),
-        |rng, c, block| {
+        budget,
+        &mut blocks,
+        || FactorScratch {
+            prec: Matrix::zeros(d, d),
+            b: vec![0.0; d],
+            z: vec![0.0; d],
+        },
+        |s, c, block| {
+            // The stream is keyed by the chunk index alone, so per-chunk
+            // draws are identical no matter which slot runs the chunk.
+            let mut rng = StdRng::seed_from_u64(hlm_par::split_seed(stream_seed, c as u64));
             let row0 = c * FACTOR_ROW_CHUNK;
             for (r, out_row) in block.chunks_exact_mut(d).enumerate() {
                 let i = row0 + r;
                 if i >= n_rows {
                     break;
                 }
-                let mut prec = lambda.clone();
-                let mut b = lambda_mu.clone();
+                s.prec.copy_from(lambda);
+                s.b.copy_from_slice(&lambda_mu);
                 for &(j, rating) in &by_entity[i] {
                     let vj = other.row(j);
-                    prec.add_outer(alpha, vj, vj);
-                    for (bk, &v) in b.iter_mut().zip(vj) {
+                    s.prec.add_outer(alpha, vj, vj);
+                    for (bk, &v) in s.b.iter_mut().zip(vj) {
                         *bk += alpha * rating * v;
                     }
                 }
                 let chol =
-                    Cholesky::decompose_with_jitter(&prec, 1e-8, 10).expect("precision is SPD");
-                let mean = chol.solve(&b);
-                let z: Vec<f64> = (0..d).map(|_| sample_standard_normal(rng)).collect();
-                let noise = chol.backward_substitute(&z);
+                    Cholesky::decompose_with_jitter(&s.prec, 1e-8, 10).expect("precision is SPD");
+                let mean = chol.solve(&s.b);
+                for zk in s.z.iter_mut() {
+                    *zk = sample_standard_normal(&mut rng);
+                }
+                let noise = chol.backward_substitute(&s.z);
                 for (o, (m, e)) in out_row.iter_mut().zip(mean.iter().zip(&noise)) {
                     *o = m + e;
                 }

@@ -113,6 +113,12 @@ pub struct Invocation {
     /// setting — the runtime is deterministic — so this only trades
     /// wall-clock for cores.
     pub threads: Option<usize>,
+    /// Parallelism-threshold override in abstract work units
+    /// (`--par-threshold UNITS`); `None` leaves the calibrated cost model
+    /// (or `HLM_PAR_THRESHOLD`) in charge of the serial-vs-pool choice.
+    /// `0` forces the pool on for every budgeted call; results are
+    /// identical at any setting.
+    pub par_threshold: Option<u64>,
     /// Write an observability snapshot to this path after the command runs
     /// (`--metrics PATH`). Enables the process-wide recorder; results are
     /// bit-identical with or without it — metrics are read-only observers.
@@ -196,6 +202,7 @@ pub fn parse_invocation(argv: &[String]) -> Result<Invocation, String> {
         return Ok(Invocation {
             command: Command::Help,
             threads: None,
+            par_threshold: None,
             metrics: None,
             metrics_format: MetricsFormat::default(),
         });
@@ -227,6 +234,7 @@ pub fn parse_invocation(argv: &[String]) -> Result<Invocation, String> {
         Some(0) => return Err("--threads must be positive".to_string()),
         t => t,
     };
+    let par_threshold = parse_opt_num::<u64>(&pairs, "par-threshold")?;
     let metrics = get_opt(&pairs, "metrics").map(String::from);
     let metrics_format = match get_opt(&pairs, "metrics-format") {
         None => MetricsFormat::default(),
@@ -241,7 +249,9 @@ pub fn parse_invocation(argv: &[String]) -> Result<Invocation, String> {
     if metrics.is_none() && get_opt(&pairs, "metrics-format").is_some() {
         return Err("--metrics-format requires --metrics".to_string());
     }
-    pairs.retain(|(k, _)| k != "threads" && k != "metrics" && k != "metrics-format");
+    pairs.retain(|(k, _)| {
+        k != "threads" && k != "par-threshold" && k != "metrics" && k != "metrics-format"
+    });
     let allow = |allowed: &[&str]| -> Result<(), String> {
         for (k, _) in &pairs {
             if !allowed.contains(&k.as_str()) {
@@ -318,6 +328,7 @@ pub fn parse_invocation(argv: &[String]) -> Result<Invocation, String> {
     Ok(Invocation {
         command,
         threads,
+        par_threshold,
         metrics,
         metrics_format,
     })
@@ -496,6 +507,18 @@ mod tests {
         assert!(e.contains("positive"), "{e}");
         let e = parse_invocation(&argv(&["stats", "--data", "d", "--threads", "x"])).unwrap_err();
         assert!(e.contains("--threads"), "{e}");
+    }
+
+    #[test]
+    fn par_threshold_is_global_and_zero_is_allowed() {
+        let inv =
+            parse_invocation(&argv(&["topics", "--data", "d", "--par-threshold", "0"])).unwrap();
+        assert_eq!(inv.par_threshold, Some(0));
+        let inv = parse_invocation(&argv(&["stats", "--data", "d"])).unwrap();
+        assert_eq!(inv.par_threshold, None);
+        let e =
+            parse_invocation(&argv(&["stats", "--data", "d", "--par-threshold", "x"])).unwrap_err();
+        assert!(e.contains("--par-threshold"), "{e}");
     }
 
     #[test]

@@ -42,6 +42,11 @@ GLOBAL OPTIONS:
       set, else the detected core count). Results are bit-identical at
       any thread count; only the wall-clock changes. `stats` and
       `topics` end with an `elapsed: …s (N threads)` summary line.
+  --par-threshold UNITS
+      Minimum work (abstract cost units) before the worker pool engages;
+      smaller workloads run serially with identical results (default:
+      HLM_PAR_THRESHOLD if set, else a one-time calibration). 0 forces
+      the pool on for every parallelizable call.
   --metrics PATH [--metrics-format jsonl|prom]
       Record structured metrics (spans, counters, histograms, traces)
       while the command runs and write a snapshot to PATH afterwards.

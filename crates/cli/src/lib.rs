@@ -113,6 +113,9 @@ pub fn run_invocation(inv: &Invocation) -> Result<String, CliError> {
     if let Some(n) = inv.threads {
         set_threads(n);
     }
+    if let Some(units) = inv.par_threshold {
+        hlm_engine::set_par_threshold(Some(units));
+    }
     if inv.metrics.is_some() {
         hlm_obs::install(hlm_obs::Recorder::enabled());
     }

@@ -7,8 +7,9 @@
 //! "whitespace" enriched from internal data. Here the corpus itself plays
 //! the role of the internal install-base database.
 
+use crate::cache::{CacheKey, FilterKey, ServingCache};
 use crate::error::CoreError;
-use crate::similarity::{top_k_similar, DistanceMetric};
+use crate::similarity::{bounded_top_k, DistanceMetric};
 use hlm_corpus::{CompanyId, Corpus, ProductId, Sic2};
 use hlm_linalg::Matrix;
 use serde::{Deserialize, Serialize};
@@ -64,7 +65,7 @@ impl CompanyFilter {
 }
 
 /// One similar company in a search result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimilarCompany {
     /// The company.
     pub id: CompanyId,
@@ -104,6 +105,9 @@ pub struct SalesApplication {
     representations: Arc<Matrix>,
     metric: DistanceMetric,
     index: Option<(crate::index::ClusteredIndex, usize)>,
+    /// Attached memo plus the cache generation this application's
+    /// representations belong to (see [`ServingCache`]).
+    cache: Option<(Arc<ServingCache>, u64)>,
 }
 
 impl SalesApplication {
@@ -130,7 +134,20 @@ impl SalesApplication {
             representations,
             metric,
             index: None,
+            cache: None,
         })
+    }
+
+    /// Attaches a [`ServingCache`] so repeated similar-company queries
+    /// replay their memoized answers instead of re-scanning distances. The
+    /// cache's *current* generation is captured here: after
+    /// [`ServingCache::invalidate`] (a retrain), entries written through
+    /// this application can no longer collide with applications attached
+    /// later. Caching never changes any result — only how fast it arrives.
+    pub fn with_cache(mut self, cache: Arc<ServingCache>) -> Self {
+        let generation = cache.generation();
+        self.cache = Some((cache, generation));
+        self
     }
 
     /// Switches similar-company search to the IVF [`ClusteredIndex`] with
@@ -198,9 +215,35 @@ impl SalesApplication {
                 len: self.corpus.len(),
             });
         }
-        // The candidate pool equals the corpus, so rank once with k = n and
-        // keep the first k survivors of the filter. With an IVF index
-        // attached, the candidate pool is the probed cells instead.
+        let cache_key = self.cache.as_ref().map(|(_, generation)| {
+            CacheKey::new(
+                *generation,
+                query.index(),
+                k,
+                self.metric,
+                FilterKey::of(filter),
+            )
+        });
+        if let (Some((cache, _)), Some(key)) = (&self.cache, &cache_key) {
+            if let Some(hit) = cache.get(key) {
+                return Ok(hit);
+            }
+        }
+        let result = self.find_similar_uncached(query, k, filter);
+        if let (Ok(answer), Some((cache, _)), Some(key)) = (&result, &self.cache, cache_key) {
+            cache.insert(key, answer.clone());
+        }
+        result
+    }
+
+    /// The ranking behind [`SalesApplication::find_similar`], always
+    /// computed fresh.
+    fn find_similar_uncached(
+        &self,
+        query: CompanyId,
+        k: usize,
+        filter: &CompanyFilter,
+    ) -> Result<Vec<SimilarCompany>, CoreError> {
         let n = self.corpus.len().saturating_sub(1);
         let collect = |ranked: Vec<(usize, f64)>| -> Vec<SimilarCompany> {
             ranked
@@ -214,7 +257,11 @@ impl SalesApplication {
                 .collect()
         };
         if let Some((index, n_probe)) = &self.index {
-            let approx = collect(index.query_row(query.index(), n, *n_probe));
+            // Without a filter only k rows are needed from the index; a
+            // filter forces the full probed ranking because survivors are
+            // taken in distance order.
+            let want = if filter.is_empty() { k } else { n };
+            let approx = collect(index.query_row(query.index(), want, *n_probe));
             // The probed cells may hold fewer than k filter survivors even
             // when the full corpus has k of them; fall back to the exact
             // scan to honour the documented guarantee.
@@ -222,12 +269,25 @@ impl SalesApplication {
                 return Ok(approx);
             }
         }
-        Ok(collect(top_k_similar(
-            &self.representations,
-            query.index(),
-            n,
-            self.metric,
-        )))
+        // Exact scan: filter *before* ranking (equivalent to ranking all
+        // rows and keeping the first k survivors, since the filter is
+        // independent of distance) so the selection stays k-bounded and
+        // non-matching rows never pay a distance computation.
+        let q = self.representations.row(query.index());
+        Ok(bounded_top_k(
+            (0..self.corpus.len())
+                .filter(|&row| {
+                    row != query.index() && filter.matches(&self.corpus, CompanyId(row as u32))
+                })
+                .map(|row| (row, self.metric.distance(q, self.representations.row(row)))),
+            k,
+        )
+        .into_iter()
+        .map(|(row, distance)| SimilarCompany {
+            id: CompanyId(row as u32),
+            distance,
+        })
+        .collect())
     }
 
     /// Whitespace recommendations for `query`: products owned by its top-k

@@ -1,0 +1,247 @@
+//! Memoizing cache for the serving hot path.
+//!
+//! The deployed tool of Section 6 answers the same kind of request over and
+//! over: "top-k companies similar to X, filtered". The ranking for a given
+//! `(query, k, filter)` is a pure function of the representation matrix, so
+//! a [`ServingCache`] memoizes it — repeat requests skip the distance scan
+//! entirely and replay the stored list bit-for-bit.
+//!
+//! Correctness rules:
+//!
+//! - **Keyed by everything the answer depends on.** The key covers the query
+//!   row, `k`, the full filter, and a *generation* number identifying the
+//!   representation matrix the entry was computed against.
+//! - **Explicit invalidation on retrain.** [`ServingCache::invalidate`]
+//!   bumps the generation and drops every entry. A
+//!   [`crate::app::SalesApplication`] captures the generation at attach
+//!   time, so an application built *before* a retrain can never serve (or
+//!   poison) entries belonging to the model built *after* it, even when both
+//!   share one cache.
+//! - **Bounded.** At most `capacity` entries are held; the oldest entry is
+//!   evicted first (insertion order). Eviction only ever costs a recompute.
+//! - **Observable, never load-bearing.** `serve.cache_hit` /
+//!   `serve.cache_miss` counters record effectiveness; disabling the cache
+//!   changes latency, never any result.
+
+use crate::app::SimilarCompany;
+use crate::similarity::DistanceMetric;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// Hashable fingerprint of a [`crate::app::CompanyFilter`] (the `f64`
+/// revenue bounds are keyed by their bit patterns).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct FilterKey {
+    industry: Option<u8>,
+    country: Option<u16>,
+    employees: Option<(u32, u32)>,
+    revenue_bits: Option<(u64, u64)>,
+}
+
+impl FilterKey {
+    pub(crate) fn of(filter: &crate::app::CompanyFilter) -> FilterKey {
+        FilterKey {
+            industry: filter.industry.map(|s| s.0),
+            country: filter.country,
+            employees: filter.employees,
+            revenue_bits: filter
+                .revenue_musd
+                .map(|(lo, hi)| (lo.to_bits(), hi.to_bits())),
+        }
+    }
+}
+
+/// Full cache key: one memoized `find_similar` answer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    generation: u64,
+    row: usize,
+    k: usize,
+    metric: DistanceMetric,
+    filter: FilterKey,
+}
+
+impl CacheKey {
+    pub(crate) fn new(
+        generation: u64,
+        row: usize,
+        k: usize,
+        metric: DistanceMetric,
+        filter: FilterKey,
+    ) -> CacheKey {
+        CacheKey {
+            generation,
+            row,
+            k,
+            metric,
+            filter,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    generation: u64,
+    map: HashMap<CacheKey, Vec<SimilarCompany>>,
+    order: VecDeque<CacheKey>,
+}
+
+/// A bounded, generation-stamped memo of similar-company answers. Shareable
+/// across threads and across retrains; see the module docs for the
+/// invalidation contract.
+#[derive(Debug)]
+pub struct ServingCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Default for ServingCache {
+    fn default() -> Self {
+        ServingCache::new(4096)
+    }
+}
+
+impl ServingCache {
+    /// Creates a cache holding at most `capacity` answers.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache capacity must be positive");
+        ServingCache {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The current generation. Entries are only served to applications
+    /// attached at this generation.
+    pub fn generation(&self) -> u64 {
+        self.lock().generation
+    }
+
+    /// Drops every entry and advances the generation — call after retraining
+    /// so stale rankings cannot outlive the model that produced them.
+    pub fn invalidate(&self) {
+        let mut inner = self.lock();
+        inner.generation += 1;
+        inner.map.clear();
+        inner.order.clear();
+    }
+
+    /// Number of memoized answers currently held.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// True when no answers are memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a memoized answer, counting the hit or miss.
+    pub(crate) fn get(&self, key: &CacheKey) -> Option<Vec<SimilarCompany>> {
+        let hit = self.lock().map.get(key).cloned();
+        let rec = hlm_obs::global();
+        match hit {
+            Some(v) => {
+                rec.add("serve.cache_hit", 1);
+                Some(v)
+            }
+            None => {
+                rec.add("serve.cache_miss", 1);
+                None
+            }
+        }
+    }
+
+    /// Memoizes an answer, evicting the oldest entry beyond capacity.
+    pub(crate) fn insert(&self, key: CacheKey, value: Vec<SimilarCompany>) {
+        let mut inner = self.lock();
+        if inner.map.insert(key.clone(), value).is_none() {
+            inner.order.push_back(key);
+            while inner.map.len() > self.capacity {
+                let Some(oldest) = inner.order.pop_front() else {
+                    break;
+                };
+                inner.map.remove(&oldest);
+            }
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panic while holding the lock can only leave a *valid* (if
+        // partial) memo table behind; every entry is immutable once
+        // inserted, so the map is safe to keep using.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlm_corpus::CompanyId;
+
+    fn entry(id: u32, d: f64) -> Vec<SimilarCompany> {
+        vec![SimilarCompany {
+            id: CompanyId(id),
+            distance: d,
+        }]
+    }
+
+    fn key(generation: u64, row: usize, k: usize) -> CacheKey {
+        CacheKey::new(
+            generation,
+            row,
+            k,
+            DistanceMetric::Cosine,
+            FilterKey::of(&crate::app::CompanyFilter::default()),
+        )
+    }
+
+    #[test]
+    fn stores_and_replays_by_full_key() {
+        let cache = ServingCache::new(8);
+        cache.insert(key(0, 1, 5), entry(9, 0.25));
+        assert_eq!(cache.get(&key(0, 1, 5)), Some(entry(9, 0.25)));
+        // Any key component change misses.
+        assert_eq!(cache.get(&key(0, 1, 6)), None);
+        assert_eq!(cache.get(&key(0, 2, 5)), None);
+        assert_eq!(cache.get(&key(1, 1, 5)), None);
+    }
+
+    #[test]
+    fn invalidate_bumps_generation_and_clears() {
+        let cache = ServingCache::new(8);
+        cache.insert(key(0, 1, 5), entry(9, 0.25));
+        assert_eq!(cache.generation(), 0);
+        cache.invalidate();
+        assert_eq!(cache.generation(), 1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&key(0, 1, 5)), None);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let cache = ServingCache::new(2);
+        cache.insert(key(0, 0, 1), entry(1, 0.1));
+        cache.insert(key(0, 1, 1), entry(2, 0.2));
+        cache.insert(key(0, 2, 1), entry(3, 0.3));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&key(0, 0, 1)), None, "oldest evicted");
+        assert!(cache.get(&key(0, 1, 1)).is_some());
+        assert!(cache.get(&key(0, 2, 1)).is_some());
+        // Overwriting an existing key does not grow the cache.
+        cache.insert(key(0, 2, 1), entry(4, 0.4));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&key(0, 2, 1)), Some(entry(4, 0.4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn rejects_zero_capacity() {
+        ServingCache::new(0);
+    }
+}

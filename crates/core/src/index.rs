@@ -91,29 +91,24 @@ impl ClusteredIndex {
     pub fn query(&self, vector: &[f64], k: usize, n_probe: usize) -> Vec<(usize, f64)> {
         assert_eq!(vector.len(), self.reps.cols(), "query dimension mismatch");
         assert!(n_probe >= 1, "must probe at least one cell");
-        // Rank cells by centroid distance.
-        let mut cell_order: Vec<(usize, f64)> = (0..self.cells.len())
-            .map(|c| (c, self.metric.distance(vector, self.centroids.row(c))))
-            .collect();
-        cell_order.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .expect("finite distances")
-                .then(a.0.cmp(&b.0))
-        });
-
-        let mut candidates: Vec<(usize, f64)> = Vec::new();
-        for &(c, _) in cell_order.iter().take(n_probe) {
-            for &row in &self.cells[c] {
-                candidates.push((row, self.metric.distance(vector, self.reps.row(row))));
-            }
-        }
-        candidates.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .expect("finite distances")
-                .then(a.0.cmp(&b.0))
-        });
-        candidates.truncate(k);
-        candidates
+        // Rank cells by centroid distance — only the `n_probe` nearest are
+        // needed, so select rather than sort.
+        let cell_order = crate::similarity::bounded_top_k(
+            (0..self.cells.len()).map(|c| (c, self.metric.distance(vector, self.centroids.row(c)))),
+            n_probe,
+        );
+        // Stream every probed row through a k-bounded selection: no
+        // per-query candidate buffer proportional to the probed cells, and
+        // the result is identical to sorting all candidates (each row lives
+        // in exactly one cell, so the ordering is total).
+        crate::similarity::bounded_top_k(
+            cell_order.iter().flat_map(|&(c, _)| {
+                self.cells[c]
+                    .iter()
+                    .map(|&row| (row, self.metric.distance(vector, self.reps.row(row))))
+            }),
+            k,
+        )
     }
 
     /// Top-`k` most similar rows to an indexed row (the row itself is

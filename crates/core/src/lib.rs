@@ -19,6 +19,9 @@
 //!   geography / size filters and whitespace product recommendations;
 //! * [`index`] — the clustered (IVF-style) approximate index the application
 //!   uses for sub-linear similarity search;
+//! * [`cache`] — the bounded, generation-stamped [`ServingCache`] memoizing
+//!   similar-company answers on the serving hot path, invalidated on
+//!   retrain;
 //! * [`error`] — the typed [`CoreError`] these layers return instead of
 //!   panicking on shape or range mismatches.
 //!
@@ -61,6 +64,7 @@
 //! ```
 
 pub mod app;
+pub mod cache;
 pub mod error;
 pub mod index;
 pub mod recommenders;
@@ -68,10 +72,13 @@ pub mod representations;
 pub mod similarity;
 
 pub use app::{CompanyFilter, SalesApplication, WhitespaceRecommendation};
+pub use cache::ServingCache;
 pub use error::CoreError;
 pub use index::ClusteredIndex;
 pub use recommenders::{
     evaluate_bpmf, masked_lda_scores, AprioriRecommenderFactory, BpmfEvaluation,
     ChhRecommenderFactory, LdaRecommenderFactory, LstmRecommenderFactory, NgramRecommenderFactory,
 };
-pub use similarity::{neighbor_label_agreement, popularity_bias, top_k_similar, DistanceMetric};
+pub use similarity::{
+    bounded_top_k, neighbor_label_agreement, popularity_bias, top_k_similar, DistanceMetric,
+};

@@ -7,7 +7,7 @@ use hlm_linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
 /// Vector distance used for company comparison (Equation 5 allows any).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DistanceMetric {
     /// `1 − cos`.
     Cosine,
@@ -25,6 +25,66 @@ impl DistanceMetric {
     }
 }
 
+/// Max-heap entry ordered by `(distance, row)` — the heap root is the
+/// *worst* of the kept candidates, so one comparison decides whether a new
+/// candidate displaces it.
+struct HeapEntry(usize, f64);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.1
+            .partial_cmp(&other.1)
+            .expect("finite distances")
+            .then(self.0.cmp(&other.0))
+    }
+}
+
+/// The `k` smallest `(row, distance)` candidates under ascending
+/// `(distance, row)` order, via a bounded max-heap: `O(n log k)` and `O(k)`
+/// memory instead of sorting all `n` candidates. Exact — the result is
+/// identical (including tie-breaks) to sorting the full candidate list and
+/// truncating to `k`.
+///
+/// # Panics
+/// Panics if a distance is NaN.
+pub fn bounded_top_k(
+    candidates: impl Iterator<Item = (usize, f64)>,
+    k: usize,
+) -> Vec<(usize, f64)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: std::collections::BinaryHeap<HeapEntry> =
+        std::collections::BinaryHeap::with_capacity(k + 1);
+    for (i, d) in candidates {
+        let entry = HeapEntry(i, d);
+        if heap.len() < k {
+            heap.push(entry);
+        } else if entry < *heap.peek().expect("non-empty at capacity") {
+            heap.push(entry);
+            heap.pop();
+        }
+    }
+    let mut out: Vec<(usize, f64)> = heap.into_iter().map(|HeapEntry(i, d)| (i, d)).collect();
+    out.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .expect("finite distances")
+            .then(a.0.cmp(&b.0))
+    });
+    out
+}
+
 /// The `k` rows of `representations` closest to row `query` (excluding the
 /// query itself), as `(row index, distance)` sorted by ascending distance
 /// with deterministic tie-breaking on the row index.
@@ -39,17 +99,12 @@ pub fn top_k_similar(
 ) -> Vec<(usize, f64)> {
     assert!(query < representations.rows(), "query row out of range");
     let q = representations.row(query);
-    let mut dists: Vec<(usize, f64)> = (0..representations.rows())
-        .filter(|&i| i != query)
-        .map(|i| (i, metric.distance(q, representations.row(i))))
-        .collect();
-    dists.sort_by(|a, b| {
-        a.1.partial_cmp(&b.1)
-            .expect("finite distances")
-            .then(a.0.cmp(&b.0))
-    });
-    dists.truncate(k);
-    dists
+    bounded_top_k(
+        (0..representations.rows())
+            .filter(|&i| i != query)
+            .map(|i| (i, metric.distance(q, representations.row(i)))),
+        k,
+    )
 }
 
 /// Quantifies the Section-3.1 failure mode of naive representations: among
@@ -174,6 +229,26 @@ mod tests {
         assert_eq!(res[0].0, 1, "same direction wins under cosine");
         let res_e = top_k_similar(&m, 0, 1, DistanceMetric::Euclidean);
         assert_eq!(res_e[0].0, 2, "closer point wins under euclidean");
+    }
+
+    #[test]
+    fn bounded_top_k_matches_full_sort_exactly() {
+        // Pseudo-random distances with planted ties: the heap must keep the
+        // same k (including tie-breaks on the index) as a full sort.
+        let mut state = 7u64;
+        let dists: Vec<(usize, f64)> = (0..200)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) % 17) as f64 / 16.0 // lots of exact ties
+            })
+            .enumerate()
+            .collect();
+        for k in [0usize, 1, 5, 50, 200, 500] {
+            let mut sorted = dists.clone();
+            sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            sorted.truncate(k);
+            assert_eq!(bounded_top_k(dists.iter().copied(), k), sorted, "k={k}");
+        }
     }
 
     #[test]

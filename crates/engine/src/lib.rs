@@ -38,7 +38,7 @@ use hlm_lda::{GibbsTrainer, LdaConfig, LdaModel, VbOptions, VbTrainer, WeightedD
 use hlm_linalg::Matrix;
 use hlm_lstm::{LstmConfig, LstmLm, TrainOptions, Trainer};
 use hlm_ngram::{NgramConfig, NgramLm};
-pub use hlm_par::{effective_threads, set_threads};
+pub use hlm_par::{effective_threads, par_threshold, set_par_threshold, set_threads};
 pub use hlm_resilience::{
     CancelHandle, Checkpoint, CheckpointStore, Clock, CollapsePolicy, Fault, FaultPlan,
     ManualClock, ResilienceError, RunGuard, SystemClock,
@@ -1286,9 +1286,13 @@ impl RecommenderFactory for StreamingChhRecommenderFactory {
 // ---------------------------------------------------------------------------
 
 /// The serving facade: one corpus behind an [`Arc`], shared by every model
-/// it trains and every [`SalesApplication`] it spawns.
+/// it trains and every [`SalesApplication`] it spawns — plus one
+/// [`ServingCache`] shared by every application, invalidated whenever the
+/// engine trains so stale rankings cannot outlive the model that produced
+/// them.
 pub struct Engine {
     corpus: Arc<Corpus>,
+    serving_cache: Arc<hlm_core::ServingCache>,
 }
 
 impl Engine {
@@ -1296,6 +1300,7 @@ impl Engine {
     pub fn new(corpus: impl Into<Arc<Corpus>>) -> Self {
         Engine {
             corpus: corpus.into(),
+            serving_cache: Arc::new(hlm_core::ServingCache::default()),
         }
     }
 
@@ -1307,6 +1312,12 @@ impl Engine {
     /// A shared handle to the corpus (cheap; no data copy).
     pub fn corpus_arc(&self) -> Arc<Corpus> {
         Arc::clone(&self.corpus)
+    }
+
+    /// The engine's serving-side memo. Every [`Engine::sales_app`] shares
+    /// it; every `train*` call invalidates it.
+    pub fn serving_cache(&self) -> &Arc<hlm_core::ServingCache> {
+        &self.serving_cache
     }
 
     /// Trains a model on the given companies' acquisition histories strictly
@@ -1324,6 +1335,7 @@ impl Engine {
         let rec = hlm_obs::global();
         let _span = rec.span("engine.train");
         rec.add("engine.trains", 1);
+        self.serving_cache.invalidate();
         spec.fit_sequences(&self.sequences_before(ids, cutoff), &[])
     }
 
@@ -1358,6 +1370,7 @@ impl Engine {
         cutoff: Month,
     ) -> Vec<Result<Box<dyn TrainedModel>, EngineError>> {
         let seqs = self.sequences_before(ids, cutoff);
+        self.serving_cache.invalidate();
         let pool = hlm_par::Pool::global();
         pool.run(specs.len(), |i| specs[i].fit_sequences(&seqs, &[]))
     }
@@ -1377,6 +1390,7 @@ impl Engine {
         let rec = hlm_obs::global();
         let _span = rec.span("engine.train_resilient");
         rec.add("engine.trains", 1);
+        self.serving_cache.invalidate();
         spec.fit_sequences_resilient(&self.sequences_before(ids, cutoff), &[], plan)
     }
 
@@ -1396,6 +1410,7 @@ impl Engine {
         let rec = hlm_obs::global();
         let _span = rec.span("engine.serve_resilient");
         rec.add("engine.trains", 1);
+        self.serving_cache.invalidate();
         let seqs = self.sequences_before(ids, cutoff);
         let primary = spec.fit_sequences(&seqs, &[])?;
         let fallback = NgramLm::fit(NgramConfig::unigram(self.corpus.vocab().len()), &seqs);
@@ -1412,7 +1427,10 @@ impl Engine {
     }
 
     /// Opens the sales application over this corpus with the given company
-    /// representations, sharing the corpus `Arc` (no data copy).
+    /// representations, sharing the corpus `Arc` (no data copy) and the
+    /// engine's [`ServingCache`] — repeat queries against the same model
+    /// generation replay memoized answers; any later `train*` call
+    /// invalidates them.
     ///
     /// # Errors
     /// [`EngineError::Core`] on a row/company mismatch.
@@ -1421,11 +1439,10 @@ impl Engine {
         representations: impl Into<Arc<Matrix>>,
         metric: DistanceMetric,
     ) -> Result<SalesApplication, EngineError> {
-        Ok(SalesApplication::new(
-            self.corpus_arc(),
-            representations,
-            metric,
-        )?)
+        Ok(
+            SalesApplication::new(self.corpus_arc(), representations, metric)?
+                .with_cache(Arc::clone(&self.serving_cache)),
+        )
     }
 
     /// Market-drift check between two time windows (Section 6's monitoring

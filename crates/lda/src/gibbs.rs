@@ -16,9 +16,8 @@
 
 use crate::model::{LdaConfig, LdaModel};
 use crate::WeightedDoc;
-use hlm_linalg::dist::sample_categorical;
 use hlm_linalg::Matrix;
-use hlm_par::Pool;
+use hlm_par::{Budget, Pool};
 use hlm_resilience::{Checkpoint, ResilienceError, TrainControl};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -28,14 +27,343 @@ use serde::{Deserialize, Serialize};
 /// the deterministic sampling schedule, not a tuning knob per machine.
 const DOC_CHUNK: usize = 64;
 
-/// One chunk's sweep result: new topic assignments and document-topic rows
-/// for its token/document range, plus count-table deltas relative to the
-/// sweep-start snapshot.
-struct SweepDelta {
-    z: Vec<u16>,
-    dk_rows: Vec<f64>,
-    kw_delta: Matrix,
-    k_delta: Vec<f64>,
+/// Topic-count cutoff between the two samplers: at or below it, the fused
+/// dense cumulative pass (one multiply-accumulate per topic) beats any
+/// list bookkeeping; above it the SparseLDA-style bucket sampler pays off.
+/// A pure function of the configuration, so the choice cannot vary with
+/// scheduling.
+const DENSE_TOPIC_CUTOFF: usize = 16;
+
+/// Cost-model estimate of one sweep: per weighted token, fixed bookkeeping
+/// plus roughly one multiply-accumulate per topic (in [`Budget`] units of
+/// ~1 ns of serial work).
+fn sweep_budget(n_tokens: usize, k: usize) -> Budget {
+    Budget::items(n_tokens, 16 + 8 * k as u64)
+}
+
+/// One chunk's mutable slice of a sweep: its token assignments and
+/// document-topic rows (mutated in place — they are disjoint between
+/// chunks) and its scratch area for the count-table deltas that must merge
+/// in chunk order.
+struct ChunkView<'a> {
+    z: &'a mut [u16],
+    dk: &'a mut [f64],
+    /// `k*m` topic-word deltas followed by `k` topic-total deltas, always
+    /// fully overwritten by the chunk.
+    delta: &'a mut [f64],
+    d_lo: usize,
+    t_lo: usize,
+}
+
+/// Immutable per-sweep context shared by every chunk.
+struct SweepCtx<'a> {
+    tok_doc: &'a [u32],
+    tok_word: &'a [u32],
+    tok_weight: &'a [f64],
+    n_kw: &'a Matrix,
+    n_k: &'a [f64],
+    k: usize,
+    m: usize,
+    alpha: f64,
+    beta: f64,
+    beta_sum: f64,
+    seed: u64,
+    sweep: u64,
+}
+
+/// Per-slot scratch reused across every chunk a pool slot processes, so
+/// the inner sampling loop allocates nothing. Everything read is fully
+/// re-initialized per chunk (tables, reciprocals, word lists) or per
+/// document (topic list), keeping chunk results a pure function of the
+/// chunk — the `par_for_each_scratch` contract.
+struct SweepScratch {
+    /// Chunk-local topic-word counts (`k*m`), copied from the sweep-start
+    /// snapshot at chunk entry.
+    kw: Vec<f64>,
+    /// Chunk-local topic totals (`k`).
+    k_tot: Vec<f64>,
+    /// Cached reciprocals `1 / (k_tot[t] + Mβ)` — turns the per-topic
+    /// division of the collapsed conditional into a multiply.
+    inv: Vec<f64>,
+    /// Dense cumulative-weight buffer for the fused sampler (`k`).
+    cum: Vec<f64>,
+    /// Maintained sparse topic list of the document being sampled
+    /// (topics with positive doc-topic count).
+    doc_topics: Vec<u16>,
+    /// Cumulative weights over `doc_topics`.
+    doc_cum: Vec<f64>,
+    /// Maintained per-word sparse topic lists (sparse sampler only).
+    word_topics: Vec<Vec<u16>>,
+    /// Cumulative weights over one word's topic list.
+    word_cum: Vec<f64>,
+}
+
+impl SweepScratch {
+    fn new(k: usize, m: usize) -> Self {
+        SweepScratch {
+            kw: vec![0.0; k * m],
+            k_tot: vec![0.0; k],
+            inv: vec![0.0; k],
+            cum: vec![0.0; k],
+            doc_topics: Vec::with_capacity(k),
+            doc_cum: vec![0.0; k],
+            word_topics: vec![Vec::new(); if k > DENSE_TOPIC_CUTOFF { m } else { 0 }],
+            word_cum: vec![0.0; k],
+        }
+    }
+}
+
+/// Splits the flat assignment array, the doc-topic table and the delta
+/// buffer into per-chunk disjoint views. Chunk boundaries are the same
+/// pure function of the corpus the sampler has always used.
+fn build_views<'a>(
+    tok_z: &'a mut [u16],
+    dk: &'a mut [f64],
+    delta_buf: &'a mut [f64],
+    doc_start: &[usize],
+    n_docs: usize,
+    k: usize,
+    delta_stride: usize,
+) -> Vec<ChunkView<'a>> {
+    let n_chunks = hlm_par::chunk_count(n_docs, DOC_CHUNK);
+    let mut views = Vec::with_capacity(n_chunks);
+    let (mut z_rest, mut dk_rest, mut delta_rest) = (tok_z, dk, delta_buf);
+    for c in 0..n_chunks {
+        let (d_lo, d_hi) = hlm_par::chunk_bounds(n_docs, DOC_CHUNK, c);
+        let (t_lo, t_hi) = (doc_start[d_lo], doc_start[d_hi]);
+        let (z_c, zr) = z_rest.split_at_mut(t_hi - t_lo);
+        z_rest = zr;
+        let (dk_c, dr) = dk_rest.split_at_mut((d_hi - d_lo) * k);
+        dk_rest = dr;
+        let (de_c, der) = delta_rest.split_at_mut(delta_stride);
+        delta_rest = der;
+        views.push(ChunkView {
+            z: z_c,
+            dk: dk_c,
+            delta: de_c,
+            d_lo,
+            t_lo,
+        });
+    }
+    views
+}
+
+/// Removes topic `t` from a maintained sparse list if present. Lists are
+/// chunk-local and every mutation is part of the deterministic sampling
+/// schedule, so `swap_remove` order never depends on threads.
+fn remove_topic(list: &mut Vec<u16>, t: usize) {
+    if let Some(pos) = list.iter().position(|&x| x as usize == t) {
+        list.swap_remove(pos);
+    }
+}
+
+/// Fused dense sampler: one cumulative pass building
+/// `(n_dk + α)(n_kw + β)/(n_k + Mβ)` per topic (division replaced by the
+/// cached reciprocal), then a single uniform draw scanned against the
+/// cumulative weights.
+fn sample_dense(
+    scratch: &mut SweepScratch,
+    dk_row: &[f64],
+    w: usize,
+    ctx: &SweepCtx,
+    rng: &mut StdRng,
+) -> usize {
+    let m = ctx.m;
+    let mut acc = 0.0;
+    for (cum, ((&dkv, &invv), &kwv)) in scratch.cum.iter_mut().zip(
+        dk_row
+            .iter()
+            .zip(scratch.inv.iter())
+            .zip(scratch.kw[w..].iter().step_by(m)),
+    ) {
+        acc += (dkv + ctx.alpha) * (kwv + ctx.beta) * invv;
+        *cum = acc;
+    }
+    let u = rng.gen::<f64>() * acc;
+    for (t, &c) in scratch.cum[..ctx.k - 1].iter().enumerate() {
+        if u < c {
+            return t;
+        }
+    }
+    ctx.k - 1
+}
+
+/// SparseLDA-style bucket sampler (Yao, Mimno & McCallum): the sampling
+/// mass decomposes as
+///
+/// ```text
+/// p(t) ∝ αβ·inv[t]  +  n_dk[t]·β·inv[t]  +  (n_dk[t] + α)·n_kw[t,w]·inv[t]
+///        (s: smoothing)  (r: doc-sparse)     (q: word-sparse)
+/// ```
+///
+/// so one uniform draw lands in the word bucket (scanned over the
+/// maintained word-topic list), the document bucket (scanned over the
+/// maintained per-document topic list) or — rarely — the smoothing bucket
+/// (dense scan over the cached reciprocals). `inv_sum` is the maintained
+/// `Σ_t inv[t]`; tiny negative count residues from weighted-token
+/// cancellation are clamped out of the probability terms only, never out
+/// of the count tables.
+fn sample_sparse(
+    scratch: &mut SweepScratch,
+    dk_row: &[f64],
+    w: usize,
+    inv_sum: f64,
+    ctx: &SweepCtx,
+    rng: &mut StdRng,
+) -> usize {
+    let m = ctx.m;
+    let mut q = 0.0;
+    for (slot, &t) in scratch.word_topics[w].iter().enumerate() {
+        let t = t as usize;
+        let kwv = scratch.kw[t * m + w].max(0.0);
+        q += (dk_row[t] + ctx.alpha) * kwv * scratch.inv[t];
+        scratch.word_cum[slot] = q;
+    }
+    let mut r = 0.0;
+    for (slot, &t) in scratch.doc_topics.iter().enumerate() {
+        let t = t as usize;
+        r += dk_row[t].max(0.0) * ctx.beta * scratch.inv[t];
+        scratch.doc_cum[slot] = r;
+    }
+    let s = ctx.alpha * ctx.beta * inv_sum;
+    let u = rng.gen::<f64>() * (q + r + s);
+    if u < q {
+        let wlist = &scratch.word_topics[w];
+        for (slot, &t) in wlist.iter().enumerate() {
+            if u < scratch.word_cum[slot] {
+                return t as usize;
+            }
+        }
+        if let Some(&t) = wlist.last() {
+            return t as usize;
+        }
+    }
+    let u = u - q;
+    if u < r {
+        for (slot, &t) in scratch.doc_topics.iter().enumerate() {
+            if u < scratch.doc_cum[slot] {
+                return t as usize;
+            }
+        }
+        if let Some(&t) = scratch.doc_topics.last() {
+            return t as usize;
+        }
+    }
+    // Smoothing bucket: u_s ∈ [0, Σ inv) after dividing out αβ. The
+    // incremental inv_sum can drift by ulps from the true Σ, so the scan
+    // clamps to the last topic.
+    let mut u = (u - r).max(0.0) / (ctx.alpha * ctx.beta);
+    for (t, &invv) in scratch.inv.iter().enumerate().take(ctx.k - 1) {
+        u -= invv;
+        if u < 0.0 {
+            return t;
+        }
+    }
+    ctx.k - 1
+}
+
+/// Samples one chunk of documents against the sweep-start snapshot,
+/// mutating the chunk's assignments and doc-topic rows in place and
+/// writing its topic-word/topic-total deltas into the chunk's slice of the
+/// shared delta buffer. RNG stream: `(seed, sweep, chunk)` — identical at
+/// every thread count.
+fn sweep_chunk(scratch: &mut SweepScratch, ctx: &SweepCtx, chunk: usize, view: &mut ChunkView) {
+    let (k, m) = (ctx.k, ctx.m);
+    let mut rng = StdRng::seed_from_u64(hlm_par::split_seed3(ctx.seed, ctx.sweep, chunk as u64));
+    scratch.kw.copy_from_slice(ctx.n_kw.as_slice());
+    scratch.k_tot.copy_from_slice(ctx.n_k);
+    for (inv, &tot) in scratch.inv.iter_mut().zip(scratch.k_tot.iter()) {
+        *inv = 1.0 / (tot + ctx.beta_sum);
+    }
+    let sparse = k > DENSE_TOPIC_CUTOFF;
+    let mut inv_sum = 0.0;
+    if sparse {
+        inv_sum = scratch.inv.iter().sum();
+        for list in &mut scratch.word_topics {
+            list.clear();
+        }
+        for t in 0..k {
+            for (w, &c) in scratch.kw[t * m..(t + 1) * m].iter().enumerate() {
+                if c > 0.0 {
+                    scratch.word_topics[w].push(t as u16);
+                }
+            }
+        }
+    }
+    let mut cur_doc = usize::MAX;
+    for j in 0..view.z.len() {
+        let i = view.t_lo + j;
+        let d = ctx.tok_doc[i] as usize;
+        let w = ctx.tok_word[i] as usize;
+        let weight = ctx.tok_weight[i];
+        let row = (d - view.d_lo) * k;
+        if sparse && d != cur_doc {
+            cur_doc = d;
+            scratch.doc_topics.clear();
+            for (t, &c) in view.dk[row..row + k].iter().enumerate() {
+                if c > 0.0 {
+                    scratch.doc_topics.push(t as u16);
+                }
+            }
+        }
+        let old_z = view.z[j] as usize;
+
+        view.dk[row + old_z] -= weight;
+        scratch.kw[old_z * m + w] -= weight;
+        scratch.k_tot[old_z] -= weight;
+        if sparse {
+            inv_sum -= scratch.inv[old_z];
+        }
+        scratch.inv[old_z] = 1.0 / (scratch.k_tot[old_z] + ctx.beta_sum);
+        if sparse {
+            inv_sum += scratch.inv[old_z];
+            if view.dk[row + old_z] <= 0.0 {
+                remove_topic(&mut scratch.doc_topics, old_z);
+            }
+            if scratch.kw[old_z * m + w] <= 0.0 {
+                remove_topic(&mut scratch.word_topics[w], old_z);
+            }
+        }
+
+        let new_z = if sparse {
+            sample_sparse(scratch, &view.dk[row..row + k], w, inv_sum, ctx, &mut rng)
+        } else {
+            sample_dense(scratch, &view.dk[row..row + k], w, ctx, &mut rng)
+        };
+
+        if sparse {
+            if view.dk[row + new_z] <= 0.0 {
+                scratch.doc_topics.push(new_z as u16);
+            }
+            if scratch.kw[new_z * m + w] <= 0.0 {
+                scratch.word_topics[w].push(new_z as u16);
+            }
+            inv_sum -= scratch.inv[new_z];
+        }
+        view.dk[row + new_z] += weight;
+        scratch.kw[new_z * m + w] += weight;
+        scratch.k_tot[new_z] += weight;
+        scratch.inv[new_z] = 1.0 / (scratch.k_tot[new_z] + ctx.beta_sum);
+        if sparse {
+            inv_sum += scratch.inv[new_z];
+        }
+        view.z[j] = new_z as u16;
+    }
+    // Deltas relative to the sweep-start snapshot, fully overwriting the
+    // chunk's slice of the shared buffer.
+    let (kw_delta, k_delta) = view.delta.split_at_mut(k * m);
+    for (d, (&local, &global)) in kw_delta
+        .iter_mut()
+        .zip(scratch.kw.iter().zip(ctx.n_kw.as_slice()))
+    {
+        *d = local - global;
+    }
+    for (d, (&local, &global)) in k_delta
+        .iter_mut()
+        .zip(scratch.k_tot.iter().zip(ctx.n_k.iter()))
+    {
+        *d = local - global;
+    }
 }
 
 /// Checkpoint kind tag for collapsed Gibbs runs.
@@ -116,11 +444,13 @@ impl GibbsTrainer {
         let mut n_kw = Matrix::zeros(k, m); // topic-word
         let mut n_k = vec![0.0f64; k]; // topic totals
 
-        // Flat token arrays for cache-friendly sweeps.
-        let mut tok_doc: Vec<u32> = Vec::new();
-        let mut tok_word: Vec<u32> = Vec::new();
-        let mut tok_weight: Vec<f64> = Vec::new();
-        let mut tok_z: Vec<u16> = Vec::new();
+        // Flat token arrays for cache-friendly sweeps, sized up front so
+        // the fill loop never reallocates.
+        let total_tokens: usize = docs.iter().map(Vec::len).sum();
+        let mut tok_doc: Vec<u32> = Vec::with_capacity(total_tokens);
+        let mut tok_word: Vec<u32> = Vec::with_capacity(total_tokens);
+        let mut tok_weight: Vec<f64> = Vec::with_capacity(total_tokens);
+        let mut tok_z: Vec<u16> = Vec::with_capacity(total_tokens);
         for (d, doc) in docs.iter().enumerate() {
             for &(w, weight) in doc {
                 assert!(w < m, "word {w} outside vocabulary of {m}");
@@ -167,73 +497,62 @@ impl GibbsTrainer {
 
         let pool = Pool::global();
         let rec = hlm_obs::global();
+        let budget = sweep_budget(tok_z.len(), k);
+        let delta_stride = k * m + k;
         let n_chunks = hlm_par::chunk_count(docs.len(), DOC_CHUNK);
+        // Per-chunk delta arena, allocated once for the whole run; every
+        // sweep fully overwrites it.
+        let mut delta_buf = vec![0.0f64; n_chunks * delta_stride];
         for iter in start_iter as usize..self.cfg.n_iters {
             ctrl.begin_iteration(iter as u64)?;
             let sweep_t0 = rec.is_enabled().then(std::time::Instant::now);
             // Document-sliced sweep: every chunk samples its documents
             // against the sweep-start snapshot of the shared tables (its own
-            // n_dk rows stay exact), on an RNG stream keyed by
+            // n_dk rows and assignments are mutated in place — they are
+            // disjoint between chunks), on an RNG stream keyed by
             // (seed, sweep, chunk). With a single chunk this is exactly the
             // sequential collapsed sampler.
-            let alpha_now = alpha;
-            let deltas = pool.run(n_chunks, |c| {
-                let (d_lo, d_hi) = hlm_par::chunk_bounds(docs.len(), DOC_CHUNK, c);
-                let (t_lo, t_hi) = (doc_start[d_lo], doc_start[d_hi]);
-                let mut chunk_rng = StdRng::seed_from_u64(hlm_par::split_seed3(
-                    self.cfg.seed,
-                    iter as u64,
-                    c as u64,
-                ));
-                let mut local_kw = n_kw.clone();
-                let mut local_k = n_k.clone();
-                let mut dk_rows = n_dk.as_slice()[d_lo * k..d_hi * k].to_vec();
-                let mut z = tok_z[t_lo..t_hi].to_vec();
-                let mut probs = vec![0.0f64; k];
-                for i in t_lo..t_hi {
-                    let d = tok_doc[i] as usize;
-                    let w = tok_word[i] as usize;
-                    let weight = tok_weight[i];
-                    let old_z = z[i - t_lo] as usize;
-                    let dk_row = &mut dk_rows[(d - d_lo) * k..(d - d_lo + 1) * k];
-
-                    dk_row[old_z] -= weight;
-                    local_kw.add_at(old_z, w, -weight);
-                    local_k[old_z] -= weight;
-
-                    for (t, p) in probs.iter_mut().enumerate() {
-                        // Collapsed conditional:
-                        // (n_dk + α)(n_kw + β)/(n_k + Mβ).
-                        *p = (dk_row[t] + alpha_now) * (local_kw.get(t, w) + beta)
-                            / (local_k[t] + beta_sum);
-                    }
-                    let new_z = sample_categorical(&mut chunk_rng, &probs);
-
-                    z[i - t_lo] = new_z as u16;
-                    dk_row[new_z] += weight;
-                    local_kw.add_at(new_z, w, weight);
-                    local_k[new_z] += weight;
+            let ctx = SweepCtx {
+                tok_doc: &tok_doc,
+                tok_word: &tok_word,
+                tok_weight: &tok_weight,
+                n_kw: &n_kw,
+                n_k: &n_k,
+                k,
+                m,
+                alpha,
+                beta,
+                beta_sum,
+                seed: self.cfg.seed,
+                sweep: iter as u64,
+            };
+            let mut views = build_views(
+                &mut tok_z,
+                n_dk.as_mut_slice(),
+                &mut delta_buf,
+                &doc_start,
+                docs.len(),
+                k,
+                delta_stride,
+            );
+            hlm_par::par_for_each_scratch(
+                &pool,
+                budget,
+                &mut views,
+                || SweepScratch::new(k, m),
+                |scratch, c, view| sweep_chunk(scratch, &ctx, c, view),
+            );
+            drop(views);
+            // Deterministic merge of the topic-word/topic-total deltas in
+            // chunk order (assignments and doc-topic rows were updated in
+            // place).
+            for chunk_delta in delta_buf.chunks_exact(delta_stride) {
+                let (kw_delta, k_delta) = chunk_delta.split_at(k * m);
+                for (g, &d) in n_kw.as_mut_slice().iter_mut().zip(kw_delta) {
+                    *g += d;
                 }
-                local_kw.axpy(-1.0, &n_kw);
-                for (l, &g) in local_k.iter_mut().zip(n_k.iter()) {
-                    *l -= g;
-                }
-                SweepDelta {
-                    z,
-                    dk_rows,
-                    kw_delta: local_kw,
-                    k_delta: local_k,
-                }
-            });
-            // Deterministic merge in chunk order.
-            for (c, delta) in deltas.into_iter().enumerate() {
-                let (d_lo, d_hi) = hlm_par::chunk_bounds(docs.len(), DOC_CHUNK, c);
-                let (t_lo, t_hi) = (doc_start[d_lo], doc_start[d_hi]);
-                tok_z[t_lo..t_hi].copy_from_slice(&delta.z);
-                n_dk.as_mut_slice()[d_lo * k..d_hi * k].copy_from_slice(&delta.dk_rows);
-                n_kw.axpy(1.0, &delta.kw_delta);
-                for (g, &dl) in n_k.iter_mut().zip(&delta.k_delta) {
-                    *g += dl;
+                for (g, &d) in n_k.iter_mut().zip(k_delta) {
+                    *g += d;
                 }
             }
 
@@ -249,8 +568,9 @@ impl GibbsTrainer {
             if past_burn_in && on_lag {
                 for (t, &nk) in n_k.iter().enumerate().take(k) {
                     let denom = nk + beta_sum;
-                    for w in 0..m {
-                        phi_acc.add_at(t, w, (n_kw.get(t, w) + beta) / denom);
+                    let phi_row = &mut phi_acc.as_mut_slice()[t * m..(t + 1) * m];
+                    for (acc, &c) in phi_row.iter_mut().zip(n_kw.row(t)) {
+                        *acc += (c + beta) / denom;
                     }
                 }
                 n_samples += 1;
@@ -580,6 +900,57 @@ mod tests {
         docs.push(Vec::new());
         let model = GibbsTrainer::new(quick_cfg(2, 6, 13)).fit(&docs);
         assert!(model.phi().is_finite());
+    }
+
+    #[test]
+    fn sparse_sampler_is_deterministic_and_well_formed() {
+        // Above DENSE_TOPIC_CUTOFF the SparseLDA-style bucket sampler runs;
+        // it must keep every contract the dense path has.
+        let docs = unit_weights(&planted_docs(60, 5));
+        let cfg = quick_cfg(24, 6, 17);
+        assert!(cfg.n_topics > DENSE_TOPIC_CUTOFF);
+        let a = GibbsTrainer::new(cfg.clone()).fit(&docs);
+        let b = GibbsTrainer::new(cfg).fit(&docs);
+        assert_eq!(a.phi(), b.phi(), "sparse path must be seed-deterministic");
+        for t in 0..24 {
+            let s: f64 = a.phi().row(t).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row {t} sums to {s}");
+            assert!(a.phi().row(t).iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    fn sparse_sampler_handles_weighted_tokens_and_resume() {
+        use hlm_resilience::{CheckpointStore, MemIo, RunGuard};
+
+        // Fractional weights exercise the tiny-residue clamps in the
+        // bucket sampler; kill/resume must stay bit-identical.
+        let mut rng = StdRng::seed_from_u64(91);
+        let docs: Vec<WeightedDoc> = (0..50)
+            .map(|_| {
+                (0..10)
+                    .map(|_| (rng.gen_range(0..6), 0.25 + rng.gen::<f64>()))
+                    .collect()
+            })
+            .collect();
+        let cfg = quick_cfg(24, 6, 23);
+        let full = GibbsTrainer::new(cfg.clone()).fit(&docs);
+        assert!(full.phi().is_finite());
+
+        let store = CheckpointStore::new(Box::new(MemIo::new()));
+        let trainer = GibbsTrainer::new(cfg);
+        let mut ctrl = TrainControl::new(GIBBS_CHECKPOINT_KIND, &store)
+            .with_guard(RunGuard::unlimited().abort_at_iteration(70));
+        trainer.fit_resumable(&docs, &mut ctrl, None).unwrap_err();
+        let ckpt = store.latest_good(GIBBS_CHECKPOINT_KIND).unwrap().unwrap();
+        let resumed = trainer
+            .fit_resumable(&docs, &mut TrainControl::noop(), Some(&ckpt))
+            .unwrap();
+        assert_eq!(
+            resumed.phi(),
+            full.phi(),
+            "sparse resume must be bit-identical"
+        );
     }
 
     #[test]

@@ -214,6 +214,20 @@ impl Matrix {
         self.data.iter_mut().for_each(|x| *x = value);
     }
 
+    /// Overwrites this matrix with `other`'s contents in place, reusing the
+    /// existing buffer (the allocation-free alternative to `clone`).
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "copy_from shape mismatch"
+        );
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Returns the transposed matrix.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);

@@ -354,6 +354,30 @@ impl LstmLm {
         self.b_out.grad.axpy(1.0, &other.b_out.grad);
     }
 
+    /// Copies `other`'s parameter values into this model's existing buffers
+    /// and clears the gradient accumulators — the allocation-free alternative
+    /// to cloning a fresh worker model per gradient chunk. Adam moments and
+    /// the dropout RNG are left untouched (workers never step the optimizer
+    /// or draw masks).
+    ///
+    /// # Panics
+    /// Panics if the architectures differ.
+    pub fn sync_params_from(&mut self, other: &LstmLm) {
+        fn sync(dst: &mut Param, src: &Param) {
+            dst.value.copy_from(&src.value);
+            dst.grad.fill(0.0);
+        }
+        sync(&mut self.embedding, &other.embedding);
+        assert_eq!(self.layers.len(), other.layers.len(), "layer count differs");
+        for (mine, theirs) in self.layers.iter_mut().zip(&other.layers) {
+            for (dst, src) in mine.params_mut().into_iter().zip(theirs.params()) {
+                sync(dst, src);
+            }
+        }
+        sync(&mut self.w_out, &other.w_out);
+        sync(&mut self.b_out, &other.b_out);
+    }
+
     /// Runs one training sequence: forward with dropout, cross-entropy loss,
     /// full BPTT accumulating gradients into the parameters (no optimizer
     /// step). Returns `(total negative log-likelihood, target count)`.
@@ -396,9 +420,9 @@ impl LstmLm {
                 }
                 let (h_new, c_new, cache) = self.layers[l].forward(&x, &hs[l], &cs[l]);
                 caches[l].push(cache);
-                hs[l] = h_new.clone();
                 cs[l] = c_new;
                 x = h_new;
+                hs[l].copy_from_slice(&x);
             }
             for (xj, &m) in x.iter_mut().zip(&out_masks[t]) {
                 *xj *= m;
@@ -437,7 +461,10 @@ impl LstmLm {
                 .map(|(&a, &b)| a + b)
                 .collect();
             for l in (0..n_layers).rev() {
-                let dc = dc_next[l].clone();
+                // `take` instead of `clone`: the slot is overwritten with
+                // `dc_prev` below, so stealing the buffer saves an allocation
+                // per layer per step without changing any value.
+                let dc = std::mem::take(&mut dc_next[l]);
                 let (mut dx, dh_prev, dc_prev) = self.layers[l].backward(&caches[l][t], &dh, &dc);
                 dh_next[l] = dh_prev;
                 dc_next[l] = dc_prev;
@@ -445,11 +472,9 @@ impl LstmLm {
                     *dj *= m;
                 }
                 if l > 0 {
-                    dh = dx
-                        .iter()
-                        .zip(&dh_next[l - 1])
-                        .map(|(&a, &b)| a + b)
-                        .collect();
+                    for (o, (&a, &b)) in dh.iter_mut().zip(dx.iter().zip(&dh_next[l - 1])) {
+                        *o = a + b;
+                    }
                 } else {
                     // Embedding gradient.
                     for (j, &d) in dx.iter().enumerate() {

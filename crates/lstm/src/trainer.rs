@@ -172,6 +172,13 @@ impl Trainer {
         }
 
         let rec = hlm_obs::global();
+        // Per-chunk worker models, allocated once and reused across every
+        // mini-batch and epoch: each batch re-syncs parameter values in place
+        // (`sync_params_from`) instead of cloning a fresh model per chunk.
+        let mut workers: Vec<LstmLm> = Vec::new();
+        // Rough serial cost of one token's forward+backward in ns: a handful
+        // of multiply-adds per scalar parameter.
+        let token_cost = 6 * model.parameter_count() as u64;
         for epoch in start_epoch as usize..self.opts.epochs {
             ctrl.begin_iteration(epoch as u64)?;
             let epoch_t0 = rec.is_enabled().then(std::time::Instant::now);
@@ -193,23 +200,37 @@ impl Trainer {
                     .map(|&idx| model.draw_masks(&train[idx]))
                     .collect();
                 let n_chunks = hlm_par::chunk_count(batch.len(), SEQ_CHUNK);
+                while workers.len() < n_chunks {
+                    workers.push(model.clone());
+                }
+                let batch_tokens: u64 = batch.iter().map(|&i| train[i].len() as u64 + 1).sum();
+                let budget = hlm_par::Budget::items(batch_tokens as usize, token_cost);
                 let snapshot: &LstmLm = model;
-                let results = pool.run(n_chunks, |c| {
-                    let (lo, hi) = hlm_par::chunk_bounds(batch.len(), SEQ_CHUNK, c);
-                    let mut worker = snapshot.clone();
-                    let mut nll = 0.0;
-                    let mut n = 0usize;
-                    for i in lo..hi {
-                        let (l, cnt) = worker.train_sequence_masked(&train[batch[i]], &masks[i]);
-                        nll += l;
-                        n += cnt;
-                    }
-                    (worker, nll, n)
-                });
-                for (worker, nll, n) in results {
+                let mut views: Vec<&mut LstmLm> = workers[..n_chunks].iter_mut().collect();
+                let results = hlm_par::par_for_each_scratch(
+                    &pool,
+                    budget,
+                    &mut views,
+                    || (),
+                    |_, c, worker| {
+                        worker.sync_params_from(snapshot);
+                        let (lo, hi) = hlm_par::chunk_bounds(batch.len(), SEQ_CHUNK, c);
+                        let mut nll = 0.0;
+                        let mut n = 0usize;
+                        for i in lo..hi {
+                            let (l, cnt) =
+                                worker.train_sequence_masked(&train[batch[i]], &masks[i]);
+                            nll += l;
+                            n += cnt;
+                        }
+                        (nll, n)
+                    },
+                );
+                drop(views);
+                for (&(nll, n), worker) in results.iter().zip(&workers[..n_chunks]) {
                     total_nll += nll;
                     total_tokens += n;
-                    model.accumulate_grads(&worker);
+                    model.accumulate_grads(worker);
                 }
                 // Gradient norm must be read before Adam zeroes the grads;
                 // pure observation, gated so disabled runs pay nothing.

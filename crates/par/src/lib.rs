@@ -1,9 +1,12 @@
 //! Deterministic data-parallel runtime for the hidden-layer-models
 //! workspace.
 //!
-//! Everything here is std-only: a scoped worker pool built on
-//! [`std::thread::scope`] plus a small set of chunked primitives. The design
-//! contract is **determinism independent of thread count**:
+//! Everything here is std-only: a lazily-initialized **persistent worker
+//! pool** (workers park on a channel `recv` and are fed lifetime-erased
+//! jobs; no thread is spawned per call) plus a small set of chunked
+//! primitives and a work-size **cost model** that routes small inputs to
+//! the serial path. The design contract is **determinism independent of
+//! thread count**:
 //!
 //! * **Fixed chunk assignment** — chunk boundaries are a pure function of
 //!   the data size and the chunk size, never of the worker count. The same
@@ -17,16 +20,45 @@
 //!   datagen) consume independent streams that do not depend on scheduling.
 //!
 //! Under this contract a run with one worker and a run with sixteen produce
-//! bit-identical results; parallelism only changes wall-clock time. That is
-//! what lets the parallel trainers keep the checkpoint/resume bit-identity
-//! guarantees introduced with the resilience layer.
+//! bit-identical results; parallelism — and the cost model's serial
+//! fallback — only change wall-clock time. That is what lets the parallel
+//! trainers keep the checkpoint/resume bit-identity guarantees introduced
+//! with the resilience layer.
+//!
+//! # Pool lifecycle
+//!
+//! Workers are process-global and spawned on first parallel dispatch, grown
+//! on demand up to the widest width ever requested, and then reused by
+//! every later call ([`Pool`] itself is a cheap `Copy` scheduling handle).
+//! Between jobs they are parked inside `Receiver::recv`. [`shutdown_pool`]
+//! closes the channels and joins every worker (the next dispatch respawns
+//! lazily); at process exit the OS reclaims parked workers, so calling it
+//! is optional. A job dispatched *from inside* a pool worker (nested
+//! parallelism) runs on the serial path — same results, no risk of a
+//! worker waiting on its own queue.
+//!
+//! # Cost model
+//!
+//! Spawning was free to decide when threads were scoped per call; with any
+//! pool, dispatch itself has a fixed cost (wake + schedule + join
+//! handshake), so parallelizing tiny inputs is a pure penalty. Callers
+//! describe a call's total work with a [`Budget`] (1 unit ≈ 1 ns of serial
+//! inner-loop time); the `*_budgeted` entry points compare it against
+//! [`par_threshold`] — calibrated once per process from the measured
+//! dispatch latency, overridable via `HLM_PAR_THRESHOLD` or
+//! [`set_par_threshold`] — and fall back to the serial path when the work
+//! cannot amortize the dispatch. The decision only ever picks *which
+//! schedule* executes the fixed chunk plan, never what it computes.
 //!
 //! The worker count comes from, in priority order: an explicit
 //! [`Pool::new`], the process-wide [`set_threads`] override (the engine's
 //! `--threads` option), the `HLM_THREADS` environment variable, and finally
 //! [`std::thread::available_parallelism`].
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 use std::time::Instant;
 
@@ -60,18 +92,306 @@ pub fn effective_threads() -> usize {
     thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// A worker pool of a fixed size. The pool is scoped: each parallel call
-/// spawns its workers inside [`std::thread::scope`] and joins them before
-/// returning, so borrowed data flows into tasks without `'static` bounds
-/// and a panicking task propagates to the caller.
+// ---------------------------------------------------------------------------
+// Cost model
+// ---------------------------------------------------------------------------
+
+/// Sentinel for "no override installed" in [`set_par_threshold`].
+const THRESHOLD_UNSET: u64 = u64::MAX;
+
+/// Multiple of the measured dispatch latency a call's work must exceed
+/// before the pool engages.
+const PAR_AMORTIZE: u64 = 32;
+
+/// Calibration clamp: even on hardware where dispatch measures very cheap,
+/// anything under ~1 ms of work is not worth waking workers for — and even
+/// on a noisy box the threshold must not grow past the point where real
+/// paper-scale sweeps (tens of ms) stay serial.
+const MIN_PAR_THRESHOLD: u64 = 1_000_000;
+const MAX_PAR_THRESHOLD: u64 = 16_000_000;
+
+static THRESHOLD_OVERRIDE: AtomicU64 = AtomicU64::new(THRESHOLD_UNSET);
+static CALIBRATED_THRESHOLD: OnceLock<u64> = OnceLock::new();
+
+/// Approximate total work of one parallel call, in units of ~1 ns of serial
+/// inner-loop time. The `*_budgeted` entry points compare it against
+/// [`par_threshold`] and take the serial path when the work is too small to
+/// amortize a pool dispatch. [`Budget::UNBOUNDED`] always engages the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    work: u64,
+}
+
+impl Budget {
+    /// A budget that always engages the pool (the pre-cost-model
+    /// behaviour). Used where the caller knows the work is large or has no
+    /// cheap estimate.
+    pub const UNBOUNDED: Budget = Budget { work: u64::MAX };
+
+    /// A budget of `work` units (≈ nanoseconds of serial work).
+    pub const fn units(work: u64) -> Self {
+        Budget { work }
+    }
+
+    /// `n` items at `unit_cost` units each, saturating.
+    pub fn items(n: usize, unit_cost: u64) -> Self {
+        Budget {
+            work: (n as u64).saturating_mul(unit_cost),
+        }
+    }
+
+    /// The estimated work in units.
+    pub fn work(self) -> u64 {
+        self.work
+    }
+
+    /// Whether this much work should engage `workers` pool workers. A pure
+    /// function of the budget and the process-wide threshold — never of
+    /// scheduling — so the serial/parallel choice is reproducible.
+    /// `UNBOUNDED` engages without consulting (or calibrating) the
+    /// threshold.
+    pub fn engages(self, workers: usize) -> bool {
+        if workers <= 1 {
+            return false;
+        }
+        if self.work == u64::MAX {
+            return true;
+        }
+        self.work >= par_threshold()
+    }
+}
+
+/// Installs (`Some(units)`) or clears (`None`) a process-wide override of
+/// the parallelism threshold. With the override cleared the threshold comes
+/// from `HLM_PAR_THRESHOLD` or the one-time calibration. Tests pin
+/// `Some(0)` to force the parallel path and large values to force serial.
+pub fn set_par_threshold(units: Option<u64>) {
+    THRESHOLD_OVERRIDE.store(units.unwrap_or(THRESHOLD_UNSET), Ordering::Relaxed);
+}
+
+/// The minimum [`Budget`] work (in units) a call needs before the pool
+/// engages. Priority: [`set_par_threshold`] override, `HLM_PAR_THRESHOLD`,
+/// then a one-time calibration that measures the pool's empty-job dispatch
+/// latency and multiplies it by an amortization factor (clamped to
+/// `[1e6, 16e6]` units).
+pub fn par_threshold() -> u64 {
+    let over = THRESHOLD_OVERRIDE.load(Ordering::Relaxed);
+    if over != THRESHOLD_UNSET {
+        return over;
+    }
+    if let Ok(s) = std::env::var("HLM_PAR_THRESHOLD") {
+        if let Ok(n) = s.trim().parse::<u64>() {
+            return n;
+        }
+    }
+    *CALIBRATED_THRESHOLD.get_or_init(calibrate_threshold)
+}
+
+/// Measures the round-trip latency of an empty two-slot dispatch (best of a
+/// few rounds, so scheduler noise inflates nothing) and converts it into a
+/// work threshold.
+fn calibrate_threshold() -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..16 {
+        let t0 = Instant::now();
+        dispatch(2, &|_slot| {});
+        best = best.min(t0.elapsed().as_nanos() as u64);
+    }
+    best.saturating_mul(PAR_AMORTIZE)
+        .clamp(MIN_PAR_THRESHOLD, MAX_PAR_THRESHOLD)
+}
+
+// ---------------------------------------------------------------------------
+// Persistent worker pool
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Set for the lifetime of a pool worker thread; a dispatch attempted
+    /// from such a thread runs serially instead (nested parallelism).
+    static IN_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn in_pool_worker() -> bool {
+    IN_POOL_WORKER.with(|c| c.get())
+}
+
+/// One parallel call in flight. `body` is the caller's slot closure with
+/// its lifetime erased; the dispatching thread blocks until `remaining`
+/// background slots have finished, so the borrow outlives every use.
+struct Job {
+    body: &'static (dyn Fn(usize) + Sync),
+    state: Mutex<JobState>,
+    cv: Condvar,
+}
+
+struct JobState {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Channel end a background worker receives `(job, slot)` assignments on.
+type JobSender = Sender<(Arc<Job>, usize)>;
+
+/// One worker slot's assigned `(chunk index, chunk)` pairs plus the
+/// per-chunk results it produced, in assignment order.
+type SlotWork<'a, U, R> = Mutex<(Vec<(usize, &'a mut U)>, Vec<(usize, R)>)>;
+
+impl Job {
+    /// # Safety
+    /// The caller must not return (or otherwise invalidate `body`) until
+    /// the job's `remaining` count has reached zero.
+    unsafe fn new(body: &(dyn Fn(usize) + Sync), remaining: usize) -> Job {
+        let body: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(body) };
+        Job {
+            body,
+            state: Mutex::new(JobState {
+                remaining,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// The process-global persistent worker set, grown lazily and reused by
+/// every [`Pool`] handle.
+struct Runtime {
+    set: Mutex<WorkerSet>,
+    /// Slot messages sent but not yet picked up by a worker — the pool's
+    /// task-queue depth, observed into a histogram at dispatch time.
+    inflight: AtomicUsize,
+}
+
+#[derive(Default)]
+struct WorkerSet {
+    senders: Vec<Sender<(Arc<Job>, usize)>>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+fn runtime() -> &'static Runtime {
+    static RUNTIME: OnceLock<Runtime> = OnceLock::new();
+    RUNTIME.get_or_init(|| Runtime {
+        set: Mutex::new(WorkerSet::default()),
+        inflight: AtomicUsize::new(0),
+    })
+}
+
+/// Parked-worker main loop: block on `recv`, run the slot, report
+/// completion (and any panic payload) through the job, park again. Exits
+/// when the sender side is dropped by [`shutdown_pool`].
+fn worker_loop(rx: Receiver<(Arc<Job>, usize)>) {
+    IN_POOL_WORKER.with(|c| c.set(true));
+    while let Ok((job, slot)) = rx.recv() {
+        runtime().inflight.fetch_sub(1, Ordering::Relaxed);
+        let result = catch_unwind(AssertUnwindSafe(|| (job.body)(slot)));
+        let mut st = job.state.lock().expect("job state poisoned");
+        if let Err(payload) = result {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            job.cv.notify_all();
+        }
+    }
+}
+
+/// Ensures at least `n` background workers exist; returns their senders and
+/// how many had to be spawned (0 = a fully warm pool was reused).
+fn ensure_workers(n: usize) -> (Vec<JobSender>, usize) {
+    let rt = runtime();
+    let mut set = rt.set.lock().expect("worker set poisoned");
+    let mut spawned = 0;
+    while set.senders.len() < n {
+        let (tx, rx) = channel();
+        let idx = set.senders.len();
+        let handle = thread::Builder::new()
+            .name(format!("hlm-par-worker-{idx}"))
+            .spawn(move || worker_loop(rx))
+            .expect("failed to spawn pool worker");
+        set.senders.push(tx);
+        set.handles.push(handle);
+        spawned += 1;
+    }
+    (set.senders[..n].to_vec(), spawned)
+}
+
+/// Runs `body(slot)` for every slot in `0..slots`: slot 0 inline on the
+/// calling thread, the rest on parked pool workers. Blocks until every slot
+/// has finished, then re-raises the first panic (caller's slot wins).
+fn dispatch(slots: usize, body: &(dyn Fn(usize) + Sync)) {
+    debug_assert!(slots >= 2, "dispatch needs at least one background slot");
+    let rec = hlm_obs::global();
+    let background = slots - 1;
+    let (senders, spawned) = ensure_workers(background);
+    if spawned == 0 {
+        rec.add("par.pool_reused", 1);
+    } else {
+        rec.add("par.pool_spawned", spawned as u64);
+    }
+    let rt = runtime();
+    let depth = rt.inflight.fetch_add(background, Ordering::Relaxed) + background;
+    rec.observe("par.queue_depth", depth as f64);
+    // SAFETY: this function does not return until `remaining` is zero, so
+    // `body` outlives every worker dereference.
+    let job = Arc::new(unsafe { Job::new(body, background) });
+    for (i, tx) in senders.iter().enumerate() {
+        tx.send((Arc::clone(&job), i + 1))
+            .expect("pool worker channel closed mid-dispatch");
+    }
+    let caller = catch_unwind(AssertUnwindSafe(|| body(0)));
+    let mut st = job.state.lock().expect("job state poisoned");
+    while st.remaining > 0 {
+        st = job.cv.wait(st).expect("job state poisoned");
+    }
+    let worker_panic = st.panic.take();
+    drop(st);
+    if let Err(payload) = caller {
+        resume_unwind(payload);
+    }
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
+}
+
+/// Shuts the persistent pool down cleanly: closes every task channel and
+/// joins the parked workers. Must only be called while no parallel call is
+/// in flight. The next parallel dispatch lazily respawns workers, so this
+/// is optional housekeeping (at process exit the OS reclaims parked
+/// threads) — useful for tests and for embedders that audit thread leaks.
+pub fn shutdown_pool() {
+    let rt = runtime();
+    let mut set = rt.set.lock().expect("worker set poisoned");
+    set.senders.clear();
+    for handle in set.handles.drain(..) {
+        let _ = handle.join();
+    }
+}
+
+/// Number of live background pool workers (diagnostic; used by tests to
+/// assert reuse and clean shutdown).
+pub fn pool_workers() -> usize {
+    runtime()
+        .set
+        .lock()
+        .expect("worker set poisoned")
+        .senders
+        .len()
+}
+
+/// A scheduling handle of a fixed logical width. All handles share the one
+/// process-global persistent worker set; `threads` only bounds how many
+/// slots a call may occupy, so the handle stays a trivial `Copy` value.
 #[derive(Debug, Clone, Copy)]
 pub struct Pool {
     threads: usize,
 }
 
 impl Pool {
-    /// A pool with an explicit worker count (at least 1). Used directly by
-    /// the determinism tests to pin specific counts such as 1, 2 and 7.
+    /// A pool handle with an explicit worker count (at least 1). Used
+    /// directly by the determinism tests to pin specific counts such as 1,
+    /// 2 and 7.
     ///
     /// # Panics
     /// Panics if `threads` is 0.
@@ -94,10 +414,23 @@ impl Pool {
     }
 
     /// Runs `n_tasks` independent tasks and returns their results **in task
-    /// order**. Tasks are handed to workers through an atomic counter;
-    /// because each result is keyed by its task index, the output is
-    /// independent of which worker ran what.
+    /// order**, always engaging the pool when more than one worker fits
+    /// (the [`Budget::UNBOUNDED`] cost). Tasks are handed to slots through
+    /// an atomic counter; because each result is keyed by its task index,
+    /// the output is independent of which worker ran what.
     pub fn run<R, F>(&self, n_tasks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        self.run_budgeted(Budget::UNBOUNDED, n_tasks, f)
+    }
+
+    /// [`Pool::run`] with a cost model: when `budget` is below
+    /// [`par_threshold`] (or the call is nested inside a pool worker) the
+    /// tasks run serially on the calling thread — same results, no dispatch
+    /// overhead.
+    pub fn run_budgeted<R, F>(&self, budget: Budget, n_tasks: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
@@ -107,43 +440,41 @@ impl Pool {
         }
         // Task/run counters depend only on the task count, so totals are
         // identical whichever path executes. Per-worker figures (busy time,
-        // queue imbalance) are wall-clock observations and naturally vary.
+        // queue depth, pool reuse) are scheduling observations and
+        // naturally vary.
         let rec = hlm_obs::global();
         rec.add("par.runs", 1);
         rec.add("par.tasks", n_tasks as u64);
         let workers = self.threads.min(n_tasks);
-        if workers <= 1 {
+        if workers <= 1 || in_pool_worker() || !budget.engages(workers) {
             return (0..n_tasks).map(f).collect();
         }
         let next = AtomicUsize::new(0);
-        let f = &f;
+        let results: Vec<Mutex<Vec<(usize, R)>>> =
+            (0..workers).map(|_| Mutex::new(Vec::new())).collect();
         let rec = &rec;
-        let per_worker: Vec<Vec<(usize, R)>> = thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    s.spawn(|| {
-                        let t0 = rec.is_enabled().then(Instant::now);
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n_tasks {
-                                break;
-                            }
-                            local.push((i, f(i)));
-                        }
-                        if let Some(t0) = t0 {
-                            rec.observe("par.worker_busy_seconds", t0.elapsed().as_secs_f64());
-                            rec.observe("par.worker_tasks", local.len() as f64);
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("pool worker panicked"))
-                .collect()
-        });
+        let f = &f;
+        let body = |slot: usize| {
+            let t0 = rec.is_enabled().then(Instant::now);
+            let mut local = Vec::new();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_tasks {
+                    break;
+                }
+                local.push((i, f(i)));
+            }
+            if let Some(t0) = t0 {
+                rec.observe("par.worker_busy_seconds", t0.elapsed().as_secs_f64());
+                rec.observe("par.worker_tasks", local.len() as f64);
+            }
+            *results[slot].lock().expect("slot results poisoned") = local;
+        };
+        dispatch(workers, &body);
+        let per_worker: Vec<Vec<(usize, R)>> = results
+            .into_iter()
+            .map(|m| m.into_inner().expect("slot results poisoned"))
+            .collect();
         reorder(n_tasks, per_worker)
     }
 }
@@ -182,8 +513,24 @@ where
     R: Send,
     F: Fn(usize, &[T]) -> R + Sync,
 {
+    par_chunks_budgeted(pool, Budget::UNBOUNDED, items, chunk, f)
+}
+
+/// [`par_chunks`] with a cost model (see [`Pool::run_budgeted`]).
+pub fn par_chunks_budgeted<T, R, F>(
+    pool: &Pool,
+    budget: Budget,
+    items: &[T],
+    chunk: usize,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
     let n = chunk_count(items.len(), chunk);
-    pool.run(n, |i| {
+    pool.run_budgeted(budget, n, |i| {
         let (lo, hi) = chunk_bounds(items.len(), chunk, i);
         f(i, &items[lo..hi])
     })
@@ -207,19 +554,59 @@ where
     F: Fn(usize, &[T]) -> R + Sync,
     G: FnMut(A, R) -> A,
 {
-    par_chunks(pool, items, chunk, map)
+    par_map_reduce_budgeted(pool, Budget::UNBOUNDED, items, chunk, map, init, fold)
+}
+
+/// [`par_map_reduce`] with a cost model (see [`Pool::run_budgeted`]).
+pub fn par_map_reduce_budgeted<T, R, A, F, G>(
+    pool: &Pool,
+    budget: Budget,
+    items: &[T],
+    chunk: usize,
+    map: F,
+    init: A,
+    fold: G,
+) -> A
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+    G: FnMut(A, R) -> A,
+{
+    par_chunks_budgeted(pool, budget, items, chunk, map)
         .into_iter()
         .fold(init, fold)
 }
 
 /// Mutates fixed disjoint chunks of `items` in parallel, giving each chunk
 /// a fresh state built by `init(chunk_index)` — typically an RNG seeded via
-/// [`split_seed3`]. Returns one result per chunk, in chunk order. Chunks
-/// are pre-assigned to workers round-robin; since every chunk's work
-/// depends only on its own contents, index and state, the schedule cannot
-/// influence results.
+/// [`split_seed3`], or a reusable scratch buffer sized once per slot.
+/// Returns one result per chunk, in chunk order. Chunks are pre-assigned to
+/// slots round-robin; since every chunk's work depends only on its own
+/// contents, index and state, the schedule cannot influence results.
 pub fn par_for_each_init<T, S, R, I, F>(
     pool: &Pool,
+    items: &mut [T],
+    chunk: usize,
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize, &mut [T]) -> R + Sync,
+{
+    par_for_each_init_budgeted(pool, Budget::UNBOUNDED, items, chunk, init, f)
+}
+
+/// [`par_for_each_init`] with a cost model (see [`Pool::run_budgeted`]).
+/// `init(i)` runs once per **chunk** (it keys RNG streams); for scratch
+/// buffers that should be built once and reused across chunks, see
+/// [`par_for_each_scratch`].
+pub fn par_for_each_init_budgeted<T, S, R, I, F>(
+    pool: &Pool,
+    budget: Budget,
     items: &mut [T],
     chunk: usize,
     init: I,
@@ -242,7 +629,7 @@ where
     rec.add("par.runs", 1);
     rec.add("par.tasks", n as u64);
     let workers = pool.threads.min(n);
-    if workers <= 1 {
+    if workers <= 1 || in_pool_worker() || !budget.engages(workers) {
         return items
             .chunks_mut(chunk.max(1))
             .enumerate()
@@ -256,36 +643,107 @@ where
     for (i, c) in items.chunks_mut(chunk.max(1)).enumerate() {
         assigned[i % workers].push((i, c));
     }
+    let slots: Vec<SlotWork<'_, [T], R>> = assigned
+        .into_iter()
+        .map(|work| Mutex::new((work, Vec::new())))
+        .collect();
+    let rec = &rec;
     let init = &init;
     let f = &f;
-    let rec = &rec;
-    let per_worker: Vec<Vec<(usize, R)>> = thread::scope(|s| {
-        let handles: Vec<_> = assigned
-            .into_iter()
-            .map(|work| {
-                s.spawn(move || {
-                    let t0 = rec.is_enabled().then(Instant::now);
-                    let n_assigned = work.len();
-                    let out = work
-                        .into_iter()
-                        .map(|(i, c)| {
-                            let mut state = init(i);
-                            (i, f(&mut state, i, c))
-                        })
-                        .collect::<Vec<_>>();
-                    if let Some(t0) = t0 {
-                        rec.observe("par.worker_busy_seconds", t0.elapsed().as_secs_f64());
-                        rec.observe("par.worker_tasks", n_assigned as f64);
-                    }
-                    out
-                })
-            })
+    let body = |slot: usize| {
+        let t0 = rec.is_enabled().then(Instant::now);
+        let mut guard = slots[slot].lock().expect("slot work poisoned");
+        let (work, out) = &mut *guard;
+        let n_assigned = work.len();
+        for (i, c) in std::mem::take(work) {
+            let mut state = init(i);
+            out.push((i, f(&mut state, i, c)));
+        }
+        if let Some(t0) = t0 {
+            rec.observe("par.worker_busy_seconds", t0.elapsed().as_secs_f64());
+            rec.observe("par.worker_tasks", n_assigned as f64);
+        }
+    };
+    dispatch(workers, &body);
+    let per_worker: Vec<Vec<(usize, R)>> = slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot work poisoned").1)
+        .collect();
+    reorder(n, per_worker)
+}
+
+/// Processes each element of `items` independently (one element = one work
+/// unit, pre-assigned round-robin), giving every **slot** a single scratch
+/// value built by `init()` that is reused across all the elements the slot
+/// processes — the allocation-free-inner-loop primitive: buffers are sized
+/// once per slot, not once per chunk. Returns one result per element, in
+/// element order.
+///
+/// **Determinism caveat:** which elements share a scratch instance depends
+/// on the schedule width, so `f` must fully overwrite whatever scratch
+/// state it reads — results must be a pure function of `(element index,
+/// element)`, with the scratch acting only as a buffer arena. RNG streams
+/// must be derived inside `f` from the element index (via [`split_seed3`]),
+/// never stored in the scratch.
+pub fn par_for_each_scratch<T, S, R, I, F>(
+    pool: &Pool,
+    budget: Budget,
+    items: &mut [T],
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let rec = hlm_obs::global();
+    rec.add("par.runs", 1);
+    rec.add("par.tasks", n as u64);
+    let workers = pool.threads.min(n);
+    if workers <= 1 || in_pool_worker() || !budget.engages(workers) {
+        let mut scratch = init();
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| f(&mut scratch, i, item))
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("pool worker panicked"))
-            .collect()
-    });
+    }
+    let mut assigned: Vec<Vec<(usize, &mut T)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, item) in items.iter_mut().enumerate() {
+        assigned[i % workers].push((i, item));
+    }
+    let slots: Vec<SlotWork<'_, T, R>> = assigned
+        .into_iter()
+        .map(|work| Mutex::new((work, Vec::new())))
+        .collect();
+    let rec = &rec;
+    let init = &init;
+    let f = &f;
+    let body = |slot: usize| {
+        let t0 = rec.is_enabled().then(Instant::now);
+        let mut guard = slots[slot].lock().expect("slot work poisoned");
+        let (work, out) = &mut *guard;
+        let n_assigned = work.len();
+        let mut scratch = init();
+        for (i, item) in std::mem::take(work) {
+            out.push((i, f(&mut scratch, i, item)));
+        }
+        if let Some(t0) = t0 {
+            rec.observe("par.worker_busy_seconds", t0.elapsed().as_secs_f64());
+            rec.observe("par.worker_tasks", n_assigned as f64);
+        }
+    };
+    dispatch(workers, &body);
+    let per_worker: Vec<Vec<(usize, R)>> = slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot work poisoned").1)
+        .collect();
     reorder(n, per_worker)
 }
 
@@ -313,6 +771,15 @@ pub fn split_seed3(master: u64, a: u64, b: u64) -> u64 {
 mod tests {
     use super::*;
 
+    /// The pool, the threshold override and the worker set are all
+    /// process-global, and the default test harness runs tests
+    /// concurrently — serialize every test that touches them.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn chunk_bounds_cover_exactly() {
         for len in [0usize, 1, 5, 64, 65, 1000] {
@@ -333,6 +800,7 @@ mod tests {
 
     #[test]
     fn run_returns_results_in_task_order() {
+        let _g = lock();
         for workers in [1, 2, 3, 7, 16] {
             let pool = Pool::new(workers);
             let out = pool.run(23, |i| i * i);
@@ -342,6 +810,7 @@ mod tests {
 
     #[test]
     fn par_chunks_is_thread_count_independent() {
+        let _g = lock();
         let items: Vec<f64> = (0..997).map(|i| (i as f64).sin()).collect();
         let serial = par_chunks(&Pool::new(1), &items, 64, |i, c| (i, c.iter().sum::<f64>()));
         for workers in [2, 7] {
@@ -354,6 +823,7 @@ mod tests {
 
     #[test]
     fn par_map_reduce_folds_in_chunk_order() {
+        let _g = lock();
         let items: Vec<u32> = (0..100).collect();
         for workers in [1, 2, 7] {
             let order = par_map_reduce(
@@ -373,6 +843,7 @@ mod tests {
 
     #[test]
     fn par_for_each_init_mutates_disjoint_chunks() {
+        let _g = lock();
         let mut serial: Vec<u64> = vec![0; 137];
         par_for_each_init(
             &Pool::new(1),
@@ -403,6 +874,37 @@ mod tests {
     }
 
     #[test]
+    fn par_for_each_scratch_reuses_one_buffer_per_slot() {
+        let _g = lock();
+        // Scratch identity: count how many times init() ran. On the serial
+        // path exactly once; on the parallel path at most one per slot.
+        for workers in [1usize, 2, 7] {
+            let inits = AtomicUsize::new(0);
+            let mut items: Vec<u64> = (0..23).collect();
+            let out = par_for_each_scratch(
+                &Pool::new(workers),
+                Budget::UNBOUNDED,
+                &mut items,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    vec![0u64; 4]
+                },
+                |scratch, i, item| {
+                    // Fully overwrite the scratch before reading it, as the
+                    // contract demands.
+                    scratch[0] = *item * 3;
+                    *item = scratch[0];
+                    i as u64 + scratch[0]
+                },
+            );
+            let expect: Vec<u64> = (0..23).map(|i| i + i * 3).collect();
+            assert_eq!(out, expect, "workers {workers}");
+            assert_eq!(items, (0..23).map(|i| i * 3).collect::<Vec<_>>());
+            assert!(inits.load(Ordering::Relaxed) <= workers.min(23));
+        }
+    }
+
+    #[test]
     fn split_seed_separates_streams() {
         let seeds: Vec<u64> = (0..64).map(|i| split_seed(7, i)).collect();
         let mut uniq = seeds.clone();
@@ -419,6 +921,7 @@ mod tests {
 
     #[test]
     fn set_threads_overrides_policy() {
+        let _g = lock();
         set_threads(5);
         assert_eq!(effective_threads(), 5);
         assert_eq!(Pool::global().threads(), 5);
@@ -428,6 +931,7 @@ mod tests {
 
     #[test]
     fn pool_propagates_worker_panic() {
+        let _g = lock();
         let caught = std::panic::catch_unwind(|| {
             Pool::new(4).run(8, |i| {
                 if i == 3 {
@@ -437,5 +941,82 @@ mod tests {
             })
         });
         assert!(caught.is_err());
+        // The pool must stay usable after a panicked job.
+        assert_eq!(Pool::new(4).run(4, |i| i + 1), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn workers_persist_across_calls() {
+        let _g = lock();
+        let pool = Pool::new(3);
+        let _ = pool.run(8, |i| i);
+        let after_first = pool_workers();
+        assert!(after_first >= 2, "background workers should be live");
+        let _ = pool.run(8, |i| i);
+        assert_eq!(
+            pool_workers(),
+            after_first,
+            "second run must reuse, not respawn"
+        );
+    }
+
+    #[test]
+    fn cost_model_takes_serial_path_for_small_budgets() {
+        let _g = lock();
+        let main = thread::current().id();
+        set_par_threshold(Some(1_000_000));
+        // Work far below the threshold: every task runs on the caller.
+        let ids = Pool::new(4).run_budgeted(Budget::units(10), 8, |_| thread::current().id());
+        assert!(
+            ids.iter().all(|id| *id == main),
+            "small budget must stay serial"
+        );
+        let mut items = vec![0u8; 64];
+        let chunk_threads = par_for_each_init_budgeted(
+            &Pool::new(4),
+            Budget::units(10),
+            &mut items,
+            8,
+            |_| (),
+            |_, _, _| thread::current().id(),
+        );
+        assert!(chunk_threads.iter().all(|id| *id == main));
+        set_par_threshold(None);
+    }
+
+    #[test]
+    fn nested_dispatch_runs_serially_without_deadlock() {
+        let _g = lock();
+        let out = Pool::new(3).run(4, |i| {
+            // A parallel call from inside a pool worker must not wait on
+            // its own queue; it degrades to the serial path.
+            Pool::new(3).run(3, move |j| i * 10 + j)
+        });
+        let expect: Vec<Vec<usize>> = (0..4)
+            .map(|i| (0..3).map(|j| i * 10 + j).collect())
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn shutdown_then_reuse_respawns_lazily() {
+        let _g = lock();
+        let _ = Pool::new(2).run(4, |i| i);
+        shutdown_pool();
+        assert_eq!(pool_workers(), 0);
+        assert_eq!(Pool::new(2).run(3, |i| i * 2), vec![0, 2, 4]);
+        assert!(pool_workers() >= 1);
+    }
+
+    #[test]
+    fn budget_engage_rules() {
+        let _g = lock();
+        set_par_threshold(Some(500));
+        assert!(!Budget::units(499).engages(4));
+        assert!(Budget::units(500).engages(4));
+        assert!(!Budget::units(500).engages(1), "one worker never engages");
+        assert!(Budget::UNBOUNDED.engages(2));
+        assert_eq!(Budget::items(10, 60).work(), 600);
+        set_par_threshold(None);
     }
 }

@@ -39,6 +39,12 @@ fn invariant_across_thread_counts<T: PartialEq + std::fmt::Debug>(
 
 #[test]
 fn parallel_hot_paths_are_bit_identical_across_thread_counts() {
+    // Force the cost model's hand: these corpora are far below the real
+    // parallelism threshold, and a serial run at every thread count would
+    // pass vacuously. Threshold 0 makes every budgeted call engage the
+    // persistent pool.
+    hlm_par::set_par_threshold(Some(0));
+
     // Corpus generation: per-company RNG streams, ordered site-id assignment.
     let corpus = invariant_across_thread_counts("datagen", || {
         let c = test_corpus(250, 71);
@@ -129,4 +135,69 @@ fn parallel_hot_paths_are_bit_identical_across_thread_counts() {
             .map(|x| x.to_bits())
             .collect::<Vec<_>>()
     });
+
+    // Cost-model serial fallback: with the threshold forced above any
+    // budget, a 7-thread run must take the serial path and still produce
+    // the same bits — the serial/parallel choice is an optimization, never
+    // a behaviour change.
+    let lda_bits = || {
+        let (model, _) = quick_lda(&corpus, &split.train, 3);
+        let ppl = document_completion_perplexity(&model, &test_docs).to_bits();
+        (
+            model
+                .phi()
+                .as_slice()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>(),
+            ppl,
+        )
+    };
+    hlm_par::set_par_threshold(Some(0));
+    hlm_engine::set_threads(7);
+    let engaged = lda_bits();
+    hlm_par::set_par_threshold(Some(u64::MAX));
+    let serial_fallback = lda_bits();
+    assert_eq!(
+        engaged, serial_fallback,
+        "the cost model's serial fallback must be bit-identical to the pooled run"
+    );
+
+    // Persistent pool reuse: repeated engine training runs must dispatch to
+    // the already-spawned workers instead of spawning fresh ones. The
+    // counters come from the recorder, which observes without perturbing.
+    hlm_par::set_par_threshold(Some(0));
+    hlm_engine::set_threads(2);
+    hlm_obs::install(hlm_obs::Recorder::enabled());
+    let ids: Vec<_> = corpus.ids().collect();
+    let specs = vec![
+        hlm_engine::ModelSpec::Ngram(hlm_ngram::NgramConfig::unigram(corpus.vocab().len())),
+        hlm_engine::ModelSpec::Ngram(hlm_ngram::NgramConfig::trigram(corpus.vocab().len())),
+    ];
+    let engine = hlm_engine::Engine::new(corpus.clone());
+    for _ in 0..3 {
+        let results = engine.train_many(&specs, &ids, hlm_corpus::Month(i32::MAX));
+        assert!(results.iter().all(Result::is_ok));
+    }
+    let snap = hlm_obs::global().snapshot();
+    let counter = |name: &str| -> u64 {
+        snap.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    assert!(
+        counter("par.pool_reused") >= 2,
+        "later dispatches must reuse the persistent pool's workers"
+    );
+    assert!(
+        counter("par.pool_spawned") <= 6,
+        "workers spawn at most once per slot (≤6 background workers for 7 threads)"
+    );
+    hlm_obs::install(hlm_obs::Recorder::noop());
+
+    // Restore the process-global knobs for any later process reuse.
+    hlm_par::set_par_threshold(None);
+    hlm_engine::set_threads(0);
 }

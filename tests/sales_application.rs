@@ -212,3 +212,54 @@ fn bad_inputs_surface_typed_errors_not_panics() {
         _ => panic!("unknown model kinds must be rejected"),
     }
 }
+
+#[test]
+fn serving_cache_memoizes_and_is_invalidated_on_retrain() {
+    let corpus = test_corpus(250, 63);
+    let ids: Vec<_> = corpus.ids().collect();
+    let (lda, docs) = quick_lda(&corpus, &ids, 3);
+    let reps = lda_representations(&lda, &docs);
+    let engine = Engine::new(corpus);
+    let app = engine
+        .sales_app(reps, DistanceMetric::Cosine)
+        .expect("shapes match");
+    let query = CompanyId(7);
+    let filter = CompanyFilter::default();
+
+    // First query populates the shared cache; the replayed answer is
+    // identical to the computed one.
+    assert!(engine.serving_cache().is_empty());
+    let cold = app.find_similar(query, 5, &filter).expect("id in range");
+    assert_eq!(engine.serving_cache().len(), 1);
+    let warm = app.find_similar(query, 5, &filter).expect("id in range");
+    assert_eq!(cold, warm, "cache hit must replay the computed answer");
+    assert_eq!(engine.serving_cache().len(), 1, "a hit must not re-insert");
+
+    // Any training run invalidates: the generation advances and every
+    // memoized entry is dropped, so post-retrain applications can never
+    // serve rankings computed against the old model.
+    let generation = engine.serving_cache().generation();
+    let spec =
+        hlm_engine::ModelSpec::Ngram(hlm_ngram::NgramConfig::unigram(app.corpus().vocab().len()));
+    engine.train_full(&spec).expect("unigram spec is valid");
+    assert!(engine.serving_cache().generation() > generation);
+    assert!(engine.serving_cache().is_empty());
+
+    // A fresh application built after the retrain gets correct answers and
+    // repopulates the cache under the new generation; the pre-retrain app
+    // still answers correctly (recomputing under its stale generation).
+    let app2 = engine
+        .sales_app(
+            hlm_core::representations::raw_binary(app.corpus(), &ids),
+            DistanceMetric::Cosine,
+        )
+        .expect("shapes match");
+    let fresh = app2.find_similar(query, 5, &filter).expect("id in range");
+    assert_eq!(engine.serving_cache().len(), 1);
+    assert_eq!(
+        fresh,
+        app2.find_similar(query, 5, &filter).expect("id in range")
+    );
+    let stale = app.find_similar(query, 5, &filter).expect("id in range");
+    assert_eq!(stale, cold, "stale app recomputes the same answer");
+}

@@ -51,6 +51,42 @@ impl Criterion {
         println!("{id:<44} {:>12.3?}/iter ({} iters)", mean, bencher.iters);
         self
     }
+
+    /// Opens a named group of benchmarks. The group prefixes its benchmark
+    /// ids with `name/` and accepts (but does not interpret) the upstream
+    /// sampling knobs.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks, matching the upstream surface the
+/// workspace's benches use: [`BenchmarkGroup::sample_size`],
+/// [`BenchmarkGroup::bench_function`] and [`BenchmarkGroup::finish`].
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for upstream compatibility; the shim's fixed time budget
+    /// already bounds slow benchmarks.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` as `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for upstream compatibility).
+    pub fn finish(self) {}
 }
 
 /// Timing loop handle passed to benchmark closures.
