@@ -1,6 +1,7 @@
-//! `hlm-bench` — wall-clock benchmark of the hot paths (PR 5).
+//! `hlm-bench` — wall-clock benchmark of the hot paths (PR 5) and the
+//! out-of-core sharded pipeline (PR 6).
 //!
-//! Three phases, all on the same corpus and seed:
+//! Phases, all on the same seed:
 //!
 //! 1. **LDA train+eval** at 1 worker thread and at 8. The runtime is
 //!    deterministic by construction, so both runs must produce the *same*
@@ -16,22 +17,37 @@
 //!    then warm (same queries again), with the cache hit rate read back
 //!    from the `serve.cache_*` observability counters. Warm answers are
 //!    asserted identical to cold ones.
+//! 4. **Sharded out-of-core pipeline** — stream-generates the corpus to
+//!    disk shards (never materialising it in RAM), trains one sharded
+//!    Gibbs fit and one online-VB epoch over the store, and records
+//!    tokens/s plus the process peak RSS against an estimate of the
+//!    in-memory footprint.
+//!
+//! At `HLM_SCALE=xl` (one million companies) phases 1–3 are skipped —
+//! the whole point of that scale is that the corpus does not fit the
+//! in-memory path comfortably — and phase 4 is the entire benchmark, so
+//! the recorded peak RSS belongs to the sharded pipeline alone.
 //!
 //! Usage:
 //!   hlm-bench [--json [PATH]]
 //!
-//! `--json` writes the machine-readable record (default `BENCH_pr5.json`)
+//! `--json` writes the machine-readable record (default `BENCH_pr6.json`)
 //! next to the human-readable stdout summary. Scale follows `HLM_SCALE`
-//! (`smoke|small|medium|paper`, default `small`).
+//! (`smoke|small|medium|paper|xl`, default `small`).
 //!
 //! Note on interpreting speedup: the numbers are honest wall-clock on the
 //! machine the binary runs on (`hardware_threads` records what that machine
 //! has). On a single-core host the 8-thread run cannot beat the serial one;
-//! the cost model's job is to make sure it does not *lose* either.
+//! the cost model's job is to make sure it does not *lose* either. When the
+//! host or the scale makes a number structurally untrustworthy the record
+//! says so in its `caveat` field — read it before quoting any figure.
 
+use hlm_bench::ExpScale;
 use hlm_core::{CompanyFilter, DistanceMetric};
-use hlm_engine::{effective_threads, set_threads, Engine};
-use hlm_lda::{document_completion_perplexity, GibbsTrainer, LdaConfig};
+use hlm_corpus::CorpusSource;
+use hlm_datagen::GeneratorConfig;
+use hlm_engine::{effective_threads, set_threads, Engine, TrainPlan};
+use hlm_lda::{document_completion_perplexity, GibbsTrainer, LdaConfig, OnlineVbOptions};
 use hlm_obs::json;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -41,6 +57,48 @@ struct Run {
     train_seconds: f64,
     eval_seconds: f64,
     perplexity: f64,
+}
+
+/// Everything phases 1–3 measure (in-memory pipeline; skipped at xl).
+struct InMemReport {
+    companies: usize,
+    products: usize,
+    train_docs: usize,
+    test_docs: usize,
+    train_tokens: usize,
+    n_iters: usize,
+    runs: Vec<Run>,
+    deterministic: bool,
+    speedup_train: f64,
+    parallel_penalty: f64,
+    gibbs_tokens_per_second: f64,
+    pr3_baseline: Option<(f64, f64)>,
+    serve_queries: usize,
+    serve_k: usize,
+    cold_p50: f64,
+    cold_p99: f64,
+    warm_p50: f64,
+    warm_p99: f64,
+    hit_rate: f64,
+}
+
+/// Everything phase 4 measures (sharded out-of-core pipeline; always runs).
+struct ShardedReport {
+    companies: u64,
+    tokens: u64,
+    n_shards: usize,
+    shard_size: u64,
+    disk_bytes: u64,
+    gen_seconds: f64,
+    gibbs_sweeps: usize,
+    gibbs_seconds: f64,
+    gibbs_tokens_per_second: f64,
+    vb_epochs: usize,
+    vb_seconds: f64,
+    vb_tokens_per_second: f64,
+    peak_rss_bytes: u64,
+    in_memory_bytes_estimate: u64,
+    rss_ratio: f64,
 }
 
 /// p-th percentile (0..=100) of an unsorted latency sample, in seconds.
@@ -61,27 +119,19 @@ fn pr3_serial_train_seconds(raw: &str) -> Option<f64> {
     tail.split([',', '}']).next()?.trim().parse().ok()
 }
 
-fn main() {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let (want_json, json_path) = match argv.first().map(String::as_str) {
-        None => (false, String::new()),
-        Some("--json") => (
-            true,
-            argv.get(1)
-                .cloned()
-                .unwrap_or_else(|| "BENCH_pr5.json".to_string()),
-        ),
-        Some(other) => {
-            eprintln!("unknown option {other:?}; usage: hlm-bench [--json [PATH]]");
-            std::process::exit(2);
-        }
-    };
+/// What the in-memory pipeline keeps resident for a corpus of this shape,
+/// from per-element sizes: the `Corpus` itself (a `Company` with its name
+/// string and event vector runs ≈120 B plus 16 B per `InstallEvent`, and
+/// `product_set` copies the events once more), the `WeightedDoc` views
+/// (24 B `Vec` header per doc + 16 B per token), and the Gibbs per-doc
+/// state over *all* documents at once (2 B/token assignments + `8k` B/doc
+/// topic counts). The sharded pipeline holds one shard of all of that.
+fn in_memory_bytes_estimate(n_docs: u64, tokens: u64, k: u64) -> u64 {
+    n_docs * (120 + 24 + 8 * k) + tokens * (16 + 16 + 16 + 2)
+}
 
-    let scale = hlm_bench::ExpScale::from_env();
-    eprintln!(
-        "[hlm-bench] scale: {} ({} companies)",
-        scale.name, scale.n_companies
-    );
+/// Phases 1–3: the PR 5 in-memory hot-path benchmark.
+fn run_in_memory(scale: &ExpScale) -> InMemReport {
     let corpus = scale.corpus();
     let split = scale.split(&corpus);
     let train = hlm_core::representations::binary_docs(&corpus, &split.train);
@@ -96,8 +146,6 @@ fn main() {
         seed: scale.seed,
         ..Default::default()
     };
-
-    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     // Phase 1: LDA hot path at 1 and 8 threads. Train time is best-of-3 so
     // the CI parallel-penalty gate measures the runtime, not OS jitter.
@@ -164,7 +212,6 @@ fn main() {
 
     // Phase 3: serving latency, cold cache then warm, via the engine's
     // sales application (LDA topic-mixture representations).
-    hlm_obs::install(hlm_obs::Recorder::enabled());
     set_threads(1);
     let model = last_model.expect("at least one run");
     let all_ids: Vec<_> = corpus.ids().collect();
@@ -206,109 +253,338 @@ fn main() {
         rec.counter("serve.cache_miss"),
     );
     let hit_rate = json::finite_or(hits as f64 / (hits + misses) as f64, 0.0);
-    let (cold_p50, cold_p99) = (percentile(&cold, 50.0), percentile(&cold, 99.0));
-    let (warm_p50, warm_p99) = (percentile(&warm, 50.0), percentile(&warm, 99.0));
 
-    println!(
-        "corpus: {} companies, {} products, {} docs train / {} test",
-        engine.corpus().len(),
-        engine.corpus().vocab().len(),
-        train.len(),
-        test.len()
+    InMemReport {
+        companies: engine.corpus().len(),
+        products: engine.corpus().vocab().len(),
+        train_docs: train.len(),
+        test_docs: test.len(),
+        train_tokens: n_tokens,
+        n_iters: config.n_iters,
+        runs,
+        deterministic,
+        speedup_train,
+        parallel_penalty,
+        gibbs_tokens_per_second,
+        pr3_baseline,
+        serve_queries: queries.len(),
+        serve_k: k,
+        cold_p50: percentile(&cold, 50.0),
+        cold_p99: percentile(&cold, 99.0),
+        warm_p50: percentile(&warm, 50.0),
+        warm_p99: percentile(&warm, 99.0),
+        hit_rate,
+    }
+}
+
+/// Phase 4: stream-generate to disk shards, train sharded Gibbs + one
+/// online-VB epoch out-of-core, record throughput and peak RSS.
+fn run_sharded(scale: &ExpScale) -> ShardedReport {
+    set_threads(1);
+    let dir = std::env::temp_dir().join(format!("hlm_bench_shards_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = GeneratorConfig::with_size_and_seed(scale.n_companies, scale.seed);
+    // One shard ≈ 64k companies at xl; small scales still exercise ≥4
+    // shards so the merge path is never trivially single-shard.
+    let n_shards = (scale.n_companies / 65_536).clamp(4, 64);
+    eprintln!(
+        "[hlm-bench] sharded: stream-generating {} companies into {n_shards} shards…",
+        scale.n_companies
     );
-    println!(
-        "LDA: {} topics, {} sweeps over {n_tokens} tokens; hardware threads: {hardware}",
-        config.n_topics, config.n_iters
+    let t0 = Instant::now();
+    let store = hlm_datagen::generate_sharded(&cfg, n_shards, &dir)
+        .expect("stream-generate the sharded corpus");
+    let gen_seconds = t0.elapsed().as_secs_f64();
+    let manifest = store.manifest();
+    let (companies, tokens) = (manifest.n_companies, manifest.total_tokens);
+    let disk_bytes: u64 = manifest.shards.iter().map(|s| s.bytes).sum();
+
+    let lda = LdaConfig {
+        n_topics: 3,
+        vocab_size: store.vocab().len(),
+        n_iters: scale.lda_iters.max(2),
+        burn_in: scale.lda_iters.max(2) / 2,
+        sample_lag: 5,
+        seed: scale.seed,
+        ..Default::default()
+    };
+    let gibbs_sweeps = lda.n_iters;
+    eprintln!("[hlm-bench] sharded: {gibbs_sweeps} Gibbs sweeps over {tokens} tokens…");
+    let t1 = Instant::now();
+    let gibbs = hlm_engine::fit_lda_sharded_gibbs(
+        lda.clone(),
+        &store,
+        dir.join(".gibbs_work"),
+        TrainPlan::default(),
+    )
+    .expect("sharded Gibbs fit");
+    let gibbs_seconds = t1.elapsed().as_secs_f64();
+    assert_eq!(gibbs.model.phi().rows(), lda.n_topics);
+
+    let vb_epochs = 1usize;
+    eprintln!("[hlm-bench] sharded: {vb_epochs} online-VB epoch…");
+    let opts = OnlineVbOptions {
+        epochs: vb_epochs,
+        ..OnlineVbOptions::default()
+    };
+    let t2 = Instant::now();
+    let vb = hlm_engine::fit_lda_sharded_online_vb(lda.clone(), opts, &store, TrainPlan::default())
+        .expect("sharded online-VB fit");
+    let vb_seconds = t2.elapsed().as_secs_f64();
+    assert_eq!(vb.model.phi().rows(), lda.n_topics);
+
+    let peak_rss_bytes = hlm_obs::peak_rss_bytes().unwrap_or(0);
+    let estimate = in_memory_bytes_estimate(companies, tokens, lda.n_topics as u64);
+    let rss_ratio = json::finite_or(peak_rss_bytes as f64 / estimate as f64, 0.0);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    ShardedReport {
+        companies,
+        tokens,
+        n_shards: manifest.shards.len(),
+        shard_size: manifest.shard_size,
+        disk_bytes,
+        gen_seconds,
+        gibbs_sweeps,
+        gibbs_seconds,
+        gibbs_tokens_per_second: json::finite_or(
+            (tokens as f64) * gibbs_sweeps as f64 / gibbs_seconds,
+            0.0,
+        ),
+        vb_epochs,
+        vb_seconds,
+        vb_tokens_per_second: json::finite_or((tokens as f64) * vb_epochs as f64 / vb_seconds, 0.0),
+        peak_rss_bytes,
+        in_memory_bytes_estimate: estimate,
+        rss_ratio,
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (want_json, json_path) = match argv.first().map(String::as_str) {
+        None => (false, String::new()),
+        Some("--json") => (
+            true,
+            argv.get(1)
+                .cloned()
+                .unwrap_or_else(|| "BENCH_pr6.json".to_string()),
+        ),
+        Some(other) => {
+            eprintln!("unknown option {other:?}; usage: hlm-bench [--json [PATH]]");
+            std::process::exit(2);
+        }
+    };
+
+    let scale = ExpScale::from_env();
+    let is_xl = scale.name == "xl";
+    eprintln!(
+        "[hlm-bench] scale: {} ({} companies)",
+        scale.name, scale.n_companies
     );
-    for r in &runs {
-        println!(
-            "threads={}: train {:.3}s (best of 3)  eval {:.3}s  perplexity {:.6}",
-            r.threads, r.train_seconds, r.eval_seconds, r.perplexity
+    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Structural caveats: conditions under which the numbers below cannot
+    // mean what a reader will assume they mean. Loud on stderr, recorded
+    // verbatim in the JSON so downstream dashboards can't quote a figure
+    // without its disclaimer.
+    let mut caveats: Vec<String> = Vec::new();
+    if hardware == 1 {
+        caveats.push(
+            "single hardware thread: parallel speedups cannot manifest on this host, \
+             only the no-penalty property is testable"
+                .to_string(),
         );
     }
-    println!(
-        "speedup (1 -> 8 threads): train {speedup_train:.2}x  parallel penalty {:.1}%",
-        parallel_penalty * 100.0
-    );
-    println!("gibbs throughput (1 thread): {gibbs_tokens_per_second:.0} tokens/s");
-    match pr3_baseline {
-        Some((pr3, speedup)) => {
-            println!("vs PR3 baseline: {pr3:.3}s serial -> {speedup:.2}x faster")
-        }
-        None => println!("vs PR3 baseline: BENCH_pr3.json not found, skipped"),
+    if matches!(scale.name, "smoke" | "small") {
+        caveats.push(format!(
+            "{} scale: timings are dominated by fixed overheads; \
+             use HLM_SCALE=medium or larger for quotable numbers",
+            scale.name
+        ));
     }
+    let caveat = caveats.join("; ");
+    if !caveat.is_empty() {
+        eprintln!("[hlm-bench] ==================== WARNING ====================");
+        for c in &caveats {
+            eprintln!("[hlm-bench] CAVEAT: {c}");
+        }
+        eprintln!("[hlm-bench] =================================================");
+    }
+
+    hlm_obs::install(hlm_obs::Recorder::enabled());
+    let inmem = if is_xl {
+        eprintln!("[hlm-bench] xl scale: skipping in-memory phases, sharded pipeline only");
+        None
+    } else {
+        Some(run_in_memory(&scale))
+    };
+    let sharded = run_sharded(&scale);
+    hlm_obs::global().set_gauge(hlm_obs::PEAK_RSS_GAUGE, sharded.peak_rss_bytes as f64);
+
+    if let Some(m) = &inmem {
+        println!(
+            "corpus: {} companies, {} products, {} docs train / {} test",
+            m.companies, m.products, m.train_docs, m.test_docs
+        );
+        println!(
+            "LDA: 3 topics, {} sweeps over {} tokens; hardware threads: {hardware}",
+            m.n_iters, m.train_tokens
+        );
+        for r in &m.runs {
+            println!(
+                "threads={}: train {:.3}s (best of 3)  eval {:.3}s  perplexity {:.6}",
+                r.threads, r.train_seconds, r.eval_seconds, r.perplexity
+            );
+        }
+        println!(
+            "speedup (1 -> 8 threads): train {:.2}x  parallel penalty {:.1}%",
+            m.speedup_train,
+            m.parallel_penalty * 100.0
+        );
+        println!(
+            "gibbs throughput (1 thread): {:.0} tokens/s",
+            m.gibbs_tokens_per_second
+        );
+        match m.pr3_baseline {
+            Some((pr3, speedup)) => {
+                println!("vs PR3 baseline: {pr3:.3}s serial -> {speedup:.2}x faster")
+            }
+            None => println!("vs PR3 baseline: BENCH_pr3.json not found, skipped"),
+        }
+        println!(
+            "serve p50/p99: cold {:.1}/{:.1} µs  warm {:.1}/{:.1} µs  cache hit rate {:.0}%",
+            m.cold_p50 * 1e6,
+            m.cold_p99 * 1e6,
+            m.warm_p50 * 1e6,
+            m.warm_p99 * 1e6,
+            m.hit_rate * 100.0
+        );
+        println!("deterministic across thread counts: {}", m.deterministic);
+    }
+    let s = &sharded;
     println!(
-        "serve p50/p99: cold {:.1}/{:.1} µs  warm {:.1}/{:.1} µs  cache hit rate {:.0}%",
-        cold_p50 * 1e6,
-        cold_p99 * 1e6,
-        warm_p50 * 1e6,
-        warm_p99 * 1e6,
-        hit_rate * 100.0
+        "sharded: {} companies / {} tokens in {} shards x {} ({:.1} MiB on disk), \
+         generated in {:.1}s",
+        s.companies,
+        s.tokens,
+        s.n_shards,
+        s.shard_size,
+        s.disk_bytes as f64 / (1024.0 * 1024.0),
+        s.gen_seconds
     );
-    println!("deterministic across thread counts: {deterministic}");
+    println!(
+        "sharded gibbs: {} sweeps in {:.1}s = {:.0} tokens/s",
+        s.gibbs_sweeps, s.gibbs_seconds, s.gibbs_tokens_per_second
+    );
+    println!(
+        "sharded online-VB: {} epoch(s) in {:.1}s = {:.0} tokens/s",
+        s.vb_epochs, s.vb_seconds, s.vb_tokens_per_second
+    );
+    println!(
+        "peak RSS: {:.1} MiB vs {:.1} MiB estimated in-memory footprint ({:.0}%{})",
+        s.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+        s.in_memory_bytes_estimate as f64 / (1024.0 * 1024.0),
+        s.rss_ratio * 100.0,
+        if inmem.is_some() {
+            "; includes the in-memory phases — the ratio is only meaningful at HLM_SCALE=xl"
+        } else {
+            ""
+        }
+    );
+    if !caveat.is_empty() {
+        println!("caveat: {caveat}");
+    }
 
     if want_json {
         let mut j = String::new();
         let _ = writeln!(j, "{{");
-        let _ = writeln!(j, "  \"bench\": \"pr5_hot_paths\",");
+        let _ = writeln!(j, "  \"bench\": \"pr6_sharded_pipeline\",");
         let _ = writeln!(j, "  \"scale\": \"{}\",", scale.name);
-        let _ = writeln!(
-            j,
-            "  \"corpus\": {{\"companies\": {}, \"products\": {}, \"train_docs\": {}, \
-             \"test_docs\": {}, \"train_tokens\": {n_tokens}}},",
-            engine.corpus().len(),
-            engine.corpus().vocab().len(),
-            train.len(),
-            test.len()
-        );
-        let _ = writeln!(
-            j,
-            "  \"lda\": {{\"n_topics\": {}, \"n_iters\": {}}},",
-            config.n_topics, config.n_iters
-        );
         let _ = writeln!(j, "  \"hardware_threads\": {hardware},");
-        let _ = writeln!(j, "  \"runs\": [");
-        for (i, r) in runs.iter().enumerate() {
+        let _ = writeln!(j, "  \"caveat\": \"{caveat}\",");
+        if let Some(m) = &inmem {
             let _ = writeln!(
                 j,
-                "    {{\"threads\": {}, \"train_seconds\": {:.6}, \"eval_seconds\": {:.6}, \
-                 \"perplexity\": {:.12}}}{}",
-                r.threads,
-                json::finite_or(r.train_seconds, 0.0),
-                json::finite_or(r.eval_seconds, 0.0),
-                json::finite_or(r.perplexity, 0.0),
-                if i + 1 < runs.len() { "," } else { "" }
+                "  \"corpus\": {{\"companies\": {}, \"products\": {}, \"train_docs\": {}, \
+                 \"test_docs\": {}, \"train_tokens\": {}}},",
+                m.companies, m.products, m.train_docs, m.test_docs, m.train_tokens
             );
-        }
-        let _ = writeln!(j, "  ],");
-        let _ = writeln!(
-            j,
-            "  \"speedup_1_to_8\": {{\"train\": {speedup_train:.4}}},"
-        );
-        let _ = writeln!(j, "  \"parallel_penalty\": {parallel_penalty:.4},");
-        let _ = writeln!(
-            j,
-            "  \"gibbs\": {{\"tokens_per_second\": {gibbs_tokens_per_second:.1}{}}},",
-            match pr3_baseline {
-                Some((pr3, speedup)) => format!(
-                    ", \"pr3_serial_train_seconds\": {pr3:.6}, \"speedup_vs_pr3\": {speedup:.4}"
-                ),
-                None => String::new(),
+            let _ = writeln!(
+                j,
+                "  \"lda\": {{\"n_topics\": 3, \"n_iters\": {}}},",
+                m.n_iters
+            );
+            let _ = writeln!(j, "  \"runs\": [");
+            for (i, r) in m.runs.iter().enumerate() {
+                let _ = writeln!(
+                    j,
+                    "    {{\"threads\": {}, \"train_seconds\": {:.6}, \"eval_seconds\": {:.6}, \
+                     \"perplexity\": {:.12}}}{}",
+                    r.threads,
+                    json::finite_or(r.train_seconds, 0.0),
+                    json::finite_or(r.eval_seconds, 0.0),
+                    json::finite_or(r.perplexity, 0.0),
+                    if i + 1 < m.runs.len() { "," } else { "" }
+                );
             }
+            let _ = writeln!(j, "  ],");
+            let _ = writeln!(
+                j,
+                "  \"speedup_1_to_8\": {{\"train\": {:.4}}},",
+                m.speedup_train
+            );
+            let _ = writeln!(j, "  \"parallel_penalty\": {:.4},", m.parallel_penalty);
+            let _ = writeln!(
+                j,
+                "  \"gibbs\": {{\"tokens_per_second\": {:.1}{}}},",
+                m.gibbs_tokens_per_second,
+                match m.pr3_baseline {
+                    Some((pr3, speedup)) => format!(
+                        ", \"pr3_serial_train_seconds\": {pr3:.6}, \"speedup_vs_pr3\": {speedup:.4}"
+                    ),
+                    None => String::new(),
+                }
+            );
+            let _ = writeln!(
+                j,
+                "  \"serve\": {{\"queries\": {}, \"k\": {}, \
+                 \"cold_p50_us\": {:.3}, \"cold_p99_us\": {:.3}, \
+                 \"warm_p50_us\": {:.3}, \"warm_p99_us\": {:.3}, \
+                 \"cache_hit_rate\": {:.4}}},",
+                m.serve_queries,
+                m.serve_k,
+                m.cold_p50 * 1e6,
+                m.cold_p99 * 1e6,
+                m.warm_p50 * 1e6,
+                m.warm_p99 * 1e6,
+                m.hit_rate
+            );
+            let _ = writeln!(j, "  \"deterministic\": {},", m.deterministic);
+        }
+        let _ = writeln!(
+            j,
+            "  \"sharded\": {{\"companies\": {}, \"tokens\": {}, \"n_shards\": {}, \
+             \"shard_size\": {}, \"disk_bytes\": {}, \"gen_seconds\": {:.3},",
+            s.companies, s.tokens, s.n_shards, s.shard_size, s.disk_bytes, s.gen_seconds
         );
         let _ = writeln!(
             j,
-            "  \"serve\": {{\"queries\": {}, \"k\": {k}, \
-             \"cold_p50_us\": {:.3}, \"cold_p99_us\": {:.3}, \
-             \"warm_p50_us\": {:.3}, \"warm_p99_us\": {:.3}, \
-             \"cache_hit_rate\": {hit_rate:.4}}},",
-            queries.len(),
-            cold_p50 * 1e6,
-            cold_p99 * 1e6,
-            warm_p50 * 1e6,
-            warm_p99 * 1e6,
+            "    \"gibbs_sweeps\": {}, \"gibbs_seconds\": {:.3}, \
+             \"gibbs_tokens_per_second\": {:.1},",
+            s.gibbs_sweeps, s.gibbs_seconds, s.gibbs_tokens_per_second
         );
-        let _ = writeln!(j, "  \"deterministic\": {deterministic}");
+        let _ = writeln!(
+            j,
+            "    \"vb_epochs\": {}, \"vb_seconds\": {:.3}, \"vb_tokens_per_second\": {:.1},",
+            s.vb_epochs, s.vb_seconds, s.vb_tokens_per_second
+        );
+        let _ = writeln!(
+            j,
+            "    \"peak_rss_bytes\": {}, \"in_memory_bytes_estimate\": {}, \
+             \"rss_ratio\": {:.4}}}",
+            s.peak_rss_bytes, s.in_memory_bytes_estimate, s.rss_ratio
+        );
         let _ = writeln!(j, "}}");
         json::check_finite(&j).expect("benchmark json must contain only finite numbers");
         std::fs::write(&json_path, j).expect("write benchmark json");

@@ -100,8 +100,29 @@ impl ExpScale {
         }
     }
 
-    /// Reads `HLM_SCALE` (`smoke` / `small` / `medium` / `paper`); default
-    /// `small`.
+    /// Out-of-core preset: one million companies. Only `hlm-bench` supports
+    /// this scale, and only through the sharded pipeline — the corpus is
+    /// stream-generated to disk shards and never materialised in RAM, so
+    /// the in-memory experiment binaries refuse it by construction (their
+    /// `corpus()` call would allocate the whole thing; don't).
+    pub fn xl() -> Self {
+        ExpScale {
+            name: "xl",
+            n_companies: 1_000_000,
+            seed: 20190326,
+            lda_iters: 2,
+            lstm_epochs: 1,
+            lstm_nodes: vec![10],
+            lstm_layers: vec![1],
+            bpmf_iters: 2,
+            cluster_counts: vec![5],
+            silhouette_sample: 200,
+            retrain_per_window: false,
+        }
+    }
+
+    /// Reads `HLM_SCALE` (`smoke` / `small` / `medium` / `paper` / `xl`);
+    /// default `small`.
     ///
     /// # Panics
     /// Panics on an unknown value.
@@ -111,7 +132,8 @@ impl ExpScale {
             Ok("small") | Err(_) => Self::small(),
             Ok("medium") => Self::medium(),
             Ok("paper") => Self::paper(),
-            Ok(other) => panic!("unknown HLM_SCALE {other:?} (use smoke|small|medium|paper)"),
+            Ok("xl") => Self::xl(),
+            Ok(other) => panic!("unknown HLM_SCALE {other:?} (use smoke|small|medium|paper|xl)"),
         }
     }
 
@@ -138,6 +160,7 @@ mod tests {
         assert!(ExpScale::smoke().n_companies < ExpScale::small().n_companies);
         assert!(ExpScale::small().n_companies < ExpScale::medium().n_companies);
         assert!(ExpScale::medium().n_companies < ExpScale::paper().n_companies);
+        assert!(ExpScale::paper().n_companies < ExpScale::xl().n_companies);
     }
 
     #[test]

@@ -24,12 +24,24 @@ impl TrainFlags {
     }
 }
 
+/// Which LDA estimator `hlm topics` trains with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopicsEstimator {
+    /// Collapsed Gibbs sampling (the default; `--iters` counts sweeps).
+    #[default]
+    Gibbs,
+    /// Online variational Bayes — sharded (manifest) data only; `--iters`
+    /// counts epochs (one epoch = one pass over the shards).
+    OnlineVb,
+}
+
 /// A parsed subcommand with its options.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Print usage.
     Help,
-    /// Generate a synthetic corpus and write CSVs into `out`.
+    /// Generate a synthetic corpus and write CSVs (or a sharded binary
+    /// store) into `out`.
     Generate {
         /// Number of companies.
         companies: usize,
@@ -37,10 +49,16 @@ pub enum Command {
         seed: u64,
         /// Output directory.
         out: String,
+        /// When set, stream-generate an out-of-core [`ShardStore`] of this
+        /// many shards instead of in-memory CSVs.
+        ///
+        /// [`ShardStore`]: hlm_corpus::ShardStore
+        shards: Option<usize>,
     },
     /// Print a corpus summary.
     Stats {
-        /// Directory holding `companies.csv` and `events.csv`.
+        /// Directory holding `companies.csv` + `events.csv`, or a sharded
+        /// store's `manifest.json`.
         data: String,
     },
     /// Train LDA and print topics.
@@ -49,8 +67,10 @@ pub enum Command {
         data: String,
         /// Number of latent topics.
         topics: usize,
-        /// Gibbs sweeps.
+        /// Gibbs sweeps (or online-VB epochs).
         iters: usize,
+        /// Estimator: collapsed Gibbs or (sharded data only) online VB.
+        estimator: TopicsEstimator,
         /// Checkpoint/resume/watchdog options.
         flags: TrainFlags,
     },
@@ -264,11 +284,16 @@ pub fn parse_invocation(argv: &[String]) -> Result<Invocation, String> {
     let command = match sub.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "generate" => {
-            allow(&["companies", "seed", "out"])?;
+            allow(&["companies", "seed", "out", "shards"])?;
+            let shards = match parse_opt_num::<usize>(&pairs, "shards")? {
+                Some(0) => return Err("--shards must be positive".to_string()),
+                s => s,
+            };
             Ok(Command::Generate {
                 companies: parse_num(&pairs, "companies", 2_000usize)?,
                 seed: parse_num(&pairs, "seed", 42u64)?,
                 out: require(&pairs, "out")?.to_string(),
+                shards,
             })
         }
         "stats" => {
@@ -282,11 +307,21 @@ pub fn parse_invocation(argv: &[String]) -> Result<Invocation, String> {
                 "data",
                 "topics",
                 "iters",
+                "estimator",
                 "checkpoint-dir",
                 "resume",
                 "max-seconds",
                 "abort-at",
             ])?;
+            let estimator = match get_opt(&pairs, "estimator") {
+                None | Some("gibbs") => TopicsEstimator::Gibbs,
+                Some("online-vb") => TopicsEstimator::OnlineVb,
+                Some(other) => {
+                    return Err(format!(
+                        "invalid value {other:?} for --estimator (expected gibbs or online-vb)"
+                    ))
+                }
+            };
             let flags = TrainFlags {
                 checkpoint_dir: get_opt(&pairs, "checkpoint-dir").map(String::from),
                 resume: get_opt(&pairs, "resume").is_some(),
@@ -300,6 +335,7 @@ pub fn parse_invocation(argv: &[String]) -> Result<Invocation, String> {
                 data: require(&pairs, "data")?.to_string(),
                 topics: parse_num(&pairs, "topics", 3usize)?,
                 iters: parse_num(&pairs, "iters", 150usize)?,
+                estimator,
                 flags,
             })
         }
@@ -357,7 +393,8 @@ mod tests {
             Command::Generate {
                 companies: 2_000,
                 seed: 42,
-                out: "/tmp/x".into()
+                out: "/tmp/x".into(),
+                shards: None
             }
         );
         let cmd = parse_args(&argv(&[
@@ -368,6 +405,8 @@ mod tests {
             "7",
             "--out",
             "d",
+            "--shards",
+            "4",
         ]))
         .unwrap();
         assert_eq!(
@@ -375,9 +414,12 @@ mod tests {
             Command::Generate {
                 companies: 500,
                 seed: 7,
-                out: "d".into()
+                out: "d".into(),
+                shards: Some(4)
             }
         );
+        let e = parse_args(&argv(&["generate", "--out", "d", "--shards", "0"])).unwrap_err();
+        assert!(e.contains("--shards"), "{e}");
     }
 
     #[test]
@@ -436,6 +478,29 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(e.contains("YYYY-MM"));
+    }
+
+    #[test]
+    fn topics_estimator_parses_and_rejects_unknown() {
+        let cmd = parse_args(&argv(&["topics", "--data", "d"])).unwrap();
+        match cmd {
+            Command::Topics { estimator, .. } => assert_eq!(estimator, TopicsEstimator::Gibbs),
+            other => panic!("wrong command {other:?}"),
+        }
+        let cmd = parse_args(&argv(&[
+            "topics",
+            "--data",
+            "d",
+            "--estimator",
+            "online-vb",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Topics { estimator, .. } => assert_eq!(estimator, TopicsEstimator::OnlineVb),
+            other => panic!("wrong command {other:?}"),
+        }
+        let e = parse_args(&argv(&["topics", "--data", "d", "--estimator", "em"])).unwrap_err();
+        assert!(e.contains("gibbs or online-vb"), "{e}");
     }
 
     #[test]

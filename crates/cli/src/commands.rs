@@ -1,14 +1,14 @@
 //! The `hlm` subcommand implementations. Each returns its output as a
 //! `String` so everything is testable without process spawning.
 
-use crate::{CliError, TrainFlags};
+use crate::{CliError, TopicsEstimator, TrainFlags};
 use hlm_core::representations::{binary_docs, lda_representations};
 use hlm_core::{CompanyFilter, DistanceMetric};
 use hlm_corpus::io::{from_csv, from_csv_lenient, to_csv, LenientOptions, QuarantineReport};
-use hlm_corpus::{Corpus, Month, TimeWindow, Vocabulary};
+use hlm_corpus::{Corpus, CorpusSource, Month, ShardStore, TimeWindow, Vocabulary};
 use hlm_datagen::GeneratorConfig;
 use hlm_engine::{Engine, LdaEstimator, RunGuard, TrainPlan};
-use hlm_lda::{LdaConfig, LdaModel};
+use hlm_lda::{LdaConfig, LdaModel, OnlineVbOptions};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -18,17 +18,26 @@ pub fn help_text() -> String {
 hlm — hidden-layer models for company install bases
 
 USAGE:
-  hlm generate --out DIR [--companies N] [--seed S]
-      Generate a synthetic install-base corpus and write
-      DIR/companies.csv + DIR/events.csv.
+  hlm generate --out DIR [--companies N] [--seed S] [--shards S]
+      Generate a synthetic install-base corpus. Without --shards, write
+      DIR/companies.csv + DIR/events.csv in memory. With --shards S,
+      stream-generate an out-of-core sharded store (DIR/manifest.json +
+      shard_*.bin) one shard at a time — the corpus never has to fit in
+      RAM, and its contents are bit-identical to the in-memory path.
   hlm stats --data DIR
       Corpus summary: sizes, industries, most/least common products.
       Malformed rows are quarantined (and reported) instead of aborting.
-  hlm topics --data DIR [--topics K] [--iters N]
+      On a sharded store, stats stream the manifest only: O(shards)
+      memory at any corpus size.
+  hlm topics --data DIR [--topics K] [--iters N] [--estimator E]
             [--checkpoint-dir DIR] [--resume] [--max-seconds S]
       Train LDA and print the learned topics. --checkpoint-dir snapshots
       every sweep; --resume continues an interrupted run from the latest
       good checkpoint; --max-seconds bounds the wall-clock budget.
+      On a sharded store the run is out-of-core (one shard in memory at
+      a time, Gibbs results bit-identical to in-memory training) and
+      --estimator picks gibbs (default; --iters = sweeps) or online-vb
+      (Hoffman-style stochastic VB; --iters = epochs).
   hlm similar --data DIR --company DUNS [--k K] [--whitespace W]
       Top-K most similar companies and whitespace recommendations.
   hlm drift --data DIR --reference YYYY-MM --recent YYYY-MM [--months M]
@@ -90,9 +99,29 @@ fn load_lenient(data: &str) -> Result<(Corpus, QuarantineReport), CliError> {
 }
 
 /// `hlm generate`.
-pub fn generate(companies: usize, seed: u64, out: &str) -> Result<String, CliError> {
+pub fn generate(
+    companies: usize,
+    seed: u64,
+    out: &str,
+    shards: Option<usize>,
+) -> Result<String, CliError> {
     if companies == 0 {
         return Err(CliError::Usage("--companies must be positive".into()));
+    }
+    if let Some(n_shards) = shards {
+        // Out-of-core path: stream shards to disk, never holding more than
+        // one shard of companies in memory.
+        let cfg = GeneratorConfig::with_size_and_seed(companies, seed);
+        let store = hlm_datagen::generate_sharded(&cfg, n_shards, Path::new(out))
+            .map_err(|e| CliError::Data(e.to_string()))?;
+        let m = store.manifest();
+        return Ok(format!(
+            "wrote {} companies ({} install events) to {out} as {} shard(s) of {} companies\n",
+            m.n_companies,
+            m.total_tokens,
+            m.shards.len(),
+            m.shard_size
+        ));
     }
     let corpus = hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(companies, seed));
     let (companies_csv, events_csv) = to_csv(&corpus);
@@ -110,9 +139,63 @@ pub fn generate(companies: usize, seed: u64, out: &str) -> Result<String, CliErr
     ))
 }
 
+/// True when `data` holds a sharded store rather than CSVs.
+fn is_sharded(data: &str) -> bool {
+    ShardStore::exists(Path::new(data))
+}
+
+/// Opens a sharded store, mapping failures to data errors.
+fn open_store(data: &str) -> Result<ShardStore, CliError> {
+    ShardStore::open(Path::new(data)).map_err(|e| CliError::Data(e.to_string()))
+}
+
+/// `hlm stats` on a sharded store: streams the manifest's shard headers
+/// only, so memory stays O(shards) no matter how many companies the store
+/// holds — this is what makes `stats` usable at the 1M-company scale.
+fn stats_sharded(data: &str) -> Result<String, CliError> {
+    let t0 = std::time::Instant::now();
+    let store = open_store(data)?;
+    let m = store.manifest();
+    let mut out = String::new();
+    let _ = writeln!(out, "sharded corpus:       {data}/manifest.json");
+    let _ = writeln!(out, "companies:            {}", m.n_companies);
+    let _ = writeln!(out, "product categories:   {}", m.vocab.len());
+    let _ = writeln!(out, "install events:       {}", m.total_tokens);
+    let _ = writeln!(
+        out,
+        "mean products/company: {:.2}",
+        m.total_tokens as f64 / (m.n_companies.max(1)) as f64
+    );
+    let total_bytes: u64 = m.shards.iter().map(|s| s.bytes).sum();
+    let _ = writeln!(
+        out,
+        "shards:               {} x {} companies ({:.1} MiB on disk)",
+        m.shards.len(),
+        m.shard_size,
+        total_bytes as f64 / (1024.0 * 1024.0)
+    );
+    let show = m.shards.len().min(4);
+    for entry in m.shards.iter().take(show) {
+        let _ = writeln!(
+            out,
+            "  {:<16} companies {:>8}..{:<8} {:>10} events  {:>4} products",
+            entry.file, entry.company_lo, entry.company_hi, entry.tokens, entry.products_used
+        );
+    }
+    if m.shards.len() > show {
+        let _ = writeln!(out, "  … {} more shard(s)", m.shards.len() - show);
+    }
+    let _ = writeln!(out, "{}", timing_summary(t0));
+    Ok(out)
+}
+
 /// `hlm stats`. Uses the lenient CSV path: malformed rows are quarantined
-/// and summarised rather than failing the whole command.
+/// and summarised rather than failing the whole command. Sharded stores take
+/// the manifest-streaming path instead.
 pub fn stats(data: &str) -> Result<String, CliError> {
+    if is_sharded(data) {
+        return stats_sharded(data);
+    }
     let t0 = std::time::Instant::now();
     let (corpus, report) = load_lenient(data)?;
     let mut out = String::new();
@@ -218,6 +301,15 @@ fn train_lda(
             .map_err(engine_err);
     }
 
+    let plan = build_plan(flags)?;
+    let fit = hlm_engine::fit_lda_resilient(config, LdaEstimator::Gibbs, &docs, plan)
+        .map_err(engine_err)?;
+    let notes = fit_notes(&fit, flags, "sweep");
+    Ok((fit.model, notes))
+}
+
+/// Builds the resilience plan (store, resume, watchdog) from the CLI flags.
+fn build_plan(flags: &TrainFlags) -> Result<TrainPlan, CliError> {
     let mut plan = TrainPlan::new().resume(flags.resume);
     if let Some(dir) = &flags.checkpoint_dir {
         plan = plan.on_disk(dir).map_err(engine_err)?;
@@ -229,13 +321,20 @@ fn train_lda(
     if let Some(n) = flags.abort_at {
         guard = guard.abort_at_iteration(n);
     }
-    let fit =
-        hlm_engine::fit_lda_resilient(config, LdaEstimator::Gibbs, &docs, plan.with_guard(guard))
-            .map_err(engine_err)?;
+    Ok(plan.with_guard(guard))
+}
 
+/// Operator-facing notes about how a resilient fit got its model.
+/// `unit` names the iteration granularity ("sweep" in memory, "step" —
+/// one shard of one pass — out of core).
+fn fit_notes(
+    fit: &hlm_engine::ResilientFit<LdaModel>,
+    flags: &TrainFlags,
+    unit: &str,
+) -> Vec<String> {
     let mut notes = Vec::new();
     if let Some(iter) = fit.resumed_from {
-        notes.push(format!("resumed from checkpoint at sweep {iter}"));
+        notes.push(format!("resumed from checkpoint at {unit} {iter}"));
     }
     if fit.checkpoints_written > 0 {
         notes.push(format!(
@@ -249,6 +348,45 @@ fn train_lda(
             "training diverged ({e}); rolled back to the last good checkpoint"
         ));
     }
+    notes
+}
+
+/// Out-of-core LDA on a sharded store: one shard of companies in memory at
+/// a time. Gibbs spills per-shard sampler state next to the checkpoints
+/// (or under the store for unplanned runs); online VB needs no spills.
+fn train_lda_sharded(
+    store: &ShardStore,
+    topics: usize,
+    iters: usize,
+    estimator: TopicsEstimator,
+    flags: &TrainFlags,
+) -> Result<(LdaModel, Vec<String>), CliError> {
+    let config = LdaConfig {
+        n_topics: topics,
+        vocab_size: store.vocab().len(),
+        n_iters: iters.max(2),
+        burn_in: iters.max(2) / 2,
+        sample_lag: 5,
+        ..Default::default()
+    };
+    let plan = build_plan(flags)?;
+    let fit = match estimator {
+        TopicsEstimator::Gibbs => {
+            let work_dir = match &flags.checkpoint_dir {
+                Some(dir) => Path::new(dir).join("spills"),
+                None => store.dir().join(".gibbs_work"),
+            };
+            hlm_engine::fit_lda_sharded_gibbs(config, store, work_dir, plan).map_err(engine_err)?
+        }
+        TopicsEstimator::OnlineVb => {
+            let opts = OnlineVbOptions {
+                epochs: iters.max(1),
+                ..OnlineVbOptions::default()
+            };
+            hlm_engine::fit_lda_sharded_online_vb(config, opts, store, plan).map_err(engine_err)?
+        }
+    };
+    let notes = fit_notes(&fit, flags, "step");
     Ok((fit.model, notes))
 }
 
@@ -257,14 +395,30 @@ pub fn topics(
     data: &str,
     topics: usize,
     iters: usize,
+    estimator: TopicsEstimator,
     flags: &TrainFlags,
 ) -> Result<String, CliError> {
     if topics == 0 {
         return Err(CliError::Usage("--topics must be positive".into()));
     }
     let t0 = std::time::Instant::now();
-    let corpus = load(data)?;
-    let (model, notes) = train_lda(&corpus, topics, iters, flags)?;
+    let (model, notes, vocab) = if is_sharded(data) {
+        let store = open_store(data)?;
+        let (model, notes) = train_lda_sharded(&store, topics, iters, estimator, flags)?;
+        (model, notes, store.vocab().clone())
+    } else {
+        if estimator == TopicsEstimator::OnlineVb {
+            return Err(CliError::Usage(
+                "--estimator online-vb needs a sharded data directory \
+                 (generate with --shards)"
+                    .into(),
+            ));
+        }
+        let corpus = load(data)?;
+        let (model, notes) = train_lda(&corpus, topics, iters, flags)?;
+        let vocab = corpus.vocab().clone();
+        (model, notes, vocab)
+    };
     let mut out = String::new();
     for note in notes {
         let _ = writeln!(out, "note: {note}");
@@ -273,13 +427,7 @@ pub fn topics(
         let tops: Vec<String> = model
             .top_products(k, 8)
             .into_iter()
-            .map(|(w, p)| {
-                format!(
-                    "{} ({:.2})",
-                    corpus.vocab().name(hlm_corpus::ProductId(w as u16)),
-                    p
-                )
-            })
+            .map(|(w, p)| format!("{} ({:.2})", vocab.name(hlm_corpus::ProductId(w as u16)), p))
             .collect();
         let _ = writeln!(out, "topic {k}: {}", tops.join(", "));
     }
@@ -395,7 +543,7 @@ mod tests {
     #[test]
     fn generate_then_stats_round_trips() {
         let dir = tmp_dir("stats");
-        let msg = generate(120, 7, &dir).expect("generate works");
+        let msg = generate(120, 7, &dir, None).expect("generate works");
         assert!(msg.contains("120 companies"));
         let s = stats(&dir).expect("stats works");
         assert!(s.contains("companies:            120"), "{s}");
@@ -409,8 +557,8 @@ mod tests {
     #[test]
     fn topics_prints_k_topics() {
         let dir = tmp_dir("topics");
-        generate(150, 9, &dir).unwrap();
-        let out = topics(&dir, 3, 60, &TrainFlags::default()).unwrap();
+        generate(150, 9, &dir, None).unwrap();
+        let out = topics(&dir, 3, 60, TopicsEstimator::Gibbs, &TrainFlags::default()).unwrap();
         // 3 topic lines + the trailing elapsed/threads summary.
         assert_eq!(out.lines().count(), 4);
         assert!(out.contains("topic 0:"));
@@ -425,7 +573,7 @@ mod tests {
     #[test]
     fn topics_kill_and_resume_via_cli_flags() {
         let dir = tmp_dir("resume");
-        generate(150, 9, &dir).unwrap();
+        generate(150, 9, &dir, None).unwrap();
         let ck = format!("{dir}/checkpoints");
 
         // A deterministic "kill" at sweep 20: exit class is engine/training
@@ -435,7 +583,7 @@ mod tests {
             abort_at: Some(20),
             ..TrainFlags::default()
         };
-        let err = topics(&dir, 3, 60, &killed).unwrap_err();
+        let err = topics(&dir, 3, 60, TopicsEstimator::Gibbs, &killed).unwrap_err();
         assert_eq!(err.exit_code(), 4);
         assert!(err.to_string().contains("--resume"), "{err}");
 
@@ -445,7 +593,7 @@ mod tests {
             resume: true,
             ..TrainFlags::default()
         };
-        let out = topics(&dir, 3, 60, &resumed).unwrap();
+        let out = topics(&dir, 3, 60, TopicsEstimator::Gibbs, &resumed).unwrap();
         assert!(out.contains("resumed from checkpoint at sweep 20"), "{out}");
         assert!(out.contains("topic 0:"), "{out}");
         let _ = std::fs::remove_dir_all(&dir);
@@ -454,7 +602,7 @@ mod tests {
     #[test]
     fn stats_quarantines_malformed_rows_and_reports_them() {
         let dir = tmp_dir("lenient");
-        generate(80, 21, &dir).unwrap();
+        generate(80, 21, &dir, None).unwrap();
         let events_path = Path::new(&dir).join("events.csv");
         let mut events = std::fs::read_to_string(&events_path).unwrap();
         events.push_str("999999,OS,2001-05,2001-05,1\n"); // unknown company
@@ -478,7 +626,14 @@ mod tests {
         assert_eq!(CliError::Engine("e".into()).exit_code(), 4);
 
         // Usage: bad option value.
-        let e = topics("ignored", 0, 10, &TrainFlags::default()).unwrap_err();
+        let e = topics(
+            "ignored",
+            0,
+            10,
+            TopicsEstimator::Gibbs,
+            &TrainFlags::default(),
+        )
+        .unwrap_err();
         assert_eq!(e.exit_code(), 2);
         // Data: unreadable input.
         let e = stats("/no/such/dir").unwrap_err();
@@ -490,7 +645,7 @@ mod tests {
     #[test]
     fn similar_finds_neighbours_and_whitespace() {
         let dir = tmp_dir("similar");
-        generate(150, 11, &dir).unwrap();
+        generate(150, 11, &dir, None).unwrap();
         // Company duns are 10_000 + index in the generator.
         let out = similar(&dir, 10_005, 5, 3).unwrap();
         assert!(out.contains("top-5 similar companies"), "{out}");
@@ -504,7 +659,7 @@ mod tests {
     #[test]
     fn drift_detects_stage_shift_on_generated_data() {
         let dir = tmp_dir("drift");
-        generate(400, 13, &dir).unwrap();
+        generate(400, 13, &dir, None).unwrap();
         let out = drift(&dir, Month::from_ym(1995, 1), Month::from_ym(2013, 1), 24).unwrap();
         assert!(out.contains("CONCEPT DRIFT"), "{out}");
         let _ = std::fs::remove_dir_all(&dir);
@@ -514,12 +669,93 @@ mod tests {
     fn missing_data_directory_is_a_clean_error() {
         let e = stats("/no/such/dir").unwrap_err();
         assert!(e.to_string().contains("companies.csv"));
-        assert!(generate(0, 1, "/tmp/x").is_err());
+        assert!(generate(0, 1, "/tmp/x", None).is_err());
     }
 
     #[test]
     fn run_dispatches_help() {
         let out = crate::run(&crate::Command::Help).unwrap();
         assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn sharded_generate_then_stats_streams_the_manifest() {
+        let dir = tmp_dir("sharded_stats");
+        let msg = generate(256, 7, &dir, Some(4)).expect("sharded generate works");
+        assert!(msg.contains("256 companies"), "{msg}");
+        assert!(msg.contains("4 shard(s)"), "{msg}");
+        let s = stats(&dir).expect("sharded stats works");
+        assert!(s.contains("sharded corpus:"), "{s}");
+        assert!(s.contains("companies:            256"), "{s}");
+        assert!(s.contains("4 x 64 companies"), "{s}");
+        assert!(s.contains("shard_00003.bin"), "{s}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_topics_trains_gibbs_and_online_vb() {
+        let dir = tmp_dir("sharded_topics");
+        generate(150, 9, &dir, Some(2)).unwrap();
+
+        // Out-of-core Gibbs: same 4-line shape as the in-memory path.
+        let out = topics(&dir, 3, 30, TopicsEstimator::Gibbs, &TrainFlags::default()).unwrap();
+        assert_eq!(out.lines().count(), 4, "{out}");
+        assert!(out.contains("topic 0:"), "{out}");
+
+        // Online VB: one epoch per requested iteration, same output shape.
+        let out = topics(
+            &dir,
+            3,
+            2,
+            TopicsEstimator::OnlineVb,
+            &TrainFlags::default(),
+        )
+        .unwrap();
+        assert_eq!(out.lines().count(), 4, "{out}");
+        assert!(out.contains("topic 0:"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn online_vb_requires_a_sharded_corpus() {
+        let dir = tmp_dir("vb_needs_shards");
+        generate(80, 3, &dir, None).unwrap();
+        let err = topics(
+            &dir,
+            3,
+            2,
+            TopicsEstimator::OnlineVb,
+            &TrainFlags::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--shards"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_topics_kill_and_resume_via_cli_flags() {
+        let dir = tmp_dir("sharded_resume");
+        generate(150, 9, &dir, Some(2)).unwrap();
+        let ck = format!("{dir}/checkpoints");
+
+        let killed = TrainFlags {
+            checkpoint_dir: Some(ck.clone()),
+            abort_at: Some(20),
+            ..TrainFlags::default()
+        };
+        let err = topics(&dir, 3, 30, TopicsEstimator::Gibbs, &killed).unwrap_err();
+        assert_eq!(err.exit_code(), 4);
+        assert!(err.to_string().contains("--resume"), "{err}");
+
+        let resumed = TrainFlags {
+            checkpoint_dir: Some(ck),
+            resume: true,
+            ..TrainFlags::default()
+        };
+        let out = topics(&dir, 3, 30, TopicsEstimator::Gibbs, &resumed).unwrap();
+        assert!(out.contains("resumed from checkpoint at step 20"), "{out}");
+        assert!(out.contains("topic 0:"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

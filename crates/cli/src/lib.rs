@@ -17,7 +17,8 @@ pub mod args;
 pub mod commands;
 
 pub use args::{
-    parse_args, parse_invocation, Command, Invocation, MetricsFormat, ParsedArgs, TrainFlags,
+    parse_args, parse_invocation, Command, Invocation, MetricsFormat, ParsedArgs, TopicsEstimator,
+    TrainFlags,
 };
 pub use hlm_engine::{effective_threads, set_threads};
 
@@ -73,14 +74,16 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             companies,
             seed,
             out,
-        } => commands::generate(*companies, *seed, out),
+            shards,
+        } => commands::generate(*companies, *seed, out, *shards),
         Command::Stats { data } => commands::stats(data),
         Command::Topics {
             data,
             topics,
             iters,
+            estimator,
             flags,
-        } => commands::topics(data, *topics, *iters, flags),
+        } => commands::topics(data, *topics, *iters, *estimator, flags),
         Command::Similar {
             data,
             company,
@@ -121,6 +124,11 @@ pub fn run_invocation(inv: &Invocation) -> Result<String, CliError> {
     }
     let result = run(&inv.command);
     if let Some(path) = &inv.metrics {
+        // Stamp the process's memory high-water mark (when the platform
+        // exposes it) so every snapshot carries the run's peak RSS.
+        if let Some(bytes) = hlm_obs::peak_rss_bytes() {
+            hlm_obs::global().set_gauge(hlm_obs::PEAK_RSS_GAUGE, bytes as f64);
+        }
         let snapshot = hlm_obs::global().snapshot();
         let text = match inv.metrics_format {
             MetricsFormat::Jsonl => snapshot.to_jsonl(),

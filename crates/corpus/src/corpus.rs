@@ -61,6 +61,12 @@ impl Corpus {
         &self.companies
     }
 
+    /// Consumes the corpus, returning its vocabulary and companies (used by
+    /// the streaming shard writer to avoid cloning a whole shard).
+    pub fn into_parts(self) -> (Vocabulary, Vec<Company>) {
+        (self.vocab, self.companies)
+    }
+
     /// Iterates `(id, company)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (CompanyId, &Company)> {
         self.companies

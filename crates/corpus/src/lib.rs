@@ -20,6 +20,7 @@ pub mod company;
 pub mod corpus;
 pub mod io;
 pub mod sequence;
+pub mod shard;
 pub mod sic;
 pub mod split;
 pub mod tfidf;
@@ -28,6 +29,10 @@ pub mod vocab;
 
 pub use company::{Company, CompanyId, InstallEvent, Sic2};
 pub use corpus::Corpus;
+pub use shard::{
+    CorpusSource, Manifest, MemShardSource, ShardEntry, ShardError, ShardReader, ShardStore,
+    ShardWriter, SHARD_ALIGN,
+};
 pub use split::Split;
 pub use time::{Month, SlidingWindows, TimeWindow};
 pub use vocab::{ProductId, Vocabulary};

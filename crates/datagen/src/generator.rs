@@ -3,7 +3,9 @@
 use crate::config::GeneratorConfig;
 use crate::profiles::PlantedProfiles;
 use hlm_corpus::aggregate::{aggregate_sites, SiteRecord};
-use hlm_corpus::{Corpus, InstallEvent, Month, ProductId, Sic2, Vocabulary};
+use hlm_corpus::{
+    Corpus, InstallEvent, Month, ProductId, ShardError, ShardStore, ShardWriter, Sic2, Vocabulary,
+};
 use hlm_linalg::dist::{
     sample_categorical, sample_dirichlet, sample_normal, sample_standard_normal,
 };
@@ -189,6 +191,67 @@ fn company_sites(
         .collect()
 }
 
+/// Companies per generation chunk; fixed so the chunk layout is a function
+/// of the company range alone.
+const COMPANY_CHUNK: usize = 32;
+
+/// Shared derived generator state: the planted profiles and per-industry
+/// priors every company draws from.
+struct GenModel {
+    vocab: Vocabulary,
+    planted: PlantedProfiles,
+    priors: Vec<Vec<f64>>,
+    ind_weights: Vec<f64>,
+}
+
+impl GenModel {
+    fn new(cfg: &GeneratorConfig) -> Self {
+        cfg.validate();
+        let vocab = Vocabulary::standard();
+        let planted = PlantedProfiles::standard(&vocab);
+        let priors = industry_priors(cfg, planted.k());
+        let ind_weights = industry_weights(cfg.n_industries);
+        GenModel {
+            vocab,
+            planted,
+            priors,
+            ind_weights,
+        }
+    }
+}
+
+/// Generates the sites of companies `[lo, hi)`, one `Vec<SiteRecord>` per
+/// company in company order. Each company draws from its own RNG stream
+/// (`split_seed(cfg.seed, company_index)`), so any range decomposition — and
+/// any thread count — produces exactly the companies of the full run.
+fn sites_for_range(
+    cfg: &GeneratorConfig,
+    model: &GenModel,
+    lo: usize,
+    hi: usize,
+) -> Vec<Vec<SiteRecord>> {
+    let pool = hlm_par::Pool::global();
+    let n_chunks = hlm_par::chunk_count(hi - lo, COMPANY_CHUNK);
+    let chunks = pool.run(n_chunks, |c| {
+        let (c_lo, c_hi) = hlm_par::chunk_bounds(hi - lo, COMPANY_CHUNK, c);
+        let mut out = Vec::with_capacity(c_hi - c_lo);
+        for ci in lo + c_lo..lo + c_hi {
+            let mut rng = StdRng::seed_from_u64(hlm_par::split_seed(cfg.seed, ci as u64));
+            out.push(company_sites(
+                cfg,
+                &model.planted,
+                &model.priors,
+                &model.ind_weights,
+                model.vocab.len(),
+                ci,
+                &mut rng,
+            ));
+        }
+        out
+    });
+    chunks.into_iter().flatten().collect()
+}
+
 /// Generates per-site records. Each company's events are scattered over
 /// `1 + Geometric(mean_extra_sites)` sites in its country; the domestic
 /// aggregation in [`generate`] must union them back together.
@@ -199,47 +262,19 @@ fn company_sites(
 /// DUNS numbers are assigned sequentially when the chunks are merged back in
 /// company order.
 pub fn generate_sites(cfg: &GeneratorConfig) -> (Vocabulary, Vec<SiteRecord>) {
-    cfg.validate();
-    let vocab = Vocabulary::standard();
-    let planted = PlantedProfiles::standard(&vocab);
-    let priors = industry_priors(cfg, planted.k());
-    let ind_weights = industry_weights(cfg.n_industries);
-
-    // Companies per generation chunk; fixed so the chunk layout is a
-    // function of the corpus size alone.
-    const COMPANY_CHUNK: usize = 32;
-    let pool = hlm_par::Pool::global();
-    let n_chunks = hlm_par::chunk_count(cfg.n_companies, COMPANY_CHUNK);
-    let chunks = pool.run(n_chunks, |c| {
-        let (lo, hi) = hlm_par::chunk_bounds(cfg.n_companies, COMPANY_CHUNK, c);
-        let mut out = Vec::with_capacity(hi - lo);
-        for ci in lo..hi {
-            let mut rng = StdRng::seed_from_u64(hlm_par::split_seed(cfg.seed, ci as u64));
-            out.push(company_sites(
-                cfg,
-                &planted,
-                &priors,
-                &ind_weights,
-                vocab.len(),
-                ci,
-                &mut rng,
-            ));
-        }
-        out
-    });
+    let model = GenModel::new(cfg);
+    let per_company = sites_for_range(cfg, &model, 0, cfg.n_companies);
 
     let mut sites = Vec::with_capacity(cfg.n_companies * 2);
     let mut next_site_duns: u64 = 1_000_000;
-    for chunk in chunks {
-        for company in chunk {
-            for mut site in company {
-                site.site_duns = next_site_duns;
-                next_site_duns += 1;
-                sites.push(site);
-            }
+    for company in per_company {
+        for mut site in company {
+            site.site_duns = next_site_duns;
+            next_site_duns += 1;
+            sites.push(site);
         }
     }
-    (vocab, sites)
+    (model.vocab, sites)
 }
 
 /// Generates the aggregated domestic-company corpus: [`generate_sites`]
@@ -248,6 +283,39 @@ pub fn generate_sites(cfg: &GeneratorConfig) -> (Vocabulary, Vec<SiteRecord>) {
 pub fn generate(cfg: &GeneratorConfig) -> Corpus {
     let (vocab, sites) = generate_sites(cfg);
     aggregate_sites(vocab, sites)
+}
+
+/// Streams the corpus for `cfg` to an on-disk [`ShardStore`] in `n_shards`
+/// fixed-size shards without materialising more than one shard of companies
+/// at a time.
+///
+/// The store holds exactly the companies of `generate(cfg)`, bit for bit, at
+/// any shard count and thread count: every company's RNG stream depends only
+/// on `(cfg.seed, company_index)`, each company's `domestic_parent_duns` and
+/// country are unique to it, and domestic aggregation orders its output by
+/// that key — so aggregating one shard's sites yields precisely the global
+/// corpus slice `[lo, hi)`. (Site DUNS numbers, which the full pipeline
+/// assigns from a global counter, never survive into the aggregate.)
+pub fn generate_sharded(
+    cfg: &GeneratorConfig,
+    n_shards: usize,
+    dir: impl Into<std::path::PathBuf>,
+) -> Result<ShardStore, ShardError> {
+    let model = GenModel::new(cfg);
+    let shard_size = hlm_corpus::shard::aligned_shard_size(cfg.n_companies, n_shards);
+    let mut writer = ShardWriter::create(dir, model.vocab.clone(), shard_size)?;
+    let mut lo = 0;
+    while lo < cfg.n_companies {
+        let hi = (lo + shard_size).min(cfg.n_companies);
+        let sites: Vec<SiteRecord> = sites_for_range(cfg, &model, lo, hi)
+            .into_iter()
+            .flatten()
+            .collect();
+        let (_, companies) = aggregate_sites(model.vocab.clone(), sites).into_parts();
+        writer.write_shard(&companies)?;
+        lo = hi;
+    }
+    writer.finish()
 }
 
 #[cfg(test)]
@@ -388,6 +456,26 @@ mod tests {
             multi > 30,
             "expected many multi-site companies, got {multi}"
         );
+    }
+
+    #[test]
+    fn sharded_generation_is_bit_identical_to_in_memory() {
+        let cfg = GeneratorConfig::with_size_and_seed(300, 13);
+        let full = generate(&cfg);
+        for n_shards in [1, 2, 5] {
+            let dir = std::env::temp_dir().join(format!(
+                "hlm_datagen_sharded_{n_shards}_{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = generate_sharded(&cfg, n_shards, &dir).unwrap();
+            let mut all = Vec::new();
+            for item in store.reader() {
+                all.extend(item.unwrap().1);
+            }
+            assert_eq!(all.as_slice(), full.companies(), "n_shards={n_shards}");
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
     }
 
     #[test]

@@ -33,5 +33,5 @@ pub mod generator;
 pub mod profiles;
 
 pub use config::GeneratorConfig;
-pub use generator::{generate, generate_sites};
+pub use generator::{generate, generate_sharded, generate_sites};
 pub use profiles::{PlantedProfiles, ProfileSpec};

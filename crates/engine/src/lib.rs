@@ -31,10 +31,14 @@ use hlm_core::recommenders::{
 };
 use hlm_core::similarity::DistanceMetric;
 use hlm_core::CoreError;
+use hlm_corpus::CorpusSource;
 use hlm_corpus::{CompanyId, Corpus, Month, TimeWindow};
 use hlm_eval::drift::DriftReport;
 use hlm_eval::{Recommender, RecommenderFactory};
-use hlm_lda::{GibbsTrainer, LdaConfig, LdaModel, VbOptions, VbTrainer, WeightedDoc};
+use hlm_lda::{
+    DocShardSource, GibbsTrainer, LdaConfig, LdaModel, OnlineVbOptions, OnlineVbTrainer,
+    ShardedGibbsTrainer, VbOptions, VbTrainer, WeightedDoc,
+};
 use hlm_linalg::Matrix;
 use hlm_lstm::{LstmConfig, LstmLm, TrainOptions, Trainer};
 use hlm_ngram::{NgramConfig, NgramLm};
@@ -741,6 +745,134 @@ pub fn fit_lda_resilient(
             )
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-core (sharded) training
+// ---------------------------------------------------------------------------
+
+/// Adapts any [`CorpusSource`] into LDA document shards: each company
+/// becomes its binary install-base document (distinct products, weight 1.0
+/// each) — exactly what `hlm_core::representations::binary_docs` produces
+/// for the full id range, so in-memory and sharded training see identical
+/// token streams.
+pub struct CorpusDocShards<'a, S: CorpusSource + ?Sized> {
+    source: &'a S,
+}
+
+impl<'a, S: CorpusSource + ?Sized> CorpusDocShards<'a, S> {
+    /// Wraps a corpus source.
+    pub fn new(source: &'a S) -> Self {
+        CorpusDocShards { source }
+    }
+}
+
+impl<S: CorpusSource + ?Sized> DocShardSource for CorpusDocShards<'_, S> {
+    fn n_docs(&self) -> usize {
+        self.source.n_companies()
+    }
+
+    fn n_shards(&self) -> usize {
+        self.source.n_shards()
+    }
+
+    fn shard_span(&self, s: usize) -> (usize, usize) {
+        self.source.shard_span(s)
+    }
+
+    fn shard_docs(&self, s: usize) -> Vec<WeightedDoc> {
+        self.source
+            .shard(s)
+            .iter()
+            .map(|c| {
+                c.product_set()
+                    .into_iter()
+                    .map(|p| (p.index(), 1.0))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+fn validate_sharded_spec(config: &LdaConfig, source: &dyn CorpusSource) -> Result<(), EngineError> {
+    ModelSpec::Lda {
+        config: config.clone(),
+        estimator: LdaEstimator::Gibbs,
+    }
+    .validate()?;
+    if source.n_companies() == 0 {
+        return Err(EngineError::InvalidSpec {
+            reason: "LDA needs at least one training document".into(),
+        });
+    }
+    if config.vocab_size != source.vocab().len() {
+        return Err(EngineError::InvalidSpec {
+            reason: format!(
+                "config vocab_size {} != corpus vocabulary of {}",
+                config.vocab_size,
+                source.vocab().len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Out-of-core collapsed Gibbs over a sharded corpus: streams one shard of
+/// companies at a time, spilling per-shard sampler state under `work_dir`.
+/// Bit-identical to [`fit_lda_resilient`] with [`LdaEstimator::Gibbs`] on
+/// `binary_docs` of the same corpus, at any shard and thread count. Note the
+/// plan's guard/checkpoint cadence counts *shard steps* (one shard of one
+/// sweep), not sweeps.
+///
+/// # Errors
+/// Spec errors as in [`fit_lda`] (plus a config/corpus vocabulary-size
+/// mismatch); resilience errors as in [`fit_lda_resilient`].
+pub fn fit_lda_sharded_gibbs(
+    config: LdaConfig,
+    source: &dyn CorpusSource,
+    work_dir: impl Into<std::path::PathBuf>,
+    plan: TrainPlan,
+) -> Result<ResilientFit<LdaModel>, EngineError> {
+    validate_sharded_spec(&config, source)?;
+    let rec = hlm_obs::global();
+    let _span = rec.span("engine.fit_lda_sharded_gibbs");
+    rec.add("engine.trains", 1);
+    let trainer = ShardedGibbsTrainer::new(config, work_dir);
+    let docs = CorpusDocShards::new(source);
+    run_resilient(
+        hlm_lda::SHARDED_GIBBS_CHECKPOINT_KIND,
+        plan,
+        |ctrl, resume| trainer.fit_resumable(&docs, ctrl, resume),
+        |good| trainer.model_from_checkpoint(good),
+    )
+}
+
+/// Out-of-core online variational Bayes over a sharded corpus: one shard is
+/// one minibatch, one pass over the shards is one epoch (`opts.epochs`
+/// passes total). Deterministic and kill/resume-safe for a fixed shard
+/// layout; see [`hlm_lda::online_vb`] for why different layouts legitimately
+/// differ.
+///
+/// # Errors
+/// As in [`fit_lda_sharded_gibbs`].
+pub fn fit_lda_sharded_online_vb(
+    config: LdaConfig,
+    opts: OnlineVbOptions,
+    source: &dyn CorpusSource,
+    plan: TrainPlan,
+) -> Result<ResilientFit<LdaModel>, EngineError> {
+    validate_sharded_spec(&config, source)?;
+    let rec = hlm_obs::global();
+    let _span = rec.span("engine.fit_lda_sharded_online_vb");
+    rec.add("engine.trains", 1);
+    let trainer = OnlineVbTrainer::new(config, opts);
+    let docs = CorpusDocShards::new(source);
+    run_resilient(
+        hlm_lda::ONLINE_VB_CHECKPOINT_KIND,
+        plan,
+        |ctrl, resume| trainer.fit_resumable(&docs, ctrl, resume),
+        |good| trainer.model_from_checkpoint(good),
+    )
 }
 
 /// Checkpointed, resumable, watchdog-guarded BPMF fit. BPMF scores
@@ -2025,5 +2157,67 @@ mod tests {
                 companies: 150
             })
         );
+    }
+
+    fn sharded_dirs(tag: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+        let base = std::env::temp_dir().join(format!(
+            "hlm_engine_sharded_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+        (base.join("store"), base.join("work"))
+    }
+
+    #[test]
+    fn sharded_gibbs_over_shard_store_matches_in_memory_binary_docs() {
+        let corpus = corpus();
+        let (store_dir, work_dir) = sharded_dirs("gibbs");
+        let store = hlm_corpus::shard::write_corpus_sharded(&corpus, &store_dir, 3).unwrap();
+        let cfg = LdaConfig {
+            n_topics: 4,
+            vocab_size: corpus.vocab().len(),
+            n_iters: 12,
+            burn_in: 6,
+            sample_lag: 2,
+            seed: 17,
+            ..Default::default()
+        };
+
+        let ids: Vec<CompanyId> = corpus.ids().collect();
+        let docs = hlm_core::representations::binary_docs(&corpus, &ids);
+        let in_memory = fit_lda(cfg.clone(), LdaEstimator::Gibbs, &docs).unwrap();
+
+        let sharded = fit_lda_sharded_gibbs(cfg, &store, &work_dir, TrainPlan::new()).unwrap();
+        assert!(sharded.resumed_from.is_none());
+        assert_eq!(sharded.model.phi(), in_memory.phi());
+        std::fs::remove_dir_all(store_dir.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn sharded_online_vb_matches_across_backing_stores() {
+        let corpus = corpus();
+        let (store_dir, _) = sharded_dirs("ovb");
+        let store = hlm_corpus::shard::write_corpus_sharded(&corpus, &store_dir, 3).unwrap();
+        let cfg = LdaConfig {
+            n_topics: 4,
+            vocab_size: corpus.vocab().len(),
+            seed: 23,
+            ..Default::default()
+        };
+        let opts = OnlineVbOptions {
+            epochs: 2,
+            ..Default::default()
+        };
+
+        // Same shard layout, different backing store (disk vs RAM): the fits
+        // must agree to the last bit.
+        let from_disk =
+            fit_lda_sharded_online_vb(cfg.clone(), opts.clone(), &store, TrainPlan::new()).unwrap();
+        let mem =
+            hlm_corpus::shard::MemShardSource::new(&corpus, store.manifest().shard_size as usize);
+        let from_mem = fit_lda_sharded_online_vb(cfg, opts, &mem, TrainPlan::new()).unwrap();
+        assert_eq!(from_disk.model.phi(), from_mem.model.phi());
+        std::fs::remove_dir_all(store_dir.parent().unwrap()).unwrap();
     }
 }

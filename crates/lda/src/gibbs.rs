@@ -25,7 +25,10 @@ use serde::{Deserialize, Serialize};
 
 /// Documents per parallel Gibbs chunk. Fixed: chunk boundaries are part of
 /// the deterministic sampling schedule, not a tuning knob per machine.
-const DOC_CHUNK: usize = 64;
+/// Shard boundaries (`hlm_corpus::shard::SHARD_ALIGN`) are multiples of this,
+/// so a shard's local chunks coincide with global chunks — the key to the
+/// sharded sampler's bit-identity (see `sharded`).
+pub(crate) const DOC_CHUNK: usize = 64;
 
 /// Topic-count cutoff between the two samplers: at or below it, the fused
 /// dense cumulative pass (one multiply-accumulate per topic) beats any
@@ -37,7 +40,7 @@ const DENSE_TOPIC_CUTOFF: usize = 16;
 /// Cost-model estimate of one sweep: per weighted token, fixed bookkeeping
 /// plus roughly one multiply-accumulate per topic (in [`Budget`] units of
 /// ~1 ns of serial work).
-fn sweep_budget(n_tokens: usize, k: usize) -> Budget {
+pub(crate) fn sweep_budget(n_tokens: usize, k: usize) -> Budget {
     Budget::items(n_tokens, 16 + 8 * k as u64)
 }
 
@@ -45,30 +48,34 @@ fn sweep_budget(n_tokens: usize, k: usize) -> Budget {
 /// document-topic rows (mutated in place — they are disjoint between
 /// chunks) and its scratch area for the count-table deltas that must merge
 /// in chunk order.
-struct ChunkView<'a> {
-    z: &'a mut [u16],
-    dk: &'a mut [f64],
+pub(crate) struct ChunkView<'a> {
+    pub(crate) z: &'a mut [u16],
+    pub(crate) dk: &'a mut [f64],
     /// `k*m` topic-word deltas followed by `k` topic-total deltas, always
     /// fully overwritten by the chunk.
-    delta: &'a mut [f64],
-    d_lo: usize,
-    t_lo: usize,
+    pub(crate) delta: &'a mut [f64],
+    pub(crate) d_lo: usize,
+    pub(crate) t_lo: usize,
 }
 
-/// Immutable per-sweep context shared by every chunk.
-struct SweepCtx<'a> {
-    tok_doc: &'a [u32],
-    tok_word: &'a [u32],
-    tok_weight: &'a [f64],
-    n_kw: &'a Matrix,
-    n_k: &'a [f64],
-    k: usize,
-    m: usize,
-    alpha: f64,
-    beta: f64,
-    beta_sum: f64,
-    seed: u64,
-    sweep: u64,
+/// Immutable per-sweep context shared by every chunk. `chunk_base` is the
+/// global index of the context's first chunk: the whole-corpus sweep passes
+/// 0, the sharded sweep passes the shard's global chunk offset, so both draw
+/// from identical per-chunk RNG streams.
+pub(crate) struct SweepCtx<'a> {
+    pub(crate) tok_doc: &'a [u32],
+    pub(crate) tok_word: &'a [u32],
+    pub(crate) tok_weight: &'a [f64],
+    pub(crate) n_kw: &'a Matrix,
+    pub(crate) n_k: &'a [f64],
+    pub(crate) k: usize,
+    pub(crate) m: usize,
+    pub(crate) alpha: f64,
+    pub(crate) beta: f64,
+    pub(crate) beta_sum: f64,
+    pub(crate) seed: u64,
+    pub(crate) sweep: u64,
+    pub(crate) chunk_base: usize,
 }
 
 /// Per-slot scratch reused across every chunk a pool slot processes, so
@@ -76,7 +83,7 @@ struct SweepCtx<'a> {
 /// re-initialized per chunk (tables, reciprocals, word lists) or per
 /// document (topic list), keeping chunk results a pure function of the
 /// chunk — the `par_for_each_scratch` contract.
-struct SweepScratch {
+pub(crate) struct SweepScratch {
     /// Chunk-local topic-word counts (`k*m`), copied from the sweep-start
     /// snapshot at chunk entry.
     kw: Vec<f64>,
@@ -99,7 +106,7 @@ struct SweepScratch {
 }
 
 impl SweepScratch {
-    fn new(k: usize, m: usize) -> Self {
+    pub(crate) fn new(k: usize, m: usize) -> Self {
         SweepScratch {
             kw: vec![0.0; k * m],
             k_tot: vec![0.0; k],
@@ -116,7 +123,7 @@ impl SweepScratch {
 /// Splits the flat assignment array, the doc-topic table and the delta
 /// buffer into per-chunk disjoint views. Chunk boundaries are the same
 /// pure function of the corpus the sampler has always used.
-fn build_views<'a>(
+pub(crate) fn build_views<'a>(
     tok_z: &'a mut [u16],
     dk: &'a mut [f64],
     delta_buf: &'a mut [f64],
@@ -265,11 +272,21 @@ fn sample_sparse(
 /// Samples one chunk of documents against the sweep-start snapshot,
 /// mutating the chunk's assignments and doc-topic rows in place and
 /// writing its topic-word/topic-total deltas into the chunk's slice of the
-/// shared delta buffer. RNG stream: `(seed, sweep, chunk)` — identical at
-/// every thread count.
-fn sweep_chunk(scratch: &mut SweepScratch, ctx: &SweepCtx, chunk: usize, view: &mut ChunkView) {
+/// shared delta buffer. RNG stream: `(seed, sweep, chunk_base + chunk)` —
+/// identical at every thread count, and identical whether the chunk is
+/// addressed through a whole-corpus sweep or a shard-local one.
+pub(crate) fn sweep_chunk(
+    scratch: &mut SweepScratch,
+    ctx: &SweepCtx,
+    chunk: usize,
+    view: &mut ChunkView,
+) {
     let (k, m) = (ctx.k, ctx.m);
-    let mut rng = StdRng::seed_from_u64(hlm_par::split_seed3(ctx.seed, ctx.sweep, chunk as u64));
+    let mut rng = StdRng::seed_from_u64(hlm_par::split_seed3(
+        ctx.seed,
+        ctx.sweep,
+        (ctx.chunk_base + chunk) as u64,
+    ));
     scratch.kw.copy_from_slice(ctx.n_kw.as_slice());
     scratch.k_tot.copy_from_slice(ctx.n_k);
     for (inv, &tot) in scratch.inv.iter_mut().zip(scratch.k_tot.iter()) {
@@ -525,6 +542,7 @@ impl GibbsTrainer {
                 beta_sum,
                 seed: self.cfg.seed,
                 sweep: iter as u64,
+                chunk_base: 0,
             };
             let mut views = build_views(
                 &mut tok_z,
@@ -700,7 +718,7 @@ fn decode_state(
 /// Recorded as a convergence trace when observability is enabled; with
 /// weighted tokens the counts are real-valued and this is the natural
 /// generalization.
-fn gibbs_log_likelihood(n_kw: &Matrix, n_k: &[f64], beta: f64) -> f64 {
+pub(crate) fn gibbs_log_likelihood(n_kw: &Matrix, n_k: &[f64], beta: f64) -> f64 {
     use hlm_linalg::special::ln_gamma;
     let (k, m) = (n_kw.rows(), n_kw.cols());
     let beta_sum = beta * m as f64;
@@ -725,21 +743,50 @@ fn gibbs_log_likelihood(n_kw: &Matrix, n_k: &[f64], beta: f64) -> f64 {
 ///
 /// Empty documents are skipped; the result is clamped to `[1e-4, 1e2]` to
 /// keep a pathological early count table from destabilizing the chain.
+///
+/// Split into an accumulation over doc-topic rows and a finish step so the
+/// sharded sampler — whose `n_dk` lives in per-shard pieces — can stream the
+/// rows in global document order and obtain the identical floating-point
+/// result.
 fn minka_alpha_update(alpha: f64, n_dk: &Matrix, k: usize) -> f64 {
-    use hlm_linalg::special::digamma;
     let mut num = 0.0;
     let mut den = 0.0;
-    for d in 0..n_dk.rows() {
-        let row = n_dk.row(d);
+    minka_alpha_accumulate(
+        alpha,
+        k,
+        (0..n_dk.rows()).map(|d| n_dk.row(d)),
+        &mut num,
+        &mut den,
+    );
+    minka_alpha_finish(alpha, k, num, den)
+}
+
+/// Accumulates the numerator/denominator sums of Minka's update over
+/// doc-topic rows. Rows must arrive in global document order for the
+/// accumulation order (and hence the floating-point result) to be
+/// reproducible.
+pub(crate) fn minka_alpha_accumulate<'a>(
+    alpha: f64,
+    k: usize,
+    rows: impl Iterator<Item = &'a [f64]>,
+    num: &mut f64,
+    den: &mut f64,
+) {
+    use hlm_linalg::special::digamma;
+    for row in rows {
         let n_d: f64 = row.iter().sum();
         if n_d <= 0.0 {
             continue;
         }
         for &c in row {
-            num += digamma(c + alpha) - digamma(alpha);
+            *num += digamma(c + alpha) - digamma(alpha);
         }
-        den += digamma(n_d + k as f64 * alpha) - digamma(k as f64 * alpha);
+        *den += digamma(n_d + k as f64 * alpha) - digamma(k as f64 * alpha);
     }
+}
+
+/// Applies Minka's fixed-point step from the accumulated sums.
+pub(crate) fn minka_alpha_finish(alpha: f64, k: usize, num: f64, den: f64) -> f64 {
     if den <= 0.0 || num <= 0.0 {
         return alpha;
     }

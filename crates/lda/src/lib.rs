@@ -33,12 +33,18 @@
 
 pub mod gibbs;
 pub mod model;
+pub mod online_vb;
 pub mod perplexity;
+pub mod sharded;
 pub mod vb;
 
 pub use gibbs::{GibbsTrainer, GIBBS_CHECKPOINT_KIND};
 pub use model::{LdaConfig, LdaModel};
+pub use online_vb::{OnlineVbOptions, OnlineVbTrainer, ONLINE_VB_CHECKPOINT_KIND};
 pub use perplexity::{document_completion_perplexity, held_out_log_likelihood};
+pub use sharded::{
+    DocShardSource, MemDocShards, ShardedGibbsTrainer, SHARDED_GIBBS_CHECKPOINT_KIND,
+};
 pub use vb::{VbOptions, VbTrainer, VB_CHECKPOINT_KIND};
 
 /// A document as `(word index, weight)` pairs. Binary install bases use

@@ -23,7 +23,81 @@ use serde::{Deserialize, Serialize};
 
 /// Documents per parallel E-step chunk (fixed so results are independent of
 /// the worker count).
-const VB_DOC_CHUNK: usize = 64;
+pub(crate) const VB_DOC_CHUNK: usize = 64;
+
+/// Mean-field E-step for one document: iterates the variational Dirichlet
+/// `γ_d` to (near-)convergence against the current `exp(E[log φ])` cache,
+/// then accumulates the document's `λ` sufficient statistics into
+/// `lambda_contrib` and returns `γ_d`. Shared verbatim by the batch and the
+/// online (Hoffman-style) optimizers so both produce the same per-document
+/// floating-point sequence.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn doc_e_step(
+    doc: &WeightedDoc,
+    alpha: f64,
+    k: usize,
+    e_log_phi: &Matrix,
+    doc_iters: usize,
+    tol: f64,
+    resp: &mut [f64],
+    lambda_contrib: &mut Matrix,
+) -> Vec<f64> {
+    let mut g = vec![alpha + doc.len() as f64 / k as f64; k];
+    for _ in 0..doc_iters {
+        let mut g_new = vec![alpha; k];
+        for &(w, weight) in doc {
+            let mut s = 0.0;
+            for t in 0..k {
+                resp[t] = digamma(g[t]).exp() * e_log_phi.get(t, w);
+                s += resp[t];
+            }
+            if s <= 0.0 {
+                continue;
+            }
+            for t in 0..k {
+                g_new[t] += weight * resp[t] / s;
+            }
+        }
+        let delta: f64 = g
+            .iter()
+            .zip(&g_new)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / k as f64;
+        g = g_new;
+        if delta < tol {
+            break;
+        }
+    }
+    // Accumulate sufficient statistics into λ.
+    for &(w, weight) in doc {
+        let mut s = 0.0;
+        for (t, r) in resp.iter_mut().enumerate().take(k) {
+            *r = digamma(g[t]).exp() * e_log_phi.get(t, w);
+            s += *r;
+        }
+        if s <= 0.0 {
+            continue;
+        }
+        for (t, &r) in resp.iter().enumerate().take(k) {
+            lambda_contrib.add_at(t, w, weight * r / s);
+        }
+    }
+    g
+}
+
+/// Fills the `exp(E[log φ_kw])` cache from the current `λ` (shared by the
+/// batch and online optimizers).
+pub(crate) fn fill_e_log_phi(lambda: &Matrix, e_log_phi: &mut Matrix) {
+    let (k, m) = (lambda.rows(), lambda.cols());
+    for t in 0..k {
+        let row_sum: f64 = lambda.row(t).iter().sum();
+        let psi_sum = digamma(row_sum);
+        for w in 0..m {
+            e_log_phi.set(t, w, (digamma(lambda.get(t, w)) - psi_sum).exp());
+        }
+    }
+}
 
 /// One chunk's E-step output: its contribution to the new `λ` sufficient
 /// statistics, its documents' updated `γ` rows, and the summed absolute
@@ -157,13 +231,7 @@ impl VbTrainer {
             ctrl.begin_iteration(iter as u64)?;
             let iter_t0 = rec.is_enabled().then(std::time::Instant::now);
             // Cache expected log topic-word probabilities.
-            for t in 0..k {
-                let row_sum: f64 = lambda.row(t).iter().sum();
-                let psi_sum = digamma(row_sum);
-                for w in 0..m {
-                    e_log_phi.set(t, w, (digamma(lambda.get(t, w)) - psi_sum).exp());
-                }
-            }
+            fill_e_log_phi(&lambda, &mut e_log_phi);
 
             // Per-document E-steps are independent given λ; run them over
             // fixed document chunks and merge the sufficient statistics in
@@ -177,48 +245,16 @@ impl VbTrainer {
                 };
                 let mut resp = vec![0.0f64; k];
                 for (d, doc) in docs.iter().enumerate().take(d_hi).skip(d_lo) {
-                    // E-step for document d.
-                    let mut g = vec![alpha + doc.len() as f64 / k as f64; k];
-                    for _ in 0..self.opts.doc_iters {
-                        let mut g_new = vec![alpha; k];
-                        for &(w, weight) in doc {
-                            let mut s = 0.0;
-                            for t in 0..k {
-                                resp[t] = digamma(g[t]).exp() * e_log_phi.get(t, w);
-                                s += resp[t];
-                            }
-                            if s <= 0.0 {
-                                continue;
-                            }
-                            for t in 0..k {
-                                g_new[t] += weight * resp[t] / s;
-                            }
-                        }
-                        let delta: f64 = g
-                            .iter()
-                            .zip(&g_new)
-                            .map(|(a, b)| (a - b).abs())
-                            .sum::<f64>()
-                            / k as f64;
-                        g = g_new;
-                        if delta < self.opts.tol {
-                            break;
-                        }
-                    }
-                    // Accumulate sufficient statistics into λ.
-                    for &(w, weight) in doc {
-                        let mut s = 0.0;
-                        for (t, r) in resp.iter_mut().enumerate().take(k) {
-                            *r = digamma(g[t]).exp() * e_log_phi.get(t, w);
-                            s += *r;
-                        }
-                        if s <= 0.0 {
-                            continue;
-                        }
-                        for (t, &r) in resp.iter().enumerate().take(k) {
-                            out.lambda_contrib.add_at(t, w, weight * r / s);
-                        }
-                    }
+                    let g = doc_e_step(
+                        doc,
+                        alpha,
+                        k,
+                        &e_log_phi,
+                        self.opts.doc_iters,
+                        self.opts.tol,
+                        &mut resp,
+                        &mut out.lambda_contrib,
+                    );
                     for (t, &gt) in g.iter().enumerate().take(k) {
                         out.gamma_change += (gamma.get(d, t) - gt).abs();
                     }

@@ -38,8 +38,8 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 /// Version tag of the JSON-lines event-log schema. Bump only with the
-/// golden-schema test.
-pub const SCHEMA_VERSION: u32 = 1;
+/// golden-schema test. (v2 added gauges.)
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Upper bounds (inclusive) of the shared fixed histogram buckets, in the
 /// metric's natural unit (seconds for timings, bytes for sizes, …). One
@@ -157,6 +157,7 @@ pub struct TraceRecord {
 struct State {
     seq: u64,
     counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
     spans: Vec<SpanRecord>,
     traces: Vec<TraceRecord>,
@@ -209,6 +210,27 @@ impl Recorder {
         let Some(inner) = &self.inner else { return };
         let mut st = inner.state.lock().expect("obs state lock");
         *st.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Sets the named gauge to `value` — a last-write-wins point-in-time
+    /// level (peak RSS, queue depth), unlike the monotonic counters.
+    /// Non-finite values are handled as in [`Recorder::observe`].
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        if !value.is_finite() {
+            debug_assert!(value.is_finite(), "non-finite gauge value for {name}");
+            self.add(NON_FINITE_DROPPED, 1);
+            return;
+        }
+        let mut st = inner.state.lock().expect("obs state lock");
+        st.gauges.insert(name.to_string(), value);
+    }
+
+    /// The value of one gauge (`None` when never set or disabled).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        let inner = self.inner.as_ref()?;
+        let st = inner.state.lock().expect("obs state lock");
+        st.gauges.get(name).copied()
     }
 
     /// Records one value into the named fixed-bucket histogram. Non-finite
@@ -291,6 +313,7 @@ impl Recorder {
         Snapshot {
             schema: SCHEMA_VERSION,
             counters: st.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: st.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             histograms: st
                 .histograms
                 .iter()
@@ -407,6 +430,8 @@ pub struct Snapshot {
     pub schema: u32,
     /// Counter totals, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// Gauge levels (last write wins), sorted by name.
+    pub gauges: Vec<(String, f64)>,
     /// Histograms, sorted by name.
     pub histograms: Vec<(String, Histogram)>,
     /// Completed spans, in completion order.
@@ -430,6 +455,32 @@ impl Snapshot {
             .map(|s| s.duration_ms)
             .fold(0.0, |a, b| a + b);
         (self.spans.len(), root_ms)
+    }
+}
+
+/// Gauge name under which the CLI and bench record [`peak_rss_bytes`].
+pub const PEAK_RSS_GAUGE: &str = "process.peak_rss_bytes";
+
+/// The process's high-water-mark resident set size in bytes, read from
+/// `VmHWM` in `/proc/self/status`. Returns `None` on platforms without
+/// procfs or if the field is missing — callers treat that as "unknown", not
+/// zero.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            // Format: "VmHWM:     123456 kB"
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
     }
 }
 
@@ -561,6 +612,37 @@ mod tests {
         let mut noop_local = Recorder::noop().local();
         noop_local.add("c", 100);
         assert_eq!(Recorder::noop().counter("c"), 0);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let rec = Recorder::enabled();
+        assert_eq!(rec.gauge("rss"), None);
+        rec.set_gauge("rss", 10.0);
+        rec.set_gauge("rss", 7.0);
+        rec.set_gauge("depth", 3.0);
+        assert_eq!(rec.gauge("rss"), Some(7.0));
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.gauges,
+            vec![("depth".to_string(), 3.0), ("rss".to_string(), 7.0)]
+        );
+        // Disabled recorders stay inert.
+        let noop = Recorder::noop();
+        noop.set_gauge("rss", 1.0);
+        assert_eq!(noop.gauge("rss"), None);
+    }
+
+    #[test]
+    fn peak_rss_probe_reports_plausible_linux_values() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            let bytes = rss.expect("Linux exposes VmHWM in /proc/self/status");
+            // A running test binary surely holds over 1 MiB and (here) under
+            // 1 TiB — catches unit mix-ups (kB vs bytes) either way.
+            assert!(bytes > 1 << 20, "peak RSS {bytes} implausibly small");
+            assert!(bytes < 1 << 40, "peak RSS {bytes} implausibly large");
+        }
     }
 
     #[test]

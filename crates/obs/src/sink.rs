@@ -11,9 +11,10 @@ impl Snapshot {
     /// names and types per record `type`) is pinned by a golden test:
     ///
     /// ```text
-    /// {"type":"meta","schema":1,"spans":2,"counters":1,"histograms":1,"traces":2}
+    /// {"type":"meta","schema":2,"spans":2,"counters":1,"gauges":1,"histograms":1,"traces":2}
     /// {"type":"span","seq":3,"path":"cli.topics/engine.train","start_ms":0.2,"duration_ms":41.7}
     /// {"type":"counter","name":"par.tasks","value":96}
+    /// {"type":"gauge","name":"process.peak_rss_bytes","value":73400320}
     /// {"type":"histogram","name":"lda.gibbs.sweep_seconds","count":20,"sum":0.81,
     ///  "min":0.03,"max":0.06,"buckets":[{"le":"1e-6","n":0}, …, {"le":"+Inf","n":0}]}
     /// {"type":"trace","seq":1,"name":"lda.gibbs.log_likelihood","iteration":0,"value":-5417.3}
@@ -22,10 +23,11 @@ impl Snapshot {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{{\"type\":\"meta\",\"schema\":{},\"spans\":{},\"counters\":{},\"histograms\":{},\"traces\":{}}}",
+            "{{\"type\":\"meta\",\"schema\":{},\"spans\":{},\"counters\":{},\"gauges\":{},\"histograms\":{},\"traces\":{}}}",
             self.schema,
             self.spans.len(),
             self.counters.len(),
+            self.gauges.len(),
             self.histograms.len(),
             self.traces.len()
         );
@@ -44,6 +46,14 @@ impl Snapshot {
                 out,
                 "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{v}}}",
                 esc(name)
+            );
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+                esc(name),
+                Num(*v)
             );
         }
         for (name, h) in &self.histograms {
@@ -87,6 +97,11 @@ impl Snapshot {
             let m = prom_name(name);
             let _ = writeln!(out, "# TYPE {m} counter");
             let _ = writeln!(out, "{m} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let m = prom_name(name);
+            let _ = writeln!(out, "# TYPE {m} gauge");
+            let _ = writeln!(out, "{m} {}", Num(*v));
         }
         for (name, h) in &self.histograms {
             let m = prom_name(name);
@@ -158,6 +173,7 @@ mod tests {
     fn sample() -> crate::Snapshot {
         let rec = Recorder::enabled();
         rec.add("par.tasks", 96);
+        rec.set_gauge("process.peak_rss_bytes", 73400320.0);
         rec.observe("sweep.seconds", 0.02);
         rec.observe("sweep.seconds", 3.5);
         rec.trace("lda.gibbs.log_likelihood", 0, -5417.25);
@@ -170,8 +186,13 @@ mod tests {
         let text = sample().to_jsonl();
         check_finite(&text).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 1 + 1 + 1 + 1 + 1); // meta + span + counter + histogram + trace
-        assert!(lines[0].starts_with("{\"type\":\"meta\",\"schema\":1,"));
+        // meta + span + counter + gauge + histogram + trace
+        assert_eq!(lines.len(), 6);
+        assert!(lines[0].starts_with("{\"type\":\"meta\",\"schema\":2,"));
+        assert!(lines[0].contains("\"gauges\":1"));
+        assert!(text.contains(
+            "{\"type\":\"gauge\",\"name\":\"process.peak_rss_bytes\",\"value\":73400320}"
+        ));
         assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
     }
 
@@ -179,6 +200,9 @@ mod tests {
     fn prometheus_buckets_are_cumulative() {
         let text = sample().to_prometheus();
         assert!(text.contains("# TYPE hlm_par_tasks counter\nhlm_par_tasks 96\n"));
+        assert!(text.contains(
+            "# TYPE hlm_process_peak_rss_bytes gauge\nhlm_process_peak_rss_bytes 73400320\n"
+        ));
         // 0.02 lands in le=1e-1; 3.5 in le=1e1; +Inf must equal the count.
         assert!(text.contains("hlm_sweep_seconds_bucket{le=\"1e-1\"} 1"));
         assert!(text.contains("hlm_sweep_seconds_bucket{le=\"1e1\"} 2"));

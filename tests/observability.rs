@@ -138,7 +138,7 @@ fn recorder_is_a_pure_observer_and_sinks_keep_their_schema() {
         get(&meta, "schema").and_then(as_u64),
         Some(u64::from(hlm_obs::SCHEMA_VERSION))
     );
-    for key in ["spans", "counters", "histograms", "traces"] {
+    for key in ["spans", "counters", "gauges", "histograms", "traces"] {
         assert!(
             get(&meta, key).and_then(as_u64).is_some(),
             "meta is missing {key:?}: {:?}",
@@ -152,6 +152,7 @@ fn recorder_is_a_pure_observer_and_sinks_keep_their_schema() {
         let required: &[&str] = match kind {
             "span" => &["seq", "path", "start_ms", "duration_ms"],
             "counter" => &["name", "value"],
+            "gauge" => &["name", "value"],
             "histogram" => &["name", "count", "sum", "min", "max", "buckets"],
             "trace" => &["seq", "name", "iteration", "value"],
             other => panic!("unknown record type {other:?} in {line:?}"),
