@@ -24,6 +24,45 @@ impl TrainFlags {
     }
 }
 
+/// Options for the long-running `hlm serve` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeFlags {
+    /// TCP port to bind on 127.0.0.1 (0 picks a free port).
+    pub port: u16,
+    /// Write the bound port number to this file once listening — how
+    /// scripts and tests discover an ephemeral port.
+    pub port_file: Option<String>,
+    /// Model-worker threads draining the admission queue.
+    pub workers: usize,
+    /// Admission-queue capacity; requests beyond it are shed with 503.
+    pub queue: usize,
+    /// Default per-request deadline in milliseconds.
+    pub deadline_ms: u64,
+    /// Checkpoint directory: warm-start from its latest good checkpoint
+    /// when one exists, checkpoint fresh training into it otherwise, and
+    /// enable `POST /admin/swap` to hot-reload from it.
+    pub checkpoint_dir: Option<String>,
+    /// Number of latent topics when training is needed.
+    pub topics: usize,
+    /// Gibbs sweeps when training is needed.
+    pub iters: usize,
+}
+
+impl Default for ServeFlags {
+    fn default() -> Self {
+        ServeFlags {
+            port: 0,
+            port_file: None,
+            workers: 2,
+            queue: 256,
+            deadline_ms: 250,
+            checkpoint_dir: None,
+            topics: 3,
+            iters: 60,
+        }
+    }
+}
+
 /// Which LDA estimator `hlm topics` trains with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TopicsEstimator {
@@ -85,6 +124,13 @@ pub enum Command {
         /// Number of whitespace products to print.
         whitespace: usize,
     },
+    /// Serve recommendations over HTTP until SIGTERM (then drain).
+    Serve {
+        /// Data directory.
+        data: String,
+        /// Server options.
+        flags: ServeFlags,
+    },
     /// Concept-drift check between two periods.
     Drift {
         /// Data directory.
@@ -107,6 +153,7 @@ impl Command {
             Command::Stats { .. } => "stats",
             Command::Topics { .. } => "topics",
             Command::Similar { .. } => "similar",
+            Command::Serve { .. } => "serve",
             Command::Drift { .. } => "drift",
         }
     }
@@ -348,6 +395,45 @@ pub fn parse_invocation(argv: &[String]) -> Result<Invocation, String> {
                     .map_err(|_| "invalid value for --company".to_string())?,
                 k: parse_num(&pairs, "k", 10usize)?,
                 whitespace: parse_num(&pairs, "whitespace", 5usize)?,
+            })
+        }
+        "serve" => {
+            allow(&[
+                "data",
+                "port",
+                "port-file",
+                "workers",
+                "queue",
+                "deadline-ms",
+                "checkpoint-dir",
+                "topics",
+                "iters",
+            ])?;
+            let defaults = ServeFlags::default();
+            let workers = parse_num(&pairs, "workers", defaults.workers)?;
+            if workers == 0 {
+                return Err("--workers must be positive".to_string());
+            }
+            let queue = parse_num(&pairs, "queue", defaults.queue)?;
+            if queue == 0 {
+                return Err("--queue must be positive".to_string());
+            }
+            let deadline_ms = parse_num(&pairs, "deadline-ms", defaults.deadline_ms)?;
+            if deadline_ms == 0 {
+                return Err("--deadline-ms must be positive".to_string());
+            }
+            Ok(Command::Serve {
+                data: require(&pairs, "data")?.to_string(),
+                flags: ServeFlags {
+                    port: parse_num(&pairs, "port", defaults.port)?,
+                    port_file: get_opt(&pairs, "port-file").map(String::from),
+                    workers,
+                    queue,
+                    deadline_ms,
+                    checkpoint_dir: get_opt(&pairs, "checkpoint-dir").map(String::from),
+                    topics: parse_num(&pairs, "topics", defaults.topics)?,
+                    iters: parse_num(&pairs, "iters", defaults.iters)?,
+                },
             })
         }
         "drift" => {
@@ -620,6 +706,73 @@ mod tests {
         let e = parse_invocation(&argv(&["stats", "--data", "d", "--metrics-format", "prom"]))
             .unwrap_err();
         assert!(e.contains("requires --metrics"), "{e}");
+    }
+
+    #[test]
+    fn serve_parses_defaults_and_overrides() {
+        let cmd = parse_args(&argv(&["serve", "--data", "d"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                data: "d".into(),
+                flags: ServeFlags::default()
+            }
+        );
+        let cmd = parse_args(&argv(&[
+            "serve",
+            "--data",
+            "d",
+            "--port",
+            "8080",
+            "--port-file",
+            "/tmp/p",
+            "--workers",
+            "4",
+            "--queue",
+            "64",
+            "--deadline-ms",
+            "150",
+            "--checkpoint-dir",
+            "ck",
+            "--topics",
+            "5",
+            "--iters",
+            "30",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                data: "d".into(),
+                flags: ServeFlags {
+                    port: 8080,
+                    port_file: Some("/tmp/p".into()),
+                    workers: 4,
+                    queue: 64,
+                    deadline_ms: 150,
+                    checkpoint_dir: Some("ck".into()),
+                    topics: 5,
+                    iters: 30,
+                }
+            }
+        );
+    }
+
+    #[test]
+    fn serve_rejects_bad_values() {
+        assert!(parse_args(&argv(&["serve"]))
+            .unwrap_err()
+            .contains("--data"));
+        let e = parse_args(&argv(&["serve", "--data", "d", "--workers", "0"])).unwrap_err();
+        assert!(e.contains("--workers"), "{e}");
+        let e = parse_args(&argv(&["serve", "--data", "d", "--queue", "0"])).unwrap_err();
+        assert!(e.contains("--queue"), "{e}");
+        let e = parse_args(&argv(&["serve", "--data", "d", "--deadline-ms", "0"])).unwrap_err();
+        assert!(e.contains("--deadline-ms"), "{e}");
+        let e = parse_args(&argv(&["serve", "--data", "d", "--port", "99999"])).unwrap_err();
+        assert!(e.contains("--port"), "{e}");
+        let e = parse_args(&argv(&["serve", "--data", "d", "--resume"])).unwrap_err();
+        assert!(e.contains("--resume"), "{e}");
     }
 
     #[test]

@@ -1,16 +1,20 @@
 //! The `hlm` subcommand implementations. Each returns its output as a
 //! `String` so everything is testable without process spawning.
 
-use crate::{CliError, TopicsEstimator, TrainFlags};
+use crate::{CliError, ServeFlags, TopicsEstimator, TrainFlags};
 use hlm_core::representations::{binary_docs, lda_representations};
 use hlm_core::{CompanyFilter, DistanceMetric};
 use hlm_corpus::io::{from_csv, from_csv_lenient, to_csv, LenientOptions, QuarantineReport};
 use hlm_corpus::{Corpus, CorpusSource, Month, ShardStore, TimeWindow, Vocabulary};
 use hlm_datagen::GeneratorConfig;
-use hlm_engine::{Engine, LdaEstimator, RunGuard, TrainPlan};
+use hlm_engine::{Engine, LdaEstimator, RunGuard, ServeOptions, TrainPlan};
 use hlm_lda::{LdaConfig, LdaModel, OnlineVbOptions};
+use hlm_resilience::CheckpointStore;
+use hlm_serve::{bundle_from_checkpoint, bundle_from_model, BundleLoader, Server, ServerConfig};
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 /// Usage text.
 pub fn help_text() -> String {
@@ -40,6 +44,16 @@ USAGE:
       (Hoffman-style stochastic VB; --iters = epochs).
   hlm similar --data DIR --company DUNS [--k K] [--whitespace W]
       Top-K most similar companies and whitespace recommendations.
+  hlm serve --data DIR [--port P] [--port-file PATH] [--workers N]
+            [--queue N] [--deadline-ms D] [--checkpoint-dir DIR]
+            [--topics K] [--iters N]
+      Long-running HTTP recommendation server (see README \"Serving\").
+      Warm-starts from the latest good checkpoint in --checkpoint-dir
+      when one exists (bit-identical to the run that wrote it), else
+      trains first. Endpoints: /healthz /readyz /metrics /v1/similar
+      /v1/whitespace /v1/recommend, POST /admin/swap (hot model swap
+      with canary + rollback). Overload is shed with 503 + Retry-After;
+      SIGTERM drains gracefully.
   hlm drift --data DIR --reference YYYY-MM --recent YYYY-MM [--months M]
       Chi-square concept-drift check between two M-month periods.
   hlm help
@@ -488,6 +502,150 @@ pub fn similar(data: &str, company: u64, k: usize, whitespace: usize) -> Result<
     Ok(out)
 }
 
+/// The LDA shape every serving path shares (mirrors [`train_lda`], so a
+/// server warmed from a `hlm topics --checkpoint-dir` run reads its
+/// checkpoints with the exact config that wrote them).
+fn serve_lda_config(vocab_size: usize, topics: usize, iters: usize) -> LdaConfig {
+    LdaConfig {
+        n_topics: topics,
+        vocab_size,
+        n_iters: iters.max(2),
+        burn_in: iters.max(2) / 2,
+        sample_lag: 5,
+        ..Default::default()
+    }
+}
+
+/// `hlm serve`: warm a model and answer similarity / whitespace /
+/// recommendation queries over HTTP until SIGTERM, then drain.
+pub fn serve(data: &str, flags: &ServeFlags) -> Result<String, CliError> {
+    // A server is a long-running observable process: its `/metrics`
+    // endpoint is only useful with the recorder live, so turn it on
+    // unconditionally (read-only observer; results are unaffected).
+    hlm_obs::install(hlm_obs::Recorder::enabled());
+    let stop = hlm_serve::install_term_handler();
+    serve_until(data, flags, stop)
+}
+
+/// [`serve`] with an injectable stop flag, so tests can run a real server
+/// in-process and shut it down without sending signals.
+pub fn serve_until(
+    data: &str,
+    flags: &ServeFlags,
+    stop: Arc<AtomicBool>,
+) -> Result<String, CliError> {
+    if flags.topics == 0 {
+        return Err(CliError::Usage("--topics must be positive".into()));
+    }
+    let corpus = load(data)?;
+    let config = serve_lda_config(corpus.vocab().len(), flags.topics, flags.iters);
+    let engine = Arc::new(Engine::new(corpus));
+    let opts = ServeOptions {
+        request_budget_millis: Some(flags.deadline_ms),
+        ..ServeOptions::default()
+    };
+
+    // Warm start beats retraining: when the checkpoint dir has a good
+    // checkpoint, the server comes up answering bit-identically to the one
+    // that wrote it. Otherwise train now — checkpointing into the dir when
+    // one was given, so the *next* start is warm.
+    let mut note = String::new();
+    let store = match &flags.checkpoint_dir {
+        Some(dir) => Some(
+            CheckpointStore::on_disk(dir)
+                .map_err(|e| CliError::Engine(format!("cannot open checkpoint dir {dir}: {e}")))?,
+        ),
+        None => None,
+    };
+    let warm = store.as_ref().and_then(|s| {
+        match bundle_from_checkpoint(&engine, &config, s, DistanceMetric::Cosine, opts.clone()) {
+            Ok(b) => Some(b),
+            Err(e) => {
+                note = format!("cold start ({e})");
+                None
+            }
+        }
+    });
+    let bundle = match warm {
+        Some(b) => {
+            note = format!(
+                "warm start from checkpoint at sweep {}",
+                b.checkpoint_iteration
+            );
+            b
+        }
+        None => {
+            let ids: Vec<_> = engine.corpus().ids().collect();
+            let docs = binary_docs(engine.corpus(), &ids);
+            let mut plan = TrainPlan::new();
+            if let Some(dir) = &flags.checkpoint_dir {
+                plan = plan.on_disk(dir).map_err(engine_err)?;
+            }
+            let fit =
+                hlm_engine::fit_lda_resilient(config.clone(), LdaEstimator::Gibbs, &docs, plan)
+                    .map_err(engine_err)?;
+            if note.is_empty() {
+                note = format!(
+                    "trained LDA{} for {} sweeps",
+                    config.n_topics, config.n_iters
+                );
+            }
+            bundle_from_model(
+                &engine,
+                fit.model,
+                config.n_iters as u64,
+                DistanceMetric::Cosine,
+                opts.clone(),
+            )
+            .map_err(CliError::Engine)?
+        }
+    };
+
+    // With a checkpoint dir, `POST /admin/swap` hot-reloads whatever good
+    // checkpoint a concurrent training run has produced since.
+    let loader: Option<BundleLoader> = flags.checkpoint_dir.as_ref().map(|dir| {
+        let engine = Arc::clone(&engine);
+        let config = config.clone();
+        let dir = dir.clone();
+        let opts = opts.clone();
+        Box::new(move || {
+            let store = CheckpointStore::on_disk(&dir).map_err(|e| e.to_string())?;
+            bundle_from_checkpoint(
+                &engine,
+                &config,
+                &store,
+                DistanceMetric::Cosine,
+                opts.clone(),
+            )
+        }) as BundleLoader
+    });
+
+    let server_config = ServerConfig {
+        addr: format!("127.0.0.1:{}", flags.port),
+        workers: flags.workers,
+        queue_capacity: flags.queue,
+        default_deadline_millis: flags.deadline_ms,
+        ..ServerConfig::default()
+    };
+    let label = bundle.label.clone();
+    let generation = bundle.generation;
+    let server = Server::bind(server_config, engine, bundle, loader)
+        .map_err(|e| CliError::Data(format!("cannot bind 127.0.0.1:{}: {e}", flags.port)))?;
+    let addr = server.local_addr();
+    if let Some(path) = &flags.port_file {
+        std::fs::write(path, addr.port().to_string())
+            .map_err(|e| CliError::Data(format!("cannot write port file {path}: {e}")))?;
+    }
+    // Announce readiness on stdout *before* blocking in the accept loop —
+    // operators and scripts key off this line, not the exit summary.
+    println!("note: {note}");
+    println!("serving {label} (generation {generation}) on http://{addr} — SIGTERM drains");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run(stop);
+    Ok(format!("server on {addr} drained cleanly\n"))
+}
+
 /// `hlm drift`.
 pub fn drift(data: &str, reference: Month, recent: Month, months: u32) -> Result<String, CliError> {
     if months == 0 {
@@ -676,6 +834,59 @@ mod tests {
     fn run_dispatches_help() {
         let out = crate::run(&crate::Command::Help).unwrap();
         assert!(out.contains("USAGE"));
+        assert!(out.contains("hlm serve"), "{out}");
+    }
+
+    #[test]
+    fn serve_until_answers_http_then_drains_on_stop() {
+        use std::io::{Read as _, Write as _};
+
+        let dir = tmp_dir("serve");
+        generate(100, 5, &dir, None).unwrap();
+        let port_file = format!("{dir}/port");
+        let flags = ServeFlags {
+            port_file: Some(port_file.clone()),
+            iters: 12,
+            ..ServeFlags::default()
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let server = {
+            let dir = dir.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || serve_until(&dir, &flags, stop))
+        };
+
+        // The port file appears once the server is listening.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        let port: u16 = loop {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                break s.trim().parse().expect("port file holds a port");
+            }
+            assert!(std::time::Instant::now() < deadline, "server never came up");
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        };
+
+        let fetch = |path: &str| -> String {
+            let mut conn =
+                std::net::TcpStream::connect(("127.0.0.1", port)).expect("server accepts");
+            write!(
+                conn,
+                "GET {path} HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n"
+            )
+            .unwrap();
+            let mut buf = String::new();
+            conn.read_to_string(&mut buf).unwrap();
+            buf
+        };
+        assert!(fetch("/healthz").starts_with("HTTP/1.1 200"), "healthz");
+        let sim = fetch("/v1/similar?company=0&k=3&deadline_ms=30000");
+        assert!(sim.starts_with("HTTP/1.1 200"), "{sim}");
+        assert!(sim.contains("\"results\""), "{sim}");
+
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        let out = server.join().unwrap().unwrap();
+        assert!(out.contains("drained cleanly"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

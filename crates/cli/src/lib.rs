@@ -17,8 +17,8 @@ pub mod args;
 pub mod commands;
 
 pub use args::{
-    parse_args, parse_invocation, Command, Invocation, MetricsFormat, ParsedArgs, TopicsEstimator,
-    TrainFlags,
+    parse_args, parse_invocation, Command, Invocation, MetricsFormat, ParsedArgs, ServeFlags,
+    TopicsEstimator, TrainFlags,
 };
 pub use hlm_engine::{effective_threads, set_threads};
 
@@ -90,6 +90,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             k,
             whitespace,
         } => commands::similar(data, *company, *k, *whitespace),
+        Command::Serve { data, flags } => commands::serve(data, flags),
         Command::Drift {
             data,
             reference,

@@ -679,15 +679,29 @@ fn run_resilient<M>(
             // A poisoned model must never escape: recover the last snapshot
             // that passed its divergence checks, or surface the error.
             if let Some(s) = &store {
-                if let Ok(Some(good)) = s.latest_good(kind) {
-                    if let Ok(model) = rollback(&good) {
-                        hlm_obs::global().add("engine.rollbacks", 1);
-                        return Ok(ResilientFit {
-                            model,
-                            resumed_from,
-                            checkpoints_written,
-                            rolled_back: Some(diverged),
-                        });
+                match s.latest_good(kind) {
+                    Ok(Some(good)) => {
+                        if let Ok(model) = rollback(&good) {
+                            hlm_obs::global().add("engine.rollbacks", 1);
+                            return Ok(ResilientFit {
+                                model,
+                                resumed_from,
+                                checkpoints_written,
+                                rolled_back: Some(diverged),
+                            });
+                        }
+                    }
+                    Ok(None) => {}
+                    // A failed read is not "no checkpoint": it means the
+                    // store itself is broken, which the operator must hear
+                    // about. Count it, log it, and still surface the
+                    // original divergence below.
+                    Err(read_err) => {
+                        hlm_obs::global().add(hlm_obs::names::ENGINE_LATEST_GOOD_ERRORS, 1);
+                        eprintln!(
+                            "warning: divergence rollback could not read the latest good \
+                             checkpoint for {kind}: {read_err}"
+                        );
                     }
                 }
             }
@@ -1079,7 +1093,23 @@ impl ResilientModel {
     }
 
     /// Next-acquisition scores with fallback: never errors, always answers.
+    /// Uses the construction-time [`ServeOptions::request_budget_millis`];
+    /// servers propagating a *per-request* deadline use
+    /// [`ResilientModel::recommend_within`] instead.
     pub fn recommend(&self, history: &[usize]) -> Served<Vec<f64>> {
+        self.recommend_within(history, self.opts.request_budget_millis)
+    }
+
+    /// [`ResilientModel::recommend`] with an explicit per-request latency
+    /// budget, overriding the construction-time default. This is how a
+    /// request deadline carried on the wire (header or query parameter)
+    /// reaches the fallback chain: a primary answer that outlives *this
+    /// request's* budget is discarded in favour of the unigram fallback.
+    pub fn recommend_within(
+        &self,
+        history: &[usize],
+        budget_millis: Option<u64>,
+    ) -> Served<Vec<f64>> {
         let rec = hlm_obs::global();
         rec.add("serve.requests", 1);
         let req_t0 = rec.is_enabled().then(std::time::Instant::now);
@@ -1089,11 +1119,7 @@ impl ResilientModel {
                 let elapsed = self.clock.elapsed_millis().saturating_sub(started);
                 if let Some(defect) = self.score_defect(&scores) {
                     defect
-                } else if self
-                    .opts
-                    .request_budget_millis
-                    .is_some_and(|budget| elapsed > budget)
-                {
+                } else if budget_millis.is_some_and(|budget| elapsed > budget) {
                     format!("primary missed its deadline ({elapsed} ms)")
                 } else {
                     if let Some(t0) = req_t0 {
@@ -1233,6 +1259,16 @@ impl TrainedModel for TrainedLda {
     fn as_any(&self) -> &dyn Any {
         &self.model
     }
+}
+
+/// Wraps an already-materialized [`LdaModel`] as a [`TrainedModel`] — the
+/// entry point for serving a model recovered from a checkpoint
+/// (`GibbsTrainer::model_from_checkpoint`) rather than freshly trained:
+/// hot-swap paths load the snapshot, wrap it here, and chain it into a
+/// [`ResilientModel`] via [`Engine::resilient_over`].
+pub fn lda_trained(model: LdaModel) -> Box<dyn TrainedModel> {
+    let label = format!("LDA{}", model.n_topics());
+    Box::new(TrainedLda { model, label })
 }
 
 struct TrainedLstm {
@@ -1547,6 +1583,22 @@ impl Engine {
         let primary = spec.fit_sequences(&seqs, &[])?;
         let fallback = NgramLm::fit(NgramConfig::unigram(self.corpus.vocab().len()), &seqs);
         Ok(ResilientModel::new(primary, fallback, opts))
+    }
+
+    /// Chains an *already trained* primary model (e.g. one recovered from a
+    /// checkpoint via [`lda_trained`]) over a unigram fallback fitted on
+    /// every company's full history. This is the hot-swap path: the server
+    /// loads a candidate snapshot, wraps it here, canary-probes the result,
+    /// and only then atomically replaces the serving bundle.
+    pub fn resilient_over(
+        &self,
+        primary: Box<dyn TrainedModel>,
+        opts: ServeOptions,
+    ) -> ResilientModel {
+        let ids: Vec<CompanyId> = self.corpus.ids().collect();
+        let seqs = self.sequences_before(&ids, Month(i32::MAX));
+        let fallback = NgramLm::fit(NgramConfig::unigram(self.corpus.vocab().len()), &seqs);
+        ResilientModel::new(primary, fallback, opts)
     }
 
     /// Trains a model on every company's full history.
@@ -2061,6 +2113,79 @@ mod tests {
         let served = server.recommend(&[0, 1]);
         assert!(served.is_degraded(), "50 ms answer over a 20 ms budget");
         assert!(served.degraded.as_deref().unwrap().contains("deadline"));
+    }
+
+    #[test]
+    fn per_request_budget_overrides_the_default() {
+        use hlm_resilience::ManualClock;
+
+        let train = tiny_seqs();
+        let fallback = NgramLm::fit(NgramConfig::unigram(5), &train);
+        let clock = ManualClock::new();
+        let primary = SlowPrimary {
+            inner: ModelSpec::Ngram(NgramConfig::bigram(5))
+                .fit_sequences(&train, &[])
+                .unwrap(),
+            clock: clock.clone(),
+            cost_millis: 50,
+        };
+        // No default budget: plain recommend() never misses a deadline.
+        let server = ResilientModel::new(Box::new(primary), fallback, ServeOptions::default())
+            .with_clock(Box::new(clock));
+        assert!(!server.recommend(&[0, 1]).is_degraded());
+        // A tight per-request budget degrades this one call only.
+        let served = server.recommend_within(&[0, 1], Some(20));
+        assert!(served.is_degraded(), "50 ms answer over a 20 ms budget");
+        assert!(served.degraded.as_deref().unwrap().contains("deadline"));
+        // A generous per-request budget passes again.
+        assert!(!server.recommend_within(&[0, 1], Some(500)).is_degraded());
+    }
+
+    #[test]
+    fn checkpointed_lda_serves_bit_identically_via_resilient_over() {
+        let engine = Engine::new(corpus());
+        let ids: Vec<CompanyId> = engine.corpus().ids().collect();
+        let docs = hlm_core::representations::binary_docs(engine.corpus(), &ids);
+        let config = LdaConfig {
+            n_topics: 3,
+            vocab_size: engine.corpus().vocab().len(),
+            n_iters: 30,
+            burn_in: 15,
+            sample_lag: 5,
+            ..Default::default()
+        };
+        let dir = std::env::temp_dir().join(format!(
+            "hlm-engine-warm-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = TrainPlan::new().on_disk(&dir).unwrap();
+        let fit = fit_lda_resilient(config.clone(), LdaEstimator::Gibbs, &docs, plan).unwrap();
+        assert_eq!(fit.checkpoints_written, 30);
+
+        // Reload the final snapshot: the recovered model must answer exactly
+        // like the one the uninterrupted fit returned — this is what makes a
+        // server warm-started from `latest_good` bit-identical.
+        let store = CheckpointStore::on_disk(&dir).unwrap();
+        let good = store
+            .latest_good(hlm_lda::GIBBS_CHECKPOINT_KIND)
+            .unwrap()
+            .expect("final checkpoint present");
+        assert_eq!(good.iteration, 30);
+        let recovered = GibbsTrainer::new(config)
+            .model_from_checkpoint(&good)
+            .unwrap();
+
+        let warm = engine.resilient_over(lda_trained(recovered), ServeOptions::default());
+        let direct = lda_trained(fit.model);
+        for history in [vec![0usize, 3], vec![5, 1, 2], vec![7]] {
+            let a = warm.recommend(&history);
+            assert!(!a.is_degraded(), "{:?}", a.degraded);
+            assert_eq!(a.value, direct.recommend(&history).unwrap());
+        }
+        assert_eq!(warm.primary().label(), "LDA3");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

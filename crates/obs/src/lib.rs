@@ -461,6 +461,32 @@ impl Snapshot {
 /// Gauge name under which the CLI and bench record [`peak_rss_bytes`].
 pub const PEAK_RSS_GAUGE: &str = "process.peak_rss_bytes";
 
+/// Canonical metric names shared by the serving stack (`hlm-serve`, the CLI
+/// `serve` command, the load generator) and its dashboards. Keeping the
+/// strings here — next to the sinks that render them — means a renamed
+/// metric breaks one constant, not N scattered literals.
+pub mod names {
+    /// Gauge: requests currently waiting in the admission queue. Updated on
+    /// every enqueue/dequeue, so the last snapshot value is the depth at
+    /// snapshot time.
+    pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Counter: requests rejected with 503 because the admission queue was
+    /// full (explicit load shedding, never unbounded queueing).
+    pub const SERVE_SHED: &str = "serve.shed";
+    /// Counter: admitted requests dropped with 504 because their deadline
+    /// expired before (or while) a worker could answer them.
+    pub const SERVE_DEADLINE_EXCEEDED: &str = "serve.deadline_exceeded";
+    /// Counter: successful hot model swaps (candidate passed its canary).
+    pub const SERVE_HOT_SWAP: &str = "serve.hot_swap";
+    /// Counter: rejected hot-swap candidates — the canary probe failed and
+    /// the server kept serving the previous model.
+    pub const SERVE_ROLLBACK: &str = "serve.rollback";
+    /// Counter: `latest_good` checkpoint reads that *errored* (not "no
+    /// checkpoint found" — a real IO/listing failure). These used to be
+    /// silently swallowed on the engine's divergence-rollback path.
+    pub const ENGINE_LATEST_GOOD_ERRORS: &str = "engine.latest_good_errors";
+}
+
 /// The process's high-water-mark resident set size in bytes, read from
 /// `VmHWM` in `/proc/self/status`. Returns `None` on platforms without
 /// procfs or if the field is missing — callers treat that as "unknown", not
@@ -643,6 +669,41 @@ mod tests {
             assert!(bytes > 1 << 20, "peak RSS {bytes} implausibly small");
             assert!(bytes < 1 << 40, "peak RSS {bytes} implausibly large");
         }
+    }
+
+    #[test]
+    fn serving_metric_names_surface_in_both_sinks() {
+        let rec = Recorder::enabled();
+        rec.set_gauge(names::SERVE_QUEUE_DEPTH, 4.0);
+        rec.add(names::SERVE_SHED, 2);
+        rec.add(names::SERVE_DEADLINE_EXCEEDED, 1);
+        rec.add(names::SERVE_HOT_SWAP, 3);
+        rec.add(names::SERVE_ROLLBACK, 1);
+        rec.add(names::ENGINE_LATEST_GOOD_ERRORS, 1);
+        let snap = rec.snapshot();
+
+        let jsonl = snap.to_jsonl();
+        assert!(jsonl.contains("{\"type\":\"gauge\",\"name\":\"serve.queue_depth\",\"value\":4}"));
+        for counter in [
+            "serve.shed",
+            "serve.deadline_exceeded",
+            "serve.hot_swap",
+            "serve.rollback",
+            "engine.latest_good_errors",
+        ] {
+            assert!(
+                jsonl.contains(&format!("{{\"type\":\"counter\",\"name\":\"{counter}\"")),
+                "{counter} missing from JSONL:\n{jsonl}"
+            );
+        }
+
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE hlm_serve_queue_depth gauge\nhlm_serve_queue_depth 4\n"));
+        assert!(prom.contains("# TYPE hlm_serve_shed counter\nhlm_serve_shed 2\n"));
+        assert!(prom.contains("hlm_serve_deadline_exceeded 1\n"));
+        assert!(prom.contains("hlm_serve_hot_swap 3\n"));
+        assert!(prom.contains("hlm_serve_rollback 1\n"));
+        assert!(prom.contains("hlm_engine_latest_good_errors 1\n"));
     }
 
     #[test]

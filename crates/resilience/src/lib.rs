@@ -17,6 +17,10 @@
 //! - [`fault`] — a seeded, count-based fault-injection harness
 //!   ([`FaultPlan`], [`FaultyIo`]) so every failure mode the tests exercise
 //!   is reproducible without timing or signals.
+//! - [`netfault`] — the same count-based discipline for network streams
+//!   ([`NetFaultPlan`], [`FaultyStream`]): partial writes, mid-request
+//!   disconnects, corrupt frames, and slow-loris chunking for serving
+//!   drills.
 //!
 //! The contract trainers uphold: a checkpoint captures *everything* the loop
 //! needs (including RNG streams), is written only after an iteration fully
@@ -28,9 +32,11 @@ pub mod control;
 pub mod error;
 pub mod fault;
 pub mod guard;
+pub mod netfault;
 
 pub use checkpoint::{Checkpoint, CheckpointIo, CheckpointSink, CheckpointStore, FsIo, MemIo};
 pub use control::{CollapsePolicy, TrainControl};
 pub use error::ResilienceError;
 pub use fault::{Fault, FaultPlan, FaultyIo};
 pub use guard::{CancelHandle, Clock, ManualClock, RunGuard, SystemClock};
+pub use netfault::{FaultyStream, NetFault, NetFaultPlan};
