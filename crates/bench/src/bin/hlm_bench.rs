@@ -22,16 +22,23 @@
 //!    Gibbs fit and one online-VB epoch over the store, and records
 //!    tokens/s plus the process peak RSS against an estimate of the
 //!    in-memory footprint.
+//! 5. **Sampler kernels** (PR 8) — tokens/s of the three Gibbs token
+//!    samplers (dense scan, SparseLDA buckets, LightLDA alias-MH) at
+//!    K = 128 on one thread, then a 1/2/4/8-thread sweep of the alias-MH
+//!    kernel asserting bit-identical phi at every thread count. Speedup
+//!    figures from the sweep are marked valid only when the host
+//!    actually has more than one hardware thread.
 //!
-//! At `HLM_SCALE=xl` (one million companies) phases 1–3 are skipped —
-//! the whole point of that scale is that the corpus does not fit the
-//! in-memory path comfortably — and phase 4 is the entire benchmark, so
-//! the recorded peak RSS belongs to the sharded pipeline alone.
+//! At `HLM_SCALE=xl` (one million companies) phases 1–3 and 5 are
+//! skipped — the whole point of that scale is that the corpus does not
+//! fit the in-memory path comfortably — and phase 4 is the entire
+//! benchmark, so the recorded peak RSS belongs to the sharded pipeline
+//! alone.
 //!
 //! Usage:
 //!   hlm-bench [--json [PATH]]
 //!
-//! `--json` writes the machine-readable record (default `BENCH_pr6.json`)
+//! `--json` writes the machine-readable record (default `BENCH_pr8.json`)
 //! next to the human-readable stdout summary. Scale follows `HLM_SCALE`
 //! (`smoke|small|medium|paper|xl`, default `small`).
 //!
@@ -47,7 +54,9 @@ use hlm_core::{CompanyFilter, DistanceMetric};
 use hlm_corpus::CorpusSource;
 use hlm_datagen::GeneratorConfig;
 use hlm_engine::{effective_threads, set_threads, Engine, TrainPlan};
-use hlm_lda::{document_completion_perplexity, GibbsTrainer, LdaConfig, OnlineVbOptions};
+use hlm_lda::{
+    document_completion_perplexity, GibbsTrainer, LdaConfig, OnlineVbOptions, SamplerChoice,
+};
 use hlm_obs::json;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -99,6 +108,41 @@ struct ShardedReport {
     peak_rss_bytes: u64,
     in_memory_bytes_estimate: u64,
     rss_ratio: f64,
+}
+
+/// One serial kernel measurement in the sampler shoot-out.
+struct SamplerRun {
+    name: &'static str,
+    train_seconds: f64,
+    tokens_per_second: f64,
+}
+
+/// The serial shoot-out at one topic count: dense / bucket / alias-MH,
+/// each at one thread, best over interleaved rounds.
+struct SamplerKGroup {
+    k: usize,
+    sweeps: usize,
+    serial: Vec<SamplerRun>,
+    alias_vs_dense: f64,
+    alias_vs_bucket: f64,
+}
+
+/// Everything phase 5 measures (sampler kernels; skipped at xl).
+struct SamplerReport {
+    tokens: usize,
+    /// One serial shoot-out per topic count — the scanning kernels are
+    /// O(K)-per-token and the alias proposals O(1), so the ratio's growth
+    /// across K is the structural claim, not any single number.
+    by_k: Vec<SamplerKGroup>,
+    /// Topic count the thread sweep ran at.
+    thread_k: usize,
+    /// `(threads, train_seconds)` for the alias-MH kernel.
+    thread_sweep: Vec<(usize, f64)>,
+    alias_speedup_1_to_8: f64,
+    /// False on a single-hardware-thread host: the sweep then only proves
+    /// the no-penalty property, never a speedup.
+    speedup_valid: bool,
+    deterministic: bool,
 }
 
 /// p-th percentile (0..=100) of an unsorted latency sample, in seconds.
@@ -360,6 +404,118 @@ fn run_sharded(scale: &ExpScale) -> ShardedReport {
     }
 }
 
+/// Phase 5: the PR 8 sampler-kernel shoot-out. K = 128 is the first regime
+/// `SamplerChoice::Auto` routes to alias-MH (everything ≤ 64 goes to the
+/// scanning kernels), and on the paper's 38-product vocabulary a medium
+/// corpus makes every word-topic row dense there — the bucket sampler's
+/// per-token scan is provably O(K) while the alias proposals stay O(1).
+/// Measuring at K = 128 *and* K = 256 exposes that scaling: the alias
+/// kernel's time stays flat while the scanning kernels double.
+fn run_samplers(scale: &ExpScale, hardware: usize) -> SamplerReport {
+    let corpus = scale.corpus();
+    let split = scale.split(&corpus);
+    let train = hlm_core::representations::binary_docs(&corpus, &split.train);
+    let tokens: usize = train.iter().map(Vec::len).sum();
+    let sweeps = (scale.lda_iters / 4).max(8);
+    let config = |k: usize, sampler: SamplerChoice| LdaConfig {
+        n_topics: k,
+        vocab_size: corpus.vocab().len(),
+        n_iters: sweeps,
+        burn_in: sweeps / 2,
+        sample_lag: 5,
+        seed: scale.seed,
+        sampler,
+        ..Default::default()
+    };
+
+    set_threads(1);
+    // Interleaved rounds (dense, bucket, alias, dense, …) rather than
+    // best-of-N per kernel back to back: host-level throttling drifts on
+    // the scale of a whole phase, and interleaving exposes every kernel to
+    // the same drift so the *ratios* stay honest even when absolute times
+    // wobble.
+    const KERNELS: [(&str, SamplerChoice); 3] = [
+        ("dense", SamplerChoice::Dense),
+        ("bucket", SamplerChoice::Bucket),
+        ("alias", SamplerChoice::AliasMh),
+    ];
+    let mut by_k = Vec::new();
+    for k in [128usize, 256] {
+        let mut best = [f64::INFINITY; KERNELS.len()];
+        for round in 0..4 {
+            eprintln!(
+                "[hlm-bench] samplers: round {round}: {KERNELS:?} K={k}, {sweeps} sweeps, 1 thread…"
+            );
+            for (slot, (_, sampler)) in KERNELS.iter().enumerate() {
+                let t0 = Instant::now();
+                let model = GibbsTrainer::new(config(k, *sampler)).fit(&train);
+                best[slot] = best[slot].min(t0.elapsed().as_secs_f64());
+                assert_eq!(model.phi().rows(), k);
+            }
+        }
+        let serial: Vec<SamplerRun> = KERNELS
+            .iter()
+            .zip(best)
+            .map(|((name, _), train_seconds)| SamplerRun {
+                name,
+                train_seconds,
+                tokens_per_second: json::finite_or((tokens * sweeps) as f64 / train_seconds, 0.0),
+            })
+            .collect();
+        let alias_vs_dense = json::finite_or(
+            serial[2].tokens_per_second / serial[0].tokens_per_second,
+            0.0,
+        );
+        let alias_vs_bucket = json::finite_or(
+            serial[2].tokens_per_second / serial[1].tokens_per_second,
+            0.0,
+        );
+        by_k.push(SamplerKGroup {
+            k,
+            sweeps,
+            serial,
+            alias_vs_dense,
+            alias_vs_bucket,
+        });
+    }
+
+    // Thread sweep of the alias-MH kernel. The sampler is deterministic by
+    // construction at any thread count; the benchmark asserts it anyway so
+    // a bit-identity regression can never hide behind a speedup headline.
+    let thread_k = by_k[0].k;
+    let mut thread_sweep = Vec::new();
+    let mut phi_bits: Option<Vec<u64>> = None;
+    let mut deterministic = true;
+    for threads in [1usize, 2, 4, 8] {
+        set_threads(threads);
+        eprintln!("[hlm-bench] samplers: alias kernel at {threads} thread(s)…");
+        let t0 = Instant::now();
+        let model = GibbsTrainer::new(config(thread_k, SamplerChoice::AliasMh)).fit(&train);
+        let secs = t0.elapsed().as_secs_f64();
+        let bits: Vec<u64> = model.phi().as_slice().iter().map(|x| x.to_bits()).collect();
+        match &phi_bits {
+            None => phi_bits = Some(bits),
+            Some(first) => deterministic &= *first == bits,
+        }
+        thread_sweep.push((threads, secs));
+    }
+    assert!(
+        deterministic,
+        "alias-MH phi must be bit-identical at every thread count"
+    );
+    set_threads(1);
+
+    SamplerReport {
+        tokens,
+        by_k,
+        thread_k,
+        alias_speedup_1_to_8: json::finite_or(thread_sweep[0].1 / thread_sweep[3].1, 0.0),
+        thread_sweep,
+        speedup_valid: hardware > 1,
+        deterministic,
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let (want_json, json_path) = match argv.first().map(String::as_str) {
@@ -368,7 +524,7 @@ fn main() {
             true,
             argv.get(1)
                 .cloned()
-                .unwrap_or_else(|| "BENCH_pr6.json".to_string()),
+                .unwrap_or_else(|| "BENCH_pr8.json".to_string()),
         ),
         Some(other) => {
             eprintln!("unknown option {other:?}; usage: hlm-bench [--json [PATH]]");
@@ -413,11 +569,14 @@ fn main() {
     }
 
     hlm_obs::install(hlm_obs::Recorder::enabled());
-    let inmem = if is_xl {
+    let (inmem, samplers) = if is_xl {
         eprintln!("[hlm-bench] xl scale: skipping in-memory phases, sharded pipeline only");
-        None
+        (None, None)
     } else {
-        Some(run_in_memory(&scale))
+        (
+            Some(run_in_memory(&scale)),
+            Some(run_samplers(&scale, hardware)),
+        )
     };
     let sharded = run_sharded(&scale);
     hlm_obs::global().set_gauge(hlm_obs::PEAK_RSS_GAUGE, sharded.peak_rss_bytes as f64);
@@ -462,6 +621,38 @@ fn main() {
         );
         println!("deterministic across thread counts: {}", m.deterministic);
     }
+    if let Some(sp) = &samplers {
+        println!("samplers ({} tokens, 1 thread):", sp.tokens);
+        for g in &sp.by_k {
+            println!("  K={}, {} sweeps:", g.k, g.sweeps);
+            for r in &g.serial {
+                println!(
+                    "    {:<6} {:.3}s = {:.0} tokens/s",
+                    r.name, r.train_seconds, r.tokens_per_second
+                );
+            }
+            println!(
+                "    alias vs dense {:.2}x, alias vs bucket {:.2}x",
+                g.alias_vs_dense, g.alias_vs_bucket
+            );
+        }
+        let sweep: Vec<String> = sp
+            .thread_sweep
+            .iter()
+            .map(|(t, s)| format!("{t}t={s:.3}s"))
+            .collect();
+        println!(
+            "  alias thread sweep (K={}): {} -> speedup(1->8) {:.2}x{}",
+            sp.thread_k,
+            sweep.join("  "),
+            sp.alias_speedup_1_to_8,
+            if sp.speedup_valid {
+                ""
+            } else {
+                " [NOT VALID: single hardware thread]"
+            }
+        );
+    }
     let s = &sharded;
     println!(
         "sharded: {} companies / {} tokens in {} shards x {} ({:.1} MiB on disk), \
@@ -499,7 +690,7 @@ fn main() {
     if want_json {
         let mut j = String::new();
         let _ = writeln!(j, "{{");
-        let _ = writeln!(j, "  \"bench\": \"pr6_sharded_pipeline\",");
+        let _ = writeln!(j, "  \"bench\": \"pr8_sampler_kernels\",");
         let _ = writeln!(j, "  \"scale\": \"{}\",", scale.name);
         let _ = writeln!(j, "  \"hardware_threads\": {hardware},");
         let _ = writeln!(j, "  \"caveat\": \"{caveat}\",");
@@ -561,6 +752,55 @@ fn main() {
                 m.hit_rate
             );
             let _ = writeln!(j, "  \"deterministic\": {},", m.deterministic);
+        }
+        if let Some(sp) = &samplers {
+            let _ = writeln!(j, "  \"samplers\": {{\"tokens\": {},", sp.tokens);
+            let _ = writeln!(j, "    \"by_k\": [");
+            for (gi, g) in sp.by_k.iter().enumerate() {
+                let _ = writeln!(j, "      {{\"k\": {}, \"sweeps\": {},", g.k, g.sweeps);
+                let _ = writeln!(j, "       \"serial\": [");
+                for (i, r) in g.serial.iter().enumerate() {
+                    let _ = writeln!(
+                        j,
+                        "         {{\"sampler\": \"{}\", \"train_seconds\": {:.6}, \
+                         \"tokens_per_second\": {:.1}}}{}",
+                        r.name,
+                        json::finite_or(r.train_seconds, 0.0),
+                        r.tokens_per_second,
+                        if i + 1 < g.serial.len() { "," } else { "" }
+                    );
+                }
+                let _ = writeln!(j, "       ],");
+                let _ = writeln!(
+                    j,
+                    "       \"alias_vs_dense\": {:.4}, \"alias_vs_bucket\": {:.4}}}{}",
+                    g.alias_vs_dense,
+                    g.alias_vs_bucket,
+                    if gi + 1 < sp.by_k.len() { "," } else { "" }
+                );
+            }
+            let _ = writeln!(j, "    ],");
+            let _ = writeln!(j, "    \"thread_sweep_k\": {},", sp.thread_k);
+            let _ = writeln!(j, "    \"thread_sweep\": [");
+            for (i, (t, s)) in sp.thread_sweep.iter().enumerate() {
+                let _ = writeln!(
+                    j,
+                    "      {{\"threads\": {t}, \"train_seconds\": {:.6}}}{}",
+                    json::finite_or(*s, 0.0),
+                    if i + 1 < sp.thread_sweep.len() {
+                        ","
+                    } else {
+                        ""
+                    }
+                );
+            }
+            let _ = writeln!(j, "    ],");
+            let _ = writeln!(
+                j,
+                "    \"alias_speedup_1_to_8\": {:.4}, \"speedup_valid\": {}, \
+                 \"deterministic\": {}}},",
+                sp.alias_speedup_1_to_8, sp.speedup_valid, sp.deterministic
+            );
         }
         let _ = writeln!(
             j,

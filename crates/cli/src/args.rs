@@ -1,6 +1,7 @@
 //! Dependency-free argument parsing for the `hlm` tool.
 
 use hlm_corpus::Month;
+use hlm_lda::SamplerChoice;
 
 /// Resilience options shared by training subcommands.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -110,6 +111,9 @@ pub enum Command {
         iters: usize,
         /// Estimator: collapsed Gibbs or (sharded data only) online VB.
         estimator: TopicsEstimator,
+        /// Gibbs token-sampler kernel (`Auto` picks by topic count; a fixed
+        /// choice is part of the sampling schedule). Ignored by online VB.
+        sampler: SamplerChoice,
         /// Checkpoint/resume/watchdog options.
         flags: TrainFlags,
     },
@@ -355,6 +359,7 @@ pub fn parse_invocation(argv: &[String]) -> Result<Invocation, String> {
                 "topics",
                 "iters",
                 "estimator",
+                "sampler",
                 "checkpoint-dir",
                 "resume",
                 "max-seconds",
@@ -368,6 +373,12 @@ pub fn parse_invocation(argv: &[String]) -> Result<Invocation, String> {
                         "invalid value {other:?} for --estimator (expected gibbs or online-vb)"
                     ))
                 }
+            };
+            let sampler = match get_opt(&pairs, "sampler") {
+                None => SamplerChoice::Auto,
+                Some(s) => s
+                    .parse::<SamplerChoice>()
+                    .map_err(|e| format!("invalid value for --sampler: {e}"))?,
             };
             let flags = TrainFlags {
                 checkpoint_dir: get_opt(&pairs, "checkpoint-dir").map(String::from),
@@ -383,6 +394,7 @@ pub fn parse_invocation(argv: &[String]) -> Result<Invocation, String> {
                 topics: parse_num(&pairs, "topics", 3usize)?,
                 iters: parse_num(&pairs, "iters", 150usize)?,
                 estimator,
+                sampler,
                 flags,
             })
         }

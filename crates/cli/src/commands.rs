@@ -34,14 +34,20 @@ USAGE:
       On a sharded store, stats stream the manifest only: O(shards)
       memory at any corpus size.
   hlm topics --data DIR [--topics K] [--iters N] [--estimator E]
-            [--checkpoint-dir DIR] [--resume] [--max-seconds S]
+            [--sampler S] [--checkpoint-dir DIR] [--resume]
+            [--max-seconds S]
       Train LDA and print the learned topics. --checkpoint-dir snapshots
       every sweep; --resume continues an interrupted run from the latest
       good checkpoint; --max-seconds bounds the wall-clock budget.
       On a sharded store the run is out-of-core (one shard in memory at
       a time, Gibbs results bit-identical to in-memory training) and
       --estimator picks gibbs (default; --iters = sweeps) or online-vb
-      (Hoffman-style stochastic VB; --iters = epochs).
+      (Hoffman-style stochastic VB; --iters = epochs). --sampler picks
+      the Gibbs token kernel: auto (default; by topic count), dense,
+      bucket (SparseLDA buckets), or alias (LightLDA alias tables with
+      Metropolis-Hastings correction; fastest at large K). A fixed
+      choice is part of the sampling schedule — resume with the same
+      one.
   hlm similar --data DIR --company DUNS [--k K] [--whitespace W]
       Top-K most similar companies and whitespace recommendations.
   hlm serve --data DIR [--port P] [--port-file PATH] [--workers N]
@@ -297,6 +303,7 @@ fn train_lda(
     corpus: &Corpus,
     topics: usize,
     iters: usize,
+    sampler: hlm_lda::SamplerChoice,
     flags: &TrainFlags,
 ) -> Result<(LdaModel, Vec<String>), CliError> {
     let ids: Vec<_> = corpus.ids().collect();
@@ -307,6 +314,7 @@ fn train_lda(
         n_iters: iters.max(2),
         burn_in: iters.max(2) / 2,
         sample_lag: 5,
+        sampler,
         ..Default::default()
     };
     if !flags.is_active() {
@@ -373,6 +381,7 @@ fn train_lda_sharded(
     topics: usize,
     iters: usize,
     estimator: TopicsEstimator,
+    sampler: hlm_lda::SamplerChoice,
     flags: &TrainFlags,
 ) -> Result<(LdaModel, Vec<String>), CliError> {
     let config = LdaConfig {
@@ -381,6 +390,7 @@ fn train_lda_sharded(
         n_iters: iters.max(2),
         burn_in: iters.max(2) / 2,
         sample_lag: 5,
+        sampler,
         ..Default::default()
     };
     let plan = build_plan(flags)?;
@@ -410,6 +420,7 @@ pub fn topics(
     topics: usize,
     iters: usize,
     estimator: TopicsEstimator,
+    sampler: hlm_lda::SamplerChoice,
     flags: &TrainFlags,
 ) -> Result<String, CliError> {
     if topics == 0 {
@@ -418,7 +429,7 @@ pub fn topics(
     let t0 = std::time::Instant::now();
     let (model, notes, vocab) = if is_sharded(data) {
         let store = open_store(data)?;
-        let (model, notes) = train_lda_sharded(&store, topics, iters, estimator, flags)?;
+        let (model, notes) = train_lda_sharded(&store, topics, iters, estimator, sampler, flags)?;
         (model, notes, store.vocab().clone())
     } else {
         if estimator == TopicsEstimator::OnlineVb {
@@ -429,7 +440,7 @@ pub fn topics(
             ));
         }
         let corpus = load(data)?;
-        let (model, notes) = train_lda(&corpus, topics, iters, flags)?;
+        let (model, notes) = train_lda(&corpus, topics, iters, sampler, flags)?;
         let vocab = corpus.vocab().clone();
         (model, notes, vocab)
     };
@@ -460,7 +471,13 @@ pub fn similar(data: &str, company: u64, k: usize, whitespace: usize) -> Result<
 
     let ids: Vec<_> = corpus.ids().collect();
     let docs = binary_docs(&corpus, &ids);
-    let (model, _) = train_lda(&corpus, 3, 120, &TrainFlags::default())?;
+    let (model, _) = train_lda(
+        &corpus,
+        3,
+        120,
+        hlm_lda::SamplerChoice::Auto,
+        &TrainFlags::default(),
+    )?;
     let reps = lda_representations(&model, &docs);
     let engine = Engine::new(corpus);
     let app = engine
@@ -716,7 +733,15 @@ mod tests {
     fn topics_prints_k_topics() {
         let dir = tmp_dir("topics");
         generate(150, 9, &dir, None).unwrap();
-        let out = topics(&dir, 3, 60, TopicsEstimator::Gibbs, &TrainFlags::default()).unwrap();
+        let out = topics(
+            &dir,
+            3,
+            60,
+            TopicsEstimator::Gibbs,
+            hlm_lda::SamplerChoice::Auto,
+            &TrainFlags::default(),
+        )
+        .unwrap();
         // 3 topic lines + the trailing elapsed/threads summary.
         assert_eq!(out.lines().count(), 4);
         assert!(out.contains("topic 0:"));
@@ -741,7 +766,15 @@ mod tests {
             abort_at: Some(20),
             ..TrainFlags::default()
         };
-        let err = topics(&dir, 3, 60, TopicsEstimator::Gibbs, &killed).unwrap_err();
+        let err = topics(
+            &dir,
+            3,
+            60,
+            TopicsEstimator::Gibbs,
+            hlm_lda::SamplerChoice::Auto,
+            &killed,
+        )
+        .unwrap_err();
         assert_eq!(err.exit_code(), 4);
         assert!(err.to_string().contains("--resume"), "{err}");
 
@@ -751,7 +784,15 @@ mod tests {
             resume: true,
             ..TrainFlags::default()
         };
-        let out = topics(&dir, 3, 60, TopicsEstimator::Gibbs, &resumed).unwrap();
+        let out = topics(
+            &dir,
+            3,
+            60,
+            TopicsEstimator::Gibbs,
+            hlm_lda::SamplerChoice::Auto,
+            &resumed,
+        )
+        .unwrap();
         assert!(out.contains("resumed from checkpoint at sweep 20"), "{out}");
         assert!(out.contains("topic 0:"), "{out}");
         let _ = std::fs::remove_dir_all(&dir);
@@ -789,6 +830,7 @@ mod tests {
             0,
             10,
             TopicsEstimator::Gibbs,
+            hlm_lda::SamplerChoice::Auto,
             &TrainFlags::default(),
         )
         .unwrap_err();
@@ -909,7 +951,15 @@ mod tests {
         generate(150, 9, &dir, Some(2)).unwrap();
 
         // Out-of-core Gibbs: same 4-line shape as the in-memory path.
-        let out = topics(&dir, 3, 30, TopicsEstimator::Gibbs, &TrainFlags::default()).unwrap();
+        let out = topics(
+            &dir,
+            3,
+            30,
+            TopicsEstimator::Gibbs,
+            hlm_lda::SamplerChoice::Auto,
+            &TrainFlags::default(),
+        )
+        .unwrap();
         assert_eq!(out.lines().count(), 4, "{out}");
         assert!(out.contains("topic 0:"), "{out}");
 
@@ -919,6 +969,7 @@ mod tests {
             3,
             2,
             TopicsEstimator::OnlineVb,
+            hlm_lda::SamplerChoice::Auto,
             &TrainFlags::default(),
         )
         .unwrap();
@@ -936,6 +987,7 @@ mod tests {
             3,
             2,
             TopicsEstimator::OnlineVb,
+            hlm_lda::SamplerChoice::Auto,
             &TrainFlags::default(),
         )
         .unwrap_err();
@@ -955,7 +1007,15 @@ mod tests {
             abort_at: Some(20),
             ..TrainFlags::default()
         };
-        let err = topics(&dir, 3, 30, TopicsEstimator::Gibbs, &killed).unwrap_err();
+        let err = topics(
+            &dir,
+            3,
+            30,
+            TopicsEstimator::Gibbs,
+            hlm_lda::SamplerChoice::Auto,
+            &killed,
+        )
+        .unwrap_err();
         assert_eq!(err.exit_code(), 4);
         assert!(err.to_string().contains("--resume"), "{err}");
 
@@ -964,7 +1024,15 @@ mod tests {
             resume: true,
             ..TrainFlags::default()
         };
-        let out = topics(&dir, 3, 30, TopicsEstimator::Gibbs, &resumed).unwrap();
+        let out = topics(
+            &dir,
+            3,
+            30,
+            TopicsEstimator::Gibbs,
+            hlm_lda::SamplerChoice::Auto,
+            &resumed,
+        )
+        .unwrap();
         assert!(out.contains("resumed from checkpoint at step 20"), "{out}");
         assert!(out.contains("topic 0:"), "{out}");
         let _ = std::fs::remove_dir_all(&dir);

@@ -82,8 +82,9 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             topics,
             iters,
             estimator,
+            sampler,
             flags,
-        } => commands::topics(data, *topics, *iters, *estimator, flags),
+        } => commands::topics(data, *topics, *iters, *estimator, *sampler, flags),
         Command::Similar {
             data,
             company,

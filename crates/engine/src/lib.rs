@@ -547,6 +547,7 @@ pub struct TrainPlan {
     collapse: CollapsePolicy,
     faults: FaultPlan,
     checkpoint_every: u64,
+    sampler: Option<hlm_lda::SamplerChoice>,
 }
 
 impl TrainPlan {
@@ -602,6 +603,16 @@ impl TrainPlan {
         self.checkpoint_every = n.max(1);
         self
     }
+
+    /// Override the Gibbs token-sampler kernel (`Auto` picks by topic
+    /// count). A fixed choice is part of the sampling schedule: changing it
+    /// changes the RNG consumption pattern, so resumed runs must keep the
+    /// choice their checkpoints were written under. Ignored by estimators
+    /// without a Gibbs kernel (VB, online VB).
+    pub fn with_sampler(mut self, sampler: hlm_lda::SamplerChoice) -> Self {
+        self.sampler = Some(sampler);
+        self
+    }
 }
 
 /// The result of a resilient training run: the model plus how the run got
@@ -648,6 +659,7 @@ fn run_resilient<M>(
         collapse,
         faults,
         checkpoint_every,
+        sampler: _, // consumed by the LDA entry points before they get here
     } = plan;
 
     let resume_ckpt = match (&store, resume) {
@@ -721,11 +733,14 @@ fn run_resilient<M>(
 /// watchdog trips (resumable — see [`EngineError::is_interruption`]) or
 /// divergence hits with no good checkpoint to fall back to.
 pub fn fit_lda_resilient(
-    config: LdaConfig,
+    mut config: LdaConfig,
     estimator: LdaEstimator,
     docs: &[WeightedDoc],
     plan: TrainPlan,
 ) -> Result<ResilientFit<LdaModel>, EngineError> {
+    if let Some(sampler) = plan.sampler {
+        config.sampler = sampler;
+    }
     ModelSpec::Lda {
         config: config.clone(),
         estimator,
@@ -842,11 +857,14 @@ fn validate_sharded_spec(config: &LdaConfig, source: &dyn CorpusSource) -> Resul
 /// Spec errors as in [`fit_lda`] (plus a config/corpus vocabulary-size
 /// mismatch); resilience errors as in [`fit_lda_resilient`].
 pub fn fit_lda_sharded_gibbs(
-    config: LdaConfig,
+    mut config: LdaConfig,
     source: &dyn CorpusSource,
     work_dir: impl Into<std::path::PathBuf>,
     plan: TrainPlan,
 ) -> Result<ResilientFit<LdaModel>, EngineError> {
+    if let Some(sampler) = plan.sampler {
+        config.sampler = sampler;
+    }
     validate_sharded_spec(&config, source)?;
     let rec = hlm_obs::global();
     let _span = rec.span("engine.fit_lda_sharded_gibbs");

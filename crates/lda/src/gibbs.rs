@@ -14,9 +14,10 @@
 //! count, so results are bit-identical at any `HLM_THREADS` — and the
 //! checkpoint/resume bit-identity guarantee carries over unchanged.
 
-use crate::model::{LdaConfig, LdaModel};
+use crate::model::{LdaConfig, LdaModel, SamplerChoice};
 use crate::WeightedDoc;
-use hlm_linalg::Matrix;
+use hlm_linalg::dist::AliasTableSet;
+use hlm_linalg::{Matrix, SparseDelta};
 use hlm_par::{Budget, Pool};
 use hlm_resilience::{Checkpoint, ResilienceError, TrainControl};
 use rand::rngs::StdRng;
@@ -30,18 +31,167 @@ use serde::{Deserialize, Serialize};
 /// sharded sampler's bit-identity (see `sharded`).
 pub(crate) const DOC_CHUNK: usize = 64;
 
-/// Topic-count cutoff between the two samplers: at or below it, the fused
-/// dense cumulative pass (one multiply-accumulate per topic) beats any
-/// list bookkeeping; above it the SparseLDA-style bucket sampler pays off.
-/// A pure function of the configuration, so the choice cannot vary with
-/// scheduling.
-const DENSE_TOPIC_CUTOFF: usize = 16;
+/// Metropolis–Hastings cycles per token in the alias sampler: each cycle is
+/// one word-proposal step and one doc-proposal step. Two cycles is the
+/// operating point where perplexity matches the exact samplers (see
+/// `tests/sampler_equivalence.rs`); one cycle is measurably under-mixed on
+/// the paper's corpus sizes. Part of the sampling schedule: fixed.
+const MH_CYCLES: usize = 2;
+
+/// Tokens between batch re-derivations of the topic-total reciprocals in
+/// the alias kernel. The totals themselves are maintained exactly; only
+/// their reciprocals go briefly stale, trading two on-critical-path f64
+/// divisions per token for `k` vectorizable ones per refresh. Part of the
+/// sampling schedule: fixed.
+const INV_REFRESH: usize = 128;
 
 /// Cost-model estimate of one sweep: per weighted token, fixed bookkeeping
-/// plus roughly one multiply-accumulate per topic (in [`Budget`] units of
-/// ~1 ns of serial work).
-pub(crate) fn sweep_budget(n_tokens: usize, k: usize) -> Budget {
-    Budget::items(n_tokens, 16 + 8 * k as u64)
+/// plus roughly one multiply-accumulate per topic for the scanning kernels;
+/// the alias-MH kernel is O(1) per token (in [`Budget`] units of ~1 ns of
+/// serial work).
+pub(crate) fn sweep_budget(n_tokens: usize, k: usize, kind: SamplerChoice) -> Budget {
+    match kind {
+        SamplerChoice::AliasMh => Budget::items(n_tokens, 150),
+        _ => Budget::items(n_tokens, 16 + 8 * k as u64),
+    }
+}
+
+/// Stride of one chunk's slice of the shared delta buffer. The scanning
+/// kernels write a dense `k*m` topic-word delta plus `k` topic totals; the
+/// alias kernel writes a sparse `[n, (cell, delta)*n, .., k totals]` record
+/// (the pair region is sized for the worst case, the tail `k` totals always
+/// sit at the end of the slice).
+pub(crate) fn delta_stride(kind: SamplerChoice, k: usize, m: usize) -> usize {
+    match kind {
+        SamplerChoice::AliasMh => 1 + 2 * k * m + k,
+        _ => k * m + k,
+    }
+}
+
+/// Folds one chunk's delta slice into the global (or accumulator) tables.
+/// Both the in-memory and the sharded sweep use this exact routine in global
+/// chunk order, so each count cell sees the identical addition sequence —
+/// the bit-identity contract between the two trainers.
+pub(crate) fn merge_chunk_delta(
+    kind: SamplerChoice,
+    chunk_delta: &[f64],
+    n_kw: &mut [f64],
+    n_k: &mut [f64],
+    k: usize,
+    m: usize,
+) {
+    match kind {
+        SamplerChoice::AliasMh => {
+            let n = chunk_delta[0] as usize;
+            for pair in chunk_delta[1..1 + 2 * n].chunks_exact(2) {
+                n_kw[pair[0] as usize] += pair[1];
+            }
+            let tail = &chunk_delta[chunk_delta.len() - k..];
+            for (g, &d) in n_k.iter_mut().zip(tail) {
+                *g += d;
+            }
+        }
+        _ => {
+            let (kw_delta, k_delta) = chunk_delta.split_at(k * m);
+            for (g, &d) in n_kw.iter_mut().zip(kw_delta) {
+                *g += d;
+            }
+            for (g, &d) in n_k.iter_mut().zip(k_delta) {
+                *g += d;
+            }
+        }
+    }
+}
+
+/// Per-sweep counter name for the kernel actually taken (`kind` must be
+/// resolved), so crossover cutoffs are tunable from `/metrics`.
+pub(crate) fn sampler_counter(kind: SamplerChoice) -> &'static str {
+    match kind {
+        SamplerChoice::Dense => "lda.sampler.dense",
+        SamplerChoice::Bucket => "lda.sampler.bucket",
+        SamplerChoice::AliasMh => "lda.sampler.alias",
+        // Unreachable after `resolve`, kept total for safety.
+        SamplerChoice::Auto => "lda.sampler.auto",
+    }
+}
+
+/// Accumulates one topic's posterior-mean contribution
+/// `phi_row += (n_kw_row + β) / (n_k + Mβ)`. With the `fast-math` feature
+/// the count part goes through the unrolled f32 `axpy`; the default build
+/// keeps the exact historical expression bit-for-bit. Shared by the
+/// in-memory and sharded trainers so both flip together.
+pub(crate) fn accumulate_phi_row(
+    phi_row: &mut [f64],
+    kw_row: &[f64],
+    nk: f64,
+    beta: f64,
+    beta_sum: f64,
+) {
+    let denom = nk + beta_sum;
+    if hlm_linalg::fastmath::FAST_MATH_ENABLED {
+        let inv = 1.0 / denom;
+        hlm_linalg::fastmath::axpy(phi_row, inv, kw_row);
+        let smooth = beta * inv;
+        phi_row.iter_mut().for_each(|p| *p += smooth);
+    } else {
+        for (acc, &c) in phi_row.iter_mut().zip(kw_row) {
+            *acc += (c + beta) / denom;
+        }
+    }
+}
+
+/// Per-word Walker alias tables over the sweep-start snapshot, shared
+/// read-only by every chunk of a sweep. The table for word `w` encodes the
+/// word-proposal distribution
+///
+/// ```text
+/// q̃_w(t) = (snap_kw[t,w] + β) / (snap_k[t] + Mβ)
+/// ```
+///
+/// — the true conditional with the document factor dropped and counts frozen
+/// at the snapshot. Staleness is bounded at one sweep (the in-memory
+/// trainer) or one shard step against the same sweep snapshot (the sharded
+/// trainer): both rebuild from the identical `(n_kw, n_k)` tables, and
+/// [`AliasTableSet::build_table`] is a pure function of its weights, so the
+/// two trainers draw from bit-identical tables.
+pub(crate) struct WordAliasTables {
+    set: AliasTableSet,
+    /// Snapshot reciprocals `1 / (snap_k[t] + Mβ)`, kept so the MH accept
+    /// ratio can re-derive `q̃_w(t)` for arbitrary `t` in O(1).
+    snap_inv: Vec<f64>,
+    /// Reusable weight buffer for rebuilds.
+    weights: Vec<f64>,
+}
+
+impl WordAliasTables {
+    pub(crate) fn new(k: usize, m: usize) -> Self {
+        WordAliasTables {
+            set: AliasTableSet::new(m, k),
+            snap_inv: vec![0.0; k],
+            weights: vec![0.0; k],
+        }
+    }
+
+    /// Rebuilds every word's table from the sweep-start snapshot,
+    /// allocation-free after the first call. Counted per rebuild under
+    /// `lda.alias.rebuilds`.
+    pub(crate) fn rebuild(&mut self, n_kw: &Matrix, n_k: &[f64], beta: f64, beta_sum: f64) {
+        let (k, m) = (n_kw.rows(), n_kw.cols());
+        debug_assert_eq!(k, self.snap_inv.len());
+        for (inv, &tot) in self.snap_inv.iter_mut().zip(n_k) {
+            *inv = 1.0 / (tot + beta_sum);
+        }
+        let mut weights = std::mem::take(&mut self.weights);
+        let snap = n_kw.as_slice();
+        for w in 0..m {
+            for (t, wt) in weights.iter_mut().enumerate() {
+                *wt = (snap[t * m + w].max(0.0) + beta) * self.snap_inv[t];
+            }
+            self.set.build_table(w, &weights);
+        }
+        self.weights = weights;
+        hlm_obs::global().add("lda.alias.rebuilds", 1);
+    }
 }
 
 /// One chunk's mutable slice of a sweep: its token assignments and
@@ -51,11 +201,18 @@ pub(crate) fn sweep_budget(n_tokens: usize, k: usize) -> Budget {
 pub(crate) struct ChunkView<'a> {
     pub(crate) z: &'a mut [u16],
     pub(crate) dk: &'a mut [f64],
-    /// `k*m` topic-word deltas followed by `k` topic-total deltas, always
-    /// fully overwritten by the chunk.
+    /// The chunk's [`delta_stride`]-sized slice of the shared delta buffer;
+    /// layout per sampler kind (see [`merge_chunk_delta`]). Every cell the
+    /// merge reads is overwritten by the chunk.
     pub(crate) delta: &'a mut [f64],
     pub(crate) d_lo: usize,
     pub(crate) t_lo: usize,
+    /// MH proposals / acceptances made by this chunk (alias sampler only).
+    /// Counted unconditionally — plain integer adds that never touch the
+    /// RNG — and summed in chunk order by the caller, so the recorder
+    /// on/off state cannot perturb the chain or the reported totals.
+    pub(crate) mh_proposed: u64,
+    pub(crate) mh_accepted: u64,
 }
 
 /// Immutable per-sweep context shared by every chunk. `chunk_base` is the
@@ -76,6 +233,11 @@ pub(crate) struct SweepCtx<'a> {
     pub(crate) seed: u64,
     pub(crate) sweep: u64,
     pub(crate) chunk_base: usize,
+    /// Resolved per-token kernel (never `Auto`).
+    pub(crate) kind: SamplerChoice,
+    /// Per-word proposal tables, present iff `kind == AliasMh`. Rebuilt
+    /// from the same snapshot `n_kw`/`n_k` point to, once per sweep.
+    pub(crate) alias: Option<&'a WordAliasTables>,
 }
 
 /// Per-slot scratch reused across every chunk a pool slot processes, so
@@ -85,8 +247,13 @@ pub(crate) struct SweepCtx<'a> {
 /// chunk — the `par_for_each_scratch` contract.
 pub(crate) struct SweepScratch {
     /// Chunk-local topic-word counts (`k*m`), copied from the sweep-start
-    /// snapshot at chunk entry.
+    /// snapshot at chunk entry. Empty in alias mode, which reads
+    /// snapshot + [`SweepScratch::kw_delta`] instead of paying the O(K·M)
+    /// copy per chunk.
     kw: Vec<f64>,
+    /// Chunk-local sparse topic-word delta against the snapshot (alias mode
+    /// only): O(1) current-count reads, O(touched) reset and emission.
+    kw_delta: SparseDelta,
     /// Chunk-local topic totals (`k`).
     k_tot: Vec<f64>,
     /// Cached reciprocals `1 / (k_tot[t] + Mβ)` — turns the per-topic
@@ -99,23 +266,32 @@ pub(crate) struct SweepScratch {
     doc_topics: Vec<u16>,
     /// Cumulative weights over `doc_topics`.
     doc_cum: Vec<f64>,
-    /// Maintained per-word sparse topic lists (sparse sampler only).
+    /// Maintained per-word sparse topic lists (bucket sampler only).
     word_topics: Vec<Vec<u16>>,
     /// Cumulative weights over one word's topic list.
     word_cum: Vec<f64>,
+    /// Generation stamps for per-document topic seeding (alias mode only):
+    /// lets a document's distinct topics be collected by scanning its own
+    /// tokens — O(doc length) — instead of its dense O(K) doc-topic row.
+    doc_stamp: Vec<u32>,
+    doc_gen: u32,
 }
 
 impl SweepScratch {
-    pub(crate) fn new(k: usize, m: usize) -> Self {
+    pub(crate) fn new(k: usize, m: usize, kind: SamplerChoice) -> Self {
+        let alias = kind == SamplerChoice::AliasMh;
         SweepScratch {
-            kw: vec![0.0; k * m],
+            kw: vec![0.0; if alias { 0 } else { k * m }],
+            kw_delta: SparseDelta::new(if alias { k * m } else { 0 }),
             k_tot: vec![0.0; k],
             inv: vec![0.0; k],
             cum: vec![0.0; k],
             doc_topics: Vec::with_capacity(k),
             doc_cum: vec![0.0; k],
-            word_topics: vec![Vec::new(); if k > DENSE_TOPIC_CUTOFF { m } else { 0 }],
+            word_topics: vec![Vec::new(); if kind == SamplerChoice::Bucket { m } else { 0 }],
             word_cum: vec![0.0; k],
+            doc_stamp: vec![0; if alias { k } else { 0 }],
+            doc_gen: 0,
         }
     }
 }
@@ -150,6 +326,8 @@ pub(crate) fn build_views<'a>(
             delta: de_c,
             d_lo,
             t_lo,
+            mh_proposed: 0,
+            mh_accepted: 0,
         });
     }
     views
@@ -269,6 +447,216 @@ fn sample_sparse(
     ctx.k - 1
 }
 
+/// LightLDA-style alias-MH kernel for one chunk: per token, [`MH_CYCLES`]
+/// cycles of an O(1) word proposal (drawn from the per-sweep per-word alias
+/// table) and an O(topics-in-doc) doc proposal (`q(t) ∝ dk⁺(t) + α`), each
+/// accepted against the collapsed conditional
+/// `π(t) ∝ (dk⁺(t) + α)(kw⁺(t,w) + β)·inv[t]` over the chunk's *current*
+/// counts — snapshot plus the chunk's sparse delta for the topic-word
+/// cell, in-place doc row, and topic-total reciprocals batch-refreshed
+/// every [`INV_REFRESH`] tokens. The *proposal* `q̃_w` is sweep-stale
+/// (that staleness is what MH corrects, LightLDA §4.2) and π's
+/// reciprocals at most a few dozen tokens stale, so the chain tracks the
+/// same per-chunk conditional as the dense and bucket samplers closely
+/// enough that `tests/sampler_equivalence.rs` can pin its perplexity to
+/// theirs. Every per-topic factor of π and q̃ is
+/// constant while one token's MH steps run (the token is decremented once
+/// before the cycles and reinserted after), so the current state's
+/// factors are computed once and carried across proposals instead of
+/// re-derived per step. The `⁺` clamps match the bucket sampler's
+/// convention: tiny negative residues from weighted-token cancellation
+/// are clamped out of probability terms only. The RNG draw pattern is
+/// fixed — every proposal consumes its draws and every step draws its
+/// acceptance uniform whether or not the proposal moves — so the stream
+/// stays aligned across any accept/reject outcome, thread count, or
+/// shard layout.
+fn sweep_chunk_alias(
+    scratch: &mut SweepScratch,
+    ctx: &SweepCtx,
+    rng: &mut StdRng,
+    view: &mut ChunkView,
+) {
+    let (k, m) = (ctx.k, ctx.m);
+    let tables = ctx.alias.expect("alias sampler requires proposal tables");
+    let snap_kw = ctx.n_kw.as_slice();
+    let sinv = tables.snap_inv.as_slice();
+    scratch.k_tot.copy_from_slice(ctx.n_k);
+    scratch.kw_delta.begin();
+    let (mut proposed, mut accepted) = (0u64, 0u64);
+    let mut cur_doc = usize::MAX;
+    let mut doc_mass = 0.0;
+    let mut until_refresh = 0usize;
+    for j in 0..view.z.len() {
+        // Topic totals are maintained exactly (`k_tot`, plain adds) but
+        // their reciprocals are re-derived in a batch every
+        // [`INV_REFRESH`] tokens: the k divisions vectorize off the
+        // per-token critical path, and π reads reciprocals at most
+        // `INV_REFRESH` tokens stale — an approximation far inside the
+        // one-sweep staleness the MH correction already absorbs for the
+        // word proposal (`tests/sampler_equivalence.rs` pins the result).
+        if until_refresh == 0 {
+            for (inv, &tot) in scratch.inv.iter_mut().zip(scratch.k_tot.iter()) {
+                *inv = 1.0 / (tot + ctx.beta_sum);
+            }
+            until_refresh = INV_REFRESH;
+        }
+        until_refresh -= 1;
+        let i = view.t_lo + j;
+        let d = ctx.tok_doc[i] as usize;
+        let w = ctx.tok_word[i] as usize;
+        let weight = ctx.tok_weight[i];
+        let row = (d - view.d_lo) * k;
+        if d != cur_doc {
+            // Seed the document's topic list by scanning its own tokens'
+            // assignments (documents are contiguous in the chunk) — O(doc
+            // length), not O(K). Generation stamps dedupe without clearing.
+            cur_doc = d;
+            scratch.doc_gen = scratch.doc_gen.wrapping_add(1);
+            if scratch.doc_gen == 0 {
+                scratch.doc_stamp.iter_mut().for_each(|s| *s = 0);
+                scratch.doc_gen = 1;
+            }
+            scratch.doc_topics.clear();
+            let mut jj = j;
+            while jj < view.z.len() && ctx.tok_doc[view.t_lo + jj] as usize == d {
+                let t = view.z[jj] as usize;
+                if scratch.doc_stamp[t] != scratch.doc_gen {
+                    scratch.doc_stamp[t] = scratch.doc_gen;
+                    scratch.doc_topics.push(t as u16);
+                }
+                jj += 1;
+            }
+            doc_mass = scratch
+                .doc_topics
+                .iter()
+                .map(|&t| view.dk[row + t as usize].max(0.0))
+                .sum();
+        }
+        let old_z = view.z[j] as usize;
+
+        // Decrement the current token out of every table.
+        let before = view.dk[row + old_z].max(0.0);
+        view.dk[row + old_z] -= weight;
+        doc_mass += view.dk[row + old_z].max(0.0) - before;
+        if view.dk[row + old_z] <= 0.0 {
+            remove_topic(&mut scratch.doc_topics, old_z);
+        }
+        scratch.kw_delta.add(old_z * m + w, -weight);
+        scratch.k_tot[old_z] -= weight;
+
+        // The chain state's factors, computed once and carried: every count
+        // (and reciprocal) π reads is frozen while this token's MH steps
+        // run — the token is decremented once before the cycles and
+        // reinserted after — so an accepted proposal hands its
+        // already-computed factors to the next step.
+        let mut s = old_z;
+        let cell_s = s * m + w;
+        let kw_s = (snap_kw[cell_s] + scratch.kw_delta.get(cell_s)).max(0.0) + ctx.beta;
+        let mut wpart_s = kw_s * scratch.inv[s];
+        let mut pi_s = (view.dk[row + s].max(0.0) + ctx.alpha) * wpart_s;
+        let mut q_s = (snap_kw[cell_s].max(0.0) + ctx.beta) * sinv[s];
+        for _ in 0..MH_CYCLES {
+            // Word proposal: q̃_w(t) = (snap⁺(t,w) + β)·snap_inv[t] from the
+            // sweep-start snapshot. The accept ratio π(t)q̃(s) / π(s)q̃(t)
+            // needs only unnormalized q̃ — the per-word normalizer cancels.
+            let t = tables.set.sample(w, rng);
+            let u = rng.gen::<f64>();
+            proposed += 1;
+            if t == s {
+                accepted += 1;
+            } else {
+                let cell_t = t * m + w;
+                let kw_t = (snap_kw[cell_t] + scratch.kw_delta.get(cell_t)).max(0.0) + ctx.beta;
+                let wpart_t = kw_t * scratch.inv[t];
+                let pi_t = (view.dk[row + t].max(0.0) + ctx.alpha) * wpart_t;
+                let q_t = (snap_kw[cell_t].max(0.0) + ctx.beta) * sinv[t];
+                if u * (pi_s * q_t) < pi_t * q_s {
+                    accepted += 1;
+                    s = t;
+                    wpart_s = wpart_t;
+                    pi_s = pi_t;
+                    q_s = q_t;
+                }
+            }
+
+            // Doc proposal: q(t) ∝ dk⁺(t) + α — one uniform splits between
+            // the maintained doc-topic mass and the flat α·K remainder. The
+            // doc factor of π matches q exactly (same clamp convention), so
+            // the accept ratio reduces to the word part.
+            let total = doc_mass + ctx.alpha * k as f64;
+            let ud = rng.gen::<f64>() * total;
+            let t = if ud < doc_mass {
+                let mut acc = 0.0;
+                let mut chosen = usize::MAX;
+                for &tt in &scratch.doc_topics {
+                    acc += view.dk[row + tt as usize].max(0.0);
+                    if ud < acc {
+                        chosen = tt as usize;
+                        break;
+                    }
+                }
+                if chosen != usize::MAX {
+                    chosen
+                } else if let Some(&tt) = scratch.doc_topics.last() {
+                    // Incremental doc_mass can drift above the scan total by
+                    // ulps; clamp to the last listed topic.
+                    tt as usize
+                } else {
+                    0
+                }
+            } else {
+                (((ud - doc_mass) / ctx.alpha) as usize).min(k - 1)
+            };
+            let u = rng.gen::<f64>();
+            proposed += 1;
+            if t == s {
+                accepted += 1;
+            } else {
+                let cell_t = t * m + w;
+                let kw_t = (snap_kw[cell_t] + scratch.kw_delta.get(cell_t)).max(0.0) + ctx.beta;
+                let wpart_t = kw_t * scratch.inv[t];
+                if u * wpart_s < wpart_t {
+                    accepted += 1;
+                    s = t;
+                    wpart_s = wpart_t;
+                    pi_s = (view.dk[row + t].max(0.0) + ctx.alpha) * wpart_t;
+                    q_s = (snap_kw[cell_t].max(0.0) + ctx.beta) * sinv[t];
+                }
+            }
+        }
+
+        // Increment the token back at its (possibly new) topic.
+        let new_z = s;
+        if view.dk[row + new_z] <= 0.0 {
+            scratch.doc_topics.push(new_z as u16);
+        }
+        let before = view.dk[row + new_z].max(0.0);
+        view.dk[row + new_z] += weight;
+        doc_mass += view.dk[row + new_z].max(0.0) - before;
+        scratch.kw_delta.add(new_z * m + w, weight);
+        scratch.k_tot[new_z] += weight;
+        view.z[j] = new_z as u16;
+    }
+
+    // Sparse delta record: [n, (cell, delta)*n, .., k topic totals] in
+    // first-touch order (deterministic — part of the sampling schedule).
+    let touched = scratch.kw_delta.touched();
+    view.delta[0] = touched.len() as f64;
+    for (slot, &cell) in touched.iter().enumerate() {
+        view.delta[1 + 2 * slot] = cell as f64;
+        view.delta[2 + 2 * slot] = scratch.kw_delta.get(cell as usize);
+    }
+    let tail_at = view.delta.len() - k;
+    for (dst, (&local, &global)) in view.delta[tail_at..]
+        .iter_mut()
+        .zip(scratch.k_tot.iter().zip(ctx.n_k))
+    {
+        *dst = local - global;
+    }
+    view.mh_proposed = proposed;
+    view.mh_accepted = accepted;
+}
+
 /// Samples one chunk of documents against the sweep-start snapshot,
 /// mutating the chunk's assignments and doc-topic rows in place and
 /// writing its topic-word/topic-total deltas into the chunk's slice of the
@@ -287,12 +675,16 @@ pub(crate) fn sweep_chunk(
         ctx.sweep,
         (ctx.chunk_base + chunk) as u64,
     ));
+    if ctx.kind == SamplerChoice::AliasMh {
+        sweep_chunk_alias(scratch, ctx, &mut rng, view);
+        return;
+    }
     scratch.kw.copy_from_slice(ctx.n_kw.as_slice());
     scratch.k_tot.copy_from_slice(ctx.n_k);
     for (inv, &tot) in scratch.inv.iter_mut().zip(scratch.k_tot.iter()) {
         *inv = 1.0 / (tot + ctx.beta_sum);
     }
-    let sparse = k > DENSE_TOPIC_CUTOFF;
+    let sparse = ctx.kind == SamplerChoice::Bucket;
     let mut inv_sum = 0.0;
     if sparse {
         inv_sum = scratch.inv.iter().sum();
@@ -514,15 +906,24 @@ impl GibbsTrainer {
 
         let pool = Pool::global();
         let rec = hlm_obs::global();
-        let budget = sweep_budget(tok_z.len(), k);
-        let delta_stride = k * m + k;
+        let kind = self.cfg.sampler.resolve(k);
+        let budget = sweep_budget(tok_z.len(), k, kind);
+        let stride = delta_stride(kind, k, m);
         let n_chunks = hlm_par::chunk_count(docs.len(), DOC_CHUNK);
         // Per-chunk delta arena, allocated once for the whole run; every
-        // sweep fully overwrites it.
-        let mut delta_buf = vec![0.0f64; n_chunks * delta_stride];
+        // sweep overwrites the cells its merge reads.
+        let mut delta_buf = vec![0.0f64; n_chunks * stride];
+        let mut alias_tables = (kind == SamplerChoice::AliasMh).then(|| WordAliasTables::new(k, m));
         for iter in start_iter as usize..self.cfg.n_iters {
             ctrl.begin_iteration(iter as u64)?;
             let sweep_t0 = rec.is_enabled().then(std::time::Instant::now);
+            rec.add(sampler_counter(kind), 1);
+            // Staleness bound: the proposal tables are refreshed from every
+            // sweep's start snapshot, the same snapshot the chunks sample
+            // against.
+            if let Some(tables) = alias_tables.as_mut() {
+                tables.rebuild(&n_kw, &n_k, beta, beta_sum);
+            }
             // Document-sliced sweep: every chunk samples its documents
             // against the sweep-start snapshot of the shared tables (its own
             // n_dk rows and assignments are mutated in place — they are
@@ -543,6 +944,8 @@ impl GibbsTrainer {
                 seed: self.cfg.seed,
                 sweep: iter as u64,
                 chunk_base: 0,
+                kind,
+                alias: alias_tables.as_ref(),
             };
             let mut views = build_views(
                 &mut tok_z,
@@ -551,26 +954,36 @@ impl GibbsTrainer {
                 &doc_start,
                 docs.len(),
                 k,
-                delta_stride,
+                stride,
             );
             hlm_par::par_for_each_scratch(
                 &pool,
                 budget,
                 &mut views,
-                || SweepScratch::new(k, m),
+                || SweepScratch::new(k, m, kind),
                 |scratch, c, view| sweep_chunk(scratch, &ctx, c, view),
             );
+            // MH totals fold in chunk order (u64 adds: order-independent,
+            // but keep the convention) before the views are dropped.
+            let (mh_proposed, mh_accepted) = views.iter().fold((0u64, 0u64), |(p, a), v| {
+                (p + v.mh_proposed, a + v.mh_accepted)
+            });
             drop(views);
             // Deterministic merge of the topic-word/topic-total deltas in
             // chunk order (assignments and doc-topic rows were updated in
             // place).
-            for chunk_delta in delta_buf.chunks_exact(delta_stride) {
-                let (kw_delta, k_delta) = chunk_delta.split_at(k * m);
-                for (g, &d) in n_kw.as_mut_slice().iter_mut().zip(kw_delta) {
-                    *g += d;
-                }
-                for (g, &d) in n_k.iter_mut().zip(k_delta) {
-                    *g += d;
+            for chunk_delta in delta_buf.chunks_exact(stride) {
+                merge_chunk_delta(kind, chunk_delta, n_kw.as_mut_slice(), &mut n_k, k, m);
+            }
+            if kind == SamplerChoice::AliasMh {
+                rec.add("lda.mh.proposed", mh_proposed);
+                rec.add("lda.mh.accepted", mh_accepted);
+                if rec.is_enabled() && mh_proposed > 0 {
+                    rec.trace(
+                        "lda.mh.acceptance_rate",
+                        iter as u64,
+                        mh_accepted as f64 / mh_proposed as f64,
+                    );
                 }
             }
 
@@ -585,11 +998,8 @@ impl GibbsTrainer {
             let on_lag = (iter - self.cfg.burn_in.min(iter)) % self.cfg.sample_lag == 0;
             if past_burn_in && on_lag {
                 for (t, &nk) in n_k.iter().enumerate().take(k) {
-                    let denom = nk + beta_sum;
                     let phi_row = &mut phi_acc.as_mut_slice()[t * m..(t + 1) * m];
-                    for (acc, &c) in phi_row.iter_mut().zip(n_kw.row(t)) {
-                        *acc += (c + beta) / denom;
-                    }
+                    accumulate_phi_row(phi_row, n_kw.row(t), nk, beta, beta_sum);
                 }
                 n_samples += 1;
             }
@@ -951,11 +1361,11 @@ mod tests {
 
     #[test]
     fn sparse_sampler_is_deterministic_and_well_formed() {
-        // Above DENSE_TOPIC_CUTOFF the SparseLDA-style bucket sampler runs;
+        // At K = 24 `Auto` resolves to the SparseLDA-style bucket sampler;
         // it must keep every contract the dense path has.
         let docs = unit_weights(&planted_docs(60, 5));
         let cfg = quick_cfg(24, 6, 17);
-        assert!(cfg.n_topics > DENSE_TOPIC_CUTOFF);
+        assert_eq!(cfg.sampler.resolve(cfg.n_topics), SamplerChoice::Bucket);
         let a = GibbsTrainer::new(cfg.clone()).fit(&docs);
         let b = GibbsTrainer::new(cfg).fit(&docs);
         assert_eq!(a.phi(), b.phi(), "sparse path must be seed-deterministic");
@@ -1083,5 +1493,94 @@ mod tests {
             err,
             hlm_resilience::ResilienceError::Mismatch { .. }
         ));
+    }
+
+    #[test]
+    fn alias_sampler_is_deterministic_and_well_formed() {
+        // Above K = 64 `Auto` resolves to the alias-MH sampler; it must keep
+        // every contract the scanning paths have.
+        let docs = unit_weights(&planted_docs(60, 5));
+        let cfg = quick_cfg(80, 6, 17);
+        assert_eq!(cfg.sampler.resolve(cfg.n_topics), SamplerChoice::AliasMh);
+        let a = GibbsTrainer::new(cfg.clone()).fit(&docs);
+        let b = GibbsTrainer::new(cfg).fit(&docs);
+        assert_eq!(a.phi(), b.phi(), "alias path must be seed-deterministic");
+        for t in 0..80 {
+            let s: f64 = a.phi().row(t).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row {t} sums to {s}");
+            assert!(a.phi().row(t).iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    fn alias_sampler_recovers_planted_topics_when_forced() {
+        // A fixed sampler choice is part of the schedule: forcing alias-MH at
+        // small K must still find the two planted word blocks.
+        let docs = planted_docs(120, 1);
+        let cfg = LdaConfig {
+            sampler: SamplerChoice::AliasMh,
+            ..quick_cfg(2, 6, 7)
+        };
+        let model = GibbsTrainer::new(cfg).fit(&unit_weights(&docs));
+        let phi = model.phi();
+        let block0: f64 = (0..3).map(|w| phi.get(0, w)).sum();
+        let block1: f64 = (0..3).map(|w| phi.get(1, w)).sum();
+        let (hi, lo) = if block0 > block1 {
+            (block0, block1)
+        } else {
+            (block1, block0)
+        };
+        assert!(hi > 0.9, "dominant topic block mass {hi}");
+        assert!(lo < 0.1, "other topic block mass {lo}");
+    }
+
+    #[test]
+    fn alias_sampler_handles_weighted_tokens_and_resume() {
+        use hlm_resilience::{CheckpointStore, MemIo, RunGuard};
+
+        // Fractional weights exercise the clamped-count proposal weights;
+        // kill/resume must stay bit-identical under MH accept/reject.
+        let mut rng = StdRng::seed_from_u64(92);
+        let docs: Vec<WeightedDoc> = (0..50)
+            .map(|_| {
+                (0..10)
+                    .map(|_| (rng.gen_range(0..6), 0.25 + rng.gen::<f64>()))
+                    .collect()
+            })
+            .collect();
+        let cfg = LdaConfig {
+            sampler: SamplerChoice::AliasMh,
+            ..quick_cfg(24, 6, 23)
+        };
+        let full = GibbsTrainer::new(cfg.clone()).fit(&docs);
+        assert!(full.phi().is_finite());
+
+        let store = CheckpointStore::new(Box::new(MemIo::new()));
+        let trainer = GibbsTrainer::new(cfg);
+        let mut ctrl = TrainControl::new(GIBBS_CHECKPOINT_KIND, &store)
+            .with_guard(RunGuard::unlimited().abort_at_iteration(70));
+        trainer.fit_resumable(&docs, &mut ctrl, None).unwrap_err();
+        let ckpt = store.latest_good(GIBBS_CHECKPOINT_KIND).unwrap().unwrap();
+        let resumed = trainer
+            .fit_resumable(&docs, &mut TrainControl::noop(), Some(&ckpt))
+            .unwrap();
+        assert_eq!(
+            resumed.phi(),
+            full.phi(),
+            "alias resume must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn alias_sampler_handles_empty_documents() {
+        let mut docs = unit_weights(&planted_docs(20, 4));
+        docs.push(Vec::new());
+        docs.insert(0, Vec::new());
+        let cfg = LdaConfig {
+            sampler: SamplerChoice::AliasMh,
+            ..quick_cfg(8, 6, 13)
+        };
+        let model = GibbsTrainer::new(cfg).fit(&docs);
+        assert!(model.phi().is_finite());
     }
 }

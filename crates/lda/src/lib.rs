@@ -39,7 +39,7 @@ pub mod sharded;
 pub mod vb;
 
 pub use gibbs::{GibbsTrainer, GIBBS_CHECKPOINT_KIND};
-pub use model::{LdaConfig, LdaModel};
+pub use model::{LdaConfig, LdaModel, SamplerChoice};
 pub use online_vb::{OnlineVbOptions, OnlineVbTrainer, ONLINE_VB_CHECKPOINT_KIND};
 pub use perplexity::{document_completion_perplexity, held_out_log_likelihood};
 pub use sharded::{

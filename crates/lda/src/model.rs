@@ -6,6 +6,82 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+/// Which per-token kernel the collapsed Gibbs sweep uses.
+///
+/// All three sample from the *same* collapsed conditional — the choice
+/// changes the constant factor per token, never the distribution — but each
+/// consumes RNG draws differently, so a fixed choice is part of the
+/// deterministic sampling schedule: changing it changes the chain, keeping
+/// it changes nothing (bit-identical at any thread/shard count, kill/resume
+/// included). See DESIGN.md §3.8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum SamplerChoice {
+    /// Pick per configuration: a pure function of `K` (see
+    /// [`SamplerChoice::resolve`]), so the choice cannot vary with
+    /// scheduling or hardware.
+    #[default]
+    Auto,
+    /// Fused dense cumulative pass — O(K) per token, lowest constant.
+    Dense,
+    /// SparseLDA bucket sampler (Yao–Mimno–McCallum) — O(topics present)
+    /// per token.
+    Bucket,
+    /// LightLDA-style alias-method Metropolis–Hastings — O(1) proposals
+    /// from per-word alias tables rebuilt each sweep, accepted against the
+    /// exact conditional.
+    AliasMh,
+}
+
+impl SamplerChoice {
+    /// Resolves `Auto` to a concrete kernel for topic count `k`. The
+    /// cutoffs come from `bench_samplers`: the dense fused pass wins small
+    /// K, the bucket sampler's list scans win mid K, and the O(1) alias-MH
+    /// proposals win once K outgrows the per-word topic lists (with M = 38
+    /// the lists are near-dense by K = 64, so the bucket scan is O(K)
+    /// again).
+    pub fn resolve(self, k: usize) -> SamplerChoice {
+        match self {
+            SamplerChoice::Auto => {
+                if k <= 16 {
+                    SamplerChoice::Dense
+                } else if k <= 64 {
+                    SamplerChoice::Bucket
+                } else {
+                    SamplerChoice::AliasMh
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Stable lowercase name, used for metrics and bench labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            SamplerChoice::Auto => "auto",
+            SamplerChoice::Dense => "dense",
+            SamplerChoice::Bucket => "bucket",
+            SamplerChoice::AliasMh => "alias",
+        }
+    }
+}
+
+impl std::str::FromStr for SamplerChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(SamplerChoice::Auto),
+            "dense" => Ok(SamplerChoice::Dense),
+            "bucket" => Ok(SamplerChoice::Bucket),
+            "alias" | "alias-mh" => Ok(SamplerChoice::AliasMh),
+            other => Err(format!(
+                "unknown sampler {other:?} (use auto|dense|bucket|alias)"
+            )),
+        }
+    }
+}
+
 /// Hyper-parameters and sampler settings.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LdaConfig {
@@ -34,6 +110,12 @@ pub struct LdaConfig {
     /// model.
     #[serde(default)]
     pub optimize_alpha: bool,
+    /// Per-token Gibbs kernel. `Auto` (the default, and what every
+    /// pre-existing config deserializes to) resolves to a pure function of
+    /// `n_topics`; a fixed explicit choice is part of the sampling schedule
+    /// and changes the chain.
+    #[serde(default)]
+    pub sampler: SamplerChoice,
 }
 
 impl Default for LdaConfig {
@@ -48,6 +130,7 @@ impl Default for LdaConfig {
             sample_lag: 10,
             seed: 42,
             optimize_alpha: false,
+            sampler: SamplerChoice::Auto,
         }
     }
 }

@@ -26,10 +26,11 @@
 //! resumes bit-identically.
 
 use crate::gibbs::{
-    build_views, gibbs_log_likelihood, minka_alpha_accumulate, minka_alpha_finish, sweep_budget,
-    sweep_chunk, SweepCtx, SweepScratch, DOC_CHUNK,
+    accumulate_phi_row, build_views, delta_stride, gibbs_log_likelihood, merge_chunk_delta,
+    minka_alpha_accumulate, minka_alpha_finish, sampler_counter, sweep_budget, sweep_chunk,
+    SweepCtx, SweepScratch, WordAliasTables, DOC_CHUNK,
 };
-use crate::model::{LdaConfig, LdaModel};
+use crate::model::{LdaConfig, LdaModel, SamplerChoice};
 use crate::WeightedDoc;
 use hlm_corpus::shard::fnv1a;
 use hlm_linalg::Matrix;
@@ -191,6 +192,7 @@ impl ShardedGibbsTrainer {
         let m = self.cfg.vocab_size;
         let beta = self.cfg.beta;
         let beta_sum = beta * m as f64;
+        let kind = self.cfg.sampler.resolve(k);
         let n_docs = source.n_docs();
         let n_shards = source.n_shards();
         validate_spans(source);
@@ -261,6 +263,13 @@ impl ShardedGibbsTrainer {
 
         let pool = Pool::global();
         let rec = hlm_obs::global();
+        // The word alias tables are a pure function of the sweep-start
+        // snapshot `(n_kw, n_k)`, so rebuilding them at sweep start (or on a
+        // mid-sweep resume, from the checkpointed snapshot) reproduces the
+        // in-memory trainer's per-sweep tables bit for bit.
+        let mut alias_tables = (kind == SamplerChoice::AliasMh).then(|| WordAliasTables::new(k, m));
+        let mut sweep_mh_proposed = 0u64;
+        let mut sweep_mh_accepted = 0u64;
         let total_steps = self.cfg.n_iters as u64 * n_shards as u64;
         // Spill versions strictly below this are already pruned, per shard.
         let mut retained_lo: Vec<u64> = (0..n_shards)
@@ -282,6 +291,14 @@ impl ShardedGibbsTrainer {
                 acc_k.copy_from_slice(&n_k);
                 minka_num = 0.0;
                 minka_den = 0.0;
+            }
+            if s == 0 || step == start_step {
+                rec.add(sampler_counter(kind), 1);
+                sweep_mh_proposed = 0;
+                sweep_mh_accepted = 0;
+                if let Some(tables) = alias_tables.as_mut() {
+                    tables.rebuild(&n_kw, &n_k, beta, beta_sum);
+                }
             }
             let sweep_t0 = rec.is_enabled().then(std::time::Instant::now);
 
@@ -322,10 +339,12 @@ impl ShardedGibbsTrainer {
                 seed: self.cfg.seed,
                 sweep,
                 chunk_base: span_lo / DOC_CHUNK,
+                kind,
+                alias: alias_tables.as_ref(),
             };
-            let delta_stride = k * m + k;
+            let stride = delta_stride(kind, k, m);
             let n_chunks = hlm_par::chunk_count(docs.len(), DOC_CHUNK);
-            let mut delta_buf = vec![0.0f64; n_chunks * delta_stride];
+            let mut delta_buf = vec![0.0f64; n_chunks * stride];
             let mut views = build_views(
                 &mut tok_z,
                 n_dk.as_mut_slice(),
@@ -333,24 +352,22 @@ impl ShardedGibbsTrainer {
                 &doc_start,
                 docs.len(),
                 k,
-                delta_stride,
+                stride,
             );
             hlm_par::par_for_each_scratch(
                 &pool,
-                sweep_budget(shard_tokens, k),
+                sweep_budget(shard_tokens, k, kind),
                 &mut views,
-                || SweepScratch::new(k, m),
+                || SweepScratch::new(k, m, kind),
                 |scratch, c, view| sweep_chunk(scratch, &ctx, c, view),
             );
+            for view in &views {
+                sweep_mh_proposed += view.mh_proposed;
+                sweep_mh_accepted += view.mh_accepted;
+            }
             drop(views);
-            for chunk_delta in delta_buf.chunks_exact(delta_stride) {
-                let (kw_delta, k_delta) = chunk_delta.split_at(k * m);
-                for (g, &d) in acc_kw.as_mut_slice().iter_mut().zip(kw_delta) {
-                    *g += d;
-                }
-                for (g, &d) in acc_k.iter_mut().zip(k_delta) {
-                    *g += d;
-                }
+            for chunk_delta in delta_buf.chunks_exact(stride) {
+                merge_chunk_delta(kind, chunk_delta, acc_kw.as_mut_slice(), &mut acc_k, k, m);
             }
 
             let alpha_sweep =
@@ -387,13 +404,21 @@ impl ShardedGibbsTrainer {
                     (iter - self.cfg.burn_in.min(iter)).is_multiple_of(self.cfg.sample_lag);
                 if past_burn_in && on_lag {
                     for (t, &nk) in n_k.iter().enumerate().take(k) {
-                        let denom = nk + beta_sum;
                         let phi_row = &mut phi_acc.as_mut_slice()[t * m..(t + 1) * m];
-                        for (acc, &c) in phi_row.iter_mut().zip(n_kw.row(t)) {
-                            *acc += (c + beta) / denom;
-                        }
+                        accumulate_phi_row(phi_row, n_kw.row(t), nk, beta, beta_sum);
                     }
                     n_samples += 1;
+                }
+                if kind == SamplerChoice::AliasMh {
+                    rec.add("lda.mh.proposed", sweep_mh_proposed);
+                    rec.add("lda.mh.accepted", sweep_mh_accepted);
+                    if rec.is_enabled() && sweep_mh_proposed > 0 {
+                        rec.trace(
+                            "lda.mh.acceptance_rate",
+                            sweep,
+                            sweep_mh_accepted as f64 / sweep_mh_proposed as f64,
+                        );
+                    }
                 }
                 if let Some(t0) = sweep_t0 {
                     rec.observe("lda.gibbs.sweep_seconds", t0.elapsed().as_secs_f64());

@@ -30,11 +30,14 @@
 
 pub mod cholesky;
 pub mod dist;
+pub mod fastmath;
 pub mod matrix;
+pub mod sparse;
 pub mod special;
 pub mod svd;
 pub mod vector;
 
 pub use cholesky::Cholesky;
 pub use matrix::Matrix;
+pub use sparse::SparseDelta;
 pub use svd::{truncated_svd, TruncatedSvd};

@@ -1,0 +1,133 @@
+//! Generation-stamped sparse accumulators for the count-table hot paths.
+//!
+//! A Gibbs chunk touches only a handful of `(topic, word)` cells out of a
+//! `K×M` table, but the dense delta representation pays `O(K·M)` to zero,
+//! write and merge every chunk. [`SparseDelta`] keeps O(1) reads and writes
+//! with O(touched) reset and iteration: each cell carries a generation stamp,
+//! and bumping the generation invalidates every previous write without
+//! touching memory. The touched list preserves **first-touch order**, which
+//! is deterministic for a deterministic caller — the workspace's chunk-order
+//! merge contract (DESIGN.md §3.3) extends through it unchanged.
+
+/// One stamped cell. Stamp and value live side by side so a random probe
+/// touches a single cache line instead of one line in a stamp array plus
+/// one in a value array — the Gibbs alias kernel issues a handful of
+/// `get`/`add` probes per token, all at data-dependent indices.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    stamp: u32,
+    val: f64,
+}
+
+/// A sparse `f64` delta over a fixed-size index space.
+#[derive(Debug, Clone)]
+pub struct SparseDelta {
+    cells: Vec<Cell>,
+    gen: u32,
+    touched: Vec<u32>,
+}
+
+impl SparseDelta {
+    /// Creates a delta over indices `0..n`, initially all zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "SparseDelta index space too large");
+        SparseDelta {
+            cells: vec![Cell { stamp: 0, val: 0.0 }; n],
+            gen: 1,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Size of the index space.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the index space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Resets every entry to zero in O(touched) by bumping the generation.
+    pub fn begin(&mut self) {
+        self.touched.clear();
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // A full u32 wrap could alias stale stamps; pay one dense clear
+            // every 2^32 generations to restore the invariant.
+            self.cells.iter_mut().for_each(|c| c.stamp = 0);
+            self.gen = 1;
+        }
+    }
+
+    /// Adds `v` to entry `i`.
+    #[inline]
+    pub fn add(&mut self, i: usize, v: f64) {
+        let c = &mut self.cells[i];
+        if c.stamp == self.gen {
+            c.val += v;
+        } else {
+            c.stamp = self.gen;
+            c.val = v;
+            self.touched.push(i as u32);
+        }
+    }
+
+    /// Current value of entry `i` (zero if untouched this generation).
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        let c = self.cells[i];
+        if c.stamp == self.gen {
+            c.val
+        } else {
+            0.0
+        }
+    }
+
+    /// Indices written this generation, in first-touch order. Entries whose
+    /// accumulated value returned to zero are still listed.
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_and_reset() {
+        let mut d = SparseDelta::new(10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.get(3), 0.0);
+        d.add(3, 1.5);
+        d.add(3, 0.5);
+        d.add(7, -1.0);
+        assert_eq!(d.get(3), 2.0);
+        assert_eq!(d.get(7), -1.0);
+        assert_eq!(d.touched(), &[3, 7]);
+        d.begin();
+        assert_eq!(d.get(3), 0.0);
+        assert!(d.touched().is_empty());
+        d.add(3, 4.0);
+        assert_eq!(d.get(3), 4.0);
+    }
+
+    #[test]
+    fn first_touch_order_is_preserved() {
+        let mut d = SparseDelta::new(5);
+        for &i in &[4usize, 1, 4, 0, 1, 2] {
+            d.add(i, 1.0);
+        }
+        assert_eq!(d.touched(), &[4, 1, 0, 2]);
+    }
+
+    #[test]
+    fn zero_sum_entries_stay_listed() {
+        let mut d = SparseDelta::new(3);
+        d.add(1, 1.0);
+        d.add(1, -1.0);
+        assert_eq!(d.get(1), 0.0);
+        assert_eq!(d.touched(), &[1]);
+    }
+}

@@ -343,15 +343,23 @@ impl LstmLm {
     /// # Panics
     /// Panics if the architectures differ.
     pub fn accumulate_grads(&mut self, other: &LstmLm) {
-        self.embedding.grad.axpy(1.0, &other.embedding.grad);
+        // Gradient merges are plain sums on large buffers — the minibatch
+        // hot path — so they opt into the f32 fast-math axpy kernel. With
+        // the feature off this forwards to the exact f64 kernel, which is
+        // element-for-element identical to `Matrix::axpy`.
+        fn merge(dst: &mut hlm_linalg::Matrix, src: &hlm_linalg::Matrix) {
+            assert_eq!(dst.shape(), src.shape(), "axpy shape mismatch");
+            hlm_linalg::fastmath::axpy(dst.as_mut_slice(), 1.0, src.as_slice());
+        }
+        merge(&mut self.embedding.grad, &other.embedding.grad);
         assert_eq!(self.layers.len(), other.layers.len(), "layer count differs");
         for (mine, theirs) in self.layers.iter_mut().zip(&other.layers) {
             for (dst, src) in mine.params_mut().into_iter().zip(theirs.params()) {
-                dst.grad.axpy(1.0, &src.grad);
+                merge(&mut dst.grad, &src.grad);
             }
         }
-        self.w_out.grad.axpy(1.0, &other.w_out.grad);
-        self.b_out.grad.axpy(1.0, &other.b_out.grad);
+        merge(&mut self.w_out.grad, &other.w_out.grad);
+        merge(&mut self.b_out.grad, &other.b_out.grad);
     }
 
     /// Copies `other`'s parameter values into this model's existing buffers

@@ -10,7 +10,11 @@
 //! two tests' overrides against each other.
 
 use hlm_bpmf::{BpmfConfig, Rating};
-use hlm_lda::document_completion_perplexity;
+use hlm_lda::{
+    document_completion_perplexity, GibbsTrainer, LdaConfig, MemDocShards, SamplerChoice,
+    ShardedGibbsTrainer, SHARDED_GIBBS_CHECKPOINT_KIND,
+};
+use hlm_resilience::{CheckpointStore, MemIo, RunGuard, TrainControl};
 use hlm_tests::{index_sequences, quick_lda, test_corpus, test_split};
 
 /// Runs `f` once per thread count and asserts all outcomes are identical.
@@ -74,6 +78,76 @@ fn parallel_hot_paths_are_bit_identical_across_thread_counts() {
         let ppl = document_completion_perplexity(&model, &test_docs).to_bits();
         (phi, ppl)
     });
+
+    // Alias-MH kernel (LightLDA-style O(1) proposals): the MH accept/reject
+    // uniforms live inside the same per-chunk RNG streams, so the exact
+    // invariance must hold for it too — and the sharded trainer, which
+    // rebuilds the per-sweep alias tables from the identical sweep-start
+    // snapshot, must reproduce the in-memory bits, including across a
+    // mid-sweep kill/resume.
+    let train_docs = hlm_core::representations::binary_docs(&corpus, &split.train);
+    let alias_cfg = LdaConfig {
+        n_topics: 24,
+        vocab_size: corpus.vocab().len(),
+        n_iters: 40,
+        burn_in: 20,
+        sample_lag: 4,
+        seed: 13,
+        beta: 0.1,
+        sampler: SamplerChoice::AliasMh,
+        ..Default::default()
+    };
+    let alias_phi = invariant_across_thread_counts("lda alias-MH gibbs", || {
+        let model = GibbsTrainer::new(alias_cfg.clone()).fit(&train_docs);
+        model
+            .phi()
+            .as_slice()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect::<Vec<_>>()
+    });
+    hlm_engine::set_threads(2);
+    let dir = std::env::temp_dir().join(format!("hlm_par_det_alias_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let source = MemDocShards::new(&train_docs, 3);
+    let trainer = ShardedGibbsTrainer::new(alias_cfg.clone(), &dir);
+    let sharded_bits: Vec<u64> = trainer
+        .fit(&source)
+        .phi()
+        .as_slice()
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    assert_eq!(
+        sharded_bits, alias_phi,
+        "sharded alias-MH must be bit-identical to the in-memory trainer"
+    );
+    // Kill mid-sweep (shard 1 of sweep 12, past the alias-table rebuild at
+    // shard 0) and resume from the latest good checkpoint.
+    let store = CheckpointStore::new(Box::new(MemIo::new()));
+    let abort_step = 12 * 3 + 1;
+    let mut ctrl = TrainControl::new(SHARDED_GIBBS_CHECKPOINT_KIND, &store)
+        .with_guard(RunGuard::unlimited().abort_at_iteration(abort_step));
+    let err = trainer.fit_resumable(&source, &mut ctrl, None).unwrap_err();
+    assert!(err.is_interruption());
+    let ckpt = store
+        .latest_good(SHARDED_GIBBS_CHECKPOINT_KIND)
+        .unwrap()
+        .unwrap();
+    assert_eq!(ckpt.iteration, abort_step);
+    let resumed_bits: Vec<u64> = trainer
+        .fit_resumable(&source, &mut TrainControl::noop(), Some(&ckpt))
+        .unwrap()
+        .phi()
+        .as_slice()
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    assert_eq!(
+        resumed_bits, alias_phi,
+        "killed-and-resumed sharded alias-MH must be bit-identical"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 
     // BPMF conditional draws (per-row chunk RNG streams).
     let ratings: Vec<Rating> = corpus
