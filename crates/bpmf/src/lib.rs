@@ -140,6 +140,93 @@ impl BpmfModel {
         }
         out
     }
+
+    /// Appends prediction rows `U_new · Vᵀ` for companies that arrived after
+    /// the fit — the cheap half of the streaming update (see
+    /// [`fold_in_rows`]). Existing rows are untouched.
+    ///
+    /// # Panics
+    /// Panics if the factor dimensionalities disagree or `v` does not have
+    /// one row per existing prediction column.
+    pub fn extend_rows(&mut self, u_new: &Matrix, v: &Matrix) {
+        assert_eq!(
+            u_new.cols(),
+            v.cols(),
+            "factor dimensionality mismatch between U_new and V"
+        );
+        assert_eq!(
+            v.rows(),
+            self.predictions.cols(),
+            "V must have one row per predicted column"
+        );
+        let extra = u_new.matmul_nt(v);
+        let (r0, c) = self.predictions.shape();
+        let mut out = Matrix::zeros(r0 + extra.rows(), c);
+        for i in 0..r0 {
+            out.row_mut(i).copy_from_slice(self.predictions.row(i));
+        }
+        for i in 0..extra.rows() {
+            out.row_mut(r0 + i).copy_from_slice(extra.row(i));
+        }
+        self.predictions = out;
+    }
+}
+
+/// Ridge (MAP) factor estimates for new rows given frozen item factors `v`:
+/// for each row the posterior mean of `u_i` under the Gaussian likelihood
+/// with precision `α` and an isotropic prior with precision `lambda`,
+///
+/// `u_i = (λI + α Σ v_j v_jᵀ)⁻¹ · α Σ r_ij v_j`.
+///
+/// This is the standard BPMF cold-start fold-in: item factors stay put, new
+/// company factors are solved in closed form — no sampling, deterministic,
+/// O(|obs|·d² + d³) per row. Rows with no observations get zero factors
+/// (predictions fall back to 0, the clamp floor for binary rankings).
+///
+/// # Panics
+/// Panics if `alpha` or `lambda` is not positive, or a rating addresses an
+/// item `>= v.rows()`.
+pub fn fold_in_rows(v: &Matrix, rows: &[Vec<(usize, f64)>], alpha: f64, lambda: f64) -> Matrix {
+    assert!(alpha > 0.0, "observation precision must be positive");
+    assert!(lambda > 0.0, "prior precision must be positive");
+    let d = v.cols();
+    let prior = Matrix::identity(d).scale(lambda);
+    let mut out = Matrix::zeros(rows.len(), d);
+    let mut prec = Matrix::zeros(d, d);
+    let mut b = vec![0.0; d];
+    for (i, obs) in rows.iter().enumerate() {
+        if obs.is_empty() {
+            continue;
+        }
+        prec.copy_from(&prior);
+        b.iter_mut().for_each(|x| *x = 0.0);
+        for &(j, rating) in obs {
+            assert!(
+                j < v.rows(),
+                "rating item {j} outside V's {} rows",
+                v.rows()
+            );
+            let vj = v.row(j);
+            prec.add_outer(alpha, vj, vj);
+            for (bk, &vk) in b.iter_mut().zip(vj) {
+                *bk += alpha * rating * vk;
+            }
+        }
+        let chol = Cholesky::decompose_with_jitter(&prec, 1e-8, 10).expect("precision is SPD");
+        out.row_mut(i).copy_from_slice(&chol.solve(&b));
+    }
+    out
+}
+
+/// Extracts the item-factor matrix `V` from a BPMF checkpoint — the frozen
+/// side of the streaming fold-in ([`fold_in_rows`]).
+pub fn item_factors_from_checkpoint(ckpt: &Checkpoint) -> Result<Matrix, ResilienceError> {
+    if ckpt.kind != BPMF_CHECKPOINT_KIND {
+        return Err(ResilienceError::Mismatch {
+            reason: format!("kind {} != {BPMF_CHECKPOINT_KIND}", ckpt.kind),
+        });
+    }
+    Ok(parse_payload(&ckpt.payload)?.v)
 }
 
 /// Samples `(μ, Λ)` from the Gaussian–Wishart posterior given a factor
@@ -694,6 +781,78 @@ mod tests {
         // Opt-in collapse detection does not fire on healthy factorization.
         let mut detect = TrainControl::noop().with_collapse_policy(CollapsePolicy::Detect);
         assert!(fit_resumable(10, 6, &obs, &cfg, None, &mut detect, None).is_ok());
+    }
+
+    #[test]
+    fn fold_in_rows_recovers_planted_factors() {
+        // Planted V with distinct rows; new companies rate every item from a
+        // known u; the ridge solution must reproduce u (small prior, exact
+        // ratings) and the extended model must predict the products.
+        let d = 3;
+        let v = Matrix::from_fn(6, d, |i, j| ((i * 3 + j) % 5) as f64 * 0.5 - 1.0);
+        let planted: Vec<Vec<f64>> = vec![vec![1.0, -0.5, 2.0], vec![0.0, 1.5, -1.0]];
+        let rows: Vec<Vec<(usize, f64)>> = planted
+            .iter()
+            .map(|u| {
+                (0..6)
+                    .map(|j| (j, u.iter().zip(v.row(j)).map(|(a, b)| a * b).sum()))
+                    .collect()
+            })
+            .collect();
+        let u_new = fold_in_rows(&v, &rows, 100.0, 1e-4);
+        for (i, u) in planted.iter().enumerate() {
+            for (k, &want) in u.iter().enumerate() {
+                let got = u_new.get(i, k);
+                assert!((got - want).abs() < 1e-2, "u[{i}][{k}] {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn fold_in_rows_empty_row_gets_zero_factors() {
+        let v = Matrix::identity(4);
+        let u = fold_in_rows(&v, &[vec![], vec![(0, 1.0)]], 2.0, 1.0);
+        assert!(u.row(0).iter().all(|&x| x == 0.0));
+        assert!(u.row(1).iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn extend_rows_appends_dot_product_predictions() {
+        let (obs, _) = planted_ratings(8, 5);
+        let mut model = fit(8, 5, &obs, &quick_cfg(5), Some((0.0, 5.0)));
+        let v = Matrix::from_fn(5, 2, |i, j| (i + j) as f64 * 0.1);
+        let u_new = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let before_row0 = model.predict_row(0);
+        model.extend_rows(&u_new, &v);
+        assert_eq!(model.shape(), (9, 5));
+        assert_eq!(model.predict_row(0), before_row0, "existing rows untouched");
+        for j in 0..5 {
+            let raw: f64 = [1.0, 2.0].iter().zip(v.row(j)).map(|(a, b)| a * b).sum();
+            assert_eq!(model.predict(8, j), raw.clamp(0.0, 5.0));
+        }
+    }
+
+    #[test]
+    fn item_factors_roundtrip_through_checkpoint() {
+        use hlm_resilience::{CheckpointStore, MemIo, RunGuard};
+
+        let (obs, _) = planted_ratings(12, 6);
+        let cfg = quick_cfg(7);
+        let store = CheckpointStore::new(Box::new(MemIo::new()));
+        let mut ctrl = TrainControl::new(BPMF_CHECKPOINT_KIND, &store)
+            .with_guard(RunGuard::unlimited().abort_at_iteration(25));
+        fit_resumable(12, 6, &obs, &cfg, None, &mut ctrl, None).unwrap_err();
+        let ckpt = store.latest_good(BPMF_CHECKPOINT_KIND).unwrap().unwrap();
+
+        let v = item_factors_from_checkpoint(&ckpt).unwrap();
+        assert_eq!(v.shape(), (6, cfg.n_factors));
+        assert!(v.as_slice().iter().all(|x| x.is_finite()));
+
+        let bad = Checkpoint {
+            kind: "lda".to_string(),
+            ..ckpt.clone()
+        };
+        assert!(item_factors_from_checkpoint(&bad).is_err());
     }
 
     #[test]

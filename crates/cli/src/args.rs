@@ -2,6 +2,7 @@
 
 use hlm_corpus::Month;
 use hlm_lda::SamplerChoice;
+use hlm_serve::RetrainPolicy;
 
 /// Resilience options shared by training subcommands.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -60,6 +61,69 @@ impl Default for ServeFlags {
             checkpoint_dir: None,
             topics: 3,
             iters: 60,
+        }
+    }
+}
+
+/// Options for the `hlm replay` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayFlags {
+    /// Companies in the generated event stream.
+    pub companies: usize,
+    /// Stream seed.
+    pub seed: u64,
+    /// Live months replayed (everything earlier is warmup history).
+    pub months: u32,
+    /// Retraining policy: `never`, `periodic:N`, or `drift`.
+    pub policy: RetrainPolicy,
+    /// Latent topics per fit.
+    pub topics: usize,
+    /// Gibbs sweeps per fit.
+    pub iters: usize,
+    /// Drift-test significance level.
+    pub significance: f64,
+    /// Reference window length in months.
+    pub reference_months: u32,
+    /// Recent window length in months.
+    pub recent_months: u32,
+    /// Recommendations per company when scoring hit rate.
+    pub top_n: usize,
+    /// Launch a new product category this month (grows the vocabulary).
+    pub launch: Option<Month>,
+    /// Inject a product-mix shift from this month (planted drift).
+    pub shift: Option<Month>,
+    /// Checkpoint root (`fit-NNN/` per fit); enables resume.
+    pub checkpoint_dir: Option<String>,
+    /// Fast-forward completed fits and continue an interrupted one.
+    pub resume: bool,
+    /// Kill fit `abort_fit` at this sweep (resume drill).
+    pub abort_at: Option<u64>,
+    /// Which fit `--abort-at` kills (0 = initial fit, 1 = first retrain).
+    pub abort_fit: usize,
+    /// Write the precision-over-time curve to this CSV path.
+    pub out: Option<String>,
+}
+
+impl Default for ReplayFlags {
+    fn default() -> Self {
+        ReplayFlags {
+            companies: 300,
+            seed: 42,
+            months: 60,
+            policy: RetrainPolicy::DriftTriggered,
+            topics: 3,
+            iters: 60,
+            significance: 0.05,
+            reference_months: 12,
+            recent_months: 6,
+            top_n: 5,
+            launch: None,
+            shift: None,
+            checkpoint_dir: None,
+            resume: false,
+            abort_at: None,
+            abort_fit: 0,
+            out: None,
         }
     }
 }
@@ -135,6 +199,12 @@ pub enum Command {
         /// Server options.
         flags: ServeFlags,
     },
+    /// Replay a live event stream month by month against a serving model,
+    /// retraining per policy and hot-swapping through the server.
+    Replay {
+        /// Replay options.
+        flags: ReplayFlags,
+    },
     /// Concept-drift check between two periods.
     Drift {
         /// Data directory.
@@ -158,6 +228,7 @@ impl Command {
             Command::Topics { .. } => "topics",
             Command::Similar { .. } => "similar",
             Command::Serve { .. } => "serve",
+            Command::Replay { .. } => "replay",
             Command::Drift { .. } => "drift",
         }
     }
@@ -253,6 +324,13 @@ fn parse_month_opt(pairs: &[(String, String)], key: &str) -> Result<Month, Strin
         return Err(format!("month out of range in --{key} {v:?}"));
     }
     Ok(Month::from_ym(year, month))
+}
+
+fn parse_month_optional(pairs: &[(String, String)], key: &str) -> Result<Option<Month>, String> {
+    match get_opt(pairs, key) {
+        None => Ok(None),
+        Some(_) => parse_month_opt(pairs, key).map(Some),
+    }
 }
 
 /// Parses command-line arguments (excluding the program name) into just the
@@ -447,6 +525,64 @@ pub fn parse_invocation(argv: &[String]) -> Result<Invocation, String> {
                     iters: parse_num(&pairs, "iters", defaults.iters)?,
                 },
             })
+        }
+        "replay" => {
+            allow(&[
+                "companies",
+                "seed",
+                "months",
+                "policy",
+                "topics",
+                "iters",
+                "significance",
+                "reference-months",
+                "recent-months",
+                "top-n",
+                "launch",
+                "shift",
+                "checkpoint-dir",
+                "resume",
+                "abort-at",
+                "abort-fit",
+                "out",
+            ])?;
+            let defaults = ReplayFlags::default();
+            let policy = match get_opt(&pairs, "policy") {
+                None => defaults.policy,
+                Some(v) => v.parse::<RetrainPolicy>()?,
+            };
+            let flags = ReplayFlags {
+                companies: parse_num(&pairs, "companies", defaults.companies)?,
+                seed: parse_num(&pairs, "seed", defaults.seed)?,
+                months: parse_num(&pairs, "months", defaults.months)?,
+                policy,
+                topics: parse_num(&pairs, "topics", defaults.topics)?,
+                iters: parse_num(&pairs, "iters", defaults.iters)?,
+                significance: parse_num(&pairs, "significance", defaults.significance)?,
+                reference_months: parse_num(&pairs, "reference-months", defaults.reference_months)?,
+                recent_months: parse_num(&pairs, "recent-months", defaults.recent_months)?,
+                top_n: parse_num(&pairs, "top-n", defaults.top_n)?,
+                launch: parse_month_optional(&pairs, "launch")?,
+                shift: parse_month_optional(&pairs, "shift")?,
+                checkpoint_dir: get_opt(&pairs, "checkpoint-dir").map(String::from),
+                resume: get_opt(&pairs, "resume").is_some(),
+                abort_at: parse_opt_num(&pairs, "abort-at")?,
+                abort_fit: parse_num(&pairs, "abort-fit", defaults.abort_fit)?,
+                out: get_opt(&pairs, "out").map(String::from),
+            };
+            if flags.topics == 0 || flags.iters == 0 {
+                return Err("--topics and --iters must be positive".to_string());
+            }
+            if flags.months == 0 {
+                return Err("--months must be positive".to_string());
+            }
+            if flags.resume && flags.checkpoint_dir.is_none() {
+                return Err("--resume requires --checkpoint-dir".to_string());
+            }
+            if flags.abort_at.is_some() && flags.checkpoint_dir.is_none() {
+                return Err("--abort-at requires --checkpoint-dir".to_string());
+            }
+            Ok(Command::Replay { flags })
         }
         "drift" => {
             allow(&["data", "reference", "recent", "months"])?;
@@ -800,5 +936,78 @@ mod tests {
             }
         );
         assert!(parse_args(&argv(&["similar", "--data", "d"])).is_err());
+    }
+
+    #[test]
+    fn replay_defaults_and_overrides() {
+        let cmd = parse_args(&argv(&["replay"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Replay {
+                flags: ReplayFlags::default()
+            }
+        );
+        let cmd = parse_args(&argv(&[
+            "replay",
+            "--companies",
+            "120",
+            "--seed",
+            "7",
+            "--months",
+            "36",
+            "--policy",
+            "periodic:6",
+            "--launch",
+            "2012-06",
+            "--shift",
+            "2013-01",
+            "--checkpoint-dir",
+            "/tmp/ck",
+            "--resume",
+            "--abort-at",
+            "5",
+            "--abort-fit",
+            "1",
+            "--out",
+            "/tmp/curve.csv",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Replay {
+                flags: ReplayFlags {
+                    companies: 120,
+                    seed: 7,
+                    months: 36,
+                    policy: RetrainPolicy::Periodic(6),
+                    launch: Some(Month::from_ym(2012, 6)),
+                    shift: Some(Month::from_ym(2013, 1)),
+                    checkpoint_dir: Some("/tmp/ck".into()),
+                    resume: true,
+                    abort_at: Some(5),
+                    abort_fit: 1,
+                    out: Some("/tmp/curve.csv".into()),
+                    ..ReplayFlags::default()
+                }
+            }
+        );
+    }
+
+    #[test]
+    fn replay_rejects_bad_invocations() {
+        let e = parse_args(&argv(&["replay", "--policy", "sometimes"])).unwrap_err();
+        assert!(e.contains("policy"), "{e}");
+        let e = parse_args(&argv(&["replay", "--policy", "periodic:0"])).unwrap_err();
+        assert!(e.contains("at least 1"), "{e}");
+        let e = parse_args(&argv(&["replay", "--resume"])).unwrap_err();
+        assert!(e.contains("--checkpoint-dir"), "{e}");
+        let e = parse_args(&argv(&["replay", "--abort-at", "3"])).unwrap_err();
+        assert!(e.contains("--checkpoint-dir"), "{e}");
+        let e = parse_args(&argv(&["replay", "--launch", "2012-13"])).unwrap_err();
+        assert!(e.contains("month out of range"), "{e}");
+        let e = parse_args(&argv(&["replay", "--months", "0"])).unwrap_err();
+        assert!(e.contains("--months"), "{e}");
+        let e = parse_args(&argv(&["replay", "--data", "d"])).unwrap_err();
+        assert!(e.contains("unknown option"), "{e}");
     }
 }

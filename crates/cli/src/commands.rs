@@ -1,12 +1,12 @@
 //! The `hlm` subcommand implementations. Each returns its output as a
 //! `String` so everything is testable without process spawning.
 
-use crate::{CliError, ServeFlags, TopicsEstimator, TrainFlags};
+use crate::{CliError, ReplayFlags, ServeFlags, TopicsEstimator, TrainFlags};
 use hlm_core::representations::{binary_docs, lda_representations};
 use hlm_core::{CompanyFilter, DistanceMetric};
 use hlm_corpus::io::{from_csv, from_csv_lenient, to_csv, LenientOptions, QuarantineReport};
 use hlm_corpus::{Corpus, CorpusSource, Month, ShardStore, TimeWindow, Vocabulary};
-use hlm_datagen::GeneratorConfig;
+use hlm_datagen::{EventStreamConfig, GeneratorConfig, LaunchSpec, MixShift};
 use hlm_engine::{Engine, LdaEstimator, RunGuard, ServeOptions, TrainPlan};
 use hlm_lda::{LdaConfig, LdaModel, OnlineVbOptions};
 use hlm_resilience::CheckpointStore;
@@ -62,6 +62,23 @@ USAGE:
       SIGTERM drains gracefully.
   hlm drift --data DIR --reference YYYY-MM --recent YYYY-MM [--months M]
       Chi-square concept-drift check between two M-month periods.
+  hlm replay [--companies N] [--seed S] [--months M] [--policy P]
+            [--topics K] [--iters N] [--launch YYYY-MM] [--shift YYYY-MM]
+            [--significance A] [--reference-months R] [--recent-months C]
+            [--top-n N] [--checkpoint-dir DIR] [--resume]
+            [--abort-at SWEEP] [--abort-fit F] [--out CSV]
+      Generate a timestamped event stream and replay its last M months
+      against a live in-process server: each month's acquisitions are
+      scored against the serving model (precision@N) before being applied,
+      drift is tested on trailing reference/recent windows, and the model
+      is retrained per --policy (never, periodic:N, or drift) then
+      hot-swapped through POST /admin/swap. --launch grows the vocabulary
+      mid-stream (served via incremental fold-in, no retrain); --shift
+      plants a product-mix drift the detector must catch. Fits checkpoint
+      under --checkpoint-dir/fit-NNN; --resume fast-forwards completed
+      fits and continues an interrupted one bit-identically. --abort-at
+      kills fit --abort-fit at that sweep (resume drill). --out writes
+      the precision-over-time curve as CSV.
   hlm help
       This text.
 
@@ -686,6 +703,14 @@ pub fn drift(data: &str, reference: Month, recent: Month, months: u32) -> Result
         "recent period:    {} + {months} months ({} events)",
         recent, rep.recent_events
     );
+    if !rep.is_valid() {
+        let _ = writeln!(
+            out,
+            "verdict:          insufficient data — the test needs at least one \
+             event in each period and two observed categories"
+        );
+        return Ok(out);
+    }
     let _ = writeln!(
         out,
         "chi-square:       {:.2} (df {})",
@@ -702,6 +727,110 @@ pub fn drift(data: &str, reference: Month, recent: Month, months: u32) -> Result
             "no significant drift"
         }
     );
+    Ok(out)
+}
+
+/// `hlm replay`: generate an event stream, replay it month by month against
+/// a live in-process server, retrain per policy, and hot-swap on success.
+pub fn replay(flags: &ReplayFlags) -> Result<String, CliError> {
+    let mut stream = EventStreamConfig::with_size_and_seed(flags.companies, flags.seed);
+    let horizon = stream.base.horizon;
+    if let Some(month) = flags.launch {
+        if month >= horizon {
+            return Err(CliError::Usage(format!(
+                "--launch {month} must be before the stream horizon {horizon}"
+            )));
+        }
+        stream.launches.push(LaunchSpec {
+            name: "replay_launch".to_string(),
+            month,
+            adoption: 0.04,
+        });
+    }
+    if let Some(month) = flags.shift {
+        if month >= horizon {
+            return Err(CliError::Usage(format!(
+                "--shift {month} must be before the stream horizon {horizon}"
+            )));
+        }
+        stream.shift = Some(MixShift {
+            month,
+            products: vec!["retail".to_string(), "media".to_string()],
+            monthly_rate: 0.15,
+        });
+    }
+
+    let mut cfg = hlm_serve::ReplayConfig::new(stream);
+    cfg.serve_months = flags.months;
+    cfg.policy = flags.policy;
+    cfg.significance = flags.significance;
+    cfg.reference_months = flags.reference_months;
+    cfg.recent_months = flags.recent_months;
+    cfg.top_n = flags.top_n;
+    cfg.lda = serve_lda_config(0, flags.topics, flags.iters); // vocab_size set per fit
+    cfg.lda.seed = flags.seed;
+    cfg.checkpoint_dir = flags.checkpoint_dir.as_ref().map(std::path::PathBuf::from);
+    cfg.resume = flags.resume;
+    cfg.abort = flags.abort_at.map(|iteration| hlm_serve::FitAbort {
+        fit_index: flags.abort_fit,
+        iteration,
+    });
+
+    let outcome = hlm_serve::replay(&cfg).map_err(|e| {
+        if e.is_interruption() {
+            CliError::Engine(format!("replay interrupted: {e} (rerun with --resume)"))
+        } else {
+            engine_err(e)
+        }
+    })?;
+
+    if let Some(path) = &flags.out {
+        std::fs::write(path, outcome.csv())
+            .map_err(|e| CliError::Data(format!("cannot write curve to {path}: {e}")))?;
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "replayed {} months ({} events) under policy {:?}",
+        outcome.rows.len(),
+        outcome.events,
+        flags.policy
+    );
+    let _ = writeln!(
+        out,
+        "drift checks:   {} valid ({} triggered)",
+        outcome.drift_checks,
+        outcome.rows.iter().filter(|r| r.drifted).count()
+    );
+    let _ = writeln!(out, "retrains:       {}", outcome.retrains);
+    let _ = writeln!(out, "fold-ins:       {}", outcome.fold_ins);
+    let _ = writeln!(out, "hot swaps:      {}", outcome.swaps);
+    let _ = writeln!(
+        out,
+        "market at end:  {} companies, {} product categories",
+        outcome.companies, outcome.vocab_len
+    );
+    let evaluated: u64 = outcome.rows.iter().map(|r| r.evaluated).sum();
+    let hits: u64 = outcome.rows.iter().map(|r| r.hits).sum();
+    if evaluated > 0 {
+        let _ = writeln!(
+            out,
+            "precision@{}:    {:.4} overall ({hits}/{evaluated}), {:.4} last 12 evaluable months",
+            flags.top_n,
+            hits as f64 / evaluated as f64,
+            outcome.late_hit_rate(12)
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "precision@{}:    n/a (no evaluable acquisitions)",
+            flags.top_n
+        );
+    }
+    if let Some(path) = &flags.out {
+        let _ = writeln!(out, "curve written:  {path}");
+    }
     Ok(out)
 }
 
@@ -862,6 +991,17 @@ mod tests {
         generate(400, 13, &dir, None).unwrap();
         let out = drift(&dir, Month::from_ym(1995, 1), Month::from_ym(2013, 1), 24).unwrap();
         assert!(out.contains("CONCEPT DRIFT"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drift_with_empty_period_reports_insufficient_data() {
+        let dir = tmp_dir("drift-empty");
+        generate(100, 13, &dir, None).unwrap();
+        // 1900 predates every founding date: zero events in that window.
+        let out = drift(&dir, Month::from_ym(1900, 1), Month::from_ym(2013, 1), 12).unwrap();
+        assert!(out.contains("insufficient data"), "{out}");
+        assert!(!out.contains("NaN"), "no bare NaN p-value: {out}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

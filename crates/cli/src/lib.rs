@@ -17,8 +17,8 @@ pub mod args;
 pub mod commands;
 
 pub use args::{
-    parse_args, parse_invocation, Command, Invocation, MetricsFormat, ParsedArgs, ServeFlags,
-    TopicsEstimator, TrainFlags,
+    parse_args, parse_invocation, Command, Invocation, MetricsFormat, ParsedArgs, ReplayFlags,
+    ServeFlags, TopicsEstimator, TrainFlags,
 };
 pub use hlm_engine::{effective_threads, set_threads};
 
@@ -92,6 +92,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             whitespace,
         } => commands::similar(data, *company, *k, *whitespace),
         Command::Serve { data, flags } => commands::serve(data, flags),
+        Command::Replay { flags } => commands::replay(flags),
         Command::Drift {
             data,
             reference,

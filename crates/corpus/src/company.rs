@@ -103,15 +103,35 @@ impl Company {
     /// Adds (or merges) an install event, keeping one event per product with
     /// the earliest `first_seen`, the latest `last_seen`, and the maximum
     /// confidence — the same union rule the paper's site aggregation uses.
+    ///
+    /// The event vec stays sorted by `(first_seen, product)` via binary-search
+    /// insertion: O(log n) to locate plus one `Vec` shift, instead of the full
+    /// re-sort per insert that made long replay streams O(n² log n).
     pub fn add_event(&mut self, ev: InstallEvent) {
-        if let Some(existing) = self.events.iter_mut().find(|e| e.product == ev.product) {
+        if let Some(pos) = self.events.iter().position(|e| e.product == ev.product) {
+            let existing = &mut self.events[pos];
+            let lowered = ev.first_seen < existing.first_seen;
             existing.first_seen = existing.first_seen.min(ev.first_seen);
             existing.last_seen = existing.last_seen.max(ev.last_seen);
             existing.confidence = existing.confidence.max(ev.confidence);
+            if lowered {
+                // The key shrank, so the event may belong earlier; remove and
+                // re-insert at its new sorted position.
+                let merged = self.events.remove(pos);
+                let at = self.insertion_point(&merged);
+                self.events.insert(at, merged);
+            }
         } else {
-            self.events.push(ev);
+            let at = self.insertion_point(&ev);
+            self.events.insert(at, ev);
         }
-        self.events.sort_by_key(|e| (e.first_seen, e.product));
+    }
+
+    /// Sorted position for `ev` under the `(first_seen, product)` order.
+    fn insertion_point(&self, ev: &InstallEvent) -> usize {
+        self.events
+            .binary_search_by_key(&(ev.first_seen, ev.product), |e| (e.first_seen, e.product))
+            .unwrap_or_else(|i| i)
     }
 
     /// The install events, sorted by `(first_seen, product)`.
@@ -164,11 +184,17 @@ impl Company {
     }
 
     /// Binary attribute vector `𝒜_i` of length `vocab_len` (Equation 3).
+    ///
+    /// Products with `index >= vocab_len` are skipped rather than asserted
+    /// away: when the vocabulary has grown mid-stream, a model trained on the
+    /// older, shorter vocabulary can still score this company over the
+    /// categories it knows about.
     pub fn binary_vector(&self, vocab_len: usize) -> Vec<f64> {
         let mut v = vec![0.0; vocab_len];
         for e in &self.events {
-            debug_assert!(e.product.index() < vocab_len, "product outside vocabulary");
-            v[e.product.index()] = 1.0;
+            if e.product.index() < vocab_len {
+                v[e.product.index()] = 1.0;
+            }
         }
         v
     }
@@ -252,5 +278,71 @@ mod tests {
         c.add_event(InstallEvent::at(ProductId(9), m(2000, 1)));
         c.add_event(InstallEvent::at(ProductId(3), m(2000, 1)));
         assert_eq!(c.product_sequence(), vec![ProductId(3), ProductId(9)]);
+    }
+
+    #[test]
+    fn merge_that_lowers_first_seen_repositions_event() {
+        let mut c = Company::new(1, "A", Sic2(1), 0);
+        c.add_event(InstallEvent::at(ProductId(1), m(2000, 1)));
+        c.add_event(InstallEvent::at(ProductId(2), m(2005, 1)));
+        // A merge that moves product 2's first_seen before product 1's must
+        // re-sort it to the front.
+        c.add_event(InstallEvent::at(ProductId(2), m(1995, 1)));
+        assert_eq!(c.product_sequence(), vec![ProductId(2), ProductId(1)]);
+        assert_eq!(c.events()[0].first_seen, m(1995, 1));
+        assert_eq!(c.events()[0].last_seen, m(2005, 1));
+    }
+
+    #[test]
+    fn binary_vector_skips_products_beyond_model_vocab() {
+        let mut c = Company::new(1, "A", Sic2(1), 0);
+        c.add_event(InstallEvent::at(ProductId(3), m(2000, 1)));
+        c.add_event(InstallEvent::at(ProductId(40), m(2015, 1))); // launched after training
+        let v = c.binary_vector(38);
+        assert_eq!(v.len(), 38);
+        assert_eq!(v.iter().sum::<f64>(), 1.0);
+        assert_eq!(v[3], 1.0);
+        // With a grown vocabulary the newer product shows up.
+        let v39 = c.binary_vector(41);
+        assert_eq!(v39[40], 1.0);
+    }
+
+    /// Reference implementation: the old merge-then-full-sort behaviour that
+    /// [`Company::add_event`]'s binary-search insertion must reproduce exactly.
+    fn add_event_sort_everything(events: &mut Vec<InstallEvent>, ev: InstallEvent) {
+        if let Some(existing) = events.iter_mut().find(|e| e.product == ev.product) {
+            existing.first_seen = existing.first_seen.min(ev.first_seen);
+            existing.last_seen = existing.last_seen.max(ev.last_seen);
+            existing.confidence = existing.confidence.max(ev.confidence);
+        } else {
+            events.push(ev);
+        }
+        events.sort_by_key(|e| (e.first_seen, e.product));
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        // Interleaved adds and merges through the binary-search insertion path
+        // must leave exactly the state the old sort-everything code produced:
+        // same events, same order, same merged fields.
+        #[test]
+        fn add_event_matches_sort_everything_reference(
+            raw in prop::collection::vec((0u16..12, 0i32..240, 0u32..36, 0u32..=10), 0..60)
+        ) {
+            let mut c = Company::new(1, "A", Sic2(1), 0);
+            let mut reference: Vec<InstallEvent> = Vec::new();
+            for (p, start, span, conf) in raw {
+                let ev = InstallEvent {
+                    product: ProductId(p),
+                    first_seen: Month(start),
+                    last_seen: Month(start + span as i32),
+                    confidence: conf as f32 / 10.0,
+                };
+                c.add_event(ev);
+                add_event_sort_everything(&mut reference, ev);
+                prop_assert_eq!(c.events(), reference.as_slice());
+            }
+        }
     }
 }

@@ -143,6 +143,27 @@ impl Vocabulary {
             .map(|(i, n)| (ProductId(i as u16), n.as_str()))
     }
 
+    /// Appends a new category (a mid-stream product launch), returning its id.
+    ///
+    /// Existing ids keep their meaning: growth is append-only, so any model
+    /// trained against a prefix of this vocabulary can still address it.
+    ///
+    /// # Panics
+    /// Panics on a duplicate name or when the vocabulary is already at
+    /// `u16::MAX` categories.
+    pub fn push(&mut self, name: impl Into<String>) -> ProductId {
+        let name = name.into();
+        assert!(
+            !self.index.contains_key(&name),
+            "duplicate category name {name:?}"
+        );
+        assert!(self.names.len() < u16::MAX as usize, "too many categories");
+        let id = ProductId(self.names.len() as u16);
+        self.index.insert(name.clone(), id);
+        self.names.push(name);
+        id
+    }
+
     /// Rebuilds the name index (needed after `serde` deserialization, which
     /// skips the redundant map).
     pub fn rebuild_index(&mut self) {
@@ -204,6 +225,26 @@ mod tests {
             v.ids().collect::<Vec<_>>(),
             vec![ProductId(0), ProductId(1)]
         );
+    }
+
+    #[test]
+    fn push_grows_append_only() {
+        let mut v = Vocabulary::standard();
+        let id = v.push("quantum_accelerators");
+        assert_eq!(id, ProductId(38));
+        assert_eq!(v.len(), 39);
+        assert_eq!(v.name(id), "quantum_accelerators");
+        assert_eq!(v.id("quantum_accelerators"), Some(id));
+        // Existing ids are untouched.
+        assert_eq!(v.id("OS"), Some(ProductId(23)));
+        assert!(v.contains(id));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate category name")]
+    fn push_rejects_duplicates() {
+        let mut v = Vocabulary::standard();
+        v.push("OS");
     }
 
     #[test]

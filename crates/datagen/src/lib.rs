@@ -29,9 +29,13 @@
 //! See DESIGN.md §2 for the substitution rationale.
 
 pub mod config;
+pub mod events;
 pub mod generator;
 pub mod profiles;
 
 pub use config::GeneratorConfig;
+pub use events::{
+    generate_events, EventStream, EventStreamConfig, LaunchSpec, MixShift, StreamEvent, StreamState,
+};
 pub use generator::{generate, generate_sharded, generate_sites};
 pub use profiles::{PlantedProfiles, ProfileSpec};

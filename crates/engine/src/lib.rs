@@ -530,6 +530,58 @@ pub fn fit_lda(
     })
 }
 
+/// Incrementally folds new documents (and optionally a grown vocabulary)
+/// into a trained LDA model — the replay loop's cheap path between full
+/// retrains. Validates inputs and delegates to [`hlm_lda::fold_in`].
+///
+/// # Errors
+/// [`EngineError::InvalidSpec`] on zero sweeps, non-positive prior mass, a
+/// shrinking vocabulary, or a document word outside `new_vocab_size`.
+pub fn fold_in_lda(
+    model: &LdaModel,
+    new_docs: &[WeightedDoc],
+    new_vocab_size: usize,
+    opts: &hlm_lda::FoldInOptions,
+) -> Result<LdaModel, EngineError> {
+    if opts.n_sweeps == 0 {
+        return Err(EngineError::InvalidSpec {
+            reason: "fold-in needs at least one sweep".into(),
+        });
+    }
+    // NaN must be rejected too, hence the explicit is_nan arm.
+    if opts.prior_tokens.is_nan() || opts.prior_tokens <= 0.0 {
+        return Err(EngineError::InvalidSpec {
+            reason: format!(
+                "fold-in prior token mass must be positive, got {}",
+                opts.prior_tokens
+            ),
+        });
+    }
+    if new_vocab_size < model.vocab_size() {
+        return Err(EngineError::InvalidSpec {
+            reason: format!(
+                "fold-in cannot shrink the vocabulary: {new_vocab_size} < {}",
+                model.vocab_size()
+            ),
+        });
+    }
+    for doc in new_docs {
+        for &(w, _) in doc {
+            if w >= new_vocab_size {
+                return Err(EngineError::InvalidSpec {
+                    reason: format!(
+                        "document word {w} outside the grown vocabulary of {new_vocab_size}"
+                    ),
+                });
+            }
+        }
+    }
+    let rec = hlm_obs::global();
+    let _span = rec.span("engine.fold_in_lda");
+    rec.add("engine.fold_ins", 1);
+    Ok(hlm_lda::fold_in(model, new_docs, new_vocab_size, opts))
+}
+
 // ---------------------------------------------------------------------------
 // Resilient training
 // ---------------------------------------------------------------------------
@@ -1862,6 +1914,46 @@ mod tests {
         }
         let err = fit_lda(cfg, LdaEstimator::Gibbs, &[]).unwrap_err();
         assert!(matches!(err, EngineError::InvalidSpec { .. }));
+    }
+
+    #[test]
+    fn fold_in_lda_validates_and_grows_vocab() {
+        let docs = hlm_lda::unit_weights(&tiny_seqs());
+        let cfg = LdaConfig {
+            n_topics: 2,
+            vocab_size: 5,
+            n_iters: 15,
+            burn_in: 5,
+            ..Default::default()
+        };
+        let model = fit_lda(cfg, LdaEstimator::Gibbs, &docs).unwrap();
+        let opts = hlm_lda::FoldInOptions {
+            prior_tokens: 15.0,
+            ..Default::default()
+        };
+
+        // Vocabulary grows by one; the folded model scores the new word.
+        let new_docs = hlm_lda::unit_weights(&[vec![0, 1, 5], vec![2, 5]]);
+        let folded = fold_in_lda(&model, &new_docs, 6, &opts).unwrap();
+        assert_eq!(folded.vocab_size(), 6);
+        assert_eq!(folded.n_topics(), 2);
+
+        // Errors, not panics, on malformed requests.
+        let shrink = fold_in_lda(&model, &new_docs, 4, &opts).unwrap_err();
+        assert!(matches!(shrink, EngineError::InvalidSpec { .. }));
+        let oov = fold_in_lda(&model, &new_docs, 5, &opts).unwrap_err();
+        assert!(matches!(oov, EngineError::InvalidSpec { .. }));
+        let zero = fold_in_lda(
+            &model,
+            &new_docs,
+            6,
+            &hlm_lda::FoldInOptions {
+                n_sweeps: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(zero, EngineError::InvalidSpec { .. }));
     }
 
     #[test]

@@ -26,10 +26,21 @@ pub struct DriftReport {
     /// P-value of the test (NaN when either period has no events).
     pub p_value: f64,
     /// Jensen–Shannon divergence (nats) between the two acquisition
-    /// distributions — a bounded effect size in `[0, ln 2]`.
+    /// distributions — a bounded effect size in `[0, ln 2]`. NaN when either
+    /// period has no events: against an all-zero "distribution" the formula
+    /// would report ½·ln 2 ≈ 0.347, a large phantom effect size for a window
+    /// that simply has no data.
     pub js_divergence: f64,
     /// True when `p_value < significance`.
     pub drifted: bool,
+}
+
+impl DriftReport {
+    /// True when both periods had events and the test could run — i.e. the
+    /// p-value and JS divergence are meaningful numbers rather than NaN.
+    pub fn is_valid(&self) -> bool {
+        !self.p_value.is_nan()
+    }
 }
 
 /// Counts first-seen events per product inside a window.
@@ -95,19 +106,22 @@ pub fn detect_drift(
         .filter(|&i| ref_counts[i] + rec_counts[i] > 0)
         .collect();
 
-    let js = jensen_shannon(&normalize(&ref_counts), &normalize(&rec_counts));
-
     if n1 == 0 || n2 == 0 || kept.len() < 2 {
+        // An empty period carries no distributional information: the JS
+        // divergence is NaN too, not the ½·ln 2 the formula would yield
+        // against a normalized-to-zeros vector.
         return DriftReport {
             reference_events: n1,
             recent_events: n2,
             chi_square: f64::NAN,
             degrees_of_freedom: 0,
             p_value: f64::NAN,
-            js_divergence: js,
+            js_divergence: f64::NAN,
             drifted: false,
         };
     }
+
+    let js = jensen_shannon(&normalize(&ref_counts), &normalize(&rec_counts));
 
     // Two-sample chi-square: expected cell count under homogeneity is
     // row_total * col_total / grand_total.
@@ -212,7 +226,39 @@ mod tests {
         let rep = detect_drift(&c, a, empty, 0.05);
         assert!(rep.p_value.is_nan());
         assert!(!rep.drifted);
+        assert!(!rep.is_valid());
         assert_eq!(rep.recent_events, 0);
+    }
+
+    #[test]
+    fn empty_period_js_is_nan_not_phantom_half_ln2() {
+        // Regression: normalize(zeros) used to feed jensen_shannon an
+        // all-zero q, which evaluates to exactly ½·ln 2 ≈ 0.347 nats — a
+        // large "effect size" for a window containing no data at all. The
+        // report must carry NaN instead.
+        let c = corpus(true, 30);
+        let empty = TimeWindow::new(Month::from_ym(1980, 1), 12);
+        let (a, _) = windows();
+
+        // Pin the phantom value itself so the failure mode stays documented:
+        // this is what the report used to contain.
+        let phantom = jensen_shannon(&[0.5, 0.5, 0.0], &[0.0, 0.0, 0.0]);
+        assert!(
+            (phantom - 0.5 * std::f64::consts::LN_2).abs() < 1e-12,
+            "JS against zeros is ½·ln 2, got {phantom}"
+        );
+
+        let rep = detect_drift(&c, a, empty, 0.05);
+        assert!(
+            rep.js_divergence.is_nan(),
+            "empty period must not report an effect size, got {}",
+            rep.js_divergence
+        );
+        // Both orders, and the both-empty case.
+        let rev = detect_drift(&c, empty, a, 0.05);
+        assert!(rev.js_divergence.is_nan() && !rev.drifted);
+        let both = detect_drift(&c, empty, empty, 0.05);
+        assert!(both.js_divergence.is_nan() && both.p_value.is_nan());
     }
 
     #[test]

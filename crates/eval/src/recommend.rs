@@ -199,15 +199,23 @@ pub fn evaluate_recommender(
                     .map(|p| p.index())
                     .collect();
                 let scores = model.scores(&history);
-                debug_assert_eq!(scores.len(), corpus.vocab().len());
+                // A model trained before a mid-stream product launch scores
+                // fewer categories than the grown corpus vocabulary; it can
+                // never retrieve the newer products (they still count as
+                // relevant, honestly lowering recall).
+                debug_assert!(scores.len() <= corpus.vocab().len());
 
                 let mut owned = vec![false; scores.len()];
                 for &h in &history {
-                    owned[h] = true;
+                    if h < owned.len() {
+                        owned[h] = true;
+                    }
                 }
                 let mut is_truth = vec![false; scores.len()];
                 for &t in &truth {
-                    is_truth[t] = true;
+                    if t < is_truth.len() {
+                        is_truth[t] = true;
+                    }
                 }
 
                 for (pi, &phi) in cfg.thresholds.iter().enumerate() {

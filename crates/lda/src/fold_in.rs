@@ -1,0 +1,300 @@
+//! Incremental model update: fold new documents into a trained LDA without
+//! a full retrain.
+//!
+//! The streaming scenario appends companies and grows the vocabulary
+//! mid-stream; refitting from scratch on every batch would defeat the point
+//! of the replay loop's cheap path. `fold_in` instead treats the trained φ
+//! as pseudo-count evidence, Gibbs-samples topic assignments for the *new*
+//! documents only, and re-normalizes — O(new tokens · sweeps · K) instead
+//! of O(corpus · sweeps · K).
+//!
+//! The approximation: the base model's topic-word mass is reconstructed as
+//! `prior_tokens / K` tokens per topic spread as φ prescribes (the per-topic
+//! totals are not stored in [`LdaModel`], so topic sizes are taken as
+//! uniform). With new batches a fraction of the base corpus, the resulting
+//! model's held-out perplexity lands within the bootstrap CI of a full
+//! retrain on the merged corpus — `tests/fold_in_equivalence.rs` pins that
+//! claim, mirroring the sampler-equivalence harness.
+//!
+//! Vocabulary growth: pass `new_vocab_size > model.vocab_size()` and φ gains
+//! columns for the launched products. New columns start from β smoothing
+//! plus whatever the new documents assign — the only evidence there is.
+//!
+//! Determinism: the sampler is serial and seeded; the result is a pure
+//! function of `(model, new_docs, new_vocab_size, options)` at any thread
+//! count.
+
+use crate::model::LdaModel;
+use crate::WeightedDoc;
+use hlm_linalg::dist::sample_categorical;
+use hlm_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Knobs of the fold-in update.
+#[derive(Debug, Clone)]
+pub struct FoldInOptions {
+    /// Gibbs sweeps over the new documents' tokens.
+    pub n_sweeps: usize,
+    /// Effective token mass of the base model — normally the total token
+    /// weight of the corpus it was trained on. Larger values make the fold
+    /// more conservative (φ moves less toward the new documents).
+    pub prior_tokens: f64,
+    /// RNG seed for the fold-in sampler.
+    pub seed: u64,
+}
+
+impl Default for FoldInOptions {
+    fn default() -> Self {
+        FoldInOptions {
+            n_sweeps: 20,
+            prior_tokens: 10_000.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Folds `new_docs` into `model`, returning the updated model.
+///
+/// # Panics
+/// Panics if `n_sweeps == 0`, `prior_tokens <= 0`, `new_vocab_size` shrinks
+/// the vocabulary, or a document addresses a word `>= new_vocab_size`.
+pub fn fold_in(
+    model: &LdaModel,
+    new_docs: &[WeightedDoc],
+    new_vocab_size: usize,
+    opts: &FoldInOptions,
+) -> LdaModel {
+    assert!(opts.n_sweeps > 0, "fold-in needs at least one sweep");
+    assert!(opts.prior_tokens > 0.0, "prior token mass must be positive");
+    let k = model.n_topics();
+    let m_old = model.vocab_size();
+    assert!(
+        new_vocab_size >= m_old,
+        "vocabulary cannot shrink: {new_vocab_size} < {m_old}"
+    );
+    let m = new_vocab_size;
+    let alpha = model.alpha();
+    let beta = model.beta();
+
+    // φ as pseudo-counts: prior_tokens/K tokens per topic, spread as φ.
+    let topic_mass = opts.prior_tokens / k as f64;
+    let mut n_kw = Matrix::zeros(k, m);
+    for t in 0..k {
+        for w in 0..m_old {
+            n_kw.set(t, w, model.phi().get(t, w) * topic_mass);
+        }
+    }
+    let mut n_k = vec![topic_mass; k];
+
+    // Flatten the new documents' tokens.
+    let mut tok_doc = Vec::new();
+    let mut tok_word = Vec::new();
+    let mut tok_weight = Vec::new();
+    for (d, doc) in new_docs.iter().enumerate() {
+        for &(w, weight) in doc {
+            assert!(w < m, "word {w} outside the grown vocabulary of {m}");
+            tok_doc.push(d);
+            tok_word.push(w);
+            tok_weight.push(weight);
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut n_dk = vec![vec![0.0f64; k]; new_docs.len()];
+    let mut z = vec![0usize; tok_word.len()];
+    let beta_sum = beta * m as f64;
+    let mut weights = vec![0.0f64; k];
+
+    // Initialize by sampling from the word's topic profile under the prior
+    // counts alone.
+    for i in 0..tok_word.len() {
+        let w = tok_word[i];
+        for (t, wt) in weights.iter_mut().enumerate() {
+            *wt = (n_kw.get(t, w) + beta) / (n_k[t] + beta_sum);
+        }
+        let t = sample_categorical(&mut rng, &weights);
+        z[i] = t;
+        let wgt = tok_weight[i];
+        n_dk[tok_doc[i]][t] += wgt;
+        n_kw.add_at(t, w, wgt);
+        n_k[t] += wgt;
+    }
+
+    // Collapsed Gibbs over the new tokens only (φ's pseudo-counts stay put).
+    for _sweep in 0..opts.n_sweeps {
+        for i in 0..tok_word.len() {
+            let (d, w, wgt) = (tok_doc[i], tok_word[i], tok_weight[i]);
+            let old = z[i];
+            n_dk[d][old] -= wgt;
+            n_kw.add_at(old, w, -wgt);
+            n_k[old] -= wgt;
+            for (t, wt) in weights.iter_mut().enumerate() {
+                *wt = (n_dk[d][t] + alpha) * (n_kw.get(t, w) + beta) / (n_k[t] + beta_sum);
+            }
+            let t = sample_categorical(&mut rng, &weights);
+            z[i] = t;
+            n_dk[d][t] += wgt;
+            n_kw.add_at(t, w, wgt);
+            n_k[t] += wgt;
+        }
+    }
+
+    // New φ: smoothed, normalized counts (pseudo-mass + new assignments).
+    let mut phi = Matrix::zeros(k, m);
+    for (t, &total) in n_k.iter().enumerate() {
+        let denom = total + beta_sum;
+        for w in 0..m {
+            phi.set(t, w, (n_kw.get(t, w) + beta) / denom);
+        }
+    }
+    phi.normalize_rows();
+    LdaModel::new(phi, alpha, beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gibbs::GibbsTrainer;
+    use crate::model::LdaConfig;
+    use crate::unit_weights;
+
+    fn two_topic_model() -> LdaModel {
+        let phi = Matrix::from_rows(&[&[0.4, 0.4, 0.1, 0.1], &[0.1, 0.1, 0.4, 0.4]]);
+        LdaModel::new(phi, 0.1, 0.05)
+    }
+
+    #[test]
+    fn no_docs_reproduces_phi_up_to_smoothing() {
+        let model = two_topic_model();
+        let out = fold_in(&model, &[], 4, &FoldInOptions::default());
+        for t in 0..2 {
+            for w in 0..4 {
+                let a = model.phi().get(t, w);
+                let b = out.phi().get(t, w);
+                assert!((a - b).abs() < 1e-3, "phi[{t}][{w}] {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fold_in_is_deterministic() {
+        let model = two_topic_model();
+        let docs = unit_weights(&[vec![0, 1], vec![2, 3], vec![0, 3]]);
+        let opts = FoldInOptions {
+            prior_tokens: 100.0,
+            ..Default::default()
+        };
+        let a = fold_in(&model, &docs, 4, &opts);
+        let b = fold_in(&model, &docs, 4, &opts);
+        assert_eq!(a.phi().as_slice(), b.phi().as_slice());
+    }
+
+    #[test]
+    fn new_vocab_columns_receive_mass_from_new_docs() {
+        let model = two_topic_model();
+        // Word 4 (new) co-occurs with topic-0 words.
+        let docs = unit_weights(&vec![vec![0, 1, 4]; 30]);
+        let out = fold_in(
+            &model,
+            &docs,
+            5,
+            &FoldInOptions {
+                prior_tokens: 50.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.vocab_size(), 5);
+        // The new word's mass concentrates in topic 0 (its co-occurrence
+        // partner), and every row still sums to 1.
+        assert!(
+            out.phi().get(0, 4) > 3.0 * out.phi().get(1, 4),
+            "topic 0 should own the new word: {} vs {}",
+            out.phi().get(0, 4),
+            out.phi().get(1, 4)
+        );
+        for t in 0..2 {
+            let s: f64 = (0..5).map(|w| out.phi().get(t, w)).sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn heavier_prior_moves_phi_less() {
+        let model = two_topic_model();
+        // Documents that contradict the model: word 0 with word 3.
+        let docs = unit_weights(&vec![vec![0, 3]; 50]);
+        let drift = |prior: f64| {
+            let out = fold_in(
+                &model,
+                &docs,
+                4,
+                &FoldInOptions {
+                    prior_tokens: prior,
+                    ..Default::default()
+                },
+            );
+            let mut d = 0.0;
+            for t in 0..2 {
+                for w in 0..4 {
+                    d += (out.phi().get(t, w) - model.phi().get(t, w)).abs();
+                }
+            }
+            d
+        };
+        assert!(
+            drift(10_000.0) < drift(100.0),
+            "a heavier prior must damp the update"
+        );
+    }
+
+    #[test]
+    fn fold_in_approximates_full_retrain_on_planted_data() {
+        // Train on 80% of planted two-topic documents, fold in the rest;
+        // the folded model must classify the new word distributions about
+        // as well as a full retrain (coarse check here; the statistical
+        // equivalence claim lives in tests/fold_in_equivalence.rs).
+        let gen_docs = |lo: usize, hi: usize| -> Vec<Vec<usize>> {
+            (lo..hi)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        vec![0, 1, 2, (i / 2) % 3]
+                    } else {
+                        vec![6, 7, 8, 6 + (i / 2) % 3]
+                    }
+                })
+                .collect()
+        };
+        let base = unit_weights(&gen_docs(0, 160));
+        let extra = unit_weights(&gen_docs(160, 200));
+        let cfg = LdaConfig {
+            n_topics: 2,
+            vocab_size: 9,
+            n_iters: 120,
+            burn_in: 60,
+            sample_lag: 5,
+            seed: 11,
+            beta: 0.1,
+            ..Default::default()
+        };
+        let model = GibbsTrainer::new(cfg).fit(&base);
+        let folded = fold_in(
+            &model,
+            &extra,
+            9,
+            &FoldInOptions {
+                prior_tokens: base.iter().map(|d| d.len() as f64).sum(),
+                ..Default::default()
+            },
+        );
+        let test = unit_weights(&gen_docs(200, 240));
+        let ppl_folded = crate::document_completion_perplexity(&folded, &test);
+        let ppl_base = crate::document_completion_perplexity(&model, &test);
+        assert!(ppl_folded.is_finite());
+        // The fold must not damage the model on in-distribution data.
+        assert!(
+            ppl_folded < ppl_base * 1.1,
+            "folded {ppl_folded} vs base {ppl_base}"
+        );
+    }
+}

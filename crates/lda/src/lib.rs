@@ -31,6 +31,7 @@
 //! assert!((theta.iter().sum::<f64>() - 1.0).abs() < 1e-9);
 //! ```
 
+pub mod fold_in;
 pub mod gibbs;
 pub mod model;
 pub mod online_vb;
@@ -38,6 +39,7 @@ pub mod perplexity;
 pub mod sharded;
 pub mod vb;
 
+pub use fold_in::{fold_in, FoldInOptions};
 pub use gibbs::{GibbsTrainer, GIBBS_CHECKPOINT_KIND};
 pub use model::{LdaConfig, LdaModel, SamplerChoice};
 pub use online_vb::{OnlineVbOptions, OnlineVbTrainer, ONLINE_VB_CHECKPOINT_KIND};

@@ -220,6 +220,10 @@ impl LdaModel {
     /// Runs fixed-φ EM: responsibilities `p(k | w) ∝ θ_k φ_kw`, then
     /// `θ ∝ α + Σ_w weight · p(k | w)`, iterated to convergence. Determinism
     /// makes this the default for representations and recommendations.
+    ///
+    /// Words with `index >= vocab_size()` — products launched after this
+    /// model was trained — are skipped, so a pre-growth model can still score
+    /// companies from a corpus whose vocabulary grew mid-stream.
     pub fn infer_theta(&self, doc: &[(usize, f64)]) -> Vec<f64> {
         let k = self.n_topics();
         let mut theta = vec![1.0 / k as f64; k];
@@ -230,7 +234,9 @@ impl LdaModel {
         for _ in 0..50 {
             let mut new_theta = vec![self.alpha; k];
             for &(w, weight) in doc {
-                debug_assert!(w < self.vocab_size(), "word index out of range");
+                if w >= self.vocab_size() {
+                    continue; // product unknown to this model's vocabulary
+                }
                 let mut s = 0.0;
                 for t in 0..k {
                     resp[t] = theta[t] * self.phi.get(t, w);
@@ -275,6 +281,16 @@ impl LdaModel {
             return vec![1.0 / k as f64; k];
         }
         let mut rng = StdRng::seed_from_u64(seed);
+        // Same unknown-word rule as `infer_theta`: skip products this model
+        // has no φ column for.
+        let doc: Vec<(usize, f64)> = doc
+            .iter()
+            .copied()
+            .filter(|&(w, _)| w < self.vocab_size())
+            .collect();
+        if doc.is_empty() {
+            return vec![1.0 / k as f64; k];
+        }
         let mut z = vec![0usize; doc.len()];
         let mut n_k = vec![0.0f64; k];
         let total_weight: f64 = doc.iter().map(|&(_, w)| w).sum();

@@ -75,18 +75,27 @@ fn doc_log_likelihood(model: &LdaModel, doc: &[(usize, f64)]) -> (f64, usize) {
     let theta = model.infer_theta(&observed);
     let mut pred = model.predictive_distribution(&theta);
     for &(w, _) in &observed {
-        pred[w] = 0.0;
+        if w < pred.len() {
+            pred[w] = 0.0;
+        }
     }
     let remaining: f64 = pred.iter().sum();
     if remaining > 0.0 {
         pred.iter_mut().for_each(|p| *p /= remaining);
     }
     let mut total_ll = 0.0;
+    let mut scored = 0usize;
     for &(w, _) in &held_out {
-        // beta smoothing keeps every p strictly positive.
-        total_ll += pred[w].max(f64::MIN_POSITIVE).ln();
+        // Products outside the model's vocabulary (launched after training)
+        // cannot be scored; they are excluded from the count rather than
+        // charged an arbitrary penalty.
+        if w < pred.len() {
+            // beta smoothing keeps every p strictly positive.
+            total_ll += pred[w].max(f64::MIN_POSITIVE).ln();
+            scored += 1;
+        }
     }
-    (total_ll, held_out.len())
+    (total_ll, scored)
 }
 
 /// Average perplexity per product on a test corpus:

@@ -485,6 +485,18 @@ pub mod names {
     /// checkpoint found" — a real IO/listing failure). These used to be
     /// silently swallowed on the engine's divergence-rollback path.
     pub const ENGINE_LATEST_GOOD_ERRORS: &str = "engine.latest_good_errors";
+    /// Counter: stream events applied by the replay driver (acquisitions,
+    /// company arrivals, product launches).
+    pub const REPLAY_EVENTS: &str = "replay.events";
+    /// Counter: drift checks run by the replay driver (valid reports only —
+    /// windows with too little data to test are not counted).
+    pub const REPLAY_DRIFT_CHECKS: &str = "replay.drift_checks";
+    /// Counter: retrains the replay driver started (drift-triggered or
+    /// periodic, per its policy).
+    pub const REPLAY_RETRAINS: &str = "replay.retrains";
+    /// Counter: serving-model swaps completed by the replay driver (via
+    /// `POST /admin/swap` when a server is attached, in-process otherwise).
+    pub const REPLAY_SWAPS: &str = "replay.swaps";
 }
 
 /// The process's high-water-mark resident set size in bytes, read from

@@ -36,6 +36,12 @@
 
 pub mod http;
 pub mod queue;
+pub mod replay;
+
+pub use replay::{
+    replay, replay_stream, FitAbort, ReplayAction, ReplayConfig, ReplayOutcome, ReplayRow,
+    RetrainPolicy,
+};
 
 use std::collections::BTreeMap;
 use std::io::BufReader;

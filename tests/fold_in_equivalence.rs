@@ -1,0 +1,179 @@
+//! Statistical equivalence of the incremental fold-in path: a model
+//! trained before a mid-stream product launch and *folded forward* (new
+//! documents + grown vocabulary, base counts kept as pseudo-observations)
+//! must model the grown market about as well as a full retrain on the
+//! final corpus. As with the sampler-equivalence suite, the contract is
+//! statistical, not bit-wise: over independent seeds, the folded model's
+//! held-out document-completion perplexity must land within the full
+//! retrain's bootstrap confidence interval. Every seed is fixed, so the
+//! test is deterministic.
+
+use hlm_corpus::{Corpus, Month};
+use hlm_datagen::{generate_events, EventStreamConfig, LaunchSpec, StreamState};
+use hlm_eval::bootstrap_mean_ci;
+use hlm_lda::{
+    document_completion_perplexity, fold_in, FoldInOptions, GibbsTrainer, LdaConfig, WeightedDoc,
+};
+
+const SEEDS: u64 = 6;
+const N_COMPANIES: usize = 220;
+
+fn lda_config(vocab_size: usize, seed: u64) -> LdaConfig {
+    LdaConfig {
+        n_topics: 8,
+        vocab_size,
+        n_iters: 120,
+        burn_in: 60,
+        sample_lag: 5,
+        seed,
+        beta: 0.1,
+        ..Default::default()
+    }
+}
+
+/// The stream scenario: a stable market whose vocabulary grows by one
+/// product two years before the horizon.
+fn scenario(seed: u64) -> (Corpus, Corpus, Month) {
+    let mut cfg = EventStreamConfig::with_size_and_seed(N_COMPANIES, seed);
+    let launch = cfg.base.horizon.plus_months(-24);
+    cfg.launches.push(LaunchSpec {
+        name: "edge_AI".into(),
+        month: launch,
+        adoption: 0.06,
+    });
+    let stream = generate_events(&cfg);
+    let mut state = StreamState::new(stream.base_vocab.clone());
+    let mut pre: Option<Corpus> = None;
+    for ev in &stream.events {
+        if pre.is_none() && ev.month() >= launch {
+            pre = Some(state.corpus());
+        }
+        state.apply(ev);
+    }
+    (
+        pre.expect("launch precedes horizon"),
+        state.corpus(),
+        launch,
+    )
+}
+
+/// Binary install-base docs for every fifth company (test) and the rest
+/// (train), over the given corpus.
+fn split_docs(corpus: &Corpus) -> (Vec<WeightedDoc>, Vec<WeightedDoc>) {
+    let ids: Vec<_> = corpus.ids().collect();
+    let train: Vec<_> = ids
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 5 != 0)
+        .map(|(_, &id)| id)
+        .collect();
+    let test: Vec<_> = ids
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 5 == 0)
+        .map(|(_, &id)| id)
+        .collect();
+    (
+        hlm_core::representations::binary_docs(corpus, &train),
+        hlm_core::representations::binary_docs(corpus, &test),
+    )
+}
+
+#[test]
+fn fold_in_perplexity_matches_full_retrain_within_bootstrap_ci() {
+    let mut fold_ppl = Vec::new();
+    let mut full_ppl = Vec::new();
+    let mut grown_vocab = 0usize;
+    for seed in 0..SEEDS {
+        let (pre_corpus, full_corpus, _) = scenario(seed);
+        assert!(
+            full_corpus.vocab().len() > pre_corpus.vocab().len(),
+            "the launch grew the vocabulary"
+        );
+        grown_vocab = full_corpus.vocab().len();
+        let (pre_train, _) = split_docs(&pre_corpus);
+        let (final_train, final_test) = split_docs(&full_corpus);
+
+        // Full retrain: the reference model sees the final corpus.
+        let full_model =
+            GibbsTrainer::new(lda_config(full_corpus.vocab().len(), 300 + seed)).fit(&final_train);
+        full_ppl.push(document_completion_perplexity(&full_model, &final_test));
+
+        // Fold-in: train before the launch, then fold the final training
+        // docs that mention post-launch vocabulary (or arrived late) into
+        // the grown vocabulary. The prior mass equals the base corpus's
+        // token weight, so new evidence competes honestly.
+        let base_model =
+            GibbsTrainer::new(lda_config(pre_corpus.vocab().len(), 300 + seed)).fit(&pre_train);
+        let old_vocab = pre_corpus.vocab().len();
+        let new_docs: Vec<WeightedDoc> = final_train
+            .iter()
+            .filter(|d| d.iter().any(|&(w, _)| w >= old_vocab))
+            .cloned()
+            .collect();
+        let prior_tokens: f64 = pre_train.iter().flatten().map(|&(_, wgt)| wgt).sum();
+        let folded = fold_in(
+            &base_model,
+            &new_docs,
+            full_corpus.vocab().len(),
+            &FoldInOptions {
+                n_sweeps: 30,
+                prior_tokens,
+                seed: 400 + seed,
+            },
+        );
+        fold_ppl.push(document_completion_perplexity(&folded, &final_test));
+    }
+
+    let full = bootstrap_mean_ci(&full_ppl, 0.95, 2000, 42);
+    let fold = bootstrap_mean_ci(&fold_ppl, 0.95, 2000, 43);
+    assert!(full.mean.is_finite() && fold.mean.is_finite());
+
+    // Two-sample overlap, exactly as the sampler-equivalence suite: the
+    // means must sit within each other's combined half-widths.
+    let diff = (fold.mean - full.mean).abs();
+    let tol = fold.half_width + full.half_width;
+    assert!(
+        diff <= tol,
+        "fold-in perplexity {:.4} ± {:.4} is not within the full retrain's \
+         bootstrap CI {:.4} ± {:.4} (diff {:.4} > tol {:.4})",
+        fold.mean,
+        fold.half_width,
+        full.mean,
+        full.half_width,
+        diff,
+        tol
+    );
+
+    // Both must actually model the data: better than uniform over the
+    // grown vocabulary.
+    assert!(fold.mean < grown_vocab as f64 && full.mean < grown_vocab as f64);
+}
+
+/// The vocabulary-growth guard end to end: a model trained on the 38-way
+/// base vocabulary scores companies from a corpus whose vocabulary grew to
+/// 39 mid-stream — products it never saw are skipped, nothing panics, and
+/// the numbers stay finite.
+#[test]
+fn pre_launch_model_scores_grown_corpus_without_panicking() {
+    let (pre_corpus, full_corpus, _) = scenario(99);
+    assert_eq!(pre_corpus.vocab().len(), 38);
+    assert_eq!(full_corpus.vocab().len(), 39);
+
+    let (pre_train, _) = split_docs(&pre_corpus);
+    let model = GibbsTrainer::new(lda_config(38, 5)).fit(&pre_train);
+
+    let ids: Vec<_> = full_corpus.ids().collect();
+    let docs = hlm_core::representations::binary_docs(&full_corpus, &ids);
+    assert!(
+        docs.iter().any(|d| d.iter().any(|&(w, _)| w == 38)),
+        "somebody owns the launched product"
+    );
+    for doc in &docs {
+        let theta = model.infer_theta(doc);
+        assert_eq!(theta.len(), model.n_topics());
+        assert!(theta.iter().all(|t| t.is_finite() && *t >= 0.0));
+    }
+    let ppl = document_completion_perplexity(&model, &docs);
+    assert!(ppl.is_finite() && ppl > 0.0);
+}

@@ -1,0 +1,185 @@
+//! End-to-end replay scenario: a five-year-old market with a planted
+//! product-mix shift and a mid-stream product launch is replayed month by
+//! month against a live in-process server. The drift-triggered policy must
+//! catch the shift, retrain through the checkpointed resilient fit path,
+//! and hot-swap the serving model through `POST /admin/swap`; the launch
+//! must be served through the incremental fold-in path without a retrain.
+//!
+//! The replay is part of the determinism contract: for a fixed seed the
+//! outcome is bit-identical at any thread count, and a replay killed in the
+//! middle of a retrain resumes from its checkpoints into exactly the run
+//! that was never interrupted.
+
+use hlm_datagen::{EventStreamConfig, LaunchSpec, MixShift};
+use hlm_serve::{replay, FitAbort, ReplayAction, ReplayConfig, ReplayOutcome, RetrainPolicy};
+use std::path::PathBuf;
+
+const SERVE_MONTHS: u32 = 18;
+
+fn scenario_stream() -> EventStreamConfig {
+    let mut cfg = EventStreamConfig::with_size_and_seed(150, 11);
+    let horizon = cfg.base.horizon;
+    // Launched inside the serve window, before the shift, with a slow
+    // adoption curve: the vocabulary grows while the acquisition mix is
+    // still stable, so the driver must fold in rather than retrain.
+    cfg.launches.push(LaunchSpec {
+        name: "edge_AI".into(),
+        month: horizon.plus_months(-16),
+        adoption: 0.02,
+    });
+    cfg.shift = Some(MixShift {
+        month: horizon.plus_months(-9),
+        products: vec!["retail".into(), "media".into()],
+        monthly_rate: 0.2,
+    });
+    cfg
+}
+
+fn scenario_config(checkpoint_dir: Option<PathBuf>) -> ReplayConfig {
+    let mut cfg = ReplayConfig::new(scenario_stream());
+    cfg.serve_months = SERVE_MONTHS;
+    cfg.policy = RetrainPolicy::DriftTriggered;
+    cfg.lda.n_topics = 3;
+    cfg.lda.n_iters = 24;
+    cfg.lda.burn_in = 12;
+    cfg.lda.sample_lag = 5;
+    cfg.lda.seed = 17;
+    cfg.checkpoint_dir = checkpoint_dir;
+    cfg
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hlm_replay_test_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The comparable surface of an outcome (everything except wall-clock).
+fn fingerprint(o: &ReplayOutcome) -> Vec<(String, u64, u64, u64, String, u64, bool)> {
+    o.rows
+        .iter()
+        .map(|r| {
+            (
+                r.month.to_string(),
+                r.events,
+                r.evaluated,
+                r.hits,
+                format!("{:?}", r.action),
+                r.version,
+                r.drifted,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn drift_triggered_replay_retrains_folds_in_and_hot_swaps() {
+    let dir = tmp_dir("scenario");
+    let cfg = scenario_config(Some(dir.clone()));
+    let outcome = replay(&cfg).expect("replay completes");
+
+    assert_eq!(outcome.rows.len(), SERVE_MONTHS as usize);
+    assert!(outcome.events > 0, "events were applied");
+    assert!(outcome.drift_checks > 0, "drift was checked");
+    assert!(
+        outcome.retrains >= 1,
+        "the planted shift triggered at least one retrain: {outcome:?}"
+    );
+    assert!(
+        outcome.fold_ins >= 1,
+        "the launch was folded in without a retrain: {outcome:?}"
+    );
+    assert!(
+        outcome.swaps >= outcome.retrains + outcome.fold_ins,
+        "every new model was hot-swapped into the server"
+    );
+    assert_eq!(outcome.vocab_len, 39, "the launch grew the vocabulary");
+    assert!(
+        outcome
+            .rows
+            .iter()
+            .any(|r| r.action == ReplayAction::Retrain && r.drifted),
+        "some retrain was drift-triggered"
+    );
+    assert!(
+        outcome
+            .rows
+            .iter()
+            .any(|r| r.action == ReplayAction::FoldIn),
+        "some month folded in vocabulary growth"
+    );
+    // Versions are monotone and end at the swap count.
+    let final_version = outcome.rows.last().expect("rows nonempty").version;
+    assert_eq!(final_version, outcome.swaps);
+
+    // The CSV artifact covers every month plus a header.
+    let csv = outcome.csv();
+    assert_eq!(csv.lines().count(), SERVE_MONTHS as usize + 1);
+    assert!(csv.starts_with("month,events,evaluated,hits,hit_rate"));
+
+    // Checkpoints landed per fit: the initial fit plus one per retrain.
+    let fit_dirs = std::fs::read_dir(&dir)
+        .expect("checkpoint root exists")
+        .filter_map(Result::ok)
+        .filter(|e| e.file_name().to_string_lossy().starts_with("fit-"))
+        .count();
+    assert_eq!(fit_dirs as u64, 1 + outcome.retrains);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replay_is_bit_identical_at_any_thread_count() {
+    let before = hlm_engine::effective_threads();
+    let cfg = scenario_config(None);
+    hlm_engine::set_threads(1);
+    let serial = replay(&cfg).expect("serial replay completes");
+    hlm_engine::set_threads(4);
+    let parallel = replay(&cfg).expect("parallel replay completes");
+    hlm_engine::set_threads(before);
+
+    assert_eq!(fingerprint(&serial), fingerprint(&parallel));
+    assert_eq!(serial.retrains, parallel.retrains);
+    assert_eq!(serial.fold_ins, parallel.fold_ins);
+    assert_eq!(serial.swaps, parallel.swaps);
+    assert_eq!(serial.csv(), parallel.csv());
+}
+
+#[test]
+fn replay_killed_mid_retrain_resumes_into_the_uninterrupted_run() {
+    let baseline_dir = tmp_dir("baseline");
+    let resumed_dir = tmp_dir("resumed");
+
+    let baseline = replay(&scenario_config(Some(baseline_dir.clone())))
+        .expect("uninterrupted replay completes");
+    assert!(
+        baseline.retrains >= 1,
+        "scenario must retrain to be a drill"
+    );
+
+    // Kill the first retrain (fit 1) halfway through its sweeps.
+    let mut killed = scenario_config(Some(resumed_dir.clone()));
+    killed.abort = Some(FitAbort {
+        fit_index: 1,
+        iteration: 12,
+    });
+    let err = replay(&killed).expect_err("the watchdog kills the retrain");
+    assert!(
+        err.is_interruption(),
+        "the abort surfaces as an interruption, got: {err}"
+    );
+
+    // Resume: completed fits fast-forward from their final checkpoints, the
+    // killed fit continues from sweep 12, and the replay re-drives into the
+    // exact uninterrupted outcome.
+    let mut resumed_cfg = scenario_config(Some(resumed_dir.clone()));
+    resumed_cfg.resume = true;
+    let resumed = replay(&resumed_cfg).expect("resumed replay completes");
+
+    assert_eq!(fingerprint(&baseline), fingerprint(&resumed));
+    assert_eq!(baseline.retrains, resumed.retrains);
+    assert_eq!(baseline.swaps, resumed.swaps);
+    assert_eq!(baseline.csv(), resumed.csv());
+
+    let _ = std::fs::remove_dir_all(&baseline_dir);
+    let _ = std::fs::remove_dir_all(&resumed_dir);
+}
