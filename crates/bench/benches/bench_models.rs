@@ -10,7 +10,9 @@ use hlm_lstm::{LstmConfig, LstmLm};
 use hlm_ngram::{NgramConfig, NgramLm};
 use std::hint::black_box;
 
-fn fixture() -> (hlm_corpus::Corpus, Vec<Vec<usize>>, Vec<Vec<(usize, f64)>>) {
+type Fixture = (hlm_corpus::Corpus, Vec<Vec<usize>>, Vec<Vec<(usize, f64)>>);
+
+fn fixture() -> Fixture {
     let corpus = hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(500, 7));
     let ids: Vec<_> = corpus.ids().collect();
     let seqs: Vec<Vec<usize>> = ids

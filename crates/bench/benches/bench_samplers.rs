@@ -53,7 +53,7 @@ fn bench_samplers(c: &mut Criterion) {
             ("bucket", SamplerChoice::Bucket),
             ("alias", SamplerChoice::AliasMh),
         ] {
-            group.bench_function(format!("{name}_k{k}"), |b| {
+            group.bench_function(&format!("{name}_k{k}"), |b| {
                 b.iter(|| {
                     let model = GibbsTrainer::new(cfg(k, sampler)).fit(&docs);
                     std::hint::black_box(model)

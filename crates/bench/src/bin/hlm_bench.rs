@@ -28,8 +28,17 @@
 //!    kernel asserting bit-identical phi at every thread count. Speedup
 //!    figures from the sweep are marked valid only when the host
 //!    actually has more than one hardware thread.
+//! 6. **Query-path kernels** (PR 10) — queries/s and p50/p99 of the
+//!    serving read path over synthetic clustered blobs at n = 20k and
+//!    n = 200k companies: the pre-store scalar scan, the [`RepStore`]
+//!    exact-f64 single-query kernel, the blocked 16-query kernel, and
+//!    the opt-in f32 kernel, all pinned to one hardware thread (no
+//!    parallelism credit), plus IVF recall@10 at n_probe ∈ {1, 4, all}
+//!    for both store precisions. This phase writes its own record,
+//!    `BENCH_pr10.json`, which the CI perf job gates (blocked-f64
+//!    ≥ 1.5× scalar at n = 200k; f32 full-probe recall@10 ≥ 0.999).
 //!
-//! At `HLM_SCALE=xl` (one million companies) phases 1–3 and 5 are
+//! At `HLM_SCALE=xl` (one million companies) phases 1–3 and 5–6 are
 //! skipped — the whole point of that scale is that the corpus does not
 //! fit the in-memory path comfortably — and phase 4 is the entire
 //! benchmark, so the recorded peak RSS belongs to the sharded pipeline
@@ -39,7 +48,8 @@
 //!   hlm-bench [--json [PATH]]
 //!
 //! `--json` writes the machine-readable record (default `BENCH_pr8.json`)
-//! next to the human-readable stdout summary. Scale follows `HLM_SCALE`
+//! next to the human-readable stdout summary; when phase 6 runs it also
+//! writes `BENCH_pr10.json`. Scale follows `HLM_SCALE`
 //! (`smoke|small|medium|paper|xl`, default `small`).
 //!
 //! Note on interpreting speedup: the numbers are honest wall-clock on the
@@ -50,15 +60,19 @@
 //! says so in its `caveat` field — read it before quoting any figure.
 
 use hlm_bench::ExpScale;
-use hlm_core::{CompanyFilter, DistanceMetric};
+use hlm_core::{
+    top_k_similar_scalar, ClusteredIndex, CompanyFilter, DistanceMetric, RepStore, StorePrecision,
+};
 use hlm_corpus::CorpusSource;
 use hlm_datagen::GeneratorConfig;
 use hlm_engine::{effective_threads, set_threads, Engine, TrainPlan};
 use hlm_lda::{
     document_completion_perplexity, GibbsTrainer, LdaConfig, OnlineVbOptions, SamplerChoice,
 };
+use hlm_linalg::Matrix;
 use hlm_obs::json;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Run {
@@ -516,6 +530,311 @@ fn run_samplers(scale: &ExpScale, hardware: usize) -> SamplerReport {
     }
 }
 
+/// One read-path kernel measurement. `batch == 1` for single-query
+/// kernels; blocked kernels report queries/s across the whole micro-batch
+/// and *amortized* per-query latency (batch wall clock / batch size).
+struct QueryKernelRun {
+    name: &'static str,
+    batch: usize,
+    queries_per_second: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Phase 6 at one corpus size: the kernel shoot-out plus the IVF
+/// recall@10 sweep for both store precisions.
+struct QuerySizeGroup {
+    n: usize,
+    n_cells: usize,
+    kernels: Vec<QueryKernelRun>,
+    blocked_f64_speedup: f64,
+    f32_speedup: f64,
+    recall_queries: usize,
+    /// Probe widths measured, last entry = `n_cells` (exact for f64).
+    n_probes: Vec<usize>,
+    recall_f64: Vec<f64>,
+    recall_f32: Vec<f64>,
+}
+
+/// Everything phase 6 measures (query-path kernels; skipped at xl).
+struct QueryPathReport {
+    dims: usize,
+    k: usize,
+    batch: usize,
+    sizes: Vec<QuerySizeGroup>,
+}
+
+const QP_DIMS: usize = 16;
+const QP_CENTERS: usize = 64;
+const QP_BATCH: usize = 16;
+const QP_K: usize = 10;
+
+/// Clustered Gaussian blobs — the representation shape IVF (and the f32
+/// recall gate) assumes, with nearest-neighbour gaps large enough that
+/// f32 rounding cannot flip the top-10 boundary. Same generator family as
+/// `benches/bench_query_path.rs` and `tests/query_path.rs`.
+fn blob_matrix(rows: usize, seed: u64) -> Matrix {
+    let mut state = seed.max(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let centroids: Vec<Vec<f64>> = (0..QP_CENTERS)
+        .map(|_| (0..QP_DIMS).map(|_| next() * 10.0).collect())
+        .collect();
+    let mut m = Matrix::zeros(rows, QP_DIMS);
+    for i in 0..rows {
+        let c = &centroids[i % QP_CENTERS];
+        for (j, &cj) in c.iter().enumerate() {
+            m.set(i, j, cj + (next() - 0.5) * 0.5);
+        }
+    }
+    m
+}
+
+/// Times `call` over `n_queries × rounds` invocations, one at a time, and
+/// returns (calls/s, p50 µs, p99 µs) over the individual call latencies.
+fn time_calls<F: FnMut(usize)>(n_queries: usize, rounds: usize, mut call: F) -> (f64, f64, f64) {
+    let mut lat = Vec::with_capacity(n_queries * rounds);
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        for q in 0..n_queries {
+            let t = Instant::now();
+            call(q);
+            lat.push(t.elapsed().as_secs_f64());
+        }
+    }
+    let total = t0.elapsed().as_secs_f64();
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    (
+        json::finite_or(lat.len() as f64 / total, 0.0),
+        percentile(&lat, 50.0) * 1e6,
+        percentile(&lat, 99.0) * 1e6,
+    )
+}
+
+/// Phase 6: the PR 10 serving read-path kernel shoot-out. Synthetic blob
+/// representations (the corpus plays no role in the kernels), scalar scan
+/// vs `RepStore` f64 vs blocked vs f32, strictly one thread — the same
+/// no-parallelism-credit rule the thread sweeps above follow — plus the
+/// IVF recall@10 diagnostic at n_probe ∈ {1, 4, all}.
+fn run_query_path(scale: &ExpScale) -> QueryPathReport {
+    let sizes: &[usize] = if matches!(scale.name, "smoke" | "small") {
+        &[5_000]
+    } else {
+        &[20_000, 200_000]
+    };
+    const ROUNDS: usize = 3;
+    const N_QUERIES: usize = 64;
+    let metric = DistanceMetric::Cosine;
+    let mut groups = Vec::new();
+    for &n in sizes {
+        eprintln!("[hlm-bench] query path: n={n}, building stores and IVF indexes…");
+        let reps = Arc::new(blob_matrix(n, scale.seed));
+        let f64_store = RepStore::flat(Arc::clone(&reps), metric, StorePrecision::F64);
+        let f32_store = RepStore::flat(Arc::clone(&reps), metric, StorePrecision::F32);
+        let query_rows: Vec<usize> = (0..N_QUERIES).map(|i| (i * 9_973) % n).collect();
+        let pqs64: Vec<_> = query_rows
+            .iter()
+            .map(|&q| f64_store.prepare(reps.row(q)))
+            .collect();
+        let pqs32: Vec<_> = query_rows
+            .iter()
+            .map(|&q| f32_store.prepare(reps.row(q)))
+            .collect();
+        let excludes: Vec<Option<usize>> = query_rows.iter().map(|&q| Some(q)).collect();
+
+        // The index build (k-means) and recall diagnostic may use every
+        // core — both are deterministic at any thread count. Only the
+        // kernel timings below are pinned.
+        set_threads(0);
+        let n_cells = QP_CENTERS.min(n);
+        let idx64 = ClusteredIndex::build_with_precision(
+            (*reps).clone(),
+            n_cells,
+            metric,
+            scale.seed,
+            StorePrecision::F64,
+        )
+        .expect("valid cell count");
+        let idx32 = ClusteredIndex::build_with_precision(
+            (*reps).clone(),
+            n_cells,
+            metric,
+            scale.seed,
+            StorePrecision::F32,
+        )
+        .expect("valid cell count");
+        let recall_rows: Vec<usize> = (0..n).step_by((n / 200).max(1)).collect();
+        let n_probes = vec![1usize, 4.min(n_cells), n_cells];
+        let recall_f64 = idx64.recall_at_k_many(&recall_rows, QP_K, &n_probes);
+        let recall_f32 = idx32.recall_at_k_many(&recall_rows, QP_K, &n_probes);
+
+        // Kernel timings: one hardware thread, no parallelism credit.
+        set_threads(1);
+        eprintln!(
+            "[hlm-bench] query path: timing kernels, {N_QUERIES} queries x {ROUNDS} rounds, \
+             k={QP_K}, 1 thread…"
+        );
+        let mut kernels = Vec::new();
+        let (qps, p50, p99) = time_calls(N_QUERIES, ROUNDS, |i| {
+            std::hint::black_box(top_k_similar_scalar(&reps, query_rows[i], QP_K, metric));
+        });
+        kernels.push(QueryKernelRun {
+            name: "scalar_f64",
+            batch: 1,
+            queries_per_second: qps,
+            p50_us: p50,
+            p99_us: p99,
+        });
+        let (qps, p50, p99) = time_calls(N_QUERIES, ROUNDS, |i| {
+            std::hint::black_box(f64_store.top_k(&pqs64[i], None, QP_K, Some(query_rows[i])));
+        });
+        kernels.push(QueryKernelRun {
+            name: "store_f64",
+            batch: 1,
+            queries_per_second: qps,
+            p50_us: p50,
+            p99_us: p99,
+        });
+        let n_batches = N_QUERIES / QP_BATCH;
+        let (qps, p50, p99) = time_calls(n_batches, ROUNDS, |b| {
+            let s = b * QP_BATCH;
+            std::hint::black_box(f64_store.top_k_batch(
+                &pqs64[s..s + QP_BATCH],
+                QP_K,
+                &excludes[s..s + QP_BATCH],
+            ));
+        });
+        kernels.push(QueryKernelRun {
+            name: "blocked_f64",
+            batch: QP_BATCH,
+            queries_per_second: qps * QP_BATCH as f64,
+            p50_us: p50 / QP_BATCH as f64,
+            p99_us: p99 / QP_BATCH as f64,
+        });
+        let (qps, p50, p99) = time_calls(N_QUERIES, ROUNDS, |i| {
+            std::hint::black_box(f32_store.top_k(&pqs32[i], None, QP_K, Some(query_rows[i])));
+        });
+        kernels.push(QueryKernelRun {
+            name: "store_f32",
+            batch: 1,
+            queries_per_second: qps,
+            p50_us: p50,
+            p99_us: p99,
+        });
+        let (qps, p50, p99) = time_calls(n_batches, ROUNDS, |b| {
+            let s = b * QP_BATCH;
+            std::hint::black_box(f32_store.top_k_batch(
+                &pqs32[s..s + QP_BATCH],
+                QP_K,
+                &excludes[s..s + QP_BATCH],
+            ));
+        });
+        kernels.push(QueryKernelRun {
+            name: "blocked_f32",
+            batch: QP_BATCH,
+            queries_per_second: qps * QP_BATCH as f64,
+            p50_us: p50 / QP_BATCH as f64,
+            p99_us: p99 / QP_BATCH as f64,
+        });
+
+        let qps_of = |name: &str| {
+            kernels
+                .iter()
+                .find(|r| r.name == name)
+                .map_or(0.0, |r| r.queries_per_second)
+        };
+        groups.push(QuerySizeGroup {
+            n,
+            n_cells,
+            blocked_f64_speedup: json::finite_or(qps_of("blocked_f64") / qps_of("scalar_f64"), 0.0),
+            f32_speedup: json::finite_or(qps_of("store_f32") / qps_of("scalar_f64"), 0.0),
+            kernels,
+            recall_queries: recall_rows.len(),
+            n_probes,
+            recall_f64,
+            recall_f32,
+        });
+    }
+    QueryPathReport {
+        dims: QP_DIMS,
+        k: QP_K,
+        batch: QP_BATCH,
+        sizes: groups,
+    }
+}
+
+/// The standalone PR 10 record the CI perf job gates. Written next to the
+/// main record so dashboards can track the read path independently.
+fn write_query_path_json(
+    qp: &QueryPathReport,
+    scale: &ExpScale,
+    hardware: usize,
+    caveat: &str,
+    path: &str,
+) {
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"bench\": \"pr10_query_path\",");
+    let _ = writeln!(j, "  \"scale\": \"{}\",", scale.name);
+    let _ = writeln!(j, "  \"hardware_threads\": {hardware},");
+    let _ = writeln!(j, "  \"caveat\": \"{caveat}\",");
+    let _ = writeln!(
+        j,
+        "  \"config\": {{\"dims\": {}, \"k\": {}, \"batch\": {}, \"metric\": \"cosine\", \
+         \"kernel_threads\": 1}},",
+        qp.dims, qp.k, qp.batch
+    );
+    let _ = writeln!(j, "  \"sizes\": [");
+    for (gi, g) in qp.sizes.iter().enumerate() {
+        let _ = writeln!(j, "    {{\"n\": {}, \"n_cells\": {},", g.n, g.n_cells);
+        let _ = writeln!(j, "     \"kernels\": [");
+        for (i, r) in g.kernels.iter().enumerate() {
+            let _ = writeln!(
+                j,
+                "       {{\"kernel\": \"{}\", \"batch\": {}, \"queries_per_second\": {:.1}, \
+                 \"p50_us\": {:.3}, \"p99_us\": {:.3}}}{}",
+                r.name,
+                r.batch,
+                json::finite_or(r.queries_per_second, 0.0),
+                json::finite_or(r.p50_us, 0.0),
+                json::finite_or(r.p99_us, 0.0),
+                if i + 1 < g.kernels.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(j, "     ],");
+        let _ = writeln!(
+            j,
+            "     \"blocked_f64_speedup_vs_scalar\": {:.4}, \"f32_speedup_vs_scalar\": {:.4},",
+            g.blocked_f64_speedup, g.f32_speedup
+        );
+        let _ = writeln!(j, "     \"recall_queries\": {},", g.recall_queries);
+        let _ = writeln!(j, "     \"recall_at_10\": [");
+        for (i, &p) in g.n_probes.iter().enumerate() {
+            let _ = writeln!(
+                j,
+                "       {{\"n_probe\": {p}, \"f64\": {:.6}, \"f32\": {:.6}}}{}",
+                json::finite_or(g.recall_f64[i], 0.0),
+                json::finite_or(g.recall_f32[i], 0.0),
+                if i + 1 < g.n_probes.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(
+            j,
+            "     ]}}{}",
+            if gi + 1 < qp.sizes.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "}}");
+    json::check_finite(&j).expect("query-path json must contain only finite numbers");
+    std::fs::write(path, j).expect("write query-path benchmark json");
+    eprintln!("[hlm-bench] wrote {path}");
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let (want_json, json_path) = match argv.first().map(String::as_str) {
@@ -569,13 +888,14 @@ fn main() {
     }
 
     hlm_obs::install(hlm_obs::Recorder::enabled());
-    let (inmem, samplers) = if is_xl {
+    let (inmem, samplers, query_path) = if is_xl {
         eprintln!("[hlm-bench] xl scale: skipping in-memory phases, sharded pipeline only");
-        (None, None)
+        (None, None, None)
     } else {
         (
             Some(run_in_memory(&scale)),
             Some(run_samplers(&scale, hardware)),
+            Some(run_query_path(&scale)),
         )
     };
     let sharded = run_sharded(&scale);
@@ -652,6 +972,35 @@ fn main() {
                 " [NOT VALID: single hardware thread]"
             }
         );
+    }
+    if let Some(qp) = &query_path {
+        println!(
+            "query path (d={}, k={}, cosine, 1 thread; blocked = batch of {}):",
+            qp.dims, qp.k, qp.batch
+        );
+        for g in &qp.sizes {
+            println!("  n={}:", g.n);
+            for r in &g.kernels {
+                println!(
+                    "    {:<12} {:>9.0} queries/s  p50 {:>8.1} µs  p99 {:>8.1} µs",
+                    r.name, r.queries_per_second, r.p50_us, r.p99_us
+                );
+            }
+            println!(
+                "    blocked-f64 vs scalar {:.2}x, f32 vs scalar {:.2}x",
+                g.blocked_f64_speedup, g.f32_speedup
+            );
+            let fmt = |rs: &[f64]| -> String {
+                g.n_probes
+                    .iter()
+                    .zip(rs)
+                    .map(|(p, r)| format!("probe {p}: {r:.4}"))
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            };
+            println!("    recall@10 f64: {}", fmt(&g.recall_f64));
+            println!("    recall@10 f32: {}", fmt(&g.recall_f32));
+        }
     }
     let s = &sharded;
     println!(
@@ -829,5 +1178,8 @@ fn main() {
         json::check_finite(&j).expect("benchmark json must contain only finite numbers");
         std::fs::write(&json_path, j).expect("write benchmark json");
         eprintln!("[hlm-bench] wrote {json_path}");
+        if let Some(qp) = &query_path {
+            write_query_path_json(qp, &scale, hardware, &caveat, "BENCH_pr10.json");
+        }
     }
 }

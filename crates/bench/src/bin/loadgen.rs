@@ -30,6 +30,10 @@
 //!               [--companies N] [--json [PATH]] [--fault-drill]
 //!
 //! `--json` writes the machine-readable record (default `BENCH_pr7.json`).
+//! The closed-loop section breaks accepted-request p50/p99 out per
+//! endpoint (similar / whitespace / recommend), and the record names the
+//! `RepStore` precision variant that served the run (`f64`/`f32`; unknown
+//! when driving an external server) both as a field and in the caveat.
 //! `HLM_SCALE=smoke` shrinks the self-host corpus and request count for
 //! CI; like the other bench records, structurally untrustworthy numbers
 //! carry a `caveat` field — read it before quoting anything.
@@ -199,20 +203,43 @@ impl Client {
     }
 }
 
+/// The endpoints `path_for` rotates through, in `endpoint_for` order.
+const ENDPOINTS: [&str; 3] = ["similar", "whitespace", "recommend"];
+
+/// Which endpoint request `i` hits — the same `i % 4` split `path_for`
+/// uses, so per-endpoint latency buckets line up with the query mix.
+fn endpoint_for(i: usize) -> usize {
+    match i % 4 {
+        0 | 1 => 0,
+        2 => 1,
+        _ => 2,
+    }
+}
+
 /// The query mix: mostly similarity (the serving hot path), with
 /// whitespace and next-product recommendations in rotation. Histories use
 /// low product indices so they are valid against any vocabulary.
 fn path_for(i: usize, companies: usize) -> String {
     let company = (i * 7919) % companies;
-    match i % 4 {
-        0 | 1 => format!("/v1/similar?company={company}&k=10&deadline_ms={DEADLINE_MS}"),
-        2 => format!("/v1/whitespace?company={company}&k=10&deadline_ms={DEADLINE_MS}"),
+    match endpoint_for(i) {
+        0 => format!("/v1/similar?company={company}&k=10&deadline_ms={DEADLINE_MS}"),
+        1 => format!("/v1/whitespace?company={company}&k=10&deadline_ms={DEADLINE_MS}"),
         _ => format!(
             "/v1/recommend?history={},{}&top=5&deadline_ms={DEADLINE_MS}",
             i % 8,
             (i + 3) % 8
         ),
     }
+}
+
+/// p-th percentile of an unsorted millisecond sample (sorts in place).
+fn pct_ms(sample: &mut [f64], p: f64) -> f64 {
+    if sample.is_empty() {
+        return 0.0;
+    }
+    sample.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let idx = ((p / 100.0) * (sample.len() - 1) as f64).round() as usize;
+    sample[idx.min(sample.len() - 1)]
 }
 
 /// Outcome counters plus the latency sample for one phase.
@@ -224,6 +251,9 @@ struct PhaseStats {
     errors: usize,
     /// Latencies of *accepted* (200) requests, milliseconds.
     latencies_ms: Vec<f64>,
+    /// The same accepted latencies, bucketed by endpoint (`ENDPOINTS`
+    /// order) so the record can break p50/p99 out per query type.
+    by_endpoint: [Vec<f64>; 3],
     seconds: f64,
 }
 
@@ -238,13 +268,18 @@ impl PhaseStats {
         self.deadline_exceeded += other.deadline_exceeded;
         self.errors += other.errors;
         self.latencies_ms.extend(other.latencies_ms);
+        for (mine, theirs) in self.by_endpoint.iter_mut().zip(other.by_endpoint) {
+            mine.extend(theirs);
+        }
     }
 
-    fn record(&mut self, status: std::io::Result<u16>, elapsed: Duration) {
+    fn record(&mut self, endpoint: usize, status: std::io::Result<u16>, elapsed: Duration) {
         match status {
             Ok(200) => {
                 self.ok += 1;
-                self.latencies_ms.push(elapsed.as_secs_f64() * 1e3);
+                let ms = elapsed.as_secs_f64() * 1e3;
+                self.latencies_ms.push(ms);
+                self.by_endpoint[endpoint].push(ms);
             }
             Ok(503) => self.shed += 1,
             Ok(504) => self.deadline_exceeded += 1,
@@ -253,13 +288,7 @@ impl PhaseStats {
     }
 
     fn percentile(&mut self, p: f64) -> f64 {
-        if self.latencies_ms.is_empty() {
-            return 0.0;
-        }
-        self.latencies_ms
-            .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        let idx = ((p / 100.0) * (self.latencies_ms.len() - 1) as f64).round() as usize;
-        self.latencies_ms[idx.min(self.latencies_ms.len() - 1)]
+        pct_ms(&mut self.latencies_ms, p)
     }
 }
 
@@ -284,7 +313,7 @@ fn closed_loop(addr: &str, requests: usize, connections: usize, companies: usize
                     let path = path_for(i, companies);
                     let q0 = Instant::now();
                     let status = client.get(&path);
-                    stats.record(status, q0.elapsed());
+                    stats.record(endpoint_for(i), status, q0.elapsed());
                 }
                 stats
             })
@@ -337,7 +366,7 @@ fn overload(
                     let path = path_for(i, companies);
                     let q0 = Instant::now();
                     let status = client.get(&path);
-                    stats.record(status, q0.elapsed());
+                    stats.record(endpoint_for(i), status, q0.elapsed());
                 }
                 stats
             })
@@ -406,7 +435,9 @@ fn fault_drill(addr: &str, companies: usize) -> (usize, bool) {
 
 /// Generate, train and start an in-process server sized so overload is
 /// observable: a small admission queue in front of two model workers.
-fn self_host(companies: usize) -> hlm_serve::ServerHandle {
+/// Also returns the store-precision label of the bundle being served, so
+/// the record says which read-path variant its numbers belong to.
+fn self_host(companies: usize) -> (hlm_serve::ServerHandle, &'static str) {
     eprintln!("[hlm-loadgen] generating {companies} companies and training LDA…");
     let corpus = hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(companies, 42));
     let ids: Vec<_> = corpus.ids().collect();
@@ -427,6 +458,7 @@ fn self_host(companies: usize) -> hlm_serve::ServerHandle {
     };
     let bundle = hlm_serve::bundle_from_model(&engine, model, 20, DistanceMetric::Cosine, opts)
         .expect("bundle builds");
+    let store_precision = bundle.app.store_precision().label();
     let config = hlm_serve::ServerConfig {
         workers: 2,
         // Small on purpose: the queue's job is bounding the latency of
@@ -440,7 +472,7 @@ fn self_host(companies: usize) -> hlm_serve::ServerHandle {
     };
     let server =
         hlm_serve::Server::bind(config, engine, bundle, None).expect("server binds 127.0.0.1:0");
-    server.start()
+    (server.start(), store_precision)
 }
 
 /// JSON string literal (esc() escapes but does not quote).
@@ -471,10 +503,6 @@ fn main() {
     if scale == "smoke" {
         caveats.push("smoke scale: timings dominated by fixed overheads".to_string());
     }
-    let caveat = caveats.join("; ");
-    for c in &caveats {
-        eprintln!("[hlm-loadgen] CAVEAT: {c}");
-    }
 
     // A server to aim at: external (--addr) or self-hosted.
     let handle = if opts.addr.is_none() {
@@ -482,9 +510,17 @@ fn main() {
     } else {
         None
     };
+    // Which RepStore variant answered the queries: read off the bundle when
+    // self-hosting; an external server does not expose it over the wire.
+    let store_precision = handle.as_ref().map_or("unknown (external server)", |h| h.1);
+    caveats.push(format!("serving store precision: {store_precision}"));
+    let caveat = caveats.join("; ");
+    for c in &caveats {
+        eprintln!("[hlm-loadgen] CAVEAT: {c}");
+    }
     let addr = match (&opts.addr, &handle) {
         (Some(a), _) => a.clone(),
-        (None, Some(h)) => h.addr().to_string(),
+        (None, Some((h, _))) => h.addr().to_string(),
         (None, None) => unreachable!("self-host failed would have panicked"),
     };
     eprintln!("[hlm-loadgen] target: {addr}");
@@ -503,6 +539,21 @@ fn main() {
          p99 {closed_p99:.2} ms ({} ok / {} shed / {} errors)",
         closed.ok, closed.shed, closed.errors
     );
+    // Per-endpoint breakdown of the closed loop: `(name, accepted, p50, p99)`.
+    // The whitespace endpoint does a similarity query *plus* the ownership
+    // aggregation, so its latency floor sits above plain similarity — the
+    // breakdown makes that visible instead of averaged away.
+    let endpoint_stats: Vec<(&str, usize, f64, f64)> = ENDPOINTS
+        .iter()
+        .zip(closed.by_endpoint.iter_mut())
+        .map(|(name, sample)| {
+            let (p50, p99) = (pct_ms(sample, 50.0), pct_ms(sample, 99.0));
+            (*name, sample.len(), p50, p99)
+        })
+        .collect();
+    for (name, n, p50, p99) in &endpoint_stats {
+        eprintln!("[hlm-loadgen]   {name:<10} {n:>6} ok, p50 {p50:.2} ms, p99 {p99:.2} ms");
+    }
 
     // Phase 2: overload at 2× sustained.
     let target_rps = 2.0 * throughput;
@@ -544,7 +595,7 @@ fn main() {
         None
     };
 
-    if let Some(h) = handle {
+    if let Some((h, _)) = handle {
         h.shutdown();
     }
 
@@ -559,15 +610,30 @@ fn main() {
     out.push_str(&format!("  \"hardware_threads\": {hardware},\n"));
     out.push_str(&format!("  \"caveat\": {},\n", jq(&caveat)));
     out.push_str(&format!(
-        "  \"server\": {{\"addr\": {}, \"self_hosted\": {}, \"companies\": {}, \"deadline_ms\": {DEADLINE_MS}}},\n",
+        "  \"server\": {{\"addr\": {}, \"self_hosted\": {}, \"companies\": {}, \
+         \"deadline_ms\": {DEADLINE_MS}, \"store_precision\": {}}},\n",
         jq(&addr),
         opts.addr.is_none(),
-        opts.companies
+        opts.companies,
+        jq(store_precision)
     ));
+    let endpoints_json = endpoint_stats
+        .iter()
+        .map(|(name, n, p50, p99)| {
+            format!(
+                "{{\"endpoint\": {}, \"ok\": {n}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+                jq(name),
+                json::finite_or(*p50, 0.0),
+                json::finite_or(*p99, 0.0)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
     out.push_str(&format!(
         "  \"closed_loop\": {{\"requests\": {}, \"connections\": {}, \"seconds\": {:.3}, \
          \"throughput_rps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
-         \"ok\": {}, \"shed\": {}, \"deadline_exceeded\": {}, \"errors\": {}}},\n",
+         \"ok\": {}, \"shed\": {}, \"deadline_exceeded\": {}, \"errors\": {}, \
+         \"endpoints\": [{endpoints_json}]}},\n",
         opts.requests,
         opts.connections,
         closed.seconds,

@@ -9,7 +9,8 @@
 
 use crate::cache::{CacheKey, FilterKey, ServingCache};
 use crate::error::CoreError;
-use crate::similarity::{bounded_top_k, DistanceMetric};
+use crate::repstore::{PreparedQuery, RepStore, StorePrecision};
+use crate::similarity::DistanceMetric;
 use hlm_corpus::{CompanyId, Corpus, ProductId, Sic2};
 use hlm_linalg::Matrix;
 use serde::{Deserialize, Serialize};
@@ -104,6 +105,10 @@ pub struct SalesApplication {
     corpus: Arc<Corpus>,
     representations: Arc<Matrix>,
     metric: DistanceMetric,
+    /// Flat scoring store over `representations` (shared, not copied):
+    /// cached norms, dot-product cosine, optional f32 image. The exact-scan
+    /// and blocked-batch paths run through it (DESIGN.md §3.10).
+    store: RepStore,
     index: Option<(crate::index::ClusteredIndex, usize)>,
     /// Attached memo plus the cache generation this application's
     /// representations belong to (see [`ServingCache`]).
@@ -111,7 +116,7 @@ pub struct SalesApplication {
 }
 
 impl SalesApplication {
-    /// Creates the application.
+    /// Creates the application, scoring on the exact f64 path.
     ///
     /// # Errors
     /// [`CoreError::RepresentationMismatch`] unless `representations` has
@@ -121,6 +126,24 @@ impl SalesApplication {
         representations: impl Into<Arc<Matrix>>,
         metric: DistanceMetric,
     ) -> Result<Self, CoreError> {
+        Self::new_with_precision(corpus, representations, metric, StorePrecision::F64)
+    }
+
+    /// [`SalesApplication::new`] with an explicit scoring precision.
+    /// [`StorePrecision::F32`] serves rankings from the reduced-precision
+    /// store — faster scans, gated by recall equivalence rather than
+    /// bit-identity (DESIGN.md §3.10); distances returned to clients are
+    /// the f32 scores widened to f64.
+    ///
+    /// # Errors
+    /// [`CoreError::RepresentationMismatch`] as for
+    /// [`SalesApplication::new`].
+    pub fn new_with_precision(
+        corpus: impl Into<Arc<Corpus>>,
+        representations: impl Into<Arc<Matrix>>,
+        metric: DistanceMetric,
+        precision: StorePrecision,
+    ) -> Result<Self, CoreError> {
         let corpus = corpus.into();
         let representations = representations.into();
         if representations.rows() != corpus.len() {
@@ -129,10 +152,12 @@ impl SalesApplication {
                 companies: corpus.len(),
             });
         }
+        let store = RepStore::flat(Arc::clone(&representations), metric, precision);
         Ok(SalesApplication {
             corpus,
             representations,
             metric,
+            store,
             index: None,
             cache: None,
         })
@@ -168,14 +193,21 @@ impl SalesApplication {
         if n_probe == 0 {
             return Err(CoreError::InvalidProbeCount);
         }
-        let index = crate::index::ClusteredIndex::build(
+        let index = crate::index::ClusteredIndex::build_with_precision(
             Arc::clone(&self.representations),
             n_cells,
             self.metric,
             seed,
+            self.store.precision(),
         )?;
         self.index = Some((index, n_probe));
         Ok(self)
+    }
+
+    /// The scoring precision of the backing store (and of any attached
+    /// index) — `f64` exact or opt-in `f32`.
+    pub fn store_precision(&self) -> StorePrecision {
+        self.store.precision()
     }
 
     /// The underlying corpus.
@@ -202,7 +234,10 @@ impl SalesApplication {
     /// the filter.
     ///
     /// # Errors
-    /// [`CoreError::CompanyOutOfRange`] on an out-of-range query id.
+    /// [`CoreError::CompanyOutOfRange`] on an out-of-range query id;
+    /// [`CoreError::NonFiniteRepresentation`] when the representation
+    /// matrix contains NaN/±∞ rows (detected at construction — no ranking
+    /// is defined, and silently scanning would panic the k-selection).
     pub fn find_similar(
         &self,
         query: CompanyId,
@@ -214,6 +249,9 @@ impl SalesApplication {
                 id: query.0,
                 len: self.corpus.len(),
             });
+        }
+        if let Some(row) = self.store.first_non_finite() {
+            return Err(CoreError::NonFiniteRepresentation { row });
         }
         let cache_key = self.cache.as_ref().map(|(_, generation)| {
             CacheKey::new(
@@ -269,25 +307,28 @@ impl SalesApplication {
                 return Ok(approx);
             }
         }
-        // Exact scan: filter *before* ranking (equivalent to ranking all
-        // rows and keeping the first k survivors, since the filter is
-        // independent of distance) so the selection stays k-bounded and
-        // non-matching rows never pay a distance computation.
-        let q = self.representations.row(query.index());
-        Ok(bounded_top_k(
-            (0..self.corpus.len())
-                .filter(|&row| {
-                    row != query.index() && filter.matches(&self.corpus, CompanyId(row as u32))
+        // Exact scan through the scoring store: filter *before* ranking
+        // (equivalent to ranking all rows and keeping the first k
+        // survivors, since the filter is independent of distance) so the
+        // selection stays k-bounded and non-matching rows never pay a
+        // distance computation. On an F64 store the result is byte-identical
+        // to the pre-store `metric.distance` scan.
+        let pq = self.store.prepare(self.representations.row(query.index()));
+        let ranked = if filter.is_empty() {
+            self.store.top_k(&pq, None, k, Some(query.index()))
+        } else {
+            self.store
+                .top_k_filtered(&pq, k, Some(query.index()), |row| {
+                    filter.matches(&self.corpus, CompanyId(row as u32))
                 })
-                .map(|row| (row, self.metric.distance(q, self.representations.row(row)))),
-            k,
-        )
-        .into_iter()
-        .map(|(row, distance)| SimilarCompany {
-            id: CompanyId(row as u32),
-            distance,
-        })
-        .collect())
+        };
+        Ok(ranked
+            .into_iter()
+            .map(|(row, distance)| SimilarCompany {
+                id: CompanyId(row as u32),
+                distance,
+            })
+            .collect())
     }
 
     /// Whitespace recommendations for `query`: products owned by its top-k
@@ -303,8 +344,20 @@ impl SalesApplication {
         filter: &CompanyFilter,
     ) -> Result<Vec<WhitespaceRecommendation>, CoreError> {
         let similar = self.find_similar(query, k_similar, filter)?;
+        Ok(self.whitespace_from_similar(query, &similar))
+    }
+
+    /// The aggregation half of [`SalesApplication::recommend_whitespace`]:
+    /// turns an already-ranked similar list into scored whitespace. Split
+    /// out so the batch path can reuse similar lists produced by the
+    /// blocked kernel.
+    fn whitespace_from_similar(
+        &self,
+        query: CompanyId,
+        similar: &[SimilarCompany],
+    ) -> Vec<WhitespaceRecommendation> {
         if similar.is_empty() {
-            return Ok(Vec::new());
+            return Vec::new();
         }
         let m = self.corpus.vocab().len();
         let query_owned: Vec<bool> = {
@@ -319,7 +372,7 @@ impl SalesApplication {
         let mut weight_sum = 0.0;
         let mut scores = vec![0.0f64; m];
         let mut owners = vec![0usize; m];
-        for s in &similar {
+        for s in similar {
             let w = 1.0 / (1.0 + s.distance);
             weight_sum += w;
             for p in self.corpus.company(s.id).product_set() {
@@ -343,13 +396,21 @@ impl SalesApplication {
                 .expect("finite scores")
                 .then(a.product.cmp(&b.product))
         });
-        Ok(out)
+        out
     }
 
-    /// [`SalesApplication::find_similar`] for a batch of queries, fanned out
-    /// over the global worker pool. Results are in query order and identical
-    /// to calling `find_similar` per query serially — each query is
-    /// independent, so parallelism cannot change any answer.
+    /// [`SalesApplication::find_similar`] for a batch of queries — the
+    /// serve-worker micro-batch path. Results are in query order and
+    /// identical to calling `find_similar` per query serially — each query
+    /// is independent, so neither parallelism nor the kernel shape can
+    /// change any answer.
+    ///
+    /// Unfiltered, unindexed batches run through the store's blocked
+    /// multi-query kernel (cache misses only; hits still replay their
+    /// memoized answers): a block of rows is scored against every query in
+    /// the chunk while cache-hot, instead of each query streaming the whole
+    /// matrix on its own. Filtered or index-probed batches keep the
+    /// per-query path, fanned out over the global worker pool.
     ///
     /// # Errors
     /// As in [`SalesApplication::find_similar`]; the first failing query's
@@ -360,6 +421,23 @@ impl SalesApplication {
         k: usize,
         filter: &CompanyFilter,
     ) -> Result<Vec<Vec<SimilarCompany>>, CoreError> {
+        // Validate the whole batch up front (first failure in query order —
+        // the same error the per-query path would surface) so the blocked
+        // kernel never trips mid-scan.
+        for &q in queries {
+            if q.index() >= self.corpus.len() {
+                return Err(CoreError::CompanyOutOfRange {
+                    id: q.0,
+                    len: self.corpus.len(),
+                });
+            }
+        }
+        if let Some(row) = self.store.first_non_finite() {
+            return Err(CoreError::NonFiniteRepresentation { row });
+        }
+        if self.index.is_none() && filter.is_empty() {
+            return Ok(self.find_similar_batch_blocked(queries, k, filter));
+        }
         let pool = hlm_par::Pool::global();
         hlm_par::par_chunks(&pool, queries, BATCH_QUERY_CHUNK, |_c, chunk| {
             chunk
@@ -374,10 +452,78 @@ impl SalesApplication {
         })
     }
 
-    /// [`SalesApplication::recommend_whitespace`] for a batch of queries,
-    /// fanned out over the global worker pool — the serving-side bulk path
-    /// (score a whole territory's accounts at once). Results are in query
-    /// order and identical to the serial per-query calls.
+    /// The blocked-kernel batch path: pre-validated, unfiltered, unindexed.
+    /// Cache hits are answered first; the misses run through
+    /// [`RepStore::top_k_batch`] in fixed [`BATCH_QUERY_CHUNK`]-query
+    /// chunks fanned out over the global pool, then backfill the cache.
+    fn find_similar_batch_blocked(
+        &self,
+        queries: &[CompanyId],
+        k: usize,
+        filter: &CompanyFilter,
+    ) -> Vec<Vec<SimilarCompany>> {
+        let key_for = |query: CompanyId| {
+            self.cache.as_ref().map(|(_, generation)| {
+                CacheKey::new(
+                    *generation,
+                    query.index(),
+                    k,
+                    self.metric,
+                    FilterKey::of(filter),
+                )
+            })
+        };
+        let mut results: Vec<Option<Vec<SimilarCompany>>> = vec![None; queries.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, &q) in queries.iter().enumerate() {
+            let hit = match (&self.cache, key_for(q)) {
+                (Some((cache, _)), Some(key)) => cache.get(&key),
+                _ => None,
+            };
+            match hit {
+                Some(answer) => results[i] = Some(answer),
+                None => misses.push(i),
+            }
+        }
+        let pool = hlm_par::Pool::global();
+        let scored = hlm_par::par_chunks(&pool, &misses, BATCH_QUERY_CHUNK, |_c, chunk| {
+            let pqs: Vec<PreparedQuery> = chunk
+                .iter()
+                .map(|&i| {
+                    self.store
+                        .prepare(self.representations.row(queries[i].index()))
+                })
+                .collect();
+            let excludes: Vec<Option<usize>> =
+                chunk.iter().map(|&i| Some(queries[i].index())).collect();
+            self.store.top_k_batch(&pqs, k, &excludes)
+        });
+        for (&i, ranked) in misses.iter().zip(scored.into_iter().flatten()) {
+            let answer: Vec<SimilarCompany> = ranked
+                .into_iter()
+                .map(|(row, distance)| SimilarCompany {
+                    id: CompanyId(row as u32),
+                    distance,
+                })
+                .collect();
+            if let (Some((cache, _)), Some(key)) = (&self.cache, key_for(queries[i])) {
+                cache.insert(key, answer.clone());
+            }
+            results[i] = Some(answer);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every query answered"))
+            .collect()
+    }
+
+    /// [`SalesApplication::recommend_whitespace`] for a batch of queries —
+    /// the serving-side bulk path (score a whole territory's accounts at
+    /// once). The similar-company half runs through
+    /// [`SalesApplication::find_similar_batch`] (and thus the blocked
+    /// kernel when unfiltered); the whitespace aggregation fans out over
+    /// the global worker pool. Results are in query order and identical to
+    /// the serial per-query calls.
     ///
     /// # Errors
     /// As in [`SalesApplication::recommend_whitespace`]; the first failing
@@ -388,18 +534,16 @@ impl SalesApplication {
         k_similar: usize,
         filter: &CompanyFilter,
     ) -> Result<Vec<Vec<WhitespaceRecommendation>>, CoreError> {
+        let similars = self.find_similar_batch(queries, k_similar, filter)?;
+        let indices: Vec<usize> = (0..queries.len()).collect();
         let pool = hlm_par::Pool::global();
-        hlm_par::par_chunks(&pool, queries, BATCH_QUERY_CHUNK, |_c, chunk| {
+        let parts = hlm_par::par_chunks(&pool, &indices, BATCH_QUERY_CHUNK, |_c, chunk| {
             chunk
                 .iter()
-                .map(|&q| self.recommend_whitespace(q, k_similar, filter))
-                .collect::<Result<Vec<_>, _>>()
-        })
-        .into_iter()
-        .try_fold(Vec::with_capacity(queries.len()), |mut acc, part| {
-            acc.extend(part?);
-            Ok(acc)
-        })
+                .map(|&i| self.whitespace_from_similar(queries[i], &similars[i]))
+                .collect::<Vec<_>>()
+        });
+        Ok(parts.into_iter().flatten().collect())
     }
 }
 
@@ -636,6 +780,100 @@ mod tests {
         }
         for s in &res {
             assert_eq!(corpus.company(s.id).industry, industry);
+        }
+    }
+
+    #[test]
+    fn non_finite_representations_return_typed_error_not_panic() {
+        // Regression test: a NaN representation row (e.g. a diverged
+        // training run) used to reach `bounded_top_k`'s finite-distance
+        // expectation and panic the calling worker. It must now surface as
+        // a typed error from every serving entry point.
+        let corpus = hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(30, 4));
+        let mut reps = Matrix::zeros(30, 3);
+        for i in 0..30 {
+            for j in 0..3 {
+                reps.set(i, j, (i * 3 + j) as f64 * 0.1);
+            }
+        }
+        reps.set(17, 1, f64::NAN);
+        let app = SalesApplication::new(corpus, reps, DistanceMetric::Cosine).unwrap();
+        let err = app
+            .find_similar(CompanyId(0), 5, &CompanyFilter::default())
+            .unwrap_err();
+        assert_eq!(err, CoreError::NonFiniteRepresentation { row: 17 });
+        let batch = app
+            .find_similar_batch(&[CompanyId(0), CompanyId(1)], 5, &CompanyFilter::default())
+            .unwrap_err();
+        assert_eq!(batch, CoreError::NonFiniteRepresentation { row: 17 });
+        let ws = app
+            .recommend_whitespace(CompanyId(0), 5, &CompanyFilter::default())
+            .unwrap_err();
+        assert_eq!(ws, CoreError::NonFiniteRepresentation { row: 17 });
+    }
+
+    #[test]
+    fn zero_representation_rows_are_served_not_fatal() {
+        // A company with an empty install base yields an all-zero row;
+        // under cosine it is maximally distant (distance 1.0) by
+        // convention, never an error.
+        let corpus = hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(30, 4));
+        let mut reps = Matrix::zeros(30, 3);
+        for i in 1..30 {
+            for j in 0..3 {
+                reps.set(i, j, 1.0 + (i * 3 + j) as f64 * 0.1);
+            }
+        }
+        // Row 0 stays all-zero.
+        let app = SalesApplication::new(corpus, reps, DistanceMetric::Cosine).unwrap();
+        let res = app
+            .find_similar(CompanyId(0), 3, &CompanyFilter::default())
+            .unwrap();
+        assert_eq!(res.len(), 3);
+        assert!(res.iter().all(|s| s.distance == 1.0));
+        // Tie-broken by company id.
+        assert_eq!(
+            res.iter().map(|s| s.id).collect::<Vec<_>>(),
+            vec![CompanyId(1), CompanyId(2), CompanyId(3)]
+        );
+    }
+
+    #[test]
+    fn f32_precision_app_matches_exact_ranking_here() {
+        let corpus = hlm_datagen::generate(&GeneratorConfig::with_size_and_seed(150, 21));
+        let reps = Arc::new(reps_for(&corpus));
+        let corpus = Arc::new(corpus);
+        let exact = SalesApplication::new(
+            Arc::clone(&corpus),
+            Arc::clone(&reps),
+            DistanceMetric::Cosine,
+        )
+        .unwrap();
+        let fast = SalesApplication::new_with_precision(
+            corpus,
+            reps,
+            DistanceMetric::Cosine,
+            StorePrecision::F32,
+        )
+        .unwrap();
+        assert_eq!(fast.store_precision(), StorePrecision::F32);
+        assert_eq!(exact.store_precision(), StorePrecision::F64);
+        // On well-separated LDA features the f32 ranking agrees; distances
+        // only to f32 rounding.
+        for q in [0u32, 7, 149] {
+            let e = exact
+                .find_similar(CompanyId(q), 5, &CompanyFilter::default())
+                .unwrap();
+            let f = fast
+                .find_similar(CompanyId(q), 5, &CompanyFilter::default())
+                .unwrap();
+            let e_ids: Vec<_> = e.iter().map(|s| s.id).collect();
+            let f_ids: Vec<_> = f.iter().map(|s| s.id).collect();
+            let overlap = e_ids.iter().filter(|id| f_ids.contains(id)).count();
+            assert!(overlap >= 4, "q={q}: {e_ids:?} vs {f_ids:?}");
+            for (a, b) in e.iter().zip(&f) {
+                assert!((a.distance - b.distance).abs() < 1e-4);
+            }
         }
     }
 

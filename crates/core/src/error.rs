@@ -50,6 +50,16 @@ pub enum CoreError {
         /// Products in the vocabulary.
         products: usize,
     },
+    /// A representation row contains NaN or ±∞ (e.g. from a diverged
+    /// training run), so no finite distance — and no ranking — exists.
+    /// Detected once at store-build time; reported per request instead of
+    /// letting a NaN distance panic the k-selection mid-scan and kill a
+    /// serve worker. (All-*zero* rows are fine: under cosine they rank as
+    /// maximally distant by convention.)
+    NonFiniteRepresentation {
+        /// The first offending representation row (== company index).
+        row: u32,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -83,6 +93,11 @@ impl fmt::Display for CoreError {
                 f,
                 "product-embedding matrix has {rows} rows but the vocabulary has \
                  {products} products (one embedding row per product required)"
+            ),
+            CoreError::NonFiniteRepresentation { row } => write!(
+                f,
+                "representation row {row} contains a non-finite value (NaN or ±inf); \
+                 refusing to rank — retrain or repair the representation matrix"
             ),
         }
     }

@@ -9,27 +9,33 @@
 //! into coarse cells and, at query time, scan only the `n_probe` cells whose
 //! centroids are closest to the query. With `n_probe == n_cells` results are
 //! exactly the brute-force ranking.
+//!
+//! Since PR 10 the candidate scan runs on a cell-major [`RepStore`]
+//! snapshot (DESIGN.md §3.10): rows are physically reordered so a probed
+//! cell is one contiguous walk, per-row norms are cached, and an opt-in f32
+//! path halves the scan footprint. The exact (f64) path returns
+//! byte-identical rankings to the pre-store scan.
 
 use crate::error::CoreError;
+use crate::repstore::{RepStore, StorePrecision};
 use crate::similarity::DistanceMetric;
 use hlm_cluster::{kmeans, KmeansOptions};
 use hlm_linalg::Matrix;
 use std::sync::Arc;
 
 /// An inverted-file (IVF) similarity index over representation rows. The
-/// rows are held behind an [`Arc`] so the index shares one matrix with the
-/// [`crate::app::SalesApplication`] that built it.
+/// rows live in a cell-major [`RepStore`] snapshot taken at build time; the
+/// original matrix is not retained.
 #[derive(Debug)]
 pub struct ClusteredIndex {
-    reps: Arc<Matrix>,
+    store: RepStore,
     centroids: Matrix,
-    cells: Vec<Vec<usize>>,
     metric: DistanceMetric,
 }
 
 impl ClusteredIndex {
     /// Builds the index by k-means-partitioning the rows of `reps` into
-    /// `n_cells` coarse cells.
+    /// `n_cells` coarse cells, scoring on the exact f64 path.
     ///
     /// # Errors
     /// [`CoreError::InvalidCellCount`] if `reps` is empty or `n_cells` is 0
@@ -39,6 +45,22 @@ impl ClusteredIndex {
         n_cells: usize,
         metric: DistanceMetric,
         seed: u64,
+    ) -> Result<Self, CoreError> {
+        Self::build_with_precision(reps, n_cells, metric, seed, StorePrecision::F64)
+    }
+
+    /// [`ClusteredIndex::build`] with an explicit scoring precision for the
+    /// snapshot store. [`StorePrecision::F32`] trades bit-identical rankings
+    /// for a smaller, faster scan (gated by recall, not bit-identity).
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidCellCount`] as for [`ClusteredIndex::build`].
+    pub fn build_with_precision(
+        reps: impl Into<Arc<Matrix>>,
+        n_cells: usize,
+        metric: DistanceMetric,
+        seed: u64,
+        precision: StorePrecision,
     ) -> Result<Self, CoreError> {
         let reps = reps.into();
         if reps.rows() == 0 || n_cells == 0 || n_cells > reps.rows() {
@@ -60,27 +82,44 @@ impl ClusteredIndex {
         for (row, &cell) in res.assignments.iter().enumerate() {
             cells[cell].push(row);
         }
+        let store = RepStore::cell_major(&reps, &cells, metric, precision);
         Ok(ClusteredIndex {
-            reps,
+            store,
             centroids: res.centroids,
-            cells,
             metric,
         })
     }
 
     /// Number of coarse cells.
     pub fn n_cells(&self) -> usize {
-        self.cells.len()
+        self.store.n_cells()
     }
 
     /// Number of indexed rows.
     pub fn len(&self) -> usize {
-        self.reps.rows()
+        self.store.len()
     }
 
     /// True when the index holds no rows (never constructible).
     pub fn is_empty(&self) -> bool {
-        self.reps.rows() == 0
+        self.store.is_empty()
+    }
+
+    /// The snapshot store backing this index.
+    pub fn store(&self) -> &RepStore {
+        &self.store
+    }
+
+    /// The cells — ascending cell ids — the index would scan for `vector`
+    /// at the given probe width: the `n_probe` cells with the nearest
+    /// centroids. Centroid ranking is unchanged from the pre-store index,
+    /// so probe sets are identical.
+    fn probe_cells(&self, vector: &[f64], n_probe: usize) -> Vec<usize> {
+        let cell_order = crate::similarity::bounded_top_k(
+            (0..self.n_cells()).map(|c| (c, self.metric.distance(vector, self.centroids.row(c)))),
+            n_probe,
+        );
+        cell_order.into_iter().map(|(c, _)| c).collect()
     }
 
     /// Top-`k` most similar rows to an arbitrary query vector, scanning the
@@ -89,26 +128,11 @@ impl ClusteredIndex {
     /// # Panics
     /// Panics on a dimension mismatch or `n_probe == 0`.
     pub fn query(&self, vector: &[f64], k: usize, n_probe: usize) -> Vec<(usize, f64)> {
-        assert_eq!(vector.len(), self.reps.cols(), "query dimension mismatch");
+        assert_eq!(vector.len(), self.store.dims(), "query dimension mismatch");
         assert!(n_probe >= 1, "must probe at least one cell");
-        // Rank cells by centroid distance — only the `n_probe` nearest are
-        // needed, so select rather than sort.
-        let cell_order = crate::similarity::bounded_top_k(
-            (0..self.cells.len()).map(|c| (c, self.metric.distance(vector, self.centroids.row(c)))),
-            n_probe,
-        );
-        // Stream every probed row through a k-bounded selection: no
-        // per-query candidate buffer proportional to the probed cells, and
-        // the result is identical to sorting all candidates (each row lives
-        // in exactly one cell, so the ordering is total).
-        crate::similarity::bounded_top_k(
-            cell_order.iter().flat_map(|&(c, _)| {
-                self.cells[c]
-                    .iter()
-                    .map(|&row| (row, self.metric.distance(vector, self.reps.row(row))))
-            }),
-            k,
-        )
+        let cells = self.probe_cells(vector, n_probe);
+        let pq = self.store.prepare(vector);
+        self.store.top_k(&pq, Some(&cells), k, None)
     }
 
     /// Top-`k` most similar rows to an indexed row (the row itself is
@@ -117,33 +141,61 @@ impl ClusteredIndex {
     /// # Panics
     /// Panics if `row` is out of range or `n_probe == 0`.
     pub fn query_row(&self, row: usize, k: usize, n_probe: usize) -> Vec<(usize, f64)> {
-        assert!(row < self.reps.rows(), "row out of range");
-        let mut out = self.query(self.reps.row(row), k + 1, n_probe);
-        out.retain(|&(r, _)| r != row);
-        out.truncate(k);
-        out
+        assert!(row < self.store.len(), "row out of range");
+        assert!(n_probe >= 1, "must probe at least one cell");
+        let vector = self.store.row_by_original(row);
+        let cells = self.probe_cells(vector, n_probe);
+        let pq = self.store.prepare(vector);
+        // Excluding the query row *before* selection equals the pre-store
+        // "select k+1, drop the row, truncate to k" dance: either way the
+        // result is the best k candidates other than the row itself.
+        self.store.top_k(&pq, Some(&cells), k, Some(row))
     }
 
     /// Recall@k of the pruned search against the exact scan, averaged over
     /// `queries` — the quality diagnostic for choosing `n_probe`.
+    ///
+    /// Returns NaN when `queries` is empty (no recall is defined over zero
+    /// queries); callers emitting metrics must guard for it rather than let
+    /// NaN leak into JSON.
     pub fn recall_at_k(&self, queries: &[usize], k: usize, n_probe: usize) -> f64 {
+        self.recall_at_k_many(queries, k, &[n_probe])[0]
+    }
+
+    /// Recall@k at several probe widths in one pass: the exact top-`k` set
+    /// is computed **once per query** (f64 scan over all cells) and reused
+    /// for every entry of `n_probes`, instead of rerunning brute force per
+    /// probe width as the pre-store diagnostic did. On an f32 store the
+    /// approximate side scores in f32 while the baseline stays exact f64,
+    /// so the result measures the combined IVF + precision loss — the
+    /// quantity the CI recall gate checks.
+    ///
+    /// Returns one recall per probe width, NaN for each when `queries` is
+    /// empty (see [`ClusteredIndex::recall_at_k`]).
+    pub fn recall_at_k_many(&self, queries: &[usize], k: usize, n_probes: &[usize]) -> Vec<f64> {
         if queries.is_empty() {
-            return f64::NAN;
+            return vec![f64::NAN; n_probes.len()];
         }
-        let mut hits = 0usize;
+        let mut hits = vec![0usize; n_probes.len()];
         let mut total = 0usize;
         for &q in queries {
-            let exact = crate::similarity::top_k_similar(&self.reps, q, k, self.metric);
-            let approx = self.query_row(q, k, n_probe);
-            let approx_set: std::collections::HashSet<usize> =
-                approx.iter().map(|&(r, _)| r).collect();
-            hits += exact
-                .iter()
-                .filter(|&&(r, _)| approx_set.contains(&r))
-                .count();
+            let vector = self.store.row_by_original(q);
+            let pq = self.store.prepare(vector);
+            let exact = self.store.top_k_exact_f64(&pq, None, k, Some(q));
             total += exact.len();
+            for (pi, &n_probe) in n_probes.iter().enumerate() {
+                let approx = self.query_row(q, k, n_probe);
+                let approx_set: std::collections::HashSet<usize> =
+                    approx.iter().map(|&(r, _)| r).collect();
+                hits[pi] += exact
+                    .iter()
+                    .filter(|&&(r, _)| approx_set.contains(&r))
+                    .count();
+            }
         }
-        hits as f64 / total.max(1) as f64
+        hits.iter()
+            .map(|&h| h as f64 / total.max(1) as f64)
+            .collect()
     }
 }
 
@@ -181,6 +233,23 @@ mod tests {
     }
 
     #[test]
+    fn full_probe_distances_are_byte_identical_to_scalar_scan() {
+        let reps = clustered_reps();
+        for metric in [DistanceMetric::Cosine, DistanceMetric::Euclidean] {
+            let index = ClusteredIndex::build(reps.clone(), 5, metric, 9).unwrap();
+            for q in [0usize, 44, 89] {
+                let exact = crate::similarity::top_k_similar_scalar(&reps, q, 7, metric);
+                let approx = index.query_row(q, 7, index.n_cells());
+                assert_eq!(exact.len(), approx.len());
+                for (e, a) in exact.iter().zip(&approx) {
+                    assert_eq!(e.0, a.0, "{metric:?} q={q}");
+                    assert_eq!(e.1.to_bits(), a.1.to_bits(), "{metric:?} q={q}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn single_probe_has_high_recall_on_clustered_data() {
         let reps = clustered_reps();
         let index = ClusteredIndex::build(reps, 3, DistanceMetric::Euclidean, 2).unwrap();
@@ -194,12 +263,23 @@ mod tests {
         let reps = clustered_reps();
         let index = ClusteredIndex::build(reps, 6, DistanceMetric::Cosine, 3).unwrap();
         let queries: Vec<usize> = (0..90).step_by(7).collect();
-        let r1 = index.recall_at_k(&queries, 8, 1);
-        let r3 = index.recall_at_k(&queries, 8, 3);
-        let r6 = index.recall_at_k(&queries, 8, 6);
+        let many = index.recall_at_k_many(&queries, 8, &[1, 3, 6]);
+        let (r1, r3, r6) = (many[0], many[1], many[2]);
         assert!(r3 >= r1 - 1e-12);
         assert!(r6 >= r3 - 1e-12);
         assert!((r6 - 1.0).abs() < 1e-12, "full probe is exact");
+        // The batched diagnostic must agree with the per-width form.
+        assert_eq!(r1, index.recall_at_k(&queries, 8, 1));
+        assert_eq!(r3, index.recall_at_k(&queries, 8, 3));
+    }
+
+    #[test]
+    fn recall_is_nan_on_empty_queries() {
+        let index = ClusteredIndex::build(clustered_reps(), 3, DistanceMetric::Cosine, 8).unwrap();
+        assert!(index.recall_at_k(&[], 5, 1).is_nan());
+        let many = index.recall_at_k_many(&[], 5, &[1, 2]);
+        assert_eq!(many.len(), 2);
+        assert!(many.iter().all(|r| r.is_nan()));
     }
 
     #[test]
@@ -222,6 +302,23 @@ mod tests {
         let res = index.query(&[0.0, 5.0, 0.0, 0.0], 5, 1);
         assert_eq!(res.len(), 5);
         assert!(res.iter().all(|&(r, _)| (30..60).contains(&r)), "{res:?}");
+    }
+
+    #[test]
+    fn f32_store_index_keeps_high_recall() {
+        let reps = clustered_reps();
+        let index = ClusteredIndex::build_with_precision(
+            reps,
+            3,
+            DistanceMetric::Cosine,
+            7,
+            StorePrecision::F32,
+        )
+        .unwrap();
+        assert_eq!(index.store().precision(), StorePrecision::F32);
+        let queries: Vec<usize> = (0..90).step_by(5).collect();
+        let recall = index.recall_at_k(&queries, 5, index.n_cells());
+        assert!(recall >= 0.999, "f32 full-probe recall@5: {recall}");
     }
 
     #[test]

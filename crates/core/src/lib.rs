@@ -19,6 +19,9 @@
 //!   geography / size filters and whitespace product recommendations;
 //! * [`index`] — the clustered (IVF-style) approximate index the application
 //!   uses for sub-linear similarity search;
+//! * [`repstore`] — the cell-major scoring store and kernel layer behind the
+//!   serving read path: cached norms, dot-product cosine, an opt-in f32
+//!   path, and the blocked multi-query kernel (DESIGN.md §3.10);
 //! * [`cache`] — the bounded, generation-stamped [`ServingCache`] memoizing
 //!   similar-company answers on the serving hot path, invalidated on
 //!   retrain;
@@ -69,6 +72,7 @@ pub mod error;
 pub mod index;
 pub mod recommenders;
 pub mod representations;
+pub mod repstore;
 pub mod similarity;
 
 pub use app::{CompanyFilter, SalesApplication, WhitespaceRecommendation};
@@ -79,6 +83,8 @@ pub use recommenders::{
     evaluate_bpmf, masked_lda_scores, AprioriRecommenderFactory, BpmfEvaluation,
     ChhRecommenderFactory, LdaRecommenderFactory, LstmRecommenderFactory, NgramRecommenderFactory,
 };
+pub use repstore::{PreparedQuery, RepStore, StorePrecision};
 pub use similarity::{
-    bounded_top_k, neighbor_label_agreement, popularity_bias, top_k_similar, DistanceMetric,
+    bounded_top_k, neighbor_label_agreement, popularity_bias, top_k_similar, top_k_similar_scalar,
+    DistanceMetric, TopK,
 };

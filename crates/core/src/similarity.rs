@@ -2,7 +2,7 @@
 //! and the popularity-bias diagnostic of Section 3.1.
 
 use hlm_corpus::{CompanyId, Corpus};
-use hlm_linalg::vector::{cosine_distance, euclidean_distance};
+use hlm_linalg::vector::{cosine_distance, dot, euclidean_distance, norm};
 use hlm_linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -50,6 +50,66 @@ impl Ord for HeapEntry {
     }
 }
 
+/// Push-based bounded k-selection: feed `(index, distance)` candidates one
+/// at a time, read back the `k` smallest under ascending `(distance, index)`
+/// order. The streaming form of [`bounded_top_k`], shared by the scoring
+/// kernels in [`crate::repstore`] so chunked / blocked scans can keep one
+/// accumulator per query (or per fan-out chunk) without materializing an
+/// iterator.
+///
+/// Selection is input-order independent: any permutation of the same
+/// candidate multiset yields the same result, including tie-breaks — the
+/// property the parallel ordered reduction and the blocked batch kernel
+/// rely on for bit-identical rankings.
+pub struct TopK {
+    k: usize,
+    heap: std::collections::BinaryHeap<HeapEntry>,
+}
+
+impl TopK {
+    /// An empty accumulator keeping at most `k` candidates.
+    pub fn new(k: usize) -> Self {
+        TopK {
+            k,
+            heap: std::collections::BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offers one candidate; kept only if it beats the current worst (or
+    /// capacity remains).
+    ///
+    /// # Panics
+    /// Panics if `distance` is NaN.
+    #[inline]
+    pub fn push(&mut self, index: usize, distance: f64) {
+        if self.k == 0 {
+            return;
+        }
+        let entry = HeapEntry(index, distance);
+        if self.heap.len() < self.k {
+            self.heap.push(entry);
+        } else if entry < *self.heap.peek().expect("non-empty at capacity") {
+            self.heap.push(entry);
+            self.heap.pop();
+        }
+    }
+
+    /// The kept candidates, ascending by `(distance, index)`.
+    pub fn into_sorted(self) -> Vec<(usize, f64)> {
+        let mut out: Vec<(usize, f64)> = self
+            .heap
+            .into_iter()
+            .map(|HeapEntry(i, d)| (i, d))
+            .collect();
+        out.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite distances")
+                .then(a.0.cmp(&b.0))
+        });
+        out
+    }
+}
+
 /// The `k` smallest `(row, distance)` candidates under ascending
 /// `(distance, row)` order, via a bounded max-heap: `O(n log k)` and `O(k)`
 /// memory instead of sorting all `n` candidates. Exact — the result is
@@ -62,36 +122,72 @@ pub fn bounded_top_k(
     candidates: impl Iterator<Item = (usize, f64)>,
     k: usize,
 ) -> Vec<(usize, f64)> {
-    if k == 0 {
-        return Vec::new();
-    }
-    let mut heap: std::collections::BinaryHeap<HeapEntry> =
-        std::collections::BinaryHeap::with_capacity(k + 1);
+    let mut acc = TopK::new(k);
     for (i, d) in candidates {
-        let entry = HeapEntry(i, d);
-        if heap.len() < k {
-            heap.push(entry);
-        } else if entry < *heap.peek().expect("non-empty at capacity") {
-            heap.push(entry);
-            heap.pop();
-        }
+        acc.push(i, d);
     }
-    let mut out: Vec<(usize, f64)> = heap.into_iter().map(|HeapEntry(i, d)| (i, d)).collect();
-    out.sort_by(|a, b| {
-        a.1.partial_cmp(&b.1)
-            .expect("finite distances")
-            .then(a.0.cmp(&b.0))
-    });
-    out
+    acc.into_sorted()
 }
 
 /// The `k` rows of `representations` closest to row `query` (excluding the
 /// query itself), as `(row index, distance)` sorted by ascending distance
 /// with deterministic tie-breaking on the row index.
 ///
+/// Under cosine the query's norm is hoisted out of the scan (one `dot` per
+/// candidate saved); the per-pair arithmetic is otherwise identical to
+/// [`DistanceMetric::distance`], so results — bits and tie-breaks — match
+/// [`top_k_similar_scalar`] exactly. Callers ranking *many* queries over
+/// one matrix should build a [`crate::repstore::RepStore`] instead, which
+/// also caches the per-row norms.
+///
 /// # Panics
 /// Panics if `query` is out of range.
 pub fn top_k_similar(
+    representations: &Matrix,
+    query: usize,
+    k: usize,
+    metric: DistanceMetric,
+) -> Vec<(usize, f64)> {
+    assert!(query < representations.rows(), "query row out of range");
+    let q = representations.row(query);
+    match metric {
+        DistanceMetric::Cosine => {
+            let nq = norm(q);
+            bounded_top_k(
+                (0..representations.rows())
+                    .filter(|&i| i != query)
+                    .map(|i| {
+                        let r = representations.row(i);
+                        let nr = norm(r);
+                        let d = if nq == 0.0 || nr == 0.0 {
+                            // Zero-vector convention: maximally distant (see
+                            // `cosine_distance` and DESIGN.md §3.10).
+                            1.0
+                        } else {
+                            1.0 - (dot(q, r) / (nq * nr)).clamp(-1.0, 1.0)
+                        };
+                        (i, d)
+                    }),
+                k,
+            )
+        }
+        DistanceMetric::Euclidean => bounded_top_k(
+            (0..representations.rows())
+                .filter(|&i| i != query)
+                .map(|i| (i, euclidean_distance(q, representations.row(i)))),
+            k,
+        ),
+    }
+}
+
+/// The pre-`RepStore` scalar reference scan: `metric.distance` per
+/// candidate, norms recomputed every pair. Kept verbatim as the baseline
+/// the byte-identity tests pin the kernel layer against, and as the
+/// "scalar" contender in the query-path benchmarks.
+///
+/// # Panics
+/// Panics if `query` is out of range.
+pub fn top_k_similar_scalar(
     representations: &Matrix,
     query: usize,
     k: usize,
@@ -248,6 +344,32 @@ mod tests {
             sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
             sorted.truncate(k);
             assert_eq!(bounded_top_k(dists.iter().copied(), k), sorted, "k={k}");
+        }
+    }
+
+    #[test]
+    fn hoisted_norm_scan_is_byte_identical_to_scalar_reference() {
+        // Includes a zero row (empty install base) and a duplicate row.
+        let mut state = 3u64;
+        let mut m = Matrix::from_fn(40, 5, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        });
+        for j in 0..5 {
+            m.set(7, j, 0.0);
+            let v = m.get(0, j);
+            m.set(9, j, v);
+        }
+        for metric in [DistanceMetric::Cosine, DistanceMetric::Euclidean] {
+            for q in [0usize, 7, 9, 39] {
+                let fast = top_k_similar(&m, q, 12, metric);
+                let reference = top_k_similar_scalar(&m, q, 12, metric);
+                assert_eq!(fast.len(), reference.len());
+                for (f, r) in fast.iter().zip(&reference) {
+                    assert_eq!(f.0, r.0, "{metric:?} q={q}");
+                    assert_eq!(f.1.to_bits(), r.1.to_bits(), "{metric:?} q={q}");
+                }
+            }
         }
     }
 

@@ -585,13 +585,13 @@ mod tests {
                 set.build_table(0, &w);
                 let total: f64 = w.iter().sum();
                 let mut mass_sum = 0.0;
-                for i in 0..k {
+                for (i, &wi) in w.iter().enumerate() {
                     let mass = set.implied_mass(0, i);
                     mass_sum += mass;
                     prop_assert!(
-                        (mass - w[i] / total).abs() < 1e-9,
+                        (mass - wi / total).abs() < 1e-9,
                         "category {i}: implied {mass} vs weight {}",
-                        w[i] / total
+                        wi / total
                     );
                 }
                 prop_assert!((mass_sum - 1.0).abs() < 1e-9);

@@ -716,8 +716,8 @@ mod tests {
             let as_mat = Matrix::from_vec(cols, 1, v.clone());
             let prod = m.matmul(&as_mat);
             let mv = m.matvec(&v);
-            for i in 0..rows {
-                prop_assert!((prod.get(i, 0) - mv[i]).abs() < 1e-12);
+            for (i, &mvi) in mv.iter().enumerate() {
+                prop_assert!((prod.get(i, 0) - mvi).abs() < 1e-12);
             }
         }
     }

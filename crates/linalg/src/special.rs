@@ -277,10 +277,10 @@ mod tests {
     #[test]
     fn ln_gamma_matches_factorials() {
         // Γ(n) = (n-1)!
-        let facts = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        let facts: [f64; 7] = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
         for (n, &f) in facts.iter().enumerate() {
             let lg = ln_gamma(n as f64 + 1.0);
-            assert!((lg - (f as f64).ln()).abs() < 1e-10, "n={n}");
+            assert!((lg - f.ln()).abs() < 1e-10, "n={n}");
         }
     }
 
@@ -351,13 +351,13 @@ mod tests {
         // P(1, x) = 1 - e^{-x}.
         for &x in &[0.1, 1.0, 3.0, 10.0] {
             assert!(
-                (gamma_p(1.0, x) - (1.0 - (-x as f64).exp())).abs() < 1e-12,
+                (gamma_p(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-12,
                 "x={x}"
             );
         }
         // P(1/2, x) = erf(sqrt(x)).
-        for &x in &[0.25, 1.0, 4.0] {
-            let expect = erf((x as f64).sqrt());
+        for &x in &[0.25f64, 1.0, 4.0] {
+            let expect = erf(x.sqrt());
             assert!((gamma_p(0.5, x) - expect).abs() < 1e-6, "x={x}");
         }
     }
@@ -368,7 +368,7 @@ mod tests {
         assert!((chi_square_sf(3.841, 1.0) - 0.05).abs() < 1e-3);
         // df = 2: sf(x) = exp(-x/2) exactly.
         for &x in &[0.5, 2.0, 6.0] {
-            assert!((chi_square_sf(x, 2.0) - (-x / 2.0 as f64).exp()).abs() < 1e-12);
+            assert!((chi_square_sf(x, 2.0) - (-x / 2.0).exp()).abs() < 1e-12);
         }
         // df = 10: the 5% critical value is 18.307.
         assert!((chi_square_sf(18.307, 10.0) - 0.05).abs() < 1e-3);

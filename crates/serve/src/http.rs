@@ -331,7 +331,7 @@ mod tests {
     #[test]
     fn oversized_header_is_431_material() {
         let mut raw = b"GET / HTTP/1.1\r\nx-big: ".to_vec();
-        raw.extend(std::iter::repeat(b'a').take(MAX_LINE + 10));
+        raw.extend(std::iter::repeat_n(b'a', MAX_LINE + 10));
         raw.extend_from_slice(b"\r\n\r\n");
         assert!(matches!(
             parse(&raw),

@@ -1,0 +1,186 @@
+//! The PR-10 serving read path, end to end: cell-major `RepStore` remap
+//! round-trips, byte-identical exact rankings through every entry point,
+//! thread-count-independent fan-out, and the f32 recall-equivalence gate.
+
+use hlm_core::{
+    top_k_similar_scalar, ClusteredIndex, CompanyFilter, DistanceMetric, SalesApplication,
+    StorePrecision,
+};
+use hlm_corpus::CompanyId;
+use hlm_linalg::Matrix;
+use std::sync::Arc;
+
+/// Gaussian-ish blobs around `centers` well-separated centroids — the shape
+/// IVF assumes, with nearest-neighbour gaps large enough that f32 rounding
+/// cannot flip the top-10 boundary.
+fn blob_matrix(rows: usize, dims: usize, centers: usize, seed: u64) -> Matrix {
+    let mut state = seed.max(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let centroids: Vec<Vec<f64>> = (0..centers)
+        .map(|_| (0..dims).map(|_| next() * 10.0).collect())
+        .collect();
+    let mut m = Matrix::zeros(rows, dims);
+    for i in 0..rows {
+        let c = &centroids[i % centers];
+        for (j, &cj) in c.iter().enumerate() {
+            m.set(i, j, cj + (next() - 0.5) * 0.5);
+        }
+    }
+    m
+}
+
+/// The cell-major remap must round-trip (store row → original CompanyId →
+/// store row) and pruned queries must surface *original* row ids — checked
+/// at 1 and 3 probes against a brute-force scan restricted to the probed
+/// rows' ids.
+#[test]
+fn cell_major_remap_round_trips_at_one_and_three_probes() {
+    let mut reps = blob_matrix(300, 8, 6, 42);
+    // Degenerate shapes ride along: a zero row and a duplicate pair.
+    for j in 0..8 {
+        reps.set(5, j, 0.0);
+        let v = reps.get(10, j);
+        reps.set(11, j, v);
+    }
+    for metric in [DistanceMetric::Cosine, DistanceMetric::Euclidean] {
+        let index = ClusteredIndex::build(reps.clone(), 6, metric, 7).expect("valid cell count");
+        let store = index.store();
+        assert_eq!(store.n_cells(), 6);
+        assert_eq!(store.len(), 300);
+        for orig in 0..300 {
+            let s = store.store_row(orig);
+            assert_eq!(store.original_row(s), orig, "store row {s} must map back");
+            assert_eq!(
+                store.row_by_original(orig),
+                reps.row(orig),
+                "row {orig}: reordered data must hold the original vector"
+            );
+        }
+        for n_probe in [1usize, 3] {
+            for q in [0usize, 5, 11, 299] {
+                let got = index.query_row(q, 10, n_probe);
+                // Every returned id is an original row, not a store row:
+                // recompute its distance from the original matrix and demand
+                // bit-equality.
+                for &(r, d) in &got {
+                    assert_ne!(r, q);
+                    let expect = metric.distance(reps.row(q), reps.row(r));
+                    assert_eq!(
+                        d.to_bits(),
+                        expect.to_bits(),
+                        "{metric:?} probe={n_probe} q={q} r={r}"
+                    );
+                }
+                // Ascending with deterministic tie-breaks.
+                for pair in got.windows(2) {
+                    assert!(
+                        pair[0].1 < pair[1].1 || (pair[0].1 == pair[1].1 && pair[0].0 < pair[1].0)
+                    );
+                }
+            }
+        }
+        // Full probe is byte-identical to the pre-store scalar scan.
+        for q in [0usize, 5, 11, 299] {
+            let exact = top_k_similar_scalar(&reps, q, 10, metric);
+            let full = index.query_row(q, 10, index.n_cells());
+            assert_eq!(exact.len(), full.len());
+            for (e, f) in exact.iter().zip(&full) {
+                assert_eq!(e.0, f.0, "{metric:?} q={q}");
+                assert_eq!(e.1.to_bits(), f.1.to_bits(), "{metric:?} q={q}");
+            }
+        }
+    }
+}
+
+/// The application's exact paths — single scan, filtered scan, blocked
+/// batch — all return byte-identical rankings to the scalar reference.
+#[test]
+fn application_read_path_is_byte_identical_to_scalar_reference() {
+    let corpus = hlm_datagen::generate(&hlm_datagen::GeneratorConfig::with_size_and_seed(250, 13));
+    let reps = Arc::new(blob_matrix(250, 8, 5, 99));
+    let app = SalesApplication::new(Arc::new(corpus), Arc::clone(&reps), DistanceMetric::Cosine)
+        .expect("matching rows");
+    let queries: Vec<CompanyId> = (0..40).map(CompanyId).collect();
+    let batch = app
+        .find_similar_batch(&queries, 10, &CompanyFilter::default())
+        .expect("in range");
+    for (i, &q) in queries.iter().enumerate() {
+        let reference = top_k_similar_scalar(&reps, q.index(), 10, DistanceMetric::Cosine);
+        let single = app
+            .find_similar(q, 10, &CompanyFilter::default())
+            .expect("in range");
+        assert_eq!(single.len(), reference.len());
+        for (s, &(r, d)) in single.iter().zip(&reference) {
+            assert_eq!(s.id.index(), r);
+            assert_eq!(s.distance.to_bits(), d.to_bits());
+        }
+        assert_eq!(batch[i], single, "blocked batch == single for query {q:?}");
+    }
+}
+
+/// The hlm-par fan-out over probed cells is bit-identical at any thread
+/// count (the PR-3 contract), even with the parallelism threshold forced
+/// to zero so the pool genuinely engages.
+#[test]
+fn scan_fan_out_is_thread_count_independent() {
+    let reps = blob_matrix(2_000, 8, 16, 5);
+    let index = ClusteredIndex::build(reps, 16, DistanceMetric::Cosine, 3).expect("valid");
+    hlm_par::set_par_threshold(Some(0));
+    hlm_par::set_threads(1);
+    let serial: Vec<_> = (0..20).map(|q| index.query_row(q * 97, 10, 16)).collect();
+    hlm_par::set_threads(4);
+    let parallel: Vec<_> = (0..20).map(|q| index.query_row(q * 97, 10, 16)).collect();
+    hlm_par::set_threads(0);
+    hlm_par::set_par_threshold(None);
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.len(), p.len());
+        for (a, b) in s.iter().zip(p) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+}
+
+/// The f32 store's equivalence gate: on clustered data at realistic scale,
+/// recall@10 of the reduced-precision scan against the exact f64 ranking
+/// must be at least 0.999 — the same bar the CI perf job enforces on the
+/// benchmark output.
+#[test]
+fn f32_store_recall_at_10_meets_the_gate() {
+    let reps = blob_matrix(4_000, 16, 32, 20190326);
+    for metric in [DistanceMetric::Cosine, DistanceMetric::Euclidean] {
+        let index =
+            ClusteredIndex::build_with_precision(reps.clone(), 32, metric, 11, StorePrecision::F32)
+                .expect("valid");
+        let queries: Vec<usize> = (0..4_000).step_by(40).collect();
+        // Full probe isolates precision loss (no IVF pruning in the way).
+        let recall = index.recall_at_k(&queries, 10, index.n_cells());
+        assert!(
+            recall >= 0.999,
+            "{metric:?}: f32 recall@10 = {recall}, below the 0.999 gate"
+        );
+    }
+}
+
+/// `recall_at_k_many` must agree with the one-width diagnostic while
+/// computing the exact set once, and both must keep the NaN-on-empty
+/// contract.
+#[test]
+fn recall_diagnostics_agree_across_forms() {
+    let reps = blob_matrix(600, 8, 8, 77);
+    let index = ClusteredIndex::build(reps, 8, DistanceMetric::Cosine, 2).expect("valid");
+    let queries: Vec<usize> = (0..600).step_by(23).collect();
+    let many = index.recall_at_k_many(&queries, 10, &[1, 4, 8]);
+    assert_eq!(many[0], index.recall_at_k(&queries, 10, 1));
+    assert_eq!(many[1], index.recall_at_k(&queries, 10, 4));
+    assert!((many[2] - 1.0).abs() < 1e-12, "full probe is exact");
+    assert!(
+        index.recall_at_k(&[], 10, 1).is_nan(),
+        "NaN on empty queries"
+    );
+}
